@@ -1,0 +1,74 @@
+// Ablation (Sec. 5.3): sweep the hybrid hash table's GPU fraction from
+// 0% to 100% for several table sizes and compare the full model against
+// the paper's simple linear throughput estimate
+// J_tput = A_GPU * G_tput + (1 - A_GPU) * C_tput.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "join/cost_model.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Ablation: hybrid hash table GPU fraction",
+      "Throughput (G Tuples/s) vs fraction of the table in GPU memory, "
+      "and the paper's linear interpolation J = A*G + (1-A)*C.");
+
+  hw::SystemProfile ibm = hw::Ac922Profile();
+  const NopaJoinModel model(&ibm);
+
+  for (const std::uint64_t m : {1024ull, 1536ull, 2048ull}) {
+    const data::WorkloadSpec w = data::WorkloadC16(m << 20, m << 20);
+    const double total = static_cast<double>(w.total_tuples());
+    std::cout << "-- hash table "
+              << TablePrinter::FormatDouble(
+                     static_cast<double>(w.hash_table_bytes()) / kGiB, 0)
+              << " GiB --\n";
+
+    auto throughput = [&](double fraction) {
+      NopaConfig config;
+      config.device = hw::kGpu0;
+      config.r_location = hw::kCpu0;
+      config.s_location = hw::kCpu0;
+      config.hash_table =
+          HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0, fraction);
+      return ToGTuplesPerSecond(
+          model.Estimate(config, w).value().Throughput(total));
+    };
+    const double g_tput = throughput(1.0);
+    const double c_tput = throughput(0.0);
+
+    TablePrinter table({"GPU fraction", "Model", "Paper linear estimate"});
+    for (double fraction : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      table.AddRow(
+          {TablePrinter::FormatDouble(fraction * 100, 0) + "%",
+           TablePrinter::FormatDouble(throughput(fraction), 2),
+           TablePrinter::FormatDouble(
+               fraction * g_tput + (1.0 - fraction) * c_tput, 2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "The full model is sub-linear in the fraction (the slow\n"
+               "CPU-resident accesses dominate the harmonic mean), which\n"
+               "is why throughput 'degrades gracefully' rather than\n"
+               "linearly as the table outgrows GPU memory (Sec. 5.3).\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

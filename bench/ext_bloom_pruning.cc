@@ -1,0 +1,156 @@
+// Extension (Sec. 9, "Transfer Optimization", Gubner et al. [32]): CPU-side
+// Bloom-filter pruning of the probe relation before it crosses the
+// interconnect. At low join selectivity this slashes the transfer volume,
+// which rescues PCI-e-class links — and matters far less once NVLink
+// removes the transfer bottleneck, which is exactly the paper's point
+// about software workarounds vs faster hardware.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "hash/bloom.h"
+#include "join/cost_model.h"
+#include "sim/access_path.h"
+#include "sim/overlap.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+
+// CPU Bloom-filter probe rate (one 64-bit load + popcount-style ALU per
+// tuple, filter L3-resident): comfortably faster than the scan streams.
+constexpr double kCpuBloomFilterRate = 3e9;
+
+double PrunedJoinSeconds(const hw::SystemProfile& profile,
+                         transfer::TransferMethod method,
+                         memory::MemoryKind kind,
+                         const data::WorkloadSpec& w, double fpr) {
+  const NopaJoinModel model(&profile);
+  // Survivors: true matches plus false positives of the filter.
+  const double survivor_fraction =
+      w.selectivity + (1.0 - w.selectivity) * fpr;
+
+  // Phase A (CPU): stream S once, probe the Bloom filter, compact
+  // survivors into a pinned staging area (read + write of survivors).
+  const sim::AccessPath cpu_mem =
+      sim::MustResolve(profile.topology, hw::kCpu0, hw::kCpu0);
+  const double s_bytes = static_cast<double>(w.s_bytes());
+  const double filter_s = sim::OverlapTime(
+      {s_bytes * (1.0 + survivor_fraction) / cpu_mem.seq_bw,
+       static_cast<double>(w.s_tuples) / kCpuBloomFilterRate},
+      sim::kCpuOverlapExponent);
+
+  // Phase B (GPU): join only the survivors; selectivity within the
+  // survivors is ~ w.selectivity / survivor_fraction.
+  data::WorkloadSpec pruned = w;
+  pruned.s_tuples = static_cast<std::uint64_t>(
+      static_cast<double>(w.s_tuples) * survivor_fraction);
+  pruned.selectivity =
+      survivor_fraction > 0 ? w.selectivity / survivor_fraction : 1.0;
+  NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = HashTablePlacement::Single(hw::kGpu0);
+  config.method = method;
+  config.relation_memory = kind;
+  const double join_s =
+      model.Estimate(config, pruned).value().total_s();
+  // The filter pass pipelines with the GPU join (chunked), overlapping
+  // partially.
+  return sim::OverlapTime({filter_s, join_s}, 2.0);
+}
+
+double PlainJoinSeconds(const hw::SystemProfile& profile,
+                        transfer::TransferMethod method,
+                        memory::MemoryKind kind,
+                        const data::WorkloadSpec& w) {
+  const NopaJoinModel model(&profile);
+  NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = HashTablePlacement::Single(hw::kGpu0);
+  config.method = method;
+  config.relation_memory = kind;
+  return model.Estimate(config, w).value().total_s();
+}
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Extension: Bloom-filter join pruning [32]",
+      "Workload A at varying selectivity; CPU pre-filters S before the "
+      "GPU join (G Tuples/s of raw input tuples).");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const hw::SystemProfile intel = hw::XeonProfile();
+
+  // Functional FPR measurement at host scale feeds the model.
+  const std::size_t n = 1 << 20;
+  hash::BlockedBloomFilter<std::int64_t> filter(n);
+  const auto inner = data::GenerateInner<std::int64_t, std::int64_t>(n, 3);
+  for (std::int64_t key : inner.keys) filter.Insert(key);
+  const auto probes = data::GenerateOuterSelective<std::int64_t,
+                                                   std::int64_t>(
+      500'000, n, 0.0, 5);  // All misses: measures pure FPR.
+  std::uint64_t false_positives = 0;
+  for (std::int64_t key : probes.keys) {
+    false_positives += filter.MayContain(key);
+  }
+  const double fpr =
+      static_cast<double>(false_positives) / 500'000.0;
+  std::cout << "Measured Bloom FPR at 12 bits/key: "
+            << TablePrinter::FormatDouble(fpr * 100, 2)
+            << "% (estimate: "
+            << TablePrinter::FormatDouble(
+                   filter.EstimatedFalsePositiveRate() * 100, 2)
+            << "%), filter size for 2^27 keys: "
+            << (hash::BlockedBloomFilter<std::int64_t>(1u << 27).bytes() >>
+                20)
+            << " MiB\n\n";
+
+  TablePrinter table({"Selectivity", "PCI-e plain", "PCI-e + Bloom",
+                      "NVLink plain", "NVLink + Bloom"});
+  for (double sel : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+    data::WorkloadSpec w = data::WorkloadA();
+    w.selectivity = sel;
+    const double total = static_cast<double>(w.total_tuples());
+    auto gt = [&](double seconds) {
+      return TablePrinter::FormatDouble(
+          ToGTuplesPerSecond(total / seconds), 2);
+    };
+    table.AddRow(
+        {TablePrinter::FormatDouble(sel * 100, 0) + "%",
+         gt(PlainJoinSeconds(intel, transfer::TransferMethod::kZeroCopy,
+                             memory::MemoryKind::kPinned, w)),
+         gt(PrunedJoinSeconds(intel, transfer::TransferMethod::kZeroCopy,
+                              memory::MemoryKind::kPinned, w, fpr)),
+         gt(PlainJoinSeconds(ibm, transfer::TransferMethod::kCoherence,
+                             memory::MemoryKind::kPageable, w)),
+         gt(PrunedJoinSeconds(ibm, transfer::TransferMethod::kCoherence,
+                              memory::MemoryKind::kPageable, w, fpr))});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading the table: pruning multiplies PCI-e throughput "
+               "at low selectivity\n(the transfer bottleneck shrinks with "
+               "the survivor count) but buys little\non NVLink 2.0 — the "
+               "paper's argument that fast interconnects obsolete\n"
+               "transfer-minimizing workarounds whose benefit depends on "
+               "the query (Sec. 9).\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Extension (Sec. 9 "Out-of-core GPU Data Structures"): hash table vs
+// B+-tree as the out-of-core GPU index. A perfect-hash probe is one
+// dependent access; a B+-tree lookup walks depth+1 nodes — but its inner
+// levels are tiny and stay GPU-resident, so only the leaf access crosses
+// the interconnect when the index spills. The model quantifies the trade
+// the paper alludes to; host microbenchmarks validate the functional
+// structures.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "index/btree.h"
+#include "join/cost_model.h"
+#include "sim/access_path.h"
+
+namespace pump {
+namespace {
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Extension: hash table vs B+-tree probes over NVLink",
+      "Modelled probe rates (G lookups/s) for an index over 2^27 dense "
+      "keys (2 GiB payload), by placement.");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const join::NopaJoinModel model(&ibm);
+  const data::WorkloadSpec w = data::WorkloadA();
+
+  // Hash probe: one dependent access at the placement's rate.
+  auto hash_rate = [&](hw::MemoryNodeId node) {
+    return model.HashTableAccessRate(
+        hw::kGpu0, join::HashTablePlacement::Single(node), w);
+  };
+
+  // B+-tree probe: inner levels on the GPU (they are tiny), leaf access
+  // at the leaf placement's rate. Inner depth for 2^27 keys at 16
+  // keys/node: ceil(log16) - 1 = 6 levels, the first ~3 of which are
+  // L2-resident.
+  const double inner_levels = 6.0;
+  const double l2_resident_levels = 3.0;
+  auto btree_rate = [&](hw::MemoryNodeId leaf_node) {
+    const sim::AccessPath gpu_local =
+        sim::MustResolve(ibm.topology, hw::kGpu0, hw::kGpu0);
+    const sim::AccessPath leaf_path =
+        sim::MustResolve(ibm.topology, hw::kGpu0, leaf_node);
+    const hw::CacheSpec& l2 = ibm.topology.cache(hw::kGpu0);
+    const double inner_s =
+        l2_resident_levels / l2.random_access_rate +
+        (inner_levels - l2_resident_levels) /
+            gpu_local.dependent_access_rate;
+    const double leaf_s = 1.0 / leaf_path.dependent_access_rate;
+    return 1.0 / (inner_s + leaf_s);
+  };
+
+  TablePrinter table({"Placement", "Hash probe G/s", "B+-tree probe G/s",
+                      "Hash advantage"});
+  struct Case {
+    const char* name;
+    hw::MemoryNodeId node;
+  };
+  for (const Case& c : {Case{"index in GPU memory", hw::kGpu0},
+                        Case{"index spilled to CPU memory", hw::kCpu0}}) {
+    const double h = hash_rate(c.node) / 1e9;
+    const double b = btree_rate(c.node) / 1e9;
+    table.AddRow({c.name, TablePrinter::FormatDouble(h, 2),
+                  TablePrinter::FormatDouble(b, 2),
+                  TablePrinter::FormatDouble(h / b, 1) + "x"});
+  }
+  table.Print(std::cout);
+
+  // Functional sanity at host scale: both structures answer the same
+  // point lookups; the tree additionally supports range scans.
+  const std::size_t n = 1 << 20;
+  std::vector<std::int64_t> keys(n), values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<std::int64_t>(i);
+    values[i] = static_cast<std::int64_t>(i) + 1;
+  }
+  auto tree = index::BPlusTree<std::int64_t, std::int64_t>::BulkLoad(
+                  keys, values)
+                  .value();
+  std::uint64_t count;
+  std::int64_t sum;
+  tree.RangeSum(100, 199, &count, &sum);
+  std::cout << "\nFunctional check: tree of " << tree.size()
+            << " keys, depth " << tree.depth() << ", inner levels "
+            << tree.inner_bytes() / 1024 << " KiB of "
+            << tree.bytes() / (1 << 20)
+            << " MiB total; range [100,199] -> count " << count
+            << ", sum " << sum << "\n";
+  std::cout << "\nTakeaway: out-of-core, the B+-tree loses less than its\n"
+               "depth suggests (the hot inner levels never leave the GPU),\n"
+               "but the single-access hash table keeps a clear lead for\n"
+               "point probes — and only the tree can answer range scans.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

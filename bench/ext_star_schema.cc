@@ -1,0 +1,92 @@
+// Extension (Sec. 6.2): multi-way star-schema joins. The paper sketches
+// extending GPU+Het to star queries by building each dimension table on a
+// different processor in parallel and broadcasting them; this bench
+// quantifies that sketch with the cost model and validates the plan
+// functionally at host scale.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "data/star.h"
+#include "hw/system_profile.h"
+#include "join/star.h"
+#include "join/star_model.h"
+
+namespace pump {
+namespace {
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Extension: star-schema joins (Sec. 6.2 sketch)",
+      "Fact table of 2^31 rows joined against k dimensions of 2^26 "
+      "tuples each; serial vs parallel-build-and-broadcast.");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const join::StarJoinModel model(&ibm);
+  const double fact_rows = static_cast<double>(1ull << 31);
+
+  TablePrinter table({"Dimensions", "Serial build s", "Parallel build s",
+                      "Broadcast s", "Probe s", "Speedup"});
+  for (std::size_t k : {1u, 2u, 3u, 4u, 6u}) {
+    std::vector<join::StarDimension> dims(
+        k, join::StarDimension{1ull << 26, 1.0});
+    const auto serial =
+        model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, dims, false)
+            .value();
+    const auto parallel =
+        model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, dims, true).value();
+    table.AddRow(
+        {std::to_string(k),
+         TablePrinter::FormatDouble(serial.build_s, 3),
+         TablePrinter::FormatDouble(parallel.build_s, 3),
+         TablePrinter::FormatDouble(parallel.broadcast_s, 3),
+         TablePrinter::FormatDouble(parallel.probe_s, 3),
+         TablePrinter::FormatDouble(
+             serial.total_s() / parallel.total_s(), 2) +
+             "x"});
+  }
+  table.Print(std::cout);
+
+  // Selectivity ordering ablation: probing the most selective dimension
+  // first prunes the other lookups.
+  bench::PrintBanner(std::cout, "Probe-order ablation",
+                     "3 dimensions, one with 5% selectivity.");
+  std::vector<join::StarDimension> dims = {{1ull << 26, 0.05},
+                                           {1ull << 26, 1.0},
+                                           {1ull << 26, 1.0}};
+  const auto ordered =
+      model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, dims, true).value();
+  std::vector<join::StarDimension> unordered = {{1ull << 26, 1.0},
+                                                {1ull << 26, 1.0},
+                                                {1ull << 26, 0.05}};
+  // The model sorts by selectivity internally, so both orders match —
+  // demonstrating that the optimizer choice is handled.
+  const auto sorted =
+      model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, unordered, true)
+          .value();
+  std::cout << "probe time, selective-first: " << ordered.probe_s
+            << " s; model-sorted arbitrary input: " << sorted.probe_s
+            << " s (equal: " << (std::abs(ordered.probe_s - sorted.probe_s) <
+                                         1e-9
+                                     ? "yes"
+                                     : "no")
+            << ")\n";
+
+  // Functional validation at host scale.
+  const data::StarSchema schema =
+      data::GenerateStarSchema({1 << 14, 1 << 15, 1 << 13}, 1 << 20, 7);
+  auto join = join::StarJoin::Build(schema, /*parallel_builds=*/true);
+  const join::StarAggregate result = join.value().Probe(schema, 2);
+  std::cout << "\nFunctional check (1M fact rows, 3 dims): "
+            << result.matches << " matches, checksum " << result.checksum
+            << "\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

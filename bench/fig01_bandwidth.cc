@@ -1,0 +1,61 @@
+// Regenerates Figure 1: theoretical vs measured bidirectional bandwidth of
+// CPU memory, NVLink 2.0, and PCI-e 3.0. The "measured" values come from
+// the calibrated hardware model; "paper" columns quote the figure.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "hw/link.h"
+#include "hw/memory_spec.h"
+
+namespace pump {
+namespace {
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Figure 1",
+      "Bidirectional bandwidth (GiB/s): NVLink 2.0 eliminates the GPU's "
+      "main-memory access disadvantage compared to the CPU.");
+
+  const hw::MemorySpec memory = hw::Power9Memory();
+  const hw::LinkSpec nvlink = hw::Nvlink2x3();
+  const hw::LinkSpec pcie = hw::Pcie3x16();
+
+  TablePrinter table({"Path", "Theoretical", "Measured (model)",
+                      "Paper theoretical", "Paper measured"});
+  auto row = [&](const char* name, double theoretical, double measured,
+                 double paper_theo, double paper_meas) {
+    table.AddRow({name, TablePrinter::FormatDouble(theoretical, 1),
+                  TablePrinter::FormatDouble(measured, 1),
+                  TablePrinter::FormatDouble(paper_theo, 1),
+                  TablePrinter::FormatDouble(paper_meas, 1)});
+  };
+
+  row("Memory (POWER9, 8ch DDR4-2666)", ToGiBPerSecond(memory.electrical_bw),
+      ToGiBPerSecond(memory.duplex_bw), 158.9, 102.6);
+  // Links are full-duplex: theoretical bidirectional = 2x per direction,
+  // derated by packet header overhead.
+  row("NVLink 2.0 (3 links)",
+      ToGiBPerSecond(2.0 * nvlink.electrical_bw * nvlink.BulkEfficiency()),
+      ToGiBPerSecond(nvlink.duplex_bw), 124.6, 120.7);
+  row("PCI-e 3.0 x16",
+      ToGiBPerSecond(2.0 * pcie.electrical_bw * pcie.BulkEfficiency()),
+      ToGiBPerSecond(pcie.duplex_bw), 24.7, 20.5);
+  table.Print(std::cout);
+
+  std::cout << "\nKey result: measured NVLink 2.0 bandwidth ("
+            << TablePrinter::FormatDouble(ToGiBPerSecond(nvlink.duplex_bw), 1)
+            << " GiB/s) exceeds measured memory bandwidth ("
+            << TablePrinter::FormatDouble(ToGiBPerSecond(memory.duplex_bw), 1)
+            << " GiB/s): the interconnect is no longer the bottleneck.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Figure 16: probe-side scaling. Workload C with 16-byte
+// tuples, |R| = 128M fixed, |S| from 128M to 8192M (1.9-122 GiB); base
+// relations in CPU memory, hash table in GPU memory. Compares the CPU
+// radix baseline (PRA), PCI-e 3.0, and NVLink 2.0.
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "join/cost_model.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+using join::RadixJoinModel;
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Figure 16",
+      "Probe-side scaling: throughput (G Tuples/s) vs |S|; |R| = 128M "
+      "16-byte tuples, hash table in GPU memory.");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const hw::SystemProfile intel = hw::XeonProfile();
+  const NopaJoinModel nvlink_model(&ibm);
+  const NopaJoinModel pcie_model(&intel);
+  const RadixJoinModel radix_model(&ibm);
+
+  TablePrinter table({"|S| (M tuples)", "S size", "CPU (PRA)", "PCI-e 3.0",
+                      "NVLink 2.0", "NVLink/PCI-e"});
+  for (std::uint64_t s_m : {128, 512, 1024, 2048, 4096, 6144, 8192}) {
+    const data::WorkloadSpec w =
+        data::WorkloadC16(128ull << 20, s_m << 20);
+    const double total = static_cast<double>(w.total_tuples());
+
+    const join::JoinTiming cpu = radix_model.Estimate(hw::kCpu0, w);
+
+    NopaConfig nvlink;
+    nvlink.device = hw::kGpu0;
+    nvlink.r_location = hw::kCpu0;
+    nvlink.s_location = hw::kCpu0;
+    nvlink.hash_table = HashTablePlacement::Single(hw::kGpu0);
+    const join::JoinTiming nv = nvlink_model.Estimate(nvlink, w).value();
+
+    NopaConfig pcie = nvlink;
+    pcie.method = transfer::TransferMethod::kZeroCopy;
+    pcie.relation_memory = memory::MemoryKind::kPinned;
+    const join::JoinTiming pc = pcie_model.Estimate(pcie, w).value();
+
+    const double nv_tput = ToGTuplesPerSecond(nv.Throughput(total));
+    const double pc_tput = ToGTuplesPerSecond(pc.Throughput(total));
+    table.AddRow(
+        {std::to_string(s_m),
+         TablePrinter::FormatDouble(static_cast<double>(w.s_bytes()) / kGiB,
+                                    1) +
+             " GiB",
+         TablePrinter::FormatDouble(
+             ToGTuplesPerSecond(cpu.Throughput(total)), 2),
+         TablePrinter::FormatDouble(pc_tput, 2),
+         TablePrinter::FormatDouble(nv_tput, 2),
+         TablePrinter::FormatDouble(nv_tput / pc_tput, 1) + "x"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper shape: NVLink 3-6x faster than PCI-e and 3.2-7.3x\n"
+               "faster than the CPU baseline; NVLink throughput improves\n"
+               "with |S| (build amortizes) while PCI-e stays transfer-bound\n"
+               "and flat, unable to beat the CPU.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Regenerates Figure 17: build-side scaling. Workload C with 16-byte
+// tuples, |R| = |S| growing until the hash table reaches 2x GPU memory
+// (up to 91.5 GiB total). Compares the CPU radix baseline, PCI-e 3.0,
+// plain NVLink 2.0 (hash table spills entirely to CPU memory when too
+// large), and NVLink 2.0 with the hybrid hash table (Sec. 5.3).
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "join/cost_model.h"
+#include "memory/allocator.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+using join::RadixJoinModel;
+
+// GPU memory the join keeps free for working state.
+constexpr std::uint64_t kGpuReserve = 1ull << 30;
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Figure 17",
+      "Build-side scaling: throughput (G Tuples/s) vs |R| = |S|; hash "
+      "table up to 2x GPU memory.");
+
+  hw::SystemProfile ibm = hw::Ac922Profile();
+  const hw::SystemProfile intel = hw::XeonProfile();
+  const NopaJoinModel nvlink_model(&ibm);
+  const NopaJoinModel pcie_model(&intel);
+  const RadixJoinModel radix_model(&ibm);
+  const std::uint64_t gpu_capacity =
+      ibm.topology.memory(hw::kGpu0).capacity_bytes;
+
+  TablePrinter table({"|R|=|S| (M)", "HT size", "CPU (PRA)", "PCI-e 3.0",
+                      "NVLink 2.0", "NVLink hybrid HT"});
+  for (std::uint64_t m : {128, 256, 512, 768, 896, 1024, 1280, 1536, 1792,
+                          2048}) {
+    const data::WorkloadSpec w = data::WorkloadC16(m << 20, m << 20);
+    const double total = static_cast<double>(w.total_tuples());
+    const bool fits =
+        w.hash_table_bytes() + kGpuReserve <= gpu_capacity;
+
+    const join::JoinTiming cpu = radix_model.Estimate(hw::kCpu0, w);
+
+    NopaConfig base;
+    base.device = hw::kGpu0;
+    base.r_location = hw::kCpu0;
+    base.s_location = hw::kCpu0;
+
+    // Plain placement: GPU memory while it fits, else all in CPU memory
+    // (the non-hybrid fallback the paper compares against).
+    NopaConfig plain = base;
+    plain.hash_table =
+        HashTablePlacement::Single(fits ? hw::kGpu0 : hw::kCpu0);
+    const join::JoinTiming nv = nvlink_model.Estimate(plain, w).value();
+
+    // Hybrid: greedy GPU-first spill (the allocator of Fig. 8 computes the
+    // same fraction the model uses).
+    memory::MemoryManager manager(&ibm.topology, /*materialize=*/false);
+    Result<memory::Buffer> hybrid_buffer = manager.AllocateHybrid(
+        w.hash_table_bytes(), hw::kGpu0, kGpuReserve);
+    NopaConfig hybrid = base;
+    hybrid.hash_table =
+        HashTablePlacement::FromBuffer(hybrid_buffer.value());
+    const join::JoinTiming hy = nvlink_model.Estimate(hybrid, w).value();
+
+    NopaConfig pcie = plain;
+    pcie.method = transfer::TransferMethod::kZeroCopy;
+    pcie.relation_memory = memory::MemoryKind::kPinned;
+    const join::JoinTiming pc = pcie_model.Estimate(pcie, w).value();
+
+    table.AddRow(
+        {std::to_string(m),
+         TablePrinter::FormatDouble(
+             static_cast<double>(w.hash_table_bytes()) / kGiB, 1) +
+             " GiB" + (fits ? "" : " (spilled)"),
+         TablePrinter::FormatDouble(
+             ToGTuplesPerSecond(cpu.Throughput(total)), 2),
+         TablePrinter::FormatDouble(
+             ToGTuplesPerSecond(pc.Throughput(total)), 2),
+         TablePrinter::FormatDouble(
+             ToGTuplesPerSecond(nv.Throughput(total)), 2),
+         TablePrinter::FormatDouble(
+             ToGTuplesPerSecond(hy.Throughput(total)), 2)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper shape: PCI-e rides off a cliff (-97%, 20x slower\n"
+               "than the CPU) once the table exceeds GPU memory; NVLink\n"
+               "degrades but stays within ~13% of the CPU; the hybrid table\n"
+               "adds another 1-2.2x and degrades gracefully.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Regenerates Figure 19: join throughput when the probe relation follows a
+// Zipf distribution (exponents 0..1.75), workload A, for CPU NOPA, PCI-e
+// 3.0, and NVLink 2.0, sweeping the hybrid hash table's GPU/CPU split
+// (0/100, 10/90, 30/70, 50/50, 100/0).
+
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "join/cost_model.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Figure 19",
+      "Zipf-skewed probe keys (workload A): throughput (G Tuples/s) per "
+      "hash-table GPU/CPU split.");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const hw::SystemProfile intel = hw::XeonProfile();
+  const NopaJoinModel ibm_model(&ibm);
+  const NopaJoinModel intel_model(&intel);
+
+  const double splits[] = {0.0, 0.1, 0.3, 0.5, 1.0};
+
+  for (const char* device : {"CPU (NOPA)", "PCI-e 3.0", "NVLink 2.0"}) {
+    std::cout << "-- " << device << " --\n";
+    std::vector<std::string> headers = {"Zipf z"};
+    for (double split : splits) {
+      headers.push_back(
+          TablePrinter::FormatDouble(split * 100, 0) + "/" +
+          TablePrinter::FormatDouble((1.0 - split) * 100, 0));
+    }
+    TablePrinter table(headers);
+    for (double z : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
+      std::vector<std::string> row = {TablePrinter::FormatDouble(z, 2)};
+      for (double split : splits) {
+        data::WorkloadSpec w = data::WorkloadA();
+        w.zipf_exponent = z;
+        NopaConfig config;
+        config.r_location = hw::kCpu0;
+        config.s_location = hw::kCpu0;
+        const NopaJoinModel* model = &ibm_model;
+        if (std::string(device) == "CPU (NOPA)") {
+          config.device = hw::kCpu0;
+          // The CPU always keeps the table in CPU memory.
+          config.hash_table = HashTablePlacement::Single(hw::kCpu0);
+        } else {
+          config.device = hw::kGpu0;
+          config.hash_table =
+              HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0, split);
+          if (std::string(device) == "PCI-e 3.0") {
+            model = &intel_model;
+            config.method = transfer::TransferMethod::kZeroCopy;
+            config.relation_memory = memory::MemoryKind::kPinned;
+          }
+        }
+        Result<join::JoinTiming> timing = model->Estimate(config, w);
+        row.push_back(
+            timing.ok()
+                ? TablePrinter::FormatDouble(
+                      ToGTuplesPerSecond(timing.value().Throughput(
+                          static_cast<double>(w.total_tuples()))),
+                      2)
+                : "n/a");
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper shape: higher skew raises throughput when (part of)\n"
+               "the table lives in CPU memory (hot entries cache on the\n"
+               "GPU); with the table fully in GPU memory the stream bound\n"
+               "dominates and curves stay flat. Paper gains at z=1.75:\n"
+               "3.5x CPU, 3.6x NVLink, 6.1x PCI-e.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Regenerates Figure 20: the effect of join selectivity (0..100%) on
+// throughput, workload A, for CPU NOPA, PCI-e 3.0, and NVLink 2.0, with
+// the hash table in GPU memory and in CPU memory.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "join/cost_model.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Figure 20",
+      "Join selectivity sweep (workload A): throughput (G Tuples/s); "
+      "matches load the value cache lines, misses do not.");
+
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const hw::SystemProfile intel = hw::XeonProfile();
+  const NopaJoinModel ibm_model(&ibm);
+  const NopaJoinModel intel_model(&intel);
+
+  TablePrinter table({"Selectivity", "CPU (NOPA)", "NVLink HT=GPU",
+                      "NVLink HT=CPU", "PCI-e HT=GPU", "PCI-e HT=CPU",
+                      "Value lines loaded"});
+  for (double sel : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    data::WorkloadSpec w = data::WorkloadA();
+    w.selectivity = sel;
+
+    auto run = [&](const NopaJoinModel& model, hw::DeviceId device,
+                   hw::MemoryNodeId ht,
+                   transfer::TransferMethod method) {
+      NopaConfig config;
+      config.device = device;
+      config.r_location = hw::kCpu0;
+      config.s_location = hw::kCpu0;
+      config.hash_table = HashTablePlacement::Single(ht);
+      config.method = method;
+      config.relation_memory =
+          method == transfer::TransferMethod::kZeroCopy
+              ? memory::MemoryKind::kPinned
+              : memory::MemoryKind::kPageable;
+      Result<join::JoinTiming> timing = model.Estimate(config, w);
+      return timing.ok()
+                 ? TablePrinter::FormatDouble(
+                       ToGTuplesPerSecond(timing.value().Throughput(
+                           static_cast<double>(w.total_tuples()))),
+                       2)
+                 : std::string("n/a");
+    };
+
+    // "At 10% selectivity, 81.5% of values are loaded" (Sec. 7.2.9):
+    // P(value line loaded) = 1 - (1 - sel)^(values per 128 B line).
+    const double p_line = 1.0 - std::pow(1.0 - sel, 128.0 / 8.0);
+    table.AddRow(
+        {TablePrinter::FormatDouble(sel * 100, 0) + "%",
+         run(ibm_model, hw::kCpu0, hw::kCpu0,
+             transfer::TransferMethod::kCoherence),
+         run(ibm_model, hw::kGpu0, hw::kGpu0,
+             transfer::TransferMethod::kCoherence),
+         run(ibm_model, hw::kGpu0, hw::kCpu0,
+             transfer::TransferMethod::kCoherence),
+         run(intel_model, hw::kGpu0, hw::kGpu0,
+             transfer::TransferMethod::kZeroCopy),
+         run(intel_model, hw::kGpu0, hw::kCpu0,
+             transfer::TransferMethod::kZeroCopy),
+         TablePrinter::FormatDouble(p_line * 100, 1) + "%"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper shape: throughput decreases with selectivity; the\n"
+               "largest drop (~30%) is NVLink with the GPU-memory table,\n"
+               "PCI-e with a CPU table moves only ~7%. Both interconnects\n"
+               "exceed what raw bandwidth would suggest at low selectivity\n"
+               "because unmatched probes skip the value lines.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Data-generator microbenchmarks: uniform and Zipf key generation rates
+// (the Zipf rejection-inversion sampler is O(1) per draw and must keep up
+// with multi-billion-tuple workload generation).
+
+#include "benchmark/benchmark.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/tpch.h"
+#include "data/zipf.h"
+
+namespace pump {
+namespace {
+
+void BM_UniformOuter(benchmark::State& state) {
+  constexpr std::size_t kTuples = 1 << 20;
+  for (auto _ : state) {
+    auto relation = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+        kTuples, 1 << 27, 3);
+    benchmark::DoNotOptimize(relation);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+BENCHMARK(BM_UniformOuter);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const double z = static_cast<double>(state.range(0)) / 100.0;
+  data::ZipfGenerator zipf(1u << 27, z);
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(50)->Arg(100)->Arg(175);
+
+void BM_InnerPermutation(benchmark::State& state) {
+  constexpr std::size_t kTuples = 1 << 20;
+  for (auto _ : state) {
+    auto relation =
+        data::GenerateInner<std::int64_t, std::int64_t>(kTuples, 5);
+    benchmark::DoNotOptimize(relation);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+BENCHMARK(BM_InnerPermutation);
+
+void BM_LineitemQ6(benchmark::State& state) {
+  constexpr std::size_t kRows = 1 << 20;
+  for (auto _ : state) {
+    auto table = data::GenerateLineitemQ6(kRows, 7);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_LineitemQ6);
+
+}  // namespace
+}  // namespace pump

@@ -1,0 +1,117 @@
+// Functional microbenchmarks of the hash tables (host execution): insert
+// and probe rates for the perfect table vs open addressing — the
+// perfect-vs-general ablation called out in DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "hash/hash_table.h"
+
+namespace pump {
+namespace {
+
+constexpr std::size_t kTableSize = 1 << 20;
+
+void BM_PerfectInsert(benchmark::State& state) {
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(kTableSize, 1);
+  for (auto _ : state) {
+    hash::PerfectHashTable<std::int64_t, std::int64_t> table(kTableSize);
+    for (std::size_t i = 0; i < kTableSize; ++i) {
+      benchmark::DoNotOptimize(
+          table.Insert(inner.keys[i], inner.payloads[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTableSize);
+}
+BENCHMARK(BM_PerfectInsert);
+
+void BM_LinearProbingInsert(benchmark::State& state) {
+  const double load_factor = static_cast<double>(state.range(0)) / 100.0;
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(kTableSize, 1);
+  for (auto _ : state) {
+    hash::LinearProbingHashTable<std::int64_t, std::int64_t> table(
+        kTableSize, load_factor);
+    for (std::size_t i = 0; i < kTableSize; ++i) {
+      benchmark::DoNotOptimize(
+          table.Insert(inner.keys[i], inner.payloads[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTableSize);
+}
+BENCHMARK(BM_LinearProbingInsert)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_PerfectProbe(benchmark::State& state) {
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(kTableSize, 1);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      1 << 22, kTableSize, 2);
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(kTableSize);
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    (void)table.Insert(inner.keys[i], inner.payloads[i]);
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::int64_t key : outer.keys) {
+      std::int64_t value;
+      if (table.Lookup(key, &value)) sum += value;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * outer.size());
+}
+BENCHMARK(BM_PerfectProbe);
+
+void BM_LinearProbingProbe(benchmark::State& state) {
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(kTableSize, 1);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      1 << 22, kTableSize, 2);
+  hash::LinearProbingHashTable<std::int64_t, std::int64_t> table(kTableSize,
+                                                                 0.5);
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    (void)table.Insert(inner.keys[i], inner.payloads[i]);
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::int64_t key : outer.keys) {
+      std::int64_t value;
+      if (table.Lookup(key, &value)) sum += value;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * outer.size());
+}
+BENCHMARK(BM_LinearProbingProbe);
+
+void BM_ProbeMissRate(benchmark::State& state) {
+  // Probe with a configurable match fraction (Fig. 20's knob,
+  // functionally): misses are cheaper in the perfect table.
+  const double selectivity = static_cast<double>(state.range(0)) / 100.0;
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(kTableSize, 1);
+  const auto outer =
+      data::GenerateOuterSelective<std::int64_t, std::int64_t>(
+          1 << 22, kTableSize, selectivity, 3);
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(kTableSize);
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    (void)table.Insert(inner.keys[i], inner.payloads[i]);
+  }
+  for (auto _ : state) {
+    std::uint64_t matches = 0;
+    for (std::int64_t key : outer.keys) {
+      std::int64_t value;
+      matches += table.Lookup(key, &value);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * outer.size());
+}
+BENCHMARK(BM_ProbeMissRate)->Arg(0)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace pump

@@ -1,0 +1,156 @@
+// Operator microbenchmarks on the host: scans, group-by aggregation,
+// Bloom-filter probes, and the multi-way star join.
+
+#include "benchmark/benchmark.h"
+#include "common/rng.h"
+#include "data/star.h"
+#include "data/tpch.h"
+#include "hash/bloom.h"
+#include "index/btree.h"
+#include "join/star.h"
+#include "ops/aggregate.h"
+#include "ops/q6.h"
+#include "ops/scan.h"
+
+namespace pump {
+namespace {
+
+const data::LineitemQ6& Lineitem() {
+  static const auto* table =
+      new data::LineitemQ6(data::GenerateLineitemQ6(1 << 21, 3));
+  return *table;
+}
+
+void BM_ScanColumn(benchmark::State& state) {
+  for (auto _ : state) {
+    auto selection = ops::ScanColumn(Lineitem().shipdate,
+                                     ops::CompareOp::kGe, data::kQ6DateLo);
+    benchmark::DoNotOptimize(selection);
+  }
+  state.SetItemsProcessed(state.iterations() * Lineitem().size());
+}
+BENCHMARK(BM_ScanColumn);
+
+void BM_Q6Branching(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = ops::RunQ6Branching(Lineitem());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * Lineitem().size());
+}
+BENCHMARK(BM_Q6Branching);
+
+void BM_Q6Predicated(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = ops::RunQ6Predicated(Lineitem());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * Lineitem().size());
+}
+BENCHMARK(BM_Q6Predicated);
+
+void BM_DenseGroupBy(benchmark::State& state) {
+  const std::size_t groups = state.range(0);
+  constexpr std::size_t kRows = 1 << 20;
+  std::vector<std::int64_t> keys(kRows), values(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    keys[i] = static_cast<std::int64_t>((i * 2654435761u) % groups);
+    values[i] = static_cast<std::int64_t>(i);
+  }
+  for (auto _ : state) {
+    ops::DenseGroupBy agg(groups);
+    benchmark::DoNotOptimize(agg.AccumulateColumns(keys, values, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_DenseGroupBy)->Arg(64)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_BloomProbe(benchmark::State& state) {
+  constexpr std::size_t kKeys = 1 << 20;
+  hash::BlockedBloomFilter<std::int64_t> filter(kKeys);
+  for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys);
+       ++key) {
+    filter.Insert(key * 3);
+  }
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    for (std::int64_t key = 0; key < (1 << 20); ++key) {
+      hits += filter.MayContain(key);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_StarJoinProbe(benchmark::State& state) {
+  const std::size_t dims = state.range(0);
+  static const auto* schema = [] {
+    return new data::StarSchema(data::GenerateStarSchema(
+        {1 << 14, 1 << 14, 1 << 14, 1 << 14}, 1 << 19, 5));
+  }();
+  data::StarSchema view = *schema;
+  view.dimensions.resize(dims);
+  view.fact_keys.resize(dims);
+  auto join = join::StarJoin::Build(view);
+  for (auto _ : state) {
+    auto result = join.value().Probe(view, 1);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * view.fact_rows() * dims);
+}
+BENCHMARK(BM_StarJoinProbe)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  constexpr std::size_t kKeys = 1 << 20;
+  std::vector<std::int64_t> keys(kKeys), values(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys[i] = static_cast<std::int64_t>(i);
+    values[i] = static_cast<std::int64_t>(i) * 3;
+  }
+  const auto tree = index::BPlusTree<std::int64_t, std::int64_t>::BulkLoad(
+                        std::move(keys), std::move(values))
+                        .value();
+  Rng rng(7);
+  std::vector<std::int64_t> probes(1 << 18);
+  for (auto& p : probes) {
+    p = static_cast<std::int64_t>(rng.NextBounded(kKeys));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (std::int64_t p : probes) {
+      std::int64_t v;
+      if (tree.Lookup(p, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * probes.size());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_BTreeRangeSum(benchmark::State& state) {
+  constexpr std::size_t kKeys = 1 << 20;
+  std::vector<std::int64_t> keys(kKeys), values(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys[i] = static_cast<std::int64_t>(i);
+    values[i] = 1;
+  }
+  const auto tree = index::BPlusTree<std::int64_t, std::int64_t>::BulkLoad(
+                        std::move(keys), std::move(values))
+                        .value();
+  const std::int64_t width = state.range(0);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto lo =
+        static_cast<std::int64_t>(rng.NextBounded(kKeys - width));
+    std::uint64_t count;
+    std::int64_t sum;
+    tree.RangeSum(lo, lo + width - 1, &count, &sum);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_BTreeRangeSum)->Arg(16)->Arg(1024);
+
+}  // namespace
+}  // namespace pump

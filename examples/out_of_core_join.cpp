@@ -1,0 +1,82 @@
+// Out-of-core join: the build side exceeds GPU memory, so the hash table
+// is allocated with the greedy hybrid allocator (Sec. 5.3 / Fig. 8) and
+// spills into CPU memory. The join algorithm is unchanged — it sees one
+// contiguous table. Demonstrates both the functional path (host scale,
+// with a tiny modelled "GPU" budget to force the spill) and the cost
+// model at paper scale.
+//
+// Build & run:  ./build/examples/out_of_core_join
+
+#include <iostream>
+
+#include "common/units.h"
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "hash/hybrid_table.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+#include "join/nopa.h"
+#include "memory/allocator.h"
+
+int main() {
+  using namespace pump;
+
+  hw::SystemProfile ac922 = hw::Ac922Profile();
+
+  // --- 1. Functional spill at host scale ------------------------------
+  // Reserve almost all modelled GPU memory so a 1M-entry table must spill.
+  memory::MemoryManager manager(&ac922.topology, /*materialize=*/true);
+  const std::uint64_t gpu_capacity =
+      ac922.topology.memory(hw::kGpu0).capacity_bytes;
+  const std::size_t entries = 1 << 20;
+  auto table = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
+      &manager, hw::kGpu0, entries,
+      /*gpu_reserve_bytes=*/gpu_capacity - (entries / 2) * 16);
+  if (!table.ok()) {
+    std::cerr << "allocation failed: " << table.status() << "\n";
+    return 1;
+  }
+  std::cout << "Hybrid hash table: " << table.value().buffer().ToString()
+            << "\n  GPU fraction (A_GPU): " << table.value().gpu_fraction()
+            << "\n";
+
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(entries, 7);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      4 << 20, entries, 8);
+  Result<join::JoinAggregate> aggregate =
+      join::RunNopaJoinOn(&table.value().table(), inner, outer, 2);
+  std::cout << "  functional join across the split: "
+            << aggregate.value().matches << " matches\n";
+
+  // --- 2. Paper-scale model: 24 GiB table on a 16 GiB GPU -------------
+  const data::WorkloadSpec big =
+      data::WorkloadC16(1536ull << 20, 1536ull << 20);
+  memory::MemoryManager planner(&ac922.topology, /*materialize=*/false);
+  Result<memory::Buffer> plan = planner.AllocateHybrid(
+      big.hash_table_bytes(), hw::kGpu0, /*gpu_reserve_bytes=*/1ull << 30);
+
+  const join::NopaJoinModel model(&ac922);
+  join::NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+
+  config.hash_table = join::HashTablePlacement::Single(hw::kCpu0);
+  const double cpu_only_tput = ToGTuplesPerSecond(
+      model.Estimate(config, big).value().Throughput(
+          static_cast<double>(big.total_tuples())));
+
+  config.hash_table = join::HashTablePlacement::FromBuffer(plan.value());
+  const double hybrid_tput = ToGTuplesPerSecond(
+      model.Estimate(config, big).value().Throughput(
+          static_cast<double>(big.total_tuples())));
+
+  std::cout << "\n24 GiB hash table on the 16 GiB V100 (workload C16):\n"
+            << "  table fully in CPU memory: " << cpu_only_tput
+            << " G Tuples/s\n"
+            << "  hybrid (GPU-first spill):  " << hybrid_tput
+            << " G Tuples/s  (" << hybrid_tput / cpu_only_tput
+            << "x, paper reports 1-2.2x)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Placement advisor: walk the hash-table placement decision tree of
+// Fig. 11 for a range of build-side sizes and print which strategy and
+// placement the model recommends, including the hybrid split the greedy
+// allocator (Fig. 8) would produce — the piece a query optimizer would
+// call before scheduling a join on a GPU.
+//
+// Build & run:  ./build/examples/placement_advisor
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "join/coprocess.h"
+#include "memory/allocator.h"
+
+int main() {
+  using namespace pump;
+
+  hw::SystemProfile ac922 = hw::Ac922Profile();
+  const join::CoProcessModel model(&ac922);
+  join::CoProcessConfig config;
+  config.cpu = hw::kCpu0;
+  config.gpu = hw::kGpu0;
+  config.data_location = hw::kCpu0;
+
+  std::cout << "Fig. 11 placement decisions on the AC922 "
+               "(16 GiB GPU, 1 GiB reserved):\n\n";
+
+  TablePrinter table({"|R| (M tuples)", "Hash table", "Strategy",
+                      "Placement", "Modelled G Tuples/s"});
+  for (std::uint64_t m :
+       {1ull, 16ull, 128ull, 512ull, 896ull, 1280ull, 2048ull}) {
+    const data::WorkloadSpec w = data::WorkloadC16(m << 20, 2048ull << 20);
+    const join::ExecutionStrategy strategy = model.Decide(config, w);
+    const join::HashTablePlacement placement =
+        model.PlacementFor(strategy, config, w);
+
+    std::string placement_text;
+    for (const auto& part : placement.parts) {
+      if (!placement_text.empty()) placement_text += " + ";
+      placement_text +=
+          TablePrinter::FormatDouble(part.fraction * 100, 0) + "% node" +
+          std::to_string(part.node);
+    }
+    Result<join::JoinTiming> timing = model.Estimate(strategy, config, w);
+    table.AddRow(
+        {std::to_string(m),
+         TablePrinter::FormatDouble(
+             static_cast<double>(w.hash_table_bytes()) / kGiB, 2) +
+             " GiB",
+         join::StrategyName(strategy), placement_text,
+         timing.ok() ? TablePrinter::FormatDouble(
+                           ToGTuplesPerSecond(timing.value().Throughput(
+                               static_cast<double>(w.total_tuples()))),
+                           2)
+                     : "n/a"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading the table: tiny builds fit every cache and the\n"
+               "broadcast strategy (GPU + Het) wins; mid-size builds live\n"
+               "in GPU memory and the GPU runs alone; once the table\n"
+               "exceeds GPU memory the greedy allocator splits it and the\n"
+               "join degrades gracefully instead of falling off the\n"
+               "PCI-e-era cliff (Sec. 5.3).\n";
+  return 0;
+}

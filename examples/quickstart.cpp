@@ -1,0 +1,62 @@
+// Quickstart: run a no-partitioning hash join functionally on the host and
+// ask the hardware model what the same join would cost at paper scale on
+// the NVLink 2.0 testbed.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "common/units.h"
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+#include "join/nopa.h"
+
+int main() {
+  using namespace pump;
+
+  // --- 1. Functional join at host scale -------------------------------
+  // R: 1M tuples with unique keys; S: 8M uniform foreign keys.
+  const auto inner = data::GenerateInner<std::int64_t, std::int64_t>(
+      1 << 20, /*seed=*/42);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      8 << 20, 1 << 20, /*seed=*/43);
+
+  Result<join::JoinAggregate> aggregate =
+      join::RunNopaJoin(inner, outer, /*workers=*/2);
+  if (!aggregate.ok()) {
+    std::cerr << "join failed: " << aggregate.status() << "\n";
+    return 1;
+  }
+  std::cout << "Functional join: " << aggregate.value().matches
+            << " matches, payload sum " << aggregate.value().payload_sum
+            << "\n";
+
+  // --- 2. The same join at paper scale on the modelled AC922 ----------
+  const hw::SystemProfile ac922 = hw::Ac922Profile();
+  std::cout << "\nModelled system:\n" << ac922.topology.ToString() << "\n";
+
+  const join::NopaJoinModel model(&ac922);
+  join::NopaConfig config;
+  config.device = hw::kGpu0;           // Run on the V100.
+  config.r_location = hw::kCpu0;       // Base relations in CPU memory...
+  config.s_location = hw::kCpu0;
+  config.hash_table =                  // ...hash table in GPU memory.
+      join::HashTablePlacement::Single(hw::kGpu0);
+  config.method = transfer::TransferMethod::kCoherence;  // NVLink pull.
+
+  const data::WorkloadSpec workload = data::WorkloadA();  // 2 GiB x 32 GiB.
+  Result<join::JoinTiming> timing = model.Estimate(config, workload);
+  if (!timing.ok()) {
+    std::cerr << "model failed: " << timing.status() << "\n";
+    return 1;
+  }
+  std::cout << "Workload A over NVLink 2.0 (Coherence method):\n"
+            << "  build " << timing.value().build_s << " s, probe "
+            << timing.value().probe_s << " s  =>  "
+            << ToGTuplesPerSecond(timing.value().Throughput(
+                   static_cast<double>(workload.total_tuples())))
+            << " G Tuples/s (paper: 3.83)\n";
+  return 0;
+}

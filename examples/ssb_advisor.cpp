@@ -1,0 +1,59 @@
+// End-to-end engine walkthrough: generate a Star Schema Benchmark-style
+// database, run two queries functionally through the engine's executor,
+// then ask the model-driven Advisor where the same queries should run at
+// warehouse scale (the Fig. 11 logic generalized to whole queries).
+//
+// Build & run:  ./build/examples/ssb_advisor
+
+#include <iostream>
+
+#include "engine/advisor.h"
+#include "engine/executor.h"
+#include "engine/ssb.h"
+#include "hw/system_profile.h"
+
+int main() {
+  using namespace pump;
+  using namespace pump::engine;
+
+  // --- 1. Functional execution at host scale ---------------------------
+  const SsbDatabase db = SsbDatabase::Generate(1'000'000, 42);
+  std::cout << "SSB-style database: lineorder " << db.lineorder.rows()
+            << " rows, date " << db.date.rows() << ", customer "
+            << db.customer.rows() << ", supplier " << db.supplier.rows()
+            << "\n\n";
+
+  const Query q1 = SsbQ1(db);
+  const Query q2 = SsbQ2(db);
+  const QueryResult r1 = Executor::Run(q1, 2).value();
+  const QueryResult r2 = Executor::Run(q2, 2).value();
+  std::cout << "Q1 (date join + discount/quantity filters): " << r1.rows
+            << " rows, revenue " << r1.sum << "\n";
+  std::cout << "Q2 (customer + supplier region joins):      " << r2.rows
+            << " rows, revenue " << r2.sum << "\n\n";
+
+  // --- 2. Model-driven planning at warehouse scale ----------------------
+  // Scale the same queries to SSB SF ~1000 (6 G lineorder rows).
+  const double scale = 6000.0;
+  for (const auto& [name, query] :
+       {std::pair{"Q1", &q1}, std::pair{"Q2", &q2}}) {
+    const QueryStats stats = StatsFromQuery(*query, scale);
+    std::cout << name << " at " << stats.fact_rows / 1e9
+              << "G fact rows:\n";
+    for (const auto& [system_name, profile] :
+         {std::pair{"AC922 (NVLink 2.0)", hw::Ac922Profile()},
+          std::pair{"Xeon (PCI-e 3.0)", hw::XeonProfile()}}) {
+      const Advisor advisor(&profile);
+      Result<PlanChoice> plan = advisor.Recommend(stats, hw::kCpu0);
+      if (!plan.ok()) continue;
+      std::cout << "  " << system_name << ": run on "
+                << plan.value().rationale << ", predicted "
+                << plan.value().predicted_seconds << " s\n";
+    }
+  }
+  std::cout << "\nThe NVLink system offloads both queries to the GPU via "
+               "the Coherence method;\nthe PCI-e system keeps scan-heavy "
+               "plans wherever the model says the transfer\nbottleneck "
+               "hurts least — the paper's Fig. 11 decision, automated.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "bench_support/harness.h"
+
+#include <ostream>
+
+#include "common/table_printer.h"
+
+namespace pump::bench {
+
+RunningStats Repeat(int runs, const std::function<double()>& sample) {
+  RunningStats stats;
+  for (int i = 0; i < runs; ++i) stats.Add(sample());
+  return stats;
+}
+
+void PrintBanner(std::ostream& os, const std::string& experiment,
+                 const std::string& description) {
+  os << "\n=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+std::string FormatMeanError(const RunningStats& stats, int precision) {
+  std::string result = TablePrinter::FormatDouble(stats.mean(), precision);
+  if (stats.count() > 1 && stats.standard_error() > 0.0) {
+    result += " +- ";
+    result += TablePrinter::FormatDouble(stats.standard_error(), precision);
+  }
+  return result;
+}
+
+}  // namespace pump::bench

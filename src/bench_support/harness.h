@@ -1,0 +1,31 @@
+#ifndef PUMP_BENCH_SUPPORT_HARNESS_H_
+#define PUMP_BENCH_SUPPORT_HARNESS_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/statistics.h"
+
+namespace pump::bench {
+
+/// Runs `sample()` `runs` times and returns the collected statistics,
+/// mirroring the paper's methodology of reporting mean and standard error
+/// over 10 runs (Sec. 7.1). Analytic models are deterministic (zero
+/// error); functional measurements are not.
+RunningStats Repeat(int runs, const std::function<double()>& sample);
+
+/// Number of repetitions matching the paper.
+inline constexpr int kPaperRuns = 10;
+
+/// Prints a figure banner: which paper figure/table the following output
+/// regenerates and on which modelled system.
+void PrintBanner(std::ostream& os, const std::string& experiment,
+                 const std::string& description);
+
+/// Formats "mean +- stderr" with the given precision.
+std::string FormatMeanError(const RunningStats& stats, int precision = 2);
+
+}  // namespace pump::bench
+
+#endif  // PUMP_BENCH_SUPPORT_HARNESS_H_

@@ -1,0 +1,69 @@
+#ifndef PUMP_COMMON_RNG_H_
+#define PUMP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace pump {
+
+/// SplitMix64: used to seed and to hash 64-bit values. Deterministic across
+/// platforms, unlike std::mt19937 usage with distribution objects.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256** pseudo-random generator. Deterministic, fast, and decoupled
+/// from libstdc++ distribution implementations so that generated workloads
+/// are reproducible byte-for-byte across toolchains.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent streams.
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  std::uint64_t Next64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0. Uses
+  /// Lemire's multiply-shift rejection-free mapping (slightly biased for
+  /// astronomically large bounds, which is acceptable for data generation).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(Next64()) *
+        static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump {
+
+void RunningStats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::relative_standard_error() const {
+  if (mean_ == 0.0) return 0.0;
+  return standard_error() / mean_;
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  double upper = samples[mid];
+  if (samples.size() % 2 == 1) return upper;
+  std::nth_element(samples.begin(), samples.begin() + mid - 1,
+                   samples.begin() + mid);
+  return 0.5 * (samples[mid - 1] + upper);
+}
+
+}  // namespace pump

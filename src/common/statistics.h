@@ -1,0 +1,49 @@
+#ifndef PUMP_COMMON_STATISTICS_H_
+#define PUMP_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pump {
+
+/// Accumulates samples and reports mean and standard error, matching the
+/// paper's methodology ("we report the mean and standard error over 10
+/// runs", Sec. 7.1).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one sample.
+  void Add(double sample);
+
+  /// Number of samples added so far.
+  std::size_t count() const { return count_; }
+  /// Arithmetic mean of the samples; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Standard error of the mean (stddev / sqrt(n)).
+  double standard_error() const;
+  /// Standard error as a fraction of the mean; 0 when the mean is 0.
+  double relative_standard_error() const;
+  /// Smallest sample seen; 0 when empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  /// Largest sample seen; 0 when empty.
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford's sum of squared deviations.
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Computes the median of a sample vector (copies; input unmodified).
+double Median(std::vector<double> samples);
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_STATISTICS_H_

@@ -1,0 +1,151 @@
+#ifndef PUMP_COMMON_STATUS_H_
+#define PUMP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pump {
+
+/// Error categories used across the library. Mirrors the minimal set a
+/// database engine needs; extend sparingly.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kAlreadyExists,
+  kUnsupported,
+  kInternal,
+  kOutOfRange,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, used instead of exceptions on all
+/// library paths (Arrow/Google style). `Status::OK()` is cheap to copy; error
+/// statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+  /// Factory for an invalid-argument error.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Factory for an out-of-memory error (e.g. GPU memory exhausted).
+  static Status OutOfMemory(std::string message) {
+    return Status(StatusCode::kOutOfMemory, std::move(message));
+  }
+  /// Factory for a lookup miss.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Factory for a uniqueness violation.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// Factory for an operation the hardware/configuration does not support
+  /// (e.g. the Coherence transfer method on PCI-e 3.0).
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  /// Factory for an internal invariant violation.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Factory for an out-of-range index or parameter.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK.
+  const std::string& message() const { return message_; }
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+/// A value-or-error container, analogous to arrow::Result. Holds either a T
+/// or an error Status. Accessing the value of an error result aborts, so
+/// callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit to allow `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs an error result (implicit to allow `return status;`).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The error status, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Borrows the contained value. Requires ok().
+  const T& value() const& { return value_.value(); }
+  /// Mutably borrows the contained value. Requires ok().
+  T& value() & { return value_.value(); }
+  /// Moves the contained value out. Requires ok().
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the value or the provided default when in error state.
+  T value_or(T fallback) const {
+    return ok() ? value_.value() : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates an error status from an expression, Arrow-style.
+#define PUMP_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::pump::Status _pump_status = (expr);        \
+    if (!_pump_status.ok()) return _pump_status; \
+  } while (false)
+
+#define PUMP_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define PUMP_INTERNAL_CONCAT(a, b) PUMP_INTERNAL_CONCAT_IMPL(a, b)
+
+#define PUMP_INTERNAL_ASSIGN_OR_RETURN(result, lhs, expr) \
+  auto result = (expr);                                   \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define PUMP_ASSIGN_OR_RETURN(lhs, expr)   \
+  PUMP_INTERNAL_ASSIGN_OR_RETURN(          \
+      PUMP_INTERNAL_CONCAT(_pump_result_, __LINE__), lhs, expr)
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_STATUS_H_

@@ -1,0 +1,93 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace pump {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+namespace {
+
+void WriteCsvCell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    WriteCsvCell(os, row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  WriteCsvRow(os, headers_);
+  for (const auto& row : rows_) WriteCsvRow(os, row);
+}
+
+void TablePrinter::PrintAuto(std::ostream& os) const {
+  const char* format = std::getenv("PUMP_TABLE_FORMAT");
+  if (format != nullptr && std::strcmp(format, "csv") == 0) {
+    PrintCsv(os);
+  } else {
+    Print(os);
+  }
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    total += widths[i] + (i == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pump

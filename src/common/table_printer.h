@@ -1,0 +1,47 @@
+#ifndef PUMP_COMMON_TABLE_PRINTER_H_
+#define PUMP_COMMON_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pump {
+
+/// Renders aligned, human-readable text tables for the benchmark binaries
+/// that regenerate the paper's figures. Values are formatted up front so the
+/// printer only deals with strings.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string FormatDouble(double value, int precision = 2);
+
+  /// Writes the table with a header underline and column padding.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as RFC-4180-style CSV (quoting cells that contain
+  /// commas or quotes) for machine consumption; every figure bench honors
+  /// the PUMP_TABLE_FORMAT=csv environment variable through PrintAuto.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Dispatches to PrintCsv when the PUMP_TABLE_FORMAT environment
+  /// variable equals "csv", otherwise to Print.
+  void PrintAuto(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_TABLE_PRINTER_H_

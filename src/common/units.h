@@ -1,0 +1,52 @@
+#ifndef PUMP_COMMON_UNITS_H_
+#define PUMP_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace pump {
+
+/// Byte-size constants. The paper reports capacities in binary units (GiB)
+/// and electrical link rates in decimal units (GB/s); both are provided.
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+
+/// Time constants expressed in seconds.
+inline constexpr double kNanosecond = 1e-9;
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kMillisecond = 1e-3;
+
+/// Converts a GiB/s figure to bytes per second.
+constexpr double GiBPerSecond(double gib) {
+  return gib * static_cast<double>(kGiB);
+}
+
+/// Converts a decimal GB/s figure (electrical link rate) to bytes per second.
+constexpr double GBPerSecond(double gb) {
+  return gb * static_cast<double>(kGB);
+}
+
+/// Converts bytes per second back to GiB/s for reporting.
+constexpr double ToGiBPerSecond(double bytes_per_second) {
+  return bytes_per_second / static_cast<double>(kGiB);
+}
+
+/// Converts a nanosecond figure to seconds.
+constexpr double Nanoseconds(double ns) { return ns * kNanosecond; }
+
+/// Converts seconds to nanoseconds for reporting.
+constexpr double ToNanoseconds(double seconds) { return seconds / kNanosecond; }
+
+/// Converts a tuple rate to the paper's reporting unit, G Tuples/s.
+constexpr double ToGTuplesPerSecond(double tuples_per_second) {
+  return tuples_per_second / 1e9;
+}
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_UNITS_H_

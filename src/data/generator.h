@@ -1,0 +1,97 @@
+#ifndef PUMP_DATA_GENERATOR_H_
+#define PUMP_DATA_GENERATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/relation.h"
+#include "data/zipf.h"
+
+namespace pump::data {
+
+/// Payloads are derived from keys by this offset so that join results can
+/// be validated arithmetically (payload == key + kPayloadOffset).
+inline constexpr std::int64_t kPayloadOffset = 1;
+
+/// Generates the inner (build-side) relation R: `n` tuples with unique,
+/// dense keys [0, n) in shuffled order, uniform distribution (Sec. 7.1).
+/// Dense primary keys are what the paper's perfect hashing relies on.
+template <typename K, typename V>
+Relation<K, V> GenerateInner(std::size_t n, std::uint64_t seed) {
+  Relation<K, V> relation;
+  relation.keys.resize(n);
+  relation.payloads.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    relation.keys[i] = static_cast<K>(i);
+  }
+  // Fisher-Yates shuffle with the deterministic RNG.
+  Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    std::swap(relation.keys[i - 1], relation.keys[j]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    relation.payloads[i] =
+        static_cast<V>(relation.keys[i] + static_cast<K>(kPayloadOffset));
+  }
+  return relation;
+}
+
+/// Generates the outer (probe-side) relation S: `m` foreign keys uniform
+/// over [0, n), so every S tuple has exactly one match in R (Sec. 7.1).
+template <typename K, typename V>
+Relation<K, V> GenerateOuterUniform(std::size_t m, std::size_t n,
+                                    std::uint64_t seed) {
+  Relation<K, V> relation;
+  relation.keys.resize(m);
+  relation.payloads.resize(m);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    const K key = static_cast<K>(rng.NextBounded(n));
+    relation.keys[i] = key;
+    relation.payloads[i] = static_cast<V>(i);
+  }
+  return relation;
+}
+
+/// Generates a Zipf-skewed outer relation (Fig. 19): foreign keys follow
+/// Zipf(`exponent`) over the key domain [0, n); rank 1 maps to key 0.
+template <typename K, typename V>
+Relation<K, V> GenerateOuterZipf(std::size_t m, std::size_t n,
+                                 double exponent, std::uint64_t seed) {
+  Relation<K, V> relation;
+  relation.keys.resize(m);
+  relation.payloads.resize(m);
+  Rng rng(seed);
+  ZipfGenerator zipf(n, exponent);
+  for (std::size_t i = 0; i < m; ++i) {
+    relation.keys[i] = static_cast<K>(zipf.Next(rng) - 1);
+    relation.payloads[i] = static_cast<V>(i);
+  }
+  return relation;
+}
+
+/// Generates an outer relation where only a `selectivity` fraction of
+/// tuples match R (Fig. 20): matching tuples draw keys from [0, n),
+/// non-matching ones from [n, 2n), which R never contains.
+template <typename K, typename V>
+Relation<K, V> GenerateOuterSelective(std::size_t m, std::size_t n,
+                                      double selectivity,
+                                      std::uint64_t seed) {
+  Relation<K, V> relation;
+  relation.keys.resize(m);
+  relation.payloads.resize(m);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool match = rng.NextDouble() < selectivity;
+    const std::uint64_t base = match ? 0 : n;
+    relation.keys[i] = static_cast<K>(base + rng.NextBounded(n));
+    relation.payloads[i] = static_cast<V>(i);
+  }
+  return relation;
+}
+
+}  // namespace pump::data
+
+#endif  // PUMP_DATA_GENERATOR_H_

@@ -1,0 +1,57 @@
+#ifndef PUMP_DATA_RELATION_H_
+#define PUMP_DATA_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hw/memory_spec.h"
+#include "memory/buffer.h"
+
+namespace pump::data {
+
+/// A column-oriented relation of narrow <key, payload> tuples, the storage
+/// model of the paper's workloads (Sec. 7.1). K and V are the key and
+/// payload types; the paper uses 8/8-byte tuples (workloads A, B) and
+/// 4/4-byte tuples (workload C).
+template <typename K, typename V>
+struct Relation {
+  std::vector<K> keys;
+  std::vector<V> payloads;
+
+  /// Modelled placement of the columns (which memory node holds them).
+  /// Functional execution always reads the host vectors; the cost models
+  /// read this node id.
+  hw::MemoryNodeId location = hw::kInvalidMemoryNode;
+  /// Modelled memory kind; decides which transfer methods apply (Table 1).
+  memory::MemoryKind memory_kind = memory::MemoryKind::kPageable;
+
+  /// Number of tuples.
+  std::size_t size() const { return keys.size(); }
+  /// True when the relation holds no tuples.
+  bool empty() const { return keys.empty(); }
+  /// Bytes per tuple (both columns).
+  static constexpr std::size_t tuple_bytes() { return sizeof(K) + sizeof(V); }
+  /// Total bytes across both columns.
+  std::size_t total_bytes() const { return size() * tuple_bytes(); }
+
+  /// Reserves storage for `n` tuples.
+  void Reserve(std::size_t n) {
+    keys.reserve(n);
+    payloads.reserve(n);
+  }
+  /// Appends one tuple.
+  void Append(K key, V payload) {
+    keys.push_back(key);
+    payloads.push_back(payload);
+  }
+};
+
+/// 8-byte key / 8-byte payload relation (workloads A and B).
+using Relation64 = Relation<std::int64_t, std::int64_t>;
+/// 4-byte key / 4-byte payload relation (workload C).
+using Relation32 = Relation<std::int32_t, std::int32_t>;
+
+}  // namespace pump::data
+
+#endif  // PUMP_DATA_RELATION_H_

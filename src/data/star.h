@@ -1,0 +1,58 @@
+#ifndef PUMP_DATA_STAR_H_
+#define PUMP_DATA_STAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/relation.h"
+
+namespace pump::data {
+
+/// A star schema: one fact table with a foreign-key column per dimension
+/// plus a measure column, and one dimension relation per key column. This
+/// is the multi-way join workload the paper sketches as the extension of
+/// its co-processing strategy ("e.g., for a star schema", Sec. 6.2).
+struct StarSchema {
+  /// dimension[i] is a dense-key relation of size dims[i].
+  std::vector<Relation64> dimensions;
+  /// fact_keys[i][row] is the row's foreign key into dimension i.
+  std::vector<std::vector<std::int64_t>> fact_keys;
+  /// One measure value per fact row.
+  std::vector<std::int64_t> measures;
+
+  /// Number of fact rows.
+  std::size_t fact_rows() const { return measures.size(); }
+  /// Number of dimensions.
+  std::size_t dimension_count() const { return dimensions.size(); }
+};
+
+/// Generates a star schema with the given dimension cardinalities and
+/// `fact_rows` fact rows; every fact key has exactly one match in its
+/// dimension (uniform distribution), measures are small integers.
+inline StarSchema GenerateStarSchema(
+    const std::vector<std::size_t>& dimension_sizes, std::size_t fact_rows,
+    std::uint64_t seed) {
+  StarSchema schema;
+  Rng rng(seed);
+  for (std::size_t d = 0; d < dimension_sizes.size(); ++d) {
+    schema.dimensions.push_back(GenerateInner<std::int64_t, std::int64_t>(
+        dimension_sizes[d], seed + 17 * (d + 1)));
+    std::vector<std::int64_t> keys(fact_rows);
+    for (std::size_t i = 0; i < fact_rows; ++i) {
+      keys[i] =
+          static_cast<std::int64_t>(rng.NextBounded(dimension_sizes[d]));
+    }
+    schema.fact_keys.push_back(std::move(keys));
+  }
+  schema.measures.resize(fact_rows);
+  for (std::size_t i = 0; i < fact_rows; ++i) {
+    schema.measures[i] = static_cast<std::int64_t>(rng.NextBounded(100));
+  }
+  return schema;
+}
+
+}  // namespace pump::data
+
+#endif  // PUMP_DATA_STAR_H_

@@ -1,0 +1,72 @@
+#include "data/tpch.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pump::data {
+
+namespace {
+// dbgen ships lineitems over 1992-01-02 .. 1998-12-01: ~2526 days.
+constexpr std::int32_t kShipdateDays = 2526;
+}  // namespace
+
+LineitemQ6 GenerateLineitemQ6(std::size_t rows, std::uint64_t seed) {
+  LineitemQ6 table;
+  table.shipdate.resize(rows);
+  table.quantity.resize(rows);
+  table.discount.resize(rows);
+  table.extendedprice.resize(rows);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    table.shipdate[i] = static_cast<std::int32_t>(
+        rng.NextBounded(kShipdateDays));
+    const auto quantity =
+        static_cast<std::int32_t>(1 + rng.NextBounded(50));
+    table.quantity[i] = quantity;
+    table.discount[i] = static_cast<std::int32_t>(rng.NextBounded(11));
+    // dbgen: extendedprice = quantity * part retail price; retail prices
+    // land in roughly [90100, 210000) cents.
+    const auto price_cents =
+        static_cast<std::int64_t>(90100 + rng.NextBounded(119900));
+    table.extendedprice[i] = quantity * price_cents;
+  }
+  return table;
+}
+
+void ClusterByShipdate(LineitemQ6* table) {
+  std::vector<std::uint32_t> order(table->size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [table](std::uint32_t a, std::uint32_t b) {
+              return table->shipdate[a] < table->shipdate[b];
+            });
+  LineitemQ6 sorted;
+  sorted.shipdate.reserve(table->size());
+  sorted.quantity.reserve(table->size());
+  sorted.discount.reserve(table->size());
+  sorted.extendedprice.reserve(table->size());
+  for (std::uint32_t i : order) {
+    sorted.shipdate.push_back(table->shipdate[i]);
+    sorted.quantity.push_back(table->quantity[i]);
+    sorted.discount.push_back(table->discount[i]);
+    sorted.extendedprice.push_back(table->extendedprice[i]);
+  }
+  *table = std::move(sorted);
+}
+
+double Q6DateSelectivity() {
+  return static_cast<double>(kQ6DateHi - kQ6DateLo) / kShipdateDays;
+}
+
+double Q6Selectivity() {
+  const double date_sel = Q6DateSelectivity();
+  const double discount_sel =
+      static_cast<double>(kQ6DiscountHi - kQ6DiscountLo + 1) / 11.0;
+  const double quantity_sel = static_cast<double>(kQ6QuantityLt - 1) / 50.0;
+  return date_sel * discount_sel * quantity_sel;
+}
+
+}  // namespace pump::data

@@ -1,0 +1,64 @@
+#include "data/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump::data {
+
+WorkloadSpec WorkloadA() {
+  WorkloadSpec spec;
+  spec.name = "A";
+  spec.key_bytes = 8;
+  spec.payload_bytes = 8;
+  spec.r_tuples = 1ull << 27;
+  spec.s_tuples = 1ull << 31;
+  return spec;
+}
+
+WorkloadSpec WorkloadB() {
+  WorkloadSpec spec = WorkloadA();
+  spec.name = "B";
+  spec.r_tuples = 1ull << 18;
+  return spec;
+}
+
+WorkloadSpec WorkloadC() {
+  WorkloadSpec spec;
+  spec.name = "C";
+  spec.key_bytes = 4;
+  spec.payload_bytes = 4;
+  spec.r_tuples = 1024ull * 1000 * 1000;
+  spec.s_tuples = 1024ull * 1000 * 1000;
+  return spec;
+}
+
+WorkloadSpec WorkloadC16(std::uint64_t r_tuples, std::uint64_t s_tuples) {
+  WorkloadSpec spec;
+  spec.name = "C16";
+  spec.key_bytes = 8;
+  spec.payload_bytes = 8;
+  spec.r_tuples = r_tuples;
+  spec.s_tuples = s_tuples;
+  return spec;
+}
+
+WorkloadSpec ScaleToBytes(const WorkloadSpec& spec,
+                          std::uint64_t target_total_bytes) {
+  const double factor = static_cast<double>(target_total_bytes) /
+                        static_cast<double>(spec.total_bytes());
+  return ScaleCardinalities(spec, factor);
+}
+
+WorkloadSpec ScaleCardinalities(const WorkloadSpec& spec, double factor) {
+  WorkloadSpec scaled = spec;
+  scaled.name = spec.name + " (scaled)";
+  scaled.r_tuples = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(spec.r_tuples) * factor)));
+  scaled.s_tuples = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(spec.s_tuples) * factor)));
+  return scaled;
+}
+
+}  // namespace pump::data

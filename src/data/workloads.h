@@ -1,0 +1,68 @@
+#ifndef PUMP_DATA_WORKLOADS_H_
+#define PUMP_DATA_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pump::data {
+
+/// A join workload description (paper Table 2): cardinalities and tuple
+/// widths of the inner relation R and outer relation S, plus the skew and
+/// selectivity knobs of Sec. 7.2.8/7.2.9. The spec drives both the cost
+/// models (at paper scale) and the functional generators (at host scale).
+struct WorkloadSpec {
+  std::string name;
+  std::uint64_t key_bytes = 8;
+  std::uint64_t payload_bytes = 8;
+  std::uint64_t r_tuples = 0;
+  std::uint64_t s_tuples = 0;
+  /// Zipf exponent of the probe-key distribution; 0 = uniform.
+  double zipf_exponent = 0.0;
+  /// Fraction of S tuples that find a match in R.
+  double selectivity = 1.0;
+
+  /// Bytes per tuple (both columns).
+  std::uint64_t tuple_bytes() const { return key_bytes + payload_bytes; }
+  /// Total bytes of R.
+  std::uint64_t r_bytes() const { return r_tuples * tuple_bytes(); }
+  /// Total bytes of S.
+  std::uint64_t s_bytes() const { return s_tuples * tuple_bytes(); }
+  /// Total input bytes.
+  std::uint64_t total_bytes() const { return r_bytes() + s_bytes(); }
+  /// Bytes of the perfect-hash table over R: one <key, payload> entry per
+  /// R tuple at load factor 1 (Sec. 7.1; Fig. 17 reaches 2x GPU memory
+  /// with 2048 M tuples x 16 B).
+  std::uint64_t hash_table_bytes() const { return r_tuples * tuple_bytes(); }
+  /// Total tuples processed; the numerator of the paper's throughput
+  /// metric |R|+|S| / runtime (Sec. 7.1).
+  std::uint64_t total_tuples() const { return r_tuples + s_tuples; }
+};
+
+/// Workload A (Table 2, from Blanas et al. [10], scaled 8x): 2^27 x 2^31
+/// tuples of 8/8 bytes — 2 GiB joined with 32 GiB.
+WorkloadSpec WorkloadA();
+
+/// Workload B (Table 2): workload A with R shrunk to 2^18 tuples (4 MiB)
+/// so the hash table fits the CPU L3 and GPU L2 caches.
+WorkloadSpec WorkloadB();
+
+/// Workload C (Table 2, from Kim et al. [54], scaled 8x): 1024 x 10^6
+/// tuples on both sides, 4/4-byte tuples — 7.6 GiB each.
+WorkloadSpec WorkloadC();
+
+/// Workload C with 16-byte tuples, as used by the probe/build scaling and
+/// ratio experiments (Sec. 7.2.5-7.2.7).
+WorkloadSpec WorkloadC16(std::uint64_t r_tuples, std::uint64_t s_tuples);
+
+/// Proportionally rescales both relations so the total input size becomes
+/// `target_total_bytes` (Fig. 13 scales A/B/C down to 13/12/10 GiB to fit
+/// GPU memory).
+WorkloadSpec ScaleToBytes(const WorkloadSpec& spec,
+                          std::uint64_t target_total_bytes);
+
+/// Rescales cardinalities by `factor` (functional host-scale runs).
+WorkloadSpec ScaleCardinalities(const WorkloadSpec& spec, double factor);
+
+}  // namespace pump::data
+
+#endif  // PUMP_DATA_WORKLOADS_H_

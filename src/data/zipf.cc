@@ -1,0 +1,44 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump::data {
+
+namespace {
+constexpr double kOneEps = 1e-9;  // |s - 1| below this uses the log branch.
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s)
+    : n_(n == 0 ? 1 : n), s_(std::max(0.0, s)) {
+  h_x1_ = H(0.5);
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Antiderivative of x^{-s}.
+  if (std::abs(s_ - 1.0) < kOneEps) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < kOneEps) return std::exp(x);
+  return std::pow(x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) const {
+  // Rejection-inversion (Hörmann & Derflinger 1996): invert the integral
+  // of the density hull, then accept/reject against the true pmf.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(
+        std::clamp(std::round(x), 1.0, static_cast<double>(n_)));
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_) return k;
+    if (u >= H(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+}  // namespace pump::data

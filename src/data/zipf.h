@@ -1,0 +1,41 @@
+#ifndef PUMP_DATA_ZIPF_H_
+#define PUMP_DATA_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pump::data {
+
+/// Samples ranks in [1, n] from a Zipf distribution with exponent s using
+/// rejection-inversion (Hörmann & Derflinger). O(1) per sample without
+/// precomputed tables, so it scales to the paper's 2^31-tuple relations.
+/// s = 0 degenerates to the uniform distribution. Used for the skew
+/// experiment (Fig. 19, exponents 0 to 1.75).
+class ZipfGenerator {
+ public:
+  /// Creates a generator over [1, n] with exponent `s` (>= 0).
+  ZipfGenerator(std::uint64_t n, double s);
+
+  /// Draws one rank in [1, n]; rank 1 is the hottest item.
+  std::uint64_t Next(Rng& rng) const;
+
+  /// Number of distinct items.
+  std::uint64_t n() const { return n_; }
+  /// Zipf exponent.
+  double exponent() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace pump::data
+
+#endif  // PUMP_DATA_ZIPF_H_

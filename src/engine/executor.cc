@@ -1,0 +1,136 @@
+#include "engine/executor.h"
+
+#include <atomic>
+#include <memory>
+
+#include "exec/morsel.h"
+#include "exec/parallel.h"
+#include "hash/hash_table.h"
+
+namespace pump::engine {
+
+namespace {
+
+using DimTable = hash::LinearProbingHashTable<std::int64_t, std::int64_t>;
+
+Status ValidateQuery(const Query& query) {
+  if (query.fact == nullptr) {
+    return Status::InvalidArgument("query has no fact table");
+  }
+  if (!query.fact->HasColumn(query.measure_column)) {
+    return Status::NotFound("measure column '" + query.measure_column +
+                            "' missing from fact table");
+  }
+  for (const Filter& filter : query.filters) {
+    if (!query.fact->HasColumn(filter.column)) {
+      return Status::NotFound("filter column '" + filter.column +
+                              "' missing from fact table");
+    }
+  }
+  for (const JoinClause& join : query.joins) {
+    if (join.dimension == nullptr) {
+      return Status::InvalidArgument("join without dimension table");
+    }
+    if (!query.fact->HasColumn(join.fact_key_column)) {
+      return Status::NotFound("join key '" + join.fact_key_column +
+                              "' missing from fact table");
+    }
+    if (!join.dimension->HasColumn(join.dim_key_column)) {
+      return Status::NotFound("dimension key '" + join.dim_key_column +
+                              "' missing from dimension");
+    }
+    if (join.has_dim_filter &&
+        !join.dimension->HasColumn(join.dim_filter.column)) {
+      return Status::NotFound("dimension filter column '" +
+                              join.dim_filter.column + "' missing");
+    }
+  }
+  return Status::OK();
+}
+
+// Builds the hash table for one join clause: qualifying dimension keys
+// map to 1 (semi-join semantics; the measure lives in the fact table).
+Result<std::unique_ptr<DimTable>> BuildDimensionTable(
+    const JoinClause& join) {
+  PUMP_ASSIGN_OR_RETURN(const auto* keys,
+                        join.dimension->Column(join.dim_key_column));
+  const std::vector<std::int64_t>* filter_column = nullptr;
+  if (join.has_dim_filter) {
+    PUMP_ASSIGN_OR_RETURN(filter_column,
+                          join.dimension->Column(join.dim_filter.column));
+  }
+  auto table = std::make_unique<DimTable>(
+      std::max<std::size_t>(1, keys->size()));
+  for (std::size_t i = 0; i < keys->size(); ++i) {
+    if (filter_column != nullptr &&
+        !ops::Compare(join.dim_filter.op, (*filter_column)[i],
+                      join.dim_filter.literal)) {
+      continue;
+    }
+    PUMP_RETURN_NOT_OK(table->Insert((*keys)[i], 1));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::Run(const Query& query, std::size_t workers) {
+  PUMP_RETURN_NOT_OK(ValidateQuery(query));
+  const Table& fact = *query.fact;
+
+  // Resolve columns up front so the hot loop does no map lookups.
+  PUMP_ASSIGN_OR_RETURN(const auto* measure,
+                        fact.Column(query.measure_column));
+  std::vector<const std::vector<std::int64_t>*> filter_columns;
+  for (const Filter& filter : query.filters) {
+    PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(filter.column));
+    filter_columns.push_back(column);
+  }
+  std::vector<const std::vector<std::int64_t>*> key_columns;
+  std::vector<std::unique_ptr<DimTable>> dim_tables;
+  for (const JoinClause& join : query.joins) {
+    PUMP_ASSIGN_OR_RETURN(const auto* column,
+                          fact.Column(join.fact_key_column));
+    key_columns.push_back(column);
+    PUMP_ASSIGN_OR_RETURN(auto table, BuildDimensionTable(join));
+    dim_tables.push_back(std::move(table));
+  }
+
+  // Morsel-parallel scan -> semi-join probes -> aggregate.
+  exec::MorselDispatcher dispatcher(fact.rows(),
+                                    exec::kDefaultMorselTuples);
+  std::atomic<std::uint64_t> total_rows{0};
+  std::atomic<std::int64_t> total_sum{0};
+  exec::ParallelFor(std::max<std::size_t>(1, workers), [&](std::size_t) {
+    std::uint64_t rows = 0;
+    std::int64_t sum = 0;
+    while (auto morsel = dispatcher.Next()) {
+      for (std::size_t i = morsel->begin; i < morsel->end; ++i) {
+        bool qualifies = true;
+        for (std::size_t f = 0; f < query.filters.size(); ++f) {
+          if (!ops::Compare(query.filters[f].op, (*filter_columns[f])[i],
+                            query.filters[f].literal)) {
+            qualifies = false;
+            break;
+          }
+        }
+        if (!qualifies) continue;
+        for (std::size_t j = 0; j < dim_tables.size(); ++j) {
+          std::int64_t ignored;
+          if (!dim_tables[j]->Lookup((*key_columns[j])[i], &ignored)) {
+            qualifies = false;
+            break;
+          }
+        }
+        if (!qualifies) continue;
+        ++rows;
+        sum += (*measure)[i];
+      }
+    }
+    total_rows.fetch_add(rows, std::memory_order_relaxed);
+    total_sum.fetch_add(sum, std::memory_order_relaxed);
+  });
+  return QueryResult{total_rows.load(), total_sum.load()};
+}
+
+}  // namespace pump::engine

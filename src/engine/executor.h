@@ -1,0 +1,22 @@
+#ifndef PUMP_ENGINE_EXECUTOR_H_
+#define PUMP_ENGINE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/query.h"
+
+namespace pump::engine {
+
+/// Functional query executor: validates the query against the tables,
+/// then runs scan -> join -> aggregate on the host using the library's
+/// operators (selection vectors, linear-probing hash tables). The
+/// reference semantics every plan the Advisor produces must match.
+class Executor {
+ public:
+  /// Runs `query` with `workers` threads for the probe pipeline.
+  static Result<QueryResult> Run(const Query& query,
+                                 std::size_t workers = 1);
+};
+
+}  // namespace pump::engine
+
+#endif  // PUMP_ENGINE_EXECUTOR_H_

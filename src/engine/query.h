@@ -1,0 +1,57 @@
+#ifndef PUMP_ENGINE_QUERY_H_
+#define PUMP_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "ops/scan.h"
+
+namespace pump::engine {
+
+/// One conjunctive predicate on a fact-table column.
+struct Filter {
+  std::string column;
+  ops::CompareOp op = ops::CompareOp::kEq;
+  std::int64_t literal = 0;
+};
+
+/// One equi-join from a fact-table key column to a dimension table.
+struct JoinClause {
+  /// Fact column holding the foreign key.
+  std::string fact_key_column;
+  /// The dimension table (must outlive the query).
+  const Table* dimension = nullptr;
+  /// Dimension key column (unique values).
+  std::string dim_key_column;
+  /// Optional dimension filter applied before the build (empty column
+  /// name = no filter), e.g. SSB's `d_year = 1993`.
+  Filter dim_filter;
+  bool has_dim_filter = false;
+};
+
+/// A star-shaped aggregate query:
+///   SELECT SUM(measure) FROM fact [JOIN dims...] WHERE filters...
+/// This covers the paper's evaluated shapes — selection-aggregation
+/// (TPC-H Q6 is a zero-join instance) and the hash joins of Sec. 5 —
+/// plus the Sec. 6.2 star extension.
+struct Query {
+  const Table* fact = nullptr;
+  std::vector<Filter> filters;
+  std::vector<JoinClause> joins;
+  /// Fact column to aggregate.
+  std::string measure_column;
+};
+
+/// Query output: qualifying row count and the measure sum.
+struct QueryResult {
+  std::uint64_t rows = 0;
+  std::int64_t sum = 0;
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+}  // namespace pump::engine
+
+#endif  // PUMP_ENGINE_QUERY_H_

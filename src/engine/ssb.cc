@@ -1,0 +1,127 @@
+#include "engine/ssb.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/scan.h"
+
+namespace pump::engine {
+
+namespace {
+
+constexpr std::int64_t kDaysPerYear = 365;
+constexpr std::int64_t kDateRows = kYearCount * kDaysPerYear;
+
+}  // namespace
+
+SsbDatabase SsbDatabase::Generate(std::size_t lineorder_rows,
+                                  std::uint64_t seed) {
+  SsbDatabase db;
+  Rng rng(seed);
+
+  // Dimension cardinalities follow SSB's fact:dimension ratios.
+  const std::size_t customers =
+      std::max<std::size_t>(32, lineorder_rows / 200);
+  const std::size_t suppliers =
+      std::max<std::size_t>(8, lineorder_rows / 3000);
+  const std::size_t parts = std::max<std::size_t>(64, lineorder_rows / 30);
+
+  // date: dense datekey, derived year.
+  {
+    std::vector<std::int64_t> datekey(kDateRows), year(kDateRows);
+    for (std::int64_t d = 0; d < kDateRows; ++d) {
+      datekey[d] = d;
+      year[d] = kFirstYear + d / kDaysPerYear;
+    }
+    (void)db.date.AddColumn("d_datekey", std::move(datekey));
+    (void)db.date.AddColumn("d_year", std::move(year));
+  }
+  // customer / supplier: dense keys with a uniform region code.
+  auto make_region_dim = [&rng](Table* table, const char* key_name,
+                                const char* region_name, std::size_t rows) {
+    std::vector<std::int64_t> keys(rows), regions(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      keys[i] = static_cast<std::int64_t>(i);
+      regions[i] = static_cast<std::int64_t>(rng.NextBounded(kRegionCount));
+    }
+    (void)table->AddColumn(key_name, std::move(keys));
+    (void)table->AddColumn(region_name, std::move(regions));
+  };
+  make_region_dim(&db.customer, "c_custkey", "c_region", customers);
+  make_region_dim(&db.supplier, "s_suppkey", "s_region", suppliers);
+  make_region_dim(&db.part, "p_partkey", "p_mfgr", parts);
+
+  // lineorder fact.
+  std::vector<std::int64_t> orderdate(lineorder_rows),
+      custkey(lineorder_rows), suppkey(lineorder_rows),
+      partkey(lineorder_rows), quantity(lineorder_rows),
+      discount(lineorder_rows), extendedprice(lineorder_rows),
+      revenue(lineorder_rows), revenue_disc(lineorder_rows);
+  for (std::size_t i = 0; i < lineorder_rows; ++i) {
+    orderdate[i] = static_cast<std::int64_t>(rng.NextBounded(kDateRows));
+    custkey[i] = static_cast<std::int64_t>(rng.NextBounded(customers));
+    suppkey[i] = static_cast<std::int64_t>(rng.NextBounded(suppliers));
+    partkey[i] = static_cast<std::int64_t>(rng.NextBounded(parts));
+    quantity[i] = static_cast<std::int64_t>(1 + rng.NextBounded(50));
+    discount[i] = static_cast<std::int64_t>(rng.NextBounded(11));
+    extendedprice[i] =
+        static_cast<std::int64_t>(90'000 + rng.NextBounded(120'000));
+    revenue[i] = extendedprice[i] * (100 - discount[i]) / 100;
+    revenue_disc[i] = extendedprice[i] * discount[i];
+  }
+  (void)db.lineorder.AddColumn("lo_orderdate", std::move(orderdate));
+  (void)db.lineorder.AddColumn("lo_custkey", std::move(custkey));
+  (void)db.lineorder.AddColumn("lo_suppkey", std::move(suppkey));
+  (void)db.lineorder.AddColumn("lo_partkey", std::move(partkey));
+  (void)db.lineorder.AddColumn("lo_quantity", std::move(quantity));
+  (void)db.lineorder.AddColumn("lo_discount", std::move(discount));
+  (void)db.lineorder.AddColumn("lo_extendedprice",
+                               std::move(extendedprice));
+  (void)db.lineorder.AddColumn("lo_revenue", std::move(revenue));
+  (void)db.lineorder.AddColumn("lo_revenue_disc", std::move(revenue_disc));
+  return db;
+}
+
+Query SsbQ1(const SsbDatabase& db) {
+  Query query;
+  query.fact = &db.lineorder;
+  query.filters = {
+      {"lo_discount", ops::CompareOp::kGe, 1},
+      {"lo_discount", ops::CompareOp::kLe, 3},
+      {"lo_quantity", ops::CompareOp::kLt, 25},
+  };
+  JoinClause date_join;
+  date_join.fact_key_column = "lo_orderdate";
+  date_join.dimension = &db.date;
+  date_join.dim_key_column = "d_datekey";
+  date_join.dim_filter = {"d_year", ops::CompareOp::kEq, 1993};
+  date_join.has_dim_filter = true;
+  query.joins.push_back(date_join);
+  query.measure_column = "lo_revenue_disc";
+  return query;
+}
+
+Query SsbQ2(const SsbDatabase& db) {
+  Query query;
+  query.fact = &db.lineorder;
+  JoinClause customer_join;
+  customer_join.fact_key_column = "lo_custkey";
+  customer_join.dimension = &db.customer;
+  customer_join.dim_key_column = "c_custkey";
+  customer_join.dim_filter = {"c_region", ops::CompareOp::kEq, kRegionAsia};
+  customer_join.has_dim_filter = true;
+  query.joins.push_back(customer_join);
+
+  JoinClause supplier_join;
+  supplier_join.fact_key_column = "lo_suppkey";
+  supplier_join.dimension = &db.supplier;
+  supplier_join.dim_key_column = "s_suppkey";
+  supplier_join.dim_filter = {"s_region", ops::CompareOp::kEq, kRegionAsia};
+  supplier_join.has_dim_filter = true;
+  query.joins.push_back(supplier_join);
+
+  query.measure_column = "lo_revenue";
+  return query;
+}
+
+}  // namespace pump::engine

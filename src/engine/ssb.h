@@ -1,0 +1,54 @@
+#ifndef PUMP_ENGINE_SSB_H_
+#define PUMP_ENGINE_SSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/query.h"
+#include "engine/table.h"
+
+namespace pump::engine {
+
+/// A Star Schema Benchmark-style database: the lineorder fact table plus
+/// date, customer, supplier and part dimensions — the canonical workload
+/// for the star-query shape the paper sketches in Sec. 6.2. Cardinalities
+/// follow SSB's ratios at a reduced base so functional runs stay
+/// host-sized; the Advisor scales them up for paper-scale planning.
+struct SsbDatabase {
+  Table lineorder;
+  Table date;
+  Table customer;
+  Table supplier;
+  Table part;
+
+  /// SSB dimension-to-fact ratios at "scale factor" sf (SSB: lineorder
+  /// ~6M rows/SF, customer 30k/SF, supplier 2k/SF, part 200k log-scaled,
+  /// date fixed at ~2556 days).
+  static SsbDatabase Generate(std::size_t lineorder_rows,
+                              std::uint64_t seed);
+};
+
+/// SSB Q1.1-style query:
+///   SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder, date
+///   WHERE lo_orderdate = d_datekey AND d_year = 1993
+///     AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;
+/// The product is precomputed into the `lo_revenue_disc` column (the
+/// engine aggregates one column).
+Query SsbQ1(const SsbDatabase& db);
+
+/// SSB Q2-style query: two-dimension star join with region filters:
+///   SELECT SUM(lo_revenue) FROM lineorder, customer, supplier
+///   WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+///     AND c_region = kAsia AND s_region = kAsia;
+Query SsbQ2(const SsbDatabase& db);
+
+/// Region dictionary codes used by the generator.
+inline constexpr std::int64_t kRegionAsia = 2;
+inline constexpr std::int64_t kRegionCount = 5;
+/// Year span of the date dimension.
+inline constexpr std::int64_t kFirstYear = 1992;
+inline constexpr std::int64_t kYearCount = 7;
+
+}  // namespace pump::engine
+
+#endif  // PUMP_ENGINE_SSB_H_

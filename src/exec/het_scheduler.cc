@@ -1,0 +1,40 @@
+#include "exec/het_scheduler.h"
+
+#include <atomic>
+#include <thread>
+
+namespace pump::exec {
+
+std::vector<GroupStats> RunHeterogeneous(
+    std::size_t total, std::size_t morsel_tuples,
+    std::vector<ProcessorGroup> groups) {
+  MorselDispatcher dispatcher(total, morsel_tuples);
+
+  std::vector<GroupStats> stats(groups.size());
+  std::vector<std::atomic<std::size_t>> tuples(groups.size());
+  std::vector<std::atomic<std::size_t>> dispatches(groups.size());
+
+  std::vector<std::thread> threads;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    stats[g].name = groups[g].name;
+    for (std::size_t w = 0; w < groups[g].workers; ++w) {
+      threads.emplace_back([&dispatcher, &groups, &tuples, &dispatches, g] {
+        const ProcessorGroup& group = groups[g];
+        while (auto batch = dispatcher.NextBatch(group.batch_morsels)) {
+          group.process(batch->begin, batch->end);
+          tuples[g].fetch_add(batch->size(), std::memory_order_relaxed);
+          dispatches[g].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    stats[g].tuples = tuples[g].load();
+    stats[g].dispatches = dispatches[g].load();
+  }
+  return stats;
+}
+
+}  // namespace pump::exec

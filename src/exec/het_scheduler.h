@@ -1,0 +1,46 @@
+#ifndef PUMP_EXEC_HET_SCHEDULER_H_
+#define PUMP_EXEC_HET_SCHEDULER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/morsel.h"
+#include "exec/parallel.h"
+
+namespace pump::exec {
+
+/// One heterogeneous processor in the scheduling scheme of Sec. 6.1 /
+/// Fig. 10: CPU cores pull one morsel at a time; a GPU pulls batches of
+/// morsels to amortize its dispatch latency.
+struct ProcessorGroup {
+  std::string name;
+  /// Worker threads this group contributes (CPU cores; 1 for a GPU proxy).
+  std::size_t workers = 1;
+  /// Morsels claimed per dispatch (1 for CPUs, >1 for GPUs).
+  std::size_t batch_morsels = 1;
+  /// The work function: processes tuple range [begin, end) and is called
+  /// once per claimed batch, from this group's worker threads.
+  std::function<void(std::size_t begin, std::size_t end)> process;
+};
+
+/// Per-group accounting returned by RunHeterogeneous.
+struct GroupStats {
+  std::string name;
+  std::size_t tuples = 0;
+  std::size_t dispatches = 0;
+};
+
+/// Runs `total` tuples through a shared morsel dispatcher across all
+/// processor groups concurrently. Every group advances at its own rate,
+/// which is exactly the skew-avoidance property the paper's heterogeneous
+/// scheduler targets (requirement (b) of Sec. 6). Returns per-group
+/// work counts (their sum covers every tuple exactly once).
+std::vector<GroupStats> RunHeterogeneous(
+    std::size_t total, std::size_t morsel_tuples,
+    std::vector<ProcessorGroup> groups);
+
+}  // namespace pump::exec
+
+#endif  // PUMP_EXEC_HET_SCHEDULER_H_

@@ -1,0 +1,72 @@
+#ifndef PUMP_EXEC_MORSEL_H_
+#define PUMP_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+namespace pump::exec {
+
+/// A contiguous range of tuple indices [begin, end) handed to a worker.
+struct Morsel {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Default morsel size, following the morsel-driven parallelism literature
+/// [57]: large enough to amortize dispatch, small enough to balance load.
+inline constexpr std::size_t kDefaultMorselTuples = 100'000;
+
+/// Morsels per GPU batch: GPUs receive batches of morsels to amortize the
+/// kernel launch latency over more data (Sec. 6.1, Fig. 10).
+inline constexpr std::size_t kDefaultGpuBatchMorsels = 16;
+
+/// The central dispatcher of morsel-driven execution: an atomic read
+/// cursor over [0, total). Workers of any processor pull work at their own
+/// rate, which automatically balances load between heterogeneous
+/// processors (Sec. 6.1).
+class MorselDispatcher {
+ public:
+  /// Creates a dispatcher over `total` tuples with the given morsel size.
+  MorselDispatcher(std::size_t total, std::size_t morsel_tuples)
+      : total_(total),
+        morsel_tuples_(morsel_tuples == 0 ? 1 : morsel_tuples) {}
+
+  /// Claims the next morsel; nullopt when the input is exhausted.
+  /// Thread-safe and lock-free.
+  std::optional<Morsel> Next() { return Claim(morsel_tuples_); }
+
+  /// Claims a batch of `batch_morsels` morsels as one contiguous range
+  /// (GPU dispatch, Fig. 10). The tail batch may be smaller.
+  std::optional<Morsel> NextBatch(std::size_t batch_morsels) {
+    return Claim(morsel_tuples_ * (batch_morsels == 0 ? 1 : batch_morsels));
+  }
+
+  /// Total tuples dispatched so far (monotonic; may exceed `total` by at
+  /// most one morsel's worth of rounding).
+  std::size_t dispatched() const {
+    return std::min(cursor_.load(std::memory_order_relaxed), total_);
+  }
+
+  /// Total input size.
+  std::size_t total() const { return total_; }
+
+ private:
+  std::optional<Morsel> Claim(std::size_t tuples) {
+    const std::size_t begin =
+        cursor_.fetch_add(tuples, std::memory_order_relaxed);
+    if (begin >= total_) return std::nullopt;
+    return Morsel{begin, std::min(begin + tuples, total_)};
+  }
+
+  std::size_t total_;
+  std::size_t morsel_tuples_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace pump::exec
+
+#endif  // PUMP_EXEC_MORSEL_H_

@@ -1,0 +1,28 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace pump::exec {
+
+void ParallelFor(std::size_t workers,
+                 const std::function<void(std::size_t)>& fn) {
+  if (workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t id = 1; id < workers; ++id) {
+    threads.emplace_back([&fn, id] { fn(id); });
+  }
+  fn(0);
+  for (std::thread& thread : threads) thread.join();
+}
+
+std::size_t DefaultWorkerCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace pump::exec

@@ -1,0 +1,21 @@
+#ifndef PUMP_EXEC_PARALLEL_H_
+#define PUMP_EXEC_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace pump::exec {
+
+/// Runs `fn(worker_id)` on `workers` threads and joins them all; the
+/// worker with id 0 runs on the calling thread. This is the fork-join
+/// primitive beneath the functional joins' build and probe phases — the
+/// join-all acts as the build/probe barrier the hash tables require.
+void ParallelFor(std::size_t workers,
+                 const std::function<void(std::size_t)>& fn);
+
+/// A reasonable default worker count: the hardware concurrency, at least 1.
+std::size_t DefaultWorkerCount();
+
+}  // namespace pump::exec
+
+#endif  // PUMP_EXEC_PARALLEL_H_

@@ -1,0 +1,80 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump::gpusim {
+
+OccupancyModel::OccupancyModel(const GpuArch& arch, const SmLimits& limits)
+    : arch_(arch), limits_(limits) {}
+
+int OccupancyModel::WarpsPerSm(const KernelConfig& kernel) const {
+  const int warps_per_block =
+      (kernel.threads_per_block + arch_.warp_size - 1) / arch_.warp_size;
+  if (warps_per_block == 0) return 0;
+
+  // Thread limit.
+  int blocks_by_threads = limits_.max_threads / kernel.threads_per_block;
+  // Block slot limit.
+  int blocks = std::min(blocks_by_threads, limits_.max_blocks);
+  // Register file limit.
+  const std::uint64_t regs_per_block =
+      static_cast<std::uint64_t>(kernel.registers_per_thread) *
+      kernel.threads_per_block;
+  if (regs_per_block > 0) {
+    blocks = std::min(
+        blocks, static_cast<int>(limits_.register_file / regs_per_block));
+  }
+  // Shared memory limit.
+  if (kernel.shared_memory_per_block > 0) {
+    blocks = std::min(
+        blocks, static_cast<int>(limits_.shared_memory /
+                                 kernel.shared_memory_per_block));
+  }
+  blocks = std::max(blocks, 0);
+  return std::min(blocks * warps_per_block, arch_.max_warps_per_sm);
+}
+
+double OccupancyModel::OutstandingRequests(const KernelConfig& kernel) const {
+  const double warps = WarpsPerSm(kernel);
+  // Each warp keeps inflight_loads_per_warp coalesced transactions per
+  // thread group in flight; one warp-wide load issues warp_size/`threads
+  // per transaction` transactions — conservatively one transaction per
+  // thread quad (32 B sector / 8 B value = 4 threads).
+  const double transactions_per_load = arch_.warp_size / 4.0;
+  return warps * arch_.sm_count * arch_.inflight_loads_per_warp *
+         transactions_per_load / 2.0;
+}
+
+double OccupancyModel::OutstandingBytes(const KernelConfig& kernel) const {
+  return OutstandingRequests(kernel) * arch_.bytes_per_load;
+}
+
+double OccupancyModel::AchievableBandwidth(const KernelConfig& kernel,
+                                           double latency_s) const {
+  if (latency_s <= 0.0) return 0.0;
+  return OutstandingBytes(kernel) / latency_s;
+}
+
+double OccupancyModel::AchievableAccessRate(const KernelConfig& kernel,
+                                            double latency_s) const {
+  if (latency_s <= 0.0) return 0.0;
+  return OutstandingRequests(kernel) / latency_s;
+}
+
+double OccupancyModel::WarpsNeededFor(double bandwidth,
+                                      double latency_s) const {
+  const double bytes_needed = bandwidth * latency_s;
+  const double transactions_per_load = arch_.warp_size / 4.0;
+  const double bytes_per_warp = arch_.inflight_loads_per_warp *
+                                transactions_per_load / 2.0 *
+                                arch_.bytes_per_load * arch_.sm_count;
+  if (bytes_per_warp <= 0.0) return 0.0;
+  return bytes_needed / bytes_per_warp;
+}
+
+double LaunchOverhead(const GpuArch& arch, std::uint64_t launches) {
+  return arch.launch_latency_s * static_cast<double>(launches);
+}
+
+}  // namespace pump::gpusim

@@ -1,0 +1,90 @@
+#ifndef PUMP_GPUSIM_OCCUPANCY_H_
+#define PUMP_GPUSIM_OCCUPANCY_H_
+
+#include <cstdint>
+
+namespace pump::gpusim {
+
+/// Microarchitectural parameters of a GPU for the latency-hiding model.
+/// Defaults describe the Tesla V100 ("Volta", Sec. 7.1, [73]).
+struct GpuArch {
+  int sm_count = 80;
+  /// Resident warps per SM at full occupancy (2048 threads / 32).
+  int max_warps_per_sm = 64;
+  /// Threads per warp.
+  int warp_size = 32;
+  /// Outstanding global loads one warp can keep in flight before it
+  /// stalls (limited by the LSU queue / scoreboard; ~2 dependent-free
+  /// loads per thread slot group on Volta-class parts).
+  double inflight_loads_per_warp = 2.0;
+  /// Bytes fetched per global load transaction (one 32 B sector).
+  double bytes_per_load = 32.0;
+  /// Base kernel-launch latency in seconds.
+  double launch_latency_s = 10e-6;
+  /// SM clock in GHz.
+  double clock_ghz = 1.53;
+};
+
+/// Resource demand of one kernel; occupancy = how many warps fit per SM.
+struct KernelConfig {
+  int threads_per_block = 256;
+  int registers_per_thread = 32;
+  std::uint64_t shared_memory_per_block = 0;
+};
+
+/// Volta-class per-SM resource limits.
+struct SmLimits {
+  int max_threads = 2048;
+  int max_blocks = 32;
+  std::uint64_t register_file = 65536;
+  std::uint64_t shared_memory = 96 * 1024;
+};
+
+/// The occupancy and latency-hiding calculator: derives how much memory
+/// traffic a kernel can keep in flight, which is what decides whether the
+/// GPU saturates a high-latency interconnect (Sec. 3: "GPUs are designed
+/// to handle such high-latency memory accesses").
+class OccupancyModel {
+ public:
+  explicit OccupancyModel(const GpuArch& arch = GpuArch(),
+                          const SmLimits& limits = SmLimits());
+
+  /// Resident warps per SM for a kernel (min over thread / block /
+  /// register / shared-memory limits), in [0, max_warps_per_sm].
+  int WarpsPerSm(const KernelConfig& kernel) const;
+
+  /// Aggregate outstanding load transactions across the whole device at
+  /// the given occupancy.
+  double OutstandingRequests(const KernelConfig& kernel) const;
+
+  /// Aggregate outstanding bytes (requests x bytes per load).
+  double OutstandingBytes(const KernelConfig& kernel) const;
+
+  /// Little's law: the bandwidth (bytes/s) the device can sustain against
+  /// a memory path with the given latency, at the given occupancy.
+  double AchievableBandwidth(const KernelConfig& kernel,
+                             double latency_s) const;
+
+  /// Little's law for line-granular random accesses: achievable access
+  /// rate (accesses/s) against a path with the given latency.
+  double AchievableAccessRate(const KernelConfig& kernel,
+                              double latency_s) const;
+
+  /// Minimum occupancy (warps/SM) needed to saturate `bandwidth` bytes/s
+  /// at `latency_s` — the "how many warps does NVLink need" question.
+  double WarpsNeededFor(double bandwidth, double latency_s) const;
+
+  const GpuArch& arch() const { return arch_; }
+
+ private:
+  GpuArch arch_;
+  SmLimits limits_;
+};
+
+/// Launch-overhead model: time to dispatch `batches` kernel launches of
+/// work, amortized the way morsel batching does (Sec. 6.1).
+double LaunchOverhead(const GpuArch& arch, std::uint64_t launches);
+
+}  // namespace pump::gpusim
+
+#endif  // PUMP_GPUSIM_OCCUPANCY_H_

@@ -1,0 +1,86 @@
+#ifndef PUMP_HASH_BLOOM_H_
+#define PUMP_HASH_BLOOM_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_function.h"
+
+namespace pump::hash {
+
+/// A register-blocked Bloom filter: each key maps to one 64-bit block and
+/// sets `kProbes` bits inside it, so a lookup costs a single memory access
+/// — the layout used for join pruning on CPUs feeding co-processors
+/// (Gubner et al. [32], discussed in Sec. 9 "Transfer Optimization").
+///
+/// Use case in this repo: pre-filter the probe relation on the CPU so
+/// only likely-matching tuples cross a slow interconnect
+/// (bench/ext_bloom_pruning).
+template <typename K>
+class BlockedBloomFilter {
+ public:
+  /// Bits set per key within its block.
+  static constexpr int kProbes = 4;
+
+  /// Sizes the filter for `expected_keys` at roughly `bits_per_key` bits
+  /// (rounded up to a power-of-two block count).
+  explicit BlockedBloomFilter(std::size_t expected_keys,
+                              double bits_per_key = 12.0) {
+    const double bits = static_cast<double>(expected_keys) * bits_per_key;
+    const auto blocks_needed =
+        static_cast<std::size_t>(bits / 64.0) + 1;
+    blocks_.resize(std::bit_ceil(blocks_needed));
+    mask_ = blocks_.size() - 1;
+  }
+
+  /// Inserts a key.
+  void Insert(K key) {
+    const std::uint64_t hash = HashKey(key);
+    blocks_[(hash >> 32) & mask_] |= BlockMask(hash);
+  }
+
+  /// Returns false only if the key was definitely never inserted.
+  bool MayContain(K key) const {
+    const std::uint64_t hash = HashKey(key);
+    const std::uint64_t mask = BlockMask(hash);
+    return (blocks_[(hash >> 32) & mask_] & mask) == mask;
+  }
+
+  /// Filter size in bytes.
+  std::size_t bytes() const { return blocks_.size() * sizeof(std::uint64_t); }
+
+  /// Fraction of bits set (diagnostic; drives the false-positive rate).
+  double FillRatio() const {
+    std::uint64_t set = 0;
+    for (std::uint64_t block : blocks_) set += std::popcount(block);
+    return static_cast<double>(set) /
+           static_cast<double>(blocks_.size() * 64);
+  }
+
+  /// Approximate false-positive probability at the current fill ratio:
+  /// each of the kProbes block bits must be set.
+  double EstimatedFalsePositiveRate() const {
+    const double fill = FillRatio();
+    double fpr = 1.0;
+    for (int i = 0; i < kProbes; ++i) fpr *= fill;
+    return fpr;
+  }
+
+ private:
+  // kProbes bit positions derived from independent hash slices.
+  static std::uint64_t BlockMask(std::uint64_t hash) {
+    std::uint64_t mask = 0;
+    for (int i = 0; i < kProbes; ++i) {
+      mask |= std::uint64_t{1} << ((hash >> (6 * i)) & 63);
+    }
+    return mask;
+  }
+
+  std::vector<std::uint64_t> blocks_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace pump::hash
+
+#endif  // PUMP_HASH_BLOOM_H_

@@ -1,0 +1,50 @@
+#ifndef PUMP_HASH_HASH_FUNCTION_H_
+#define PUMP_HASH_HASH_FUNCTION_H_
+
+#include <cstdint>
+
+namespace pump::hash {
+
+/// Murmur3 64-bit finalizer: a full-avalanche mixer, the standard choice
+/// for integer join keys.
+constexpr std::uint64_t Murmur3Mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Murmur3 32-bit finalizer.
+constexpr std::uint32_t Murmur3Mix32(std::uint32_t k) {
+  k ^= k >> 16;
+  k *= 0x85ebca6bu;
+  k ^= k >> 13;
+  k *= 0xc2b2ae35u;
+  k ^= k >> 16;
+  return k;
+}
+
+/// Hashes a key of any integral width with the appropriate Murmur mixer.
+template <typename K>
+constexpr std::uint64_t HashKey(K key) {
+  if constexpr (sizeof(K) <= 4) {
+    return Murmur3Mix32(static_cast<std::uint32_t>(key));
+  } else {
+    return Murmur3Mix64(static_cast<std::uint64_t>(key));
+  }
+}
+
+/// Perfect hash for dense primary keys [0, n): the identity (Sec. 7.1:
+/// "we set up our no-partitioning hash join with perfect hashing, i.e.,
+/// we assume no hash conflicts occur due to the uniqueness of primary
+/// keys"). The caller guarantees key < capacity.
+template <typename K>
+constexpr std::uint64_t PerfectHash(K key) {
+  return static_cast<std::uint64_t>(key);
+}
+
+}  // namespace pump::hash
+
+#endif  // PUMP_HASH_HASH_FUNCTION_H_

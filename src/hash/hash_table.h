@@ -1,0 +1,229 @@
+#ifndef PUMP_HASH_HASH_TABLE_H_
+#define PUMP_HASH_HASH_TABLE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "hash/hash_function.h"
+
+namespace pump::hash {
+
+/// Key sentinel marking an empty slot. Valid keys must be >= 0 (the
+/// generators produce non-negative keys).
+template <typename K>
+inline constexpr K kEmptySlot = static_cast<K>(-1);
+
+/// Flat <key, value> hash-table storage: a keys array (atomic, to support
+/// concurrent CPU+GPU builds on a shared table, Sec. 6) followed by a
+/// values array. Storage may be owned or external (e.g. a hybrid buffer
+/// spanning GPU and CPU memory, Sec. 5.3).
+template <typename K, typename V>
+class TableStorage {
+ public:
+  /// Bytes needed for `capacity` slots.
+  static constexpr std::size_t BytesFor(std::size_t capacity) {
+    return capacity * (sizeof(K) + sizeof(V));
+  }
+  /// Bytes per slot.
+  static constexpr std::size_t slot_bytes() { return sizeof(K) + sizeof(V); }
+
+  TableStorage() = default;
+
+  /// Allocates owned storage for `capacity` slots and clears it.
+  explicit TableStorage(std::size_t capacity)
+      : owned_(new std::byte[BytesFor(capacity)]),
+        base_(owned_.get()),
+        capacity_(capacity) {
+    Clear();
+  }
+
+  /// Wraps external storage of at least BytesFor(capacity) bytes. The
+  /// storage must outlive the table. Clears the slots.
+  TableStorage(std::byte* external, std::size_t capacity)
+      : base_(external), capacity_(capacity) {
+    Clear();
+  }
+
+  TableStorage(TableStorage&&) = default;
+  TableStorage& operator=(TableStorage&&) = default;
+
+  /// Number of slots.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Atomic view of the key at `slot`.
+  std::atomic<K>& key(std::size_t slot) {
+    return reinterpret_cast<std::atomic<K>*>(base_)[slot];
+  }
+  const std::atomic<K>& key(std::size_t slot) const {
+    return reinterpret_cast<const std::atomic<K>*>(base_)[slot];
+  }
+  /// The value at `slot`.
+  V& value(std::size_t slot) {
+    return reinterpret_cast<V*>(base_ + capacity_ * sizeof(K))[slot];
+  }
+  const V& value(std::size_t slot) const {
+    return reinterpret_cast<const V*>(base_ + capacity_ * sizeof(K))[slot];
+  }
+
+  /// Marks every slot empty.
+  void Clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      key(i).store(kEmptySlot<K>, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> owned_;
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Perfect-hash table over dense keys [0, capacity): slot = key, load
+/// factor 1, no probing. This is the table of the paper's NOPA join
+/// (Sec. 7.1) — a lookup touches exactly one slot, which makes the join's
+/// random-access behaviour easy to reason about.
+template <typename K, typename V>
+class PerfectHashTable {
+ public:
+  /// Creates a table for the key domain [0, capacity) with owned storage.
+  explicit PerfectHashTable(std::size_t capacity)
+      : storage_(capacity) {}
+  /// Creates a table over external storage (hybrid placement).
+  PerfectHashTable(std::byte* external, std::size_t capacity)
+      : storage_(external, capacity) {}
+
+  /// Inserts a tuple. Thread-safe against concurrent inserts: the key CAS
+  /// claims the slot and only the winner writes the value. Lookups must be
+  /// separated from inserts by a happens-before edge — the join algorithms'
+  /// build/probe barrier provides it. Fails with AlreadyExists on duplicate
+  /// keys and InvalidArgument when the key is outside the domain.
+  Status Insert(K key, V value) {
+    if (key < 0 || static_cast<std::size_t>(key) >= storage_.capacity()) {
+      return Status::InvalidArgument("key outside perfect-hash domain");
+    }
+    const auto slot = static_cast<std::size_t>(PerfectHash(key));
+    K expected = kEmptySlot<K>;
+    if (!storage_.key(slot).compare_exchange_strong(
+            expected, key, std::memory_order_acq_rel)) {
+      return Status::AlreadyExists("duplicate key in perfect hash table");
+    }
+    storage_.value(slot) = value;
+    return Status::OK();
+  }
+
+  /// Looks up `key`; returns true and sets *value on a match.
+  bool Lookup(K key, V* value) const {
+    if (key < 0 || static_cast<std::size_t>(key) >= storage_.capacity()) {
+      return false;
+    }
+    const auto slot = static_cast<std::size_t>(PerfectHash(key));
+    if (storage_.key(slot).load(std::memory_order_acquire) != key) {
+      return false;
+    }
+    *value = storage_.value(slot);
+    return true;
+  }
+
+  /// Number of slots (== key domain size).
+  std::size_t capacity() const { return storage_.capacity(); }
+  /// Bytes of table storage.
+  std::size_t bytes() const {
+    return TableStorage<K, V>::BytesFor(storage_.capacity());
+  }
+  /// Occupied slot count (linear scan; for tests and diagnostics).
+  std::size_t Size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < storage_.capacity(); ++i) {
+      if (storage_.key(i).load(std::memory_order_relaxed) !=
+          kEmptySlot<K>) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  TableStorage<K, V> storage_;
+};
+
+/// Open-addressing hash table with linear probing and Murmur3 mixing, the
+/// general-purpose variant for non-dense keys. Thread-safe inserts via CAS
+/// claim-then-publish on the key slot.
+template <typename K, typename V>
+class LinearProbingHashTable {
+ public:
+  /// Rounds `min_slots / load_factor` up to a power of two.
+  static std::size_t CapacityFor(std::size_t min_slots, double load_factor) {
+    const auto needed = static_cast<std::size_t>(
+        static_cast<double>(min_slots) / load_factor);
+    return std::bit_ceil(needed < 2 ? std::size_t{2} : needed);
+  }
+
+  /// Creates a table sized for `expected_entries` at `load_factor`.
+  explicit LinearProbingHashTable(std::size_t expected_entries,
+                                  double load_factor = 0.5)
+      : storage_(CapacityFor(expected_entries, load_factor)),
+        mask_(storage_.capacity() - 1) {}
+
+  /// Creates a table over external storage; `capacity` must be a power of
+  /// two.
+  LinearProbingHashTable(std::byte* external, std::size_t capacity)
+      : storage_(external, capacity), mask_(capacity - 1) {}
+
+  /// Inserts a tuple. Thread-safe against concurrent inserts (the key CAS
+  /// claims the slot; only the winner writes the value). As with
+  /// PerfectHashTable, lookups require a happens-before edge after the
+  /// build phase. Duplicate keys are rejected; fails with OutOfMemory when
+  /// the table is full.
+  Status Insert(K key, V value) {
+    std::size_t slot = HashKey(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      K expected = kEmptySlot<K>;
+      if (storage_.key(slot).compare_exchange_strong(
+              expected, key, std::memory_order_acq_rel)) {
+        storage_.value(slot) = value;
+        return Status::OK();
+      }
+      if (expected == key) {
+        return Status::AlreadyExists("duplicate key");
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return Status::OutOfMemory("hash table full");
+  }
+
+  /// Looks up `key`; returns true and sets *value on a match.
+  bool Lookup(K key, V* value) const {
+    std::size_t slot = HashKey(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      const K stored = storage_.key(slot).load(std::memory_order_acquire);
+      if (stored == kEmptySlot<K>) return false;
+      if (stored == key) {
+        *value = storage_.value(slot);
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Number of slots.
+  std::size_t capacity() const { return storage_.capacity(); }
+  /// Bytes of table storage.
+  std::size_t bytes() const {
+    return TableStorage<K, V>::BytesFor(storage_.capacity());
+  }
+
+ private:
+  TableStorage<K, V> storage_;
+  std::size_t mask_;
+};
+
+}  // namespace pump::hash
+
+#endif  // PUMP_HASH_HASH_TABLE_H_

@@ -1,0 +1,102 @@
+#ifndef PUMP_HASH_HYBRID_TABLE_H_
+#define PUMP_HASH_HYBRID_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "hash/hash_table.h"
+#include "memory/allocator.h"
+
+namespace pump::hash {
+
+/// The paper's hybrid hash table (Sec. 5.3): one virtually contiguous
+/// perfect-hash table whose pages live partly in GPU memory and partly in
+/// CPU memory, allocated greedily GPU-first with NUMA-ordered spill
+/// (Fig. 8). The join algorithm is unchanged — it sees a single array —
+/// which is the point: virtual memory abstracts the physical split.
+///
+/// Functionally the table is ordinary host memory; the modelled split is
+/// recorded in the backing buffer's extents and consumed by the cost
+/// model (the A_GPU access fraction of Sec. 5.3).
+template <typename K, typename V>
+class HybridHashTable {
+ public:
+  /// Allocates a hybrid table for the dense key domain [0, capacity).
+  /// `gpu_reserve_bytes` is left free in GPU memory for other state.
+  static Result<HybridHashTable> Create(memory::MemoryManager* manager,
+                                        hw::DeviceId gpu,
+                                        std::size_t capacity,
+                                        std::uint64_t gpu_reserve_bytes = 0) {
+    const std::uint64_t bytes = TableStorage<K, V>::BytesFor(capacity);
+    PUMP_ASSIGN_OR_RETURN(memory::Buffer buffer,
+                          manager->AllocateHybrid(bytes, gpu,
+                                                  gpu_reserve_bytes));
+    return HybridHashTable(std::move(buffer), capacity, gpu, manager);
+  }
+
+  HybridHashTable(HybridHashTable&& other) noexcept
+      : buffer_(std::move(other.buffer_)),
+        capacity_(other.capacity_),
+        gpu_(other.gpu_),
+        manager_(std::exchange(other.manager_, nullptr)),
+        table_(std::move(other.table_)) {}
+
+  HybridHashTable& operator=(HybridHashTable&& other) noexcept {
+    if (this != &other) {
+      if (manager_ != nullptr) manager_->Release(buffer_);
+      buffer_ = std::move(other.buffer_);
+      capacity_ = other.capacity_;
+      gpu_ = other.gpu_;
+      manager_ = std::exchange(other.manager_, nullptr);
+      table_ = std::move(other.table_);
+    }
+    return *this;
+  }
+
+  ~HybridHashTable() {
+    if (manager_ != nullptr) manager_->Release(buffer_);
+  }
+
+  /// The table view; only valid when `materialized()`.
+  PerfectHashTable<K, V>& table() { return *table_; }
+  const PerfectHashTable<K, V>& table() const { return *table_; }
+
+  /// True when backed by host storage (functional mode).
+  bool materialized() const { return table_.has_value(); }
+
+  /// Fraction of the table resident in GPU memory: the expected fraction
+  /// of accesses served by the GPU under a uniform key distribution
+  /// (A_GPU, Sec. 5.3).
+  double gpu_fraction() const { return buffer_.FractionOnNode(gpu_); }
+
+  /// The backing buffer (extents describe the GPU/CPU split).
+  const memory::Buffer& buffer() const { return buffer_; }
+  /// Slot capacity.
+  std::size_t capacity() const { return capacity_; }
+  /// The GPU node the table prefers.
+  hw::DeviceId gpu() const { return gpu_; }
+
+ private:
+  HybridHashTable(memory::Buffer buffer, std::size_t capacity,
+                  hw::DeviceId gpu, memory::MemoryManager* manager)
+      : buffer_(std::move(buffer)),
+        capacity_(capacity),
+        gpu_(gpu),
+        manager_(manager) {
+    if (buffer_.materialized()) {
+      table_.emplace(buffer_.data(), capacity_);
+    }
+  }
+
+  memory::Buffer buffer_;
+  std::size_t capacity_ = 0;
+  hw::DeviceId gpu_ = hw::kInvalidDevice;
+  memory::MemoryManager* manager_ = nullptr;
+  std::optional<PerfectHashTable<K, V>> table_;
+};
+
+}  // namespace pump::hash
+
+#endif  // PUMP_HASH_HYBRID_TABLE_H_

@@ -1,0 +1,98 @@
+#ifndef PUMP_HW_DEVICE_H_
+#define PUMP_HW_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pump::hw {
+
+/// Identifies a processor (CPU socket or GPU) within a Topology. Device ids
+/// are dense indices assigned by the topology builder.
+using DeviceId = int;
+
+/// Sentinel for "no device".
+inline constexpr DeviceId kInvalidDevice = -1;
+
+/// Processor kind; the scheduler and the cost model treat CPUs and GPUs
+/// differently (latency sensitivity, morsel batching, copy engines).
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+/// Returns "CPU" or "GPU".
+const char* DeviceKindToString(DeviceKind kind);
+
+/// A processor's performance-model parameters. Bandwidth-shaped quantities
+/// are aggregates over the whole socket / whole GPU, matching how the paper
+/// measures them (multi-threaded bandwidth microbenchmarks, Sec. 7.1).
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+
+  /// Physical parallelism: cores for a CPU socket, SMs for a GPU.
+  int cores = 0;
+  /// Clock in GHz (documentation; the model works in aggregate rates).
+  double clock_ghz = 0.0;
+
+  /// Maximum bytes of outstanding memory traffic the device can keep in
+  /// flight (aggregate over cores/warps). Bounds achievable sequential
+  /// bandwidth over high-latency paths via Little's law:
+  ///   bw <= max_outstanding_bytes / path_latency.
+  /// CPUs are latency-sensitive (few line-fill buffers per core); GPUs hide
+  /// latency with thousands of threads (Sec. 3, "GPUs are designed to handle
+  /// such high-latency memory accesses").
+  double max_outstanding_bytes = 0.0;
+
+  /// Maximum number of outstanding cache-line-granularity random requests.
+  /// Bounds achievable random-access rates via Little's law.
+  double max_outstanding_requests = 0.0;
+
+  /// Aggregate tuple-processing rate (tuples/s) for hash-join style work
+  /// when memory is not the bottleneck: hashing, comparison, aggregation.
+  double tuple_compute_rate = 0.0;
+
+  /// Dependency derating applied to random-access rates for pointer-chasing
+  /// style access (hash probes). GPUs hide the dependency with warp
+  /// oversubscription (factor ~1); CPUs stall (factor < 1).
+  double random_dependency_factor = 1.0;
+
+  /// Kernel-launch / task-dispatch latency in seconds. Amortized by morsel
+  /// batching on GPUs (Sec. 6.1).
+  double dispatch_latency_s = 0.0;
+
+  /// Copy bandwidth of a single CPU thread (bytes/s) for memcpy-style
+  /// staging work; bounds the MMIO path of Pageable Copy and, times the
+  /// staging thread count, the Staged Copy method (Sec. 4.1). Zero for GPUs.
+  double single_thread_copy_bw = 0.0;
+
+  /// Address-translation reach in bytes. Random accesses into working sets
+  /// beyond this size incur page-walk stalls ("Big data causing big (TLB)
+  /// problems" [49]); the slowdown is modelled as
+  ///   rate / (1 + tlb_miss_penalty * miss_fraction).
+  /// CPUs use huge pages in the paper's tuned baselines, so their reach is
+  /// effectively unbounded.
+  double tlb_reach_bytes = 0.0;
+  /// Relative penalty of a fully TLB-missing access stream (see above).
+  double tlb_miss_penalty = 0.0;
+
+  /// Aggregate first-level cache capacity usable for caching *remote*
+  /// (interconnect) data. On Volta the L2 is memory-side and cannot cache
+  /// CPU memory, but the per-SM L1s can (Sec. 2.2.2); this is what makes
+  /// skewed probes of a CPU-resident hash table fast (Fig. 19).
+  double remote_cache_bytes = 0.0;
+  /// Aggregate random access rate into that cache, accesses/s.
+  double remote_cache_rate = 0.0;
+};
+
+/// V100-class GPU (Volta, 80 SMs, 16 GiB HBM2). Matches the V100-SXM2 and
+/// V100-PCIE used in the paper (Sec. 7.1); the variants differ only in their
+/// interconnect, which the topology models separately.
+DeviceSpec TeslaV100();
+
+/// IBM POWER9 socket: 16 cores @ 3.3 GHz, 8 DDR4-2666 channels (Sec. 7.1).
+DeviceSpec Power9();
+
+/// Intel Xeon Gold 6126 socket: 12 cores @ 2.6 GHz, 6 DDR4-2666 channels.
+DeviceSpec XeonGold6126();
+
+}  // namespace pump::hw
+
+#endif  // PUMP_HW_DEVICE_H_

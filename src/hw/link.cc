@@ -1,0 +1,106 @@
+#include "hw/link.h"
+
+#include <string>
+
+#include "common/units.h"
+
+namespace pump::hw {
+
+const char* LinkFamilyToString(LinkFamily family) {
+  switch (family) {
+    case LinkFamily::kPcie3:
+      return "PCI-e 3.0";
+    case LinkFamily::kNvlink2:
+      return "NVLink 2.0";
+    case LinkFamily::kUpi:
+      return "UPI";
+    case LinkFamily::kXbus:
+      return "X-Bus";
+  }
+  return "Unknown";
+}
+
+LinkSpec Pcie3x16() {
+  LinkSpec link;
+  link.name = "PCI-e 3.0 x16";
+  link.family = LinkFamily::kPcie3;
+  link.electrical_bw = GBPerSecond(16.0);      // Fig. 2.
+  link.seq_bw = GiBPerSecond(12.0);            // Fig. 3a, sequential.
+  link.duplex_bw = GiBPerSecond(20.5);         // Fig. 1, measured.
+  link.random_access_rate = 0.2 * kGiB / 4.0;  // Fig. 3a, random / 4 B.
+  link.hop_latency_s = Nanoseconds(720.0);     // 790 ns - 70 ns Xeon memory.
+  link.header_bytes = 24.0;                    // Sec. 2.2.1: 20-26 B header.
+  link.max_payload_bytes = 512.0;
+  link.cache_coherent = false;
+  link.access_granularity_bytes = 128.0;
+  return link;
+}
+
+LinkSpec Nvlink2x3() {
+  LinkSpec link;
+  link.name = "NVLink 2.0 (3 links)";
+  link.family = LinkFamily::kNvlink2;
+  link.electrical_bw = GBPerSecond(75.0);      // Fig. 2: 3 x 25 GB/s.
+  link.seq_bw = GiBPerSecond(63.0);            // Fig. 3a.
+  link.duplex_bw = GiBPerSecond(120.7);        // Fig. 1, measured.
+  link.random_access_rate = 2.8 * kGiB / 4.0;  // Fig. 3a.
+  link.hop_latency_s = Nanoseconds(366.0);     // 434 ns - 68 ns POWER9 mem.
+  link.header_bytes = 16.0;                    // Sec. 2.2.2.
+  link.max_payload_bytes = 256.0;
+  link.cache_coherent = true;
+  // Random reads move 32 B sectors over the link (coherence is maintained
+  // at 128 B granularity, but Volta fetches 32 B sectors); this keeps the
+  // measured 0.75 G accesses/s within the link's bandwidth.
+  link.access_granularity_bytes = 32.0;
+  return link;
+}
+
+LinkSpec Nvlink2Bundle(int links) {
+  LinkSpec link = Nvlink2x3();
+  const double scale = static_cast<double>(links) / 3.0;
+  link.name = "NVLink 2.0 (" + std::to_string(links) +
+              (links == 1 ? " link)" : " links)");
+  link.electrical_bw *= scale;
+  link.seq_bw *= scale;
+  link.duplex_bw *= scale;
+  // GPU-GPU peer accesses skip the NVLink Processing Unit (the NPU only
+  // translates accesses into *CPU* memory, Sec. 2.2.2), so peer random
+  // reads are sector-bandwidth-bound rather than NPU-bound: one 32 B
+  // sector per access at the bundle's sequential rate.
+  link.random_access_rate = link.seq_bw / link.access_granularity_bytes;
+  return link;
+}
+
+LinkSpec Upi() {
+  LinkSpec link;
+  link.name = "UPI";
+  link.family = LinkFamily::kUpi;
+  link.electrical_bw = GBPerSecond(41.6);
+  link.seq_bw = GiBPerSecond(31.0);            // Fig. 3a.
+  link.duplex_bw = GiBPerSecond(52.0);
+  link.random_access_rate = 2.0 * kGiB / 4.0;  // Fig. 3a.
+  link.hop_latency_s = Nanoseconds(51.0);      // 121 ns - 70 ns local.
+  link.header_bytes = 8.0;
+  link.max_payload_bytes = 64.0;
+  link.cache_coherent = true;
+  link.access_granularity_bytes = 64.0;
+  return link;
+}
+
+LinkSpec Xbus() {
+  LinkSpec link;
+  link.name = "X-Bus";
+  link.family = LinkFamily::kXbus;
+  link.electrical_bw = GBPerSecond(64.0);      // Fig. 2.
+  link.seq_bw = GiBPerSecond(32.0);            // Fig. 3a.
+  link.duplex_bw = GiBPerSecond(56.0);
+  link.random_access_rate = 1.1 * kGiB / 4.0;  // Fig. 3a.
+  link.hop_latency_s = Nanoseconds(143.0);     // 211 ns - 68 ns local.
+  link.header_bytes = 16.0;
+  link.max_payload_bytes = 128.0;
+  link.cache_coherent = true;
+  link.access_granularity_bytes = 128.0;
+  return link;
+}
+
+}  // namespace pump::hw

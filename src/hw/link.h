@@ -1,0 +1,91 @@
+#ifndef PUMP_HW_LINK_H_
+#define PUMP_HW_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pump::hw {
+
+/// Interconnect families modeled after the paper (Sec. 2.2 and Fig. 2).
+enum class LinkFamily : std::uint8_t {
+  kPcie3,     ///< PCI Express 3.0 x16 (tree topology, non-coherent).
+  kNvlink2,   ///< NVLink 2.0, 3 bundled links (mesh, cache-coherent).
+  kUpi,       ///< Intel Ultra Path Interconnect (CPU-CPU).
+  kXbus,      ///< IBM POWER9 X-Bus (CPU-CPU, coherent).
+};
+
+/// Returns the family name used in reports ("NVLink 2.0", "PCI-e 3.0", ...).
+const char* LinkFamilyToString(LinkFamily family);
+
+/// Performance and protocol properties of one interconnect link. Bandwidth
+/// figures are per direction; all links modeled here are full-duplex
+/// (Sec. 2.2.1/2.2.2).
+struct LinkSpec {
+  std::string name;
+  LinkFamily family = LinkFamily::kPcie3;
+
+  /// Electrical per-direction bandwidth in bytes/s (Fig. 2 annotations).
+  double electrical_bw = 0.0;
+
+  /// Achievable sequential-read bandwidth in bytes/s, as measured by the
+  /// paper with 4-byte reads over 1 GiB (Fig. 3a).
+  double seq_bw = 0.0;
+
+  /// Achievable bidirectional (read+write concurrently) bandwidth in
+  /// bytes/s, exercising both duplex directions (Fig. 1 "Measured").
+  double duplex_bw = 0.0;
+
+  /// Achievable random 4-byte access rate in accesses/s (derived from the
+  /// paper's random-access bandwidth in Fig. 3a: bytes/s divided by 4).
+  double random_access_rate = 0.0;
+
+  /// Latency this hop adds on top of the destination memory's latency, in
+  /// seconds. Calibrated so end-to-end path latency matches Fig. 3.
+  double hop_latency_s = 0.0;
+
+  /// Protocol packet header bytes (PCI-e: 20-26 B; NVLink: 16 B, Sec. 2.2).
+  double header_bytes = 0.0;
+  /// Maximum packet payload bytes (PCI-e: 512; NVLink: 256).
+  double max_payload_bytes = 0.0;
+
+  /// Whether the link provides system-wide cache-coherence and pageable
+  /// memory access (NVLink 2.0, X-Bus: yes; PCI-e 3.0: no).
+  bool cache_coherent = false;
+
+  /// Granularity of a remote random access in bytes (coherence traffic moves
+  /// whole cache lines; 128 B on the NVLink/POWER9 system, Sec. 2.2.2).
+  double access_granularity_bytes = 128.0;
+
+  /// Fraction of the electrical bandwidth usable for payload in a bulk
+  /// transfer, given the header overhead: payload / (payload + header).
+  double BulkEfficiency() const {
+    return max_payload_bytes / (max_payload_bytes + header_bytes);
+  }
+};
+
+/// PCI-e 3.0 x16: 16 GB/s electrical, 12 GiB/s measured sequential,
+/// 0.2 GiB/s random (4 B), adds ~720 ns (790 ns end-to-end minus 70 ns Xeon
+/// memory latency). Non-coherent; pull-based access requires pinned memory.
+LinkSpec Pcie3x16();
+
+/// NVLink 2.0, 3 bundled links: 75 GB/s electrical per direction, 63 GiB/s
+/// measured sequential, 0.7 G random accesses/s, adds ~366 ns (434 ns minus
+/// 68 ns POWER9 memory latency). Cache-coherent with pageable access.
+LinkSpec Nvlink2x3();
+
+/// NVLink 2.0 with a custom number of bundled links (1-3): DGX-style
+/// direct GPU-GPU meshes spend their six links across several peers, so
+/// each pairwise bundle is narrower than the CPU attachment.
+LinkSpec Nvlink2Bundle(int links);
+
+/// Intel UPI between Xeon sockets: 31 GiB/s sequential, 0.5 G accesses/s,
+/// adds ~51 ns (121 ns minus 70 ns local latency).
+LinkSpec Upi();
+
+/// IBM X-Bus between POWER9 sockets: 64 GB/s electrical, 32 GiB/s measured
+/// sequential, 0.275 G accesses/s, adds ~143 ns (211 ns minus 68 ns).
+LinkSpec Xbus();
+
+}  // namespace pump::hw
+
+#endif  // PUMP_HW_LINK_H_

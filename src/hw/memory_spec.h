@@ -1,0 +1,77 @@
+#ifndef PUMP_HW_MEMORY_SPEC_H_
+#define PUMP_HW_MEMORY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pump::hw {
+
+/// Identifies a memory node. Every device owns exactly one local memory
+/// node, so memory node ids equal the owning device's id.
+using MemoryNodeId = int;
+
+/// Sentinel for "no memory node".
+inline constexpr MemoryNodeId kInvalidMemoryNode = -1;
+
+/// Performance properties of one memory node (a CPU socket's DRAM or a
+/// GPU's HBM2). Rates are aggregates, as measured by the paper's
+/// microbenchmarks (Fig. 3).
+struct MemorySpec {
+  std::string name;
+  /// Capacity in bytes.
+  std::uint64_t capacity_bytes = 0;
+  /// Electrical (theoretical) bandwidth in bytes/s: channels x channel
+  /// rate for DRAM, vendor figure for HBM2 (Fig. 1 "Theoretical").
+  double electrical_bw = 0.0;
+  /// Sequential read bandwidth in bytes/s (Fig. 3b/3c).
+  double seq_bw = 0.0;
+  /// Concurrent read+write bandwidth in bytes/s (Fig. 1 "Measured").
+  double duplex_bw = 0.0;
+  /// Random 4-byte access rate in accesses/s (random bandwidth / 4 B).
+  double random_access_rate = 0.0;
+  /// Access latency in seconds (Fig. 3b/3c).
+  double latency_s = 0.0;
+  /// Cache line / transaction granularity in bytes.
+  double line_bytes = 128.0;
+};
+
+/// Last-level cache properties. The GPU L2 is memory-side: it caches only
+/// local GPU memory and cannot cache remote data (Sec. 7.2.3, [101]).
+struct CacheSpec {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  double line_bytes = 128.0;
+  /// Random access rate into the cache on a hit, accesses/s.
+  double random_access_rate = 0.0;
+  /// Hit latency in seconds.
+  double latency_s = 0.0;
+  /// True if the cache sits on the memory side (GPU L2) and therefore only
+  /// caches the local memory node; false for CPU L3, which caches any
+  /// coherent address.
+  bool memory_side = false;
+};
+
+/// One POWER9 socket's DRAM: 8 channels DDR4-2666, 128 GiB (half of the
+/// AC922's 256 GB), 117 GiB/s sequential, 3.6 GiB/s random, 68 ns.
+MemorySpec Power9Memory();
+
+/// One Xeon socket's DRAM: 6 channels DDR4-2666, 768 GiB (half of 1.5 TB),
+/// 81 GiB/s sequential, 2.7 GiB/s random, 70 ns.
+MemorySpec XeonMemory();
+
+/// V100 HBM2: 16 GiB, 729 GiB/s sequential, 22.3 GiB/s random, 282 ns.
+MemorySpec V100Hbm2();
+
+/// V100 memory-side L2: 6 MiB, 128 B lines; random-access rate calibrated to
+/// the in-cache join throughput of workload B (Fig. 13: 19.08 G Tuples/s).
+CacheSpec V100L2();
+
+/// POWER9 socket L3: 120 MiB (10 MiB per core pair region).
+CacheSpec Power9L3();
+
+/// Xeon Gold 6126 L3: 19.25 MiB.
+CacheSpec XeonL3();
+
+}  // namespace pump::hw
+
+#endif  // PUMP_HW_MEMORY_SPEC_H_

@@ -1,0 +1,49 @@
+#ifndef PUMP_HW_SYSTEM_PROFILE_H_
+#define PUMP_HW_SYSTEM_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hw/topology.h"
+
+namespace pump::hw {
+
+/// A topology plus the OS- and driver-level parameters the transfer-method
+/// models need. Two profiles mirror the paper's testbeds (Sec. 7.1).
+struct SystemProfile {
+  std::string name;
+  Topology topology;
+
+  /// OS page size: 4 KiB on the Intel system, 64 KiB on the IBM system
+  /// (Sec. 4.2, [69]). Governs Unified Memory migration granularity and
+  /// Dynamic Pinning throughput.
+  std::uint64_t os_page_bytes = 4096;
+
+  /// Time to page-lock (pin) one OS page ad hoc, seconds. Roughly constant
+  /// per page across systems, so the 16x larger POWER9 pages make Dynamic
+  /// Pinning far faster there (Fig. 12: 2.36 vs 0.26 G Tuples/s).
+  double pin_page_latency_s = 1.0e-6;
+
+  /// Achievable Unified Memory prefetch bandwidth (bytes/s). Calibrated
+  /// from Fig. 12; the POWER9 driver path is noted by the paper as less
+  /// optimized than x86-64 (Sec. 7.2.1, footnote 1).
+  double um_prefetch_bw = 0.0;
+
+  /// Effective per-page cost of a demand-paging fault, including driver
+  /// batching, seconds (UM Migration method).
+  double um_page_fault_s = 0.0;
+
+  /// Number of CPU threads the Staged Copy method dedicates to staging
+  /// ("we fully utilize 4 CPU cores to stage the data", Sec. 7.2.1).
+  int staging_threads = 4;
+};
+
+/// IBM AC922 profile (Fig. 4a): POWER9 + V100-SXM2 over NVLink 2.0.
+SystemProfile Ac922Profile();
+
+/// Intel profile (Fig. 4b): Xeon Gold 6126 + V100-PCIE over PCI-e 3.0.
+SystemProfile XeonProfile();
+
+}  // namespace pump::hw
+
+#endif  // PUMP_HW_SYSTEM_PROFILE_H_

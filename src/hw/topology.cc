@@ -1,0 +1,171 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace pump::hw {
+
+DeviceId Topology::AddDevice(DeviceSpec device, MemorySpec memory,
+                             CacheSpec cache) {
+  devices_.push_back(std::move(device));
+  memories_.push_back(std::move(memory));
+  caches_.push_back(std::move(cache));
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+Status Topology::AddLink(DeviceId a, DeviceId b, LinkSpec link) {
+  const auto count = static_cast<DeviceId>(devices_.size());
+  if (a < 0 || a >= count || b < 0 || b >= count) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("link endpoints must differ");
+  }
+  edges_.push_back(Edge{a, b, std::move(link)});
+  return Status::OK();
+}
+
+std::vector<DeviceId> Topology::DevicesOfKind(DeviceKind kind) const {
+  std::vector<DeviceId> result;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].kind == kind) result.push_back(static_cast<DeviceId>(i));
+  }
+  return result;
+}
+
+Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
+  const auto count = static_cast<DeviceId>(devices_.size());
+  if (from < 0 || from >= count || to < 0 || to >= count) {
+    return Status::InvalidArgument("route endpoint out of range");
+  }
+  if (from == to) return Route{};
+
+  // BFS over devices; predecessor edge recorded for path reconstruction.
+  std::vector<std::size_t> pred_edge(devices_.size(), SIZE_MAX);
+  std::vector<bool> visited(devices_.size(), false);
+  std::deque<DeviceId> frontier{from};
+  visited[from] = true;
+  while (!frontier.empty()) {
+    const DeviceId current = frontier.front();
+    frontier.pop_front();
+    if (current == to) break;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const Edge& edge = edges_[e];
+      DeviceId next = kInvalidDevice;
+      if (edge.a == current) next = edge.b;
+      if (edge.b == current) next = edge.a;
+      if (next == kInvalidDevice || visited[next]) continue;
+      visited[next] = true;
+      pred_edge[next] = e;
+      frontier.push_back(next);
+    }
+  }
+  if (!visited[to]) {
+    return Status::NotFound("no interconnect path between devices");
+  }
+
+  Route route;
+  DeviceId current = to;
+  while (current != from) {
+    const std::size_t e = pred_edge[current];
+    route.edge_indices.push_back(e);
+    current = (edges_[e].a == current) ? edges_[e].b : edges_[e].a;
+  }
+  std::reverse(route.edge_indices.begin(), route.edge_indices.end());
+  return route;
+}
+
+Result<bool> Topology::IsCacheCoherentPath(DeviceId from,
+                                           MemoryNodeId to) const {
+  PUMP_ASSIGN_OR_RETURN(Route route, FindRoute(from, to));
+  for (std::size_t e : route.edge_indices) {
+    if (!edges_[e].link.cache_coherent) return false;
+  }
+  return true;
+}
+
+std::vector<MemoryNodeId> Topology::MemoryNodesByDistance(
+    DeviceId from, bool cpu_only) const {
+  std::vector<std::pair<std::size_t, MemoryNodeId>> candidates;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto id = static_cast<MemoryNodeId>(i);
+    if (cpu_only && devices_[i].kind != DeviceKind::kCpu) continue;
+    Result<Route> route = FindRoute(from, id);
+    if (!route.ok()) continue;
+    candidates.emplace_back(route.value().hops(), id);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& lhs, const auto& rhs) {
+                     return lhs.first < rhs.first;
+                   });
+  std::vector<MemoryNodeId> result;
+  result.reserve(candidates.size());
+  for (const auto& [hops, id] : candidates) result.push_back(id);
+  return result;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  os << "Topology with " << devices_.size() << " devices:\n";
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    os << "  [" << i << "] " << devices_[i].name << " ("
+       << DeviceKindToString(devices_[i].kind) << "), memory "
+       << memories_[i].name << " "
+       << memories_[i].capacity_bytes / kGiB << " GiB\n";
+  }
+  for (const Edge& edge : edges_) {
+    os << "  " << edge.a << " <-> " << edge.b << " via " << edge.link.name
+       << " (" << ToGiBPerSecond(edge.link.seq_bw) << " GiB/s seq)\n";
+  }
+  return os.str();
+}
+
+Topology IbmAc922() {
+  Topology topo;
+  const DeviceId cpu0 = topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  const DeviceId cpu1 = topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  const DeviceId gpu0 = topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+  const DeviceId gpu1 = topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+  // Fig. 4a: each GPU is attached to its socket with 3 bundled NVLink 2.0
+  // links; the sockets are joined by X-Bus.
+  (void)topo.AddLink(cpu0, gpu0, Nvlink2x3());
+  (void)topo.AddLink(cpu1, gpu1, Nvlink2x3());
+  (void)topo.AddLink(cpu0, cpu1, Xbus());
+  return topo;
+}
+
+Topology IntelXeonV100() {
+  Topology topo;
+  const DeviceId cpu0 =
+      topo.AddDevice(XeonGold6126(), XeonMemory(), XeonL3());
+  const DeviceId cpu1 =
+      topo.AddDevice(XeonGold6126(), XeonMemory(), XeonL3());
+  const DeviceId gpu0 = topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+  // Fig. 4b: the V100-PCIE hangs off socket 0; sockets joined by UPI.
+  (void)topo.AddLink(cpu0, gpu0, Pcie3x16());
+  (void)topo.AddLink(cpu0, cpu1, Upi());
+  return topo;
+}
+
+Topology DirectGpuMesh(int gpu_count) {
+  Topology topo;
+  const DeviceId cpu = topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  std::vector<DeviceId> gpus;
+  for (int g = 0; g < gpu_count; ++g) {
+    gpus.push_back(topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2()));
+  }
+  for (DeviceId gpu : gpus) {
+    (void)topo.AddLink(cpu, gpu, Nvlink2Bundle(2));
+  }
+  for (std::size_t a = 0; a < gpus.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpus.size(); ++b) {
+      (void)topo.AddLink(gpus[a], gpus[b], Nvlink2Bundle(1));
+    }
+  }
+  return topo;
+}
+
+}  // namespace pump::hw

@@ -1,0 +1,108 @@
+#ifndef PUMP_HW_TOPOLOGY_H_
+#define PUMP_HW_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/device.h"
+#include "hw/link.h"
+#include "hw/memory_spec.h"
+
+namespace pump::hw {
+
+/// One endpoint-to-endpoint interconnect edge in the topology.
+struct Edge {
+  DeviceId a = kInvalidDevice;
+  DeviceId b = kInvalidDevice;
+  LinkSpec link;
+};
+
+/// A routed path from a device to a memory node: the sequence of edges
+/// traversed. Empty for local memory.
+struct Route {
+  std::vector<std::size_t> edge_indices;
+  /// Number of interconnect hops (paper Figs. 13/14 sweep 0-3 hops).
+  std::size_t hops() const { return edge_indices.size(); }
+};
+
+/// The processor/memory/interconnect graph of one evaluation system
+/// (paper Fig. 4). Devices are nodes; every device owns one local memory
+/// node with the same id; edges are interconnect links.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a device together with its local memory node and last-level
+  /// cache. Returns the new device id (== its memory node id).
+  DeviceId AddDevice(DeviceSpec device, MemorySpec memory, CacheSpec cache);
+
+  /// Connects two devices with a link. Links are full-duplex and symmetric.
+  Status AddLink(DeviceId a, DeviceId b, LinkSpec link);
+
+  /// Number of devices.
+  std::size_t device_count() const { return devices_.size(); }
+  /// Device spec by id.
+  const DeviceSpec& device(DeviceId id) const { return devices_[id]; }
+  /// Local memory node of a device.
+  const MemorySpec& memory(MemoryNodeId id) const { return memories_[id]; }
+  /// Last-level cache of a device.
+  const CacheSpec& cache(DeviceId id) const { return caches_[id]; }
+  /// All edges.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Ids of all devices of the given kind, in insertion order.
+  std::vector<DeviceId> DevicesOfKind(DeviceKind kind) const;
+
+  /// Computes the minimum-hop route from `from` to the memory node `to`
+  /// (BFS; deterministic tie-break by edge insertion order). Returns an
+  /// error when no path exists.
+  Result<Route> FindRoute(DeviceId from, MemoryNodeId to) const;
+
+  /// True iff every link on the route from `from` to `to` is
+  /// cache-coherent, i.e. the device can directly access pageable memory at
+  /// `to` (required by the Coherence transfer method, Sec. 4.2).
+  Result<bool> IsCacheCoherentPath(DeviceId from, MemoryNodeId to) const;
+
+  /// Memory nodes ordered by hop distance from `from` (nearest first),
+  /// restricted to CPU-owned nodes when `cpu_only` is set. This is the
+  /// spill order of the hybrid hash table allocator (Sec. 5.3, Fig. 8).
+  std::vector<MemoryNodeId> MemoryNodesByDistance(DeviceId from,
+                                                  bool cpu_only) const;
+
+  /// Human-readable dump of devices and links (used by examples).
+  std::string ToString() const;
+
+ private:
+  std::vector<DeviceSpec> devices_;
+  std::vector<MemorySpec> memories_;
+  std::vector<CacheSpec> caches_;
+  std::vector<Edge> edges_;
+};
+
+/// Builds the IBM AC922 system of Fig. 4a: two POWER9 sockets joined by
+/// X-Bus, each with one V100-SXM2 attached by 3 bundled NVLink 2.0 links.
+/// Device ids: 0 = CPU0, 1 = CPU1, 2 = GPU0, 3 = GPU1.
+Topology IbmAc922();
+
+/// Builds the Intel system of Fig. 4b: two Xeon Gold 6126 sockets joined by
+/// UPI, with one V100-PCIE attached to socket 0 by PCI-e 3.0 x16.
+/// Device ids: 0 = CPU0, 1 = CPU1, 2 = GPU0.
+Topology IntelXeonV100();
+
+/// Builds a DGX-style topology (what the multi-GPU strategy of Sec. 6.3
+/// assumes): one POWER9 host socket and `gpu_count` V100s, the GPUs fully
+/// meshed with direct 1-link NVLink bundles and each attached to the host
+/// by a 2-link bundle. Device 0 = CPU, devices 1..gpu_count = GPUs.
+Topology DirectGpuMesh(int gpu_count);
+
+/// Well-known device ids in the canned systems above.
+inline constexpr DeviceId kCpu0 = 0;
+inline constexpr DeviceId kCpu1 = 1;
+inline constexpr DeviceId kGpu0 = 2;
+inline constexpr DeviceId kGpu1 = 3;
+
+}  // namespace pump::hw
+
+#endif  // PUMP_HW_TOPOLOGY_H_

@@ -1,0 +1,137 @@
+#ifndef PUMP_INDEX_BTREE_H_
+#define PUMP_INDEX_BTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pump::index {
+
+/// A bulk-loaded, read-optimized B+-tree with an implicit array layout
+/// (every level is one contiguous array, nodes are fixed-width key
+/// groups). This is the "other" out-of-core GPU index the paper's related
+/// work surveys (B-trees [7, 46, 87, 98], Sec. 9); the bench
+/// `ext_btree_vs_hash` contrasts its multi-hop lookups with the
+/// single-access perfect hash table when the index spills over a fast
+/// interconnect.
+///
+/// The contiguous per-level arrays make placement modelling natural: the
+/// top levels are tiny and cache/GPU-resident, the leaves dominate the
+/// footprint — the tree analogue of the hybrid hash table's split.
+template <typename K, typename V>
+class BPlusTree {
+ public:
+  /// Keys per node; 16 keys x 8 B = one 128-byte cache line per node.
+  static constexpr std::size_t kNodeKeys = 16;
+
+  /// Bulk-loads from parallel key/value arrays. Keys must be strictly
+  /// ascending (the caller sorts; dense join keys already are).
+  static Result<BPlusTree> BulkLoad(std::vector<K> keys,
+                                    std::vector<V> values) {
+    if (keys.size() != values.size()) {
+      return Status::InvalidArgument("key/value length mismatch");
+    }
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i - 1] >= keys[i]) {
+        return Status::InvalidArgument(
+            "bulk load requires strictly ascending keys");
+      }
+    }
+    BPlusTree tree;
+    tree.leaf_keys_ = std::move(keys);
+    tree.leaf_values_ = std::move(values);
+
+    // Build inner levels bottom-up: every level stores the first key of
+    // each child node of the level below.
+    std::size_t level_size =
+        (tree.leaf_keys_.size() + kNodeKeys - 1) / kNodeKeys;
+    const std::vector<K>* child_keys = &tree.leaf_keys_;
+    std::size_t child_stride = kNodeKeys;
+    while (level_size > 1) {
+      std::vector<K> level(level_size);
+      for (std::size_t i = 0; i < level_size; ++i) {
+        level[i] = (*child_keys)[std::min(i * child_stride,
+                                          child_keys->size() - 1)];
+      }
+      tree.inner_levels_.push_back(std::move(level));
+      child_keys = &tree.inner_levels_.back();
+      child_stride = kNodeKeys;
+      level_size = (level_size + kNodeKeys - 1) / kNodeKeys;
+    }
+    // Levels were built bottom-up; lookups descend top-down.
+    std::reverse(tree.inner_levels_.begin(), tree.inner_levels_.end());
+    return tree;
+  }
+
+  /// Point lookup; true and *value set on a hit.
+  bool Lookup(K key, V* value) const {
+    if (leaf_keys_.empty()) return false;
+    // Descend the inner levels: at each level, refine the child range.
+    std::size_t node = 0;  // Node index within the current level.
+    for (const std::vector<K>& level : inner_levels_) {
+      const std::size_t begin = node * kNodeKeys;
+      const std::size_t end = std::min(begin + kNodeKeys, level.size());
+      // Last separator <= key within this node.
+      std::size_t child = begin;
+      for (std::size_t i = begin; i < end && level[i] <= key; ++i) {
+        child = i;
+      }
+      node = child;
+    }
+    // Leaf node scan.
+    const std::size_t begin = node * kNodeKeys;
+    const std::size_t end = std::min(begin + kNodeKeys, leaf_keys_.size());
+    const auto it = std::lower_bound(leaf_keys_.begin() + begin,
+                                     leaf_keys_.begin() + end, key);
+    if (it == leaf_keys_.begin() + end || *it != key) return false;
+    *value = leaf_values_[it - leaf_keys_.begin()];
+    return true;
+  }
+
+  /// Inclusive range aggregation: count and value sum over
+  /// [lo, hi] (the range-scan capability hash tables lack).
+  void RangeSum(K lo, K hi, std::uint64_t* count, std::int64_t* sum) const {
+    *count = 0;
+    *sum = 0;
+    auto it = std::lower_bound(leaf_keys_.begin(), leaf_keys_.end(), lo);
+    for (; it != leaf_keys_.end() && *it <= hi; ++it) {
+      ++*count;
+      *sum += static_cast<std::int64_t>(
+          leaf_values_[it - leaf_keys_.begin()]);
+    }
+  }
+
+  /// Number of keys.
+  std::size_t size() const { return leaf_keys_.size(); }
+  /// Inner levels above the leaves (lookup touches depth() + 1 nodes).
+  std::size_t depth() const { return inner_levels_.size(); }
+  /// Total bytes: leaves plus inner separators.
+  std::uint64_t bytes() const {
+    std::uint64_t total = leaf_keys_.size() * (sizeof(K) + sizeof(V));
+    for (const auto& level : inner_levels_) {
+      total += level.size() * sizeof(K);
+    }
+    return total;
+  }
+  /// Bytes of the inner levels only (the "hot" part that fits caches or
+  /// GPU memory when the leaves spill).
+  std::uint64_t inner_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& level : inner_levels_) {
+      total += level.size() * sizeof(K);
+    }
+    return total;
+  }
+
+ private:
+  BPlusTree() = default;
+  std::vector<std::vector<K>> inner_levels_;  // Top-down.
+  std::vector<K> leaf_keys_;
+  std::vector<V> leaf_values_;
+};
+
+}  // namespace pump::index
+
+#endif  // PUMP_INDEX_BTREE_H_

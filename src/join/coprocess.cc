@@ -1,0 +1,267 @@
+#include "join/coprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/access_path.h"
+#include "sim/cache_model.h"
+#include "sim/overlap.h"
+
+namespace pump::join {
+
+namespace {
+
+// Probe tuple rate of a device limited by data ingest alone.
+double IngestTupleRate(double ingest_bw, const data::WorkloadSpec& w) {
+  return ingest_bw / static_cast<double>(w.tuple_bytes());
+}
+
+}  // namespace
+
+const char* StrategyName(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kCpuOnly:
+      return "CPU (NOPA)";
+    case ExecutionStrategy::kHet:
+      return "Het";
+    case ExecutionStrategy::kGpuHet:
+      return "GPU + Het";
+    case ExecutionStrategy::kGpuOnly:
+      return "GPU";
+    case ExecutionStrategy::kMultiGpu:
+      return "Multi-GPU";
+  }
+  return "Unknown";
+}
+
+CoProcessModel::CoProcessModel(const hw::SystemProfile* profile)
+    : profile_(profile), nopa_(profile) {}
+
+HashTablePlacement CoProcessModel::PlacementFor(
+    ExecutionStrategy strategy, const CoProcessConfig& config,
+    const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  switch (strategy) {
+    case ExecutionStrategy::kCpuOnly:
+    case ExecutionStrategy::kHet:
+      // Shared table in CPU memory: never slow the CPU down with remote
+      // GPU-memory accesses (Sec. 6.2).
+      return HashTablePlacement::Single(config.data_location);
+    case ExecutionStrategy::kGpuHet:
+      // Each processor probes its local copy; model the GPU's view here.
+      return HashTablePlacement::Single(config.gpu);
+    case ExecutionStrategy::kGpuOnly: {
+      const std::uint64_t capacity =
+          topo.memory(config.gpu).capacity_bytes;
+      const std::uint64_t usable =
+          capacity > config.gpu_reserve_bytes
+              ? capacity - config.gpu_reserve_bytes
+              : 0;
+      if (workload.hash_table_bytes() <= usable) {
+        return HashTablePlacement::Single(config.gpu);
+      }
+      const double gpu_fraction =
+          static_cast<double>(usable) /
+          static_cast<double>(workload.hash_table_bytes());
+      return HashTablePlacement::Hybrid(config.gpu, config.data_location,
+                                        gpu_fraction);
+    }
+    case ExecutionStrategy::kMultiGpu: {
+      // Pages interleaved round-robin over all GPUs (Sec. 6.3).
+      HashTablePlacement placement;
+      std::vector<hw::DeviceId> gpus = {config.gpu};
+      gpus.insert(gpus.end(), config.extra_gpus.begin(),
+                  config.extra_gpus.end());
+      const double share = 1.0 / static_cast<double>(gpus.size());
+      for (hw::DeviceId gpu : gpus) {
+        placement.parts.push_back(HashTablePlacement::Part{gpu, share});
+      }
+      return placement;
+    }
+  }
+  return HashTablePlacement::Single(config.data_location);
+}
+
+double CoProcessModel::DeviceProbeRate(
+    hw::DeviceId device, const HashTablePlacement& placement,
+    const CoProcessConfig& config, const data::WorkloadSpec& workload) const {
+  NopaConfig nopa_config;
+  nopa_config.device = device;
+  nopa_config.r_location = config.data_location;
+  nopa_config.s_location = config.data_location;
+  nopa_config.hash_table = placement;
+  nopa_config.method = config.method;
+  nopa_config.relation_memory = config.relation_memory;
+
+  const double ht_rate =
+      nopa_.HashTableAccessRate(device, placement, workload);
+  Result<double> ingest =
+      nopa_.IngestBandwidth(nopa_config, config.data_location);
+  const double ingest_rate =
+      ingest.ok() ? IngestTupleRate(ingest.value(), workload) : 0.0;
+  if (ingest_rate <= 0.0) return 0.0;
+
+  const bool is_gpu =
+      profile_->topology.device(device).kind == hw::DeviceKind::kGpu;
+  const double p = is_gpu ? sim::kGpuOverlapExponent
+                          : sim::kCpuOverlapExponent;
+  // Per-tuple time of the overlapped stream + lookup, inverted to a rate.
+  const double per_tuple =
+      sim::OverlapTime({1.0 / ingest_rate, 1.0 / ht_rate}, p);
+  return 1.0 / per_tuple;
+}
+
+double CoProcessModel::MemoryContentionScale(
+    const std::vector<ProbeShare>& shares, const CoProcessConfig& config,
+    const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::MemorySpec& data_mem = topo.memory(config.data_location);
+  double demand = 0.0;  // bytes/s at the data node
+  for (const ProbeShare& share : shares) {
+    // Streaming the base relation.
+    double bytes_per_tuple = static_cast<double>(workload.tuple_bytes());
+    // Hash-table lines served by the data node's DRAM: only cache-missing
+    // accesses reach memory. Local CPU probes move a full line;
+    // interconnect reads move the link's access granule.
+    for (const HashTablePlacement::Part& part : share.placement.parts) {
+      if (part.node != config.data_location) continue;
+      const sim::AccessPath path =
+          sim::MustResolve(topo, share.device, part.node);
+      const double miss =
+          1.0 - nopa_.CacheHitRate(share.device, part, workload);
+      bytes_per_tuple += part.fraction * miss * path.granularity_bytes;
+    }
+    demand += share.rate * bytes_per_tuple;
+  }
+  if (demand <= data_mem.seq_bw) return 1.0;
+  return data_mem.seq_bw / demand;
+}
+
+Result<JoinTiming> CoProcessModel::Estimate(
+    ExecutionStrategy strategy, const CoProcessConfig& config,
+    const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const double r_tuples = static_cast<double>(workload.r_tuples);
+  const double s_tuples = static_cast<double>(workload.s_tuples);
+
+  // Single-device strategies delegate to the NOPA model directly.
+  if (strategy == ExecutionStrategy::kCpuOnly ||
+      strategy == ExecutionStrategy::kGpuOnly) {
+    NopaConfig nopa_config;
+    nopa_config.device = strategy == ExecutionStrategy::kCpuOnly
+                             ? config.cpu
+                             : config.gpu;
+    nopa_config.r_location = config.data_location;
+    nopa_config.s_location = config.data_location;
+    nopa_config.hash_table = PlacementFor(strategy, config, workload);
+    nopa_config.method = config.method;
+    nopa_config.relation_memory = config.relation_memory;
+    return nopa_.Estimate(nopa_config, workload);
+  }
+
+  if (strategy == ExecutionStrategy::kMultiGpu) {
+    // Every GPU probes the interleaved table; S is split evenly and each
+    // GPU streams its share over its own links.
+    std::vector<hw::DeviceId> gpus = {config.gpu};
+    gpus.insert(gpus.end(), config.extra_gpus.begin(),
+                config.extra_gpus.end());
+    const HashTablePlacement placement =
+        PlacementFor(strategy, config, workload);
+    double combined = 0.0;
+    for (hw::DeviceId gpu : gpus) {
+      combined += DeviceProbeRate(gpu, placement, config, workload);
+    }
+    JoinTiming timing;
+    // One GPU builds its local share; builds proceed in parallel.
+    const double build_rate = std::max(combined, 1.0);
+    timing.build_s = r_tuples / build_rate;
+    timing.probe_s = s_tuples / combined;
+    return timing;
+  }
+
+  // Heterogeneous strategies: Het and GPU+Het.
+  JoinTiming timing;
+  if (strategy == ExecutionStrategy::kHet) {
+    const HashTablePlacement shared =
+        PlacementFor(strategy, config, workload);
+    // Build: both devices insert into the shared table; contention keeps
+    // the combined rate near a single device's (Fig. 21b).
+    const double cpu_ins = nopa_.InsertRate(config.cpu, shared, workload);
+    const double gpu_ins = nopa_.InsertRate(config.gpu, shared, workload);
+    const double build_rate = (cpu_ins + gpu_ins) * kSharedBuildEfficiency;
+    timing.build_s = r_tuples / build_rate;
+
+    // Probe: morsel-dispatched shares at each device's rate.
+    const double cpu_rate =
+        DeviceProbeRate(config.cpu, shared, config, workload);
+    const double gpu_rate =
+        DeviceProbeRate(config.gpu, shared, config, workload);
+    const double scale = MemoryContentionScale(
+        {{config.cpu, cpu_rate, shared}, {config.gpu, gpu_rate, shared}},
+        config, workload);
+    timing.probe_s =
+        s_tuples / ((cpu_rate + gpu_rate) * scale * kHetProbeEfficiency);
+    return timing;
+  }
+
+  // GPU + Het (Fig. 9b): build on the GPU, broadcast, probe everywhere on
+  // local copies.
+  const HashTablePlacement gpu_local = HashTablePlacement::Single(config.gpu);
+  const double gpu_ins = nopa_.InsertRate(config.gpu, gpu_local, workload);
+  timing.build_s = r_tuples / gpu_ins;
+
+  // Synchronous table broadcast to CPU memory.
+  const sim::AccessPath link =
+      sim::MustResolve(topo, config.gpu, config.data_location);
+  timing.extra_s = static_cast<double>(workload.hash_table_bytes()) /
+                   (link.seq_bw * kBroadcastEfficiency);
+
+  const HashTablePlacement cpu_local =
+      HashTablePlacement::Single(config.data_location);
+  const double gpu_rate =
+      DeviceProbeRate(config.gpu, gpu_local, config, workload);
+  const double cpu_rate =
+      DeviceProbeRate(config.cpu, cpu_local, config, workload);
+  const double scale = MemoryContentionScale(
+      {{config.cpu, cpu_rate, cpu_local}, {config.gpu, gpu_rate, gpu_local}},
+      config, workload);
+  timing.probe_s =
+      s_tuples / ((cpu_rate + gpu_rate) * scale * kHetProbeEfficiency);
+  return timing;
+}
+
+ExecutionStrategy CoProcessModel::Decide(
+    const CoProcessConfig& config, const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  // Fig. 11 decision tree.
+  const hw::CacheSpec& cpu_llc = topo.cache(config.cpu);
+  if (workload.hash_table_bytes() <= cpu_llc.capacity_bytes) {
+    // Hash table fits the CPU cache: per-processor local copies win.
+    return ExecutionStrategy::kGpuHet;
+  }
+  const std::uint64_t gpu_capacity =
+      topo.memory(config.gpu).capacity_bytes;
+  const std::uint64_t usable =
+      gpu_capacity > config.gpu_reserve_bytes
+          ? gpu_capacity - config.gpu_reserve_bytes
+          : 0;
+  if (workload.hash_table_bytes() > usable) {
+    // Large hash table: GPU with the hybrid table, or Het when the CPU is
+    // fast; the model compares both.
+    Result<JoinTiming> het =
+        Estimate(ExecutionStrategy::kHet, config, workload);
+    Result<JoinTiming> gpu =
+        Estimate(ExecutionStrategy::kGpuOnly, config, workload);
+    if (het.ok() && gpu.ok() &&
+        het.value().total_s() < gpu.value().total_s()) {
+      return ExecutionStrategy::kHet;
+    }
+    return ExecutionStrategy::kGpuOnly;
+  }
+  // In-GPU table, large probe side: GPU-only keeps the full NVLink
+  // bandwidth for the probe stream.
+  return ExecutionStrategy::kGpuOnly;
+}
+
+}  // namespace pump::join

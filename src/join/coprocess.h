@@ -1,0 +1,111 @@
+#ifndef PUMP_JOIN_COPROCESS_H_
+#define PUMP_JOIN_COPROCESS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+
+namespace pump::join {
+
+/// The execution strategies of Sec. 6 / Fig. 21.
+enum class ExecutionStrategy : std::uint8_t {
+  kCpuOnly,   ///< NOPA on one CPU socket.
+  kHet,       ///< CPU+GPU share one hash table in CPU memory (Fig. 9a).
+  kGpuHet,    ///< Build on GPU, broadcast table, probe on both (Fig. 9b).
+  kGpuOnly,   ///< NOPA on the GPU (hybrid table if R exceeds GPU memory).
+  kMultiGpu,  ///< Hash table interleaved over all GPUs (Sec. 6.3).
+};
+
+/// Display name ("CPU (NOPA)", "Het", "GPU + Het", "GPU", "Multi-GPU").
+const char* StrategyName(ExecutionStrategy strategy);
+
+/// Configuration shared by the co-processing strategies.
+struct CoProcessConfig {
+  hw::DeviceId cpu = hw::kInvalidDevice;
+  hw::DeviceId gpu = hw::kInvalidDevice;
+  /// Additional GPUs for kMultiGpu.
+  std::vector<hw::DeviceId> extra_gpus;
+  /// Where the base relations live (CPU memory in all Fig. 21 runs).
+  hw::MemoryNodeId data_location = hw::kInvalidMemoryNode;
+  transfer::TransferMethod method = transfer::TransferMethod::kCoherence;
+  memory::MemoryKind relation_memory = memory::MemoryKind::kPageable;
+  /// GPU memory reserved for non-hash-table state when deciding whether
+  /// the table fits (Fig. 11 "large hash table?" branch).
+  std::uint64_t gpu_reserve_bytes = 1ull << 30;
+};
+
+/// Fraction of the naive insert-rate sum that concurrent inserts into a
+/// shared hash table retain: CAS contention and coherence-line ping-pong
+/// between CPU and GPU make the Het build barely faster (often slower)
+/// than a single processor. Calibrated against Fig. 21b's build times
+/// (Het 2.15 s vs CPU-only 2.12 s on scaled workload C).
+inline constexpr double kSharedBuildEfficiency = 0.35;
+
+/// Scheduling efficiency of heterogeneous probe execution: morsel-batch
+/// tails and dispatch latency keep the combined rate below the sum of the
+/// per-device rates (Sec. 6.1).
+inline constexpr double kHetProbeEfficiency = 0.75;
+
+/// Synchronous broadcast of the built table (GPU+Het, step 2 of Fig. 9b)
+/// achieves roughly half the link bandwidth (it is not pipelined).
+inline constexpr double kBroadcastEfficiency = 0.5;
+
+/// Analytic model of cooperative CPU+GPU join execution (Sec. 6). Combines
+/// per-device NOPA rates with scheduling efficiency and a CPU-memory
+/// bandwidth contention cap.
+class CoProcessModel {
+ public:
+  explicit CoProcessModel(const hw::SystemProfile* profile);
+
+  /// Estimates `workload` under `strategy`.
+  Result<JoinTiming> Estimate(ExecutionStrategy strategy,
+                              const CoProcessConfig& config,
+                              const data::WorkloadSpec& workload) const;
+
+  /// The hash-table placement the decision tree of Fig. 11 selects for the
+  /// GPU-involving strategies.
+  HashTablePlacement PlacementFor(ExecutionStrategy strategy,
+                                  const CoProcessConfig& config,
+                                  const data::WorkloadSpec& workload) const;
+
+  /// Recommends a strategy per the decision tree of Fig. 11: cache-resident
+  /// tables favour GPU+Het, large tables the hybrid-table GPU strategy or
+  /// Het, large probe sides the GPU.
+  ExecutionStrategy Decide(const CoProcessConfig& config,
+                           const data::WorkloadSpec& workload) const;
+
+ private:
+  /// Steady probe rate (tuples/s) of one device given table placement,
+  /// combining ingest and hash-table access bottlenecks.
+  double DeviceProbeRate(hw::DeviceId device,
+                         const HashTablePlacement& placement,
+                         const CoProcessConfig& config,
+                         const data::WorkloadSpec& workload) const;
+
+  /// One probing device's contribution to the contention computation: its
+  /// steady rate and the hash-table placement it probes.
+  struct ProbeShare {
+    hw::DeviceId device = hw::kInvalidDevice;
+    double rate = 0.0;
+    HashTablePlacement placement;
+  };
+
+  /// Scales a combined rate down when the devices' aggregate traffic at
+  /// the data node (streams plus cache-missing hash-table lines) exceeds
+  /// its memory bandwidth.
+  double MemoryContentionScale(const std::vector<ProbeShare>& shares,
+                               const CoProcessConfig& config,
+                               const data::WorkloadSpec& workload) const;
+
+  const hw::SystemProfile* profile_;
+  NopaJoinModel nopa_;
+};
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_COPROCESS_H_

@@ -1,0 +1,294 @@
+#include "join/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/access_path.h"
+#include "sim/cache_model.h"
+#include "sim/overlap.h"
+
+namespace pump::join {
+
+namespace {
+
+// Probe-cost normalization for the selectivity model (Sec. 7.2.9): the
+// paper's rates are measured at selectivity 1, where every probe loads the
+// key line and the value line. At lower selectivity the value line is only
+// loaded when one of the value-line's entries matches; with uniform
+// matches the load probability is 1 - (1-sel)^(values per line).
+double SelectivityAccessMultiplier(const data::WorkloadSpec& workload,
+                                   double line_bytes) {
+  const double values_per_line =
+      std::max(1.0, line_bytes / static_cast<double>(workload.payload_bytes));
+  const double p_value_line =
+      1.0 - std::pow(1.0 - workload.selectivity, values_per_line);
+  return (1.0 + p_value_line) / 2.0;
+}
+
+// TLB derating (see DeviceSpec::tlb_reach_bytes).
+double TlbDerate(const hw::DeviceSpec& device, double region_bytes,
+                 double rate) {
+  if (device.tlb_reach_bytes <= 0.0 || region_bytes <= device.tlb_reach_bytes)
+    return rate;
+  const double miss_fraction =
+      (region_bytes - device.tlb_reach_bytes) / region_bytes;
+  return rate / (1.0 + device.tlb_miss_penalty * miss_fraction);
+}
+
+// GPU hash-table inserts are capped by the device's atomic-CAS
+// throughput: the CAS serializes on the slot line and the value store
+// doubles the write traffic. Calibrated against Fig. 18 (the build phase
+// takes 71% of a 1:1 join even though lookups run at ~4.5 G/s) and
+// Fig. 21b (memory-bound builds insert at the lookup rate).
+constexpr double kGpuAtomicInsertRate = 2.2e9;
+
+}  // namespace
+
+HashTablePlacement HashTablePlacement::Single(hw::MemoryNodeId node) {
+  HashTablePlacement placement;
+  placement.parts.push_back(Part{node, 1.0});
+  return placement;
+}
+
+HashTablePlacement HashTablePlacement::Hybrid(hw::MemoryNodeId gpu_node,
+                                              hw::MemoryNodeId cpu_node,
+                                              double gpu_fraction) {
+  gpu_fraction = std::clamp(gpu_fraction, 0.0, 1.0);
+  HashTablePlacement placement;
+  if (gpu_fraction > 0.0) {
+    placement.parts.push_back(Part{gpu_node, gpu_fraction});
+  }
+  if (gpu_fraction < 1.0) {
+    placement.parts.push_back(Part{cpu_node, 1.0 - gpu_fraction});
+  }
+  return placement;
+}
+
+HashTablePlacement HashTablePlacement::FromBuffer(
+    const memory::Buffer& buffer) {
+  HashTablePlacement placement;
+  const double total = static_cast<double>(buffer.size());
+  for (const memory::Extent& extent : buffer.extents()) {
+    placement.parts.push_back(
+        Part{extent.node, static_cast<double>(extent.bytes) / total});
+  }
+  return placement;
+}
+
+HashTablePlacement HashTablePlacement::SkewAware(hw::MemoryNodeId gpu_node,
+                                                 hw::MemoryNodeId cpu_node,
+                                                 double byte_fraction,
+                                                 std::uint64_t r_tuples,
+                                                 double zipf_exponent) {
+  byte_fraction = std::clamp(byte_fraction, 0.0, 1.0);
+  const auto hot_entries = static_cast<std::uint64_t>(
+      byte_fraction * static_cast<double>(r_tuples));
+  const double gpu_access_share =
+      sim::ZipfHitRate(r_tuples, hot_entries, zipf_exponent);
+  return Hybrid(gpu_node, cpu_node, gpu_access_share);
+}
+
+NopaJoinModel::NopaJoinModel(const hw::SystemProfile* profile)
+    : profile_(profile), transfer_model_(profile) {}
+
+// The cache serving `device`'s accesses to a table part: the device's LLC
+// for local parts (or any part, for CPUs, whose LLC caches all coherent
+// addresses); the GPU's per-SM L1 for remote parts (the memory-side L2
+// cannot cache remote data, Sec. 7.2.3). Returns {rate, entries}; rate 0
+// means no cache applies.
+NopaJoinModel::CacheView NopaJoinModel::CacheFor(
+    hw::DeviceId device, const HashTablePlacement::Part& part,
+    const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::DeviceSpec& dev = topo.device(device);
+  const hw::CacheSpec& llc = topo.cache(device);
+  const double entry_bytes = static_cast<double>(workload.tuple_bytes());
+  const bool local = part.node == device;
+  if (local || !llc.memory_side) {
+    return {llc.random_access_rate,
+            static_cast<double>(llc.capacity_bytes) / entry_bytes};
+  }
+  if (dev.remote_cache_bytes > 0.0) {
+    return {dev.remote_cache_rate, dev.remote_cache_bytes / entry_bytes};
+  }
+  return {0.0, 0.0};
+}
+
+double NopaJoinModel::CacheHitRate(hw::DeviceId device,
+                                   const HashTablePlacement::Part& part,
+                                   const data::WorkloadSpec& workload) const {
+  const CacheView cache = CacheFor(device, part, workload);
+  if (cache.rate <= 0.0) return 0.0;
+  return sim::ZipfHitRate(workload.r_tuples,
+                          static_cast<std::uint64_t>(cache.entries),
+                          workload.zipf_exponent);
+}
+
+double NopaJoinModel::PartAccessRate(hw::DeviceId device,
+                                     const HashTablePlacement::Part& part,
+                                     const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::DeviceSpec& dev = topo.device(device);
+  const sim::AccessPath path = sim::MustResolve(topo, device, part.node);
+  const double part_bytes =
+      static_cast<double>(workload.hash_table_bytes()) * part.fraction;
+
+  double memory_rate = path.dependent_access_rate;
+  if (part.node == device) {
+    memory_rate = TlbDerate(dev, part_bytes, memory_rate);
+  }
+
+  const CacheView cache = CacheFor(device, part, workload);
+  if (cache.rate <= 0.0) return memory_rate;
+  const double hit = sim::ZipfHitRate(
+      workload.r_tuples, static_cast<std::uint64_t>(cache.entries),
+      workload.zipf_exponent);
+  return sim::BlendedAccessRate(hit, cache.rate, memory_rate);
+}
+
+double NopaJoinModel::InsertRate(hw::DeviceId device,
+                                 const HashTablePlacement& placement,
+                                 const data::WorkloadSpec& workload) const {
+  const double rate = HashTableAccessRate(device, placement, workload);
+  const bool is_gpu =
+      profile_->topology.device(device).kind == hw::DeviceKind::kGpu;
+  return is_gpu ? std::min(rate, kGpuAtomicInsertRate) : rate;
+}
+
+double NopaJoinModel::HashTableAccessRate(
+    hw::DeviceId device, const HashTablePlacement& placement,
+    const data::WorkloadSpec& workload) const {
+  // Harmonic combination over the table parts, weighted by the expected
+  // access fraction (A_GPU model of Sec. 5.3).
+  double inverse = 0.0;
+  for (const HashTablePlacement::Part& part : placement.parts) {
+    const double rate = PartAccessRate(device, part, workload);
+    inverse += part.fraction / rate;
+  }
+  const double memory_side_rate = 1.0 / inverse;
+  // Hashing and comparison partially serialize with the memory access:
+  // harmonic (back-to-back) combination of the two rates.
+  const double compute = profile_->topology.device(device).tuple_compute_rate;
+  return memory_side_rate * compute / (memory_side_rate + compute);
+}
+
+Result<double> NopaJoinModel::IngestBandwidth(
+    const NopaConfig& config, hw::MemoryNodeId location) const {
+  const hw::Topology& topo = profile_->topology;
+  if (location == config.device) {
+    // Data is device-local; no transfer method involved.
+    return sim::MustResolve(topo, config.device, location).seq_bw;
+  }
+  if (topo.device(config.device).kind == hw::DeviceKind::kCpu) {
+    // CPUs pull over their coherent interconnect.
+    return sim::MustResolve(topo, config.device, location).seq_bw;
+  }
+  PUMP_RETURN_NOT_OK(transfer_model_.Validate(
+      config.method, config.device, location, config.relation_memory));
+  return transfer_model_.IngestBandwidth(config.method, config.device,
+                                         location);
+}
+
+Result<JoinTiming> NopaJoinModel::Estimate(
+    const NopaConfig& config, const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::DeviceSpec& dev = topo.device(config.device);
+  const bool is_gpu = dev.kind == hw::DeviceKind::kGpu;
+  const double overlap_p =
+      is_gpu ? sim::kGpuOverlapExponent : sim::kCpuOverlapExponent;
+
+  PUMP_ASSIGN_OR_RETURN(double r_ingest,
+                        IngestBandwidth(config, config.r_location));
+  PUMP_ASSIGN_OR_RETURN(double s_ingest,
+                        IngestBandwidth(config, config.s_location));
+
+  const double ht_rate =
+      HashTableAccessRate(config.device, config.hash_table, workload);
+
+  JoinTiming timing;
+  // Build: stream R while inserting |R| tuples into the table.
+  const double r_stream =
+      static_cast<double>(workload.r_bytes()) / r_ingest;
+  const double inserts =
+      static_cast<double>(workload.r_tuples) /
+      InsertRate(config.device, config.hash_table, workload);
+  timing.build_s = sim::OverlapTime({r_stream, inserts}, overlap_p);
+
+  // Probe: stream S while performing |S| dependent lookups; lookups get
+  // cheaper at low selectivity because value lines are skipped.
+  const double line_bytes =
+      topo.memory(config.hash_table.parts.front().node).line_bytes;
+  const double mult = SelectivityAccessMultiplier(workload, line_bytes);
+  const double s_stream =
+      static_cast<double>(workload.s_bytes()) / s_ingest;
+  const double lookups =
+      static_cast<double>(workload.s_tuples) * mult / ht_rate;
+  // Optional result materialization: matches write one
+  // <key, payload, payload> row back to CPU memory. Writes stream at the
+  // same path bandwidth as reads (links are full-duplex, Sec. 2.2, so
+  // they overlap with the ingest stream rather than stealing from it).
+  double result_stream = 0.0;
+  if (config.materialize_result) {
+    const double result_bytes =
+        static_cast<double>(workload.s_tuples) * workload.selectivity *
+        static_cast<double>(workload.key_bytes + 2 * workload.payload_bytes);
+    const sim::AccessPath out_path =
+        sim::MustResolve(topo, config.device, config.r_location);
+    result_stream = result_bytes / out_path.seq_bw;
+  }
+  timing.probe_s =
+      sim::OverlapTime({s_stream, lookups, result_stream}, overlap_p);
+
+  // Morsel-batch dispatch overhead (Sec. 6.1): one launch per batch.
+  timing.probe_s += dev.dispatch_latency_s;
+  timing.build_s += dev.dispatch_latency_s;
+  return timing;
+}
+
+RadixJoinModel::RadixJoinModel(const hw::SystemProfile* profile)
+    : profile_(profile) {}
+
+JoinTiming RadixJoinModel::Estimate(hw::DeviceId cpu,
+                                    const data::WorkloadSpec& workload) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::MemorySpec& mem = topo.memory(cpu);
+  const hw::DeviceSpec& dev = topo.device(cpu);
+
+  // Partitioning pass: every input byte is read and written once
+  // (software write-combine buffers keep this streaming); tuple-wise
+  // histogram + scatter compute runs at roughly half the NOPA compute rate
+  // (two passes over each tuple: histogram, scatter).
+  const double partition_rate = dev.tuple_compute_rate * 0.5;
+  const double total_tuples = static_cast<double>(workload.total_tuples());
+  const double moved_bytes = 2.0 * static_cast<double>(workload.total_bytes());
+  const double partition_s = sim::OverlapTime(
+      {moved_bytes / mem.duplex_bw, total_tuples / partition_rate},
+      sim::kCpuOverlapExponent);
+
+  // Join pass: partitions are cache-resident, so build+probe run at the
+  // compute rate blended with the LLC (PRA = perfect-hash radix join).
+  const hw::CacheSpec& llc = topo.cache(cpu);
+  const double join_rate = dev.tuple_compute_rate *
+                           llc.random_access_rate /
+                           (dev.tuple_compute_rate + llc.random_access_rate);
+  const double join_read_s =
+      static_cast<double>(workload.total_bytes()) / mem.seq_bw;
+  const double join_s = sim::OverlapTime(
+      {total_tuples / join_rate, join_read_s}, sim::kCpuOverlapExponent);
+
+  JoinTiming timing;
+  // Report partitioning as part of the build phase: both relations must be
+  // fully partitioned before any partition is joined.
+  timing.build_s = partition_s;
+  timing.probe_s = join_s;
+  return timing;
+}
+
+// GPU hash-table inserts are capped by the device's atomic-CAS
+// throughput: the CAS serializes on the slot line and the value store
+// doubles the write traffic. Calibrated against Fig. 18 (the build phase
+// takes 71% of a 1:1 join even though lookups run at ~4.5 G/s) and
+// Fig. 21b (memory-bound builds insert at the lookup rate).
+constexpr double kGpuAtomicInsertRate = 2.2e9;
+
+}  // namespace pump::join

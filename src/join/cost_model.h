@@ -1,0 +1,161 @@
+#ifndef PUMP_JOIN_COST_MODEL_H_
+#define PUMP_JOIN_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "memory/buffer.h"
+#include "transfer/transfer_model.h"
+
+namespace pump::join {
+
+/// Where the hash table lives: one or more (node, fraction) parts. A single
+/// part models ordinary placement; two parts model the hybrid hash table
+/// of Sec. 5.3 (fraction == the expected GPU access share A_GPU).
+struct HashTablePlacement {
+  struct Part {
+    hw::MemoryNodeId node = hw::kInvalidMemoryNode;
+    double fraction = 1.0;
+  };
+  std::vector<Part> parts;
+
+  /// Places the whole table on one node.
+  static HashTablePlacement Single(hw::MemoryNodeId node);
+  /// Splits the table `gpu_fraction` on `gpu_node`, rest on `cpu_node`.
+  static HashTablePlacement Hybrid(hw::MemoryNodeId gpu_node,
+                                   hw::MemoryNodeId cpu_node,
+                                   double gpu_fraction);
+  /// Derives the placement from a (hybrid) buffer's extents.
+  static HashTablePlacement FromBuffer(const memory::Buffer& buffer);
+
+  /// Skew-aware hybrid placement (an extension of Sec. 5.3): instead of
+  /// splitting by address, the hottest `byte_fraction` of the key domain
+  /// is placed in GPU memory, so under Zipf(`zipf_exponent`) probes the
+  /// GPU part serves the Zipf mass of those hot entries — far more than
+  /// its byte share. Part fractions here are *access* shares.
+  static HashTablePlacement SkewAware(hw::MemoryNodeId gpu_node,
+                                      hw::MemoryNodeId cpu_node,
+                                      double byte_fraction,
+                                      std::uint64_t r_tuples,
+                                      double zipf_exponent);
+};
+
+/// The modelled execution of one join: per-phase times and derived
+/// throughput in the paper's metric (|R|+|S|) / runtime (Sec. 7.1).
+struct JoinTiming {
+  double build_s = 0.0;
+  double probe_s = 0.0;
+  /// Extra serial step, e.g. the GPU+Het hash-table broadcast (Fig. 9b).
+  double extra_s = 0.0;
+
+  double total_s() const { return build_s + probe_s + extra_s; }
+  /// Throughput in tuples/s for a workload with `total_tuples` inputs.
+  double Throughput(double total_tuples) const {
+    return total_tuples / total_s();
+  }
+};
+
+/// Configuration of a single-device NOPA join (Secs. 5.1/5.2).
+struct NopaConfig {
+  /// Executing device (CPU socket or GPU).
+  hw::DeviceId device = hw::kInvalidDevice;
+  /// Placement of the base relations.
+  hw::MemoryNodeId r_location = hw::kInvalidMemoryNode;
+  hw::MemoryNodeId s_location = hw::kInvalidMemoryNode;
+  /// Hash-table placement.
+  HashTablePlacement hash_table;
+  /// Transfer method used to ingest the base relations when the executing
+  /// device is a GPU (Fig. 12). Ignored for CPU devices.
+  transfer::TransferMethod method = transfer::TransferMethod::kCoherence;
+  /// Memory kind the base relations are stored in.
+  memory::MemoryKind relation_memory = memory::MemoryKind::kPageable;
+  /// When set, the probe materializes <key, payload, payload> result rows
+  /// into CPU memory instead of aggregating (Sec. 5.1 mentions both emit
+  /// strategies); the write stream is costed against the path back to
+  /// `r_location`'s node.
+  bool materialize_result = false;
+};
+
+/// Analytic performance model of the no-partitioning hash join on one
+/// system. All rates derive from AccessPaths plus the cache/TLB models;
+/// every constant is documented at its definition site.
+class NopaJoinModel {
+ public:
+  /// Binds the model to a system profile (must outlive the model).
+  explicit NopaJoinModel(const hw::SystemProfile* profile);
+
+  /// Estimates build/probe times of `workload` under `config`.
+  /// Returns Unsupported when the transfer method cannot run on this
+  /// system (e.g. Coherence over PCI-e 3.0).
+  Result<JoinTiming> Estimate(const NopaConfig& config,
+                              const data::WorkloadSpec& workload) const;
+
+  /// Effective hash-table access rate (dependent random accesses/s) seen
+  /// by `device` for a table placed per `placement`, including cache hits
+  /// (GPU L2 for local tables, GPU L1 for remote ones, CPU LLC), GPU TLB
+  /// reach, and the probe-key skew of the workload. Exposed for tests and
+  /// the hybrid-placement benches.
+  double HashTableAccessRate(hw::DeviceId device,
+                             const HashTablePlacement& placement,
+                             const data::WorkloadSpec& workload) const;
+
+  /// Rate at which `device` can ingest the base-relation stream from
+  /// `location` with `method` (pull paths for CPUs, transfer pipelines for
+  /// GPUs), bytes/s.
+  Result<double> IngestBandwidth(const NopaConfig& config,
+                                 hw::MemoryNodeId location) const;
+
+  /// Hash-table insert rate: the lookup rate capped by the GPU's atomic
+  /// CAS throughput (inserts pay a CAS plus a value store per slot; CPU
+  /// cores absorb the CAS in their store buffers).
+  double InsertRate(hw::DeviceId device, const HashTablePlacement& placement,
+                    const data::WorkloadSpec& workload) const;
+
+  /// Expected cache hit rate of `device`'s accesses into one table part,
+  /// under the workload's key skew (used by the co-processing model to
+  /// account only cache-missing traffic against memory bandwidth).
+  double CacheHitRate(hw::DeviceId device,
+                      const HashTablePlacement::Part& part,
+                      const data::WorkloadSpec& workload) const;
+
+  const hw::SystemProfile& profile() const { return *profile_; }
+
+ private:
+  struct CacheView {
+    double rate = 0.0;
+    double entries = 0.0;
+  };
+
+  CacheView CacheFor(hw::DeviceId device,
+                     const HashTablePlacement::Part& part,
+                     const data::WorkloadSpec& workload) const;
+
+  double PartAccessRate(hw::DeviceId device,
+                        const HashTablePlacement::Part& part,
+                        const data::WorkloadSpec& workload) const;
+
+  const hw::SystemProfile* profile_;
+  transfer::TransferModel transfer_model_;
+};
+
+/// The radix-partitioned CPU baseline ("PRO" of Barthels et al. [9], made
+/// "PRA" by the perfect hash, Sec. 7.1): partition passes at memory
+/// bandwidth followed by cache-resident per-partition build/probe.
+class RadixJoinModel {
+ public:
+  explicit RadixJoinModel(const hw::SystemProfile* profile);
+
+  /// Estimates the PRA join on CPU socket `cpu` with both relations local.
+  JoinTiming Estimate(hw::DeviceId cpu,
+                      const data::WorkloadSpec& workload) const;
+
+ private:
+  const hw::SystemProfile* profile_;
+};
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_COST_MODEL_H_

@@ -1,0 +1,82 @@
+#ifndef PUMP_JOIN_INSTRUMENTED_H_
+#define PUMP_JOIN_INSTRUMENTED_H_
+
+#include <cstdint>
+#include <map>
+
+#include "data/relation.h"
+#include "hash/hash_function.h"
+#include "hash/hybrid_table.h"
+#include "memory/buffer.h"
+#include "sim/lru.h"
+
+namespace pump::join {
+
+/// Counters from an instrumented probe over a placed hash table: how many
+/// slot accesses landed on each modelled memory node, and how many would
+/// have hit a cache of a given size. These measurements validate the cost
+/// model's inputs: the per-node access shares must match the placement
+/// fractions (the A_GPU model of Sec. 5.3), and the cache hits must match
+/// the analytic Zipf hit rate (Fig. 19's mechanism).
+struct ProbeTrace {
+  /// Memory accesses per node (keyed by node id); every probe issues one
+  /// key-array access plus, on a match, one value-array access — the
+  /// byte-level access distribution the A_GPU model predicts.
+  std::map<hw::MemoryNodeId, std::uint64_t> accesses_per_node;
+  /// Total memory accesses.
+  std::uint64_t accesses = 0;
+  /// Total probes.
+  std::uint64_t probes = 0;
+  /// Probe hits (key found).
+  std::uint64_t matches = 0;
+  /// Hits in the simulated cache (when cache_entries > 0).
+  std::uint64_t cache_hits = 0;
+
+  /// Fraction of memory accesses served by `node`.
+  double NodeShare(hw::MemoryNodeId node) const {
+    auto it = accesses_per_node.find(node);
+    if (it == accesses_per_node.end() || accesses == 0) return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(accesses);
+  }
+  /// Measured cache hit rate.
+  double CacheHitRate() const {
+    return probes == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(probes);
+  }
+};
+
+/// Probes `table` with `outer`'s keys, attributing every slot access to
+/// the memory node that owns the slot's bytes (via the hybrid buffer's
+/// extents) and running the accesses through an LRU cache of
+/// `cache_entries` slots (0 disables the cache simulation).
+template <typename K, typename V>
+ProbeTrace InstrumentedProbe(const hash::HybridHashTable<K, V>& table,
+                             const data::Relation<K, V>& outer,
+                             std::size_t cache_entries = 0) {
+  ProbeTrace trace;
+  sim::LruCacheSim cache(cache_entries);
+  const std::uint64_t values_base = table.capacity() * sizeof(K);
+  for (K key : outer.keys) {
+    ++trace.probes;
+    const auto slot = static_cast<std::uint64_t>(hash::PerfectHash(key));
+    // Key-array access.
+    ++trace.accesses;
+    ++trace.accesses_per_node[table.buffer().NodeOfByte(slot * sizeof(K))];
+    if (cache_entries > 0 && cache.Access(slot)) ++trace.cache_hits;
+    V value;
+    if (table.table().Lookup(key, &value)) {
+      ++trace.matches;
+      // Value-array access (only matches load the value, Sec. 7.2.9).
+      ++trace.accesses;
+      ++trace.accesses_per_node[table.buffer().NodeOfByte(
+          values_base + slot * sizeof(V))];
+    }
+  }
+  return trace;
+}
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_INSTRUMENTED_H_

@@ -1,0 +1,49 @@
+#ifndef PUMP_JOIN_PARTITIONED_GPU_H_
+#define PUMP_JOIN_PARTITIONED_GPU_H_
+
+#include "common/status.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+#include "transfer/transfer_model.h"
+
+namespace pump::join {
+
+/// Cost model of the partitioning-based CPU+GPU join that pre-NVLink
+/// systems use for out-of-core build sides (Sioulas et al. [89],
+/// discussed in Secs. 3 and 5.2): the CPU radix-partitions both
+/// relations so that each partition's hash table is GPU-cache-resident,
+/// then streams partition pairs to the GPU, which joins them at compute
+/// speed. This sidesteps random accesses over the interconnect — at the
+/// price of two extra passes over all data on the CPU.
+///
+/// The ablation bench contrasts it with the paper's NOPA join: over
+/// PCI-e 3.0 the partitioned join is the only viable out-of-core plan,
+/// while NVLink 2.0 makes the partition passes pure overhead — the
+/// paper's core argument for reconsidering no-partitioning joins
+/// (Sec. 5.2).
+class PartitionedGpuJoinModel {
+ public:
+  explicit PartitionedGpuJoinModel(const hw::SystemProfile* profile);
+
+  /// Estimates the join: CPU `cpu` partitions from/to its local memory,
+  /// GPU `gpu` consumes partition pairs with `method`.
+  /// build_s carries the partition phase, probe_s the GPU join phase.
+  Result<JoinTiming> Estimate(hw::DeviceId cpu, hw::DeviceId gpu,
+                              transfer::TransferMethod method,
+                              const data::WorkloadSpec& workload) const;
+
+ private:
+  const hw::SystemProfile* profile_;
+  transfer::TransferModel transfer_model_;
+};
+
+/// Per-partition GPU join rate when the partition's hash table is
+/// cache-resident (tuples/s): bounded by compute and the GPU L2, not by
+/// HBM random access. Calibrated to the workload-B in-cache rate of
+/// Fig. 13 divided by the partitioned join's extra bookkeeping.
+inline constexpr double kGpuPartitionJoinRate = 10e9;
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_PARTITIONED_GPU_H_

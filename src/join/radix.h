@@ -1,0 +1,149 @@
+#ifndef PUMP_JOIN_RADIX_H_
+#define PUMP_JOIN_RADIX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "exec/parallel.h"
+#include "hash/hash_table.h"
+#include "join/nopa.h"
+
+namespace pump::join {
+
+/// Options of the radix-partitioned baseline join ("PRO" of Barthels et
+/// al. [9]; with the perfect hash inside partitions it becomes the "PRA"
+/// variant of Schuh et al. [86], Sec. 7.1). The paper tunes 12 radix bits
+/// for its hardware.
+struct RadixJoinOptions {
+  int radix_bits = 12;
+  std::size_t workers = 1;
+};
+
+/// Result of the parallel partitioning pass: tuples scattered into
+/// partition-contiguous storage plus partition boundaries.
+template <typename K, typename V>
+struct Partitioned {
+  std::vector<K> keys;
+  std::vector<V> payloads;
+  /// partition p occupies [offsets[p], offsets[p + 1]).
+  std::vector<std::size_t> offsets;
+};
+
+/// Radix-partitions a relation by the low `radix_bits` of the key using
+/// the textbook two-pass scheme: parallel per-worker histograms, exclusive
+/// prefix sum into per-(worker, partition) write cursors, parallel
+/// scatter. Deterministic: output order depends only on worker count.
+template <typename K, typename V>
+Partitioned<K, V> RadixPartition(const data::Relation<K, V>& input,
+                                 int radix_bits, std::size_t workers) {
+  const std::size_t partitions = std::size_t{1} << radix_bits;
+  const std::size_t mask = partitions - 1;
+  const std::size_t n = input.size();
+  workers = std::max<std::size_t>(1, workers);
+  const std::size_t chunk = (n + workers - 1) / std::max<std::size_t>(1, workers);
+
+  // Pass 1: per-worker histograms.
+  std::vector<std::vector<std::size_t>> histograms(
+      workers, std::vector<std::size_t>(partitions, 0));
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    const std::size_t begin = std::min(n, w * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    auto& hist = histograms[w];
+    for (std::size_t i = begin; i < end; ++i) {
+      ++hist[static_cast<std::size_t>(input.keys[i]) & mask];
+    }
+  });
+
+  // Exclusive prefix sum over (partition-major, worker-minor) order gives
+  // each worker a private, contiguous write region per partition.
+  Partitioned<K, V> out;
+  out.keys.resize(n);
+  out.payloads.resize(n);
+  out.offsets.assign(partitions + 1, 0);
+  std::vector<std::vector<std::size_t>> cursors(
+      workers, std::vector<std::size_t>(partitions, 0));
+  std::size_t running = 0;
+  for (std::size_t p = 0; p < partitions; ++p) {
+    out.offsets[p] = running;
+    for (std::size_t w = 0; w < workers; ++w) {
+      cursors[w][p] = running;
+      running += histograms[w][p];
+    }
+  }
+  out.offsets[partitions] = running;
+
+  // Pass 2: scatter.
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    const std::size_t begin = std::min(n, w * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    auto& cursor = cursors[w];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t p = static_cast<std::size_t>(input.keys[i]) & mask;
+      const std::size_t slot = cursor[p]++;
+      out.keys[slot] = input.keys[i];
+      out.payloads[slot] = input.payloads[i];
+    }
+  });
+  return out;
+}
+
+/// End-to-end radix join: partition both relations, then join matching
+/// partitions with per-partition linear-probing tables (cache-resident by
+/// construction). Partitions are processed in parallel.
+template <typename K, typename V>
+Result<JoinAggregate> RunRadixJoin(const data::Relation<K, V>& inner,
+                                   const data::Relation<K, V>& outer,
+                                   const RadixJoinOptions& options = {}) {
+  if (options.radix_bits < 0 || options.radix_bits > 24) {
+    return Status::InvalidArgument("radix_bits must be in [0, 24]");
+  }
+  const std::size_t workers = std::max<std::size_t>(1, options.workers);
+  Partitioned<K, V> r = RadixPartition(inner, options.radix_bits, workers);
+  Partitioned<K, V> s = RadixPartition(outer, options.radix_bits, workers);
+
+  const std::size_t partitions = std::size_t{1} << options.radix_bits;
+  std::atomic<std::uint64_t> matches{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> failed{false};
+
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    std::uint64_t local_matches = 0;
+    std::uint64_t local_sum = 0;
+    for (std::size_t p = w; p < partitions; p += workers) {
+      const std::size_t r_begin = r.offsets[p];
+      const std::size_t r_end = r.offsets[p + 1];
+      const std::size_t s_begin = s.offsets[p];
+      const std::size_t s_end = s.offsets[p + 1];
+      if (r_begin == r_end || s_begin == s_end) continue;
+
+      hash::LinearProbingHashTable<K, V> table(r_end - r_begin);
+      for (std::size_t i = r_begin; i < r_end; ++i) {
+        if (!table.Insert(r.keys[i], r.payloads[i]).ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      for (std::size_t i = s_begin; i < s_end; ++i) {
+        V payload;
+        if (table.Lookup(s.keys[i], &payload)) {
+          ++local_matches;
+          local_sum += static_cast<std::uint64_t>(payload);
+        }
+      }
+    }
+    matches.fetch_add(local_matches, std::memory_order_relaxed);
+    sum.fetch_add(local_sum, std::memory_order_relaxed);
+  });
+
+  if (failed.load()) {
+    return Status::AlreadyExists("duplicate key during radix build");
+  }
+  return JoinAggregate{matches.load(), sum.load()};
+}
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_RADIX_H_

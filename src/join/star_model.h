@@ -1,0 +1,55 @@
+#ifndef PUMP_JOIN_STAR_MODEL_H_
+#define PUMP_JOIN_STAR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/workloads.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+
+namespace pump::join {
+
+/// One dimension of a modelled star query.
+struct StarDimension {
+  std::uint64_t tuples = 0;
+  /// Fraction of fact rows surviving this dimension's join (1 = all).
+  double selectivity = 1.0;
+};
+
+/// Modelled star-query execution.
+struct StarTiming {
+  double build_s = 0.0;
+  double broadcast_s = 0.0;
+  double probe_s = 0.0;
+  double total_s() const { return build_s + broadcast_s + probe_s; }
+};
+
+/// Cost model of the Sec. 6.2 multi-way extension: "building hash tables
+/// on a different processor in parallel, and then copying all hash tables
+/// to all processors". Dimensions are probed in ascending-selectivity
+/// order so later lookups are skipped for non-matching rows
+/// (short-circuit), mirroring the functional StarJoin.
+class StarJoinModel {
+ public:
+  explicit StarJoinModel(const hw::SystemProfile* profile);
+
+  /// Estimates a star join of `fact_tuples` rows (16-byte key+measure per
+  /// dimension column) against `dimensions`, executed on `gpu` with the
+  /// dimension tables in GPU memory; data streams from `data_location`.
+  /// When `parallel_build_on_cpu_and_gpu` is set, dimension tables build
+  /// concurrently on both processors and are broadcast (GPU+Het style).
+  Result<StarTiming> Estimate(hw::DeviceId gpu,
+                              hw::MemoryNodeId data_location,
+                              double fact_tuples,
+                              std::vector<StarDimension> dimensions,
+                              bool parallel_build_on_cpu_and_gpu) const;
+
+ private:
+  const hw::SystemProfile* profile_;
+  NopaJoinModel nopa_;
+};
+
+}  // namespace pump::join
+
+#endif  // PUMP_JOIN_STAR_MODEL_H_

@@ -1,0 +1,127 @@
+#include "memory/allocator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace pump::memory {
+
+double AllocCostModel::Cost(MemoryKind kind, std::uint64_t bytes) const {
+  const auto b = static_cast<double>(bytes);
+  switch (kind) {
+    case MemoryKind::kPageable:
+      return pageable_s_per_byte * b;
+    case MemoryKind::kPinned:
+      return pinned_s_per_byte * b;
+    case MemoryKind::kUnified:
+      return unified_s_per_byte * b;
+    case MemoryKind::kDevice:
+      return device_s_per_byte * b;
+  }
+  return 0.0;
+}
+
+MemoryManager::MemoryManager(const hw::Topology* topology, bool materialize)
+    : topology_(topology),
+      materialize_(materialize),
+      used_(topology->device_count(), 0) {}
+
+Status MemoryManager::CheckPlacement(MemoryKind kind,
+                                     hw::MemoryNodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= used_.size()) {
+    return Status::InvalidArgument("memory node out of range");
+  }
+  const hw::DeviceKind owner = topology_->device(node).kind;
+  if (kind == MemoryKind::kDevice && owner != hw::DeviceKind::kGpu) {
+    return Status::InvalidArgument("device memory must live on a GPU node");
+  }
+  if ((kind == MemoryKind::kPageable || kind == MemoryKind::kPinned) &&
+      owner != hw::DeviceKind::kCpu) {
+    return Status::InvalidArgument("host memory must live on a CPU node");
+  }
+  return Status::OK();
+}
+
+Result<Buffer> MemoryManager::Allocate(std::uint64_t bytes, MemoryKind kind,
+                                       hw::MemoryNodeId node) {
+  PUMP_RETURN_NOT_OK(CheckPlacement(kind, node));
+  const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+  if (used_[node] + bytes > capacity) {
+    return Status::OutOfMemory("node " + std::to_string(node) +
+                               " cannot fit " + std::to_string(bytes) +
+                               " bytes");
+  }
+  used_[node] += bytes;
+  modelled_alloc_time_ += cost_model_.Cost(kind, bytes);
+  return Buffer(bytes, kind, {Extent{node, bytes}}, materialize_);
+}
+
+Result<Buffer> MemoryManager::AllocateHybrid(std::uint64_t bytes,
+                                             hw::DeviceId gpu,
+                                             std::uint64_t gpu_reserve_bytes) {
+  if (topology_->device(gpu).kind != hw::DeviceKind::kGpu) {
+    return Status::InvalidArgument("hybrid allocation requires a GPU device");
+  }
+  std::vector<Extent> extents;
+  std::uint64_t remaining = bytes;
+
+  // Step 1 (Fig. 8): allocate GPU memory first.
+  const std::uint64_t gpu_capacity = topology_->memory(gpu).capacity_bytes;
+  const std::uint64_t gpu_free =
+      gpu_capacity > used_[gpu] + gpu_reserve_bytes
+          ? gpu_capacity - used_[gpu] - gpu_reserve_bytes
+          : 0;
+  const std::uint64_t on_gpu = std::min(remaining, gpu_free);
+  if (on_gpu > 0) {
+    used_[gpu] += on_gpu;
+    modelled_alloc_time_ += cost_model_.Cost(MemoryKind::kDevice, on_gpu);
+    extents.push_back(Extent{gpu, on_gpu});
+    remaining -= on_gpu;
+  }
+
+  // Step 2: spill to the nearest CPU, then recursively to next-nearest
+  // CPUs of the multi-socket NUMA system (Sec. 5.3).
+  if (remaining > 0) {
+    for (hw::MemoryNodeId node :
+         topology_->MemoryNodesByDistance(gpu, /*cpu_only=*/true)) {
+      const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+      const std::uint64_t free =
+          capacity > used_[node] ? capacity - used_[node] : 0;
+      const std::uint64_t here = std::min(remaining, free);
+      if (here == 0) continue;
+      used_[node] += here;
+      modelled_alloc_time_ += cost_model_.Cost(MemoryKind::kPageable, here);
+      extents.push_back(Extent{node, here});
+      remaining -= here;
+      if (remaining == 0) break;
+    }
+  }
+
+  if (remaining > 0) {
+    // Roll back partial reservations.
+    for (const Extent& extent : extents) used_[extent.node] -= extent.bytes;
+    return Status::OutOfMemory("hybrid allocation exceeds system capacity");
+  }
+  return Buffer(bytes, MemoryKind::kDevice, std::move(extents),
+                materialize_);
+}
+
+void MemoryManager::Release(const Buffer& buffer) {
+  for (const Extent& extent : buffer.extents()) {
+    if (extent.node >= 0 &&
+        static_cast<std::size_t>(extent.node) < used_.size()) {
+      used_[extent.node] -= std::min(used_[extent.node], extent.bytes);
+    }
+  }
+}
+
+std::uint64_t MemoryManager::used_bytes(hw::MemoryNodeId node) const {
+  return used_[node];
+}
+
+std::uint64_t MemoryManager::available_bytes(hw::MemoryNodeId node) const {
+  const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+  return capacity > used_[node] ? capacity - used_[node] : 0;
+}
+
+}  // namespace pump::memory

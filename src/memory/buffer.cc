@@ -1,0 +1,60 @@
+#include "memory/buffer.h"
+
+#include <sstream>
+
+namespace pump::memory {
+
+const char* MemoryKindToString(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kPageable:
+      return "Pageable";
+    case MemoryKind::kPinned:
+      return "Pinned";
+    case MemoryKind::kUnified:
+      return "Unified";
+    case MemoryKind::kDevice:
+      return "Device";
+  }
+  return "Unknown";
+}
+
+Buffer::Buffer(std::uint64_t bytes, MemoryKind kind,
+               std::vector<Extent> extents, bool materialize)
+    : storage_(materialize && bytes > 0 ? new std::byte[bytes]() : nullptr),
+      size_(bytes),
+      kind_(kind),
+      extents_(std::move(extents)) {}
+
+hw::MemoryNodeId Buffer::home_node() const {
+  return extents_.empty() ? hw::kInvalidMemoryNode : extents_.front().node;
+}
+
+double Buffer::FractionOnNode(hw::MemoryNodeId node) const {
+  if (size_ == 0) return 0.0;
+  std::uint64_t on_node = 0;
+  for (const Extent& extent : extents_) {
+    if (extent.node == node) on_node += extent.bytes;
+  }
+  return static_cast<double>(on_node) / static_cast<double>(size_);
+}
+
+hw::MemoryNodeId Buffer::NodeOfByte(std::uint64_t offset) const {
+  std::uint64_t cursor = 0;
+  for (const Extent& extent : extents_) {
+    cursor += extent.bytes;
+    if (offset < cursor) return extent.node;
+  }
+  return hw::kInvalidMemoryNode;
+}
+
+std::string Buffer::ToString() const {
+  std::ostringstream os;
+  os << "Buffer(" << size_ << " B, " << MemoryKindToString(kind_) << ",";
+  for (const Extent& extent : extents_) {
+    os << " node" << extent.node << ":" << extent.bytes;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pump::memory

@@ -1,0 +1,53 @@
+#include "memory/unified.h"
+
+#include <algorithm>
+
+namespace pump::memory {
+
+UnifiedRegion::UnifiedRegion(std::uint64_t bytes, std::uint64_t page_bytes,
+                             hw::MemoryNodeId home_node)
+    : bytes_(bytes),
+      page_bytes_(page_bytes == 0 ? 1 : page_bytes),
+      residency_((bytes + page_bytes_ - 1) / page_bytes_, home_node) {}
+
+Result<hw::MemoryNodeId> UnifiedRegion::ResidencyOf(
+    std::uint64_t offset) const {
+  if (offset >= bytes_) return Status::OutOfRange("offset beyond region");
+  return residency_[PageOf(offset)];
+}
+
+Result<bool> UnifiedRegion::Touch(std::uint64_t offset,
+                                  hw::MemoryNodeId accessor_node) {
+  if (offset >= bytes_) return Status::OutOfRange("offset beyond region");
+  const std::uint64_t page = PageOf(offset);
+  if (residency_[page] == accessor_node) return false;
+  residency_[page] = accessor_node;
+  ++faults_;
+  return true;
+}
+
+Result<std::uint64_t> UnifiedRegion::Prefetch(std::uint64_t offset,
+                                              std::uint64_t length,
+                                              hw::MemoryNodeId node) {
+  if (offset + length > bytes_) {
+    return Status::OutOfRange("prefetch range beyond region");
+  }
+  if (length == 0) return std::uint64_t{0};
+  const std::uint64_t first = PageOf(offset);
+  const std::uint64_t last = PageOf(offset + length - 1);
+  std::uint64_t moved = 0;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    if (residency_[page] != node) {
+      residency_[page] = node;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::uint64_t UnifiedRegion::PagesOn(hw::MemoryNodeId node) const {
+  return static_cast<std::uint64_t>(
+      std::count(residency_.begin(), residency_.end(), node));
+}
+
+}  // namespace pump::memory

@@ -1,0 +1,66 @@
+#ifndef PUMP_MEMORY_UNIFIED_H_
+#define PUMP_MEMORY_UNIFIED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/memory_spec.h"
+
+namespace pump::memory {
+
+/// Page-granular residency tracking for a Unified Memory region. CUDA
+/// Unified Memory migrates pages between CPU and GPU memory on access
+/// (Sec. 2.2.1); page size is OS-dependent: 4 KiB on Intel, 64 KiB on IBM
+/// POWER9 (Sec. 4.2, [69]).
+class UnifiedRegion {
+ public:
+  /// Creates a region of `bytes` whose pages initially reside on
+  /// `home_node` with the given page size.
+  UnifiedRegion(std::uint64_t bytes, std::uint64_t page_bytes,
+                hw::MemoryNodeId home_node);
+
+  /// Total bytes.
+  std::uint64_t size() const { return bytes_; }
+  /// Page size in bytes.
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  /// Number of pages.
+  std::uint64_t page_count() const { return residency_.size(); }
+
+  /// Node currently holding the page containing `offset`.
+  Result<hw::MemoryNodeId> ResidencyOf(std::uint64_t offset) const;
+
+  /// Simulates a device access at `offset`: if the page is not resident on
+  /// `accessor_node`, it migrates there (demand paging triggers an OS page
+  /// fault). Returns true when a migration (fault) occurred.
+  Result<bool> Touch(std::uint64_t offset, hw::MemoryNodeId accessor_node);
+
+  /// Explicitly migrates the page range [offset, offset+length) to `node`
+  /// (cudaMemPrefetchAsync). Returns the number of pages moved.
+  Result<std::uint64_t> Prefetch(std::uint64_t offset, std::uint64_t length,
+                                 hw::MemoryNodeId node);
+
+  /// Number of pages currently resident on `node`.
+  std::uint64_t PagesOn(hw::MemoryNodeId node) const;
+
+  /// Total page faults (demand migrations) simulated so far.
+  std::uint64_t fault_count() const { return faults_; }
+
+ private:
+  std::uint64_t PageOf(std::uint64_t offset) const {
+    return offset / page_bytes_;
+  }
+
+  std::uint64_t bytes_;
+  std::uint64_t page_bytes_;
+  std::vector<hw::MemoryNodeId> residency_;
+  std::uint64_t faults_ = 0;
+};
+
+/// OS page sizes of the paper's systems.
+inline constexpr std::uint64_t kIntelPageBytes = 4 * 1024;
+inline constexpr std::uint64_t kIbmPageBytes = 64 * 1024;
+
+}  // namespace pump::memory
+
+#endif  // PUMP_MEMORY_UNIFIED_H_

@@ -1,0 +1,89 @@
+#ifndef PUMP_OPS_AGGREGATE_H_
+#define PUMP_OPS_AGGREGATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/parallel.h"
+#include "hash/hash_function.h"
+
+namespace pump::ops {
+
+/// One group's running aggregates (COUNT, SUM; MIN/MAX derivable).
+struct GroupAggregate {
+  std::int64_t key = 0;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+/// Hash-based group-by aggregation over a dense key domain [0, groups):
+/// the perfect-hash analogue of the paper's join table, applied to the
+/// aggregation operator GPU databases pair with it (cf. Karnagel et al.
+/// [51], cited in Sec. 9). Thread-safe via per-slot atomics.
+class DenseGroupBy {
+ public:
+  /// Creates an aggregation table for keys in [0, groups).
+  explicit DenseGroupBy(std::size_t groups)
+      : counts_(groups), sums_(groups) {}
+
+  /// Accumulates one row. Returns InvalidArgument for out-of-domain keys.
+  Status Accumulate(std::int64_t key, std::int64_t value) {
+    if (key < 0 || static_cast<std::size_t>(key) >= counts_.size()) {
+      return Status::InvalidArgument("group key outside domain");
+    }
+    counts_[key].fetch_add(1, std::memory_order_relaxed);
+    sums_[key].fetch_add(value, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  /// Morsel-parallel accumulation of a column pair.
+  Status AccumulateColumns(const std::vector<std::int64_t>& keys,
+                           const std::vector<std::int64_t>& values,
+                           std::size_t workers) {
+    if (keys.size() != values.size()) {
+      return Status::InvalidArgument("column length mismatch");
+    }
+    std::atomic<bool> failed{false};
+    workers = std::max<std::size_t>(1, workers);
+    const std::size_t chunk = (keys.size() + workers - 1) / workers;
+    exec::ParallelFor(workers, [&](std::size_t w) {
+      const std::size_t begin = std::min(keys.size(), w * chunk);
+      const std::size_t end = std::min(keys.size(), begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!Accumulate(keys[i], values[i]).ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+    if (failed.load()) return Status::InvalidArgument("key outside domain");
+    return Status::OK();
+  }
+
+  /// Number of group slots.
+  std::size_t groups() const { return counts_.size(); }
+
+  /// Extracts the non-empty groups in key order.
+  std::vector<GroupAggregate> Finalize() const {
+    std::vector<GroupAggregate> result;
+    for (std::size_t key = 0; key < counts_.size(); ++key) {
+      const std::uint64_t count =
+          counts_[key].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      result.push_back(GroupAggregate{
+          static_cast<std::int64_t>(key), count,
+          sums_[key].load(std::memory_order_relaxed)});
+    }
+    return result;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::vector<std::atomic<std::int64_t>> sums_;
+};
+
+}  // namespace pump::ops
+
+#endif  // PUMP_OPS_AGGREGATE_H_

@@ -1,0 +1,39 @@
+#ifndef PUMP_OPS_Q6_H_
+#define PUMP_OPS_Q6_H_
+
+#include <cstdint>
+
+#include "data/tpch.h"
+
+namespace pump::ops {
+
+/// Result of TPC-H query 6: SELECT sum(l_extendedprice * l_discount)
+/// FROM lineitem WHERE l_shipdate >= '1994-01-01' AND l_shipdate <
+/// '1995-01-01' AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24.
+/// Revenue is kept in integer cents x percent to stay exact.
+struct Q6Result {
+  std::int64_t revenue = 0;
+  std::uint64_t qualifying_rows = 0;
+
+  friend bool operator==(const Q6Result&, const Q6Result&) = default;
+};
+
+/// Branching variant: evaluates the shipdate predicate first and only
+/// touches the remaining columns for qualifying rows. On a GPU with a fast
+/// interconnect this skips transferring most of the input (Sec. 7.2.4).
+Q6Result RunQ6Branching(const data::LineitemQ6& table);
+
+/// Predicated variant: loads every column for every row and folds the
+/// predicates into branch-free masks (SIMD-friendly), as the paper's CPU
+/// implementation does.
+Q6Result RunQ6Predicated(const data::LineitemQ6& table);
+
+/// Morsel-parallel wrappers of the two variants.
+Q6Result RunQ6BranchingParallel(const data::LineitemQ6& table,
+                                std::size_t workers);
+Q6Result RunQ6PredicatedParallel(const data::LineitemQ6& table,
+                                 std::size_t workers);
+
+}  // namespace pump::ops
+
+#endif  // PUMP_OPS_Q6_H_

@@ -1,0 +1,94 @@
+#include "ops/q6_model.h"
+
+#include <algorithm>
+
+#include "data/tpch.h"
+#include "sim/access_path.h"
+#include "sim/overlap.h"
+
+namespace pump::ops {
+
+namespace {
+
+// Column widths Q6 reads (shipdate, discount, quantity: 4 B; price: 8 B).
+constexpr double kDateBytes = 4.0;
+constexpr double kOtherBytes = 4.0 + 4.0 + 8.0;
+
+// Bandwidth derating for the divergent, non-coherent branching pattern
+// over PCI-e: small irregular reads waste packet payload (Sec. 2.2.1).
+constexpr double kPcieDivergencePenalty = 0.75;
+
+}  // namespace
+
+const char* Q6VariantToString(Q6Variant variant) {
+  return variant == Q6Variant::kBranching ? "branching" : "predicated";
+}
+
+Q6Model::Q6Model(const hw::SystemProfile* profile)
+    : profile_(profile), transfer_model_(profile) {}
+
+Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
+                                   hw::MemoryNodeId location,
+                                   transfer::TransferMethod method,
+                                   Q6Variant variant, double rows) const {
+  const hw::Topology& topo = profile_->topology;
+  const hw::DeviceSpec& dev = topo.device(device);
+  const bool is_gpu = dev.kind == hw::DeviceKind::kGpu;
+
+  // Ingest bandwidth for the column streams.
+  double ingest = 0.0;
+  bool coherent_path = true;
+  if (!is_gpu || location == device) {
+    ingest = sim::MustResolve(topo, device, location).seq_bw;
+  } else {
+    // The benchmark stores the columns in whatever memory kind the chosen
+    // method requires (pinned for Zero-Copy, unified for the UM methods).
+    const memory::MemoryKind kind = transfer::TraitsOf(method).required_memory;
+    PUMP_RETURN_NOT_OK(transfer_model_.Validate(method, device, location,
+                                                kind));
+    PUMP_ASSIGN_OR_RETURN(ingest, transfer_model_.IngestBandwidth(
+                                      method, device, location));
+    PUMP_ASSIGN_OR_RETURN(coherent_path,
+                          topo.IsCacheCoherentPath(device, location));
+  }
+
+  // Bytes per row that actually cross the data path.
+  double bytes_per_row = kDateBytes + kOtherBytes;
+  double effective_ingest = ingest;
+  const bool pull_based =
+      transfer::TransferModel::SupportsDataDependentAccess(method);
+  if (variant == Q6Variant::kBranching) {
+    // Shipdate-clustered layout: the non-date columns are only needed for
+    // the date-qualifying fraction, one contiguous range.
+    const double date_sel = data::Q6DateSelectivity();
+    const bool can_skip = !is_gpu || location == device ||
+                          (pull_based && coherent_path);
+    if (can_skip) {
+      bytes_per_row = kDateBytes + date_sel * kOtherBytes;
+    } else if (is_gpu && pull_based) {
+      // Non-coherent pull (PCI-e Zero-Copy): whole chunks transfer anyway
+      // and the divergent pattern wastes packet payload.
+      effective_ingest = ingest * kPcieDivergencePenalty;
+    }
+  }
+
+  const double data_s = rows * bytes_per_row / effective_ingest;
+
+  double compute_rate;
+  if (variant == Q6Variant::kBranching) {
+    compute_rate = is_gpu ? rates_.gpu_branching : rates_.cpu_branching;
+  } else {
+    compute_rate = is_gpu ? rates_.gpu_predicated : rates_.cpu_predicated;
+  }
+  const double compute_s = rows / compute_rate;
+
+  const double p =
+      is_gpu ? sim::kGpuOverlapExponent : sim::kCpuOverlapExponent;
+  Q6Timing timing;
+  timing.rows = rows;
+  timing.seconds =
+      sim::OverlapTime({data_s, compute_s}, p) + dev.dispatch_latency_s;
+  return timing;
+}
+
+}  // namespace pump::ops

@@ -1,0 +1,67 @@
+#ifndef PUMP_OPS_Q6_MODEL_H_
+#define PUMP_OPS_Q6_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hw/system_profile.h"
+#include "transfer/transfer_model.h"
+
+namespace pump::ops {
+
+/// Q6 scan variant (Sec. 7.2.4).
+enum class Q6Variant : std::uint8_t { kBranching, kPredicated };
+
+/// Returns "branching" or "predicated".
+const char* Q6VariantToString(Q6Variant variant);
+
+/// Modelled execution of Q6 at some scale factor.
+struct Q6Timing {
+  double seconds = 0.0;
+  double rows = 0.0;
+  /// Paper metric: G Tuples/s over the scanned rows.
+  double RowsPerSecond() const { return rows / seconds; }
+};
+
+/// Aggregate scan-compute rates (rows/s) for the Q6 kernels. The CPU
+/// predicated path is SIMD and effectively data-bound; the branching paths
+/// are calibrated to Fig. 15 (CPU peaks near 7.5 G rows/s; the GPU's
+/// divergent branching kernel sustains ~4.5 G rows/s).
+struct Q6ComputeRates {
+  double cpu_branching = 7.5e9;
+  double cpu_predicated = 40e9;
+  double gpu_branching = 4.5e9;
+  double gpu_predicated = 20e9;
+};
+
+/// Analytic model of TPC-H Q6 on CPU or GPU (Sec. 7.2.4). Assumes lineitem
+/// is shipdate-clustered (fact tables are loaded in date order), so the
+/// branching variant skips contiguous ranges of the non-date columns:
+/// only the date-qualifying fraction of those bytes crosses the
+/// interconnect. Skipping requires byte-granular access; over
+/// non-coherent PCI-e 3.0, DMA chunking transfers whole chunks anyway and
+/// the divergent access pattern additionally wastes packet bandwidth
+/// (Sec. 2.2.1), so branching does not pay off there — matching the
+/// paper's measurement that PCI-e trails NVLink by ~9.8x.
+class Q6Model {
+ public:
+  explicit Q6Model(const hw::SystemProfile* profile);
+
+  /// Estimates a Q6 scan of `rows` lineitem rows on `device`, reading the
+  /// columns from `location` with `method` (GPUs) or directly (CPUs).
+  Result<Q6Timing> Estimate(hw::DeviceId device, hw::MemoryNodeId location,
+                            transfer::TransferMethod method,
+                            Q6Variant variant, double rows) const;
+
+  /// Mutable calibration constants (ablation benches).
+  Q6ComputeRates& rates() { return rates_; }
+
+ private:
+  const hw::SystemProfile* profile_;
+  transfer::TransferModel transfer_model_;
+  Q6ComputeRates rates_;
+};
+
+}  // namespace pump::ops
+
+#endif  // PUMP_OPS_Q6_MODEL_H_

@@ -1,0 +1,105 @@
+#ifndef PUMP_OPS_SCAN_H_
+#define PUMP_OPS_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/morsel.h"
+#include "exec/parallel.h"
+
+namespace pump::ops {
+
+/// Comparison predicates for column scans.
+enum class CompareOp : std::uint8_t { kLt, kLe, kEq, kGe, kGt, kNe };
+
+/// Evaluates `value op bound`.
+template <typename T>
+constexpr bool Compare(CompareOp op, T value, T bound) {
+  switch (op) {
+    case CompareOp::kLt:
+      return value < bound;
+    case CompareOp::kLe:
+      return value <= bound;
+    case CompareOp::kEq:
+      return value == bound;
+    case CompareOp::kGe:
+      return value >= bound;
+    case CompareOp::kGt:
+      return value > bound;
+    case CompareOp::kNe:
+      return value != bound;
+  }
+  return false;
+}
+
+/// A selection vector: indices of qualifying rows, the standard columnar
+/// intermediate between scan stages.
+using SelectionVector = std::vector<std::uint32_t>;
+
+/// Scans `column` and returns the qualifying row indices (branching
+/// implementation). The starting point of a scan pipeline.
+template <typename T>
+SelectionVector ScanColumn(const std::vector<T>& column, CompareOp op,
+                           T bound) {
+  SelectionVector selection;
+  for (std::uint32_t i = 0; i < column.size(); ++i) {
+    if (Compare(op, column[i], bound)) selection.push_back(i);
+  }
+  return selection;
+}
+
+/// Refines an existing selection against another column (the conjunctive
+/// step of a multi-predicate scan, evaluated in selectivity order —
+/// exactly what the branching Q6 variant does per column).
+template <typename T>
+SelectionVector RefineSelection(const SelectionVector& selection,
+                                const std::vector<T>& column, CompareOp op,
+                                T bound) {
+  SelectionVector refined;
+  refined.reserve(selection.size());
+  for (std::uint32_t row : selection) {
+    if (Compare(op, column[row], bound)) refined.push_back(row);
+  }
+  return refined;
+}
+
+/// Sums `column[row]` over the selection (the aggregation tail of a
+/// selection-aggregation query).
+template <typename T>
+std::int64_t SumSelected(const SelectionVector& selection,
+                         const std::vector<T>& column) {
+  std::int64_t sum = 0;
+  for (std::uint32_t row : selection) {
+    sum += static_cast<std::int64_t>(column[row]);
+  }
+  return sum;
+}
+
+/// Morsel-parallel branching scan; deterministic output order (workers
+/// write disjoint chunks that are concatenated in order).
+template <typename T>
+SelectionVector ScanColumnParallel(const std::vector<T>& column,
+                                   CompareOp op, T bound,
+                                   std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
+  const std::size_t chunk = (column.size() + workers - 1) / workers;
+  std::vector<SelectionVector> partial(workers);
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    const std::size_t begin = std::min(column.size(), w * chunk);
+    const std::size_t end = std::min(column.size(), begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (Compare(op, column[i], bound)) {
+        partial[w].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  });
+  SelectionVector merged;
+  for (const SelectionVector& part : partial) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  return merged;
+}
+
+}  // namespace pump::ops
+
+#endif  // PUMP_OPS_SCAN_H_

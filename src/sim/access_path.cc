@@ -1,0 +1,79 @@
+#include "sim/access_path.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace pump::sim {
+
+Result<AccessPath> ResolveAccessPath(const hw::Topology& topology,
+                                     hw::DeviceId device,
+                                     hw::MemoryNodeId memory) {
+  PUMP_ASSIGN_OR_RETURN(hw::Route route,
+                        topology.FindRoute(device, memory));
+
+  const hw::DeviceSpec& dev = topology.device(device);
+  const hw::MemorySpec& mem = topology.memory(memory);
+
+  AccessPath path;
+  path.device = device;
+  path.memory = memory;
+  path.hops = route.hops();
+  path.cache_coherent = true;
+  path.granularity_bytes = mem.line_bytes;
+
+  double latency = mem.latency_s;
+  double seq_bw = mem.seq_bw;
+  double random_rate = mem.random_access_rate;
+  bool first_hop = true;
+  for (std::size_t e : route.edge_indices) {
+    const hw::LinkSpec& link = topology.edges()[e].link;
+    latency += link.hop_latency_s;
+    seq_bw = std::min(seq_bw, link.seq_bw);
+    random_rate = std::min(random_rate, link.random_access_rate);
+    if (!first_hop) {
+      // Store-and-forward re-encapsulation: each additional hop repacks
+      // the payload into the next link's packets, paying that link's
+      // header overhead again. (The measured single-hop rates already
+      // include their own overhead.)
+      seq_bw *= link.BulkEfficiency();
+      random_rate *= link.BulkEfficiency();
+    }
+    first_hop = false;
+    path.cache_coherent = path.cache_coherent && link.cache_coherent;
+    path.granularity_bytes =
+        std::max(path.granularity_bytes, link.access_granularity_bytes);
+  }
+
+  // Little's-law device-side bounds: a latency-sensitive device cannot keep
+  // enough traffic in flight to saturate a long path.
+  seq_bw = std::min(seq_bw, dev.max_outstanding_bytes / latency);
+  random_rate = std::min(random_rate, dev.max_outstanding_requests / latency);
+
+  path.latency_s = latency;
+  path.seq_bw = seq_bw;
+  path.random_access_rate = random_rate;
+  path.dependent_access_rate = random_rate * dev.random_dependency_factor;
+  return path;
+}
+
+AccessPath MustResolve(const hw::Topology& topology, hw::DeviceId device,
+                       hw::MemoryNodeId memory) {
+  Result<AccessPath> path = ResolveAccessPath(topology, device, memory);
+  if (!path.ok()) std::abort();
+  return std::move(path).value();
+}
+
+std::string AccessPath::ToString() const {
+  std::ostringstream os;
+  os << "AccessPath(device=" << device << ", memory=" << memory
+     << ", hops=" << hops << ", latency=" << ToNanoseconds(latency_s)
+     << "ns, seq=" << ToGiBPerSecond(seq_bw)
+     << "GiB/s, rand=" << random_access_rate / 1e9 << "G/s, coherent="
+     << (cache_coherent ? "yes" : "no") << ")";
+  return os.str();
+}
+
+}  // namespace pump::sim

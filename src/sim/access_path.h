@@ -1,0 +1,75 @@
+#ifndef PUMP_SIM_ACCESS_PATH_H_
+#define PUMP_SIM_ACCESS_PATH_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "hw/topology.h"
+
+namespace pump::sim {
+
+/// The resolved performance properties of one device reading/writing one
+/// memory node over the routed interconnect path. This is the core
+/// abstraction of the hardware model: every operator cost model consumes
+/// AccessPaths, never raw link specs.
+///
+/// Derivation (Sec. 3 methodology):
+///  * latency      = destination memory latency + sum of hop latencies
+///  * seq_bw       = min(memory seq bw, per-link seq bw,
+///                       device outstanding bytes / latency)      [Little]
+///  * random rate  = min(memory rate, per-link rates,
+///                       device outstanding requests / latency)   [Little]
+/// The Little's-law terms make CPUs slow over high-latency paths while GPUs
+/// stay link-bound, matching the paper's observation that CPUs cope worse
+/// with interconnect latency than GPUs (Sec. 6.2).
+struct AccessPath {
+  hw::DeviceId device = hw::kInvalidDevice;
+  hw::MemoryNodeId memory = hw::kInvalidMemoryNode;
+
+  /// Interconnect hops between device and memory (0 = local).
+  std::size_t hops = 0;
+  /// End-to-end access latency in seconds.
+  double latency_s = 0.0;
+  /// Achievable sequential bandwidth in bytes/s.
+  double seq_bw = 0.0;
+  /// Achievable independent random access rate, accesses/s at line
+  /// granularity (anchored to the paper's 4-byte random-read figures).
+  double random_access_rate = 0.0;
+  /// Random access rate derated by the device's dependency factor; use for
+  /// dependent (pointer-chasing / hash-probe) access chains.
+  double dependent_access_rate = 0.0;
+  /// True iff the whole path is cache-coherent (pageable access possible).
+  bool cache_coherent = false;
+  /// Access granularity in bytes (line size of the narrowest hop).
+  double granularity_bytes = 128.0;
+
+  /// Time to stream `bytes` sequentially.
+  double SequentialTime(double bytes) const { return bytes / seq_bw; }
+  /// Time to perform `accesses` independent random accesses.
+  double RandomTime(double accesses) const {
+    return accesses / random_access_rate;
+  }
+  /// Time to perform `accesses` dependent random accesses.
+  double DependentRandomTime(double accesses) const {
+    return accesses / dependent_access_rate;
+  }
+
+  /// Human-readable summary for debug output.
+  std::string ToString() const;
+};
+
+/// Resolves the access path from `device` to `memory` in `topology`.
+/// Returns NotFound when the devices are not connected.
+Result<AccessPath> ResolveAccessPath(const hw::Topology& topology,
+                                     hw::DeviceId device,
+                                     hw::MemoryNodeId memory);
+
+/// Resolves the path and aborts on error; for contexts where the topology
+/// is known to be connected (canned systems).
+AccessPath MustResolve(const hw::Topology& topology, hw::DeviceId device,
+                       hw::MemoryNodeId memory);
+
+}  // namespace pump::sim
+
+#endif  // PUMP_SIM_ACCESS_PATH_H_

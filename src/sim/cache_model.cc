@@ -1,0 +1,70 @@
+#include "sim/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump::sim {
+namespace {
+
+// Threshold below which H_{n,s} is summed exactly.
+constexpr std::uint64_t kExactLimit = 1u << 20;
+
+// Integral tail: sum_{k=a..n} k^{-s} ~ integral_{a-0.5}^{n+0.5} x^{-s} dx.
+double IntegralTail(double a, double n, double s) {
+  const double lo = a - 0.5;
+  const double hi = n + 0.5;
+  if (std::abs(s - 1.0) < 1e-12) return std::log(hi / lo);
+  return (std::pow(hi, 1.0 - s) - std::pow(lo, 1.0 - s)) / (1.0 - s);
+}
+
+}  // namespace
+
+double GeneralizedHarmonic(std::uint64_t n, double s) {
+  if (n == 0) return 0.0;
+  const std::uint64_t exact_n = std::min(n, kExactLimit);
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k <= exact_n; ++k) {
+    sum += std::pow(static_cast<double>(k), -s);
+  }
+  if (n > exact_n) {
+    sum += IntegralTail(static_cast<double>(exact_n + 1),
+                        static_cast<double>(n), s);
+  }
+  return sum;
+}
+
+double UniformHitRate(std::uint64_t entries, std::uint64_t cache_entries) {
+  if (entries == 0) return 1.0;
+  if (cache_entries >= entries) return 1.0;
+  return static_cast<double>(cache_entries) / static_cast<double>(entries);
+}
+
+double ZipfHitRate(std::uint64_t entries, std::uint64_t cache_entries,
+                   double zipf_exponent) {
+  if (entries == 0) return 1.0;
+  if (zipf_exponent <= 0.0) return UniformHitRate(entries, cache_entries);
+  if (cache_entries >= entries) return 1.0;
+  const double hot = GeneralizedHarmonic(cache_entries, zipf_exponent);
+  const double all = GeneralizedHarmonic(entries, zipf_exponent);
+  return all <= 0.0 ? 1.0 : hot / all;
+}
+
+double BlendedAccessRate(double hit_rate, double cache_rate,
+                         double miss_rate) {
+  hit_rate = std::clamp(hit_rate, 0.0, 1.0);
+  const double hit_cost = hit_rate / cache_rate;
+  const double miss_cost = (1.0 - hit_rate) / miss_rate;
+  return 1.0 / (hit_cost + miss_cost);
+}
+
+std::uint64_t CacheResidentEntries(const hw::CacheSpec& cache,
+                                   std::uint64_t entry_bytes) {
+  if (entry_bytes == 0) return 0;
+  const double entries_per_line =
+      std::max(1.0, cache.line_bytes / static_cast<double>(entry_bytes));
+  const double lines =
+      static_cast<double>(cache.capacity_bytes) / cache.line_bytes;
+  return static_cast<std::uint64_t>(lines * entries_per_line);
+}
+
+}  // namespace pump::sim

@@ -1,0 +1,41 @@
+#ifndef PUMP_SIM_CACHE_MODEL_H_
+#define PUMP_SIM_CACHE_MODEL_H_
+
+#include <cstdint>
+
+#include "hw/memory_spec.h"
+
+namespace pump::sim {
+
+/// Generalized harmonic number H_{n,s} = sum_{k=1..n} k^{-s}.
+/// Exact summation for small n; Euler-Maclaurin integral tail for large n,
+/// accurate to well under 0.1% for the cardinalities used here (up to 2^31).
+double GeneralizedHarmonic(std::uint64_t n, double s);
+
+/// Analytic cache hit rate for a working set of `entries` fixed-size items
+/// accessed uniformly at random, with a cache holding `cache_entries` items:
+/// simply the resident fraction.
+double UniformHitRate(std::uint64_t entries, std::uint64_t cache_entries);
+
+/// Analytic hit rate for Zipf(s)-distributed accesses over `entries` items
+/// when the cache retains the `cache_entries` hottest items:
+///   hit = H_{min(n,c), s} / H_{n, s}.
+/// This models the skew experiment (Fig. 19): with exponent 1.5 there is a
+/// 97.5% chance of hitting one of the top-1000 tuples (Sec. 7.2.8).
+double ZipfHitRate(std::uint64_t entries, std::uint64_t cache_entries,
+                   double zipf_exponent);
+
+/// Effective random-access rate when a fraction `hit_rate` of accesses hits
+/// a cache with rate `cache_rate` and the rest go to memory at `miss_rate`:
+/// harmonic interleaving 1 / (h/r_c + (1-h)/r_m).
+double BlendedAccessRate(double hit_rate, double cache_rate,
+                         double miss_rate);
+
+/// Convenience: the number of cache-resident entries for a table of
+/// `entry_bytes`-sized entries in `cache` (line-granular, conservative).
+std::uint64_t CacheResidentEntries(const hw::CacheSpec& cache,
+                                   std::uint64_t entry_bytes);
+
+}  // namespace pump::sim
+
+#endif  // PUMP_SIM_CACHE_MODEL_H_

@@ -1,0 +1,62 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pump::sim {
+
+PipelineEventSimulator::Timeline PipelineEventSimulator::Simulate(
+    const std::vector<transfer::PipelineStage>& stages, double total_bytes,
+    double chunk_bytes) const {
+  Timeline timeline;
+  if (total_bytes <= 0.0 || stages.empty() || chunk_bytes <= 0.0) {
+    return timeline;
+  }
+  const auto chunks =
+      static_cast<std::size_t>(std::ceil(total_bytes / chunk_bytes));
+  timeline.chunk_completion_s.resize(chunks, 0.0);
+
+  // stage_free[s]: when stage s finished its previous chunk.
+  std::vector<double> stage_free(stages.size(), 0.0);
+  double remaining = total_bytes;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const double bytes = std::min(chunk_bytes, remaining);
+    remaining -= bytes;
+    double ready = 0.0;  // When this chunk finished the previous stage.
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      const double start = std::max(ready, stage_free[s]);
+      const double finish = start + stages[s].ChunkTime(bytes);
+      stage_free[s] = finish;
+      ready = finish;
+    }
+    timeline.chunk_completion_s[c] = ready;
+  }
+  timeline.makespan_s = timeline.chunk_completion_s.back();
+  return timeline;
+}
+
+double JoinPhaseSim::Simulate(double tuples, double tuple_bytes,
+                              double accesses_per_tuple) const {
+  if (tuples <= 0.0 || ingest_bw <= 0.0 || ht_rate <= 0.0) return 0.0;
+  const auto chunks = static_cast<std::size_t>(
+      std::ceil(tuples / std::max(1.0, chunk_tuples)));
+  double ingest_free = 0.0;
+  double ht_free = 0.0;
+  double remaining = tuples;
+  double finish = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const double t = std::min(chunk_tuples, remaining);
+    remaining -= t;
+    // Stream this chunk's payload.
+    const double data_done = ingest_free + t * tuple_bytes / ingest_bw;
+    ingest_free = data_done;
+    // Lookups for the chunk begin once its data landed and the table path
+    // is free.
+    const double lookups_start = std::max(data_done, ht_free);
+    finish = lookups_start + t * accesses_per_tuple / ht_rate;
+    ht_free = finish;
+  }
+  return finish;
+}
+
+}  // namespace pump::sim

@@ -1,0 +1,54 @@
+#ifndef PUMP_SIM_EVENT_SIM_H_
+#define PUMP_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transfer/pipeline.h"
+
+namespace pump::sim {
+
+/// A discrete-event simulation of a chunked, in-order software pipeline:
+/// chunk c may start stage s only after (a) chunk c finished stage s-1
+/// and (b) chunk c-1 finished stage s. This is the exact schedule the
+/// push-based transfer methods execute (Sec. 4.1); the closed-form
+/// PipelineMakespan is its analytic shortcut, and the test suite checks
+/// they agree.
+class PipelineEventSimulator {
+ public:
+  /// Per-chunk completion times of the final stage.
+  struct Timeline {
+    std::vector<double> chunk_completion_s;
+    double makespan_s = 0.0;
+  };
+
+  /// Simulates `total_bytes` flowing through `stages` in `chunk_bytes`
+  /// chunks (the final chunk may be smaller).
+  Timeline Simulate(const std::vector<transfer::PipelineStage>& stages,
+                    double total_bytes, double chunk_bytes) const;
+};
+
+/// Event-driven simulation of one join phase with two contended
+/// resources: the ingest path (streams chunk payloads) and the hash-table
+/// path (serves the chunk's lookups). The device overlaps both across
+/// chunks; within a chunk, lookups wait for the chunk's data. An
+/// independent check of the overlap-norm approximation used by the
+/// closed-form join model.
+struct JoinPhaseSim {
+  /// Ingest bandwidth, bytes/s.
+  double ingest_bw = 0.0;
+  /// Hash-table access rate, accesses/s.
+  double ht_rate = 0.0;
+  /// Tuples per chunk (morsel batch granularity).
+  double chunk_tuples = 1 << 20;
+
+  /// Simulates processing `tuples` of `tuple_bytes` each, with
+  /// `accesses_per_tuple` hash-table accesses; returns the makespan.
+  double Simulate(double tuples, double tuple_bytes,
+                  double accesses_per_tuple = 1.0) const;
+};
+
+}  // namespace pump::sim
+
+#endif  // PUMP_SIM_EVENT_SIM_H_

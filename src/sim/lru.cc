@@ -1,0 +1,23 @@
+#include "sim/lru.h"
+
+namespace pump::sim {
+
+bool LruCacheSim::Access(std::uint64_t key) {
+  ++accesses_;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (capacity_ == 0) return false;
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_[key] = order_.begin();
+  return false;
+}
+
+}  // namespace pump::sim

@@ -1,0 +1,52 @@
+#ifndef PUMP_SIM_LRU_H_
+#define PUMP_SIM_LRU_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace pump::sim {
+
+/// A functional LRU cache simulator over integer keys, used to validate
+/// the analytic cache-hit models (UniformHitRate / ZipfHitRate) against
+/// an actual replacement policy: under a stationary Zipf stream, LRU's
+/// steady-state hit rate converges to the hottest-k analytic rate.
+class LruCacheSim {
+ public:
+  /// Creates a cache holding at most `capacity` distinct keys.
+  explicit LruCacheSim(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Simulates one access; returns true on a hit. Misses insert the key
+  /// and evict the least-recently-used one when full.
+  bool Access(std::uint64_t key);
+
+  /// Accesses seen so far.
+  std::uint64_t accesses() const { return accesses_; }
+  /// Hits seen so far.
+  std::uint64_t hits() const { return hits_; }
+  /// Hit rate over all accesses so far (0 when empty).
+  double HitRate() const {
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(accesses_);
+  }
+  /// Resets the statistics but keeps the cache contents (to measure the
+  /// steady state after a warm-up phase).
+  void ResetStats() {
+    accesses_ = 0;
+    hits_ = 0;
+  }
+  /// Number of resident keys.
+  std::size_t Size() const { return map_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // Front = most recent.
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace pump::sim
+
+#endif  // PUMP_SIM_LRU_H_

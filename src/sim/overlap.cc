@@ -1,0 +1,19 @@
+#include "sim/overlap.h"
+
+#include <algorithm>
+
+namespace pump::sim {
+
+double OverlapTime(std::initializer_list<double> components, double p) {
+  double max_t = 0.0;
+  for (double t : components) max_t = std::max(max_t, t);
+  if (max_t <= 0.0) return 0.0;
+  // Normalize by the max for numeric stability before exponentiation.
+  double sum = 0.0;
+  for (double t : components) {
+    if (t > 0.0) sum += std::pow(t / max_t, p);
+  }
+  return max_t * std::pow(sum, 1.0 / p);
+}
+
+}  // namespace pump::sim

@@ -1,0 +1,28 @@
+#ifndef PUMP_SIM_OVERLAP_H_
+#define PUMP_SIM_OVERLAP_H_
+
+#include <cmath>
+#include <initializer_list>
+
+namespace pump::sim {
+
+/// Combines the times of concurrently progressing resource demands (e.g.
+/// streaming the probe relation while performing hash-table lookups) into a
+/// single phase time using a p-norm:
+///   T = (sum_i t_i^p)^(1/p)
+/// p = 1 means no overlap (serial), p -> infinity means perfect overlap
+/// (max). Real devices land in between; the exponents below are calibrated
+/// against the paper's end-to-end join numbers.
+double OverlapTime(std::initializer_list<double> components, double p);
+
+/// GPUs overlap streaming, random access, and compute aggressively via warp
+/// scheduling; close to max() with a small contention bump.
+inline constexpr double kGpuOverlapExponent = 4.0;
+
+/// CPU cores overlap less: out-of-order windows cover some of the probe
+/// latency but stalls serialize a larger fraction.
+inline constexpr double kCpuOverlapExponent = 2.0;
+
+}  // namespace pump::sim
+
+#endif  // PUMP_SIM_OVERLAP_H_

@@ -1,0 +1,115 @@
+#include "transfer/executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace pump::transfer {
+
+namespace {
+
+bool IsPush(TransferMethod method) {
+  return TraitsOf(method).semantics == Semantics::kPush;
+}
+
+}  // namespace
+
+Result<TransferStats> ExecuteTransfer(
+    TransferMethod method, const memory::Buffer& src, memory::Buffer* dst,
+    hw::MemoryNodeId gpu_node, std::uint64_t chunk_bytes,
+    std::uint64_t os_page_bytes, memory::UnifiedRegion* um_region,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk) {
+  if (!src.materialized()) {
+    return Status::InvalidArgument("source buffer is not materialized");
+  }
+  if (chunk_bytes == 0) {
+    return Status::InvalidArgument("chunk size must be positive");
+  }
+  const bool uses_um = method == TransferMethod::kUmPrefetch ||
+                       method == TransferMethod::kUmMigration;
+  if (uses_um && um_region == nullptr) {
+    return Status::InvalidArgument(
+        "Unified Memory methods require a UnifiedRegion");
+  }
+  if (uses_um && um_region->size() != src.size()) {
+    return Status::InvalidArgument("UnifiedRegion size mismatch");
+  }
+
+  TransferStats stats;
+
+  if (!IsPush(method) && method != TransferMethod::kUmMigration) {
+    // Zero-Copy / Coherence: the GPU dereferences CPU memory directly; no
+    // bytes land in GPU memory. Consumers read `src` in place.
+    stats.direct_access = true;
+    for (std::uint64_t offset = 0; offset < src.size();
+         offset += chunk_bytes) {
+      const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
+      ++stats.chunks;
+      if (on_chunk) on_chunk(offset, len);
+    }
+    return stats;
+  }
+
+  if (method == TransferMethod::kUmMigration) {
+    // Demand paging: every touched page migrates to the GPU node.
+    for (std::uint64_t offset = 0; offset < src.size();
+         offset += chunk_bytes) {
+      const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
+      for (std::uint64_t page_off = offset; page_off < offset + len;
+           page_off += os_page_bytes) {
+        PUMP_ASSIGN_OR_RETURN(bool faulted,
+                              um_region->Touch(page_off, gpu_node));
+        if (faulted) ++stats.pages_migrated;
+      }
+      ++stats.chunks;
+      if (on_chunk) on_chunk(offset, len);
+    }
+    stats.direct_access = true;
+    return stats;
+  }
+
+  // Push-based methods copy into the destination buffer.
+  if (dst == nullptr || !dst->materialized() || dst->size() < src.size()) {
+    return Status::InvalidArgument(
+        "push-based transfer requires a materialized destination of at "
+        "least the source size");
+  }
+
+  std::vector<std::byte> staging;
+  if (method == TransferMethod::kStagedCopy) staging.resize(chunk_bytes);
+
+  for (std::uint64_t offset = 0; offset < src.size(); offset += chunk_bytes) {
+    const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
+    switch (method) {
+      case TransferMethod::kStagedCopy:
+        // Extra pass through the pinned staging buffer (Sec. 4.1).
+        std::memcpy(staging.data(), src.data() + offset, len);
+        std::memcpy(dst->data() + offset, staging.data(), len);
+        stats.staged_bytes += len;
+        break;
+      case TransferMethod::kDynamicPinning:
+        stats.pages_pinned += (len + os_page_bytes - 1) / os_page_bytes;
+        std::memcpy(dst->data() + offset, src.data() + offset, len);
+        break;
+      case TransferMethod::kUmPrefetch: {
+        PUMP_ASSIGN_OR_RETURN(std::uint64_t moved,
+                              um_region->Prefetch(offset, len, gpu_node));
+        stats.pages_migrated += moved;
+        std::memcpy(dst->data() + offset, src.data() + offset, len);
+        break;
+      }
+      case TransferMethod::kPageableCopy:
+      case TransferMethod::kPinnedCopy:
+        std::memcpy(dst->data() + offset, src.data() + offset, len);
+        break;
+      default:
+        return Status::Internal("unexpected push method");
+    }
+    stats.bytes_copied += len;
+    ++stats.chunks;
+    if (on_chunk) on_chunk(offset, len);
+  }
+  return stats;
+}
+
+}  // namespace pump::transfer

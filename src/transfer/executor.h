@@ -1,0 +1,47 @@
+#ifndef PUMP_TRANSFER_EXECUTOR_H_
+#define PUMP_TRANSFER_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "memory/buffer.h"
+#include "memory/unified.h"
+#include "transfer/method.h"
+
+namespace pump::transfer {
+
+/// Counters produced by a functional transfer execution.
+struct TransferStats {
+  /// Bytes copied into the destination (0 for pull-based direct access).
+  std::uint64_t bytes_copied = 0;
+  /// Number of pipeline chunks processed.
+  std::uint64_t chunks = 0;
+  /// Bytes that went through a pinned staging buffer (Staged Copy).
+  std::uint64_t staged_bytes = 0;
+  /// OS pages pinned ad hoc (Dynamic Pinning).
+  std::uint64_t pages_pinned = 0;
+  /// Unified Memory page migrations (UM Prefetch / Migration).
+  std::uint64_t pages_migrated = 0;
+  /// True when the GPU accessed the source directly (Zero-Copy/Coherence).
+  bool direct_access = false;
+};
+
+/// Functionally executes a transfer: moves `src`'s bytes into `dst` (push
+/// methods) or marks direct access (pull methods), chunk by chunk, calling
+/// `on_chunk(offset, bytes)` after each chunk lands — this is where a
+/// pipelined consumer (e.g. a join build) hooks in. Both buffers must be
+/// materialized and the same size for push methods.
+///
+/// `um_region` must be non-null for the Unified Memory methods and records
+/// page residency; `gpu_node` is the destination memory node used for the
+/// residency bookkeeping.
+Result<TransferStats> ExecuteTransfer(
+    TransferMethod method, const memory::Buffer& src, memory::Buffer* dst,
+    hw::MemoryNodeId gpu_node, std::uint64_t chunk_bytes,
+    std::uint64_t os_page_bytes, memory::UnifiedRegion* um_region = nullptr,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk = {});
+
+}  // namespace pump::transfer
+
+#endif  // PUMP_TRANSFER_EXECUTOR_H_

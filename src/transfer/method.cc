@@ -1,0 +1,34 @@
+#include "transfer/method.h"
+
+namespace pump::transfer {
+namespace {
+
+using memory::MemoryKind;
+
+// Table 1 of the paper, verbatim.
+constexpr MethodTraits kTraits[] = {
+    {"Pageable Copy", Semantics::kPush, Level::kSoftware, Granularity::kChunk,
+     MemoryKind::kPageable},
+    {"Staged Copy", Semantics::kPush, Level::kSoftware, Granularity::kChunk,
+     MemoryKind::kPageable},
+    {"Dynamic Pinning", Semantics::kPush, Level::kSoftware,
+     Granularity::kChunk, MemoryKind::kPageable},
+    {"Pinned Copy", Semantics::kPush, Level::kSoftware, Granularity::kChunk,
+     MemoryKind::kPinned},
+    {"UM Prefetch", Semantics::kPush, Level::kSoftware, Granularity::kChunk,
+     MemoryKind::kUnified},
+    {"UM Migration", Semantics::kPull, Level::kOs, Granularity::kPage,
+     MemoryKind::kUnified},
+    {"Zero-Copy", Semantics::kPull, Level::kHardware, Granularity::kByte,
+     MemoryKind::kPinned},
+    {"Coherence", Semantics::kPull, Level::kHardware, Granularity::kByte,
+     MemoryKind::kPageable},
+};
+
+}  // namespace
+
+const MethodTraits& TraitsOf(TransferMethod method) {
+  return kTraits[static_cast<std::size_t>(method)];
+}
+
+}  // namespace pump::transfer

@@ -1,0 +1,50 @@
+#ifndef PUMP_TRANSFER_PIPELINE_H_
+#define PUMP_TRANSFER_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pump::transfer {
+
+/// One stage of a chunked software pipeline (Sec. 4.1): either a rate
+/// (bytes/s) or a fixed per-chunk latency, plus an optional per-chunk
+/// overhead (e.g. a kernel launch).
+struct PipelineStage {
+  std::string name;
+  /// Streaming rate of the stage in bytes/s; 0 for a pure-latency stage.
+  double rate = 0.0;
+  /// Fixed per-chunk overhead in seconds.
+  double per_chunk_latency_s = 0.0;
+
+  /// Time this stage needs for one chunk of `chunk_bytes`.
+  double ChunkTime(double chunk_bytes) const {
+    double t = per_chunk_latency_s;
+    if (rate > 0.0) t += chunk_bytes / rate;
+    return t;
+  }
+};
+
+/// Analytic makespan of an in-order, fully overlapped k-stage pipeline
+/// processing n equal chunks:
+///   makespan = sum_i t_i + (n - 1) * max_i t_i
+/// The first chunk fills the pipeline; afterwards the bottleneck stage
+/// paces it. This is the standard pipelining model the paper's push-based
+/// methods rely on (Sec. 4.1).
+double PipelineMakespan(const std::vector<PipelineStage>& stages,
+                        double total_bytes, double chunk_bytes);
+
+/// Steady-state throughput of the pipeline in bytes/s: the bottleneck
+/// stage's effective rate. Ignores fill time, so it is an upper bound on
+/// bytes/makespan, tight for many chunks.
+double PipelineSteadyStateRate(const std::vector<PipelineStage>& stages,
+                               double chunk_bytes);
+
+/// Default chunk size used by the push-based pipelines. The paper tunes
+/// chunk sizes empirically; 8 MiB amortizes launch overheads while keeping
+/// the pipeline fine-grained enough to overlap.
+inline constexpr double kDefaultChunkBytes = 8.0 * 1024 * 1024;
+
+}  // namespace pump::transfer
+
+#endif  // PUMP_TRANSFER_PIPELINE_H_

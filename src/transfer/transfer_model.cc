@@ -1,0 +1,117 @@
+#include "transfer/transfer_model.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pump::transfer {
+
+namespace {
+
+// Per-chunk overhead of issuing one pipelined copy + kernel launch.
+constexpr double kPerChunkOverheadS = 12e-6;
+
+}  // namespace
+
+TransferModel::TransferModel(const hw::SystemProfile* profile)
+    : profile_(profile) {}
+
+Status TransferModel::Validate(TransferMethod method, hw::DeviceId gpu,
+                               hw::MemoryNodeId src,
+                               memory::MemoryKind kind) const {
+  const MethodTraits& traits = TraitsOf(method);
+  PUMP_ASSIGN_OR_RETURN(
+      bool coherent, profile_->topology.IsCacheCoherentPath(gpu, src));
+
+  if (method == TransferMethod::kCoherence && !coherent) {
+    // PCI-e 3.0 is non-cache-coherent; the Coherence method does not exist
+    // there (Fig. 12 reports it as "Unsupported").
+    return Status::Unsupported(
+        "Coherence requires a cache-coherent interconnect path");
+  }
+  if (method == TransferMethod::kCoherence) {
+    // Coherence works on any CPU memory, pageable or pinned (Sec. 4.2).
+    return Status::OK();
+  }
+  if (kind != traits.required_memory) {
+    return Status::InvalidArgument(
+        std::string(traits.name) + " requires " +
+        memory::MemoryKindToString(traits.required_memory) + " memory, got " +
+        memory::MemoryKindToString(kind));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PipelineStage>> TransferModel::BuildPipeline(
+    TransferMethod method, hw::DeviceId gpu, hw::MemoryNodeId src) const {
+  const hw::Topology& topo = profile_->topology;
+  PUMP_ASSIGN_OR_RETURN(sim::AccessPath path,
+                        sim::ResolveAccessPath(topo, gpu, src));
+  const hw::DeviceSpec& cpu = topo.device(src);
+  const hw::MemorySpec& mem = topo.memory(src);
+  const double page = static_cast<double>(profile_->os_page_bytes);
+
+  std::vector<PipelineStage> stages;
+  switch (method) {
+    case TransferMethod::kPageableCopy:
+      // A single CPU thread drives MMIO writes to GPU memory.
+      stages.push_back({"mmio-copy",
+                        std::min(cpu.single_thread_copy_bw, path.seq_bw),
+                        kPerChunkOverheadS});
+      break;
+    case TransferMethod::kStagedCopy: {
+      // N staging threads memcpy pageable -> pinned; the extra pass and the
+      // concurrent DMA read triple the CPU-memory traffic per payload byte.
+      const double staging_rate =
+          std::min(profile_->staging_threads * cpu.single_thread_copy_bw,
+                   mem.duplex_bw / 3.0);
+      stages.push_back({"stage-to-pinned", staging_rate, 0.0});
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+      break;
+    }
+    case TransferMethod::kDynamicPinning:
+      // Page-lock each chunk ad hoc, then DMA it.
+      stages.push_back(
+          {"pin-pages", page / profile_->pin_page_latency_s, 0.0});
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+      break;
+    case TransferMethod::kPinnedCopy:
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+      break;
+    case TransferMethod::kUmPrefetch:
+      stages.push_back(
+          {"um-prefetch", profile_->um_prefetch_bw, kPerChunkOverheadS});
+      break;
+    case TransferMethod::kUmMigration: {
+      // Demand paging: each page pays a fault before moving at link rate.
+      const double per_page = profile_->um_page_fault_s + page / path.seq_bw;
+      stages.push_back({"demand-paging", page / per_page, 0.0});
+      break;
+    }
+    case TransferMethod::kZeroCopy:
+    case TransferMethod::kCoherence:
+      // Pull-based hardware access: the GPU reads at path bandwidth; no
+      // software pipeline exists.
+      stages.push_back({"direct-access", path.seq_bw, 0.0});
+      break;
+  }
+  return stages;
+}
+
+Result<double> TransferModel::IngestBandwidth(TransferMethod method,
+                                              hw::DeviceId gpu,
+                                              hw::MemoryNodeId src) const {
+  PUMP_ASSIGN_OR_RETURN(std::vector<PipelineStage> stages,
+                        BuildPipeline(method, gpu, src));
+  return PipelineSteadyStateRate(stages, kDefaultChunkBytes);
+}
+
+Result<double> TransferModel::TransferTime(TransferMethod method,
+                                           hw::DeviceId gpu,
+                                           hw::MemoryNodeId src, double bytes,
+                                           double chunk_bytes) const {
+  PUMP_ASSIGN_OR_RETURN(std::vector<PipelineStage> stages,
+                        BuildPipeline(method, gpu, src));
+  return PipelineMakespan(stages, bytes, chunk_bytes);
+}
+
+}  // namespace pump::transfer

@@ -1,0 +1,64 @@
+#ifndef PUMP_TRANSFER_TRANSFER_MODEL_H_
+#define PUMP_TRANSFER_TRANSFER_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hw/system_profile.h"
+#include "memory/buffer.h"
+#include "sim/access_path.h"
+#include "transfer/method.h"
+#include "transfer/pipeline.h"
+
+namespace pump::transfer {
+
+/// Performance model of the eight transfer methods (Sec. 4, Table 1) on a
+/// given system profile. Push-based methods are modelled as chunked
+/// software pipelines (Sec. 4.1); pull-based methods as direct access over
+/// the resolved interconnect path (Sec. 4.2).
+class TransferModel {
+ public:
+  /// Creates a model bound to `profile` (must outlive the model).
+  explicit TransferModel(const hw::SystemProfile* profile);
+
+  /// Checks whether `method` can move data of `kind` from `src` to the
+  /// GPU `gpu` on this system: memory-kind compatibility (Table 1) and
+  /// hardware capability (Coherence requires a cache-coherent path; it is
+  /// unsupported on PCI-e 3.0, Sec. 7.2.1).
+  Status Validate(TransferMethod method, hw::DeviceId gpu,
+                  hw::MemoryNodeId src, memory::MemoryKind kind) const;
+
+  /// The pipeline stages of a push-based method (for inspection and the
+  /// chunk-size ablation bench). Pull-based methods yield a single stage.
+  Result<std::vector<PipelineStage>> BuildPipeline(
+      TransferMethod method, hw::DeviceId gpu, hw::MemoryNodeId src) const;
+
+  /// Steady-state ingest bandwidth in bytes/s: the rate at which the GPU
+  /// can consume data from `src` with `method`. This is what the join and
+  /// scan cost models overlap with compute.
+  Result<double> IngestBandwidth(TransferMethod method, hw::DeviceId gpu,
+                                 hw::MemoryNodeId src) const;
+
+  /// Full transfer makespan for `bytes` with `chunk_bytes` chunks,
+  /// excluding GPU compute.
+  Result<double> TransferTime(TransferMethod method, hw::DeviceId gpu,
+                              hw::MemoryNodeId src, double bytes,
+                              double chunk_bytes = kDefaultChunkBytes) const;
+
+  /// True when the method pulls data (GPU-initiated): such methods can
+  /// satisfy data-dependent accesses, e.g. hash-table operations in CPU
+  /// memory (Sec. 4.2). Push-based methods cannot.
+  static bool SupportsDataDependentAccess(TransferMethod method) {
+    return TraitsOf(method).semantics == Semantics::kPull;
+  }
+
+  /// The bound system profile.
+  const hw::SystemProfile& profile() const { return *profile_; }
+
+ private:
+  const hw::SystemProfile* profile_;
+};
+
+}  // namespace pump::transfer
+
+#endif  // PUMP_TRANSFER_TRANSFER_MODEL_H_

@@ -1,0 +1,79 @@
+#include <cstdint>
+
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "hash/bloom.h"
+
+namespace pump::hash {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BlockedBloomFilter<std::int64_t> filter(10'000);
+  for (std::int64_t key = 0; key < 10'000; ++key) filter.Insert(key * 7);
+  for (std::int64_t key = 0; key < 10'000; ++key) {
+    ASSERT_TRUE(filter.MayContain(key * 7)) << key;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearEstimate) {
+  const std::size_t n = 1 << 18;
+  BlockedBloomFilter<std::int64_t> filter(n);
+  const auto inner = data::GenerateInner<std::int64_t, std::int64_t>(n, 1);
+  for (std::int64_t key : inner.keys) filter.Insert(key);
+
+  // Probe keys disjoint from the inserted domain.
+  std::uint64_t false_positives = 0;
+  const std::size_t probes = 200'000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    false_positives +=
+        filter.MayContain(static_cast<std::int64_t>(n + i));
+  }
+  const double measured =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  const double estimated = filter.EstimatedFalsePositiveRate();
+  EXPECT_LT(measured, 0.05);  // 12 bits/key with 4 probes is well under 5%.
+  EXPECT_NEAR(measured, estimated, 0.02);
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInserts) {
+  BlockedBloomFilter<std::int64_t> filter(1000);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+  for (std::int64_t key = 0; key < 500; ++key) filter.Insert(key);
+  const double half = filter.FillRatio();
+  for (std::int64_t key = 500; key < 1000; ++key) filter.Insert(key);
+  EXPECT_GT(filter.FillRatio(), half);
+  EXPECT_LT(filter.FillRatio(), 0.5);  // 12 bits/key keeps it sparse.
+}
+
+TEST(BloomFilterTest, MoreBitsPerKeyFewerFalsePositives) {
+  const std::size_t n = 1 << 16;
+  BlockedBloomFilter<std::int64_t> tight(n, 6.0);
+  BlockedBloomFilter<std::int64_t> roomy(n, 16.0);
+  for (std::int64_t key = 0; key < static_cast<std::int64_t>(n); ++key) {
+    tight.Insert(key);
+    roomy.Insert(key);
+  }
+  std::uint64_t tight_fp = 0, roomy_fp = 0;
+  for (std::int64_t key = 0; key < 100'000; ++key) {
+    tight_fp += tight.MayContain(static_cast<std::int64_t>(n) + key);
+    roomy_fp += roomy.MayContain(static_cast<std::int64_t>(n) + key);
+  }
+  EXPECT_LT(roomy_fp * 2, tight_fp);
+}
+
+TEST(BloomFilterTest, SizeScalesWithKeys) {
+  BlockedBloomFilter<std::int64_t> small(1 << 10);
+  BlockedBloomFilter<std::int64_t> large(1 << 20);
+  EXPECT_GT(large.bytes(), 100 * small.bytes());
+}
+
+TEST(BloomFilterTest, Int32Keys) {
+  BlockedBloomFilter<std::int32_t> filter(1000);
+  for (std::int32_t key = 0; key < 1000; ++key) filter.Insert(key);
+  for (std::int32_t key = 0; key < 1000; ++key) {
+    ASSERT_TRUE(filter.MayContain(key));
+  }
+}
+
+}  // namespace
+}  // namespace pump::hash

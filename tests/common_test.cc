@@ -1,0 +1,229 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "gtest/gtest.h"
+
+namespace pump {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad key");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad key");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad key");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfMemory("").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unsupported("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("row");
+  EXPECT_EQ(os.str(), "NotFound: row");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  PUMP_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = ParsePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 21);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ParsePositive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(DoublePositive(4).value(), 8);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kGB, 1000u * 1000u * 1000u);
+}
+
+TEST(UnitsTest, RoundTripBandwidth) {
+  EXPECT_DOUBLE_EQ(ToGiBPerSecond(GiBPerSecond(63.0)), 63.0);
+  EXPECT_DOUBLE_EQ(GBPerSecond(16.0), 16e9);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(Nanoseconds(434.0), 434e-9);
+  EXPECT_DOUBLE_EQ(ToNanoseconds(Nanoseconds(282.0)), 282.0);
+  EXPECT_DOUBLE_EQ(ToGTuplesPerSecond(3.83e9), 3.83);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next64() == b.Next64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitMix64IsStable) {
+  // Pinned value guards against accidental algorithm changes that would
+  // silently alter every generated workload.
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafull);
+}
+
+TEST(StatisticsTest, EmptyStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.standard_error(), 0.0);
+}
+
+TEST(StatisticsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatisticsTest, StandardErrorShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextDouble());
+  for (int i = 0; i < 1000; ++i) large.Add(rng.NextDouble());
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+TEST(StatisticsTest, ConstantSamplesHaveZeroError) {
+  RunningStats stats;
+  for (int i = 0; i < 10; ++i) stats.Add(3.83);
+  EXPECT_DOUBLE_EQ(stats.standard_error(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.relative_standard_error(), 0.0);
+}
+
+TEST(StatisticsTest, Median) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.50"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"with\"quote", "x"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n");
+}
+
+TEST(TablePrinterTest, PrintAutoHonorsEnvironment) {
+  TablePrinter table({"h"});
+  table.AddRow({"v"});
+  setenv("PUMP_TABLE_FORMAT", "csv", 1);
+  std::ostringstream csv;
+  table.PrintAuto(csv);
+  EXPECT_EQ(csv.str(), "h\nv\n");
+  unsetenv("PUMP_TABLE_FORMAT");
+  std::ostringstream text;
+  table.PrintAuto(text);
+  EXPECT_NE(text.str().find("-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace pump

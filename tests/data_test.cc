@@ -1,0 +1,257 @@
+#include <algorithm>
+#include <set>
+
+#include "common/units.h"
+#include "data/generator.h"
+#include "data/relation.h"
+#include "data/tpch.h"
+#include "data/workloads.h"
+#include "data/zipf.h"
+#include "gtest/gtest.h"
+#include "sim/cache_model.h"
+
+namespace pump::data {
+namespace {
+
+TEST(WorkloadTest, Table2WorkloadA) {
+  const WorkloadSpec a = WorkloadA();
+  EXPECT_EQ(a.r_tuples, 1ull << 27);
+  EXPECT_EQ(a.s_tuples, 1ull << 31);
+  EXPECT_EQ(a.tuple_bytes(), 16u);
+  EXPECT_EQ(a.r_bytes(), 2 * kGiB);
+  EXPECT_EQ(a.s_bytes(), 32 * kGiB);
+  EXPECT_EQ(a.total_bytes(), 34 * kGiB);
+}
+
+TEST(WorkloadTest, Table2WorkloadB) {
+  const WorkloadSpec b = WorkloadB();
+  EXPECT_EQ(b.r_tuples, 1ull << 18);
+  EXPECT_EQ(b.r_bytes(), 4 * kMiB);
+  EXPECT_EQ(b.s_bytes(), 32 * kGiB);
+}
+
+TEST(WorkloadTest, Table2WorkloadC) {
+  const WorkloadSpec c = WorkloadC();
+  EXPECT_EQ(c.r_tuples, 1024ull * 1000 * 1000);
+  EXPECT_EQ(c.tuple_bytes(), 8u);
+  // Table 2: 7.6 GiB per relation.
+  EXPECT_NEAR(static_cast<double>(c.r_bytes()) / kGiB, 7.6, 0.05);
+}
+
+TEST(WorkloadTest, HashTableBytesAtLoadFactorOne) {
+  // Fig. 17: 2048 M tuples x 16 B = 32 GiB = 2x GPU memory.
+  const WorkloadSpec c16 = WorkloadC16(2048ull << 20, 2048ull << 20);
+  EXPECT_EQ(c16.hash_table_bytes(), c16.r_tuples * 16);
+}
+
+TEST(WorkloadTest, ScaleToBytesPreservesRatio) {
+  const WorkloadSpec a = WorkloadA();
+  const WorkloadSpec scaled = ScaleToBytes(a, 13 * kGiB);
+  EXPECT_NEAR(static_cast<double>(scaled.total_bytes()) / kGiB, 13.0, 0.01);
+  const double ratio_before =
+      static_cast<double>(a.s_tuples) / static_cast<double>(a.r_tuples);
+  const double ratio_after = static_cast<double>(scaled.s_tuples) /
+                             static_cast<double>(scaled.r_tuples);
+  EXPECT_NEAR(ratio_after / ratio_before, 1.0, 1e-6);
+}
+
+TEST(WorkloadTest, ScaleCardinalitiesNeverZero) {
+  const WorkloadSpec tiny = ScaleCardinalities(WorkloadA(), 1e-12);
+  EXPECT_GE(tiny.r_tuples, 1u);
+  EXPECT_GE(tiny.s_tuples, 1u);
+}
+
+TEST(GeneratorTest, InnerKeysAreDensePermutation) {
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(1000, 42);
+  ASSERT_EQ(inner.size(), 1000u);
+  std::set<std::int64_t> keys(inner.keys.begin(), inner.keys.end());
+  EXPECT_EQ(keys.size(), 1000u);
+  EXPECT_EQ(*keys.begin(), 0);
+  EXPECT_EQ(*keys.rbegin(), 999);
+}
+
+TEST(GeneratorTest, InnerIsShuffled) {
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(1000, 42);
+  bool sorted = std::is_sorted(inner.keys.begin(), inner.keys.end());
+  EXPECT_FALSE(sorted);
+}
+
+TEST(GeneratorTest, PayloadDerivedFromKey) {
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(100, 1);
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    EXPECT_EQ(inner.payloads[i], inner.keys[i] + kPayloadOffset);
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const auto a = GenerateInner<std::int64_t, std::int64_t>(500, 7);
+  const auto b = GenerateInner<std::int64_t, std::int64_t>(500, 7);
+  EXPECT_EQ(a.keys, b.keys);
+  const auto c = GenerateInner<std::int64_t, std::int64_t>(500, 8);
+  EXPECT_NE(a.keys, c.keys);
+}
+
+TEST(GeneratorTest, OuterUniformInDomain) {
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(10000, 256, 3);
+  ASSERT_EQ(outer.size(), 10000u);
+  for (std::int64_t key : outer.keys) {
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, 256);
+  }
+  // Every key of a small domain should appear.
+  std::set<std::int64_t> seen(outer.keys.begin(), outer.keys.end());
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(GeneratorTest, OuterZipfSkewsTowardsHotKeys) {
+  const std::size_t n = 1u << 16;
+  const auto skewed =
+      GenerateOuterZipf<std::int64_t, std::int64_t>(50000, n, 1.5, 9);
+  std::size_t hot = 0;
+  for (std::int64_t key : skewed.keys) {
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, static_cast<std::int64_t>(n));
+    if (key < 1000) ++hot;
+  }
+  // Sec. 7.2.8: ~97.5% of accesses hit the top-1000 keys at z = 1.5.
+  EXPECT_GT(static_cast<double>(hot) / 50000.0, 0.93);
+}
+
+TEST(GeneratorTest, ZipfZeroIsRoughlyUniform) {
+  const std::size_t n = 1024;
+  const auto flat =
+      GenerateOuterZipf<std::int64_t, std::int64_t>(100000, n, 0.0, 5);
+  std::size_t hot = 0;
+  for (std::int64_t key : flat.keys) {
+    if (key < 102) ++hot;  // ~10% of the domain.
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / 100000.0, 0.1, 0.02);
+}
+
+TEST(GeneratorTest, SelectiveMatchesFraction) {
+  const std::size_t n = 4096;
+  for (double sel : {0.0, 0.25, 0.5, 1.0}) {
+    const auto outer = GenerateOuterSelective<std::int64_t, std::int64_t>(
+        40000, n, sel, 17);
+    std::size_t matching = 0;
+    for (std::int64_t key : outer.keys) {
+      if (key < static_cast<std::int64_t>(n)) ++matching;
+    }
+    EXPECT_NEAR(static_cast<double>(matching) / 40000.0, sel, 0.01)
+        << "sel=" << sel;
+  }
+}
+
+TEST(ZipfTest, RanksWithinDomain) {
+  ZipfGenerator zipf(100, 1.0);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t rank = zipf.Next(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsHottest) {
+  ZipfGenerator zipf(1000, 1.2);
+  Rng rng(21);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t rank = zipf.Next(rng);
+    if (rank <= 10) ++counts[rank];
+  }
+  // Monotonically decreasing counts over the first ranks.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+  EXPECT_GT(counts[4], counts[8]);
+}
+
+TEST(ZipfTest, FrequenciesMatchTheory) {
+  const double s = 1.0;
+  const std::uint64_t n = 1u << 20;
+  ZipfGenerator zipf(n, s);
+  Rng rng(31);
+  const int samples = 200000;
+  int rank1 = 0;
+  for (int i = 0; i < samples; ++i) rank1 += (zipf.Next(rng) == 1);
+  const double expected = 1.0 / sim::GeneralizedHarmonic(n, s);
+  EXPECT_NEAR(static_cast<double>(rank1) / samples, expected,
+              expected * 0.1);
+}
+
+TEST(ZipfTest, HandlesExponentNearOne) {
+  ZipfGenerator zipf(1000, 1.0 + 1e-12);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t rank = zipf.Next(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+  }
+}
+
+TEST(TpchTest, GeneratorBounds) {
+  const LineitemQ6 table = GenerateLineitemQ6(20000, 11);
+  ASSERT_EQ(table.size(), 20000u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    ASSERT_GE(table.quantity[i], 1);
+    ASSERT_LE(table.quantity[i], 50);
+    ASSERT_GE(table.discount[i], 0);
+    ASSERT_LE(table.discount[i], 10);
+    ASSERT_GE(table.shipdate[i], 0);
+    ASSERT_LT(table.shipdate[i], 2526);
+    ASSERT_GT(table.extendedprice[i], 0);
+  }
+}
+
+TEST(TpchTest, SelectivityIsLow) {
+  // Q6 is a low-selectivity query (paper quotes 1.3%; our marginals give
+  // ~1.8%).
+  EXPECT_GT(Q6Selectivity(), 0.005);
+  EXPECT_LT(Q6Selectivity(), 0.03);
+  EXPECT_NEAR(Q6DateSelectivity(), 0.1445, 0.001);
+}
+
+TEST(TpchTest, EmpiricalSelectivityMatchesAnalytic) {
+  const LineitemQ6 table = GenerateLineitemQ6(200000, 19);
+  std::size_t qualifying = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.shipdate[i] >= kQ6DateLo && table.shipdate[i] < kQ6DateHi &&
+        table.discount[i] >= kQ6DiscountLo &&
+        table.discount[i] <= kQ6DiscountHi &&
+        table.quantity[i] < kQ6QuantityLt) {
+      ++qualifying;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(qualifying) / 200000.0, Q6Selectivity(),
+              0.004);
+}
+
+TEST(TpchTest, ClusterByShipdateSortsAllColumns) {
+  LineitemQ6 table = GenerateLineitemQ6(5000, 23);
+  const LineitemQ6 original = table;
+  ClusterByShipdate(&table);
+  EXPECT_TRUE(std::is_sorted(table.shipdate.begin(), table.shipdate.end()));
+  // Row integrity: the multiset of (price, discount) pairs is unchanged.
+  std::multiset<std::int64_t> before, after;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    before.insert(original.extendedprice[i] * 100 + original.discount[i]);
+    after.insert(table.extendedprice[i] * 100 + table.discount[i]);
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(RelationTest, SizesAndBytes) {
+  Relation64 relation;
+  relation.Reserve(3);
+  relation.Append(1, 2);
+  relation.Append(3, 4);
+  EXPECT_EQ(relation.size(), 2u);
+  EXPECT_FALSE(relation.empty());
+  EXPECT_EQ(Relation64::tuple_bytes(), 16u);
+  EXPECT_EQ(Relation32::tuple_bytes(), 8u);
+  EXPECT_EQ(relation.total_bytes(), 32u);
+}
+
+}  // namespace
+}  // namespace pump::data

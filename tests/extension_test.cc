@@ -1,0 +1,168 @@
+// Tests for the extension features beyond the paper's evaluation:
+// direct GPU meshes, skew-aware placement, and result materialization.
+
+#include <algorithm>
+#include <set>
+
+#include "common/units.h"
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "join/coprocess.h"
+#include "join/cost_model.h"
+#include "join/nopa.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+
+TEST(DirectGpuMeshTest, TopologyShape) {
+  const hw::Topology mesh = hw::DirectGpuMesh(4);
+  EXPECT_EQ(mesh.device_count(), 5u);
+  EXPECT_EQ(mesh.DevicesOfKind(hw::DeviceKind::kGpu).size(), 4u);
+  // 4 host links + C(4,2) = 6 peer links.
+  EXPECT_EQ(mesh.edges().size(), 10u);
+  // Every GPU reaches every other GPU in one hop.
+  for (hw::DeviceId a = 1; a <= 4; ++a) {
+    for (hw::DeviceId b = 1; b <= 4; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(mesh.FindRoute(a, b).value().hops(), 1u);
+    }
+  }
+}
+
+TEST(DirectGpuMeshTest, PeerRandomAccessSkipsNpu) {
+  // Peer NVLink random accesses are sector-bandwidth-bound, not NPU-bound:
+  // a 1-link peer bundle must beat the NPU-limited GPU->CPU rate scaled
+  // to one link.
+  const hw::LinkSpec peer = hw::Nvlink2Bundle(1);
+  const hw::LinkSpec host = hw::Nvlink2x3();
+  EXPECT_GT(peer.random_access_rate, host.random_access_rate / 3.0 * 1.5);
+  EXPECT_NEAR(peer.seq_bw, host.seq_bw / 3.0, 1.0);
+}
+
+TEST(DirectGpuMeshTest, InterleavingScalesOnMesh) {
+  // Sec. 6.3's proposal works once GPUs are directly meshed: 4 GPUs beat
+  // 2 GPUs beat the single-GPU hybrid table for an out-of-core build.
+  const data::WorkloadSpec big =
+      data::WorkloadC16(1536ull << 20, 1536ull << 20);
+  auto interleaved = [&](int gpus) {
+    hw::SystemProfile profile;
+    profile.topology = hw::DirectGpuMesh(gpus);
+    const join::CoProcessModel model(&profile);
+    join::CoProcessConfig config;
+    config.cpu = 0;
+    config.gpu = 1;
+    config.data_location = 0;
+    for (int g = 2; g <= gpus; ++g) config.extra_gpus.push_back(g);
+    return model
+        .Estimate(join::ExecutionStrategy::kMultiGpu, config, big)
+        .value()
+        .Throughput(static_cast<double>(big.total_tuples()));
+  };
+  const double two = interleaved(2);
+  const double four = interleaved(4);
+  EXPECT_GT(four, 1.4 * two);
+}
+
+TEST(SkewAwarePlacementTest, BeatsAddressSplitUnderSkew) {
+  // Placing the *hottest* entries on the GPU (instead of an address-based
+  // split) concentrates Zipf mass on the fast part.
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const NopaJoinModel model(&ibm);
+  data::WorkloadSpec w = data::WorkloadA();
+  w.zipf_exponent = 1.0;
+
+  const HashTablePlacement address_split =
+      HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0, 0.25);
+  const HashTablePlacement skew_aware = HashTablePlacement::SkewAware(
+      hw::kGpu0, hw::kCpu0, 0.25, w.r_tuples, w.zipf_exponent);
+
+  const double plain =
+      model.HashTableAccessRate(hw::kGpu0, address_split, w);
+  const double aware = model.HashTableAccessRate(hw::kGpu0, skew_aware, w);
+  EXPECT_GT(aware, 1.5 * plain);
+}
+
+TEST(SkewAwarePlacementTest, DegeneratesToUniformWithoutSkew) {
+  const HashTablePlacement aware = HashTablePlacement::SkewAware(
+      hw::kGpu0, hw::kCpu0, 0.3, 1u << 27, /*zipf_exponent=*/0.0);
+  ASSERT_EQ(aware.parts.size(), 2u);
+  EXPECT_NEAR(aware.parts[0].fraction, 0.3, 1e-6);
+}
+
+TEST(SkewAwarePlacementTest, FullGpuIsIdentity) {
+  const HashTablePlacement aware = HashTablePlacement::SkewAware(
+      hw::kGpu0, hw::kCpu0, 1.0, 1u << 27, 1.5);
+  ASSERT_EQ(aware.parts.size(), 1u);
+  EXPECT_EQ(aware.parts[0].node, hw::kGpu0);
+}
+
+TEST(MaterializeTest, FunctionalOutputMatchesAggregate) {
+  const std::size_t n = 1 << 12;
+  const auto inner = data::GenerateInner<std::int64_t, std::int64_t>(n, 3);
+  const auto outer = data::GenerateOuterSelective<std::int64_t,
+                                                  std::int64_t>(
+      30000, n, 0.4, 4);
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+  ASSERT_TRUE(join::BuildPhase(&table, inner, 1).ok());
+
+  const auto rows = join::ProbeMaterialize(table, outer, 3);
+  const join::JoinAggregate aggregate = join::ProbePhase(table, outer, 1);
+  EXPECT_EQ(rows.size(), aggregate.matches);
+  std::uint64_t sum = 0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.inner_payload, row.key + data::kPayloadOffset);
+    sum += static_cast<std::uint64_t>(row.inner_payload);
+  }
+  EXPECT_EQ(sum, aggregate.payload_sum);
+}
+
+TEST(MaterializeTest, WorkerCountDoesNotChangeMultiset) {
+  const std::size_t n = 1 << 12;
+  const auto inner = data::GenerateInner<std::int64_t, std::int64_t>(n, 5);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      20000, n, 6);
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+  ASSERT_TRUE(join::BuildPhase(&table, inner, 1).ok());
+
+  auto canonical = [&](std::size_t workers) {
+    auto rows = join::ProbeMaterialize(table, outer, workers);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(a.key, a.outer_payload) <
+                       std::tie(b.key, b.outer_payload);
+              });
+    return rows;
+  };
+  EXPECT_EQ(canonical(1), canonical(4));
+}
+
+TEST(MaterializeTest, ModelChargesResultStream) {
+  // Materializing a fully matching out-of-core join writes 24 B per match
+  // back over the link; the modelled probe must slow down accordingly.
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const NopaJoinModel model(&ibm);
+  const data::WorkloadSpec w = data::WorkloadA();
+
+  NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = HashTablePlacement::Single(hw::kGpu0);
+  const double aggregate_s =
+      model.Estimate(config, w).value().probe_s;
+  config.materialize_result = true;
+  const double materialize_s =
+      model.Estimate(config, w).value().probe_s;
+  EXPECT_GT(materialize_s, aggregate_s);
+  // Full-duplex links overlap the write-back, so the penalty is bounded.
+  EXPECT_LT(materialize_s, 2.0 * aggregate_s);
+}
+
+}  // namespace
+}  // namespace pump

@@ -1,0 +1,179 @@
+// Failure-path and edge-case coverage: every library error must surface
+// as a Status (never a crash), and degenerate inputs must stay finite.
+
+#include <cmath>
+#include <tuple>
+
+#include "data/workloads.h"
+#include "gtest/gtest.h"
+#include "hash/hybrid_table.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+#include "join/nopa.h"
+#include "memory/allocator.h"
+#include "ops/q6_model.h"
+#include "transfer/transfer_model.h"
+
+namespace pump {
+namespace {
+
+using memory::MemoryKind;
+using transfer::TransferMethod;
+
+// ---------------------------------------------------------------------
+// Full transfer validation matrix: every (method, memory kind) pair on
+// both systems either validates or returns a typed error — never crashes
+// and never mislabels.
+class TransferMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, TransferMethod, MemoryKind>> {};
+
+TEST_P(TransferMatrixTest, ValidateIsTotalAndTyped) {
+  const auto [system, method, kind] = GetParam();
+  const hw::SystemProfile profile =
+      system == 0 ? hw::Ac922Profile() : hw::XeonProfile();
+  const transfer::TransferModel model(&profile);
+  const Status status =
+      model.Validate(method, hw::kGpu0, hw::kCpu0, kind);
+
+  if (method == TransferMethod::kCoherence) {
+    if (system == 0) {
+      // NVLink: Coherence accepts every memory kind (Sec. 4.2).
+      EXPECT_TRUE(status.ok());
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kUnsupported);
+    }
+    return;
+  }
+  const MemoryKind required = transfer::TraitsOf(method).required_memory;
+  if (kind == required) {
+    EXPECT_TRUE(status.ok()) << transfer::TransferMethodToString(method);
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << transfer::TransferMethodToString(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, TransferMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(0, 1),
+        ::testing::ValuesIn(transfer::kAllTransferMethods),
+        ::testing::Values(MemoryKind::kPageable, MemoryKind::kPinned,
+                          MemoryKind::kUnified, MemoryKind::kDevice)));
+
+// ---------------------------------------------------------------------
+// Degenerate workloads keep the models finite.
+
+TEST(ModelEdgeCaseTest, TinyWorkloadStaysFinite) {
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const join::NopaJoinModel model(&ibm);
+  data::WorkloadSpec w;
+  w.r_tuples = 1;
+  w.s_tuples = 1;
+  join::NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = join::HashTablePlacement::Single(hw::kGpu0);
+  Result<join::JoinTiming> timing = model.Estimate(config, w);
+  ASSERT_TRUE(timing.ok());
+  EXPECT_GT(timing.value().total_s(), 0.0);
+  EXPECT_TRUE(std::isfinite(timing.value().total_s()));
+}
+
+TEST(ModelEdgeCaseTest, ExtremeSkewAndSelectivityStayFinite) {
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const join::NopaJoinModel model(&ibm);
+  join::NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = join::HashTablePlacement::Single(hw::kCpu0);
+  for (double z : {0.0, 3.0, 10.0}) {
+    for (double sel : {0.0, 1.0}) {
+      data::WorkloadSpec w = data::WorkloadA();
+      w.zipf_exponent = z;
+      w.selectivity = sel;
+      Result<join::JoinTiming> timing = model.Estimate(config, w);
+      ASSERT_TRUE(timing.ok()) << "z=" << z << " sel=" << sel;
+      EXPECT_TRUE(std::isfinite(timing.value().total_s()));
+      EXPECT_GT(timing.value().total_s(), 0.0);
+    }
+  }
+}
+
+TEST(ModelEdgeCaseTest, Q6ZeroRows) {
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const ops::Q6Model model(&ibm);
+  Result<ops::Q6Timing> timing = model.Estimate(
+      hw::kGpu0, hw::kCpu0, TransferMethod::kCoherence,
+      ops::Q6Variant::kBranching, 0.0);
+  ASSERT_TRUE(timing.ok());
+  // Only the dispatch latency remains.
+  EXPECT_GT(timing.value().seconds, 0.0);
+  EXPECT_LT(timing.value().seconds, 1e-3);
+}
+
+TEST(ModelEdgeCaseTest, InvalidDeviceInConfigIsAnError) {
+  const hw::SystemProfile ibm = hw::Ac922Profile();
+  const join::NopaJoinModel model(&ibm);
+  join::NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = 99;  // No such node.
+  config.s_location = hw::kCpu0;
+  config.hash_table = join::HashTablePlacement::Single(hw::kGpu0);
+  Result<join::JoinTiming> timing = model.Estimate(config, data::WorkloadA());
+  EXPECT_FALSE(timing.ok());
+}
+
+// ---------------------------------------------------------------------
+// Allocator failure paths during join setup.
+
+TEST(FailureInjectionTest, HybridCreateFailsCleanlyWhenFull) {
+  hw::Topology topo = hw::IbmAc922();
+  memory::MemoryManager manager(&topo, /*materialize=*/false);
+  // Exhaust every node.
+  for (hw::MemoryNodeId node : {hw::kCpu0, hw::kCpu1}) {
+    ASSERT_TRUE(manager
+                    .Allocate(topo.memory(node).capacity_bytes,
+                              MemoryKind::kPageable, node)
+                    .ok());
+  }
+  ASSERT_TRUE(manager
+                  .Allocate(topo.memory(hw::kGpu0).capacity_bytes,
+                            MemoryKind::kDevice, hw::kGpu0)
+                  .ok());
+  auto table = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
+      &manager, hw::kGpu0, 1 << 20);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(FailureInjectionTest, BuildFailurePropagatesFirstError) {
+  // Out-of-domain keys mid-build: the morsel-parallel build must stop and
+  // report the error, not deadlock or crash.
+  data::Relation64 inner;
+  for (std::int64_t i = 0; i < 10'000; ++i) inner.Append(i, i);
+  inner.keys[7'777] = 1 << 20;  // Outside the perfect-hash domain.
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(inner.size());
+  const Status status = join::BuildPhase(&table, inner, 4);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, ReleaseIsIdempotentEnough) {
+  hw::Topology topo = hw::IbmAc922();
+  memory::MemoryManager manager(&topo, /*materialize=*/false);
+  Result<memory::Buffer> buffer =
+      manager.Allocate(1 << 20, MemoryKind::kPageable, hw::kCpu0);
+  ASSERT_TRUE(buffer.ok());
+  manager.Release(buffer.value());
+  EXPECT_EQ(manager.used_bytes(hw::kCpu0), 0u);
+  // A second release must not underflow the accounting.
+  manager.Release(buffer.value());
+  EXPECT_EQ(manager.used_bytes(hw::kCpu0), 0u);
+}
+
+}  // namespace
+}  // namespace pump

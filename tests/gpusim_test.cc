@@ -1,0 +1,123 @@
+#include "common/units.h"
+#include "gpusim/occupancy.h"
+#include "gtest/gtest.h"
+#include "hw/device.h"
+#include "hw/memory_spec.h"
+#include "hw/topology.h"
+#include "sim/access_path.h"
+
+namespace pump::gpusim {
+namespace {
+
+TEST(OccupancyTest, FullOccupancySimpleKernel) {
+  OccupancyModel model;
+  KernelConfig kernel;
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 32;
+  // 2048 threads / 256 = 8 blocks, 65536 regs / (32*256) = 8 blocks:
+  // full occupancy, 64 warps.
+  EXPECT_EQ(model.WarpsPerSm(kernel), 64);
+}
+
+TEST(OccupancyTest, RegisterPressureLimitsWarps) {
+  OccupancyModel model;
+  KernelConfig heavy;
+  heavy.threads_per_block = 256;
+  heavy.registers_per_thread = 128;
+  // 65536 / (128*256) = 2 blocks = 16 warps.
+  EXPECT_EQ(model.WarpsPerSm(heavy), 16);
+}
+
+TEST(OccupancyTest, SharedMemoryLimitsWarps) {
+  OccupancyModel model;
+  KernelConfig shared_heavy;
+  shared_heavy.threads_per_block = 256;
+  shared_heavy.registers_per_thread = 32;
+  shared_heavy.shared_memory_per_block = 48 * 1024;
+  // 96 KiB / 48 KiB = 2 blocks = 16 warps.
+  EXPECT_EQ(model.WarpsPerSm(shared_heavy), 16);
+}
+
+TEST(OccupancyTest, BlockSlotLimit) {
+  OccupancyModel model;
+  KernelConfig tiny_blocks;
+  tiny_blocks.threads_per_block = 32;
+  tiny_blocks.registers_per_thread = 16;
+  // 2048/32 = 64 blocks but only 32 slots -> 32 warps.
+  EXPECT_EQ(model.WarpsPerSm(tiny_blocks), 32);
+}
+
+TEST(OccupancyTest, OutstandingTrafficScalesWithOccupancy) {
+  OccupancyModel model;
+  KernelConfig full;
+  full.threads_per_block = 256;
+  full.registers_per_thread = 32;
+  KernelConfig half = full;
+  half.registers_per_thread = 64;  // Halves the resident blocks.
+  EXPECT_NEAR(model.OutstandingBytes(full) / model.OutstandingBytes(half),
+              2.0, 1e-9);
+}
+
+TEST(OccupancyTest, FullOccupancySaturatesNvlink) {
+  // The scientific point of Sec. 3: a fully occupied V100 keeps enough
+  // loads in flight to saturate NVLink 2.0 (63 GiB/s at 434 ns) and even
+  // its own HBM2 (729 GiB/s at 282 ns).
+  OccupancyModel model;
+  KernelConfig kernel;
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 32;
+  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(434)),
+            GiBPerSecond(63.0));
+  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(282)),
+            GiBPerSecond(729.0));
+}
+
+TEST(OccupancyTest, FewWarpsSufficeForNvlink) {
+  // Latency hiding is cheap: only a handful of warps per SM are needed to
+  // saturate the interconnect — the rest hide the hash-table latency.
+  OccupancyModel model;
+  const double warps =
+      model.WarpsNeededFor(GiBPerSecond(63.0), Nanoseconds(434));
+  EXPECT_LT(warps, 4.0);
+  EXPECT_GT(warps, 0.5);
+}
+
+TEST(OccupancyTest, DerivedMlpCoversDeviceSpec) {
+  // Cross-validation: the effective outstanding-traffic constants in the
+  // calibrated DeviceSpec must not exceed what the occupancy model says
+  // the architecture can theoretically sustain.
+  OccupancyModel model;
+  KernelConfig kernel;
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 32;
+  const hw::DeviceSpec v100 = hw::TeslaV100();
+  EXPECT_GE(model.OutstandingBytes(kernel), v100.max_outstanding_bytes);
+  EXPECT_GE(model.OutstandingRequests(kernel),
+            v100.max_outstanding_requests);
+}
+
+TEST(OccupancyTest, CpuCannotHideThatLatency) {
+  // Contrast: the POWER9's outstanding traffic (DeviceSpec) cannot
+  // saturate even one NVLink direction at GPU-memory latency — the
+  // architectural reason the paper keeps hash tables away from GPU
+  // memory for CPU probes (Sec. 6.2).
+  const hw::DeviceSpec p9 = hw::Power9();
+  const double latency = Nanoseconds(282 + 366);
+  EXPECT_LT(p9.max_outstanding_bytes / latency, GiBPerSecond(63.0));
+}
+
+TEST(OccupancyTest, LaunchOverheadLinear) {
+  GpuArch arch;
+  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 100), 100 * arch.launch_latency_s);
+}
+
+TEST(OccupancyTest, ZeroLatencyGuards) {
+  OccupancyModel model;
+  KernelConfig kernel;
+  EXPECT_DOUBLE_EQ(model.AchievableBandwidth(kernel, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.AchievableAccessRate(kernel, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pump::gpusim

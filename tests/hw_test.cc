@@ -1,0 +1,200 @@
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "hw/device.h"
+#include "hw/link.h"
+#include "hw/memory_spec.h"
+#include "hw/system_profile.h"
+#include "hw/topology.h"
+
+namespace pump::hw {
+namespace {
+
+TEST(DeviceSpecTest, KindsAndNames) {
+  EXPECT_EQ(TeslaV100().kind, DeviceKind::kGpu);
+  EXPECT_EQ(Power9().kind, DeviceKind::kCpu);
+  EXPECT_EQ(XeonGold6126().kind, DeviceKind::kCpu);
+  EXPECT_STREQ(DeviceKindToString(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(DeviceKindToString(DeviceKind::kCpu), "CPU");
+}
+
+TEST(DeviceSpecTest, GpuHidesLatencyBetterThanCpu) {
+  // Core modelling assumption (Sec. 3): GPUs keep far more memory traffic
+  // in flight than CPUs.
+  EXPECT_GT(TeslaV100().max_outstanding_bytes,
+            10 * Power9().max_outstanding_bytes);
+  EXPECT_GT(TeslaV100().max_outstanding_requests,
+            10 * Power9().max_outstanding_requests);
+  EXPECT_EQ(TeslaV100().random_dependency_factor, 1.0);
+  EXPECT_LT(Power9().random_dependency_factor, 1.0);
+}
+
+TEST(LinkSpecTest, PaperBandwidthOrdering) {
+  // Fig. 3a: NVLink 2.0 has ~5x the sequential bandwidth of PCI-e 3.0 and
+  // ~2x UPI / X-Bus.
+  const LinkSpec nvlink = Nvlink2x3();
+  const LinkSpec pcie = Pcie3x16();
+  EXPECT_NEAR(nvlink.seq_bw / pcie.seq_bw, 5.25, 0.1);
+  EXPECT_NEAR(nvlink.seq_bw / Upi().seq_bw, 2.0, 0.1);
+  EXPECT_NEAR(nvlink.seq_bw / Xbus().seq_bw, 2.0, 0.1);
+}
+
+TEST(LinkSpecTest, PaperRandomAccessOrdering) {
+  // Fig. 3a: random accesses are 14x faster than PCI-e 3.0 and 35-40%
+  // faster than UPI.
+  EXPECT_NEAR(Nvlink2x3().random_access_rate / Pcie3x16().random_access_rate,
+              14.0, 0.5);
+  EXPECT_NEAR(Nvlink2x3().random_access_rate / Upi().random_access_rate, 1.4,
+              0.1);
+}
+
+TEST(LinkSpecTest, CoherenceFlags) {
+  EXPECT_TRUE(Nvlink2x3().cache_coherent);
+  EXPECT_TRUE(Xbus().cache_coherent);
+  EXPECT_TRUE(Upi().cache_coherent);
+  EXPECT_FALSE(Pcie3x16().cache_coherent);
+}
+
+TEST(LinkSpecTest, PacketOverheads) {
+  // Sec. 2.2: NVLink packs 256 B behind a 16 B header; PCI-e needs a
+  // 20-26 B header, so NVLink is more efficient for small payloads.
+  EXPECT_GT(Nvlink2x3().BulkEfficiency(), 0.9);
+  EXPECT_GT(Pcie3x16().BulkEfficiency(), 0.9);
+  EXPECT_LT(Nvlink2x3().header_bytes, Pcie3x16().header_bytes);
+}
+
+TEST(MemorySpecTest, PaperAnchors) {
+  // Fig. 3b/3c anchors.
+  EXPECT_DOUBLE_EQ(ToGiBPerSecond(Power9Memory().seq_bw), 117.0);
+  EXPECT_DOUBLE_EQ(ToGiBPerSecond(XeonMemory().seq_bw), 81.0);
+  EXPECT_DOUBLE_EQ(ToGiBPerSecond(V100Hbm2().seq_bw), 729.0);
+  EXPECT_DOUBLE_EQ(V100Hbm2().capacity_bytes, 16.0 * kGiB);
+  EXPECT_NEAR(ToNanoseconds(Power9Memory().latency_s), 68.0, 0.1);
+  EXPECT_NEAR(ToNanoseconds(XeonMemory().latency_s), 70.0, 0.1);
+  EXPECT_NEAR(ToNanoseconds(V100Hbm2().latency_s), 282.0, 0.1);
+}
+
+TEST(CacheSpecTest, GpuL2IsMemorySide) {
+  // Sec. 7.2.3: the V100 L2 cannot cache remote data.
+  EXPECT_TRUE(V100L2().memory_side);
+  EXPECT_FALSE(Power9L3().memory_side);
+  EXPECT_FALSE(XeonL3().memory_side);
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  Topology ibm_ = IbmAc922();
+  Topology intel_ = IntelXeonV100();
+};
+
+TEST_F(TopologyTest, Ac922Structure) {
+  EXPECT_EQ(ibm_.device_count(), 4u);
+  EXPECT_EQ(ibm_.device(kCpu0).kind, DeviceKind::kCpu);
+  EXPECT_EQ(ibm_.device(kGpu0).kind, DeviceKind::kGpu);
+  EXPECT_EQ(ibm_.edges().size(), 3u);
+  EXPECT_EQ(ibm_.DevicesOfKind(DeviceKind::kGpu).size(), 2u);
+  EXPECT_EQ(ibm_.DevicesOfKind(DeviceKind::kCpu).size(), 2u);
+}
+
+TEST_F(TopologyTest, IntelStructure) {
+  EXPECT_EQ(intel_.device_count(), 3u);
+  EXPECT_EQ(intel_.DevicesOfKind(DeviceKind::kGpu).size(), 1u);
+}
+
+TEST_F(TopologyTest, LocalRouteIsEmpty) {
+  Result<Route> route = ibm_.FindRoute(kGpu0, kGpu0);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().hops(), 0u);
+}
+
+TEST_F(TopologyTest, HopCountsMatchFig4a) {
+  // Fig. 13/14 sweep 0-3 hops: GPU0 -> local(0), CPU0(1), CPU1(2), GPU1(3).
+  EXPECT_EQ(ibm_.FindRoute(kGpu0, kGpu0).value().hops(), 0u);
+  EXPECT_EQ(ibm_.FindRoute(kGpu0, kCpu0).value().hops(), 1u);
+  EXPECT_EQ(ibm_.FindRoute(kGpu0, kCpu1).value().hops(), 2u);
+  EXPECT_EQ(ibm_.FindRoute(kGpu0, kGpu1).value().hops(), 3u);
+}
+
+TEST_F(TopologyTest, RouteTraversesExpectedLinks) {
+  Result<Route> route = ibm_.FindRoute(kGpu0, kGpu1);
+  ASSERT_TRUE(route.ok());
+  const auto& edges = ibm_.edges();
+  ASSERT_EQ(route.value().hops(), 3u);
+  EXPECT_EQ(edges[route.value().edge_indices[0]].link.family,
+            LinkFamily::kNvlink2);
+  EXPECT_EQ(edges[route.value().edge_indices[1]].link.family,
+            LinkFamily::kXbus);
+  EXPECT_EQ(edges[route.value().edge_indices[2]].link.family,
+            LinkFamily::kNvlink2);
+}
+
+TEST_F(TopologyTest, InvalidRouteArguments) {
+  EXPECT_FALSE(ibm_.FindRoute(-1, 0).ok());
+  EXPECT_FALSE(ibm_.FindRoute(0, 99).ok());
+}
+
+TEST_F(TopologyTest, DisconnectedDevicesReportNotFound) {
+  Topology topo;
+  topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+  Result<Route> route = topo.FindRoute(0, 1);
+  ASSERT_FALSE(route.ok());
+  EXPECT_EQ(route.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TopologyTest, AddLinkValidation) {
+  Topology topo;
+  topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  EXPECT_FALSE(topo.AddLink(0, 0, Xbus()).ok());
+  EXPECT_FALSE(topo.AddLink(0, 5, Xbus()).ok());
+}
+
+TEST_F(TopologyTest, CoherencePathsOnIbm) {
+  // Every path on the AC922 is cache-coherent (NVLink 2.0 + X-Bus).
+  for (DeviceId from = 0; from < 4; ++from) {
+    for (MemoryNodeId to = 0; to < 4; ++to) {
+      EXPECT_TRUE(ibm_.IsCacheCoherentPath(from, to).value())
+          << from << " -> " << to;
+    }
+  }
+}
+
+TEST_F(TopologyTest, PciePathIsNotCoherent) {
+  EXPECT_FALSE(intel_.IsCacheCoherentPath(kGpu0, kCpu0).value());
+  EXPECT_FALSE(intel_.IsCacheCoherentPath(kGpu0, kCpu1).value());
+  // CPU-to-CPU over UPI is coherent.
+  EXPECT_TRUE(intel_.IsCacheCoherentPath(kCpu0, kCpu1).value());
+}
+
+TEST_F(TopologyTest, MemoryNodesByDistanceSpillOrder) {
+  // Fig. 8: the hybrid allocator spills GPU -> nearest CPU -> next CPU.
+  const auto cpu_nodes = ibm_.MemoryNodesByDistance(kGpu0, /*cpu_only=*/true);
+  ASSERT_EQ(cpu_nodes.size(), 2u);
+  EXPECT_EQ(cpu_nodes[0], kCpu0);
+  EXPECT_EQ(cpu_nodes[1], kCpu1);
+
+  const auto all_nodes = ibm_.MemoryNodesByDistance(kGpu0, /*cpu_only=*/false);
+  ASSERT_EQ(all_nodes.size(), 4u);
+  EXPECT_EQ(all_nodes[0], kGpu0);
+}
+
+TEST_F(TopologyTest, ToStringMentionsDevices) {
+  const std::string dump = ibm_.ToString();
+  EXPECT_NE(dump.find("POWER9"), std::string::npos);
+  EXPECT_NE(dump.find("V100"), std::string::npos);
+  EXPECT_NE(dump.find("NVLink"), std::string::npos);
+}
+
+TEST(SystemProfileTest, PageSizesMatchOs) {
+  // Sec. 4.2 [69]: 4 KiB pages on Intel, 64 KiB on IBM.
+  EXPECT_EQ(Ac922Profile().os_page_bytes, 64u * kKiB);
+  EXPECT_EQ(XeonProfile().os_page_bytes, 4u * kKiB);
+}
+
+TEST(SystemProfileTest, StagingThreadsMatchPaper) {
+  // Sec. 7.2.1: Staged Copy fully utilizes 4 CPU cores.
+  EXPECT_EQ(Ac922Profile().staging_threads, 4);
+  EXPECT_EQ(XeonProfile().staging_threads, 4);
+}
+
+}  // namespace
+}  // namespace pump::hw

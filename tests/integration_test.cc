@@ -1,0 +1,246 @@
+// Cross-module integration tests: full pipelines that combine the
+// scheduler, hash tables, transfer executor, Unified Memory bookkeeping,
+// and operators the way the benchmark binaries and a real engine would.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "data/generator.h"
+#include "data/tpch.h"
+#include "exec/het_scheduler.h"
+#include "gtest/gtest.h"
+#include "hash/hybrid_table.h"
+#include "hw/system_profile.h"
+#include "join/nopa.h"
+#include "join/radix.h"
+#include "memory/allocator.h"
+#include "memory/unified.h"
+#include "ops/aggregate.h"
+#include "ops/q6.h"
+#include "ops/scan.h"
+#include "transfer/executor.h"
+
+namespace pump {
+namespace {
+
+using data::GenerateInner;
+using data::GenerateOuterUniform;
+
+TEST(IntegrationTest, HeterogeneousSharedTableJoin) {
+  // The functional analogue of the Het strategy (Fig. 9a): a "CPU" group
+  // and a "GPU" group build one shared hash table concurrently through
+  // the morsel dispatcher, then probe it heterogeneously.
+  const std::size_t n = 1 << 16;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 3);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 19, n, 4);
+
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+
+  // Build phase across both processor groups.
+  std::atomic<int> build_errors{0};
+  auto build = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!table.Insert(inner.keys[i], inner.payloads[i]).ok()) {
+        build_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<exec::ProcessorGroup> build_groups;
+  build_groups.push_back({"CPU", 2, 1, build});
+  build_groups.push_back({"GPU", 1, 8, build});
+  const auto build_stats =
+      exec::RunHeterogeneous(inner.size(), 4096, std::move(build_groups));
+  ASSERT_EQ(build_errors.load(), 0);
+  ASSERT_EQ(build_stats[0].tuples + build_stats[1].tuples, inner.size());
+  ASSERT_EQ(table.Size(), n);
+
+  // Probe phase across both processor groups.
+  std::atomic<std::uint64_t> matches{0};
+  std::atomic<std::uint64_t> sum{0};
+  auto probe = [&](std::size_t begin, std::size_t end) {
+    std::uint64_t local_matches = 0, local_sum = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      std::int64_t value;
+      if (table.Lookup(outer.keys[i], &value)) {
+        ++local_matches;
+        local_sum += static_cast<std::uint64_t>(value);
+      }
+    }
+    matches.fetch_add(local_matches, std::memory_order_relaxed);
+    sum.fetch_add(local_sum, std::memory_order_relaxed);
+  };
+  std::vector<exec::ProcessorGroup> probe_groups;
+  probe_groups.push_back({"CPU", 2, 1, probe});
+  probe_groups.push_back({"GPU", 1, 8, probe});
+  (void)exec::RunHeterogeneous(outer.size(), 4096, std::move(probe_groups));
+
+  // Cross-check against the single-threaded reference join.
+  Result<join::JoinAggregate> reference = join::RunNopaJoin(inner, outer);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(matches.load(), reference.value().matches);
+  EXPECT_EQ(sum.load(), reference.value().payload_sum);
+}
+
+TEST(IntegrationTest, GpuHetLocalCopies) {
+  // GPU+Het (Fig. 9b): build once, copy the table, probe private copies;
+  // the sum of the two probes must equal the shared-table result.
+  const std::size_t n = 1 << 14;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 5);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 17, n, 6);
+
+  // Step 1: build on the "GPU".
+  hash::PerfectHashTable<std::int64_t, std::int64_t> gpu_table(n);
+  ASSERT_TRUE(join::BuildPhase(&gpu_table, inner, 1).ok());
+
+  // Step 2: broadcast — functionally, rebuild a CPU-local copy from R
+  // (the executor copies bytes; tables are semantically identical).
+  hash::PerfectHashTable<std::int64_t, std::int64_t> cpu_table(n);
+  ASSERT_TRUE(join::BuildPhase(&cpu_table, inner, 1).ok());
+
+  // Step 3: probe disjoint halves on each processor's local copy.
+  data::Relation64 first_half, second_half;
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    auto& target = i < outer.size() / 2 ? first_half : second_half;
+    target.Append(outer.keys[i], outer.payloads[i]);
+  }
+  const join::JoinAggregate gpu_part =
+      join::ProbePhase(gpu_table, first_half, 1);
+  const join::JoinAggregate cpu_part =
+      join::ProbePhase(cpu_table, second_half, 1);
+
+  Result<join::JoinAggregate> reference = join::RunNopaJoin(inner, outer);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(gpu_part.matches + cpu_part.matches,
+            reference.value().matches);
+  EXPECT_EQ(gpu_part.payload_sum + cpu_part.payload_sum,
+            reference.value().payload_sum);
+}
+
+TEST(IntegrationTest, TransferThenJoin) {
+  // Pipeline a push-based transfer into a join build, the way the
+  // Pageable/Pinned Copy joins work (Sec. 5.1): each landed chunk is
+  // immediately consumed by inserts.
+  const std::size_t n = 1 << 14;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 7);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 16, n, 8);
+
+  // Serialize R's columns into a source buffer (keys then payloads).
+  const std::uint64_t bytes = n * 16;
+  memory::Buffer src(bytes, memory::MemoryKind::kPinned,
+                     {memory::Extent{hw::kCpu0, bytes}});
+  std::memcpy(src.data(), inner.keys.data(), n * 8);
+  std::memcpy(src.data() + n * 8, inner.payloads.data(), n * 8);
+  memory::Buffer dst(bytes, memory::MemoryKind::kDevice,
+                     {memory::Extent{hw::kGpu0, bytes}});
+
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+  std::uint64_t consumed_chunks = 0;
+  auto stats = transfer::ExecuteTransfer(
+      transfer::TransferMethod::kPinnedCopy, src, &dst, hw::kGpu0,
+      /*chunk_bytes=*/n * 2, /*os_page_bytes=*/4096, nullptr,
+      [&](std::uint64_t, std::uint64_t) { ++consumed_chunks; });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(consumed_chunks, 8u);
+
+  // Build from the *destination* buffer: the data actually moved.
+  const auto* keys = reinterpret_cast<const std::int64_t*>(dst.data());
+  const auto* payloads =
+      reinterpret_cast<const std::int64_t*>(dst.data() + n * 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(table.Insert(keys[i], payloads[i]).ok());
+  }
+  const join::JoinAggregate probe = join::ProbePhase(table, outer, 2);
+  Result<join::JoinAggregate> reference = join::RunNopaJoin(inner, outer);
+  EXPECT_EQ(probe, reference.value());
+}
+
+TEST(IntegrationTest, UnifiedMemoryJoinResidency) {
+  // UM Migration join: touching S pages during the probe migrates them
+  // to the GPU node; afterwards all pages are GPU-resident.
+  const std::size_t n = 1 << 12;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 9);
+  const std::uint64_t s_bytes = (1 << 15) * 8;
+  memory::UnifiedRegion region(s_bytes, memory::kIbmPageBytes, hw::kCpu0);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 15, n, 10);
+
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+  ASSERT_TRUE(join::BuildPhase(&table, inner, 1).ok());
+
+  std::uint64_t matches = 0;
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    (void)region.Touch(i * 8, hw::kGpu0);  // Demand-page the S column.
+    std::int64_t value;
+    matches += table.Lookup(outer.keys[i], &value);
+  }
+  EXPECT_EQ(matches, outer.size());
+  EXPECT_EQ(region.PagesOn(hw::kGpu0), region.page_count());
+  EXPECT_EQ(region.fault_count(), region.page_count());
+}
+
+TEST(IntegrationTest, ScanJoinAggregatePipeline) {
+  // A small "query": filter S, join the survivors against R, group the
+  // matches by key range — scan, join, and aggregation working together.
+  const std::size_t n = 1 << 12;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 11);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 16, n, 12);
+
+  // sigma(key < n/2)(S)
+  const ops::SelectionVector sel = ops::ScanColumn(
+      outer.keys, ops::CompareOp::kLt, static_cast<std::int64_t>(n / 2));
+
+  hash::PerfectHashTable<std::int64_t, std::int64_t> table(n);
+  ASSERT_TRUE(join::BuildPhase(&table, inner, 1).ok());
+
+  ops::DenseGroupBy group_by(4);  // Group by key quartile.
+  std::uint64_t joined = 0;
+  for (std::uint32_t row : sel) {
+    std::int64_t payload;
+    if (table.Lookup(outer.keys[row], &payload)) {
+      ++joined;
+      const std::int64_t quartile = outer.keys[row] / (n / 4);
+      ASSERT_TRUE(group_by.Accumulate(quartile, payload).ok());
+    }
+  }
+  EXPECT_EQ(joined, sel.size());  // Every filtered tuple matches.
+  const auto groups = group_by.Finalize();
+  ASSERT_EQ(groups.size(), 2u);  // Keys < n/2 span quartiles 0 and 1.
+  EXPECT_EQ(groups[0].count + groups[1].count, joined);
+}
+
+TEST(IntegrationTest, HybridTableUnderRadixAndNopa) {
+  // The hybrid table is a drop-in replacement (Sec. 5.3): NOPA over a
+  // spilled hybrid table must agree with the radix join over plain
+  // memory.
+  hw::Topology topo = hw::IbmAc922();
+  memory::MemoryManager manager(&topo, /*materialize=*/true);
+  const std::size_t n = 1 << 13;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 13);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 16, n, 14);
+
+  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity_bytes;
+  auto hybrid = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
+      &manager, hw::kGpu0, n, gpu_capacity - n * 4);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_LT(hybrid.value().gpu_fraction(), 1.0);
+
+  Result<join::JoinAggregate> nopa =
+      join::RunNopaJoinOn(&hybrid.value().table(), inner, outer, 3);
+  join::RadixJoinOptions options;
+  options.radix_bits = 6;
+  options.workers = 2;
+  Result<join::JoinAggregate> radix =
+      join::RunRadixJoin(inner, outer, options);
+  ASSERT_TRUE(nopa.ok());
+  ASSERT_TRUE(radix.ok());
+  EXPECT_EQ(nopa.value(), radix.value());
+}
+
+}  // namespace
+}  // namespace pump

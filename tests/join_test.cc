@@ -1,0 +1,229 @@
+#include <cstdint>
+#include <tuple>
+
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "hash/hybrid_table.h"
+#include "hw/topology.h"
+#include "join/nopa.h"
+#include "join/radix.h"
+#include "memory/allocator.h"
+
+namespace pump::join {
+namespace {
+
+using data::GenerateInner;
+using data::GenerateOuterSelective;
+using data::GenerateOuterUniform;
+using data::GenerateOuterZipf;
+using data::kPayloadOffset;
+
+// Expected aggregate when every outer key in [0, n) matches: payload of
+// key k is k + kPayloadOffset.
+JoinAggregate BruteForceAggregate(const data::Relation64& inner,
+                                  const data::Relation64& outer) {
+  JoinAggregate expected;
+  std::vector<std::int64_t> payload_of(inner.size());
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    payload_of[inner.keys[i]] = inner.payloads[i];
+  }
+  for (std::int64_t key : outer.keys) {
+    if (key >= 0 && key < static_cast<std::int64_t>(inner.size())) {
+      ++expected.matches;
+      expected.payload_sum +=
+          static_cast<std::uint64_t>(payload_of[key]);
+    }
+  }
+  return expected;
+}
+
+TEST(NopaJoinTest, AllMatchAggregate) {
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(1 << 12, 1);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 15, 1 << 12, 2);
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, outer.size());
+  EXPECT_EQ(result.value(), BruteForceAggregate(inner, outer));
+}
+
+TEST(NopaJoinTest, EmptyOuter) {
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(64, 1);
+  data::Relation64 outer;
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 0u);
+}
+
+TEST(NopaJoinTest, DuplicateBuildKeyFails) {
+  data::Relation64 inner;
+  inner.Append(1, 4);
+  inner.Append(1, 5);
+  inner.Append(0, 1);
+  data::Relation64 outer;
+  outer.Append(1, 0);
+  // Key 1 appears twice within the perfect-hash domain [0, 3).
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+// Parameterized sweep: (inner size, outer size, workers).
+class NopaSweepTest : public ::testing::TestWithParam<
+                          std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(NopaSweepTest, MatchesBruteForce) {
+  const auto [n, m, workers] = GetParam();
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, n + 1);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(m, n, m + 1);
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer, workers);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), BruteForceAggregate(inner, outer));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NopaSweepTest,
+    ::testing::Combine(::testing::Values(1, 31, 1024, 50000),
+                       ::testing::Values(0, 100, 65536),
+                       ::testing::Values(1, 4)));
+
+TEST(NopaJoinTest, SelectiveJoinMatchesFraction) {
+  const std::size_t n = 1 << 12;
+  for (double sel : {0.0, 0.3, 1.0}) {
+    const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 5);
+    const auto outer = GenerateOuterSelective<std::int64_t, std::int64_t>(
+        40000, n, sel, 6);
+    Result<JoinAggregate> result = RunNopaJoin(inner, outer);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(static_cast<double>(result.value().matches) / 40000.0, sel,
+                0.02);
+  }
+}
+
+TEST(NopaJoinTest, ZipfSkewedProbeStillExact) {
+  const std::size_t n = 1 << 14;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 7);
+  const auto outer =
+      GenerateOuterZipf<std::int64_t, std::int64_t>(50000, n, 1.5, 8);
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), BruteForceAggregate(inner, outer));
+  EXPECT_EQ(result.value().matches, 50000u);
+}
+
+TEST(NopaJoinTest, Int32Tuples) {
+  // Workload C uses 4/4-byte tuples.
+  const auto inner = GenerateInner<std::int32_t, std::int32_t>(4096, 9);
+  const auto outer =
+      GenerateOuterUniform<std::int32_t, std::int32_t>(20000, 4096, 10);
+  Result<JoinAggregate> result = RunNopaJoin(inner, outer, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 20000u);
+}
+
+TEST(NopaJoinTest, RunsOnHybridTable) {
+  hw::Topology topo = hw::IbmAc922();
+  memory::MemoryManager manager(&topo, /*materialize=*/true);
+  const std::size_t n = 4096;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 11);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(30000, n, 12);
+
+  // Force a GPU/CPU split to exercise the spilled table end to end.
+  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity_bytes;
+  auto hybrid = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
+      &manager, hw::kGpu0, n, gpu_capacity - n * 8);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_LT(hybrid.value().gpu_fraction(), 1.0);
+
+  Result<JoinAggregate> result =
+      RunNopaJoinOn(&hybrid.value().table(), inner, outer, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), BruteForceAggregate(inner, outer));
+}
+
+TEST(RadixPartitionTest, PreservesAllTuples) {
+  const auto input = GenerateInner<std::int64_t, std::int64_t>(10000, 13);
+  const auto partitioned = RadixPartition(input, 4, 3);
+  EXPECT_EQ(partitioned.keys.size(), input.size());
+  EXPECT_EQ(partitioned.offsets.front(), 0u);
+  EXPECT_EQ(partitioned.offsets.back(), input.size());
+  std::uint64_t sum_before = 0, sum_after = 0;
+  for (std::int64_t k : input.keys) sum_before += k;
+  for (std::int64_t k : partitioned.keys) sum_after += k;
+  EXPECT_EQ(sum_before, sum_after);
+}
+
+TEST(RadixPartitionTest, TuplesLandInCorrectPartition) {
+  const auto input = GenerateInner<std::int64_t, std::int64_t>(5000, 17);
+  const int bits = 5;
+  const auto partitioned = RadixPartition(input, bits, 2);
+  const std::size_t mask = (1u << bits) - 1;
+  for (std::size_t p = 0; p < (1u << bits); ++p) {
+    for (std::size_t i = partitioned.offsets[p];
+         i < partitioned.offsets[p + 1]; ++i) {
+      ASSERT_EQ(static_cast<std::size_t>(partitioned.keys[i]) & mask, p);
+    }
+  }
+}
+
+TEST(RadixPartitionTest, PayloadStaysWithKey) {
+  const auto input = GenerateInner<std::int64_t, std::int64_t>(2000, 19);
+  const auto partitioned = RadixPartition(input, 6, 4);
+  for (std::size_t i = 0; i < partitioned.keys.size(); ++i) {
+    ASSERT_EQ(partitioned.payloads[i],
+              partitioned.keys[i] + kPayloadOffset);
+  }
+}
+
+// Property: the radix join and the NOPA join agree on every workload.
+class RadixVsNopaTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(RadixVsNopaTest, SameAggregate) {
+  const auto [bits, workers] = GetParam();
+  const std::size_t n = 1 << 13;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 23);
+  const auto outer =
+      GenerateOuterUniform<std::int64_t, std::int64_t>(60000, n, 29);
+
+  Result<JoinAggregate> nopa = RunNopaJoin(inner, outer, workers);
+  RadixJoinOptions options;
+  options.radix_bits = bits;
+  options.workers = workers;
+  Result<JoinAggregate> radix = RunRadixJoin(inner, outer, options);
+  ASSERT_TRUE(nopa.ok());
+  ASSERT_TRUE(radix.ok());
+  EXPECT_EQ(nopa.value(), radix.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsAndWorkers, RadixVsNopaTest,
+                         ::testing::Combine(::testing::Values(0, 4, 8, 12),
+                                            ::testing::Values(1, 4)));
+
+TEST(RadixJoinTest, RejectsInvalidBits) {
+  data::Relation64 r, s;
+  RadixJoinOptions options;
+  options.radix_bits = 30;
+  EXPECT_FALSE(RunRadixJoin(r, s, options).ok());
+}
+
+TEST(RadixJoinTest, SelectiveOuter) {
+  const std::size_t n = 1 << 12;
+  const auto inner = GenerateInner<std::int64_t, std::int64_t>(n, 31);
+  const auto outer = GenerateOuterSelective<std::int64_t, std::int64_t>(
+      30000, n, 0.5, 37);
+  RadixJoinOptions options;
+  options.radix_bits = 6;
+  options.workers = 2;
+  Result<JoinAggregate> radix = RunRadixJoin(inner, outer, options);
+  Result<JoinAggregate> nopa = RunNopaJoin(inner, outer);
+  ASSERT_TRUE(radix.ok());
+  ASSERT_TRUE(nopa.ok());
+  EXPECT_EQ(radix.value(), nopa.value());
+}
+
+}  // namespace
+}  // namespace pump::join

@@ -1,0 +1,202 @@
+#include <cstring>
+
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "hw/topology.h"
+#include "memory/allocator.h"
+#include "memory/buffer.h"
+#include "memory/unified.h"
+
+namespace pump::memory {
+namespace {
+
+using hw::kCpu0;
+using hw::kCpu1;
+using hw::kGpu0;
+
+class MemoryManagerTest : public ::testing::Test {
+ protected:
+  hw::Topology topo_ = hw::IbmAc922();
+  MemoryManager manager_{&topo_, /*materialize=*/false};
+};
+
+TEST(BufferTest, MaterializedBufferIsZeroed) {
+  Buffer buffer(64, MemoryKind::kPageable, {Extent{0, 64}});
+  ASSERT_TRUE(buffer.materialized());
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<int>(buffer.data()[i]), 0);
+  }
+}
+
+TEST(BufferTest, ModelOnlyBufferHasNoStorage) {
+  Buffer buffer(1ull << 40, MemoryKind::kDevice, {Extent{2, 1ull << 40}},
+                /*materialize=*/false);
+  EXPECT_FALSE(buffer.materialized());
+  EXPECT_EQ(buffer.data(), nullptr);
+  EXPECT_EQ(buffer.size(), 1ull << 40);
+}
+
+TEST(BufferTest, FractionOnNode) {
+  Buffer buffer(100, MemoryKind::kDevice,
+                {Extent{2, 60}, Extent{0, 40}}, /*materialize=*/false);
+  EXPECT_DOUBLE_EQ(buffer.FractionOnNode(2), 0.6);
+  EXPECT_DOUBLE_EQ(buffer.FractionOnNode(0), 0.4);
+  EXPECT_DOUBLE_EQ(buffer.FractionOnNode(1), 0.0);
+  EXPECT_EQ(buffer.home_node(), 2);
+}
+
+TEST(BufferTest, NodeOfByte) {
+  Buffer buffer(100, MemoryKind::kDevice,
+                {Extent{2, 60}, Extent{0, 40}}, /*materialize=*/false);
+  EXPECT_EQ(buffer.NodeOfByte(0), 2);
+  EXPECT_EQ(buffer.NodeOfByte(59), 2);
+  EXPECT_EQ(buffer.NodeOfByte(60), 0);
+  EXPECT_EQ(buffer.NodeOfByte(99), 0);
+  EXPECT_EQ(buffer.NodeOfByte(100), hw::kInvalidMemoryNode);
+}
+
+TEST(BufferTest, KindNames) {
+  EXPECT_STREQ(MemoryKindToString(MemoryKind::kPageable), "Pageable");
+  EXPECT_STREQ(MemoryKindToString(MemoryKind::kPinned), "Pinned");
+  EXPECT_STREQ(MemoryKindToString(MemoryKind::kUnified), "Unified");
+  EXPECT_STREQ(MemoryKindToString(MemoryKind::kDevice), "Device");
+}
+
+TEST_F(MemoryManagerTest, AllocateTracksUsage) {
+  Result<Buffer> buffer =
+      manager_.Allocate(1 * kGiB, MemoryKind::kPageable, kCpu0);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(manager_.used_bytes(kCpu0), 1 * kGiB);
+  manager_.Release(buffer.value());
+  EXPECT_EQ(manager_.used_bytes(kCpu0), 0u);
+}
+
+TEST_F(MemoryManagerTest, EnforcesGpuCapacity) {
+  // V100 has 16 GiB (Sec. 7.1): a 17 GiB device allocation must fail.
+  Result<Buffer> buffer =
+      manager_.Allocate(17 * kGiB, MemoryKind::kDevice, kGpu0);
+  ASSERT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(MemoryManagerTest, PlacementRules) {
+  // Device memory only on GPUs; host kinds only on CPUs.
+  EXPECT_FALSE(manager_.Allocate(64, MemoryKind::kDevice, kCpu0).ok());
+  EXPECT_FALSE(manager_.Allocate(64, MemoryKind::kPageable, kGpu0).ok());
+  EXPECT_FALSE(manager_.Allocate(64, MemoryKind::kPinned, kGpu0).ok());
+  EXPECT_TRUE(manager_.Allocate(64, MemoryKind::kPinned, kCpu0).ok());
+  EXPECT_TRUE(manager_.Allocate(64, MemoryKind::kDevice, kGpu0).ok());
+}
+
+TEST_F(MemoryManagerTest, HybridFitsEntirelyOnGpu) {
+  Result<Buffer> table = manager_.AllocateHybrid(8 * kGiB, kGpu0);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().extents().size(), 1u);
+  EXPECT_EQ(table.value().extents()[0].node, kGpu0);
+  EXPECT_DOUBLE_EQ(table.value().FractionOnNode(kGpu0), 1.0);
+}
+
+TEST_F(MemoryManagerTest, HybridSpillsToNearestCpu) {
+  // Fig. 8: a 24 GiB table on a 16 GiB GPU spills 8 GiB to CPU0.
+  Result<Buffer> table = manager_.AllocateHybrid(24 * kGiB, kGpu0);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().extents().size(), 2u);
+  EXPECT_EQ(table.value().extents()[0].node, kGpu0);
+  EXPECT_EQ(table.value().extents()[0].bytes, 16 * kGiB);
+  EXPECT_EQ(table.value().extents()[1].node, kCpu0);
+  EXPECT_EQ(table.value().extents()[1].bytes, 8 * kGiB);
+  EXPECT_NEAR(table.value().FractionOnNode(kGpu0), 16.0 / 24.0, 1e-9);
+}
+
+TEST_F(MemoryManagerTest, HybridHonorsGpuReserve) {
+  Result<Buffer> table =
+      manager_.AllocateHybrid(16 * kGiB, kGpu0, /*gpu_reserve_bytes=*/4 * kGiB);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().extents()[0].bytes, 12 * kGiB);
+  EXPECT_EQ(table.value().extents()[1].bytes, 4 * kGiB);
+}
+
+TEST_F(MemoryManagerTest, HybridSpillsRecursivelyAcrossSockets) {
+  // Exhaust GPU and CPU0 so the spill reaches CPU1 (next-nearest NUMA
+  // node, Sec. 5.3).
+  Result<Buffer> filler =
+      manager_.Allocate(127 * kGiB, MemoryKind::kPageable, kCpu0);
+  ASSERT_TRUE(filler.ok());
+  Result<Buffer> table = manager_.AllocateHybrid(20 * kGiB, kGpu0);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().extents().size(), 3u);
+  EXPECT_EQ(table.value().extents()[0].node, kGpu0);
+  EXPECT_EQ(table.value().extents()[1].node, kCpu0);
+  EXPECT_EQ(table.value().extents()[1].bytes, 1 * kGiB);
+  EXPECT_EQ(table.value().extents()[2].node, kCpu1);
+  EXPECT_EQ(table.value().extents()[2].bytes, 3 * kGiB);
+}
+
+TEST_F(MemoryManagerTest, HybridFailsBeyondSystemCapacity) {
+  Result<Buffer> table = manager_.AllocateHybrid(1024 * kGiB, kGpu0);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kOutOfMemory);
+  // Roll-back: nothing may remain reserved.
+  EXPECT_EQ(manager_.used_bytes(kGpu0), 0u);
+  EXPECT_EQ(manager_.used_bytes(kCpu0), 0u);
+  EXPECT_EQ(manager_.used_bytes(kCpu1), 0u);
+}
+
+TEST_F(MemoryManagerTest, HybridRequiresGpuDevice) {
+  EXPECT_FALSE(manager_.AllocateHybrid(1 * kGiB, kCpu0).ok());
+}
+
+TEST_F(MemoryManagerTest, PinnedAllocationCostsMore) {
+  // Sec. 3: allocating pageable memory is faster than pinned memory.
+  MemoryManager manager(&topo_, /*materialize=*/false);
+  (void)manager.Allocate(1 * kGiB, MemoryKind::kPageable, kCpu0);
+  const double pageable_time = manager.modelled_alloc_time();
+  (void)manager.Allocate(1 * kGiB, MemoryKind::kPinned, kCpu0);
+  const double pinned_time = manager.modelled_alloc_time() - pageable_time;
+  EXPECT_GT(pinned_time, 5.0 * pageable_time);
+}
+
+TEST(UnifiedRegionTest, InitialResidency) {
+  UnifiedRegion region(256 * 1024, kIbmPageBytes, kCpu0);
+  EXPECT_EQ(region.page_count(), 4u);
+  EXPECT_EQ(region.PagesOn(kCpu0), 4u);
+  EXPECT_EQ(region.ResidencyOf(0).value(), kCpu0);
+}
+
+TEST(UnifiedRegionTest, TouchMigratesPage) {
+  UnifiedRegion region(256 * 1024, kIbmPageBytes, kCpu0);
+  EXPECT_TRUE(region.Touch(70 * 1024, kGpu0).value());  // Fault.
+  EXPECT_EQ(region.ResidencyOf(70 * 1024).value(), kGpu0);
+  EXPECT_FALSE(region.Touch(70 * 1024, kGpu0).value());  // Now resident.
+  EXPECT_EQ(region.fault_count(), 1u);
+  EXPECT_EQ(region.PagesOn(kGpu0), 1u);
+  EXPECT_EQ(region.PagesOn(kCpu0), 3u);
+}
+
+TEST(UnifiedRegionTest, PrefetchMovesRange) {
+  UnifiedRegion region(1024 * 1024, kIntelPageBytes, kCpu0);
+  Result<std::uint64_t> moved = region.Prefetch(0, 512 * 1024, kGpu0);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 128u);
+  EXPECT_EQ(region.PagesOn(kGpu0), 128u);
+  // Prefetching an already-resident range moves nothing.
+  EXPECT_EQ(region.Prefetch(0, 512 * 1024, kGpu0).value(), 0u);
+  // Prefetch does not count as a fault.
+  EXPECT_EQ(region.fault_count(), 0u);
+}
+
+TEST(UnifiedRegionTest, OutOfRangeRejected) {
+  UnifiedRegion region(64 * 1024, kIbmPageBytes, kCpu0);
+  EXPECT_FALSE(region.Touch(64 * 1024, kGpu0).ok());
+  EXPECT_FALSE(region.ResidencyOf(1 << 20).ok());
+  EXPECT_FALSE(region.Prefetch(0, 128 * 1024, kGpu0).ok());
+}
+
+TEST(UnifiedRegionTest, PartialTailPage) {
+  UnifiedRegion region(65 * 1024, kIbmPageBytes, kCpu0);
+  EXPECT_EQ(region.page_count(), 2u);
+  EXPECT_TRUE(region.Touch(64 * 1024 + 512, kGpu0).value());
+}
+
+}  // namespace
+}  // namespace pump::memory

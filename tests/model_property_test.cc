@@ -1,0 +1,243 @@
+// Property-style parameterized sweeps over the cost models: invariants
+// that must hold for *every* configuration, not just the paper's
+// figures — monotonicity, bounds, and cross-system consistency.
+
+#include <tuple>
+
+#include "common/units.h"
+#include "data/workloads.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "join/cost_model.h"
+#include "sim/access_path.h"
+#include "sim/overlap.h"
+#include "transfer/transfer_model.h"
+
+namespace pump {
+namespace {
+
+using join::HashTablePlacement;
+using join::NopaConfig;
+using join::NopaJoinModel;
+using transfer::TransferMethod;
+
+// ---------------------------------------------------------------------
+// Access-path invariants over every (device, memory) pair of both
+// systems.
+
+class PathInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PathInvariantTest, BoundsAndConsistency) {
+  const auto [system, device, memory] = GetParam();
+  const hw::Topology topo =
+      system == 0 ? hw::IbmAc922() : hw::IntelXeonV100();
+  if (device >= static_cast<int>(topo.device_count()) ||
+      memory >= static_cast<int>(topo.device_count())) {
+    GTEST_SKIP();
+  }
+  const sim::AccessPath path = sim::MustResolve(topo, device, memory);
+
+  // Bandwidth and rates are positive and bounded by the local memory's.
+  EXPECT_GT(path.seq_bw, 0.0);
+  EXPECT_GT(path.random_access_rate, 0.0);
+  EXPECT_LE(path.seq_bw, topo.memory(memory).seq_bw * 1.0001);
+  EXPECT_LE(path.random_access_rate,
+            topo.memory(memory).random_access_rate * 1.0001);
+
+  // Latency at least the memory's own latency; grows with hops.
+  EXPECT_GE(path.latency_s, topo.memory(memory).latency_s);
+  if (path.hops == 0) {
+    EXPECT_DOUBLE_EQ(path.latency_s, topo.memory(memory).latency_s);
+    EXPECT_TRUE(path.cache_coherent);
+  }
+
+  // Dependent rate never exceeds the independent rate.
+  EXPECT_LE(path.dependent_access_rate, path.random_access_rate * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PathInvariantTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------
+// Join-model monotonicity sweeps.
+
+class JoinMonotonicityTest : public ::testing::Test {
+ protected:
+  double Throughput(const NopaConfig& config,
+                    const data::WorkloadSpec& w) const {
+    Result<join::JoinTiming> timing = model_.Estimate(config, w);
+    EXPECT_TRUE(timing.ok()) << timing.status();
+    return timing.value().Throughput(static_cast<double>(w.total_tuples()));
+  }
+
+  NopaConfig GpuConfig(hw::MemoryNodeId ht) const {
+    NopaConfig config;
+    config.device = hw::kGpu0;
+    config.r_location = hw::kCpu0;
+    config.s_location = hw::kCpu0;
+    config.hash_table = HashTablePlacement::Single(ht);
+    return config;
+  }
+
+  hw::SystemProfile ibm_ = hw::Ac922Profile();
+  NopaJoinModel model_{&ibm_};
+};
+
+TEST_F(JoinMonotonicityTest, ThroughputRisesWithProbeShare) {
+  // For fixed |R|, growing |S| amortizes the build: throughput must be
+  // non-decreasing across two decades of |S|.
+  double previous = 0.0;
+  for (std::uint64_t s = 64ull << 20; s <= 8192ull << 20; s *= 2) {
+    const data::WorkloadSpec w = data::WorkloadC16(64ull << 20, s);
+    const double tput = Throughput(GpuConfig(hw::kGpu0), w);
+    EXPECT_GE(tput, previous * 0.999) << "|S| = " << (s >> 20) << "M";
+    previous = tput;
+  }
+}
+
+TEST_F(JoinMonotonicityTest, TimeScalesLinearlyAtFixedRatio) {
+  // Doubling both relations at a fixed ratio doubles the runtime (no
+  // superlinear artifacts) as long as the placement stays the same.
+  const data::WorkloadSpec small =
+      data::WorkloadC16(64ull << 20, 512ull << 20);
+  const data::WorkloadSpec large =
+      data::WorkloadC16(128ull << 20, 1024ull << 20);
+  Result<join::JoinTiming> t_small =
+      model_.Estimate(GpuConfig(hw::kGpu0), small);
+  Result<join::JoinTiming> t_large =
+      model_.Estimate(GpuConfig(hw::kGpu0), large);
+  ASSERT_TRUE(t_small.ok());
+  ASSERT_TRUE(t_large.ok());
+  EXPECT_NEAR(t_large.value().total_s() / t_small.value().total_s(), 2.0,
+              0.1);
+}
+
+TEST_F(JoinMonotonicityTest, SkewNeverHurts) {
+  for (hw::MemoryNodeId ht : {hw::kGpu0, hw::kCpu0}) {
+    double previous = 0.0;
+    for (double z : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
+      data::WorkloadSpec w = data::WorkloadA();
+      w.zipf_exponent = z;
+      const double tput = Throughput(GpuConfig(ht), w);
+      EXPECT_GE(tput, previous * 0.999) << "ht=" << ht << " z=" << z;
+      previous = tput;
+    }
+  }
+}
+
+TEST_F(JoinMonotonicityTest, SelectivityNeverHelps) {
+  for (hw::MemoryNodeId ht : {hw::kGpu0, hw::kCpu0}) {
+    double previous = 1e30;
+    for (double sel : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      data::WorkloadSpec w = data::WorkloadA();
+      w.selectivity = sel;
+      const double tput = Throughput(GpuConfig(ht), w);
+      EXPECT_LE(tput, previous * 1.001) << "ht=" << ht << " sel=" << sel;
+      previous = tput;
+    }
+  }
+}
+
+TEST_F(JoinMonotonicityTest, MoreGpuFractionNeverHurts) {
+  for (std::uint64_t m : {512ull, 1024ull, 2048ull}) {
+    const data::WorkloadSpec w = data::WorkloadC16(m << 20, m << 20);
+    double previous = 0.0;
+    for (double f : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      NopaConfig config = GpuConfig(hw::kGpu0);
+      config.hash_table =
+          HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0, f);
+      const double tput = Throughput(config, w);
+      EXPECT_GE(tput, previous * 0.999) << "m=" << m << " f=" << f;
+      previous = tput;
+    }
+  }
+}
+
+TEST_F(JoinMonotonicityTest, BuildAndProbePositive) {
+  for (const data::WorkloadSpec& w :
+       {data::WorkloadA(), data::WorkloadB(), data::WorkloadC()}) {
+    Result<join::JoinTiming> timing =
+        model_.Estimate(GpuConfig(hw::kGpu0), w);
+    ASSERT_TRUE(timing.ok());
+    EXPECT_GT(timing.value().build_s, 0.0);
+    EXPECT_GT(timing.value().probe_s, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Transfer-model sweeps across methods and chunk sizes.
+
+class TransferSweepTest
+    : public ::testing::TestWithParam<TransferMethod> {};
+
+TEST_P(TransferSweepTest, MakespanMonotonicInBytes) {
+  const hw::SystemProfile profile = hw::Ac922Profile();
+  const transfer::TransferModel model(&profile);
+  double previous = 0.0;
+  for (double gib = 1.0; gib <= 64.0; gib *= 2.0) {
+    Result<double> time = model.TransferTime(GetParam(), hw::kGpu0,
+                                             hw::kCpu0, gib * kGiB);
+    ASSERT_TRUE(time.ok());
+    EXPECT_GT(time.value(), previous);
+    previous = time.value();
+  }
+}
+
+TEST_P(TransferSweepTest, IngestWithinLinkEnvelope) {
+  // No method may exceed the electrical link bandwidth on either system.
+  for (bool ibm : {true, false}) {
+    const hw::SystemProfile profile =
+        ibm ? hw::Ac922Profile() : hw::XeonProfile();
+    const transfer::TransferModel model(&profile);
+    if (GetParam() == TransferMethod::kCoherence && !ibm) continue;
+    Result<double> bw =
+        model.IngestBandwidth(GetParam(), hw::kGpu0, hw::kCpu0);
+    ASSERT_TRUE(bw.ok());
+    const double electrical =
+        ibm ? GBPerSecond(75.0) : GBPerSecond(16.0);
+    EXPECT_LE(bw.value(), electrical);
+    EXPECT_GT(bw.value(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, TransferSweepTest,
+                         ::testing::ValuesIn(transfer::kAllTransferMethods));
+
+// ---------------------------------------------------------------------
+// Overlap-norm algebraic properties.
+
+TEST(OverlapPropertyTest, SymmetricAndBounded) {
+  for (double a : {0.1, 1.0, 5.0}) {
+    for (double b : {0.1, 1.0, 5.0}) {
+      for (double p : {1.0, 2.0, 4.0, 16.0}) {
+        const double ab = sim::OverlapTime({a, b}, p);
+        const double ba = sim::OverlapTime({b, a}, p);
+        EXPECT_DOUBLE_EQ(ab, ba);
+        EXPECT_GE(ab, std::max(a, b) * 0.9999);
+        EXPECT_LE(ab, (a + b) * 1.0001);
+      }
+    }
+  }
+}
+
+TEST(OverlapPropertyTest, MonotoneInExponent) {
+  // Higher p = more overlap = less time.
+  double previous = 1e30;
+  for (double p : {1.0, 1.5, 2.0, 4.0, 8.0, 32.0}) {
+    const double t = sim::OverlapTime({1.0, 2.0, 3.0}, p);
+    EXPECT_LT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(OverlapPropertyTest, ScaleInvariant) {
+  const double t = sim::OverlapTime({1.0, 2.0}, 2.0);
+  const double scaled = sim::OverlapTime({10.0, 20.0}, 2.0);
+  EXPECT_NEAR(scaled, 10.0 * t, 1e-9);
+}
+
+}  // namespace
+}  // namespace pump

@@ -1,0 +1,168 @@
+#include "data/tpch.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "ops/q6.h"
+#include "ops/q6_model.h"
+
+namespace pump::ops {
+namespace {
+
+using data::GenerateLineitemQ6;
+using data::LineitemQ6;
+using hw::kCpu0;
+using hw::kGpu0;
+using transfer::TransferMethod;
+
+Q6Result BruteForce(const LineitemQ6& table) {
+  Q6Result expected;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const bool qualifies =
+        table.shipdate[i] >= data::kQ6DateLo &&
+        table.shipdate[i] < data::kQ6DateHi &&
+        table.discount[i] >= data::kQ6DiscountLo &&
+        table.discount[i] <= data::kQ6DiscountHi &&
+        table.quantity[i] < data::kQ6QuantityLt;
+    if (qualifies) {
+      expected.revenue += table.extendedprice[i] * table.discount[i];
+      ++expected.qualifying_rows;
+    }
+  }
+  return expected;
+}
+
+TEST(Q6FunctionalTest, BranchingMatchesBruteForce) {
+  const LineitemQ6 table = GenerateLineitemQ6(100000, 3);
+  EXPECT_EQ(RunQ6Branching(table), BruteForce(table));
+}
+
+TEST(Q6FunctionalTest, PredicatedMatchesBranching) {
+  const LineitemQ6 table = GenerateLineitemQ6(100000, 5);
+  EXPECT_EQ(RunQ6Predicated(table), RunQ6Branching(table));
+}
+
+TEST(Q6FunctionalTest, ParallelVariantsAgree) {
+  const LineitemQ6 table = GenerateLineitemQ6(300000, 7);
+  const Q6Result serial = RunQ6Branching(table);
+  EXPECT_EQ(RunQ6BranchingParallel(table, 4), serial);
+  EXPECT_EQ(RunQ6PredicatedParallel(table, 4), serial);
+}
+
+TEST(Q6FunctionalTest, ClusteredLayoutSameResult) {
+  LineitemQ6 table = GenerateLineitemQ6(50000, 9);
+  const Q6Result before = RunQ6Predicated(table);
+  data::ClusterByShipdate(&table);
+  EXPECT_EQ(RunQ6Predicated(table), before);
+  EXPECT_EQ(RunQ6Branching(table), before);
+}
+
+TEST(Q6FunctionalTest, EmptyTable) {
+  LineitemQ6 empty;
+  EXPECT_EQ(RunQ6Branching(empty), Q6Result{});
+  EXPECT_EQ(RunQ6Predicated(empty), Q6Result{});
+}
+
+TEST(Q6FunctionalTest, QualifyingFractionNearAnalytic) {
+  const LineitemQ6 table = GenerateLineitemQ6(400000, 11);
+  const Q6Result result = RunQ6Branching(table);
+  EXPECT_NEAR(
+      static_cast<double>(result.qualifying_rows) / 400000.0,
+      data::Q6Selectivity(), 0.004);
+}
+
+class Q6ModelTest : public ::testing::Test {
+ protected:
+  double GRows(hw::DeviceId device, const hw::SystemProfile& profile,
+               TransferMethod method, Q6Variant variant) const {
+    Q6Model model(&profile);
+    Result<Q6Timing> timing =
+        model.Estimate(device, kCpu0, method, variant, kRows);
+    EXPECT_TRUE(timing.ok()) << timing.status();
+    return timing.value().RowsPerSecond() / 1e9;
+  }
+
+  static constexpr double kRows = 6e9;  // ~ SF 1000.
+  hw::SystemProfile ibm_ = hw::Ac922Profile();
+  hw::SystemProfile intel_ = hw::XeonProfile();
+};
+
+TEST_F(Q6ModelTest, Fig15CpuBeatsNvlink) {
+  // Fig. 15: the CPU outperforms NVLink 2.0 by up to 67%.
+  const double cpu =
+      GRows(kCpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kBranching);
+  const double nvlink =
+      GRows(kGpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kBranching);
+  EXPECT_GT(cpu, nvlink);
+  EXPECT_NEAR(cpu / nvlink, 1.67, 0.4);
+}
+
+TEST_F(Q6ModelTest, Fig15NvlinkCrushesPcie) {
+  // Fig. 15: NVLink 2.0 achieves up to 9.8x over PCI-e 3.0.
+  const double nvlink =
+      GRows(kGpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kBranching);
+  const double pcie = GRows(kGpu0, intel_, TransferMethod::kZeroCopy,
+                            Q6Variant::kBranching);
+  EXPECT_GT(nvlink / pcie, 4.0);
+  EXPECT_LT(nvlink / pcie, 14.0);
+}
+
+TEST_F(Q6ModelTest, Fig15BranchingBeatsPredicationOnNvlink) {
+  // Fig. 15: counterintuitively, branching wins on the GPU with NVLink —
+  // the low selectivity lets it skip transfers.
+  const double branching =
+      GRows(kGpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kBranching);
+  const double predicated =
+      GRows(kGpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kPredicated);
+  EXPECT_GT(branching, predicated);
+}
+
+TEST_F(Q6ModelTest, BranchingDoesNotPayOnPcie) {
+  // Over non-coherent PCI-e, chunked DMA cannot elide bytes and the
+  // divergent pattern wastes packets: branching <= predication.
+  const double branching = GRows(kGpu0, intel_, TransferMethod::kZeroCopy,
+                                 Q6Variant::kBranching);
+  const double predicated = GRows(kGpu0, intel_, TransferMethod::kZeroCopy,
+                                  Q6Variant::kPredicated);
+  EXPECT_LE(branching, predicated * 1.001);
+}
+
+TEST_F(Q6ModelTest, PredicatedGpuIsBandwidthBound) {
+  // 20 B/row at 63 GiB/s -> ~3.4 G rows/s.
+  const double predicated =
+      GRows(kGpu0, ibm_, TransferMethod::kCoherence, Q6Variant::kPredicated);
+  EXPECT_NEAR(predicated, 3.38, 0.35);
+}
+
+TEST_F(Q6ModelTest, ThroughputRoughlyFlatAcrossScaleFactors) {
+  // Fig. 15: throughput saturates with scale; SF 1000 is no slower per
+  // row than SF 100 (slightly faster as launch overheads amortize).
+  Q6Model model(&ibm_);
+  const double sf100 = model
+                           .Estimate(kGpu0, kCpu0, TransferMethod::kCoherence,
+                                     Q6Variant::kBranching, 0.6e9)
+                           .value()
+                           .RowsPerSecond();
+  const double sf1000 = model
+                            .Estimate(kGpu0, kCpu0, TransferMethod::kCoherence,
+                                      Q6Variant::kBranching, 6e9)
+                            .value()
+                            .RowsPerSecond();
+  EXPECT_NEAR(sf1000 / sf100, 1.0, 0.05);
+  EXPECT_GE(sf1000, sf100);
+}
+
+TEST_F(Q6ModelTest, VariantNames) {
+  EXPECT_STREQ(Q6VariantToString(Q6Variant::kBranching), "branching");
+  EXPECT_STREQ(Q6VariantToString(Q6Variant::kPredicated), "predicated");
+}
+
+TEST_F(Q6ModelTest, CoherenceRejectedOnPcie) {
+  Q6Model model(&intel_);
+  Result<Q6Timing> timing =
+      model.Estimate(kGpu0, kCpu0, TransferMethod::kCoherence,
+                     Q6Variant::kBranching, kRows);
+  ASSERT_FALSE(timing.ok());
+  EXPECT_EQ(timing.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace pump::ops

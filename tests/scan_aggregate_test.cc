@@ -1,0 +1,232 @@
+#include <cstdint>
+#include <numeric>
+
+#include "data/tpch.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "join/partitioned_gpu.h"
+#include "ops/aggregate.h"
+#include "ops/q6.h"
+#include "ops/scan.h"
+
+namespace pump::ops {
+namespace {
+
+TEST(CompareTest, AllOperators) {
+  EXPECT_TRUE(Compare(CompareOp::kLt, 1, 2));
+  EXPECT_FALSE(Compare(CompareOp::kLt, 2, 2));
+  EXPECT_TRUE(Compare(CompareOp::kLe, 2, 2));
+  EXPECT_TRUE(Compare(CompareOp::kEq, 2, 2));
+  EXPECT_FALSE(Compare(CompareOp::kEq, 1, 2));
+  EXPECT_TRUE(Compare(CompareOp::kGe, 2, 2));
+  EXPECT_TRUE(Compare(CompareOp::kGt, 3, 2));
+  EXPECT_TRUE(Compare(CompareOp::kNe, 1, 2));
+}
+
+TEST(ScanTest, SelectsMatchingRows) {
+  const std::vector<std::int32_t> column = {5, 1, 9, 3, 7, 2};
+  const SelectionVector selection =
+      ScanColumn(column, CompareOp::kLt, 5);
+  EXPECT_EQ(selection, (SelectionVector{1, 3, 5}));
+}
+
+TEST(ScanTest, EmptyColumn) {
+  const std::vector<std::int32_t> column;
+  EXPECT_TRUE(ScanColumn(column, CompareOp::kGt, 0).empty());
+}
+
+TEST(ScanTest, RefineIsConjunctive) {
+  const std::vector<std::int32_t> a = {1, 5, 3, 8, 2};
+  const std::vector<std::int32_t> b = {9, 1, 9, 9, 1};
+  SelectionVector selection = ScanColumn(a, CompareOp::kLt, 6);  // 0,1,2,4
+  selection = RefineSelection(selection, b, CompareOp::kGt, 5);  // 0,2
+  EXPECT_EQ(selection, (SelectionVector{0, 2}));
+}
+
+TEST(ScanTest, SumSelected) {
+  const std::vector<std::int64_t> values = {10, 20, 30, 40};
+  EXPECT_EQ(SumSelected({1, 3}, values), 60);
+  EXPECT_EQ(SumSelected({}, values), 0);
+}
+
+TEST(ScanTest, ParallelMatchesSerial) {
+  std::vector<std::int32_t> column(100'000);
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    column[i] = static_cast<std::int32_t>((i * 37) % 1000);
+  }
+  const SelectionVector serial = ScanColumn(column, CompareOp::kGe, 500);
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    EXPECT_EQ(ScanColumnParallel(column, CompareOp::kGe, 500, workers),
+              serial)
+        << workers << " workers";
+  }
+}
+
+TEST(ScanTest, Q6AsScanPipeline) {
+  // Build Q6 from the generic scan primitives and cross-check against the
+  // dedicated kernel — an integration test across ops modules.
+  const data::LineitemQ6 table = data::GenerateLineitemQ6(50'000, 41);
+  SelectionVector sel =
+      ScanColumn(table.shipdate, CompareOp::kGe, data::kQ6DateLo);
+  sel = RefineSelection(sel, table.shipdate, CompareOp::kLt,
+                        data::kQ6DateHi);
+  sel = RefineSelection(sel, table.discount, CompareOp::kGe,
+                        data::kQ6DiscountLo);
+  sel = RefineSelection(sel, table.discount, CompareOp::kLe,
+                        data::kQ6DiscountHi);
+  sel = RefineSelection(sel, table.quantity, CompareOp::kLt,
+                        data::kQ6QuantityLt);
+
+  std::int64_t revenue = 0;
+  for (std::uint32_t row : sel) {
+    revenue += table.extendedprice[row] * table.discount[row];
+  }
+  const Q6Result direct = RunQ6Branching(table);
+  EXPECT_EQ(revenue, direct.revenue);
+  EXPECT_EQ(sel.size(), direct.qualifying_rows);
+}
+
+TEST(GroupByTest, BasicAggregation) {
+  DenseGroupBy agg(4);
+  ASSERT_TRUE(agg.Accumulate(1, 10).ok());
+  ASSERT_TRUE(agg.Accumulate(1, 20).ok());
+  ASSERT_TRUE(agg.Accumulate(3, 5).ok());
+  const auto groups = agg.Finalize();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key, 1);
+  EXPECT_EQ(groups[0].count, 2u);
+  EXPECT_EQ(groups[0].sum, 30);
+  EXPECT_EQ(groups[1].key, 3);
+  EXPECT_EQ(groups[1].sum, 5);
+}
+
+TEST(GroupByTest, RejectsOutOfDomain) {
+  DenseGroupBy agg(4);
+  EXPECT_FALSE(agg.Accumulate(4, 1).ok());
+  EXPECT_FALSE(agg.Accumulate(-1, 1).ok());
+}
+
+TEST(GroupByTest, ParallelAccumulationExact) {
+  constexpr std::size_t kRows = 200'000;
+  constexpr std::size_t kGroups = 64;
+  std::vector<std::int64_t> keys(kRows), values(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    keys[i] = static_cast<std::int64_t>(i % kGroups);
+    values[i] = static_cast<std::int64_t>(i);
+  }
+  DenseGroupBy agg(kGroups);
+  ASSERT_TRUE(agg.AccumulateColumns(keys, values, 4).ok());
+  const auto groups = agg.Finalize();
+  ASSERT_EQ(groups.size(), kGroups);
+  std::uint64_t total_count = 0;
+  std::int64_t total_sum = 0;
+  for (const GroupAggregate& group : groups) {
+    total_count += group.count;
+    total_sum += group.sum;
+  }
+  EXPECT_EQ(total_count, kRows);
+  EXPECT_EQ(total_sum,
+            static_cast<std::int64_t>(kRows) * (kRows - 1) / 2);
+}
+
+TEST(GroupByTest, ColumnLengthMismatch) {
+  DenseGroupBy agg(4);
+  EXPECT_FALSE(agg.AccumulateColumns({1, 2}, {1}, 1).ok());
+}
+
+}  // namespace
+}  // namespace pump::ops
+
+namespace pump::join {
+namespace {
+
+TEST(PartitionedGpuModelTest, PcieOutOfCorePrefersPartitioning) {
+  // The historical motivation (Sec. 5.2): with a 24 GiB hash table on
+  // PCI-e, the partitioned join must beat the NOPA join by a wide margin.
+  hw::SystemProfile intel = hw::XeonProfile();
+  const NopaJoinModel nopa(&intel);
+  const PartitionedGpuJoinModel partitioned(&intel);
+  const data::WorkloadSpec big =
+      data::WorkloadC16(1536ull << 20, 1536ull << 20);
+  const double total = static_cast<double>(big.total_tuples());
+
+  NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = HashTablePlacement::Single(hw::kCpu0);
+  config.method = transfer::TransferMethod::kZeroCopy;
+  config.relation_memory = memory::MemoryKind::kPinned;
+  const double nopa_tput =
+      nopa.Estimate(config, big).value().Throughput(total);
+
+  const double part_tput =
+      partitioned
+          .Estimate(hw::kCpu0, hw::kGpu0,
+                    transfer::TransferMethod::kPinnedCopy, big)
+          .value()
+          .Throughput(total);
+  EXPECT_GT(part_tput, 5.0 * nopa_tput);
+}
+
+TEST(PartitionedGpuModelTest, NvlinkPrefersNopa) {
+  // With a fast interconnect the partition passes are pure overhead: the
+  // hybrid-table NOPA join wins (the paper's argument for NP-HJ).
+  hw::SystemProfile ibm = hw::Ac922Profile();
+  const NopaJoinModel nopa(&ibm);
+  const PartitionedGpuJoinModel partitioned(&ibm);
+  const data::WorkloadSpec big =
+      data::WorkloadC16(1536ull << 20, 1536ull << 20);
+  const double total = static_cast<double>(big.total_tuples());
+
+  NopaConfig config;
+  config.device = hw::kGpu0;
+  config.r_location = hw::kCpu0;
+  config.s_location = hw::kCpu0;
+  config.hash_table = HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0,
+                                                 15.0 / 24.0);
+  const double nopa_tput =
+      nopa.Estimate(config, big).value().Throughput(total);
+  const double part_tput =
+      partitioned
+          .Estimate(hw::kCpu0, hw::kGpu0,
+                    transfer::TransferMethod::kPinnedCopy, big)
+          .value()
+          .Throughput(total);
+  EXPECT_GT(nopa_tput, part_tput);
+}
+
+TEST(PartitionedGpuModelTest, InCoreNopaWinsOnBothSystems) {
+  // Small build sides: NOPA's single pass beats partitioning everywhere.
+  const data::WorkloadSpec small =
+      data::WorkloadC16(128ull << 20, 1024ull << 20);
+  for (bool ibm_system : {true, false}) {
+    hw::SystemProfile profile =
+        ibm_system ? hw::Ac922Profile() : hw::XeonProfile();
+    const NopaJoinModel nopa(&profile);
+    const PartitionedGpuJoinModel partitioned(&profile);
+    const double total = static_cast<double>(small.total_tuples());
+
+    NopaConfig config;
+    config.device = hw::kGpu0;
+    config.r_location = hw::kCpu0;
+    config.s_location = hw::kCpu0;
+    config.hash_table = HashTablePlacement::Single(hw::kGpu0);
+    config.method = ibm_system ? transfer::TransferMethod::kCoherence
+                               : transfer::TransferMethod::kZeroCopy;
+    config.relation_memory = ibm_system ? memory::MemoryKind::kPageable
+                                        : memory::MemoryKind::kPinned;
+    const double nopa_tput =
+        nopa.Estimate(config, small).value().Throughput(total);
+    const double part_tput =
+        partitioned
+            .Estimate(hw::kCpu0, hw::kGpu0,
+                      transfer::TransferMethod::kPinnedCopy, small)
+            .value()
+            .Throughput(total);
+    EXPECT_GT(nopa_tput, part_tput) << (ibm_system ? "IBM" : "Intel");
+  }
+}
+
+}  // namespace
+}  // namespace pump::join

@@ -1,0 +1,234 @@
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "hw/topology.h"
+#include "sim/access_path.h"
+#include "sim/cache_model.h"
+#include "sim/overlap.h"
+
+namespace pump::sim {
+namespace {
+
+using hw::kCpu0;
+using hw::kCpu1;
+using hw::kGpu0;
+using hw::kGpu1;
+
+// -------------------------------------------------------------------------
+// Access paths: every case is an anchor from the paper's Fig. 3.
+// Tuple: (description, device, memory, expected seq GiB/s, expected random
+// G accesses/s, expected latency ns, tolerance fraction).
+using PathAnchor =
+    std::tuple<std::string, hw::DeviceId, hw::MemoryNodeId, double, double,
+               double>;
+
+class IbmPathTest : public ::testing::TestWithParam<PathAnchor> {
+ protected:
+  hw::Topology topo_ = hw::IbmAc922();
+};
+
+TEST_P(IbmPathTest, MatchesPaperAnchor) {
+  const auto& [name, device, memory, seq_gib, rand_g, latency_ns] =
+      GetParam();
+  const AccessPath path = MustResolve(topo_, device, memory);
+  EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), seq_gib, seq_gib * 0.05) << name;
+  EXPECT_NEAR(path.random_access_rate / 1e9, rand_g, rand_g * 0.05) << name;
+  EXPECT_NEAR(ToNanoseconds(path.latency_s), latency_ns, latency_ns * 0.05)
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3Anchors, IbmPathTest,
+    ::testing::Values(
+        // Fig. 3c: GPU to its own HBM2.
+        PathAnchor{"gpu-local", kGpu0, kGpu0, 729.0, 5.986, 282.0},
+        // Fig. 3a/b: GPU to CPU memory over NVLink 2.0.
+        PathAnchor{"gpu-nvlink-cpu", kGpu0, kCpu0, 63.0, 0.752, 434.0},
+        // Fig. 3b: POWER9 to its local memory.
+        PathAnchor{"cpu-local", kCpu0, kCpu0, 117.0, 0.966, 68.0},
+        // Fig. 3a: POWER9 to the remote socket over X-Bus.
+        PathAnchor{"cpu-xbus-cpu", kCpu0, kCpu1, 32.0, 0.295, 211.0}));
+
+TEST(IntelPathTest, PcieMatchesFig3) {
+  hw::Topology topo = hw::IntelXeonV100();
+  const AccessPath path = MustResolve(topo, kGpu0, kCpu0);
+  EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 12.0, 0.6);
+  EXPECT_NEAR(path.random_access_rate / 1e9, 0.05, 0.005);
+  EXPECT_NEAR(ToNanoseconds(path.latency_s), 790.0, 20.0);
+  EXPECT_FALSE(path.cache_coherent);
+}
+
+TEST(IntelPathTest, UpiMatchesFig3) {
+  hw::Topology topo = hw::IntelXeonV100();
+  const AccessPath path = MustResolve(topo, kCpu0, kCpu1);
+  EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 31.0, 1.6);
+  EXPECT_NEAR(path.random_access_rate / 1e9, 0.537, 0.03);
+  EXPECT_NEAR(ToNanoseconds(path.latency_s), 121.0, 6.0);
+  EXPECT_TRUE(path.cache_coherent);
+}
+
+TEST(IntelPathTest, XeonLocalMatchesFig3) {
+  hw::Topology topo = hw::IntelXeonV100();
+  const AccessPath path = MustResolve(topo, kCpu0, kCpu0);
+  EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 81.0, 4.0);
+  EXPECT_NEAR(ToNanoseconds(path.latency_s), 70.0, 1.0);
+}
+
+TEST(AccessPathTest, MultiHopBindsToSlowestLink) {
+  hw::Topology topo = hw::IbmAc922();
+  // GPU0 -> CPU1 memory crosses NVLink (63) then X-Bus (32): the X-Bus
+  // binds (Sec. 7.2.2: "increasing the number of hops is mainly limited by
+  // the X-Bus' bandwidth").
+  // The X-Bus (32 GiB/s) binds, minus one hop of re-encapsulation loss.
+  const AccessPath two_hop = MustResolve(topo, kGpu0, kCpu1);
+  EXPECT_EQ(two_hop.hops, 2u);
+  EXPECT_NEAR(ToGiBPerSecond(two_hop.seq_bw), 28.4, 1.5);
+  EXPECT_NEAR(two_hop.random_access_rate / 1e9, 0.262, 0.02);
+
+  const AccessPath three_hop = MustResolve(topo, kGpu0, kGpu1);
+  EXPECT_EQ(three_hop.hops, 3u);
+  EXPECT_LT(three_hop.seq_bw, two_hop.seq_bw);
+  EXPECT_LT(three_hop.random_access_rate, two_hop.random_access_rate);
+  EXPECT_GT(three_hop.latency_s, two_hop.latency_s);
+}
+
+TEST(AccessPathTest, LatencyAccumulatesPerHop) {
+  hw::Topology topo = hw::IbmAc922();
+  const double local = MustResolve(topo, kCpu0, kCpu0).latency_s;
+  const double one = MustResolve(topo, kGpu0, kCpu0).latency_s;
+  const double two = MustResolve(topo, kGpu0, kCpu1).latency_s;
+  const double three = MustResolve(topo, kGpu0, kGpu1).latency_s;
+  EXPECT_LT(local, one);
+  EXPECT_LT(one, two);
+  EXPECT_LT(two, three);
+}
+
+TEST(AccessPathTest, CpuIsLatencyBoundOverInterconnect) {
+  hw::Topology topo = hw::IbmAc922();
+  // Sec. 6.2: the CPU has significantly lower bandwidth to GPU memory than
+  // the GPU has to CPU memory, because it cannot hide the latency.
+  const AccessPath cpu_to_gpu = MustResolve(topo, kCpu0, kGpu0);
+  const AccessPath gpu_to_cpu = MustResolve(topo, kGpu0, kCpu0);
+  EXPECT_LT(cpu_to_gpu.seq_bw, 0.35 * gpu_to_cpu.seq_bw);
+}
+
+TEST(AccessPathTest, DependentRateReflectsDeviceFactor) {
+  hw::Topology topo = hw::IbmAc922();
+  const AccessPath gpu = MustResolve(topo, kGpu0, kGpu0);
+  EXPECT_DOUBLE_EQ(gpu.dependent_access_rate, gpu.random_access_rate);
+  const AccessPath cpu = MustResolve(topo, kCpu0, kCpu0);
+  EXPECT_LT(cpu.dependent_access_rate, cpu.random_access_rate);
+}
+
+TEST(AccessPathTest, ErrorOnDisconnected) {
+  hw::Topology topo;
+  topo.AddDevice(hw::Power9(), hw::Power9Memory(), hw::Power9L3());
+  topo.AddDevice(hw::TeslaV100(), hw::V100Hbm2(), hw::V100L2());
+  EXPECT_FALSE(ResolveAccessPath(topo, 0, 1).ok());
+}
+
+TEST(AccessPathTest, ToStringIsInformative) {
+  hw::Topology topo = hw::IbmAc922();
+  const std::string dump = MustResolve(topo, kGpu0, kCpu0).ToString();
+  EXPECT_NE(dump.find("hops=1"), std::string::npos);
+  EXPECT_NE(dump.find("coherent=yes"), std::string::npos);
+}
+
+// -------------------------------------------------------------------------
+// Cache model.
+
+TEST(HarmonicTest, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(2, 1.0), 1.5, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 2.0), 1.0 + 0.25 + 1.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(0, 1.0), 0.0);
+}
+
+TEST(HarmonicTest, LargeNTailApproximation) {
+  // H_{n,1} ~ ln(n) + gamma.
+  const double h = GeneralizedHarmonic(1u << 30, 1.0);
+  EXPECT_NEAR(h, std::log(static_cast<double>(1u << 30)) + 0.5772156649,
+              1e-3);
+}
+
+TEST(HarmonicTest, ZeroExponentCountsItems) {
+  EXPECT_NEAR(GeneralizedHarmonic(1000, 0.0), 1000.0, 0.5);
+  EXPECT_NEAR(GeneralizedHarmonic(5'000'000, 0.0), 5e6, 5e6 * 1e-4);
+}
+
+TEST(CacheModelTest, UniformHitRate) {
+  EXPECT_DOUBLE_EQ(UniformHitRate(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(UniformHitRate(100, 200), 1.0);
+  EXPECT_DOUBLE_EQ(UniformHitRate(1000, 100), 0.1);
+  EXPECT_DOUBLE_EQ(UniformHitRate(0, 0), 1.0);
+}
+
+TEST(CacheModelTest, ZipfDegeneratesToUniform) {
+  EXPECT_DOUBLE_EQ(ZipfHitRate(1000, 100, 0.0), 0.1);
+}
+
+TEST(CacheModelTest, ZipfHitRateGrowsWithSkew) {
+  double previous = 0.0;
+  for (double z : {0.0, 0.5, 1.0, 1.25, 1.5, 1.75}) {
+    const double hit = ZipfHitRate(1u << 27, 1000, z);
+    EXPECT_GE(hit, previous) << "z=" << z;
+    previous = hit;
+  }
+}
+
+TEST(CacheModelTest, PaperSkewAnchor) {
+  // Sec. 7.2.8: with exponent 1.5 there is a 97.5% chance of hitting one
+  // of the top-1000 tuples of the 2^31-tuple probe distribution over 2^27
+  // keys. The hit rate of a cache holding the hottest 1000 keys under
+  // Zipf(1.5) over 2^27 items reproduces that number.
+  const double hit = ZipfHitRate(1u << 27, 1000, 1.5);
+  EXPECT_NEAR(hit, 0.975, 0.015);
+}
+
+TEST(CacheModelTest, BlendedRateBounds) {
+  const double blended = BlendedAccessRate(0.5, 10e9, 1e9);
+  EXPECT_GT(blended, 1e9);
+  EXPECT_LT(blended, 10e9);
+  EXPECT_DOUBLE_EQ(BlendedAccessRate(1.0, 10e9, 1e9), 10e9);
+  EXPECT_DOUBLE_EQ(BlendedAccessRate(0.0, 10e9, 1e9), 1e9);
+}
+
+TEST(CacheModelTest, CacheResidentEntries) {
+  hw::CacheSpec cache;
+  cache.capacity_bytes = 1024;
+  cache.line_bytes = 128.0;
+  EXPECT_EQ(CacheResidentEntries(cache, 16), 64u);
+  EXPECT_EQ(CacheResidentEntries(cache, 0), 0u);
+}
+
+// -------------------------------------------------------------------------
+// Overlap norm.
+
+TEST(OverlapTest, SingleComponentPassesThrough) {
+  EXPECT_DOUBLE_EQ(OverlapTime({2.5}, 4.0), 2.5);
+}
+
+TEST(OverlapTest, BoundsBetweenMaxAndSum) {
+  const double t = OverlapTime({1.0, 2.0, 0.5}, 4.0);
+  EXPECT_GT(t, 2.0);
+  EXPECT_LT(t, 3.5);
+}
+
+TEST(OverlapTest, LargePGoesToMax) {
+  EXPECT_NEAR(OverlapTime({1.0, 2.0}, 64.0), 2.0, 0.03);
+}
+
+TEST(OverlapTest, PEqualOneIsSum) {
+  EXPECT_NEAR(OverlapTime({1.0, 2.0, 3.0}, 1.0), 6.0, 1e-9);
+}
+
+TEST(OverlapTest, ZeroComponentsIgnored) {
+  EXPECT_DOUBLE_EQ(OverlapTime({0.0, 0.0}, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapTime({0.0, 3.0}, 2.0), 3.0);
+}
+
+}  // namespace
+}  // namespace pump::sim

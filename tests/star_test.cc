@@ -1,0 +1,155 @@
+#include <cstdint>
+
+#include "data/star.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "join/star.h"
+#include "join/star_model.h"
+
+namespace pump::join {
+namespace {
+
+using data::GenerateStarSchema;
+using data::StarSchema;
+
+StarAggregate BruteForce(const StarSchema& schema) {
+  StarAggregate expected;
+  for (std::size_t i = 0; i < schema.fact_rows(); ++i) {
+    std::uint64_t payload_sum = 0;
+    bool all_match = true;
+    for (std::size_t d = 0; d < schema.dimension_count(); ++d) {
+      const std::int64_t key = schema.fact_keys[d][i];
+      if (key < 0 ||
+          key >= static_cast<std::int64_t>(schema.dimensions[d].size())) {
+        all_match = false;
+        break;
+      }
+      // Payload of a dense dimension is key + kPayloadOffset.
+      payload_sum +=
+          static_cast<std::uint64_t>(key + data::kPayloadOffset);
+    }
+    if (all_match) {
+      ++expected.matches;
+      expected.checksum +=
+          static_cast<std::uint64_t>(schema.measures[i]) + payload_sum;
+    }
+  }
+  return expected;
+}
+
+TEST(StarSchemaTest, GeneratorShape) {
+  const StarSchema schema = GenerateStarSchema({100, 200, 50}, 5000, 1);
+  EXPECT_EQ(schema.dimension_count(), 3u);
+  EXPECT_EQ(schema.fact_rows(), 5000u);
+  EXPECT_EQ(schema.dimensions[1].size(), 200u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    ASSERT_EQ(schema.fact_keys[d].size(), 5000u);
+    for (std::int64_t key : schema.fact_keys[d]) {
+      ASSERT_GE(key, 0);
+      ASSERT_LT(key,
+                static_cast<std::int64_t>(schema.dimensions[d].size()));
+    }
+  }
+}
+
+TEST(StarJoinTest, AllRowsMatch) {
+  const StarSchema schema = GenerateStarSchema({64, 128, 32}, 20000, 2);
+  Result<StarJoin> join = StarJoin::Build(schema);
+  ASSERT_TRUE(join.ok());
+  const StarAggregate result = join.value().Probe(schema, 2);
+  EXPECT_EQ(result.matches, schema.fact_rows());
+  EXPECT_EQ(result, BruteForce(schema));
+}
+
+TEST(StarJoinTest, ParallelBuildsAgreeWithSerial) {
+  const StarSchema schema = GenerateStarSchema({256, 512, 64, 1024}, 30000,
+                                               3);
+  Result<StarJoin> serial = StarJoin::Build(schema, false);
+  Result<StarJoin> parallel = StarJoin::Build(schema, true);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial.value().Probe(schema, 1),
+            parallel.value().Probe(schema, 4));
+}
+
+TEST(StarJoinTest, NonMatchingRowsSkipped) {
+  StarSchema schema = GenerateStarSchema({100, 100}, 1000, 4);
+  // Poison some keys of dimension 1 so those rows cannot match.
+  for (std::size_t i = 0; i < 1000; i += 4) {
+    schema.fact_keys[1][i] = 100 + static_cast<std::int64_t>(i);
+  }
+  Result<StarJoin> join = StarJoin::Build(schema);
+  ASSERT_TRUE(join.ok());
+  const StarAggregate result = join.value().Probe(schema);
+  EXPECT_EQ(result.matches, 750u);
+  EXPECT_EQ(result, BruteForce(schema));
+}
+
+TEST(StarJoinTest, SingleDimensionEqualsNopa) {
+  const StarSchema schema = GenerateStarSchema({4096}, 50000, 5);
+  Result<StarJoin> join = StarJoin::Build(schema);
+  ASSERT_TRUE(join.ok());
+  const StarAggregate star = join.value().Probe(schema, 2);
+  EXPECT_EQ(star.matches, 50000u);
+
+  // Compare against a plain NOPA join over the same data.
+  data::Relation64 outer;
+  for (std::size_t i = 0; i < 50000; ++i) {
+    outer.Append(schema.fact_keys[0][i], 0);
+  }
+  Result<JoinAggregate> nopa =
+      RunNopaJoin(schema.dimensions[0], outer);
+  ASSERT_TRUE(nopa.ok());
+  EXPECT_EQ(star.matches, nopa.value().matches);
+}
+
+class StarModelTest : public ::testing::Test {
+ protected:
+  hw::SystemProfile ibm_ = hw::Ac922Profile();
+  StarJoinModel model_{&ibm_};
+};
+
+TEST_F(StarModelTest, ParallelBuildBeatsSerialForManyDimensions) {
+  std::vector<StarDimension> dims(4, StarDimension{64ull << 20, 1.0});
+  Result<StarTiming> serial =
+      model_.Estimate(hw::kGpu0, hw::kCpu0, 2e9, dims, false);
+  Result<StarTiming> parallel =
+      model_.Estimate(hw::kGpu0, hw::kCpu0, 2e9, dims, true);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  // The parallel build is ~4x shorter but pays the broadcast.
+  EXPECT_LT(parallel.value().build_s, serial.value().build_s / 3.0);
+  EXPECT_GT(parallel.value().broadcast_s, 0.0);
+}
+
+TEST_F(StarModelTest, SelectiveDimensionsShortCircuit) {
+  // A highly selective first dimension prunes lookups into the others.
+  std::vector<StarDimension> selective = {{16ull << 20, 0.05},
+                                          {64ull << 20, 1.0},
+                                          {64ull << 20, 1.0}};
+  std::vector<StarDimension> permissive = {{16ull << 20, 1.0},
+                                           {64ull << 20, 1.0},
+                                           {64ull << 20, 1.0}};
+  Result<StarTiming> fast =
+      model_.Estimate(hw::kGpu0, hw::kCpu0, 4e9, selective, false);
+  Result<StarTiming> slow =
+      model_.Estimate(hw::kGpu0, hw::kCpu0, 4e9, permissive, false);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_LT(fast.value().probe_s, slow.value().probe_s);
+}
+
+TEST_F(StarModelTest, MoreDimensionsCostMore) {
+  double previous = 0.0;
+  for (std::size_t k : {1u, 2u, 4u}) {
+    std::vector<StarDimension> dims(k, StarDimension{32ull << 20, 1.0});
+    Result<StarTiming> timing =
+        model_.Estimate(hw::kGpu0, hw::kCpu0, 2e9, dims, true);
+    ASSERT_TRUE(timing.ok());
+    EXPECT_GT(timing.value().total_s(), previous);
+    previous = timing.value().total_s();
+  }
+}
+
+}  // namespace
+}  // namespace pump::join
