@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_fraction.dir/ablation_hybrid_fraction.cc.o"
+  "CMakeFiles/ablation_hybrid_fraction.dir/ablation_hybrid_fraction.cc.o.d"
+  "ablation_hybrid_fraction"
+  "ablation_hybrid_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nopa_vs_partitioned.dir/ablation_nopa_vs_partitioned.cc.o"
+  "CMakeFiles/ablation_nopa_vs_partitioned.dir/ablation_nopa_vs_partitioned.cc.o.d"
+  "ablation_nopa_vs_partitioned"
+  "ablation_nopa_vs_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nopa_vs_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

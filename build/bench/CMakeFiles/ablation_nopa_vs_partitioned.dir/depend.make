@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nopa_vs_partitioned.
+# This may be replaced when dependencies are built.

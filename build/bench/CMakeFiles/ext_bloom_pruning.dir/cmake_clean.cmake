@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bloom_pruning.dir/ext_bloom_pruning.cc.o"
+  "CMakeFiles/ext_bloom_pruning.dir/ext_bloom_pruning.cc.o.d"
+  "ext_bloom_pruning"
+  "ext_bloom_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bloom_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

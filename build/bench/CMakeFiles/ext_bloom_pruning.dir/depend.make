@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_bloom_pruning.
+# This may be replaced when dependencies are built.

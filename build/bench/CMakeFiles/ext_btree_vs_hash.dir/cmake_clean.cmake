@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_btree_vs_hash.dir/ext_btree_vs_hash.cc.o"
+  "CMakeFiles/ext_btree_vs_hash.dir/ext_btree_vs_hash.cc.o.d"
+  "ext_btree_vs_hash"
+  "ext_btree_vs_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_btree_vs_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

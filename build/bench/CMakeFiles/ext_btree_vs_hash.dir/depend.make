@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_btree_vs_hash.
+# This may be replaced when dependencies are built.

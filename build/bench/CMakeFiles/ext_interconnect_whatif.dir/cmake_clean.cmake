@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interconnect_whatif.dir/ext_interconnect_whatif.cc.o"
+  "CMakeFiles/ext_interconnect_whatif.dir/ext_interconnect_whatif.cc.o.d"
+  "ext_interconnect_whatif"
+  "ext_interconnect_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interconnect_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

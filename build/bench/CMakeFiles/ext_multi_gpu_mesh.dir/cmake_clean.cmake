@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_gpu_mesh.dir/ext_multi_gpu_mesh.cc.o"
+  "CMakeFiles/ext_multi_gpu_mesh.dir/ext_multi_gpu_mesh.cc.o.d"
+  "ext_multi_gpu_mesh"
+  "ext_multi_gpu_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_gpu_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_multi_gpu_mesh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_skew_placement.dir/ext_skew_placement.cc.o"
+  "CMakeFiles/ext_skew_placement.dir/ext_skew_placement.cc.o.d"
+  "ext_skew_placement"
+  "ext_skew_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skew_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ssb_queries.dir/ext_ssb_queries.cc.o"
+  "CMakeFiles/ext_ssb_queries.dir/ext_ssb_queries.cc.o.d"
+  "ext_ssb_queries"
+  "ext_ssb_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ssb_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

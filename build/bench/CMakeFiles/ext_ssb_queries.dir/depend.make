@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_ssb_queries.
+# This may be replaced when dependencies are built.

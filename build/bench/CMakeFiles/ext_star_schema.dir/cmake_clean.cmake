@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_star_schema.dir/ext_star_schema.cc.o"
+  "CMakeFiles/ext_star_schema.dir/ext_star_schema.cc.o.d"
+  "ext_star_schema"
+  "ext_star_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_star_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_interconnects.dir/fig03_interconnects.cc.o"
+  "CMakeFiles/fig03_interconnects.dir/fig03_interconnects.cc.o.d"
+  "fig03_interconnects"
+  "fig03_interconnects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_transfer_methods.dir/fig12_transfer_methods.cc.o"
+  "CMakeFiles/fig12_transfer_methods.dir/fig12_transfer_methods.cc.o.d"
+  "fig12_transfer_methods"
+  "fig12_transfer_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_transfer_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tpch_q6.dir/fig15_tpch_q6.cc.o"
+  "CMakeFiles/fig15_tpch_q6.dir/fig15_tpch_q6.cc.o.d"
+  "fig15_tpch_q6"
+  "fig15_tpch_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tpch_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_probe_scaling.dir/fig16_probe_scaling.cc.o"
+  "CMakeFiles/fig16_probe_scaling.dir/fig16_probe_scaling.cc.o.d"
+  "fig16_probe_scaling"
+  "fig16_probe_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_probe_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_build_scaling.dir/fig17_build_scaling.cc.o"
+  "CMakeFiles/fig17_build_scaling.dir/fig17_build_scaling.cc.o.d"
+  "fig17_build_scaling"
+  "fig17_build_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_build_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_build_probe_ratio.dir/fig18_build_probe_ratio.cc.o"
+  "CMakeFiles/fig18_build_probe_ratio.dir/fig18_build_probe_ratio.cc.o.d"
+  "fig18_build_probe_ratio"
+  "fig18_build_probe_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_build_probe_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

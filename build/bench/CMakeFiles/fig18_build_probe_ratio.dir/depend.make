@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_build_probe_ratio.
+# This may be replaced when dependencies are built.

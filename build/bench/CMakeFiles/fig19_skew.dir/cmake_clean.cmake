@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_skew.dir/fig19_skew.cc.o"
+  "CMakeFiles/fig19_skew.dir/fig19_skew.cc.o.d"
+  "fig19_skew"
+  "fig19_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

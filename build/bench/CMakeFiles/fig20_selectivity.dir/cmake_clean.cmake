@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_selectivity.dir/fig20_selectivity.cc.o"
+  "CMakeFiles/fig20_selectivity.dir/fig20_selectivity.cc.o.d"
+  "fig20_selectivity"
+  "fig20_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_coprocessing.dir/fig21_coprocessing.cc.o"
+  "CMakeFiles/fig21_coprocessing.dir/fig21_coprocessing.cc.o.d"
+  "fig21_coprocessing"
+  "fig21_coprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_coprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

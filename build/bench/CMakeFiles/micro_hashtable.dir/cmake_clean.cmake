@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hashtable.dir/micro_hashtable.cc.o"
+  "CMakeFiles/micro_hashtable.dir/micro_hashtable.cc.o.d"
+  "micro_hashtable"
+  "micro_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_morsel.dir/micro_morsel.cc.o"
+  "CMakeFiles/micro_morsel.dir/micro_morsel.cc.o.d"
+  "micro_morsel"
+  "micro_morsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_morsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

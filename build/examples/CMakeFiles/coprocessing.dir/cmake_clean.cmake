@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocessing.dir/coprocessing.cpp.o"
+  "CMakeFiles/coprocessing.dir/coprocessing.cpp.o.d"
+  "coprocessing"
+  "coprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_join.dir/out_of_core_join.cpp.o"
+  "CMakeFiles/out_of_core_join.dir/out_of_core_join.cpp.o.d"
+  "out_of_core_join"
+  "out_of_core_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssb_advisor.dir/ssb_advisor.cpp.o"
+  "CMakeFiles/ssb_advisor.dir/ssb_advisor.cpp.o.d"
+  "ssb_advisor"
+  "ssb_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssb_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_explorer.dir/transfer_explorer.cpp.o"
+  "CMakeFiles/transfer_explorer.dir/transfer_explorer.cpp.o.d"
+  "transfer_explorer"
+  "transfer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

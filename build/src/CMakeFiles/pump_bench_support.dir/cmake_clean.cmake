@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_bench_support.dir/bench_support/harness.cc.o"
+  "CMakeFiles/pump_bench_support.dir/bench_support/harness.cc.o.d"
+  "libpump_bench_support.a"
+  "libpump_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_common.dir/common/statistics.cc.o"
+  "CMakeFiles/pump_common.dir/common/statistics.cc.o.d"
+  "CMakeFiles/pump_common.dir/common/status.cc.o"
+  "CMakeFiles/pump_common.dir/common/status.cc.o.d"
+  "CMakeFiles/pump_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/pump_common.dir/common/table_printer.cc.o.d"
+  "libpump_common.a"
+  "libpump_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/tpch.cc" "src/CMakeFiles/pump_data.dir/data/tpch.cc.o" "gcc" "src/CMakeFiles/pump_data.dir/data/tpch.cc.o.d"
+  "/root/repo/src/data/workloads.cc" "src/CMakeFiles/pump_data.dir/data/workloads.cc.o" "gcc" "src/CMakeFiles/pump_data.dir/data/workloads.cc.o.d"
+  "/root/repo/src/data/zipf.cc" "src/CMakeFiles/pump_data.dir/data/zipf.cc.o" "gcc" "src/CMakeFiles/pump_data.dir/data/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_data.dir/data/tpch.cc.o"
+  "CMakeFiles/pump_data.dir/data/tpch.cc.o.d"
+  "CMakeFiles/pump_data.dir/data/workloads.cc.o"
+  "CMakeFiles/pump_data.dir/data/workloads.cc.o.d"
+  "CMakeFiles/pump_data.dir/data/zipf.cc.o"
+  "CMakeFiles/pump_data.dir/data/zipf.cc.o.d"
+  "libpump_data.a"
+  "libpump_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_engine.dir/engine/advisor.cc.o"
+  "CMakeFiles/pump_engine.dir/engine/advisor.cc.o.d"
+  "CMakeFiles/pump_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/pump_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/pump_engine.dir/engine/ssb.cc.o"
+  "CMakeFiles/pump_engine.dir/engine/ssb.cc.o.d"
+  "libpump_engine.a"
+  "libpump_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_exec.dir/exec/het_scheduler.cc.o"
+  "CMakeFiles/pump_exec.dir/exec/het_scheduler.cc.o.d"
+  "CMakeFiles/pump_exec.dir/exec/parallel.cc.o"
+  "CMakeFiles/pump_exec.dir/exec/parallel.cc.o.d"
+  "libpump_exec.a"
+  "libpump_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_gpusim.dir/gpusim/occupancy.cc.o"
+  "CMakeFiles/pump_gpusim.dir/gpusim/occupancy.cc.o.d"
+  "libpump_gpusim.a"
+  "libpump_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device.cc" "src/CMakeFiles/pump_hw.dir/hw/device.cc.o" "gcc" "src/CMakeFiles/pump_hw.dir/hw/device.cc.o.d"
+  "/root/repo/src/hw/link.cc" "src/CMakeFiles/pump_hw.dir/hw/link.cc.o" "gcc" "src/CMakeFiles/pump_hw.dir/hw/link.cc.o.d"
+  "/root/repo/src/hw/memory_spec.cc" "src/CMakeFiles/pump_hw.dir/hw/memory_spec.cc.o" "gcc" "src/CMakeFiles/pump_hw.dir/hw/memory_spec.cc.o.d"
+  "/root/repo/src/hw/system_profile.cc" "src/CMakeFiles/pump_hw.dir/hw/system_profile.cc.o" "gcc" "src/CMakeFiles/pump_hw.dir/hw/system_profile.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/CMakeFiles/pump_hw.dir/hw/topology.cc.o" "gcc" "src/CMakeFiles/pump_hw.dir/hw/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

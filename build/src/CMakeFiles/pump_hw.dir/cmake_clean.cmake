@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_hw.dir/hw/device.cc.o"
+  "CMakeFiles/pump_hw.dir/hw/device.cc.o.d"
+  "CMakeFiles/pump_hw.dir/hw/link.cc.o"
+  "CMakeFiles/pump_hw.dir/hw/link.cc.o.d"
+  "CMakeFiles/pump_hw.dir/hw/memory_spec.cc.o"
+  "CMakeFiles/pump_hw.dir/hw/memory_spec.cc.o.d"
+  "CMakeFiles/pump_hw.dir/hw/system_profile.cc.o"
+  "CMakeFiles/pump_hw.dir/hw/system_profile.cc.o.d"
+  "CMakeFiles/pump_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/pump_hw.dir/hw/topology.cc.o.d"
+  "libpump_hw.a"
+  "libpump_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/coprocess.cc" "src/CMakeFiles/pump_join.dir/join/coprocess.cc.o" "gcc" "src/CMakeFiles/pump_join.dir/join/coprocess.cc.o.d"
+  "/root/repo/src/join/cost_model.cc" "src/CMakeFiles/pump_join.dir/join/cost_model.cc.o" "gcc" "src/CMakeFiles/pump_join.dir/join/cost_model.cc.o.d"
+  "/root/repo/src/join/partitioned_gpu.cc" "src/CMakeFiles/pump_join.dir/join/partitioned_gpu.cc.o" "gcc" "src/CMakeFiles/pump_join.dir/join/partitioned_gpu.cc.o.d"
+  "/root/repo/src/join/star_model.cc" "src/CMakeFiles/pump_join.dir/join/star_model.cc.o" "gcc" "src/CMakeFiles/pump_join.dir/join/star_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

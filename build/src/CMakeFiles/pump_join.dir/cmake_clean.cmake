@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_join.dir/join/coprocess.cc.o"
+  "CMakeFiles/pump_join.dir/join/coprocess.cc.o.d"
+  "CMakeFiles/pump_join.dir/join/cost_model.cc.o"
+  "CMakeFiles/pump_join.dir/join/cost_model.cc.o.d"
+  "CMakeFiles/pump_join.dir/join/partitioned_gpu.cc.o"
+  "CMakeFiles/pump_join.dir/join/partitioned_gpu.cc.o.d"
+  "CMakeFiles/pump_join.dir/join/star_model.cc.o"
+  "CMakeFiles/pump_join.dir/join/star_model.cc.o.d"
+  "libpump_join.a"
+  "libpump_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

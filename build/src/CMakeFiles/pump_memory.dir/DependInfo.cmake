@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/allocator.cc" "src/CMakeFiles/pump_memory.dir/memory/allocator.cc.o" "gcc" "src/CMakeFiles/pump_memory.dir/memory/allocator.cc.o.d"
+  "/root/repo/src/memory/buffer.cc" "src/CMakeFiles/pump_memory.dir/memory/buffer.cc.o" "gcc" "src/CMakeFiles/pump_memory.dir/memory/buffer.cc.o.d"
+  "/root/repo/src/memory/unified.cc" "src/CMakeFiles/pump_memory.dir/memory/unified.cc.o" "gcc" "src/CMakeFiles/pump_memory.dir/memory/unified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

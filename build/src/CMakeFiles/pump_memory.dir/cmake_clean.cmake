@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_memory.dir/memory/allocator.cc.o"
+  "CMakeFiles/pump_memory.dir/memory/allocator.cc.o.d"
+  "CMakeFiles/pump_memory.dir/memory/buffer.cc.o"
+  "CMakeFiles/pump_memory.dir/memory/buffer.cc.o.d"
+  "CMakeFiles/pump_memory.dir/memory/unified.cc.o"
+  "CMakeFiles/pump_memory.dir/memory/unified.cc.o.d"
+  "libpump_memory.a"
+  "libpump_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_ops.dir/ops/q6.cc.o"
+  "CMakeFiles/pump_ops.dir/ops/q6.cc.o.d"
+  "CMakeFiles/pump_ops.dir/ops/q6_model.cc.o"
+  "CMakeFiles/pump_ops.dir/ops/q6_model.cc.o.d"
+  "libpump_ops.a"
+  "libpump_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

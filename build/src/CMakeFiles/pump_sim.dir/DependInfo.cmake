@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/access_path.cc" "src/CMakeFiles/pump_sim.dir/sim/access_path.cc.o" "gcc" "src/CMakeFiles/pump_sim.dir/sim/access_path.cc.o.d"
+  "/root/repo/src/sim/cache_model.cc" "src/CMakeFiles/pump_sim.dir/sim/cache_model.cc.o" "gcc" "src/CMakeFiles/pump_sim.dir/sim/cache_model.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/pump_sim.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/pump_sim.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/lru.cc" "src/CMakeFiles/pump_sim.dir/sim/lru.cc.o" "gcc" "src/CMakeFiles/pump_sim.dir/sim/lru.cc.o.d"
+  "/root/repo/src/sim/overlap.cc" "src/CMakeFiles/pump_sim.dir/sim/overlap.cc.o" "gcc" "src/CMakeFiles/pump_sim.dir/sim/overlap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_sim.dir/sim/access_path.cc.o"
+  "CMakeFiles/pump_sim.dir/sim/access_path.cc.o.d"
+  "CMakeFiles/pump_sim.dir/sim/cache_model.cc.o"
+  "CMakeFiles/pump_sim.dir/sim/cache_model.cc.o.d"
+  "CMakeFiles/pump_sim.dir/sim/event_sim.cc.o"
+  "CMakeFiles/pump_sim.dir/sim/event_sim.cc.o.d"
+  "CMakeFiles/pump_sim.dir/sim/lru.cc.o"
+  "CMakeFiles/pump_sim.dir/sim/lru.cc.o.d"
+  "CMakeFiles/pump_sim.dir/sim/overlap.cc.o"
+  "CMakeFiles/pump_sim.dir/sim/overlap.cc.o.d"
+  "libpump_sim.a"
+  "libpump_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/executor.cc" "src/CMakeFiles/pump_transfer.dir/transfer/executor.cc.o" "gcc" "src/CMakeFiles/pump_transfer.dir/transfer/executor.cc.o.d"
+  "/root/repo/src/transfer/method.cc" "src/CMakeFiles/pump_transfer.dir/transfer/method.cc.o" "gcc" "src/CMakeFiles/pump_transfer.dir/transfer/method.cc.o.d"
+  "/root/repo/src/transfer/pipeline.cc" "src/CMakeFiles/pump_transfer.dir/transfer/pipeline.cc.o" "gcc" "src/CMakeFiles/pump_transfer.dir/transfer/pipeline.cc.o.d"
+  "/root/repo/src/transfer/transfer_model.cc" "src/CMakeFiles/pump_transfer.dir/transfer/transfer_model.cc.o" "gcc" "src/CMakeFiles/pump_transfer.dir/transfer/transfer_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_transfer.dir/transfer/executor.cc.o"
+  "CMakeFiles/pump_transfer.dir/transfer/executor.cc.o.d"
+  "CMakeFiles/pump_transfer.dir/transfer/method.cc.o"
+  "CMakeFiles/pump_transfer.dir/transfer/method.cc.o.d"
+  "CMakeFiles/pump_transfer.dir/transfer/pipeline.cc.o"
+  "CMakeFiles/pump_transfer.dir/transfer/pipeline.cc.o.d"
+  "CMakeFiles/pump_transfer.dir/transfer/transfer_model.cc.o"
+  "CMakeFiles/pump_transfer.dir/transfer/transfer_model.cc.o.d"
+  "libpump_transfer.a"
+  "libpump_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

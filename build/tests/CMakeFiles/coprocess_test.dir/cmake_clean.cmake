@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocess_test.dir/coprocess_test.cc.o"
+  "CMakeFiles/coprocess_test.dir/coprocess_test.cc.o.d"
+  "coprocess_test"
+  "coprocess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_aggregate_test.dir/scan_aggregate_test.cc.o"
+  "CMakeFiles/scan_aggregate_test.dir/scan_aggregate_test.cc.o.d"
+  "scan_aggregate_test"
+  "scan_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
