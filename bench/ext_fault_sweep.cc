@@ -1,0 +1,114 @@
+// Extension: resilience cost sweep. The paper's transfer-bound joins
+// (Secs. 5-6) assume a clean interconnect; here the transfer.chunk
+// failpoint injects transient chunk losses at rates from 0% to 10% and
+// the engine's retry layer absorbs them. Reported: end-to-end throughput
+// degradation and the retry/backoff overhead versus the fault-free
+// baseline — and, crucially, that the query answer never changes.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "engine/executor.h"
+#include "engine/ssb.h"
+#include "fault/fault_injector.h"
+
+namespace pump {
+namespace {
+
+constexpr std::size_t kLineorderRows = 200'000;
+constexpr std::uint64_t kInjectorSeed = 99;
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+void Run() {
+  bench::PrintBanner(
+      std::cout, "Extension: transfer fault-rate sweep",
+      "SSB Q1 via the resilient engine; transient chunk faults injected "
+      "at the transfer.chunk failpoint, absorbed by per-chunk retry.");
+
+  const engine::SsbDatabase db =
+      engine::SsbDatabase::Generate(kLineorderRows, 7);
+  const engine::Query query = engine::SsbQ1(db);
+  const engine::QueryResult reference =
+      engine::Executor::Run(query, 4).value();
+  {
+    // Warm-up so the fault-free baseline row pays no first-touch cost.
+    engine::ExecOptions warmup;
+    warmup.workers = 4;
+    (void)engine::Executor::RunResilient(query, warmup);
+  }
+
+  TablePrinter table({"Fault rate", "Runtime (ms)", "Slowdown", "Faults",
+                      "Retries", "Backoff (us)", "Result"});
+  double baseline_ms = 0.0;
+  for (double rate : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    std::uint64_t faults = 0;
+    std::uint64_t retries = 0;
+    double backoff_s = 0.0;
+    bool identical = true;
+    bool clean = true;
+    const RunningStats stats =
+        bench::Repeat(bench::kPaperRuns, [&]() -> double {
+          // A fresh injector per run replays the identical fault schedule
+          // (same seed), so run-to-run variance is pure machine noise.
+          fault::FaultInjector injector(kInjectorSeed);
+          fault::FaultSpec spec;
+          spec.probability = rate;
+          injector.Arm(fault::kTransferChunk, spec);
+
+          engine::ExecOptions options;
+          options.workers = 4;
+          options.chunk_bytes = 16 * 1024;
+          options.morsel_tuples = 10'000;
+          options.retry.max_attempts = 50;
+          options.injector = rate > 0.0 ? &injector : nullptr;
+
+          const auto begin = std::chrono::steady_clock::now();
+          auto report = engine::Executor::RunResilient(query, options);
+          const auto end = std::chrono::steady_clock::now();
+          if (!report.ok()) {
+            clean = false;
+            return Seconds(begin, end);
+          }
+          faults = report.value().faults_injected;
+          retries = report.value().transfer_retries;
+          backoff_s = report.value().modelled_backoff_s;
+          identical = identical && report.value().result == reference &&
+                      report.value().used_gpu;
+          return Seconds(begin, end);
+        });
+    const double ms = stats.mean() * 1e3;
+    if (rate == 0.0) baseline_ms = ms;
+    table.AddRow(
+        {TablePrinter::FormatDouble(rate * 100, 0) + "%",
+         TablePrinter::FormatDouble(ms, 2),
+         TablePrinter::FormatDouble(baseline_ms > 0 ? ms / baseline_ms : 1.0,
+                                    2) +
+             "x",
+         std::to_string(faults), std::to_string(retries),
+         TablePrinter::FormatDouble(backoff_s * 1e6, 2),
+         clean && identical ? "identical" : "DIVERGED"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading the table: every injected transient fault is "
+               "retried at chunk\ngranularity, so the join result stays "
+               "bit-identical at every fault rate;\nthe cost is bounded "
+               "re-transfer work (retries track faults one-to-one)\nplus "
+               "the modelled exponential backoff — the degradation ladder's "
+               "first\nrung (retry) absorbing faults before spill or CPU "
+               "fallback is needed.\n";
+}
+
+}  // namespace
+}  // namespace pump
+
+int main() {
+  pump::Run();
+  return 0;
+}

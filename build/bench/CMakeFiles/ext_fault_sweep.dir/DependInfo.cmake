@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_fault_sweep.cc" "bench/CMakeFiles/ext_fault_sweep.dir/ext_fault_sweep.cc.o" "gcc" "bench/CMakeFiles/ext_fault_sweep.dir/ext_fault_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

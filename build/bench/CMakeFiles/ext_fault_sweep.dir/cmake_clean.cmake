@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_sweep.dir/ext_fault_sweep.cc.o"
+  "CMakeFiles/ext_fault_sweep.dir/ext_fault_sweep.cc.o.d"
+  "ext_fault_sweep"
+  "ext_fault_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

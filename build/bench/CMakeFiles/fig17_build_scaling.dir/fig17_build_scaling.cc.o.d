@@ -222,4 +222,11 @@ bench/CMakeFiles/fig17_build_scaling.dir/fig17_build_scaling.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/transfer/transfer_model.h \
  /root/repo/src/sim/access_path.h /root/repo/src/transfer/method.h \
- /root/repo/src/transfer/pipeline.h /root/repo/src/memory/allocator.h
+ /root/repo/src/transfer/pipeline.h /root/repo/src/memory/allocator.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h

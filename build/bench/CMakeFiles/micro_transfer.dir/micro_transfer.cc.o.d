@@ -222,6 +222,10 @@ bench/CMakeFiles/micro_transfer.dir/micro_transfer.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/transfer/method.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/fault/retry.h /root/repo/src/transfer/method.h \
  /root/repo/src/transfer/transfer_model.h \
  /root/repo/src/sim/access_path.h /root/repo/src/transfer/pipeline.h

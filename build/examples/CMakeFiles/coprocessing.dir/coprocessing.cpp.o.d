@@ -216,13 +216,18 @@ examples/CMakeFiles/coprocessing.dir/coprocessing.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/exec/morsel.h /usr/include/c++/12/optional \
- /root/repo/src/exec/parallel.h /root/repo/src/hash/hash_table.h \
- /root/repo/src/common/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/hash/hash_function.h /root/repo/src/hw/system_profile.h \
- /root/repo/src/hw/topology.h /root/repo/src/hw/device.h \
- /root/repo/src/hw/link.h /root/repo/src/join/coprocess.h \
- /root/repo/src/join/cost_model.h \
+ /root/repo/src/exec/parallel.h /root/repo/src/fault/fault_injector.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
+ /root/repo/src/hash/hash_table.h /root/repo/src/hash/hash_function.h \
+ /root/repo/src/hw/system_profile.h /root/repo/src/hw/topology.h \
+ /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
+ /root/repo/src/join/coprocess.h /root/repo/src/join/cost_model.h \
  /root/repo/src/transfer/transfer_model.h \
  /root/repo/src/sim/access_path.h /root/repo/src/transfer/method.h \
  /root/repo/src/transfer/pipeline.h /root/repo/src/join/nopa.h

@@ -212,7 +212,16 @@ examples/CMakeFiles/out_of_core_join.dir/out_of_core_join.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/hash/hash_table.h \
+ /root/repo/src/common/status.h /root/repo/src/fault/fault_injector.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hash/hash_table.h \
  /usr/include/c++/12/atomic /root/repo/src/hash/hash_function.h \
  /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
  /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
@@ -225,6 +234,4 @@ examples/CMakeFiles/out_of_core_join.dir/out_of_core_join.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/unordered_map.h

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault_injector.cc" "src/CMakeFiles/pump_fault.dir/fault/fault_injector.cc.o" "gcc" "src/CMakeFiles/pump_fault.dir/fault/fault_injector.cc.o.d"
+  "/root/repo/src/fault/retry.cc" "src/CMakeFiles/pump_fault.dir/fault/retry.cc.o" "gcc" "src/CMakeFiles/pump_fault.dir/fault/retry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

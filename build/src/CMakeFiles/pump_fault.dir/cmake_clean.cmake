@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pump_fault.dir/fault/fault_injector.cc.o"
+  "CMakeFiles/pump_fault.dir/fault/fault_injector.cc.o.d"
+  "CMakeFiles/pump_fault.dir/fault/retry.cc.o"
+  "CMakeFiles/pump_fault.dir/fault/retry.cc.o.d"
+  "libpump_fault.a"
+  "libpump_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pump_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpump_fault.a"
+)

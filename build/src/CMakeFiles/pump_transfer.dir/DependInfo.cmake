@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/pump_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/pump_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pump_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/pump_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/pump_common.dir/DependInfo.cmake"
   )

@@ -318,6 +318,9 @@ tests/CMakeFiles/failure_test.dir/failure_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/hash/hybrid_table.h /root/repo/src/common/status.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
  /root/repo/src/hash/hash_table.h /root/repo/src/hash/hash_function.h \
  /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
  /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
@@ -330,4 +333,6 @@ tests/CMakeFiles/failure_test.dir/failure_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/relation.h /root/repo/src/exec/morsel.h \
- /root/repo/src/exec/parallel.h /root/repo/src/ops/q6_model.h
+ /root/repo/src/exec/parallel.h /root/repo/src/memory/unified.h \
+ /root/repo/src/ops/q6_model.h /root/repo/src/transfer/executor.h \
+ /root/repo/src/fault/retry.h

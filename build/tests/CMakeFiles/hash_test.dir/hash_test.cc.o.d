@@ -303,6 +303,8 @@ tests/CMakeFiles/hash_test.dir/hash_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/hash/hash_function.h /root/repo/src/hash/hash_table.h \
  /root/repo/src/common/status.h /root/repo/src/hash/hybrid_table.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
  /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
  /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
  /root/repo/src/hw/memory_spec.h /root/repo/src/memory/buffer.h

@@ -216,8 +216,15 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/exec/morsel.h /usr/include/c++/12/optional \
- /root/repo/src/exec/parallel.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/limits \
+ /root/repo/src/exec/parallel.h /root/repo/src/fault/fault_injector.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
@@ -237,7 +244,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -246,7 +253,6 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -273,10 +279,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
@@ -288,7 +291,6 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
@@ -298,12 +300,12 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/hash/hybrid_table.h /root/repo/src/common/status.h \
- /root/repo/src/hash/hash_table.h /root/repo/src/hash/hash_function.h \
- /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
- /root/repo/src/hw/system_profile.h /root/repo/src/join/nopa.h \
- /root/repo/src/join/radix.h /root/repo/src/memory/unified.h \
- /root/repo/src/ops/aggregate.h /root/repo/src/ops/q6.h \
- /root/repo/src/ops/scan.h /root/repo/src/transfer/executor.h \
+ /root/repo/src/hash/hybrid_table.h /root/repo/src/hash/hash_table.h \
+ /root/repo/src/hash/hash_function.h /root/repo/src/memory/allocator.h \
+ /root/repo/src/hw/topology.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/link.h /root/repo/src/hw/system_profile.h \
+ /root/repo/src/join/nopa.h /root/repo/src/join/radix.h \
+ /root/repo/src/memory/unified.h /root/repo/src/ops/aggregate.h \
+ /root/repo/src/ops/q6.h /root/repo/src/ops/scan.h \
+ /root/repo/src/transfer/executor.h /root/repo/src/fault/retry.h \
  /root/repo/src/transfer/method.h

@@ -297,8 +297,11 @@ tests/CMakeFiles/join_test.dir/join_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/hash/hybrid_table.h /root/repo/src/common/status.h \
- /root/repo/src/hash/hash_table.h /root/repo/src/hash/hash_function.h \
- /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
- /root/repo/src/join/nopa.h /root/repo/src/exec/morsel.h \
- /root/repo/src/exec/parallel.h /root/repo/src/join/radix.h
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hash/hash_table.h \
+ /root/repo/src/hash/hash_function.h /root/repo/src/memory/allocator.h \
+ /root/repo/src/hw/topology.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/link.h /root/repo/src/join/nopa.h \
+ /root/repo/src/exec/morsel.h /root/repo/src/exec/parallel.h \
+ /root/repo/src/join/radix.h

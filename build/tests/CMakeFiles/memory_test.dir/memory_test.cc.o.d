@@ -298,4 +298,7 @@ tests/CMakeFiles/memory_test.dir/memory_test.cc.o: \
  /root/repo/src/hw/topology.h /root/repo/src/common/status.h \
  /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
  /root/repo/src/hw/memory_spec.h /root/repo/src/memory/allocator.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
  /root/repo/src/memory/buffer.h /root/repo/src/memory/unified.h

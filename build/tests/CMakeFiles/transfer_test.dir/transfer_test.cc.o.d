@@ -299,7 +299,10 @@ tests/CMakeFiles/transfer_test.dir/transfer_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/hw/device.h \
  /root/repo/src/hw/link.h /root/repo/src/hw/memory_spec.h \
  /root/repo/src/memory/unified.h /root/repo/src/transfer/executor.h \
- /root/repo/src/memory/buffer.h /root/repo/src/transfer/method.h \
- /root/repo/src/transfer/pipeline.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/fault/retry.h /root/repo/src/memory/buffer.h \
+ /root/repo/src/transfer/method.h /root/repo/src/transfer/pipeline.h \
  /root/repo/src/transfer/transfer_model.h \
  /root/repo/src/sim/access_path.h

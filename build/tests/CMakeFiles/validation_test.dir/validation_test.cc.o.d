@@ -298,13 +298,15 @@ tests/CMakeFiles/validation_test.dir/validation_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/hash/hybrid_table.h /root/repo/src/common/status.h \
- /root/repo/src/hash/hash_table.h /root/repo/src/hash/hash_function.h \
- /root/repo/src/memory/allocator.h /root/repo/src/hw/topology.h \
- /root/repo/src/hw/device.h /root/repo/src/hw/link.h \
- /root/repo/src/hw/system_profile.h /root/repo/src/join/instrumented.h \
- /root/repo/src/sim/lru.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sim/cache_model.h /root/repo/src/sim/event_sim.h \
- /root/repo/src/transfer/pipeline.h \
+ /root/repo/src/fault/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hash/hash_table.h \
+ /root/repo/src/hash/hash_function.h /root/repo/src/memory/allocator.h \
+ /root/repo/src/hw/topology.h /root/repo/src/hw/device.h \
+ /root/repo/src/hw/link.h /root/repo/src/hw/system_profile.h \
+ /root/repo/src/join/instrumented.h /root/repo/src/sim/lru.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/cache_model.h \
+ /root/repo/src/sim/event_sim.h /root/repo/src/transfer/pipeline.h \
  /root/repo/src/transfer/transfer_model.h \
  /root/repo/src/sim/access_path.h /root/repo/src/transfer/method.h

@@ -20,8 +20,16 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

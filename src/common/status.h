@@ -20,10 +20,21 @@ enum class StatusCode : std::uint8_t {
   kUnsupported,
   kInternal,
   kOutOfRange,
+  /// A transient condition (link throttled, chunk lost mid-flight): the
+  /// operation may succeed if retried. The only retryable class.
+  kUnavailable,
+  /// A hard resource exhaustion on a modelled device (e.g. GPU memory),
+  /// distinct from host kOutOfMemory: callers degrade (spill, fall back)
+  /// rather than retry.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
+
+/// True when an operation failing with `code` may succeed on retry
+/// without any intervention (the retry layer's per-class policy).
+bool IsRetryable(StatusCode code);
 
 /// A lightweight success-or-error value, used instead of exceptions on all
 /// library paths (Arrow/Google style). `Status::OK()` is cheap to copy; error
@@ -72,6 +83,14 @@ class Status {
   /// Factory for an out-of-range index or parameter.
   static Status OutOfRange(std::string message) {
     return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Factory for a transient, retryable failure.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  /// Factory for a hard device-resource exhaustion.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -1,10 +1,62 @@
 #ifndef PUMP_ENGINE_EXECUTOR_H_
 #define PUMP_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
+#include <string>
+
 #include "common/status.h"
 #include "engine/query.h"
+#include "exec/morsel.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 
 namespace pump::engine {
+
+/// Options for a fault-aware execution (Executor::RunResilient).
+struct ExecOptions {
+  /// Worker threads of the CPU probe pipeline (and the CPU fallback plan).
+  std::size_t workers = 1;
+  /// Attempt the GPU-placed plan first; fall back to the CPU plan on an
+  /// unrecoverable fault. When false, only the CPU plan runs.
+  bool gpu_plan = true;
+  /// Fault injector threaded through every layer of the GPU plan
+  /// (transfer chunks, device allocation, scheduler groups). Null = no
+  /// faults.
+  fault::FaultInjector* injector = nullptr;
+  /// Retry policy for transient transfer-chunk faults.
+  fault::RetryPolicy retry;
+  /// Chunk size of the fact-column transfers.
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Modelled OS page size of the transfers.
+  std::uint64_t os_page_bytes = 4 * 1024;
+  /// Morsel granularity of the heterogeneous probe.
+  std::size_t morsel_tuples = exec::kDefaultMorselTuples;
+};
+
+/// Outcome of a fault-aware execution: the query result plus how the
+/// degradation ladder (retry -> spill -> CPU fallback) was exercised.
+struct ExecReport {
+  QueryResult result;
+  /// True when the GPU-placed plan produced the result; false when the
+  /// engine fell back to the CPU plan.
+  bool used_gpu = false;
+  /// True when any degradation occurred (spill, group failover, or CPU
+  /// fallback). Pure transparent retries do not set this.
+  bool degraded = false;
+  /// Human-readable reason for the degradation; empty when clean.
+  std::string degradation_reason;
+  /// Smallest GPU-resident fraction achieved across the joins' modelled
+  /// hash-table allocations (1.0 when fully GPU-resident or no joins).
+  double hybrid_gpu_fraction = 1.0;
+  /// Transfer chunk retries performed (transient faults survived).
+  std::uint64_t transfer_retries = 0;
+  /// Faults injected across the transfer layer.
+  std::uint64_t faults_injected = 0;
+  /// Total modelled retry backoff charged by the policy, seconds.
+  double modelled_backoff_s = 0.0;
+  /// Tuples re-processed by surviving scheduler groups after a group died.
+  std::size_t failover_tuples = 0;
+};
 
 /// Functional query executor: validates the query against the tables,
 /// then runs scan -> join -> aggregate on the host using the library's
@@ -15,6 +67,16 @@ class Executor {
   /// Runs `query` with `workers` threads for the probe pipeline.
   static Result<QueryResult> Run(const Query& query,
                                  std::size_t workers = 1);
+
+  /// Runs `query` under the fault model: the GPU-placed plan (fact
+  /// columns transferred chunk-wise with retry, modelled hybrid
+  /// hash-table placement with spill-on-device-OOM, heterogeneous
+  /// CPU+GPU probe with group failover), falling back to the CPU plan
+  /// when the GPU path hits an unrecoverable fault. The report's result
+  /// is always bit-identical to `Run`'s for the same query — that is the
+  /// whole point of the degradation ladder.
+  static Result<ExecReport> RunResilient(const Query& query,
+                                         const ExecOptions& options);
 };
 
 }  // namespace pump::engine

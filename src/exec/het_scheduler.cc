@@ -1,29 +1,108 @@
 #include "exec/het_scheduler.h"
 
 #include <atomic>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 namespace pump::exec {
 
-std::vector<GroupStats> RunHeterogeneous(
-    std::size_t total, std::size_t morsel_tuples,
-    std::vector<ProcessorGroup> groups) {
+namespace {
+
+/// Morsel batches whose claiming group died before processing them. The
+/// surviving groups drain this queue after (and interleaved with) the main
+/// dispatcher, so a mid-run group failure never loses tuples.
+class OrphanQueue {
+ public:
+  void Push(const Morsel& morsel) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans_.push_back(morsel);
+  }
+
+  std::optional<Morsel> Pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (orphans_.empty()) return std::nullopt;
+    Morsel morsel = orphans_.back();
+    orphans_.pop_back();
+    return morsel;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return orphans_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Morsel> orphans_;
+};
+
+}  // namespace
+
+std::vector<GroupStats> RunHeterogeneous(std::size_t total,
+                                         std::size_t morsel_tuples,
+                                         std::vector<ProcessorGroup> groups,
+                                         fault::FaultInjector* injector) {
   MorselDispatcher dispatcher(total, morsel_tuples);
 
   std::vector<GroupStats> stats(groups.size());
   std::vector<std::atomic<std::size_t>> tuples(groups.size());
   std::vector<std::atomic<std::size_t>> dispatches(groups.size());
+  std::vector<std::atomic<std::size_t>> failover_tuples(groups.size());
+  std::vector<std::atomic<std::size_t>> failover_dispatches(groups.size());
+  std::vector<std::atomic<bool>> failed(groups.size());
+  for (auto& flag : failed) flag.store(false);
+
+  OrphanQueue orphans;
+  // Workers currently holding a claimed batch. A worker may only exit when
+  // the dispatcher is dry, no orphans are queued, AND nothing is in
+  // flight — an in-flight batch can still be orphaned by a dying group.
+  std::atomic<std::size_t> in_flight{0};
 
   std::vector<std::thread> threads;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     stats[g].name = groups[g].name;
     for (std::size_t w = 0; w < groups[g].workers; ++w) {
-      threads.emplace_back([&dispatcher, &groups, &tuples, &dispatches, g] {
+      threads.emplace_back([&, g] {
         const ProcessorGroup& group = groups[g];
-        while (auto batch = dispatcher.NextBatch(group.batch_morsels)) {
+        while (!failed[g].load(std::memory_order_acquire)) {
+          in_flight.fetch_add(1, std::memory_order_acq_rel);
+          bool from_orphan = false;
+          std::optional<Morsel> batch =
+              dispatcher.NextBatch(group.batch_morsels);
+          if (!batch) {
+            batch = orphans.Pop();
+            from_orphan = batch.has_value();
+          }
+          if (!batch) {
+            // Nothing claimable right now. Safe to exit only once no other
+            // worker holds a batch (it could die and orphan it) and the
+            // orphan queue stayed empty after that observation.
+            const std::size_t others =
+                in_flight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+            if (others == 0 && orphans.Empty()) break;
+            std::this_thread::yield();
+            continue;
+          }
+          if (injector != nullptr &&
+              !injector->Check(fault::kSchedWorkerStall, group.name).ok()) {
+            // The group stalls/dies: orphan the claimed batch for the
+            // survivors, then stop the whole group. Push before releasing
+            // in_flight so waiting workers re-observe the queue.
+            failed[g].store(true, std::memory_order_release);
+            orphans.Push(*batch);
+            in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            break;
+          }
           group.process(batch->begin, batch->end);
           tuples[g].fetch_add(batch->size(), std::memory_order_relaxed);
           dispatches[g].fetch_add(1, std::memory_order_relaxed);
+          if (from_orphan) {
+            failover_tuples[g].fetch_add(batch->size(),
+                                         std::memory_order_relaxed);
+            failover_dispatches[g].fetch_add(1, std::memory_order_relaxed);
+          }
+          in_flight.fetch_sub(1, std::memory_order_acq_rel);
         }
       });
     }
@@ -33,6 +112,9 @@ std::vector<GroupStats> RunHeterogeneous(
   for (std::size_t g = 0; g < groups.size(); ++g) {
     stats[g].tuples = tuples[g].load();
     stats[g].dispatches = dispatches[g].load();
+    stats[g].failed = failed[g].load();
+    stats[g].failover_tuples = failover_tuples[g].load();
+    stats[g].failover_dispatches = failover_dispatches[g].load();
   }
   return stats;
 }

@@ -8,6 +8,7 @@
 
 #include "exec/morsel.h"
 #include "exec/parallel.h"
+#include "fault/fault_injector.h"
 
 namespace pump::exec {
 
@@ -30,6 +31,13 @@ struct GroupStats {
   std::string name;
   std::size_t tuples = 0;
   std::size_t dispatches = 0;
+  /// True when the group stalled/died mid-run (`sched.worker_stall`
+  /// failpoint fired for it) and stopped claiming work.
+  bool failed = false;
+  /// Tuples this group adopted from batches orphaned by failed groups.
+  std::size_t failover_tuples = 0;
+  /// Dispatches of adopted orphan batches.
+  std::size_t failover_dispatches = 0;
 };
 
 /// Runs `total` tuples through a shared morsel dispatcher across all
@@ -37,9 +45,19 @@ struct GroupStats {
 /// which is exactly the skew-avoidance property the paper's heterogeneous
 /// scheduler targets (requirement (b) of Sec. 6). Returns per-group
 /// work counts (their sum covers every tuple exactly once).
+///
+/// When `injector` is non-null, each group probes the
+/// `sched.worker_stall` failpoint (scoped by group name, so schedules are
+/// deterministic per group regardless of thread interleaving) before
+/// processing each claimed batch. A fired failpoint kills the group: the
+/// claimed-but-unprocessed batch is orphaned and redistributed to the
+/// surviving groups, preserving exactly-once coverage. Only if *every*
+/// group dies do tuples go unprocessed — detectable by the caller as
+/// sum(tuples) < total.
 std::vector<GroupStats> RunHeterogeneous(
     std::size_t total, std::size_t morsel_tuples,
-    std::vector<ProcessorGroup> groups);
+    std::vector<ProcessorGroup> groups,
+    fault::FaultInjector* injector = nullptr);
 
 }  // namespace pump::exec
 

@@ -1,0 +1,77 @@
+#include "fault/fault_injector.h"
+
+namespace pump::fault {
+
+namespace {
+
+/// FNV-1a over a string, folded through SplitMix64: stable across
+/// platforms so a (site, scope) stream replays identically everywhere.
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::StreamSeed(const std::string& site,
+                                        const std::string& scope) const {
+  return SplitMix64(seed_ ^ HashName(site)) ^ HashName(scope);
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site] = Site{spec, 0, 0, {}};
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+}
+
+Status FaultInjector::Check(const std::string& site,
+                            const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  Site& armed = it->second;
+  ++armed.hits;
+
+  auto stream_it = armed.streams.find(scope);
+  if (stream_it == armed.streams.end()) {
+    stream_it = armed.streams
+                    .emplace(scope, Stream{Rng(StreamSeed(site, scope)), 0})
+                    .first;
+  }
+  Stream& stream = stream_it->second;
+  const std::uint64_t hit = stream.hits++;
+
+  if (hit < armed.spec.after_hits) return Status::OK();
+  if (armed.fires >= armed.spec.max_fires) return Status::OK();
+  // Always draw, so the stream position depends only on the hit index —
+  // not on how many faults fired before this hit.
+  const double draw = stream.rng.NextDouble();
+  if (draw >= armed.spec.probability) return Status::OK();
+  ++armed.fires;
+  std::string message = "injected fault at " + site;
+  if (!scope.empty()) message += " [" + scope + "]";
+  message += " (hit " + std::to_string(hit) + ")";
+  return Status(armed.spec.code, std::move(message));
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace pump::fault

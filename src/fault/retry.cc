@@ -1,0 +1,37 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+namespace pump::fault {
+
+double RetryPolicy::BackoffSeconds(int retry, Rng* rng) const {
+  double base = initial_backoff_s;
+  for (int i = 1; i < retry; ++i) base *= backoff_multiplier;
+  base = std::min(base, max_backoff_s);
+  if (jitter <= 0.0) return base;
+  const double factor = 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+  return base * factor;
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, RetryStats* stats) {
+  Rng rng(policy.seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (stats != nullptr) ++stats->attempts;
+    last = op();
+    if (last.ok() || !IsRetryable(last.code())) return last;
+    if (attempt == attempts) break;
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_s += policy.BackoffSeconds(attempt, &rng);
+    } else {
+      // Keep the jitter stream position independent of stats presence.
+      (void)policy.BackoffSeconds(attempt, &rng);
+    }
+  }
+  return last;
+}
+
+}  // namespace pump::fault

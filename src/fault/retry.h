@@ -1,0 +1,60 @@
+#ifndef PUMP_FAULT_RETRY_H_
+#define PUMP_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pump::fault {
+
+/// Bounded-retry policy with deterministic exponential backoff and seeded
+/// jitter. Backoff is *modelled* time (accumulated in the caller's stats),
+/// never an actual sleep, matching the repo's functional/model split:
+/// functional code stays fast and deterministic while the model layer can
+/// charge the backoff against a simulated clock.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before the first retry, seconds.
+  double initial_backoff_s = 1e-6;
+  /// Multiplier applied per retry (exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff interval, seconds.
+  double max_backoff_s = 1e-3;
+  /// Jitter fraction in [0, 1]: the drawn backoff is uniform in
+  /// [base*(1-jitter), base*(1+jitter)]. Seeded, hence reproducible.
+  double jitter = 0.25;
+  /// Seed of the jitter stream.
+  std::uint64_t seed = 0;
+
+  /// Modelled backoff before retry number `retry` (1-based), drawing
+  /// jitter from `rng`. Deterministic given the rng state.
+  double BackoffSeconds(int retry, Rng* rng) const;
+};
+
+/// Counters from one RunWithRetry invocation.
+struct RetryStats {
+  /// Attempts made (>= 1 once the op ran).
+  std::uint64_t attempts = 0;
+  /// Attempts after the first (== attempts - 1 when the op ran).
+  std::uint64_t retries = 0;
+  /// Total modelled backoff charged, seconds.
+  double backoff_s = 0.0;
+};
+
+/// Runs `op` under `policy`: retries while the returned status is
+/// retryable (`IsRetryable`) and attempts remain. Returns OK on success,
+/// the first non-retryable error verbatim, or — when the budget is
+/// exhausted on a retryable error — that last transient error (callers
+/// typically wrap it with context, e.g. the failing transfer offset).
+/// `stats`, when non-null, is updated (not reset) so a caller can
+/// aggregate across many retried operations.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op,
+                    RetryStats* stats = nullptr);
+
+}  // namespace pump::fault
+
+#endif  // PUMP_FAULT_RETRY_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "hash/hash_table.h"
 #include "memory/allocator.h"
 
@@ -25,14 +26,23 @@ class HybridHashTable {
  public:
   /// Allocates a hybrid table for the dense key domain [0, capacity).
   /// `gpu_reserve_bytes` is left free in GPU memory for other state.
+  ///
+  /// With a non-null `injector`, the device allocation probes the
+  /// `alloc.device` failpoint: an injected GPU-OOM mid-build spills the
+  /// remaining table partitions to CPU memory instead of failing — the
+  /// achieved split is reported by `gpu_fraction()`. Only when the CPU
+  /// nodes cannot absorb the spill either does Create return an error.
   static Result<HybridHashTable> Create(memory::MemoryManager* manager,
                                         hw::DeviceId gpu,
                                         std::size_t capacity,
-                                        std::uint64_t gpu_reserve_bytes = 0) {
+                                        std::uint64_t gpu_reserve_bytes = 0,
+                                        fault::FaultInjector* injector =
+                                            nullptr) {
     const std::uint64_t bytes = TableStorage<K, V>::BytesFor(capacity);
     PUMP_ASSIGN_OR_RETURN(memory::Buffer buffer,
                           manager->AllocateHybrid(bytes, gpu,
-                                                  gpu_reserve_bytes));
+                                                  gpu_reserve_bytes,
+                                                  injector));
     return HybridHashTable(std::move(buffer), capacity, gpu, manager);
   }
 

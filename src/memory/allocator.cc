@@ -21,6 +21,15 @@ double AllocCostModel::Cost(MemoryKind kind, std::uint64_t bytes) const {
   return 0.0;
 }
 
+namespace {
+
+/// Granularity of fault-aware hybrid allocation: the GPU portion is
+/// reserved in this many slices so an injected device-OOM can strike
+/// mid-build and leave a partial GPU extent behind.
+constexpr std::uint64_t kHybridAllocSlices = 16;
+
+}  // namespace
+
 MemoryManager::MemoryManager(const hw::Topology* topology, bool materialize)
     : topology_(topology),
       materialize_(materialize),
@@ -58,7 +67,8 @@ Result<Buffer> MemoryManager::Allocate(std::uint64_t bytes, MemoryKind kind,
 
 Result<Buffer> MemoryManager::AllocateHybrid(std::uint64_t bytes,
                                              hw::DeviceId gpu,
-                                             std::uint64_t gpu_reserve_bytes) {
+                                             std::uint64_t gpu_reserve_bytes,
+                                             fault::FaultInjector* injector) {
   if (topology_->device(gpu).kind != hw::DeviceKind::kGpu) {
     return Status::InvalidArgument("hybrid allocation requires a GPU device");
   }
@@ -71,7 +81,21 @@ Result<Buffer> MemoryManager::AllocateHybrid(std::uint64_t bytes,
       gpu_capacity > used_[gpu] + gpu_reserve_bytes
           ? gpu_capacity - used_[gpu] - gpu_reserve_bytes
           : 0;
-  const std::uint64_t on_gpu = std::min(remaining, gpu_free);
+  std::uint64_t on_gpu = std::min(remaining, gpu_free);
+  if (on_gpu > 0 && injector != nullptr) {
+    // Reserve in slices, probing the alloc.device failpoint before each:
+    // a device allocation that runs dry mid-build keeps the slices already
+    // placed and spills the rest to the CPU nodes below.
+    const std::uint64_t target = on_gpu;
+    const std::uint64_t slice =
+        std::max<std::uint64_t>(1, (target + kHybridAllocSlices - 1) /
+                                       kHybridAllocSlices);
+    on_gpu = 0;
+    while (on_gpu < target) {
+      if (!injector->Check(fault::kAllocDevice).ok()) break;
+      on_gpu += std::min(slice, target - on_gpu);
+    }
+  }
   if (on_gpu > 0) {
     used_[gpu] += on_gpu;
     modelled_alloc_time_ += cost_model_.Cost(MemoryKind::kDevice, on_gpu);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "hw/topology.h"
 #include "memory/buffer.h"
 
@@ -46,8 +47,17 @@ class MemoryManager {
   /// then spill to the nearest CPU node, then recursively to next-nearest
   /// CPU nodes. The result is one virtually contiguous buffer whose extents
   /// record the physical split.
+  ///
+  /// When `injector` is non-null, the GPU portion is reserved in slices
+  /// and the `alloc.device` failpoint is probed before each slice: an
+  /// injected device-allocation failure stops GPU growth mid-build and
+  /// the remaining partitions spill to the CPU nodes — the paper's
+  /// graceful-degradation mechanism, triggered by faults rather than only
+  /// by capacity math. The achieved split is visible in the buffer's
+  /// extents (`Buffer::FractionOnNode`).
   Result<Buffer> AllocateHybrid(std::uint64_t bytes, hw::DeviceId gpu,
-                                std::uint64_t gpu_reserve_bytes = 0);
+                                std::uint64_t gpu_reserve_bytes = 0,
+                                fault::FaultInjector* injector = nullptr);
 
   /// Releases the capacity held by `buffer` (storage is freed by the
   /// buffer's destructor). Safe to call once per buffer.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace pump::transfer {
@@ -12,18 +13,61 @@ bool IsPush(TransferMethod method) {
   return TraitsOf(method).semantics == Semantics::kPush;
 }
 
+/// Runs one chunk's `work` under the fault options: checks the
+/// `link.degrade` failpoint (observability only), then retries the
+/// `transfer.chunk` (and, for UM methods, `um.migrate`) failpoints plus
+/// `work` per the policy. `work` only runs on attempts whose injected
+/// checks pass, so a retried chunk is re-executed from scratch.
+Status RunChunk(const TransferFaultOptions& faults, bool um_site,
+                std::uint64_t offset, TransferStats* stats,
+                const std::function<Status()>& work) {
+  if (faults.injector == nullptr) return work();
+  if (!faults.injector->Check(fault::kLinkDegrade).ok()) {
+    ++stats->degraded_chunks;
+  }
+  fault::RetryStats retry_stats;
+  const Status status = fault::RunWithRetry(
+      faults.retry,
+      [&]() -> Status {
+        Status injected = faults.injector->Check(fault::kTransferChunk);
+        if (injected.ok() && um_site) {
+          injected = faults.injector->Check(fault::kUmMigrate);
+        }
+        if (!injected.ok()) {
+          ++stats->faults_injected;
+          return injected;
+        }
+        return work();
+      },
+      &retry_stats);
+  stats->retries += retry_stats.retries;
+  stats->modelled_backoff_s += retry_stats.backoff_s;
+  if (status.ok()) return status;
+  if (status.code() == StatusCode::kUnavailable) {
+    return Status::Unavailable("transfer chunk at offset " +
+                               std::to_string(offset) + " failed after " +
+                               std::to_string(retry_stats.attempts) +
+                               " attempts: " + status.message());
+  }
+  return status;
+}
+
 }  // namespace
 
 Result<TransferStats> ExecuteTransfer(
     TransferMethod method, const memory::Buffer& src, memory::Buffer* dst,
     hw::MemoryNodeId gpu_node, std::uint64_t chunk_bytes,
     std::uint64_t os_page_bytes, memory::UnifiedRegion* um_region,
-    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk) {
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk,
+    const TransferFaultOptions& faults) {
   if (!src.materialized()) {
     return Status::InvalidArgument("source buffer is not materialized");
   }
   if (chunk_bytes == 0) {
     return Status::InvalidArgument("chunk size must be positive");
+  }
+  if (os_page_bytes == 0) {
+    return Status::InvalidArgument("OS page size must be positive");
   }
   const bool uses_um = method == TransferMethod::kUmPrefetch ||
                        method == TransferMethod::kUmMigration;
@@ -39,11 +83,15 @@ Result<TransferStats> ExecuteTransfer(
 
   if (!IsPush(method) && method != TransferMethod::kUmMigration) {
     // Zero-Copy / Coherence: the GPU dereferences CPU memory directly; no
-    // bytes land in GPU memory. Consumers read `src` in place.
+    // bytes land in GPU memory. Consumers read `src` in place. Each chunk
+    // of reads still crosses the interconnect, so the chunk failpoint
+    // applies (a dropped read burst is retried transparently).
     stats.direct_access = true;
     for (std::uint64_t offset = 0; offset < src.size();
          offset += chunk_bytes) {
       const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
+      PUMP_RETURN_NOT_OK(RunChunk(faults, /*um_site=*/false, offset, &stats,
+                                  [] { return Status::OK(); }));
       ++stats.chunks;
       if (on_chunk) on_chunk(offset, len);
     }
@@ -55,12 +103,16 @@ Result<TransferStats> ExecuteTransfer(
     for (std::uint64_t offset = 0; offset < src.size();
          offset += chunk_bytes) {
       const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
-      for (std::uint64_t page_off = offset; page_off < offset + len;
-           page_off += os_page_bytes) {
-        PUMP_ASSIGN_OR_RETURN(bool faulted,
-                              um_region->Touch(page_off, gpu_node));
-        if (faulted) ++stats.pages_migrated;
-      }
+      PUMP_RETURN_NOT_OK(RunChunk(
+          faults, /*um_site=*/true, offset, &stats, [&]() -> Status {
+            for (std::uint64_t page_off = offset; page_off < offset + len;
+                 page_off += os_page_bytes) {
+              PUMP_ASSIGN_OR_RETURN(bool faulted,
+                                    um_region->Touch(page_off, gpu_node));
+              if (faulted) ++stats.pages_migrated;
+            }
+            return Status::OK();
+          }));
       ++stats.chunks;
       if (on_chunk) on_chunk(offset, len);
     }
@@ -80,31 +132,37 @@ Result<TransferStats> ExecuteTransfer(
 
   for (std::uint64_t offset = 0; offset < src.size(); offset += chunk_bytes) {
     const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
-    switch (method) {
-      case TransferMethod::kStagedCopy:
-        // Extra pass through the pinned staging buffer (Sec. 4.1).
-        std::memcpy(staging.data(), src.data() + offset, len);
-        std::memcpy(dst->data() + offset, staging.data(), len);
-        stats.staged_bytes += len;
-        break;
-      case TransferMethod::kDynamicPinning:
-        stats.pages_pinned += (len + os_page_bytes - 1) / os_page_bytes;
-        std::memcpy(dst->data() + offset, src.data() + offset, len);
-        break;
-      case TransferMethod::kUmPrefetch: {
-        PUMP_ASSIGN_OR_RETURN(std::uint64_t moved,
-                              um_region->Prefetch(offset, len, gpu_node));
-        stats.pages_migrated += moved;
-        std::memcpy(dst->data() + offset, src.data() + offset, len);
-        break;
-      }
-      case TransferMethod::kPageableCopy:
-      case TransferMethod::kPinnedCopy:
-        std::memcpy(dst->data() + offset, src.data() + offset, len);
-        break;
-      default:
-        return Status::Internal("unexpected push method");
-    }
+    PUMP_RETURN_NOT_OK(RunChunk(
+        faults, /*um_site=*/method == TransferMethod::kUmPrefetch, offset,
+        &stats, [&]() -> Status {
+          switch (method) {
+            case TransferMethod::kStagedCopy:
+              // Extra pass through the pinned staging buffer (Sec. 4.1).
+              std::memcpy(staging.data(), src.data() + offset, len);
+              std::memcpy(dst->data() + offset, staging.data(), len);
+              stats.staged_bytes += len;
+              break;
+            case TransferMethod::kDynamicPinning:
+              stats.pages_pinned += (len + os_page_bytes - 1) / os_page_bytes;
+              std::memcpy(dst->data() + offset, src.data() + offset, len);
+              break;
+            case TransferMethod::kUmPrefetch: {
+              PUMP_ASSIGN_OR_RETURN(std::uint64_t moved,
+                                    um_region->Prefetch(offset, len,
+                                                        gpu_node));
+              stats.pages_migrated += moved;
+              std::memcpy(dst->data() + offset, src.data() + offset, len);
+              break;
+            }
+            case TransferMethod::kPageableCopy:
+            case TransferMethod::kPinnedCopy:
+              std::memcpy(dst->data() + offset, src.data() + offset, len);
+              break;
+            default:
+              return Status::Internal("unexpected push method");
+          }
+          return Status::OK();
+        }));
     stats.bytes_copied += len;
     ++stats.chunks;
     if (on_chunk) on_chunk(offset, len);

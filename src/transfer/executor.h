@@ -5,6 +5,8 @@
 #include <functional>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "memory/buffer.h"
 #include "memory/unified.h"
 #include "transfer/method.h"
@@ -25,6 +27,26 @@ struct TransferStats {
   std::uint64_t pages_migrated = 0;
   /// True when the GPU accessed the source directly (Zero-Copy/Coherence).
   bool direct_access = false;
+  /// Chunk attempts repeated after an injected transient fault.
+  std::uint64_t retries = 0;
+  /// Transient faults observed at the `transfer.chunk` / `um.migrate`
+  /// failpoints (each may be retried; see `retries`).
+  std::uint64_t faults_injected = 0;
+  /// Chunks that crossed the link while it was throttled
+  /// (`link.degrade` failpoint): observability for the Li et al.-style
+  /// asymmetric-degradation scenarios, not an error.
+  std::uint64_t degraded_chunks = 0;
+  /// Total modelled retry backoff charged by the policy, seconds.
+  double modelled_backoff_s = 0.0;
+};
+
+/// Fault handling for a transfer: an optional injector queried at the
+/// `transfer.chunk`, `um.migrate` and `link.degrade` failpoints, and the
+/// retry policy applied per chunk. With a null injector the transfer is
+/// fault-free and the policy is irrelevant.
+struct TransferFaultOptions {
+  fault::FaultInjector* injector = nullptr;
+  fault::RetryPolicy retry;
 };
 
 /// Functionally executes a transfer: moves `src`'s bytes into `dst` (push
@@ -36,11 +58,19 @@ struct TransferStats {
 /// `um_region` must be non-null for the Unified Memory methods and records
 /// page residency; `gpu_node` is the destination memory node used for the
 /// residency bookkeeping.
+///
+/// When `faults.injector` is armed, each chunk is retried under
+/// `faults.retry` on transient (`kUnavailable`) faults; `on_chunk` runs
+/// only after the chunk finally lands, so consumers never observe a
+/// retried chunk twice. An exhausted retry budget surfaces as
+/// `kUnavailable` naming the failing offset; a non-retryable injected
+/// fault surfaces with its own code.
 Result<TransferStats> ExecuteTransfer(
     TransferMethod method, const memory::Buffer& src, memory::Buffer* dst,
     hw::MemoryNodeId gpu_node, std::uint64_t chunk_bytes,
     std::uint64_t os_page_bytes, memory::UnifiedRegion* um_region = nullptr,
-    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk = {});
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk = {},
+    const TransferFaultOptions& faults = {});
 
 }  // namespace pump::transfer
 

@@ -11,7 +11,9 @@
 #include "join/cost_model.h"
 #include "join/nopa.h"
 #include "memory/allocator.h"
+#include "memory/unified.h"
 #include "ops/q6_model.h"
+#include "transfer/executor.h"
 #include "transfer/transfer_model.h"
 
 namespace pump {
@@ -61,6 +63,130 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::ValuesIn(transfer::kAllTransferMethods),
         ::testing::Values(MemoryKind::kPageable, MemoryKind::kPinned,
                           MemoryKind::kUnified, MemoryKind::kDevice)));
+
+// ---------------------------------------------------------------------
+// Degenerate ExecuteTransfer inputs: every method must reject zero chunk
+// sizes, zero page sizes and undersized destinations with a typed
+// kInvalidArgument — never divide by zero, loop forever, or scribble out
+// of bounds.
+class TransferDegenerateTest
+    : public ::testing::TestWithParam<TransferMethod> {
+ protected:
+  static constexpr std::uint64_t kBytes = 16 * 1024;
+  static constexpr std::uint64_t kChunk = 4 * 1024;
+  static constexpr std::uint64_t kPage = 4 * 1024;
+
+  memory::Buffer MakeSrc() const {
+    const MemoryKind kind = transfer::TraitsOf(GetParam()).required_memory;
+    return memory::Buffer(kBytes, kind,
+                          {memory::Extent{hw::kCpu0, kBytes}});
+  }
+  memory::Buffer MakeDst(std::uint64_t bytes = kBytes) const {
+    return memory::Buffer(bytes, MemoryKind::kDevice,
+                          {memory::Extent{hw::kGpu0, bytes}});
+  }
+  bool IsPush() const {
+    return transfer::TraitsOf(GetParam()).semantics ==
+           transfer::Semantics::kPush;
+  }
+  bool UsesUm() const {
+    return GetParam() == TransferMethod::kUmPrefetch ||
+           GetParam() == TransferMethod::kUmMigration;
+  }
+};
+
+TEST_P(TransferDegenerateTest, ControlSetupSucceeds) {
+  // The baseline configuration the degenerate cases perturb is valid, so
+  // the errors below are attributable to the degenerate input alone.
+  memory::Buffer src = MakeSrc();
+  memory::Buffer dst = MakeDst();
+  memory::UnifiedRegion region(kBytes, kPage, hw::kCpu0);
+  auto stats = transfer::ExecuteTransfer(GetParam(), src, &dst, hw::kGpu0,
+                                         kChunk, kPage, &region);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.value().chunks, kBytes / kChunk);
+}
+
+TEST_P(TransferDegenerateTest, ZeroChunkBytesIsInvalidArgument) {
+  memory::Buffer src = MakeSrc();
+  memory::Buffer dst = MakeDst();
+  memory::UnifiedRegion region(kBytes, kPage, hw::kCpu0);
+  auto stats = transfer::ExecuteTransfer(GetParam(), src, &dst, hw::kGpu0,
+                                         /*chunk_bytes=*/0, kPage, &region);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument)
+      << transfer::TransferMethodToString(GetParam());
+}
+
+TEST_P(TransferDegenerateTest, ZeroOsPageBytesIsInvalidArgument) {
+  memory::Buffer src = MakeSrc();
+  memory::Buffer dst = MakeDst();
+  memory::UnifiedRegion region(kBytes, kPage, hw::kCpu0);
+  auto stats = transfer::ExecuteTransfer(GetParam(), src, &dst, hw::kGpu0,
+                                         kChunk, /*os_page_bytes=*/0,
+                                         &region);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument)
+      << transfer::TransferMethodToString(GetParam());
+}
+
+TEST_P(TransferDegenerateTest, UnmaterializedSourceIsInvalidArgument) {
+  memory::Buffer src(kBytes, transfer::TraitsOf(GetParam()).required_memory,
+                     {memory::Extent{hw::kCpu0, kBytes}},
+                     /*materialize=*/false);
+  memory::Buffer dst = MakeDst();
+  memory::UnifiedRegion region(kBytes, kPage, hw::kCpu0);
+  auto stats = transfer::ExecuteTransfer(GetParam(), src, &dst, hw::kGpu0,
+                                         kChunk, kPage, &region);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(TransferDegenerateTest, PushRejectsMissingOrShortDestination) {
+  if (!IsPush()) GTEST_SKIP() << "pull methods take no destination";
+  memory::Buffer src = MakeSrc();
+  memory::UnifiedRegion region(kBytes, kPage, hw::kCpu0);
+
+  auto no_dst = transfer::ExecuteTransfer(GetParam(), src, nullptr,
+                                          hw::kGpu0, kChunk, kPage, &region);
+  ASSERT_FALSE(no_dst.ok());
+  EXPECT_EQ(no_dst.status().code(), StatusCode::kInvalidArgument);
+
+  memory::Buffer short_dst = MakeDst(kBytes / 2);
+  auto short_stats = transfer::ExecuteTransfer(
+      GetParam(), src, &short_dst, hw::kGpu0, kChunk, kPage, &region);
+  ASSERT_FALSE(short_stats.ok());
+  EXPECT_EQ(short_stats.status().code(), StatusCode::kInvalidArgument);
+
+  memory::Buffer ghost_dst(kBytes, MemoryKind::kDevice,
+                           {memory::Extent{hw::kGpu0, kBytes}},
+                           /*materialize=*/false);
+  auto ghost_stats = transfer::ExecuteTransfer(
+      GetParam(), src, &ghost_dst, hw::kGpu0, kChunk, kPage, &region);
+  ASSERT_FALSE(ghost_stats.ok());
+  EXPECT_EQ(ghost_stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(TransferDegenerateTest, UnifiedMethodsRequireMatchingRegion) {
+  if (!UsesUm()) GTEST_SKIP() << "not a Unified Memory method";
+  memory::Buffer src = MakeSrc();
+  memory::Buffer dst = MakeDst();
+
+  auto no_region = transfer::ExecuteTransfer(GetParam(), src, &dst,
+                                             hw::kGpu0, kChunk, kPage);
+  ASSERT_FALSE(no_region.ok());
+  EXPECT_EQ(no_region.status().code(), StatusCode::kInvalidArgument);
+
+  memory::UnifiedRegion small(kBytes / 2, kPage, hw::kCpu0);
+  auto mismatched = transfer::ExecuteTransfer(GetParam(), src, &dst,
+                                              hw::kGpu0, kChunk, kPage,
+                                              &small);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, TransferDegenerateTest,
+                         ::testing::ValuesIn(transfer::kAllTransferMethods));
 
 // ---------------------------------------------------------------------
 // Degenerate workloads keep the models finite.
