@@ -36,7 +36,7 @@ void Run() {
   const PartitionedGpuJoinModel part_ibm(&ibm);
   const PartitionedGpuJoinModel part_intel(&intel);
   const std::uint64_t gpu_capacity =
-      ibm.topology.memory(hw::kGpu0).capacity_bytes;
+      ibm.topology.memory(hw::kGpu0).capacity.u64();
 
   TablePrinter table({"|R|=|S| (M)", "HT", "NVLink NOPA",
                       "NVLink partitioned", "PCI-e NOPA",

@@ -28,10 +28,10 @@ using join::NopaJoinModel;
 // tuple, filter L3-resident): comfortably faster than the scan streams.
 constexpr double kCpuBloomFilterRate = 3e9;
 
-double PrunedJoinSeconds(const hw::SystemProfile& profile,
-                         transfer::TransferMethod method,
-                         memory::MemoryKind kind,
-                         const data::WorkloadSpec& w, double fpr) {
+Seconds PrunedJoinSeconds(const hw::SystemProfile& profile,
+                          transfer::TransferMethod method,
+                          memory::MemoryKind kind,
+                          const data::WorkloadSpec& w, double fpr) {
   const NopaJoinModel model(&profile);
   // Survivors: true matches plus false positives of the filter.
   const double survivor_fraction =
@@ -41,10 +41,10 @@ double PrunedJoinSeconds(const hw::SystemProfile& profile,
   // survivors into a pinned staging area (read + write of survivors).
   const sim::AccessPath cpu_mem =
       sim::MustResolve(profile.topology, hw::kCpu0, hw::kCpu0);
-  const double s_bytes = static_cast<double>(w.s_bytes());
-  const double filter_s = sim::OverlapTime(
+  const Bytes s_bytes = Bytes(static_cast<double>(w.s_bytes()));
+  const Seconds filter_s = sim::OverlapTime(
       {s_bytes * (1.0 + survivor_fraction) / cpu_mem.seq_bw,
-       static_cast<double>(w.s_tuples) / kCpuBloomFilterRate},
+       static_cast<double>(w.s_tuples) / PerSecond(kCpuBloomFilterRate)},
       sim::kCpuOverlapExponent);
 
   // Phase B (GPU): join only the survivors; selectivity within the
@@ -61,17 +61,17 @@ double PrunedJoinSeconds(const hw::SystemProfile& profile,
   config.hash_table = HashTablePlacement::Single(hw::kGpu0);
   config.method = method;
   config.relation_memory = kind;
-  const double join_s =
+  const Seconds join_s =
       model.Estimate(config, pruned).value().total_s();
   // The filter pass pipelines with the GPU join (chunked), overlapping
   // partially.
   return sim::OverlapTime({filter_s, join_s}, 2.0);
 }
 
-double PlainJoinSeconds(const hw::SystemProfile& profile,
-                        transfer::TransferMethod method,
-                        memory::MemoryKind kind,
-                        const data::WorkloadSpec& w) {
+Seconds PlainJoinSeconds(const hw::SystemProfile& profile,
+                         transfer::TransferMethod method,
+                         memory::MemoryKind kind,
+                         const data::WorkloadSpec& w) {
   const NopaJoinModel model(&profile);
   NopaConfig config;
   config.device = hw::kGpu0;
@@ -122,7 +122,7 @@ void Run() {
     data::WorkloadSpec w = data::WorkloadA();
     w.selectivity = sel;
     const double total = static_cast<double>(w.total_tuples());
-    auto gt = [&](double seconds) {
+    auto gt = [&](Seconds seconds) {
       return TablePrinter::FormatDouble(
           ToGTuplesPerSecond(total / seconds), 2);
     };

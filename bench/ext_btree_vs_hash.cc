@@ -48,11 +48,11 @@ void Run() {
     const sim::AccessPath leaf_path =
         sim::MustResolve(ibm.topology, hw::kGpu0, leaf_node);
     const hw::CacheSpec& l2 = ibm.topology.cache(hw::kGpu0);
-    const double inner_s =
+    const Seconds inner_s =
         l2_resident_levels / l2.random_access_rate +
         (inner_levels - l2_resident_levels) /
             gpu_local.dependent_access_rate;
-    const double leaf_s = 1.0 / leaf_path.dependent_access_rate;
+    const Seconds leaf_s = 1.0 / leaf_path.dependent_access_rate;
     return 1.0 / (inner_s + leaf_s);
   };
 
@@ -64,8 +64,8 @@ void Run() {
   };
   for (const Case& c : {Case{"index in GPU memory", hw::kGpu0},
                         Case{"index spilled to CPU memory", hw::kCpu0}}) {
-    const double h = hash_rate(c.node) / 1e9;
-    const double b = btree_rate(c.node) / 1e9;
+    const double h = hash_rate(c.node).giga_per_second();
+    const double b = btree_rate(c.node).giga_per_second();
     table.AddRow({c.name, TablePrinter::FormatDouble(h, 2),
                   TablePrinter::FormatDouble(b, 2),
                   TablePrinter::FormatDouble(h / b, 1) + "x"});

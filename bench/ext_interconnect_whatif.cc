@@ -35,7 +35,7 @@ hw::SystemProfile HypotheticalSystem(double bw_scale, double latency_scale) {
   link.seq_bw *= bw_scale;
   link.duplex_bw *= bw_scale;
   link.random_access_rate *= bw_scale;
-  link.hop_latency_s *= latency_scale;
+  link.hop_latency *= latency_scale;
   // Little's law on the link's fixed request window: higher latency
   // proportionally lowers the sustainable random-access rate.
   link.random_access_rate /= latency_scale;

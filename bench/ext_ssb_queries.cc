@@ -55,9 +55,9 @@ void Run() {
       table.AddRow(
           {TablePrinter::FormatDouble(stats.fact_rows / 1e9, 2) + "G",
            ibm.topology.device(ibm_plan.device).name,
-           TablePrinter::FormatDouble(ibm_plan.predicted_seconds, 2),
+           TablePrinter::FormatDouble(ibm_plan.predicted_seconds.seconds(), 2),
            intel.topology.device(intel_plan.device).name,
-           TablePrinter::FormatDouble(intel_plan.predicted_seconds, 2),
+           TablePrinter::FormatDouble(intel_plan.predicted_seconds.seconds(), 2),
            TablePrinter::FormatDouble(intel_plan.predicted_seconds /
                                           ibm_plan.predicted_seconds,
                                       1) +

@@ -38,10 +38,10 @@ void Run() {
         model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, dims, true).value();
     table.AddRow(
         {std::to_string(k),
-         TablePrinter::FormatDouble(serial.build_s, 3),
-         TablePrinter::FormatDouble(parallel.build_s, 3),
-         TablePrinter::FormatDouble(parallel.broadcast_s, 3),
-         TablePrinter::FormatDouble(parallel.probe_s, 3),
+         TablePrinter::FormatDouble(serial.build_s.seconds(), 3),
+         TablePrinter::FormatDouble(parallel.build_s.seconds(), 3),
+         TablePrinter::FormatDouble(parallel.broadcast_s.seconds(), 3),
+         TablePrinter::FormatDouble(parallel.probe_s.seconds(), 3),
          TablePrinter::FormatDouble(
              serial.total_s() / parallel.total_s(), 2) +
              "x"});
@@ -65,12 +65,13 @@ void Run() {
   const auto sorted =
       model.Estimate(hw::kGpu0, hw::kCpu0, fact_rows, unordered, true)
           .value();
-  std::cout << "probe time, selective-first: " << ordered.probe_s
-            << " s; model-sorted arbitrary input: " << sorted.probe_s
-            << " s (equal: " << (std::abs(ordered.probe_s - sorted.probe_s) <
-                                         1e-9
-                                     ? "yes"
-                                     : "no")
+  std::cout << "probe time, selective-first: " << ordered.probe_s.seconds()
+            << " s; model-sorted arbitrary input: " << sorted.probe_s.seconds()
+            << " s (equal: "
+            << (std::abs(ordered.probe_s.seconds() -
+                         sorted.probe_s.seconds()) < 1e-9
+                    ? "yes"
+                    : "no")
             << ")\n";
 
   // Functional validation at host scale.

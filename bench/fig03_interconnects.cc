@@ -60,10 +60,10 @@ void Run() {
     const sim::AccessPath path = sim::MustResolve(*c.topo, c.device, c.memory);
     // The paper reports random bandwidth as useful 4-byte payload per
     // second; the model's access rate converts back the same way.
-    const double rand_gib = path.random_access_rate * 4.0 / kGiB;
+    const double rand_gib = ToGiBPerSecond(path.random_access_rate * Bytes(4.0));
     table.AddRow({c.label, TablePrinter::FormatDouble(ToGiBPerSecond(path.seq_bw), 1),
                   TablePrinter::FormatDouble(rand_gib, 2),
-                  TablePrinter::FormatDouble(ToNanoseconds(path.latency_s), 0),
+                  TablePrinter::FormatDouble(ToNanoseconds(path.latency), 0),
                   fmt(c.paper_seq, 0), fmt(c.paper_rand, 2),
                   fmt(c.paper_lat, 0)});
   }

@@ -38,8 +38,8 @@ void Run() {
       Result<ops::Q6Timing> timing =
           model.Estimate(device, hw::kCpu0, method, variant, rows);
       if (!timing.ok()) return std::string("n/a");
-      return TablePrinter::FormatDouble(timing.value().RowsPerSecond() / 1e9,
-                                        2);
+      return TablePrinter::FormatDouble(
+          timing.value().RowsPerSecond().giga_per_second(), 2);
     };
     table.AddRow(
         {std::to_string(sf),

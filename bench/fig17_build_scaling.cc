@@ -36,7 +36,7 @@ void Run() {
   const NopaJoinModel pcie_model(&intel);
   const RadixJoinModel radix_model(&ibm);
   const std::uint64_t gpu_capacity =
-      ibm.topology.memory(hw::kGpu0).capacity_bytes;
+      ibm.topology.memory(hw::kGpu0).capacity.u64();
 
   TablePrinter table({"|R|=|S| (M)", "HT size", "CPU (PRA)", "PCI-e 3.0",
                       "NVLink 2.0", "NVLink hybrid HT"});

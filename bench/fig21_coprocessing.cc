@@ -71,9 +71,9 @@ void Run() {
         model.Estimate(strategy, config, c_scaled);
     if (!timing.ok()) continue;
     phases.AddRow({join::StrategyName(strategy),
-                   TablePrinter::FormatDouble(timing.value().build_s, 2),
-                   TablePrinter::FormatDouble(timing.value().extra_s, 2),
-                   TablePrinter::FormatDouble(timing.value().probe_s, 2)});
+                   TablePrinter::FormatDouble(timing.value().build_s.seconds(), 2),
+                   TablePrinter::FormatDouble(timing.value().extra_s.seconds(), 2),
+                   TablePrinter::FormatDouble(timing.value().probe_s.seconds(), 2)});
   }
   phases.Print(std::cout);
 

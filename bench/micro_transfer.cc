@@ -47,15 +47,16 @@ void BM_ModelChunkSweep(benchmark::State& state) {
   // pipelining against the compute stage.
   const hw::SystemProfile profile = hw::Ac922Profile();
   const transfer::TransferModel model(&profile);
-  const double chunk = static_cast<double>(1ull << state.range(0));
+  const Bytes chunk = Bytes(static_cast<double>(1ull << state.range(0)));
+  const Bytes total = Bytes::GiB(32);
   double bw = 0.0;
   for (auto _ : state) {
     auto time = model.TransferTime(TransferMethod::kPinnedCopy, hw::kGpu0,
-                                   hw::kCpu0, 32.0 * (1ull << 30), chunk);
-    bw = 32.0 * (1ull << 30) / time.value();
+                                   hw::kCpu0, total, chunk);
+    bw = (total / time.value()).gib_per_second();
     benchmark::DoNotOptimize(bw);
   }
-  state.counters["model_GiBps"] = bw / (1ull << 30);
+  state.counters["model_GiBps"] = bw;
 }
 BENCHMARK(BM_ModelChunkSweep)->Arg(16)->Arg(20)->Arg(23)->Arg(26)->Arg(30);
 

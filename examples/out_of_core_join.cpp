@@ -27,7 +27,7 @@ int main() {
   // Reserve almost all modelled GPU memory so a 1M-entry table must spill.
   memory::MemoryManager manager(&ac922.topology, /*materialize=*/true);
   const std::uint64_t gpu_capacity =
-      ac922.topology.memory(hw::kGpu0).capacity_bytes;
+      ac922.topology.memory(hw::kGpu0).capacity.u64();
   const std::size_t entries = 1 << 20;
   auto table = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager, hw::kGpu0, entries,

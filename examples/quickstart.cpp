@@ -53,8 +53,9 @@ int main() {
     return 1;
   }
   std::cout << "Workload A over NVLink 2.0 (Coherence method):\n"
-            << "  build " << timing.value().build_s << " s, probe "
-            << timing.value().probe_s << " s  =>  "
+            << "  build " << timing.value().build_s.seconds()
+            << " s, probe " << timing.value().probe_s.seconds()
+            << " s  =>  "
             << ToGTuplesPerSecond(timing.value().Throughput(
                    static_cast<double>(workload.total_tuples())))
             << " G Tuples/s (paper: 3.83)\n";

@@ -48,7 +48,7 @@ int main() {
       if (!plan.ok()) continue;
       std::cout << "  " << system_name << ": run on "
                 << plan.value().rationale << ", predicted "
-                << plan.value().predicted_seconds << " s\n";
+                << plan.value().predicted_seconds.seconds() << " s\n";
     }
   }
   std::cout << "\nThe NVLink system offloads both queries to the GPU via "

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Full static + dynamic gate for the repository:
+#   1. Release build, all tests          (build-release)
+#   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
+#   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
+#   4. modelcheck: both testbed profiles must pass, the broken fixture
+#      must fail with named violations
+#   5. clang-tidy over src/tests/bench/tools (skipped when not installed)
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+say() { printf '\n==> %s\n' "$*"; }
+
+configure_and_test() {
+  local dir="$1" sanitize="$2" test_regex="$3"
+  say "configure $dir (PUMP_SANITIZE='$sanitize')"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DPUMP_SANITIZE="$sanitize" >/dev/null
+  say "build $dir"
+  cmake --build "$dir" -j "$JOBS"
+  say "test $dir${test_regex:+ (filter: $test_regex)}"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        ${test_regex:+-R "$test_regex"}
+}
+
+# 1. Release: everything, warnings-as-errors enforced by the build itself.
+configure_and_test build-release "" ""
+
+# 2. ASan+UBSan: everything, happens-before assertions forced on.
+configure_and_test build-asan "address" ""
+
+# 3. TSan: the concurrent scheduler / failover / integration paths.
+configure_and_test build-tsan "thread" \
+  "exec_test|engine_test|fault_test|failure_test|integration_test"
+
+# 4. Model linter: the testbeds must be clean, the broken fixture must not.
+say "modelcheck: testbed profiles"
+./build-release/tools/modelcheck >/dev/null
+
+say "modelcheck: broken fixture must fail"
+if ./build-release/tools/modelcheck --profile broken-fixture >/dev/null; then
+  echo "FAIL: modelcheck accepted the deliberately broken fixture" >&2
+  exit 1
+fi
+echo "broken fixture rejected, as expected"
+
+# 5. clang-tidy, when available. The container image may not ship it; the
+#    .clang-tidy profile is still enforced wherever the tool exists.
+if command -v clang-tidy >/dev/null 2>&1; then
+  say "clang-tidy"
+  cmake -B build-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cc' 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+               'tools/**/*.cc' |
+    xargs -P "$JOBS" -n 1 clang-tidy -p build-release --quiet
+else
+  say "clang-tidy not installed; skipping lint pass"
+fi
+
+say "all checks passed"

@@ -1,0 +1,98 @@
+#ifndef PUMP_CHECK_MODEL_CHECK_H_
+#define PUMP_CHECK_MODEL_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "hw/system_profile.h"
+
+namespace pump::check {
+
+/// One invariant violation found by the model linter. `check` is a stable
+/// machine-readable id (e.g. "topology.connectivity"); `subject` names the
+/// offending entity; `message` explains the expectation that failed.
+struct Violation {
+  std::string check;
+  std::string subject;
+  std::string message;
+};
+
+/// The result of linting one system profile: every check that ran and
+/// every violation found. A profile is clean iff `violations` is empty.
+struct ProfileReport {
+  std::string profile;
+  std::vector<std::string> checks_run;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Individual invariant checks. Each appends its id to `report->checks_run`
+// and any violations to `report->violations`. Exposed so tests can
+// exercise them one at a time against broken fixtures.
+
+/// Every device must reach every memory node (the paper's systems are
+/// connected graphs, Fig. 4); unreachable pairs break the allocator's
+/// spill order and the co-processing placement search.
+void CheckConnectivity(const hw::SystemProfile& profile,
+                       ProfileReport* report);
+
+/// Routing must be symmetric: the minimum-hop count from device A to B's
+/// memory equals the count from B to A's memory. All modeled interconnects
+/// are full-duplex point-to-point links (Sec. 2.2), so an asymmetric route
+/// means the topology was mis-declared.
+void CheckRouteSymmetry(const hw::SystemProfile& profile,
+                        ProfileReport* report);
+
+/// Per-link sanity: bandwidths positive, measured sequential bandwidth not
+/// above the electrical limit, duplex bandwidth between the one-direction
+/// figure and twice the electrical rate, packet geometry positive, and a
+/// bulk efficiency in (0, 1].
+void CheckLinkSanity(const hw::SystemProfile& profile, ProfileReport* report);
+
+/// Per-memory-node sanity: positive capacity/latency, measured bandwidths
+/// not above electrical, positive random-access rate and line size.
+void CheckMemorySanity(const hw::SystemProfile& profile,
+                       ProfileReport* report);
+
+/// Calibration against the paper's published measurements: link and memory
+/// constants (Figs. 1/3) and end-to-end GPU->CPU path figures (434 ns /
+/// 63 GiB/s on NVLink 2.0, 790 ns / 12 GiB/s on PCI-e 3.0) must stay
+/// within `kCalibrationTolerance` of the printed numbers.
+void CheckCalibration(const hw::SystemProfile& profile,
+                      ProfileReport* report);
+
+/// Little's-law consistency: a spec table must not advertise a local
+/// random-access rate (or sequential bandwidth) the owning device cannot
+/// sustain given its outstanding-request budget and the memory's latency;
+/// resolved paths must respect the same bound end to end.
+void CheckLittlesLaw(const hw::SystemProfile& profile, ProfileReport* report);
+
+/// Cost-model sanity on this profile: join estimates are finite and
+/// non-negative, total time is monotone in the input size, and a CPU/GPU
+/// crossover exists (small inputs favor the CPU because of dispatch
+/// latency; the preferred device changes somewhere along the size sweep).
+void CheckCostModel(const hw::SystemProfile& profile, ProfileReport* report);
+
+/// Runs every check above on one profile.
+ProfileReport CheckProfile(const hw::SystemProfile& profile);
+
+/// Serializes reports as a machine-readable JSON document:
+/// {"ok": bool, "profiles": [{"profile", "ok", "checks_run", "violations":
+/// [{"check", "subject", "message"}]}]}.
+std::string ReportsToJson(const std::vector<ProfileReport>& reports);
+
+/// Relative tolerance applied when comparing calibration constants to the
+/// paper's printed figures.
+inline constexpr double kCalibrationTolerance = 0.10;
+
+/// A deliberately broken AC922-like profile used by tests and the
+/// `--broken-fixture` mode of the linter: GPU1 is disconnected, one link
+/// claims more measured than electrical bandwidth, the CPU memory latency
+/// is far off Fig. 3, and the GPU's outstanding-request budget cannot
+/// sustain its advertised HBM2 random-access rate.
+hw::SystemProfile BrokenFixtureProfile();
+
+}  // namespace pump::check
+
+#endif  // PUMP_CHECK_MODEL_CHECK_H_

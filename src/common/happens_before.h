@@ -1,0 +1,92 @@
+#ifndef PUMP_COMMON_HAPPENS_BEFORE_H_
+#define PUMP_COMMON_HAPPENS_BEFORE_H_
+
+// Debug-only happens-before assertions for the concurrent scheduler and
+// failover paths.
+//
+// TSan proves accesses are synchronized; it cannot prove they are
+// *ordered the way the protocol requires*. These helpers check ordering
+// claims directly: an EpochCounter is bumped on the publishing side of a
+// synchronization edge and read on the observing side, and
+// PUMP_HB_ASSERT states the protocol invariant (e.g. "no morsel claim
+// succeeds after the dispatcher was observed dry", "a worker still holds
+// its in-flight slot while orphaning a batch"). Violations abort with a
+// message naming the broken edge.
+//
+// Enabled when PUMP_HB_ASSERTIONS is 1: by default in debug builds
+// (!NDEBUG), and forced on by the build system for sanitizer builds
+// (PUMP_SANITIZE=thread/address), so the TSan gate exercises the
+// scheduler with the protocol checks live. In plain release builds the
+// counters are empty structs and the assertion compiles away.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(PUMP_HB_ASSERTIONS)
+#if defined(NDEBUG)
+#define PUMP_HB_ASSERTIONS 0
+#else
+#define PUMP_HB_ASSERTIONS 1
+#endif
+#endif
+
+#if PUMP_HB_ASSERTIONS
+#include <atomic>
+#endif
+
+namespace pump::hb {
+
+#if PUMP_HB_ASSERTIONS
+
+/// A monotonically increasing event counter. Bump() releases, Load()
+/// acquires, so a loaded epoch carries the happens-before edge from every
+/// bump it observes.
+class EpochCounter {
+ public:
+  /// Records one event; returns the new epoch.
+  std::uint64_t Bump() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  /// Current epoch.
+  std::uint64_t Load() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+[[noreturn]] inline void HbViolation(const char* condition, const char* file,
+                                     int line, const char* message) {
+  std::fprintf(stderr,
+               "pump happens-before violation at %s:%d: %s\n  failed: %s\n",
+               file, line, message, condition);
+  std::abort();
+}
+
+#define PUMP_HB_ASSERT(condition, message)                              \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::pump::hb::HbViolation(#condition, __FILE__, __LINE__, message); \
+    }                                                                   \
+  } while (0)
+
+#else  // !PUMP_HB_ASSERTIONS
+
+/// Release-build stand-in: no storage, no synchronization, epochs read 0.
+class EpochCounter {
+ public:
+  std::uint64_t Bump() { return 0; }
+  std::uint64_t Load() const { return 0; }
+};
+
+#define PUMP_HB_ASSERT(condition, message) \
+  do {                                     \
+  } while (0)
+
+#endif  // PUMP_HB_ASSERTIONS
+
+}  // namespace pump::hb
+
+#endif  // PUMP_COMMON_HAPPENS_BEFORE_H_

@@ -2,6 +2,8 @@
 #define PUMP_COMMON_UNITS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace pump {
 
@@ -16,35 +18,266 @@ inline constexpr std::uint64_t kKB = 1000ull;
 inline constexpr std::uint64_t kMB = 1000ull * kKB;
 inline constexpr std::uint64_t kGB = 1000ull * kMB;
 
-/// Time constants expressed in seconds.
-inline constexpr double kNanosecond = 1e-9;
-inline constexpr double kMicrosecond = 1e-6;
-inline constexpr double kMillisecond = 1e-3;
+namespace units_internal {
 
-/// Converts a GiB/s figure to bytes per second.
-constexpr double GiBPerSecond(double gib) {
-  return gib * static_cast<double>(kGiB);
+/// Aborts on a malformed magnitude. Deliberately not constexpr: reaching it
+/// in a constant expression is a compile error, which is exactly the check
+/// we want for constants built at compile time.
+[[noreturn]] inline void UnitViolation(const char* type) {
+  std::fprintf(stderr, "pump units: negative or NaN %s magnitude\n", type);
+  std::abort();
 }
 
-/// Converts a decimal GB/s figure (electrical link rate) to bytes per second.
-constexpr double GBPerSecond(double gb) {
-  return gb * static_cast<double>(kGB);
+/// Every physical magnitude in the model (a duration, a byte count, a
+/// rate) is non-negative; NaN or a negative value means a unit-mixing or
+/// sign bug upstream. Checked at construction so the bug surfaces where
+/// the value is made, not where it is consumed.
+constexpr double CheckMagnitude(double v, const char* type) {
+  return (v == v && v >= 0.0) ? v : (UnitViolation(type), 0.0);
 }
 
-/// Converts bytes per second back to GiB/s for reporting.
+}  // namespace units_internal
+
+/// Shared surface of the strong unit types: explicit construction from a
+/// raw double (checked), a raw accessor, same-unit additive arithmetic,
+/// dimensionless scaling, and ordering. Cross-dimension arithmetic
+/// (Bytes / Seconds -> BytesPerSecond, ...) is defined per pair below;
+/// anything not defined is a compile error, which is the point.
+#define PUMP_UNIT_COMMON(Type)                                              \
+ public:                                                                    \
+  constexpr Type() = default;                                               \
+  constexpr explicit Type(double raw)                                       \
+      : raw_(units_internal::CheckMagnitude(raw, #Type)) {}                 \
+  /** The raw magnitude in the base unit. */                                \
+  constexpr double value() const { return raw_; }                           \
+  constexpr friend bool operator==(Type a, Type b) {                        \
+    return a.raw_ == b.raw_;                                                \
+  }                                                                         \
+  constexpr friend bool operator!=(Type a, Type b) {                        \
+    return a.raw_ != b.raw_;                                                \
+  }                                                                         \
+  constexpr friend bool operator<(Type a, Type b) { return a.raw_ < b.raw_; } \
+  constexpr friend bool operator>(Type a, Type b) { return a.raw_ > b.raw_; } \
+  constexpr friend bool operator<=(Type a, Type b) {                        \
+    return a.raw_ <= b.raw_;                                                \
+  }                                                                         \
+  constexpr friend bool operator>=(Type a, Type b) {                        \
+    return a.raw_ >= b.raw_;                                                \
+  }                                                                         \
+  constexpr friend Type operator+(Type a, Type b) {                         \
+    return Type(a.raw_ + b.raw_);                                           \
+  }                                                                         \
+  constexpr friend Type operator-(Type a, Type b) {                         \
+    return Type(a.raw_ - b.raw_);                                           \
+  }                                                                         \
+  constexpr friend Type operator*(Type a, double s) { return Type(a.raw_ * s); } \
+  constexpr friend Type operator*(double s, Type a) { return Type(s * a.raw_); } \
+  constexpr friend Type operator/(Type a, double s) { return Type(a.raw_ / s); } \
+  /** Ratio of two same-unit magnitudes is dimensionless. */                \
+  constexpr friend double operator/(Type a, Type b) { return a.raw_ / b.raw_; } \
+  constexpr Type& operator+=(Type other) {                                  \
+    raw_ = units_internal::CheckMagnitude(raw_ + other.raw_, #Type);        \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr Type& operator-=(Type other) {                                  \
+    raw_ = units_internal::CheckMagnitude(raw_ - other.raw_, #Type);        \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr Type& operator*=(double s) {                                    \
+    raw_ = units_internal::CheckMagnitude(raw_ * s, #Type);                 \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr Type& operator/=(double s) {                                    \
+    raw_ = units_internal::CheckMagnitude(raw_ / s, #Type);                 \
+    return *this;                                                           \
+  }                                                                         \
+                                                                            \
+ private:                                                                   \
+  double raw_ = 0.0
+
+/// A byte count. Backed by a double because it lives in model arithmetic;
+/// exact enough for any capacity on the modeled systems (< 2^53 B). Use
+/// `u64()` when an exact integral count is needed (allocator bookkeeping,
+/// page arithmetic).
+class Bytes {
+  PUMP_UNIT_COMMON(Bytes);
+
+ public:
+  static constexpr Bytes KiB(double v) { return Bytes(v * 1024.0); }
+  static constexpr Bytes MiB(double v) { return KiB(v * 1024.0); }
+  static constexpr Bytes GiB(double v) { return MiB(v * 1024.0); }
+  static constexpr Bytes TiB(double v) { return GiB(v * 1024.0); }
+  static constexpr Bytes KB(double v) { return Bytes(v * 1e3); }
+  static constexpr Bytes MB(double v) { return Bytes(v * 1e6); }
+  static constexpr Bytes GB(double v) { return Bytes(v * 1e9); }
+
+  constexpr double bytes() const { return value(); }
+  constexpr double gib() const { return value() / static_cast<double>(kGiB); }
+  constexpr double mib() const { return value() / static_cast<double>(kMiB); }
+  /// Rounded exact count, for integral bookkeeping at the storage layer.
+  constexpr std::uint64_t u64() const {
+    return static_cast<std::uint64_t>(value() + 0.5);
+  }
+};
+
+/// A duration in seconds.
+class Seconds {
+  PUMP_UNIT_COMMON(Seconds);
+
+ public:
+  static constexpr Seconds Nanos(double ns) { return Seconds(ns * 1e-9); }
+  static constexpr Seconds Micros(double us) { return Seconds(us * 1e-6); }
+  static constexpr Seconds Millis(double ms) { return Seconds(ms * 1e-3); }
+
+  constexpr double seconds() const { return value(); }
+  constexpr double millis() const { return value() * 1e3; }
+  constexpr double micros() const { return value() * 1e6; }
+  constexpr double nanos() const { return value() * 1e9; }
+};
+
+/// A data rate in bytes per second.
+class BytesPerSecond {
+  PUMP_UNIT_COMMON(BytesPerSecond);
+
+ public:
+  /// Binary-unit rate, the paper's measured-bandwidth convention (GiB/s).
+  static constexpr BytesPerSecond GiB(double v) {
+    return BytesPerSecond(v * static_cast<double>(kGiB));
+  }
+  static constexpr BytesPerSecond MiB(double v) {
+    return BytesPerSecond(v * static_cast<double>(kMiB));
+  }
+  /// Decimal-unit rate, the electrical link-rate convention (GB/s).
+  static constexpr BytesPerSecond GB(double v) { return BytesPerSecond(v * 1e9); }
+
+  constexpr double bytes_per_second() const { return value(); }
+  constexpr double gib_per_second() const {
+    return value() / static_cast<double>(kGiB);
+  }
+};
+
+/// An event rate (accesses/s, tuples/s, pages/s) in events per second.
+class PerSecond {
+  PUMP_UNIT_COMMON(PerSecond);
+
+ public:
+  static constexpr PerSecond Giga(double v) { return PerSecond(v * 1e9); }
+  static constexpr PerSecond Mega(double v) { return PerSecond(v * 1e6); }
+
+  constexpr double per_second() const { return value(); }
+  constexpr double giga_per_second() const { return value() / 1e9; }
+};
+
+/// A clock-cycle count. Convert to wall time only through an explicit
+/// clock frequency (AtClock below) — cycles alone carry no duration.
+class Cycles {
+  PUMP_UNIT_COMMON(Cycles);
+
+ public:
+  constexpr double cycles() const { return value(); }
+};
+
+#undef PUMP_UNIT_COMMON
+
+// ---- Cross-dimension arithmetic -------------------------------------------
+// Only physically meaningful combinations are defined. A formula that mixes
+// units any other way fails to compile.
+
+/// bytes / duration = data rate.
+constexpr BytesPerSecond operator/(Bytes b, Seconds s) {
+  return BytesPerSecond(b.value() / s.value());
+}
+/// bytes / data rate = duration (time to stream `b`).
+constexpr Seconds operator/(Bytes b, BytesPerSecond r) {
+  return Seconds(b.value() / r.value());
+}
+/// data rate * duration = bytes moved.
+constexpr Bytes operator*(BytesPerSecond r, Seconds s) {
+  return Bytes(r.value() * s.value());
+}
+constexpr Bytes operator*(Seconds s, BytesPerSecond r) { return r * s; }
+
+/// event count / duration = event rate.
+constexpr PerSecond operator/(double count, Seconds s) {
+  return PerSecond(count / s.value());
+}
+/// event count / event rate = duration (time to serve `count` events).
+constexpr Seconds operator/(double count, PerSecond r) {
+  return Seconds(count / r.value());
+}
+/// event rate * duration = expected event count.
+constexpr double operator*(PerSecond r, Seconds s) {
+  return r.value() * s.value();
+}
+constexpr double operator*(Seconds s, PerSecond r) { return r * s; }
+
+/// event rate * bytes-per-event = data rate.
+constexpr BytesPerSecond operator*(PerSecond r, Bytes per_event) {
+  return BytesPerSecond(r.value() * per_event.value());
+}
+constexpr BytesPerSecond operator*(Bytes per_event, PerSecond r) {
+  return r * per_event;
+}
+/// data rate / bytes-per-event = event rate.
+constexpr PerSecond operator/(BytesPerSecond bw, Bytes per_event) {
+  return PerSecond(bw.value() / per_event.value());
+}
+/// data rate / event rate = bytes per event.
+constexpr Bytes operator/(BytesPerSecond bw, PerSecond r) {
+  return Bytes(bw.value() / r.value());
+}
+
+/// Wall time of `c` cycles at a `clock_ghz` GHz clock.
+constexpr Seconds AtClock(Cycles c, double clock_ghz) {
+  return Seconds(c.value() / (clock_ghz * 1e9));
+}
+/// Cycle count covering duration `s` at a `clock_ghz` GHz clock.
+constexpr Cycles CyclesAtClock(Seconds s, double clock_ghz) {
+  return Cycles(s.value() * clock_ghz * 1e9);
+}
+
+// ---- Construction and reporting helpers -----------------------------------
+// Typed successors of the original raw-double helpers; every bandwidth or
+// latency constant in the model is built through one of these (or the
+// static factories above), so the unit is always named at the value's
+// definition site.
+
+/// Converts a GiB/s figure (measured-bandwidth convention) to a typed rate.
+constexpr BytesPerSecond GiBPerSecond(double gib) {
+  return BytesPerSecond::GiB(gib);
+}
+
+/// Converts a decimal GB/s figure (electrical link rate) to a typed rate.
+constexpr BytesPerSecond GBPerSecond(double gb) {
+  return BytesPerSecond::GB(gb);
+}
+
+/// Converts a typed rate back to GiB/s for reporting.
+constexpr double ToGiBPerSecond(BytesPerSecond bw) {
+  return bw.gib_per_second();
+}
+/// Raw-double overload for rates that live outside the typed model (e.g.
+/// derived tuple rates).
 constexpr double ToGiBPerSecond(double bytes_per_second) {
   return bytes_per_second / static_cast<double>(kGiB);
 }
 
-/// Converts a nanosecond figure to seconds.
-constexpr double Nanoseconds(double ns) { return ns * kNanosecond; }
+/// Converts a nanosecond figure to a typed duration.
+constexpr Seconds Nanoseconds(double ns) { return Seconds::Nanos(ns); }
+/// Converts a microsecond figure to a typed duration.
+constexpr Seconds Microseconds(double us) { return Seconds::Micros(us); }
 
-/// Converts seconds to nanoseconds for reporting.
-constexpr double ToNanoseconds(double seconds) { return seconds / kNanosecond; }
+/// Converts a typed duration to nanoseconds for reporting.
+constexpr double ToNanoseconds(Seconds s) { return s.nanos(); }
+/// Raw-double overload for durations kept as seconds-valued doubles.
+constexpr double ToNanoseconds(double seconds) { return seconds * 1e9; }
 
 /// Converts a tuple rate to the paper's reporting unit, G Tuples/s.
 constexpr double ToGTuplesPerSecond(double tuples_per_second) {
   return tuples_per_second / 1e9;
+}
+constexpr double ToGTuplesPerSecond(PerSecond rate) {
+  return rate.giga_per_second();
 }
 
 }  // namespace pump

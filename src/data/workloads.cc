@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+// GCC 12 emits a spurious -Wrestrict for short string-literal assignments
+// inlined from libstdc++ (gcc.gnu.org/PR105329); the workload name
+// assignments below trip it under -O2 -Werror.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace pump::data {
 
 WorkloadSpec WorkloadA() {

@@ -27,7 +27,7 @@ QueryStats StatsFromQuery(const Query& query, double scale) {
 Advisor::Advisor(const hw::SystemProfile* profile)
     : profile_(profile), nopa_(profile), transfer_model_(profile) {}
 
-Result<double> Advisor::Predict(
+Result<Seconds> Advisor::Predict(
     const QueryStats& stats, hw::DeviceId device,
     transfer::TransferMethod method, hw::MemoryNodeId data_location,
     std::vector<join::HashTablePlacement>* placements) const {
@@ -36,7 +36,7 @@ Result<double> Advisor::Predict(
   const bool is_gpu = dev.kind == hw::DeviceKind::kGpu;
 
   // Ingest bandwidth for the fact scan.
-  double ingest;
+  BytesPerSecond ingest;
   if (!is_gpu || device == data_location) {
     ingest = sim::MustResolve(topo, device, data_location).seq_bw;
   } else {
@@ -46,18 +46,18 @@ Result<double> Advisor::Predict(
     PUMP_ASSIGN_OR_RETURN(ingest, transfer_model_.IngestBandwidth(
                                       method, device, data_location));
   }
-  const double scan_s =
-      stats.fact_rows * stats.fact_bytes_per_row / ingest;
+  const Seconds scan_s =
+      Bytes(stats.fact_rows * stats.fact_bytes_per_row) / ingest;
 
   // Per-join build and probe, with Fig. 11 placement per table: GPU
   // memory while the tables fit (leaving 1 GiB working space), spilling
   // the largest tables first.
   const std::uint64_t gpu_capacity =
-      is_gpu ? topo.memory(device).capacity_bytes : 0;
+      is_gpu ? topo.memory(device).capacity.u64() : 0;
   std::uint64_t gpu_used = 1ull << 30;  // Reserved working space.
 
-  double build_s = 0.0;
-  double lookups_s = 0.0;
+  Seconds build_s;
+  Seconds lookups_s;
   const double surviving = stats.fact_rows * stats.filter_selectivity;
   for (double dim_rows : stats.dimension_rows) {
     data::WorkloadSpec w;
@@ -89,11 +89,11 @@ Result<double> Advisor::Predict(
         surviving / nopa_.HashTableAccessRate(device, placement, w);
   }
 
-  const double compute_s = stats.fact_rows / dev.tuple_compute_rate;
+  const Seconds compute_s = stats.fact_rows / dev.tuple_compute_rate;
   const double p =
       is_gpu ? sim::kGpuOverlapExponent : sim::kCpuOverlapExponent;
   return build_s + sim::OverlapTime({scan_s, lookups_s, compute_s}, p) +
-         dev.dispatch_latency_s;
+         dev.dispatch_latency;
 }
 
 Result<PlanChoice> Advisor::Recommend(const QueryStats& stats,
@@ -117,7 +117,7 @@ Result<PlanChoice> Advisor::Recommend(const QueryStats& stats,
                         : transfer::TransferMethod::kZeroCopy;
     }
     std::vector<join::HashTablePlacement> placements;
-    Result<double> predicted =
+    Result<Seconds> predicted =
         Predict(stats, device, method, data_location, &placements);
     if (!predicted.ok()) continue;
     if (!have_best || predicted.value() < best.predicted_seconds) {

@@ -38,7 +38,7 @@ struct PlanChoice {
   hw::DeviceId device = hw::kInvalidDevice;
   transfer::TransferMethod method = transfer::TransferMethod::kCoherence;
   std::vector<join::HashTablePlacement> join_placements;
-  double predicted_seconds = 0.0;
+  Seconds predicted_seconds;
   std::string rationale;
 };
 
@@ -58,7 +58,7 @@ class Advisor {
 
   /// Predicts the runtime of `stats` on a specific device/method (used by
   /// Recommend; exposed for tests and what-if exploration).
-  Result<double> Predict(const QueryStats& stats, hw::DeviceId device,
+  Result<Seconds> Predict(const QueryStats& stats, hw::DeviceId device,
                          transfer::TransferMethod method,
                          hw::MemoryNodeId data_location,
                          std::vector<join::HashTablePlacement>* placements =

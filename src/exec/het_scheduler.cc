@@ -1,9 +1,12 @@
 #include "exec/het_scheduler.h"
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <thread>
+
+#include "common/happens_before.h"
 
 namespace pump::exec {
 
@@ -17,6 +20,7 @@ class OrphanQueue {
   void Push(const Morsel& morsel) {
     std::lock_guard<std::mutex> lock(mutex_);
     orphans_.push_back(morsel);
+    hb_pushes_.Bump();
   }
 
   std::optional<Morsel> Pop() {
@@ -24,6 +28,7 @@ class OrphanQueue {
     if (orphans_.empty()) return std::nullopt;
     Morsel morsel = orphans_.back();
     orphans_.pop_back();
+    hb_pops_.Bump();
     return morsel;
   }
 
@@ -32,9 +37,15 @@ class OrphanQueue {
     return orphans_.empty();
   }
 
+  /// Orphaned / adopted batch epochs (debug builds only; 0 in release).
+  std::uint64_t hb_pushes() const { return hb_pushes_.Load(); }
+  std::uint64_t hb_pops() const { return hb_pops_.Load(); }
+
  private:
   mutable std::mutex mutex_;
   std::vector<Morsel> orphans_;
+  hb::EpochCounter hb_pushes_;
+  hb::EpochCounter hb_pops_;
 };
 
 }  // namespace
@@ -80,7 +91,16 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
             // orphan queue stayed empty after that observation.
             const std::size_t others =
                 in_flight.fetch_sub(1, std::memory_order_acq_rel) - 1;
-            if (others == 0 && orphans.Empty()) break;
+            if (others == 0 && orphans.Empty()) {
+              // Happens-before: every orphan Push precedes its worker's
+              // in_flight release, so with no batch in flight and the
+              // queue empty, every orphaned batch has been adopted.
+              PUMP_HB_ASSERT(orphans.hb_pushes() == orphans.hb_pops(),
+                             "worker exiting while an orphaned batch is "
+                             "still unadopted; Push must happen before "
+                             "the dying worker releases in_flight");
+              break;
+            }
             std::this_thread::yield();
             continue;
           }
@@ -90,6 +110,12 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
             // survivors, then stop the whole group. Push before releasing
             // in_flight so waiting workers re-observe the queue.
             failed[g].store(true, std::memory_order_release);
+            // Happens-before: this worker's claim still holds its
+            // in_flight slot; orphaning after the release would let every
+            // peer exit and strand the batch.
+            PUMP_HB_ASSERT(in_flight.load(std::memory_order_acquire) >= 1,
+                           "dying worker orphaned its batch after "
+                           "releasing its in-flight slot");
             orphans.Push(*batch);
             in_flight.fetch_sub(1, std::memory_order_acq_rel);
             break;
@@ -108,6 +134,22 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
     }
   }
   for (std::thread& thread : threads) thread.join();
+
+  // Exactly-once ledger (debug builds): every batch claimed from the
+  // dispatcher or adopted from the orphan queue was either processed or
+  // re-orphaned, so processed = claims + adoptions - orphanings.
+  PUMP_HB_ASSERT(orphans.hb_pops() <= orphans.hb_pushes(),
+                 "more orphan batches adopted than were ever orphaned");
+#if PUMP_HB_ASSERTIONS
+  std::uint64_t processed_batches = 0;
+  for (const auto& count : dispatches) processed_batches += count.load();
+  PUMP_HB_ASSERT(processed_batches ==
+                     dispatcher.hb_claims() + orphans.hb_pops() -
+                         orphans.hb_pushes(),
+                 "processed batch count does not balance the "
+                 "claim/orphan/adopt ledger; a batch was lost or "
+                 "double-processed across the failover path");
+#endif
 
   for (std::size_t g = 0; g < groups.size(); ++g) {
     stats[g].tuples = tuples[g].load();

@@ -1,9 +1,13 @@
 #ifndef PUMP_EXEC_MORSEL_H_
 #define PUMP_EXEC_MORSEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+
+#include "common/happens_before.h"
 
 namespace pump::exec {
 
@@ -54,17 +58,35 @@ class MorselDispatcher {
   /// Total input size.
   std::size_t total() const { return total_; }
 
+  /// Successful claims so far (debug builds only; 0 in release). Used by
+  /// the scheduler's exactly-once ledger assertion.
+  std::uint64_t hb_claims() const { return hb_claims_.Load(); }
+
  private:
   std::optional<Morsel> Claim(std::size_t tuples) {
+    // Happens-before probe: if any thread observed the dispatcher dry
+    // before our fetch_add, its cursor increment preceded ours, so ours
+    // must also land past `total_` — a successful claim after a drain
+    // observation means the cursor was rewound or replaced.
+    [[maybe_unused]] const std::uint64_t drains_before = hb_drains_.Load();
     const std::size_t begin =
         cursor_.fetch_add(tuples, std::memory_order_relaxed);
-    if (begin >= total_) return std::nullopt;
+    if (begin >= total_) {
+      hb_drains_.Bump();
+      return std::nullopt;
+    }
+    PUMP_HB_ASSERT(drains_before == 0,
+                   "morsel claim succeeded after another worker observed "
+                   "the dispatcher dry; the claim cursor must be monotone");
+    hb_claims_.Bump();
     return Morsel{begin, std::min(begin + tuples, total_)};
   }
 
   std::size_t total_;
   std::size_t morsel_tuples_;
   std::atomic<std::size_t> cursor_{0};
+  hb::EpochCounter hb_claims_;
+  hb::EpochCounter hb_drains_;
 };
 
 }  // namespace pump::exec

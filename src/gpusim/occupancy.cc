@@ -46,35 +46,35 @@ double OccupancyModel::OutstandingRequests(const KernelConfig& kernel) const {
          transactions_per_load / 2.0;
 }
 
-double OccupancyModel::OutstandingBytes(const KernelConfig& kernel) const {
-  return OutstandingRequests(kernel) * arch_.bytes_per_load;
+Bytes OccupancyModel::OutstandingBytes(const KernelConfig& kernel) const {
+  return Bytes(OutstandingRequests(kernel) * arch_.bytes_per_load);
 }
 
-double OccupancyModel::AchievableBandwidth(const KernelConfig& kernel,
-                                           double latency_s) const {
-  if (latency_s <= 0.0) return 0.0;
-  return OutstandingBytes(kernel) / latency_s;
+BytesPerSecond OccupancyModel::AchievableBandwidth(const KernelConfig& kernel,
+                                                   Seconds latency) const {
+  if (latency <= Seconds(0.0)) return BytesPerSecond(0.0);
+  return OutstandingBytes(kernel) / latency;
 }
 
-double OccupancyModel::AchievableAccessRate(const KernelConfig& kernel,
-                                            double latency_s) const {
-  if (latency_s <= 0.0) return 0.0;
-  return OutstandingRequests(kernel) / latency_s;
+PerSecond OccupancyModel::AchievableAccessRate(const KernelConfig& kernel,
+                                               Seconds latency) const {
+  if (latency <= Seconds(0.0)) return PerSecond(0.0);
+  return OutstandingRequests(kernel) / latency;
 }
 
-double OccupancyModel::WarpsNeededFor(double bandwidth,
-                                      double latency_s) const {
-  const double bytes_needed = bandwidth * latency_s;
+double OccupancyModel::WarpsNeededFor(BytesPerSecond bandwidth,
+                                      Seconds latency) const {
+  const Bytes bytes_needed = bandwidth * latency;
   const double transactions_per_load = arch_.warp_size / 4.0;
-  const double bytes_per_warp = arch_.inflight_loads_per_warp *
-                                transactions_per_load / 2.0 *
-                                arch_.bytes_per_load * arch_.sm_count;
-  if (bytes_per_warp <= 0.0) return 0.0;
+  const Bytes bytes_per_warp = Bytes(arch_.inflight_loads_per_warp *
+                                     transactions_per_load / 2.0 *
+                                     arch_.bytes_per_load * arch_.sm_count);
+  if (bytes_per_warp <= Bytes(0.0)) return 0.0;
   return bytes_needed / bytes_per_warp;
 }
 
-double LaunchOverhead(const GpuArch& arch, std::uint64_t launches) {
-  return arch.launch_latency_s * static_cast<double>(launches);
+Seconds LaunchOverhead(const GpuArch& arch, std::uint64_t launches) {
+  return arch.launch_latency * static_cast<double>(launches);
 }
 
 }  // namespace pump::gpusim

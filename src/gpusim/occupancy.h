@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/units.h"
+
 namespace pump::gpusim {
 
 /// Microarchitectural parameters of a GPU for the latency-hiding model.
@@ -19,8 +21,8 @@ struct GpuArch {
   double inflight_loads_per_warp = 2.0;
   /// Bytes fetched per global load transaction (one 32 B sector).
   double bytes_per_load = 32.0;
-  /// Base kernel-launch latency in seconds.
-  double launch_latency_s = 10e-6;
+  /// Base kernel-launch latency.
+  Seconds launch_latency = Seconds::Micros(10);
   /// SM clock in GHz.
   double clock_ghz = 1.53;
 };
@@ -58,21 +60,21 @@ class OccupancyModel {
   double OutstandingRequests(const KernelConfig& kernel) const;
 
   /// Aggregate outstanding bytes (requests x bytes per load).
-  double OutstandingBytes(const KernelConfig& kernel) const;
+  Bytes OutstandingBytes(const KernelConfig& kernel) const;
 
-  /// Little's law: the bandwidth (bytes/s) the device can sustain against
-  /// a memory path with the given latency, at the given occupancy.
-  double AchievableBandwidth(const KernelConfig& kernel,
-                             double latency_s) const;
+  /// Little's law: the bandwidth the device can sustain against a memory
+  /// path with the given latency, at the given occupancy.
+  BytesPerSecond AchievableBandwidth(const KernelConfig& kernel,
+                                     Seconds latency) const;
 
   /// Little's law for line-granular random accesses: achievable access
-  /// rate (accesses/s) against a path with the given latency.
-  double AchievableAccessRate(const KernelConfig& kernel,
-                              double latency_s) const;
+  /// rate against a path with the given latency.
+  PerSecond AchievableAccessRate(const KernelConfig& kernel,
+                                 Seconds latency) const;
 
-  /// Minimum occupancy (warps/SM) needed to saturate `bandwidth` bytes/s
-  /// at `latency_s` — the "how many warps does NVLink need" question.
-  double WarpsNeededFor(double bandwidth, double latency_s) const;
+  /// Minimum occupancy (warps/SM) needed to saturate `bandwidth` at
+  /// `latency` — the "how many warps does NVLink need" question.
+  double WarpsNeededFor(BytesPerSecond bandwidth, Seconds latency) const;
 
   const GpuArch& arch() const { return arch_; }
 
@@ -83,7 +85,7 @@ class OccupancyModel {
 
 /// Launch-overhead model: time to dispatch `batches` kernel launches of
 /// work, amortized the way morsel batching does (Sec. 6.1).
-double LaunchOverhead(const GpuArch& arch, std::uint64_t launches);
+Seconds LaunchOverhead(const GpuArch& arch, std::uint64_t launches);
 
 }  // namespace pump::gpusim
 

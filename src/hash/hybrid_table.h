@@ -12,6 +12,15 @@
 
 namespace pump::hash {
 
+// GCC 12 reports a spurious -Wmaybe-uninitialized for the std::optional
+// payload when -fsanitize=undefined changes the inlining of emplace()
+// (gcc.gnu.org/PR105562); it fires on the Create -> constructor chain
+// below under PUMP_SANITIZE=address.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 /// The paper's hybrid hash table (Sec. 5.3): one virtually contiguous
 /// perfect-hash table whose pages live partly in GPU memory and partly in
 /// CPU memory, allocated greedily GPU-first with NUMA-ordered spill
@@ -106,6 +115,10 @@ class HybridHashTable {
   memory::MemoryManager* manager_ = nullptr;
   std::optional<PerfectHashTable<K, V>> table_;
 };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace pump::hash
 

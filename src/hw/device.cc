@@ -22,27 +22,27 @@ DeviceSpec TeslaV100() {
   spec.clock_ghz = 1.53;
   // Large enough never to bind on local HBM2 (729 GiB/s * 282 ns ~ 220 KB
   // outstanding) nor on NVLink (63 GiB/s * 434 ns ~ 29 KB).
-  spec.max_outstanding_bytes = 384.0 * kKiB;
+  spec.max_outstanding = Bytes::KiB(384);
   // Warp oversubscription keeps thousands of requests in flight; link-side
   // limits (NPU, PCI-e protocol) bind first on remote paths.
   spec.max_outstanding_requests = 4096.0;
   // Aggregate hash-join tuple rate when compute-bound (hash + compare);
   // calibrated so the in-cache workload B reaches ~19 G Tuples/s (Fig. 13).
-  spec.tuple_compute_rate = 40e9;
+  spec.tuple_compute_rate = PerSecond::Giga(40);
   spec.random_dependency_factor = 1.0;
   // Kernel launch latency; amortized via morsel batching (Sec. 6.1).
-  spec.dispatch_latency_s = 10e-6;
+  spec.dispatch_latency = Seconds::Micros(10);
   // Calibrated against Fig. 13/17: random lookups into multi-GiB GPU-memory
   // hash tables run well below the 1-GiB microbenchmark rate because the
   // GPU MMU's reach is exceeded (cf. [49]).
-  spec.tlb_reach_bytes = 2.0 * kGiB;
+  spec.tlb_reach = Bytes::GiB(2);
   spec.tlb_miss_penalty = 2.0;
   // Remote (CPU-memory) lines are cached in the per-SM L1 (Sec. 2.2.2).
   // A random probe can only hit its own SM's 128 KiB L1, so the effective
   // capacity is one SM's L1, not the aggregate; hot entries under skew fit
   // (Fig. 19) while uniformly accessed tables do not (Fig. 21, Het-B).
-  spec.remote_cache_bytes = 128.0 * kKiB;
-  spec.remote_cache_rate = 30e9;
+  spec.remote_cache = Bytes::KiB(128);
+  spec.remote_cache_rate = PerSecond::Giga(30);
   return spec;
 }
 
@@ -53,18 +53,18 @@ DeviceSpec Power9() {
   spec.cores = 16;
   spec.clock_ghz = 3.3;
   // 117 GiB/s at 68 ns local latency (Fig. 3b) requires ~8.5 KB in flight.
-  spec.max_outstanding_bytes = 9.0 * kKiB;
+  spec.max_outstanding = Bytes::KiB(9);
   // 3.6 GiB/s of 4-byte random reads = 0.97 G requests/s at 68 ns, and
   // the X-Bus measurement (1.1 GiB/s at 211 ns) needs ~62 in flight =>
   // ~68 outstanding line requests across the socket.
   spec.max_outstanding_requests = 68.0;
   // Aggregate hash+compare rate of the socket when memory is not the
   // bottleneck; calibrated against the CPU NOPA numbers in Figs. 19/21.
-  spec.tuple_compute_rate = 2.2e9;
+  spec.tuple_compute_rate = PerSecond::Giga(2.2);
   // Dependent loads (hash probe chains) stall CPU cores; calibrated against
   // the CPU NOPA numbers in Fig. 21.
   spec.random_dependency_factor = 0.45;
-  spec.dispatch_latency_s = 0.5e-6;
+  spec.dispatch_latency = Seconds::Micros(0.5);
   // Calibrated from Fig. 12: Pageable Copy over NVLink ingests ~10 GiB/s,
   // the rate of one POWER9 thread staging chunks via MMIO.
   spec.single_thread_copy_bw = GiBPerSecond(10.0);
@@ -78,13 +78,13 @@ DeviceSpec XeonGold6126() {
   spec.cores = 12;
   spec.clock_ghz = 2.6;
   // 81 GiB/s at 70 ns (Fig. 3b) => ~6.1 KB outstanding.
-  spec.max_outstanding_bytes = 6.5 * kKiB;
+  spec.max_outstanding = Bytes::KiB(6.5);
   // 2.7 GiB/s of 4-byte random reads = 0.72 G requests/s at 70 ns, and
   // the UPI measurement (2 GiB/s at 121 ns) needs ~65 in flight => ~68.
   spec.max_outstanding_requests = 68.0;
-  spec.tuple_compute_rate = 1.8e9;
+  spec.tuple_compute_rate = PerSecond::Giga(1.8);
   spec.random_dependency_factor = 0.45;
-  spec.dispatch_latency_s = 0.5e-6;
+  spec.dispatch_latency = Seconds::Micros(0.5);
   // Calibrated from Fig. 12: Pageable Copy over PCI-e ingests ~3.7 GiB/s.
   spec.single_thread_copy_bw = GiBPerSecond(3.7);
   return spec;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
+
 namespace pump::hw {
 
 /// Identifies a processor (CPU socket or GPU) within a Topology. Device ids
@@ -35,41 +37,41 @@ struct DeviceSpec {
   /// Maximum bytes of outstanding memory traffic the device can keep in
   /// flight (aggregate over cores/warps). Bounds achievable sequential
   /// bandwidth over high-latency paths via Little's law:
-  ///   bw <= max_outstanding_bytes / path_latency.
+  ///   bw <= max_outstanding / path_latency.
   /// CPUs are latency-sensitive (few line-fill buffers per core); GPUs hide
   /// latency with thousands of threads (Sec. 3, "GPUs are designed to handle
   /// such high-latency memory accesses").
-  double max_outstanding_bytes = 0.0;
+  Bytes max_outstanding;
 
   /// Maximum number of outstanding cache-line-granularity random requests.
   /// Bounds achievable random-access rates via Little's law.
   double max_outstanding_requests = 0.0;
 
-  /// Aggregate tuple-processing rate (tuples/s) for hash-join style work
-  /// when memory is not the bottleneck: hashing, comparison, aggregation.
-  double tuple_compute_rate = 0.0;
+  /// Aggregate tuple-processing rate for hash-join style work when memory
+  /// is not the bottleneck: hashing, comparison, aggregation.
+  PerSecond tuple_compute_rate;
 
   /// Dependency derating applied to random-access rates for pointer-chasing
   /// style access (hash probes). GPUs hide the dependency with warp
   /// oversubscription (factor ~1); CPUs stall (factor < 1).
   double random_dependency_factor = 1.0;
 
-  /// Kernel-launch / task-dispatch latency in seconds. Amortized by morsel
-  /// batching on GPUs (Sec. 6.1).
-  double dispatch_latency_s = 0.0;
+  /// Kernel-launch / task-dispatch latency. Amortized by morsel batching on
+  /// GPUs (Sec. 6.1).
+  Seconds dispatch_latency;
 
-  /// Copy bandwidth of a single CPU thread (bytes/s) for memcpy-style
-  /// staging work; bounds the MMIO path of Pageable Copy and, times the
-  /// staging thread count, the Staged Copy method (Sec. 4.1). Zero for GPUs.
-  double single_thread_copy_bw = 0.0;
+  /// Copy bandwidth of a single CPU thread for memcpy-style staging work;
+  /// bounds the MMIO path of Pageable Copy and, times the staging thread
+  /// count, the Staged Copy method (Sec. 4.1). Zero for GPUs.
+  BytesPerSecond single_thread_copy_bw;
 
-  /// Address-translation reach in bytes. Random accesses into working sets
-  /// beyond this size incur page-walk stalls ("Big data causing big (TLB)
+  /// Address-translation reach. Random accesses into working sets beyond
+  /// this size incur page-walk stalls ("Big data causing big (TLB)
   /// problems" [49]); the slowdown is modelled as
   ///   rate / (1 + tlb_miss_penalty * miss_fraction).
   /// CPUs use huge pages in the paper's tuned baselines, so their reach is
   /// effectively unbounded.
-  double tlb_reach_bytes = 0.0;
+  Bytes tlb_reach;
   /// Relative penalty of a fully TLB-missing access stream (see above).
   double tlb_miss_penalty = 0.0;
 
@@ -77,9 +79,9 @@ struct DeviceSpec {
   /// (interconnect) data. On Volta the L2 is memory-side and cannot cache
   /// CPU memory, but the per-SM L1s can (Sec. 2.2.2); this is what makes
   /// skewed probes of a CPU-resident hash table fast (Fig. 19).
-  double remote_cache_bytes = 0.0;
-  /// Aggregate random access rate into that cache, accesses/s.
-  double remote_cache_rate = 0.0;
+  Bytes remote_cache;
+  /// Aggregate random access rate into that cache.
+  PerSecond remote_cache_rate;
 };
 
 /// V100-class GPU (Volta, 80 SMs, 16 GiB HBM2). Matches the V100-SXM2 and

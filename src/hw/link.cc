@@ -27,12 +27,12 @@ LinkSpec Pcie3x16() {
   link.electrical_bw = GBPerSecond(16.0);      // Fig. 2.
   link.seq_bw = GiBPerSecond(12.0);            // Fig. 3a, sequential.
   link.duplex_bw = GiBPerSecond(20.5);         // Fig. 1, measured.
-  link.random_access_rate = 0.2 * kGiB / 4.0;  // Fig. 3a, random / 4 B.
-  link.hop_latency_s = Nanoseconds(720.0);     // 790 ns - 70 ns Xeon memory.
-  link.header_bytes = 24.0;                    // Sec. 2.2.1: 20-26 B header.
-  link.max_payload_bytes = 512.0;
+  link.random_access_rate = PerSecond(0.2 * kGiB / 4.0);  // Fig. 3a, random / 4 B.
+  link.hop_latency = Nanoseconds(720.0);     // 790 ns - 70 ns Xeon memory.
+  link.header_bytes = Bytes(24.0);                    // Sec. 2.2.1: 20-26 B header.
+  link.max_payload_bytes = Bytes(512.0);
   link.cache_coherent = false;
-  link.access_granularity_bytes = 128.0;
+  link.access_granularity = Bytes(128.0);
   return link;
 }
 
@@ -43,15 +43,15 @@ LinkSpec Nvlink2x3() {
   link.electrical_bw = GBPerSecond(75.0);      // Fig. 2: 3 x 25 GB/s.
   link.seq_bw = GiBPerSecond(63.0);            // Fig. 3a.
   link.duplex_bw = GiBPerSecond(120.7);        // Fig. 1, measured.
-  link.random_access_rate = 2.8 * kGiB / 4.0;  // Fig. 3a.
-  link.hop_latency_s = Nanoseconds(366.0);     // 434 ns - 68 ns POWER9 mem.
-  link.header_bytes = 16.0;                    // Sec. 2.2.2.
-  link.max_payload_bytes = 256.0;
+  link.random_access_rate = PerSecond(2.8 * kGiB / 4.0);  // Fig. 3a.
+  link.hop_latency = Nanoseconds(366.0);     // 434 ns - 68 ns POWER9 mem.
+  link.header_bytes = Bytes(16.0);                    // Sec. 2.2.2.
+  link.max_payload_bytes = Bytes(256.0);
   link.cache_coherent = true;
   // Random reads move 32 B sectors over the link (coherence is maintained
   // at 128 B granularity, but Volta fetches 32 B sectors); this keeps the
   // measured 0.75 G accesses/s within the link's bandwidth.
-  link.access_granularity_bytes = 32.0;
+  link.access_granularity = Bytes(32.0);
   return link;
 }
 
@@ -67,7 +67,7 @@ LinkSpec Nvlink2Bundle(int links) {
   // translates accesses into *CPU* memory, Sec. 2.2.2), so peer random
   // reads are sector-bandwidth-bound rather than NPU-bound: one 32 B
   // sector per access at the bundle's sequential rate.
-  link.random_access_rate = link.seq_bw / link.access_granularity_bytes;
+  link.random_access_rate = link.seq_bw / link.access_granularity;
   return link;
 }
 
@@ -78,12 +78,12 @@ LinkSpec Upi() {
   link.electrical_bw = GBPerSecond(41.6);
   link.seq_bw = GiBPerSecond(31.0);            // Fig. 3a.
   link.duplex_bw = GiBPerSecond(52.0);
-  link.random_access_rate = 2.0 * kGiB / 4.0;  // Fig. 3a.
-  link.hop_latency_s = Nanoseconds(51.0);      // 121 ns - 70 ns local.
-  link.header_bytes = 8.0;
-  link.max_payload_bytes = 64.0;
+  link.random_access_rate = PerSecond(2.0 * kGiB / 4.0);  // Fig. 3a.
+  link.hop_latency = Nanoseconds(51.0);      // 121 ns - 70 ns local.
+  link.header_bytes = Bytes(8.0);
+  link.max_payload_bytes = Bytes(64.0);
   link.cache_coherent = true;
-  link.access_granularity_bytes = 64.0;
+  link.access_granularity = Bytes(64.0);
   return link;
 }
 
@@ -94,12 +94,12 @@ LinkSpec Xbus() {
   link.electrical_bw = GBPerSecond(64.0);      // Fig. 2.
   link.seq_bw = GiBPerSecond(32.0);            // Fig. 3a.
   link.duplex_bw = GiBPerSecond(56.0);
-  link.random_access_rate = 1.1 * kGiB / 4.0;  // Fig. 3a.
-  link.hop_latency_s = Nanoseconds(143.0);     // 211 ns - 68 ns local.
-  link.header_bytes = 16.0;
-  link.max_payload_bytes = 128.0;
+  link.random_access_rate = PerSecond(1.1 * kGiB / 4.0);  // Fig. 3a.
+  link.hop_latency = Nanoseconds(143.0);     // 211 ns - 68 ns local.
+  link.header_bytes = Bytes(16.0);
+  link.max_payload_bytes = Bytes(128.0);
   link.cache_coherent = true;
-  link.access_granularity_bytes = 128.0;
+  link.access_granularity = Bytes(128.0);
   return link;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
+
 namespace pump::hw {
 
 /// Interconnect families modeled after the paper (Sec. 2.2 and Fig. 2).
@@ -24,37 +26,37 @@ struct LinkSpec {
   std::string name;
   LinkFamily family = LinkFamily::kPcie3;
 
-  /// Electrical per-direction bandwidth in bytes/s (Fig. 2 annotations).
-  double electrical_bw = 0.0;
+  /// Electrical per-direction bandwidth (Fig. 2 annotations).
+  BytesPerSecond electrical_bw;
 
-  /// Achievable sequential-read bandwidth in bytes/s, as measured by the
-  /// paper with 4-byte reads over 1 GiB (Fig. 3a).
-  double seq_bw = 0.0;
+  /// Achievable sequential-read bandwidth, as measured by the paper with
+  /// 4-byte reads over 1 GiB (Fig. 3a).
+  BytesPerSecond seq_bw;
 
-  /// Achievable bidirectional (read+write concurrently) bandwidth in
-  /// bytes/s, exercising both duplex directions (Fig. 1 "Measured").
-  double duplex_bw = 0.0;
+  /// Achievable bidirectional (read+write concurrently) bandwidth,
+  /// exercising both duplex directions (Fig. 1 "Measured").
+  BytesPerSecond duplex_bw;
 
-  /// Achievable random 4-byte access rate in accesses/s (derived from the
-  /// paper's random-access bandwidth in Fig. 3a: bytes/s divided by 4).
-  double random_access_rate = 0.0;
+  /// Achievable random 4-byte access rate (derived from the paper's
+  /// random-access bandwidth in Fig. 3a: bytes/s divided by 4).
+  PerSecond random_access_rate;
 
-  /// Latency this hop adds on top of the destination memory's latency, in
-  /// seconds. Calibrated so end-to-end path latency matches Fig. 3.
-  double hop_latency_s = 0.0;
+  /// Latency this hop adds on top of the destination memory's latency.
+  /// Calibrated so end-to-end path latency matches Fig. 3.
+  Seconds hop_latency;
 
   /// Protocol packet header bytes (PCI-e: 20-26 B; NVLink: 16 B, Sec. 2.2).
-  double header_bytes = 0.0;
+  Bytes header_bytes;
   /// Maximum packet payload bytes (PCI-e: 512; NVLink: 256).
-  double max_payload_bytes = 0.0;
+  Bytes max_payload_bytes;
 
   /// Whether the link provides system-wide cache-coherence and pageable
   /// memory access (NVLink 2.0, X-Bus: yes; PCI-e 3.0: no).
   bool cache_coherent = false;
 
-  /// Granularity of a remote random access in bytes (coherence traffic moves
-  /// whole cache lines; 128 B on the NVLink/POWER9 system, Sec. 2.2.2).
-  double access_granularity_bytes = 128.0;
+  /// Granularity of a remote random access (coherence traffic moves whole
+  /// cache lines; 128 B on the NVLink/POWER9 system, Sec. 2.2.2).
+  Bytes access_granularity = Bytes(128.0);
 
   /// Fraction of the electrical bandwidth usable for payload in a bulk
   /// transfer, given the header overhead: payload / (payload + header).

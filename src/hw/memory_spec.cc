@@ -7,51 +7,51 @@ namespace pump::hw {
 MemorySpec Power9Memory() {
   MemorySpec mem;
   mem.name = "POWER9 DDR4-2666 (8ch)";
-  mem.capacity_bytes = 128 * kGiB;
+  mem.capacity = Bytes::GiB(128);
   mem.electrical_bw = GBPerSecond(8 * 21.33);  // Fig. 1: 158.9 GiB/s.
   mem.seq_bw = GiBPerSecond(117.0);           // Fig. 3b.
   mem.duplex_bw = GiBPerSecond(102.6);        // Fig. 1, measured.
-  mem.random_access_rate = 3.6 * kGiB / 4.0;  // Fig. 3b.
-  mem.latency_s = Nanoseconds(68.0);          // Fig. 3b.
-  mem.line_bytes = 128.0;                     // POWER9 cache line.
+  mem.random_access_rate = PerSecond(3.6 * kGiB / 4.0);  // Fig. 3b.
+  mem.latency = Nanoseconds(68.0);          // Fig. 3b.
+  mem.line_bytes = Bytes(128.0);                     // POWER9 cache line.
   return mem;
 }
 
 MemorySpec XeonMemory() {
   MemorySpec mem;
   mem.name = "Xeon DDR4-2666 (6ch)";
-  mem.capacity_bytes = 768 * kGiB;
+  mem.capacity = Bytes::GiB(768);
   mem.electrical_bw = GBPerSecond(6 * 21.33);
   mem.seq_bw = GiBPerSecond(81.0);            // Fig. 3b.
   mem.duplex_bw = GiBPerSecond(72.0);
-  mem.random_access_rate = 2.7 * kGiB / 4.0;  // Fig. 3b.
-  mem.latency_s = Nanoseconds(70.0);          // Fig. 3b.
-  mem.line_bytes = 64.0;
+  mem.random_access_rate = PerSecond(2.7 * kGiB / 4.0);  // Fig. 3b.
+  mem.latency = Nanoseconds(70.0);          // Fig. 3b.
+  mem.line_bytes = Bytes(64.0);
   return mem;
 }
 
 MemorySpec V100Hbm2() {
   MemorySpec mem;
   mem.name = "V100 HBM2";
-  mem.capacity_bytes = 16 * kGiB;
+  mem.capacity = Bytes::GiB(16);
   mem.electrical_bw = GBPerSecond(900.0);      // HBM2 vendor figure.
   mem.seq_bw = GiBPerSecond(729.0);            // Fig. 3c.
   mem.duplex_bw = GiBPerSecond(790.0);
-  mem.random_access_rate = 22.3 * kGiB / 4.0;  // Fig. 3c.
-  mem.latency_s = Nanoseconds(282.0);          // Fig. 3c.
-  mem.line_bytes = 128.0;
+  mem.random_access_rate = PerSecond(22.3 * kGiB / 4.0);  // Fig. 3c.
+  mem.latency = Nanoseconds(282.0);          // Fig. 3c.
+  mem.line_bytes = Bytes(128.0);
   return mem;
 }
 
 CacheSpec V100L2() {
   CacheSpec cache;
   cache.name = "V100 L2";
-  cache.capacity_bytes = 6 * kMiB;
-  cache.line_bytes = 128.0;
+  cache.capacity = Bytes::MiB(6);
+  cache.line_bytes = Bytes(128.0);
   // Calibrated: workload B probes hit L2 at ~20 G accesses/s so that the
   // measured 19.08 G Tuples/s of Fig. 13 is reproduced.
-  cache.random_access_rate = 40e9;
-  cache.latency_s = Nanoseconds(193.0);  // Volta L2 hit latency [45].
+  cache.random_access_rate = PerSecond::Giga(40);
+  cache.latency = Nanoseconds(193.0);  // Volta L2 hit latency [45].
   cache.memory_side = true;
   return cache;
 }
@@ -59,11 +59,11 @@ CacheSpec V100L2() {
 CacheSpec Power9L3() {
   CacheSpec cache;
   cache.name = "POWER9 L3";
-  cache.capacity_bytes = 120 * kMiB;
-  cache.line_bytes = 128.0;
+  cache.capacity = Bytes::MiB(120);
+  cache.line_bytes = Bytes(128.0);
   // High enough that the CPU compute term binds for in-cache hash tables.
-  cache.random_access_rate = 6e9;
-  cache.latency_s = Nanoseconds(25.0);
+  cache.random_access_rate = PerSecond::Giga(6);
+  cache.latency = Nanoseconds(25.0);
   cache.memory_side = false;
   return cache;
 }
@@ -71,10 +71,10 @@ CacheSpec Power9L3() {
 CacheSpec XeonL3() {
   CacheSpec cache;
   cache.name = "Xeon L3";
-  cache.capacity_bytes = static_cast<std::uint64_t>(19.25 * kMiB);
-  cache.line_bytes = 64.0;
-  cache.random_access_rate = 5e9;
-  cache.latency_s = Nanoseconds(18.0);
+  cache.capacity = Bytes::MiB(19.25);
+  cache.line_bytes = Bytes(64.0);
+  cache.random_access_rate = PerSecond::Giga(5);
+  cache.latency = Nanoseconds(18.0);
   cache.memory_side = false;
   return cache;
 }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
+
 namespace pump::hw {
 
 /// Identifies a memory node. Every device owns exactly one local memory
@@ -18,33 +20,33 @@ inline constexpr MemoryNodeId kInvalidMemoryNode = -1;
 /// microbenchmarks (Fig. 3).
 struct MemorySpec {
   std::string name;
-  /// Capacity in bytes.
-  std::uint64_t capacity_bytes = 0;
-  /// Electrical (theoretical) bandwidth in bytes/s: channels x channel
-  /// rate for DRAM, vendor figure for HBM2 (Fig. 1 "Theoretical").
-  double electrical_bw = 0.0;
-  /// Sequential read bandwidth in bytes/s (Fig. 3b/3c).
-  double seq_bw = 0.0;
-  /// Concurrent read+write bandwidth in bytes/s (Fig. 1 "Measured").
-  double duplex_bw = 0.0;
-  /// Random 4-byte access rate in accesses/s (random bandwidth / 4 B).
-  double random_access_rate = 0.0;
-  /// Access latency in seconds (Fig. 3b/3c).
-  double latency_s = 0.0;
-  /// Cache line / transaction granularity in bytes.
-  double line_bytes = 128.0;
+  /// Capacity.
+  Bytes capacity;
+  /// Electrical (theoretical) bandwidth: channels x channel rate for DRAM,
+  /// vendor figure for HBM2 (Fig. 1 "Theoretical").
+  BytesPerSecond electrical_bw;
+  /// Sequential read bandwidth (Fig. 3b/3c).
+  BytesPerSecond seq_bw;
+  /// Concurrent read+write bandwidth (Fig. 1 "Measured").
+  BytesPerSecond duplex_bw;
+  /// Random 4-byte access rate (random bandwidth / 4 B).
+  PerSecond random_access_rate;
+  /// Access latency (Fig. 3b/3c).
+  Seconds latency;
+  /// Cache line / transaction granularity.
+  Bytes line_bytes = Bytes(128.0);
 };
 
 /// Last-level cache properties. The GPU L2 is memory-side: it caches only
 /// local GPU memory and cannot cache remote data (Sec. 7.2.3, [101]).
 struct CacheSpec {
   std::string name;
-  std::uint64_t capacity_bytes = 0;
-  double line_bytes = 128.0;
-  /// Random access rate into the cache on a hit, accesses/s.
-  double random_access_rate = 0.0;
-  /// Hit latency in seconds.
-  double latency_s = 0.0;
+  Bytes capacity;
+  Bytes line_bytes = Bytes(128.0);
+  /// Random access rate into the cache on a hit.
+  PerSecond random_access_rate;
+  /// Hit latency.
+  Seconds latency;
   /// True if the cache sits on the memory side (GPU L2) and therefore only
   /// caches the local memory node; false for CPU L3, which caches any
   /// coherent address.

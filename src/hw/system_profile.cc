@@ -8,15 +8,15 @@ SystemProfile Ac922Profile() {
   SystemProfile profile;
   profile.name = "IBM AC922 (POWER9 + V100-SXM2, NVLink 2.0)";
   profile.topology = IbmAc922();
-  profile.os_page_bytes = 64 * kKiB;
-  profile.pin_page_latency_s = 1.7e-6;
+  profile.os_page = Bytes::KiB(64);
+  profile.pin_page_latency = Seconds::Micros(1.7);
   // Fig. 12 NVLink column: UM Prefetch 0.17 G Tuples/s on workload A
   // implies ~2.4 GiB/s of prefetch bandwidth (footnote 1: POWER9 driver
   // path is less optimized than on x86-64).
   profile.um_prefetch_bw = GiBPerSecond(2.4);
   // Fig. 12 NVLink column: UM Migration 0.16 G Tuples/s implies ~2.3 GiB/s
   // with 64 KiB pages => ~27 us per fault.
-  profile.um_page_fault_s = 27e-6;
+  profile.um_page_fault = Seconds::Micros(27);
   profile.staging_threads = 4;
   return profile;
 }
@@ -25,15 +25,15 @@ SystemProfile XeonProfile() {
   SystemProfile profile;
   profile.name = "Intel Xeon Gold 6126 + V100-PCIE (PCI-e 3.0)";
   profile.topology = IntelXeonV100();
-  profile.os_page_bytes = 4 * kKiB;
-  profile.pin_page_latency_s = 1.0e-6;
+  profile.os_page = Bytes::KiB(4);
+  profile.pin_page_latency = Seconds::Micros(1.0);
   // Fig. 12 PCI-e column: UM Prefetch is 30% slower than Zero Copy
   // (0.54 vs 0.77), i.e. ~8.4 GiB/s.
   profile.um_prefetch_bw = GiBPerSecond(8.4);
   // Fig. 12 PCI-e column: UM Migration is 68% slower than Zero Copy
   // (0.25 G Tuples/s) => ~3.7 GiB/s with 4 KiB pages => ~0.75 us per
   // fault (the driver batches faults and prefetches page groups [102]).
-  profile.um_page_fault_s = 0.75e-6;
+  profile.um_page_fault = Seconds::Micros(0.75);
   profile.staging_threads = 4;
   return profile;
 }

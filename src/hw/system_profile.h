@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
 #include "hw/topology.h"
 
 namespace pump::hw {
@@ -17,21 +18,21 @@ struct SystemProfile {
   /// OS page size: 4 KiB on the Intel system, 64 KiB on the IBM system
   /// (Sec. 4.2, [69]). Governs Unified Memory migration granularity and
   /// Dynamic Pinning throughput.
-  std::uint64_t os_page_bytes = 4096;
+  Bytes os_page = Bytes::KiB(4);
 
-  /// Time to page-lock (pin) one OS page ad hoc, seconds. Roughly constant
-  /// per page across systems, so the 16x larger POWER9 pages make Dynamic
-  /// Pinning far faster there (Fig. 12: 2.36 vs 0.26 G Tuples/s).
-  double pin_page_latency_s = 1.0e-6;
+  /// Time to page-lock (pin) one OS page ad hoc. Roughly constant per page
+  /// across systems, so the 16x larger POWER9 pages make Dynamic Pinning
+  /// far faster there (Fig. 12: 2.36 vs 0.26 G Tuples/s).
+  Seconds pin_page_latency = Seconds::Micros(1.0);
 
-  /// Achievable Unified Memory prefetch bandwidth (bytes/s). Calibrated
-  /// from Fig. 12; the POWER9 driver path is noted by the paper as less
-  /// optimized than x86-64 (Sec. 7.2.1, footnote 1).
-  double um_prefetch_bw = 0.0;
+  /// Achievable Unified Memory prefetch bandwidth. Calibrated from Fig. 12;
+  /// the POWER9 driver path is noted by the paper as less optimized than
+  /// x86-64 (Sec. 7.2.1, footnote 1).
+  BytesPerSecond um_prefetch_bw;
 
   /// Effective per-page cost of a demand-paging fault, including driver
-  /// batching, seconds (UM Migration method).
-  double um_page_fault_s = 0.0;
+  /// batching (UM Migration method).
+  Seconds um_page_fault;
 
   /// Number of CPU threads the Staged Copy method dedicates to staging
   /// ("we fully utilize 4 CPU cores to stage the data", Sec. 7.2.1).

@@ -114,7 +114,7 @@ std::string Topology::ToString() const {
     os << "  [" << i << "] " << devices_[i].name << " ("
        << DeviceKindToString(devices_[i].kind) << "), memory "
        << memories_[i].name << " "
-       << memories_[i].capacity_bytes / kGiB << " GiB\n";
+       << memories_[i].capacity.gib() << " GiB\n";
   }
   for (const Edge& edge : edges_) {
     os << "  " << edge.a << " <-> " << edge.b << " via " << edge.link.name

@@ -13,8 +13,9 @@ namespace pump::join {
 namespace {
 
 // Probe tuple rate of a device limited by data ingest alone.
-double IngestTupleRate(double ingest_bw, const data::WorkloadSpec& w) {
-  return ingest_bw / static_cast<double>(w.tuple_bytes());
+PerSecond IngestTupleRate(BytesPerSecond ingest_bw,
+                          const data::WorkloadSpec& w) {
+  return ingest_bw / Bytes(static_cast<double>(w.tuple_bytes()));
 }
 
 }  // namespace
@@ -53,7 +54,7 @@ HashTablePlacement CoProcessModel::PlacementFor(
       return HashTablePlacement::Single(config.gpu);
     case ExecutionStrategy::kGpuOnly: {
       const std::uint64_t capacity =
-          topo.memory(config.gpu).capacity_bytes;
+          topo.memory(config.gpu).capacity.u64();
       const std::uint64_t usable =
           capacity > config.gpu_reserve_bytes
               ? capacity - config.gpu_reserve_bytes
@@ -83,7 +84,7 @@ HashTablePlacement CoProcessModel::PlacementFor(
   return HashTablePlacement::Single(config.data_location);
 }
 
-double CoProcessModel::DeviceProbeRate(
+PerSecond CoProcessModel::DeviceProbeRate(
     hw::DeviceId device, const HashTablePlacement& placement,
     const CoProcessConfig& config, const data::WorkloadSpec& workload) const {
   NopaConfig nopa_config;
@@ -94,20 +95,21 @@ double CoProcessModel::DeviceProbeRate(
   nopa_config.method = config.method;
   nopa_config.relation_memory = config.relation_memory;
 
-  const double ht_rate =
+  const PerSecond ht_rate =
       nopa_.HashTableAccessRate(device, placement, workload);
-  Result<double> ingest =
+  Result<BytesPerSecond> ingest =
       nopa_.IngestBandwidth(nopa_config, config.data_location);
-  const double ingest_rate =
-      ingest.ok() ? IngestTupleRate(ingest.value(), workload) : 0.0;
-  if (ingest_rate <= 0.0) return 0.0;
+  const PerSecond ingest_rate = ingest.ok()
+                                    ? IngestTupleRate(ingest.value(), workload)
+                                    : PerSecond(0.0);
+  if (ingest_rate <= PerSecond(0.0)) return PerSecond(0.0);
 
   const bool is_gpu =
       profile_->topology.device(device).kind == hw::DeviceKind::kGpu;
   const double p = is_gpu ? sim::kGpuOverlapExponent
                           : sim::kCpuOverlapExponent;
   // Per-tuple time of the overlapped stream + lookup, inverted to a rate.
-  const double per_tuple =
+  const Seconds per_tuple =
       sim::OverlapTime({1.0 / ingest_rate, 1.0 / ht_rate}, p);
   return 1.0 / per_tuple;
 }
@@ -117,10 +119,10 @@ double CoProcessModel::MemoryContentionScale(
     const data::WorkloadSpec& workload) const {
   const hw::Topology& topo = profile_->topology;
   const hw::MemorySpec& data_mem = topo.memory(config.data_location);
-  double demand = 0.0;  // bytes/s at the data node
+  BytesPerSecond demand;  // aggregate traffic at the data node
   for (const ProbeShare& share : shares) {
     // Streaming the base relation.
-    double bytes_per_tuple = static_cast<double>(workload.tuple_bytes());
+    Bytes bytes_per_tuple = Bytes(static_cast<double>(workload.tuple_bytes()));
     // Hash-table lines served by the data node's DRAM: only cache-missing
     // accesses reach memory. Local CPU probes move a full line;
     // interconnect reads move the link's access granule.
@@ -130,7 +132,7 @@ double CoProcessModel::MemoryContentionScale(
           sim::MustResolve(topo, share.device, part.node);
       const double miss =
           1.0 - nopa_.CacheHitRate(share.device, part, workload);
-      bytes_per_tuple += part.fraction * miss * path.granularity_bytes;
+      bytes_per_tuple += part.fraction * miss * path.granularity;
     }
     demand += share.rate * bytes_per_tuple;
   }
@@ -168,13 +170,13 @@ Result<JoinTiming> CoProcessModel::Estimate(
                 config.extra_gpus.end());
     const HashTablePlacement placement =
         PlacementFor(strategy, config, workload);
-    double combined = 0.0;
+    PerSecond combined;
     for (hw::DeviceId gpu : gpus) {
       combined += DeviceProbeRate(gpu, placement, config, workload);
     }
     JoinTiming timing;
     // One GPU builds its local share; builds proceed in parallel.
-    const double build_rate = std::max(combined, 1.0);
+    const PerSecond build_rate = std::max(combined, PerSecond(1.0));
     timing.build_s = r_tuples / build_rate;
     timing.probe_s = s_tuples / combined;
     return timing;
@@ -187,15 +189,15 @@ Result<JoinTiming> CoProcessModel::Estimate(
         PlacementFor(strategy, config, workload);
     // Build: both devices insert into the shared table; contention keeps
     // the combined rate near a single device's (Fig. 21b).
-    const double cpu_ins = nopa_.InsertRate(config.cpu, shared, workload);
-    const double gpu_ins = nopa_.InsertRate(config.gpu, shared, workload);
-    const double build_rate = (cpu_ins + gpu_ins) * kSharedBuildEfficiency;
+    const PerSecond cpu_ins = nopa_.InsertRate(config.cpu, shared, workload);
+    const PerSecond gpu_ins = nopa_.InsertRate(config.gpu, shared, workload);
+    const PerSecond build_rate = (cpu_ins + gpu_ins) * kSharedBuildEfficiency;
     timing.build_s = r_tuples / build_rate;
 
     // Probe: morsel-dispatched shares at each device's rate.
-    const double cpu_rate =
+    const PerSecond cpu_rate =
         DeviceProbeRate(config.cpu, shared, config, workload);
-    const double gpu_rate =
+    const PerSecond gpu_rate =
         DeviceProbeRate(config.gpu, shared, config, workload);
     const double scale = MemoryContentionScale(
         {{config.cpu, cpu_rate, shared}, {config.gpu, gpu_rate, shared}},
@@ -208,20 +210,20 @@ Result<JoinTiming> CoProcessModel::Estimate(
   // GPU + Het (Fig. 9b): build on the GPU, broadcast, probe everywhere on
   // local copies.
   const HashTablePlacement gpu_local = HashTablePlacement::Single(config.gpu);
-  const double gpu_ins = nopa_.InsertRate(config.gpu, gpu_local, workload);
+  const PerSecond gpu_ins = nopa_.InsertRate(config.gpu, gpu_local, workload);
   timing.build_s = r_tuples / gpu_ins;
 
   // Synchronous table broadcast to CPU memory.
   const sim::AccessPath link =
       sim::MustResolve(topo, config.gpu, config.data_location);
-  timing.extra_s = static_cast<double>(workload.hash_table_bytes()) /
+  timing.extra_s = Bytes(static_cast<double>(workload.hash_table_bytes())) /
                    (link.seq_bw * kBroadcastEfficiency);
 
   const HashTablePlacement cpu_local =
       HashTablePlacement::Single(config.data_location);
-  const double gpu_rate =
+  const PerSecond gpu_rate =
       DeviceProbeRate(config.gpu, gpu_local, config, workload);
-  const double cpu_rate =
+  const PerSecond cpu_rate =
       DeviceProbeRate(config.cpu, cpu_local, config, workload);
   const double scale = MemoryContentionScale(
       {{config.cpu, cpu_rate, cpu_local}, {config.gpu, gpu_rate, gpu_local}},
@@ -236,12 +238,12 @@ ExecutionStrategy CoProcessModel::Decide(
   const hw::Topology& topo = profile_->topology;
   // Fig. 11 decision tree.
   const hw::CacheSpec& cpu_llc = topo.cache(config.cpu);
-  if (workload.hash_table_bytes() <= cpu_llc.capacity_bytes) {
+  if (workload.hash_table_bytes() <= cpu_llc.capacity.u64()) {
     // Hash table fits the CPU cache: per-processor local copies win.
     return ExecutionStrategy::kGpuHet;
   }
   const std::uint64_t gpu_capacity =
-      topo.memory(config.gpu).capacity_bytes;
+      topo.memory(config.gpu).capacity.u64();
   const std::uint64_t usable =
       gpu_capacity > config.gpu_reserve_bytes
           ? gpu_capacity - config.gpu_reserve_bytes

@@ -82,16 +82,16 @@ class CoProcessModel {
  private:
   /// Steady probe rate (tuples/s) of one device given table placement,
   /// combining ingest and hash-table access bottlenecks.
-  double DeviceProbeRate(hw::DeviceId device,
-                         const HashTablePlacement& placement,
-                         const CoProcessConfig& config,
-                         const data::WorkloadSpec& workload) const;
+  PerSecond DeviceProbeRate(hw::DeviceId device,
+                            const HashTablePlacement& placement,
+                            const CoProcessConfig& config,
+                            const data::WorkloadSpec& workload) const;
 
   /// One probing device's contribution to the contention computation: its
   /// steady rate and the hash-table placement it probes.
   struct ProbeShare {
     hw::DeviceId device = hw::kInvalidDevice;
-    double rate = 0.0;
+    PerSecond rate;
     HashTablePlacement placement;
   };
 

@@ -17,21 +17,20 @@ namespace {
 // loaded when one of the value-line's entries matches; with uniform
 // matches the load probability is 1 - (1-sel)^(values per line).
 double SelectivityAccessMultiplier(const data::WorkloadSpec& workload,
-                                   double line_bytes) {
-  const double values_per_line =
-      std::max(1.0, line_bytes / static_cast<double>(workload.payload_bytes));
+                                   Bytes line_bytes) {
+  const double values_per_line = std::max(
+      1.0, line_bytes / Bytes(static_cast<double>(workload.payload_bytes)));
   const double p_value_line =
       1.0 - std::pow(1.0 - workload.selectivity, values_per_line);
   return (1.0 + p_value_line) / 2.0;
 }
 
-// TLB derating (see DeviceSpec::tlb_reach_bytes).
-double TlbDerate(const hw::DeviceSpec& device, double region_bytes,
-                 double rate) {
-  if (device.tlb_reach_bytes <= 0.0 || region_bytes <= device.tlb_reach_bytes)
+// TLB derating (see DeviceSpec::tlb_reach).
+PerSecond TlbDerate(const hw::DeviceSpec& device, Bytes region,
+                    PerSecond rate) {
+  if (device.tlb_reach <= Bytes(0.0) || region <= device.tlb_reach)
     return rate;
-  const double miss_fraction =
-      (region_bytes - device.tlb_reach_bytes) / region_bytes;
+  const double miss_fraction = (region - device.tlb_reach) / region;
   return rate / (1.0 + device.tlb_miss_penalty * miss_fraction);
 }
 
@@ -40,7 +39,7 @@ double TlbDerate(const hw::DeviceSpec& device, double region_bytes,
 // doubles the write traffic. Calibrated against Fig. 18 (the build phase
 // takes 71% of a 1:1 join even though lookups run at ~4.5 G/s) and
 // Fig. 21b (memory-bound builds insert at the lookup rate).
-constexpr double kGpuAtomicInsertRate = 2.2e9;
+constexpr PerSecond kGpuAtomicInsertRate = PerSecond::Giga(2.2);
 
 }  // namespace
 
@@ -105,74 +104,75 @@ NopaJoinModel::CacheView NopaJoinModel::CacheFor(
   const double entry_bytes = static_cast<double>(workload.tuple_bytes());
   const bool local = part.node == device;
   if (local || !llc.memory_side) {
-    return {llc.random_access_rate,
-            static_cast<double>(llc.capacity_bytes) / entry_bytes};
+    return {llc.random_access_rate, llc.capacity.bytes() / entry_bytes};
   }
-  if (dev.remote_cache_bytes > 0.0) {
-    return {dev.remote_cache_rate, dev.remote_cache_bytes / entry_bytes};
+  if (dev.remote_cache > Bytes(0.0)) {
+    return {dev.remote_cache_rate, dev.remote_cache.bytes() / entry_bytes};
   }
-  return {0.0, 0.0};
+  return {PerSecond(0.0), 0.0};
 }
 
 double NopaJoinModel::CacheHitRate(hw::DeviceId device,
                                    const HashTablePlacement::Part& part,
                                    const data::WorkloadSpec& workload) const {
   const CacheView cache = CacheFor(device, part, workload);
-  if (cache.rate <= 0.0) return 0.0;
+  if (cache.rate <= PerSecond(0.0)) return 0.0;
   return sim::ZipfHitRate(workload.r_tuples,
                           static_cast<std::uint64_t>(cache.entries),
                           workload.zipf_exponent);
 }
 
-double NopaJoinModel::PartAccessRate(hw::DeviceId device,
-                                     const HashTablePlacement::Part& part,
-                                     const data::WorkloadSpec& workload) const {
+PerSecond NopaJoinModel::PartAccessRate(
+    hw::DeviceId device, const HashTablePlacement::Part& part,
+    const data::WorkloadSpec& workload) const {
   const hw::Topology& topo = profile_->topology;
   const hw::DeviceSpec& dev = topo.device(device);
   const sim::AccessPath path = sim::MustResolve(topo, device, part.node);
-  const double part_bytes =
-      static_cast<double>(workload.hash_table_bytes()) * part.fraction;
+  const Bytes part_bytes =
+      Bytes(static_cast<double>(workload.hash_table_bytes())) * part.fraction;
 
-  double memory_rate = path.dependent_access_rate;
+  PerSecond memory_rate = path.dependent_access_rate;
   if (part.node == device) {
     memory_rate = TlbDerate(dev, part_bytes, memory_rate);
   }
 
   const CacheView cache = CacheFor(device, part, workload);
-  if (cache.rate <= 0.0) return memory_rate;
+  if (cache.rate <= PerSecond(0.0)) return memory_rate;
   const double hit = sim::ZipfHitRate(
       workload.r_tuples, static_cast<std::uint64_t>(cache.entries),
       workload.zipf_exponent);
-  return sim::BlendedAccessRate(hit, cache.rate, memory_rate);
+  return PerSecond(sim::BlendedAccessRate(hit, cache.rate.per_second(),
+                                          memory_rate.per_second()));
 }
 
-double NopaJoinModel::InsertRate(hw::DeviceId device,
-                                 const HashTablePlacement& placement,
-                                 const data::WorkloadSpec& workload) const {
-  const double rate = HashTableAccessRate(device, placement, workload);
+PerSecond NopaJoinModel::InsertRate(hw::DeviceId device,
+                                    const HashTablePlacement& placement,
+                                    const data::WorkloadSpec& workload) const {
+  const PerSecond rate = HashTableAccessRate(device, placement, workload);
   const bool is_gpu =
       profile_->topology.device(device).kind == hw::DeviceKind::kGpu;
   return is_gpu ? std::min(rate, kGpuAtomicInsertRate) : rate;
 }
 
-double NopaJoinModel::HashTableAccessRate(
+PerSecond NopaJoinModel::HashTableAccessRate(
     hw::DeviceId device, const HashTablePlacement& placement,
     const data::WorkloadSpec& workload) const {
   // Harmonic combination over the table parts, weighted by the expected
   // access fraction (A_GPU model of Sec. 5.3).
-  double inverse = 0.0;
+  Seconds per_access;
   for (const HashTablePlacement::Part& part : placement.parts) {
-    const double rate = PartAccessRate(device, part, workload);
-    inverse += part.fraction / rate;
+    const PerSecond rate = PartAccessRate(device, part, workload);
+    per_access += part.fraction / rate;
   }
-  const double memory_side_rate = 1.0 / inverse;
+  const PerSecond memory_side_rate = 1.0 / per_access;
   // Hashing and comparison partially serialize with the memory access:
   // harmonic (back-to-back) combination of the two rates.
-  const double compute = profile_->topology.device(device).tuple_compute_rate;
-  return memory_side_rate * compute / (memory_side_rate + compute);
+  const PerSecond compute =
+      profile_->topology.device(device).tuple_compute_rate;
+  return memory_side_rate * (compute / (memory_side_rate + compute));
 }
 
-Result<double> NopaJoinModel::IngestBandwidth(
+Result<BytesPerSecond> NopaJoinModel::IngestBandwidth(
     const NopaConfig& config, hw::MemoryNodeId location) const {
   const hw::Topology& topo = profile_->topology;
   if (location == config.device) {
@@ -197,41 +197,42 @@ Result<JoinTiming> NopaJoinModel::Estimate(
   const double overlap_p =
       is_gpu ? sim::kGpuOverlapExponent : sim::kCpuOverlapExponent;
 
-  PUMP_ASSIGN_OR_RETURN(double r_ingest,
+  PUMP_ASSIGN_OR_RETURN(BytesPerSecond r_ingest,
                         IngestBandwidth(config, config.r_location));
-  PUMP_ASSIGN_OR_RETURN(double s_ingest,
+  PUMP_ASSIGN_OR_RETURN(BytesPerSecond s_ingest,
                         IngestBandwidth(config, config.s_location));
 
-  const double ht_rate =
+  const PerSecond ht_rate =
       HashTableAccessRate(config.device, config.hash_table, workload);
 
   JoinTiming timing;
   // Build: stream R while inserting |R| tuples into the table.
-  const double r_stream =
-      static_cast<double>(workload.r_bytes()) / r_ingest;
-  const double inserts =
+  const Seconds r_stream =
+      Bytes(static_cast<double>(workload.r_bytes())) / r_ingest;
+  const Seconds inserts =
       static_cast<double>(workload.r_tuples) /
       InsertRate(config.device, config.hash_table, workload);
   timing.build_s = sim::OverlapTime({r_stream, inserts}, overlap_p);
 
   // Probe: stream S while performing |S| dependent lookups; lookups get
   // cheaper at low selectivity because value lines are skipped.
-  const double line_bytes =
+  const Bytes line_bytes =
       topo.memory(config.hash_table.parts.front().node).line_bytes;
   const double mult = SelectivityAccessMultiplier(workload, line_bytes);
-  const double s_stream =
-      static_cast<double>(workload.s_bytes()) / s_ingest;
-  const double lookups =
+  const Seconds s_stream =
+      Bytes(static_cast<double>(workload.s_bytes())) / s_ingest;
+  const Seconds lookups =
       static_cast<double>(workload.s_tuples) * mult / ht_rate;
   // Optional result materialization: matches write one
   // <key, payload, payload> row back to CPU memory. Writes stream at the
   // same path bandwidth as reads (links are full-duplex, Sec. 2.2, so
   // they overlap with the ingest stream rather than stealing from it).
-  double result_stream = 0.0;
+  Seconds result_stream;
   if (config.materialize_result) {
-    const double result_bytes =
-        static_cast<double>(workload.s_tuples) * workload.selectivity *
-        static_cast<double>(workload.key_bytes + 2 * workload.payload_bytes);
+    const Bytes result_bytes =
+        Bytes(static_cast<double>(workload.s_tuples) * workload.selectivity *
+              static_cast<double>(workload.key_bytes +
+                                  2 * workload.payload_bytes));
     const sim::AccessPath out_path =
         sim::MustResolve(topo, config.device, config.r_location);
     result_stream = result_bytes / out_path.seq_bw;
@@ -240,8 +241,8 @@ Result<JoinTiming> NopaJoinModel::Estimate(
       sim::OverlapTime({s_stream, lookups, result_stream}, overlap_p);
 
   // Morsel-batch dispatch overhead (Sec. 6.1): one launch per batch.
-  timing.probe_s += dev.dispatch_latency_s;
-  timing.build_s += dev.dispatch_latency_s;
+  timing.probe_s += dev.dispatch_latency;
+  timing.build_s += dev.dispatch_latency;
   return timing;
 }
 
@@ -258,22 +259,24 @@ JoinTiming RadixJoinModel::Estimate(hw::DeviceId cpu,
   // (software write-combine buffers keep this streaming); tuple-wise
   // histogram + scatter compute runs at roughly half the NOPA compute rate
   // (two passes over each tuple: histogram, scatter).
-  const double partition_rate = dev.tuple_compute_rate * 0.5;
+  const PerSecond partition_rate = dev.tuple_compute_rate * 0.5;
   const double total_tuples = static_cast<double>(workload.total_tuples());
-  const double moved_bytes = 2.0 * static_cast<double>(workload.total_bytes());
-  const double partition_s = sim::OverlapTime(
+  const Bytes moved_bytes =
+      Bytes(2.0 * static_cast<double>(workload.total_bytes()));
+  const Seconds partition_s = sim::OverlapTime(
       {moved_bytes / mem.duplex_bw, total_tuples / partition_rate},
       sim::kCpuOverlapExponent);
 
   // Join pass: partitions are cache-resident, so build+probe run at the
   // compute rate blended with the LLC (PRA = perfect-hash radix join).
   const hw::CacheSpec& llc = topo.cache(cpu);
-  const double join_rate = dev.tuple_compute_rate *
-                           llc.random_access_rate /
-                           (dev.tuple_compute_rate + llc.random_access_rate);
-  const double join_read_s =
-      static_cast<double>(workload.total_bytes()) / mem.seq_bw;
-  const double join_s = sim::OverlapTime(
+  const PerSecond join_rate =
+      dev.tuple_compute_rate *
+      (llc.random_access_rate /
+       (dev.tuple_compute_rate + llc.random_access_rate));
+  const Seconds join_read_s =
+      Bytes(static_cast<double>(workload.total_bytes())) / mem.seq_bw;
+  const Seconds join_s = sim::OverlapTime(
       {total_tuples / join_rate, join_read_s}, sim::kCpuOverlapExponent);
 
   JoinTiming timing;
@@ -283,12 +286,5 @@ JoinTiming RadixJoinModel::Estimate(hw::DeviceId cpu,
   timing.probe_s = join_s;
   return timing;
 }
-
-// GPU hash-table inserts are capped by the device's atomic-CAS
-// throughput: the CAS serializes on the slot line and the value store
-// doubles the write traffic. Calibrated against Fig. 18 (the build phase
-// takes 71% of a 1:1 join even though lookups run at ~4.5 G/s) and
-// Fig. 21b (memory-bound builds insert at the lookup rate).
-constexpr double kGpuAtomicInsertRate = 2.2e9;
 
 }  // namespace pump::join

@@ -46,14 +46,14 @@ struct HashTablePlacement {
 /// The modelled execution of one join: per-phase times and derived
 /// throughput in the paper's metric (|R|+|S|) / runtime (Sec. 7.1).
 struct JoinTiming {
-  double build_s = 0.0;
-  double probe_s = 0.0;
+  Seconds build_s;
+  Seconds probe_s;
   /// Extra serial step, e.g. the GPU+Het hash-table broadcast (Fig. 9b).
-  double extra_s = 0.0;
+  Seconds extra_s;
 
-  double total_s() const { return build_s + probe_s + extra_s; }
+  Seconds total_s() const { return build_s + probe_s + extra_s; }
   /// Throughput in tuples/s for a workload with `total_tuples` inputs.
-  double Throughput(double total_tuples) const {
+  PerSecond Throughput(double total_tuples) const {
     return total_tuples / total_s();
   }
 };
@@ -98,21 +98,22 @@ class NopaJoinModel {
   /// (GPU L2 for local tables, GPU L1 for remote ones, CPU LLC), GPU TLB
   /// reach, and the probe-key skew of the workload. Exposed for tests and
   /// the hybrid-placement benches.
-  double HashTableAccessRate(hw::DeviceId device,
-                             const HashTablePlacement& placement,
-                             const data::WorkloadSpec& workload) const;
+  PerSecond HashTableAccessRate(hw::DeviceId device,
+                                const HashTablePlacement& placement,
+                                const data::WorkloadSpec& workload) const;
 
   /// Rate at which `device` can ingest the base-relation stream from
   /// `location` with `method` (pull paths for CPUs, transfer pipelines for
-  /// GPUs), bytes/s.
-  Result<double> IngestBandwidth(const NopaConfig& config,
-                                 hw::MemoryNodeId location) const;
+  /// GPUs).
+  Result<BytesPerSecond> IngestBandwidth(const NopaConfig& config,
+                                         hw::MemoryNodeId location) const;
 
   /// Hash-table insert rate: the lookup rate capped by the GPU's atomic
   /// CAS throughput (inserts pay a CAS plus a value store per slot; CPU
   /// cores absorb the CAS in their store buffers).
-  double InsertRate(hw::DeviceId device, const HashTablePlacement& placement,
-                    const data::WorkloadSpec& workload) const;
+  PerSecond InsertRate(hw::DeviceId device,
+                       const HashTablePlacement& placement,
+                       const data::WorkloadSpec& workload) const;
 
   /// Expected cache hit rate of `device`'s accesses into one table part,
   /// under the workload's key skew (used by the co-processing model to
@@ -125,7 +126,7 @@ class NopaJoinModel {
 
  private:
   struct CacheView {
-    double rate = 0.0;
+    PerSecond rate;
     double entries = 0.0;
   };
 
@@ -133,9 +134,9 @@ class NopaJoinModel {
                      const HashTablePlacement::Part& part,
                      const data::WorkloadSpec& workload) const;
 
-  double PartAccessRate(hw::DeviceId device,
-                        const HashTablePlacement::Part& part,
-                        const data::WorkloadSpec& workload) const;
+  PerSecond PartAccessRate(hw::DeviceId device,
+                           const HashTablePlacement::Part& part,
+                           const data::WorkloadSpec& workload) const;
 
   const hw::SystemProfile* profile_;
   transfer::TransferModel transfer_model_;

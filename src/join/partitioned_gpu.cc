@@ -19,8 +19,8 @@ Result<JoinTiming> PartitionedGpuJoinModel::Estimate(
   // read and written once; tuple-wise histogram+scatter runs at half the
   // CPU's join compute rate (same model as the PRA baseline).
   const double total_tuples = static_cast<double>(workload.total_tuples());
-  const double total_bytes = static_cast<double>(workload.total_bytes());
-  const double partition_s = sim::OverlapTime(
+  const Bytes total_bytes = Bytes(static_cast<double>(workload.total_bytes()));
+  const Seconds partition_s = sim::OverlapTime(
       {2.0 * total_bytes / mem.duplex_bw,
        total_tuples / (cpu_dev.tuple_compute_rate * 0.5)},
       sim::kCpuOverlapExponent);
@@ -30,10 +30,11 @@ Result<JoinTiming> PartitionedGpuJoinModel::Estimate(
   // pair with a cache-resident hash table.
   const memory::MemoryKind kind = transfer::TraitsOf(method).required_memory;
   PUMP_RETURN_NOT_OK(transfer_model_.Validate(method, gpu, cpu, kind));
-  PUMP_ASSIGN_OR_RETURN(const double ingest,
+  PUMP_ASSIGN_OR_RETURN(const BytesPerSecond ingest,
                         transfer_model_.IngestBandwidth(method, gpu, cpu));
-  const double join_s = sim::OverlapTime(
-      {total_bytes / ingest, total_tuples / kGpuPartitionJoinRate},
+  const Seconds join_s = sim::OverlapTime(
+      {total_bytes / ingest,
+       total_tuples / PerSecond(kGpuPartitionJoinRate)},
       sim::kGpuOverlapExponent);
 
   JoinTiming timing;

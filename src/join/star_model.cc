@@ -28,17 +28,17 @@ Result<StarTiming> StarJoinModel::Estimate(
 
   // Build phase: each dimension's table builds like a NOPA build. With
   // parallel builds the two slowest processors overlap; serially they sum.
-  std::vector<double> build_times;
-  double broadcast_bytes = 0.0;
+  std::vector<Seconds> build_times;
+  Bytes broadcast_bytes;
   for (const StarDimension& dim : dimensions) {
     data::WorkloadSpec w;
     w.key_bytes = 8;
     w.payload_bytes = 8;
     w.r_tuples = dim.tuples;
     w.s_tuples = 1;  // Only the build side matters here.
-    const double rate = nopa_.InsertRate(gpu, gpu_local, w);
+    const PerSecond rate = nopa_.InsertRate(gpu, gpu_local, w);
     build_times.push_back(static_cast<double>(dim.tuples) / rate);
-    broadcast_bytes += static_cast<double>(w.hash_table_bytes());
+    broadcast_bytes += Bytes(static_cast<double>(w.hash_table_bytes()));
   }
   if (parallel_build_on_cpu_and_gpu) {
     // Tables build concurrently on different processors (Sec. 6.2): the
@@ -49,25 +49,25 @@ Result<StarTiming> StarJoinModel::Estimate(
         sim::MustResolve(topo, gpu, data_location);
     timing.broadcast_s = broadcast_bytes / (link.seq_bw * 0.5);
   } else {
-    for (double t : build_times) timing.build_s += t;
+    for (Seconds t : build_times) timing.build_s += t;
   }
 
   // Probe phase: the fact stream carries one 8-byte key column per
   // dimension plus an 8-byte measure; lookups happen per surviving row.
   const sim::AccessPath stream_path =
       sim::MustResolve(topo, gpu, data_location);
-  const double fact_bytes =
-      fact_tuples * (8.0 * static_cast<double>(dimensions.size()) + 8.0);
-  const double stream_s = fact_bytes / stream_path.seq_bw;
+  const Bytes fact_bytes = Bytes(
+      fact_tuples * (8.0 * static_cast<double>(dimensions.size()) + 8.0));
+  const Seconds stream_s = fact_bytes / stream_path.seq_bw;
 
-  double lookups = 0.0;
+  Seconds lookups;
   double surviving = 1.0;
   data::WorkloadSpec probe_w;
   probe_w.key_bytes = 8;
   probe_w.payload_bytes = 8;
   for (const StarDimension& dim : dimensions) {
     probe_w.r_tuples = std::max<std::uint64_t>(1, dim.tuples);
-    const double rate = nopa_.HashTableAccessRate(gpu, gpu_local, probe_w);
+    const PerSecond rate = nopa_.HashTableAccessRate(gpu, gpu_local, probe_w);
     lookups += fact_tuples * surviving / rate;
     surviving *= dim.selectivity;
   }

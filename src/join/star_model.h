@@ -19,10 +19,10 @@ struct StarDimension {
 
 /// Modelled star-query execution.
 struct StarTiming {
-  double build_s = 0.0;
-  double broadcast_s = 0.0;
-  double probe_s = 0.0;
-  double total_s() const { return build_s + broadcast_s + probe_s; }
+  Seconds build_s;
+  Seconds broadcast_s;
+  Seconds probe_s;
+  Seconds total_s() const { return build_s + broadcast_s + probe_s; }
 };
 
 /// Cost model of the Sec. 6.2 multi-way extension: "building hash tables

@@ -54,7 +54,7 @@ Status MemoryManager::CheckPlacement(MemoryKind kind,
 Result<Buffer> MemoryManager::Allocate(std::uint64_t bytes, MemoryKind kind,
                                        hw::MemoryNodeId node) {
   PUMP_RETURN_NOT_OK(CheckPlacement(kind, node));
-  const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+  const std::uint64_t capacity = topology_->memory(node).capacity.u64();
   if (used_[node] + bytes > capacity) {
     return Status::OutOfMemory("node " + std::to_string(node) +
                                " cannot fit " + std::to_string(bytes) +
@@ -76,7 +76,7 @@ Result<Buffer> MemoryManager::AllocateHybrid(std::uint64_t bytes,
   std::uint64_t remaining = bytes;
 
   // Step 1 (Fig. 8): allocate GPU memory first.
-  const std::uint64_t gpu_capacity = topology_->memory(gpu).capacity_bytes;
+  const std::uint64_t gpu_capacity = topology_->memory(gpu).capacity.u64();
   const std::uint64_t gpu_free =
       gpu_capacity > used_[gpu] + gpu_reserve_bytes
           ? gpu_capacity - used_[gpu] - gpu_reserve_bytes
@@ -108,7 +108,7 @@ Result<Buffer> MemoryManager::AllocateHybrid(std::uint64_t bytes,
   if (remaining > 0) {
     for (hw::MemoryNodeId node :
          topology_->MemoryNodesByDistance(gpu, /*cpu_only=*/true)) {
-      const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+      const std::uint64_t capacity = topology_->memory(node).capacity.u64();
       const std::uint64_t free =
           capacity > used_[node] ? capacity - used_[node] : 0;
       const std::uint64_t here = std::min(remaining, free);
@@ -144,7 +144,7 @@ std::uint64_t MemoryManager::used_bytes(hw::MemoryNodeId node) const {
 }
 
 std::uint64_t MemoryManager::available_bytes(hw::MemoryNodeId node) const {
-  const std::uint64_t capacity = topology_->memory(node).capacity_bytes;
+  const std::uint64_t capacity = topology_->memory(node).capacity.u64();
   return capacity > used_[node] ? capacity - used_[node] : 0;
 }
 

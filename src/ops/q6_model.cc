@@ -36,7 +36,7 @@ Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
   const bool is_gpu = dev.kind == hw::DeviceKind::kGpu;
 
   // Ingest bandwidth for the column streams.
-  double ingest = 0.0;
+  BytesPerSecond ingest;
   bool coherent_path = true;
   if (!is_gpu || location == device) {
     ingest = sim::MustResolve(topo, device, location).seq_bw;
@@ -53,8 +53,8 @@ Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
   }
 
   // Bytes per row that actually cross the data path.
-  double bytes_per_row = kDateBytes + kOtherBytes;
-  double effective_ingest = ingest;
+  Bytes bytes_per_row = Bytes(kDateBytes + kOtherBytes);
+  BytesPerSecond effective_ingest = ingest;
   const bool pull_based =
       transfer::TransferModel::SupportsDataDependentAccess(method);
   if (variant == Q6Variant::kBranching) {
@@ -64,7 +64,7 @@ Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
     const bool can_skip = !is_gpu || location == device ||
                           (pull_based && coherent_path);
     if (can_skip) {
-      bytes_per_row = kDateBytes + date_sel * kOtherBytes;
+      bytes_per_row = Bytes(kDateBytes + date_sel * kOtherBytes);
     } else if (is_gpu && pull_based) {
       // Non-coherent pull (PCI-e Zero-Copy): whole chunks transfer anyway
       // and the divergent pattern wastes packet payload.
@@ -72,7 +72,7 @@ Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
     }
   }
 
-  const double data_s = rows * bytes_per_row / effective_ingest;
+  const Seconds data_s = rows * bytes_per_row / effective_ingest;
 
   double compute_rate;
   if (variant == Q6Variant::kBranching) {
@@ -80,14 +80,14 @@ Result<Q6Timing> Q6Model::Estimate(hw::DeviceId device,
   } else {
     compute_rate = is_gpu ? rates_.gpu_predicated : rates_.cpu_predicated;
   }
-  const double compute_s = rows / compute_rate;
+  const Seconds compute_s = rows / PerSecond(compute_rate);
 
   const double p =
       is_gpu ? sim::kGpuOverlapExponent : sim::kCpuOverlapExponent;
   Q6Timing timing;
   timing.rows = rows;
-  timing.seconds =
-      sim::OverlapTime({data_s, compute_s}, p) + dev.dispatch_latency_s;
+  timing.elapsed =
+      sim::OverlapTime({data_s, compute_s}, p) + dev.dispatch_latency;
   return timing;
 }
 

@@ -17,10 +17,10 @@ const char* Q6VariantToString(Q6Variant variant);
 
 /// Modelled execution of Q6 at some scale factor.
 struct Q6Timing {
-  double seconds = 0.0;
+  Seconds elapsed;
   double rows = 0.0;
   /// Paper metric: G Tuples/s over the scanned rows.
-  double RowsPerSecond() const { return rows / seconds; }
+  PerSecond RowsPerSecond() const { return rows / elapsed; }
 };
 
 /// Aggregate scan-compute rates (rows/s) for the Q6 kernels. The CPU

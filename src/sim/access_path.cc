@@ -22,15 +22,15 @@ Result<AccessPath> ResolveAccessPath(const hw::Topology& topology,
   path.memory = memory;
   path.hops = route.hops();
   path.cache_coherent = true;
-  path.granularity_bytes = mem.line_bytes;
+  path.granularity = mem.line_bytes;
 
-  double latency = mem.latency_s;
-  double seq_bw = mem.seq_bw;
-  double random_rate = mem.random_access_rate;
+  Seconds latency = mem.latency;
+  BytesPerSecond seq_bw = mem.seq_bw;
+  PerSecond random_rate = mem.random_access_rate;
   bool first_hop = true;
   for (std::size_t e : route.edge_indices) {
     const hw::LinkSpec& link = topology.edges()[e].link;
-    latency += link.hop_latency_s;
+    latency += link.hop_latency;
     seq_bw = std::min(seq_bw, link.seq_bw);
     random_rate = std::min(random_rate, link.random_access_rate);
     if (!first_hop) {
@@ -43,16 +43,16 @@ Result<AccessPath> ResolveAccessPath(const hw::Topology& topology,
     }
     first_hop = false;
     path.cache_coherent = path.cache_coherent && link.cache_coherent;
-    path.granularity_bytes =
-        std::max(path.granularity_bytes, link.access_granularity_bytes);
+    path.granularity = std::max(path.granularity, link.access_granularity);
   }
 
   // Little's-law device-side bounds: a latency-sensitive device cannot keep
   // enough traffic in flight to saturate a long path.
-  seq_bw = std::min(seq_bw, dev.max_outstanding_bytes / latency);
-  random_rate = std::min(random_rate, dev.max_outstanding_requests / latency);
+  seq_bw = std::min(seq_bw, dev.max_outstanding / latency);
+  random_rate =
+      std::min(random_rate, dev.max_outstanding_requests / latency);
 
-  path.latency_s = latency;
+  path.latency = latency;
   path.seq_bw = seq_bw;
   path.random_access_rate = random_rate;
   path.dependent_access_rate = random_rate * dev.random_dependency_factor;
@@ -69,10 +69,10 @@ AccessPath MustResolve(const hw::Topology& topology, hw::DeviceId device,
 std::string AccessPath::ToString() const {
   std::ostringstream os;
   os << "AccessPath(device=" << device << ", memory=" << memory
-     << ", hops=" << hops << ", latency=" << ToNanoseconds(latency_s)
-     << "ns, seq=" << ToGiBPerSecond(seq_bw)
-     << "GiB/s, rand=" << random_access_rate / 1e9 << "G/s, coherent="
-     << (cache_coherent ? "yes" : "no") << ")";
+     << ", hops=" << hops << ", latency=" << latency.nanos()
+     << "ns, seq=" << seq_bw.gib_per_second()
+     << "GiB/s, rand=" << random_access_rate.giga_per_second()
+     << "G/s, coherent=" << (cache_coherent ? "yes" : "no") << ")";
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/units.h"
 #include "hw/topology.h"
 
 namespace pump::sim {
@@ -29,29 +30,29 @@ struct AccessPath {
 
   /// Interconnect hops between device and memory (0 = local).
   std::size_t hops = 0;
-  /// End-to-end access latency in seconds.
-  double latency_s = 0.0;
-  /// Achievable sequential bandwidth in bytes/s.
-  double seq_bw = 0.0;
-  /// Achievable independent random access rate, accesses/s at line
-  /// granularity (anchored to the paper's 4-byte random-read figures).
-  double random_access_rate = 0.0;
+  /// End-to-end access latency.
+  Seconds latency;
+  /// Achievable sequential bandwidth.
+  BytesPerSecond seq_bw;
+  /// Achievable independent random access rate at line granularity
+  /// (anchored to the paper's 4-byte random-read figures).
+  PerSecond random_access_rate;
   /// Random access rate derated by the device's dependency factor; use for
   /// dependent (pointer-chasing / hash-probe) access chains.
-  double dependent_access_rate = 0.0;
+  PerSecond dependent_access_rate;
   /// True iff the whole path is cache-coherent (pageable access possible).
   bool cache_coherent = false;
-  /// Access granularity in bytes (line size of the narrowest hop).
-  double granularity_bytes = 128.0;
+  /// Access granularity (line size of the widest hop).
+  Bytes granularity = Bytes(128.0);
 
   /// Time to stream `bytes` sequentially.
-  double SequentialTime(double bytes) const { return bytes / seq_bw; }
+  Seconds SequentialTime(Bytes bytes) const { return bytes / seq_bw; }
   /// Time to perform `accesses` independent random accesses.
-  double RandomTime(double accesses) const {
+  Seconds RandomTime(double accesses) const {
     return accesses / random_access_rate;
   }
   /// Time to perform `accesses` dependent random accesses.
-  double DependentRandomTime(double accesses) const {
+  Seconds DependentRandomTime(double accesses) const {
     return accesses / dependent_access_rate;
   }
 

@@ -60,10 +60,9 @@ double BlendedAccessRate(double hit_rate, double cache_rate,
 std::uint64_t CacheResidentEntries(const hw::CacheSpec& cache,
                                    std::uint64_t entry_bytes) {
   if (entry_bytes == 0) return 0;
-  const double entries_per_line =
-      std::max(1.0, cache.line_bytes / static_cast<double>(entry_bytes));
-  const double lines =
-      static_cast<double>(cache.capacity_bytes) / cache.line_bytes;
+  const double entries_per_line = std::max(
+      1.0, cache.line_bytes / Bytes(static_cast<double>(entry_bytes)));
+  const double lines = cache.capacity / cache.line_bytes;
   return static_cast<std::uint64_t>(lines * entries_per_line);
 }
 

@@ -25,7 +25,8 @@ PipelineEventSimulator::Timeline PipelineEventSimulator::Simulate(
     double ready = 0.0;  // When this chunk finished the previous stage.
     for (std::size_t s = 0; s < stages.size(); ++s) {
       const double start = std::max(ready, stage_free[s]);
-      const double finish = start + stages[s].ChunkTime(bytes);
+      const double finish =
+          start + stages[s].ChunkTime(Bytes(bytes)).seconds();
       stage_free[s] = finish;
       ready = finish;
     }

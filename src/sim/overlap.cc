@@ -16,4 +16,15 @@ double OverlapTime(std::initializer_list<double> components, double p) {
   return max_t * std::pow(sum, 1.0 / p);
 }
 
+Seconds OverlapTime(std::initializer_list<Seconds> components, double p) {
+  double max_t = 0.0;
+  for (Seconds t : components) max_t = std::max(max_t, t.seconds());
+  if (max_t <= 0.0) return Seconds(0.0);
+  double sum = 0.0;
+  for (Seconds t : components) {
+    if (t.seconds() > 0.0) sum += std::pow(t.seconds() / max_t, p);
+  }
+  return Seconds(max_t * std::pow(sum, 1.0 / p));
+}
+
 }  // namespace pump::sim

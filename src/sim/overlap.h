@@ -4,6 +4,8 @@
 #include <cmath>
 #include <initializer_list>
 
+#include "common/units.h"
+
 namespace pump::sim {
 
 /// Combines the times of concurrently progressing resource demands (e.g.
@@ -14,6 +16,9 @@ namespace pump::sim {
 /// (max). Real devices land in between; the exponents below are calibrated
 /// against the paper's end-to-end join numbers.
 double OverlapTime(std::initializer_list<double> components, double p);
+
+/// Typed variant for duration components.
+Seconds OverlapTime(std::initializer_list<Seconds> components, double p);
 
 /// GPUs overlap streaming, random access, and compute aggressively via warp
 /// scheduling; close to max() with a small contention bump.

@@ -5,31 +5,32 @@
 
 namespace pump::transfer {
 
-double PipelineMakespan(const std::vector<PipelineStage>& stages,
-                        double total_bytes, double chunk_bytes) {
-  if (total_bytes <= 0.0 || stages.empty()) return 0.0;
+Seconds PipelineMakespan(const std::vector<PipelineStage>& stages,
+                         Bytes total_bytes, Bytes chunk_bytes) {
+  if (total_bytes <= Bytes(0.0) || stages.empty()) return Seconds(0.0);
   chunk_bytes = std::min(chunk_bytes, total_bytes);
   const double chunks = std::ceil(total_bytes / chunk_bytes);
   // The final chunk may be smaller; modelling all chunks as equal-sized
   // keeps the expression closed-form and errs by less than one chunk.
-  double fill = 0.0;
-  double bottleneck = 0.0;
+  Seconds fill;
+  Seconds bottleneck;
   for (const PipelineStage& stage : stages) {
-    const double t = stage.ChunkTime(chunk_bytes);
+    const Seconds t = stage.ChunkTime(chunk_bytes);
     fill += t;
     bottleneck = std::max(bottleneck, t);
   }
   return fill + (chunks - 1.0) * bottleneck;
 }
 
-double PipelineSteadyStateRate(const std::vector<PipelineStage>& stages,
-                               double chunk_bytes) {
-  if (stages.empty() || chunk_bytes <= 0.0) return 0.0;
-  double bottleneck = 0.0;
+BytesPerSecond PipelineSteadyStateRate(const std::vector<PipelineStage>& stages,
+                                       Bytes chunk_bytes) {
+  if (stages.empty() || chunk_bytes <= Bytes(0.0)) return BytesPerSecond(0.0);
+  Seconds bottleneck;
   for (const PipelineStage& stage : stages) {
     bottleneck = std::max(bottleneck, stage.ChunkTime(chunk_bytes));
   }
-  return bottleneck <= 0.0 ? 0.0 : chunk_bytes / bottleneck;
+  return bottleneck <= Seconds(0.0) ? BytesPerSecond(0.0)
+                                    : chunk_bytes / bottleneck;
 }
 
 }  // namespace pump::transfer

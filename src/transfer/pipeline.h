@@ -5,22 +5,24 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace pump::transfer {
 
-/// One stage of a chunked software pipeline (Sec. 4.1): either a rate
-/// (bytes/s) or a fixed per-chunk latency, plus an optional per-chunk
-/// overhead (e.g. a kernel launch).
+/// One stage of a chunked software pipeline (Sec. 4.1): either a rate or a
+/// fixed per-chunk latency, plus an optional per-chunk overhead (e.g. a
+/// kernel launch).
 struct PipelineStage {
   std::string name;
-  /// Streaming rate of the stage in bytes/s; 0 for a pure-latency stage.
-  double rate = 0.0;
-  /// Fixed per-chunk overhead in seconds.
-  double per_chunk_latency_s = 0.0;
+  /// Streaming rate of the stage; 0 for a pure-latency stage.
+  BytesPerSecond rate;
+  /// Fixed per-chunk overhead.
+  Seconds per_chunk_latency;
 
   /// Time this stage needs for one chunk of `chunk_bytes`.
-  double ChunkTime(double chunk_bytes) const {
-    double t = per_chunk_latency_s;
-    if (rate > 0.0) t += chunk_bytes / rate;
+  Seconds ChunkTime(Bytes chunk_bytes) const {
+    Seconds t = per_chunk_latency;
+    if (rate > BytesPerSecond(0.0)) t += chunk_bytes / rate;
     return t;
   }
 };
@@ -31,19 +33,19 @@ struct PipelineStage {
 /// The first chunk fills the pipeline; afterwards the bottleneck stage
 /// paces it. This is the standard pipelining model the paper's push-based
 /// methods rely on (Sec. 4.1).
-double PipelineMakespan(const std::vector<PipelineStage>& stages,
-                        double total_bytes, double chunk_bytes);
+Seconds PipelineMakespan(const std::vector<PipelineStage>& stages,
+                         Bytes total_bytes, Bytes chunk_bytes);
 
-/// Steady-state throughput of the pipeline in bytes/s: the bottleneck
-/// stage's effective rate. Ignores fill time, so it is an upper bound on
+/// Steady-state throughput of the pipeline: the bottleneck stage's
+/// effective rate. Ignores fill time, so it is an upper bound on
 /// bytes/makespan, tight for many chunks.
-double PipelineSteadyStateRate(const std::vector<PipelineStage>& stages,
-                               double chunk_bytes);
+BytesPerSecond PipelineSteadyStateRate(const std::vector<PipelineStage>& stages,
+                                       Bytes chunk_bytes);
 
 /// Default chunk size used by the push-based pipelines. The paper tunes
 /// chunk sizes empirically; 8 MiB amortizes launch overheads while keeping
 /// the pipeline fine-grained enough to overlap.
-inline constexpr double kDefaultChunkBytes = 8.0 * 1024 * 1024;
+inline constexpr Bytes kDefaultChunkBytes = Bytes::MiB(8);
 
 }  // namespace pump::transfer
 

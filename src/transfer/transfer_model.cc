@@ -8,7 +8,7 @@ namespace pump::transfer {
 namespace {
 
 // Per-chunk overhead of issuing one pipelined copy + kernel launch.
-constexpr double kPerChunkOverheadS = 12e-6;
+constexpr Seconds kPerChunkOverhead = Seconds::Micros(12);
 
 }  // namespace
 
@@ -48,7 +48,8 @@ Result<std::vector<PipelineStage>> TransferModel::BuildPipeline(
                         sim::ResolveAccessPath(topo, gpu, src));
   const hw::DeviceSpec& cpu = topo.device(src);
   const hw::MemorySpec& mem = topo.memory(src);
-  const double page = static_cast<double>(profile_->os_page_bytes);
+  const Bytes page = profile_->os_page;
+  const Seconds kNoLatency;
 
   std::vector<PipelineStage> stages;
   switch (method) {
@@ -56,59 +57,59 @@ Result<std::vector<PipelineStage>> TransferModel::BuildPipeline(
       // A single CPU thread drives MMIO writes to GPU memory.
       stages.push_back({"mmio-copy",
                         std::min(cpu.single_thread_copy_bw, path.seq_bw),
-                        kPerChunkOverheadS});
+                        kPerChunkOverhead});
       break;
     case TransferMethod::kStagedCopy: {
       // N staging threads memcpy pageable -> pinned; the extra pass and the
       // concurrent DMA read triple the CPU-memory traffic per payload byte.
-      const double staging_rate =
+      const BytesPerSecond staging_rate =
           std::min(profile_->staging_threads * cpu.single_thread_copy_bw,
                    mem.duplex_bw / 3.0);
-      stages.push_back({"stage-to-pinned", staging_rate, 0.0});
-      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+      stages.push_back({"stage-to-pinned", staging_rate, kNoLatency});
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverhead});
       break;
     }
     case TransferMethod::kDynamicPinning:
       // Page-lock each chunk ad hoc, then DMA it.
       stages.push_back(
-          {"pin-pages", page / profile_->pin_page_latency_s, 0.0});
-      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+          {"pin-pages", page / profile_->pin_page_latency, kNoLatency});
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverhead});
       break;
     case TransferMethod::kPinnedCopy:
-      stages.push_back({"dma", path.seq_bw, kPerChunkOverheadS});
+      stages.push_back({"dma", path.seq_bw, kPerChunkOverhead});
       break;
     case TransferMethod::kUmPrefetch:
       stages.push_back(
-          {"um-prefetch", profile_->um_prefetch_bw, kPerChunkOverheadS});
+          {"um-prefetch", profile_->um_prefetch_bw, kPerChunkOverhead});
       break;
     case TransferMethod::kUmMigration: {
       // Demand paging: each page pays a fault before moving at link rate.
-      const double per_page = profile_->um_page_fault_s + page / path.seq_bw;
-      stages.push_back({"demand-paging", page / per_page, 0.0});
+      const Seconds per_page =
+          profile_->um_page_fault + page / path.seq_bw;
+      stages.push_back({"demand-paging", page / per_page, kNoLatency});
       break;
     }
     case TransferMethod::kZeroCopy:
     case TransferMethod::kCoherence:
       // Pull-based hardware access: the GPU reads at path bandwidth; no
       // software pipeline exists.
-      stages.push_back({"direct-access", path.seq_bw, 0.0});
+      stages.push_back({"direct-access", path.seq_bw, kNoLatency});
       break;
   }
   return stages;
 }
 
-Result<double> TransferModel::IngestBandwidth(TransferMethod method,
-                                              hw::DeviceId gpu,
-                                              hw::MemoryNodeId src) const {
+Result<BytesPerSecond> TransferModel::IngestBandwidth(
+    TransferMethod method, hw::DeviceId gpu, hw::MemoryNodeId src) const {
   PUMP_ASSIGN_OR_RETURN(std::vector<PipelineStage> stages,
                         BuildPipeline(method, gpu, src));
   return PipelineSteadyStateRate(stages, kDefaultChunkBytes);
 }
 
-Result<double> TransferModel::TransferTime(TransferMethod method,
-                                           hw::DeviceId gpu,
-                                           hw::MemoryNodeId src, double bytes,
-                                           double chunk_bytes) const {
+Result<Seconds> TransferModel::TransferTime(TransferMethod method,
+                                            hw::DeviceId gpu,
+                                            hw::MemoryNodeId src, Bytes bytes,
+                                            Bytes chunk_bytes) const {
   PUMP_ASSIGN_OR_RETURN(std::vector<PipelineStage> stages,
                         BuildPipeline(method, gpu, src));
   return PipelineMakespan(stages, bytes, chunk_bytes);

@@ -33,17 +33,18 @@ class TransferModel {
   Result<std::vector<PipelineStage>> BuildPipeline(
       TransferMethod method, hw::DeviceId gpu, hw::MemoryNodeId src) const;
 
-  /// Steady-state ingest bandwidth in bytes/s: the rate at which the GPU
-  /// can consume data from `src` with `method`. This is what the join and
-  /// scan cost models overlap with compute.
-  Result<double> IngestBandwidth(TransferMethod method, hw::DeviceId gpu,
-                                 hw::MemoryNodeId src) const;
+  /// Steady-state ingest bandwidth: the rate at which the GPU can consume
+  /// data from `src` with `method`. This is what the join and scan cost
+  /// models overlap with compute.
+  Result<BytesPerSecond> IngestBandwidth(TransferMethod method,
+                                         hw::DeviceId gpu,
+                                         hw::MemoryNodeId src) const;
 
   /// Full transfer makespan for `bytes` with `chunk_bytes` chunks,
   /// excluding GPU compute.
-  Result<double> TransferTime(TransferMethod method, hw::DeviceId gpu,
-                              hw::MemoryNodeId src, double bytes,
-                              double chunk_bytes = kDefaultChunkBytes) const;
+  Result<Seconds> TransferTime(TransferMethod method, hw::DeviceId gpu,
+                               hw::MemoryNodeId src, Bytes bytes,
+                               Bytes chunk_bytes = kDefaultChunkBytes) const;
 
   /// True when the method pulls data (GPU-initiated): such methods can
   /// satisfy data-dependent accesses, e.g. hash-table operations in CPU

@@ -86,11 +86,11 @@ TEST(UnitsTest, ByteConstants) {
 
 TEST(UnitsTest, RoundTripBandwidth) {
   EXPECT_DOUBLE_EQ(ToGiBPerSecond(GiBPerSecond(63.0)), 63.0);
-  EXPECT_DOUBLE_EQ(GBPerSecond(16.0), 16e9);
+  EXPECT_DOUBLE_EQ(GBPerSecond(16.0).bytes_per_second(), 16e9);
 }
 
 TEST(UnitsTest, TimeConversions) {
-  EXPECT_DOUBLE_EQ(Nanoseconds(434.0), 434e-9);
+  EXPECT_DOUBLE_EQ(Nanoseconds(434.0).seconds(), 434e-9);
   EXPECT_DOUBLE_EQ(ToNanoseconds(Nanoseconds(282.0)), 282.0);
   EXPECT_DOUBLE_EQ(ToGTuplesPerSecond(3.83e9), 3.83);
 }

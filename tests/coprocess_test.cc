@@ -94,16 +94,17 @@ TEST_F(CoProcessTest, Fig21bHetBuildIsSlow) {
       model_.Estimate(ExecutionStrategy::kCpuOnly, config_, WorkloadC());
   ASSERT_TRUE(het.ok());
   ASSERT_TRUE(cpu.ok());
-  EXPECT_GT(het.value().build_s, 0.8 * cpu.value().build_s);
+  EXPECT_GT(het.value().build_s.seconds(),
+            0.8 * cpu.value().build_s.seconds());
 }
 
 TEST_F(CoProcessTest, GpuHetPaysBroadcastCost) {
   Result<JoinTiming> timing =
       model_.Estimate(ExecutionStrategy::kGpuHet, config_, WorkloadA());
   ASSERT_TRUE(timing.ok());
-  EXPECT_GT(timing.value().extra_s, 0.0);
+  EXPECT_GT(timing.value().extra_s.seconds(), 0.0);
   // 2 GiB table over NVLink at half rate: ~60 ms.
-  EXPECT_NEAR(timing.value().extra_s, 2.0 / 31.5, 0.03);
+  EXPECT_NEAR(timing.value().extra_s.seconds(), 2.0 / 31.5, 0.03);
 }
 
 TEST_F(CoProcessTest, DecisionTreeFig11) {
@@ -140,7 +141,7 @@ TEST_F(CoProcessTest, MultiGpuUsesBothLinks) {
   Result<JoinTiming> multi =
       model_.Estimate(ExecutionStrategy::kMultiGpu, config, w);
   ASSERT_TRUE(multi.ok());
-  EXPECT_GT(multi.value().probe_s, 0.0);
+  EXPECT_GT(multi.value().probe_s.seconds(), 0.0);
   // On the AC922 the GPUs are not directly connected; remote-GPU table
   // shares route over X-Bus, so interleaving does not beat one GPU with a
   // local table (an honest topology consequence, Sec. 6.3 assumes a

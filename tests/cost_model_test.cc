@@ -211,7 +211,7 @@ TEST_F(NopaModelTest, HybridRateInterpolatesMonotonically) {
     const HashTablePlacement placement =
         HashTablePlacement::Hybrid(kGpu0, kCpu0, f);
     const double rate =
-        ibm_model_.HashTableAccessRate(kGpu0, placement, big);
+        ibm_model_.HashTableAccessRate(kGpu0, placement, big).per_second();
     EXPECT_GT(rate, previous) << "fraction " << f;
     previous = rate;
   }

@@ -167,7 +167,7 @@ TEST_F(AdvisorTest, PrefersGpuOnNvlinkForLargeScans) {
   EXPECT_EQ(ibm_.topology.device(plan.value().device).kind,
             hw::DeviceKind::kGpu);
   EXPECT_EQ(plan.value().method, transfer::TransferMethod::kCoherence);
-  EXPECT_GT(plan.value().predicted_seconds, 0.0);
+  EXPECT_GT(plan.value().predicted_seconds.seconds(), 0.0);
 }
 
 TEST_F(AdvisorTest, PicksZeroCopyOnPcie) {
@@ -191,7 +191,7 @@ TEST_F(AdvisorTest, HugeDimensionSpillsToHybrid) {
   stats.fact_bytes_per_row = 16;
   stats.dimension_rows = {2e9};  // 32 GiB hash table: exceeds GPU memory.
   std::vector<join::HashTablePlacement> placements;
-  Result<double> predicted =
+  Result<Seconds> predicted =
       advisor.Predict(stats, hw::kGpu0,
                       transfer::TransferMethod::kCoherence, hw::kCpu0,
                       &placements);
@@ -205,10 +205,10 @@ TEST_F(AdvisorTest, PredictionMonotoneInFactSize) {
   QueryStats stats;
   stats.fact_bytes_per_row = 24;
   stats.dimension_rows = {1 << 20};
-  double previous = 0.0;
+  Seconds previous;
   for (double rows : {1e8, 1e9, 4e9}) {
     stats.fact_rows = rows;
-    Result<double> predicted = advisor.Predict(
+    Result<Seconds> predicted = advisor.Predict(
         stats, hw::kGpu0, transfer::TransferMethod::kCoherence, hw::kCpu0);
     ASSERT_TRUE(predicted.ok());
     EXPECT_GT(predicted.value(), previous);

@@ -2,6 +2,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/happens_before.h"
 #include "exec/het_scheduler.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
@@ -9,6 +10,30 @@
 
 namespace pump::exec {
 namespace {
+
+TEST(HappensBeforeTest, EpochCounterCountsOnlyWhenEnabled) {
+  hb::EpochCounter counter;
+  counter.Bump();
+  counter.Bump();
+#if PUMP_HB_ASSERTIONS
+  EXPECT_EQ(counter.Load(), 2u);
+#else
+  // Release stand-in: no storage, epochs always read 0.
+  EXPECT_EQ(counter.Load(), 0u);
+#endif
+}
+
+TEST(HappensBeforeTest, DispatcherClaimEpochsMatchSuccessfulClaims) {
+  MorselDispatcher dispatcher(1000, 100);
+  std::uint64_t successful = 0;
+  while (dispatcher.Next()) ++successful;
+  EXPECT_EQ(successful, 10u);
+#if PUMP_HB_ASSERTIONS
+  EXPECT_EQ(dispatcher.hb_claims(), successful);
+#else
+  EXPECT_EQ(dispatcher.hb_claims(), 0u);
+#endif
+}
 
 TEST(MorselDispatcherTest, CoversInputExactlyOnce) {
   MorselDispatcher dispatcher(1000, 64);

@@ -41,8 +41,10 @@ TEST(DirectGpuMeshTest, PeerRandomAccessSkipsNpu) {
   // to one link.
   const hw::LinkSpec peer = hw::Nvlink2Bundle(1);
   const hw::LinkSpec host = hw::Nvlink2x3();
-  EXPECT_GT(peer.random_access_rate, host.random_access_rate / 3.0 * 1.5);
-  EXPECT_NEAR(peer.seq_bw, host.seq_bw / 3.0, 1.0);
+  EXPECT_GT(peer.random_access_rate.per_second(),
+            host.random_access_rate.per_second() / 3.0 * 1.5);
+  EXPECT_NEAR(peer.seq_bw.gib_per_second(),
+              host.seq_bw.gib_per_second() / 3.0, 1.0);
 }
 
 TEST(DirectGpuMeshTest, InterleavingScalesOnMesh) {
@@ -64,9 +66,9 @@ TEST(DirectGpuMeshTest, InterleavingScalesOnMesh) {
         .value()
         .Throughput(static_cast<double>(big.total_tuples()));
   };
-  const double two = interleaved(2);
-  const double four = interleaved(4);
-  EXPECT_GT(four, 1.4 * two);
+  const PerSecond two = interleaved(2);
+  const PerSecond four = interleaved(4);
+  EXPECT_GT(four.per_second(), 1.4 * two.per_second());
 }
 
 TEST(SkewAwarePlacementTest, BeatsAddressSplitUnderSkew) {
@@ -82,10 +84,11 @@ TEST(SkewAwarePlacementTest, BeatsAddressSplitUnderSkew) {
   const HashTablePlacement skew_aware = HashTablePlacement::SkewAware(
       hw::kGpu0, hw::kCpu0, 0.25, w.r_tuples, w.zipf_exponent);
 
-  const double plain =
+  const PerSecond plain =
       model.HashTableAccessRate(hw::kGpu0, address_split, w);
-  const double aware = model.HashTableAccessRate(hw::kGpu0, skew_aware, w);
-  EXPECT_GT(aware, 1.5 * plain);
+  const PerSecond aware =
+      model.HashTableAccessRate(hw::kGpu0, skew_aware, w);
+  EXPECT_GT(aware.per_second(), 1.5 * plain.per_second());
 }
 
 TEST(SkewAwarePlacementTest, DegeneratesToUniformWithoutSkew) {
@@ -154,14 +157,14 @@ TEST(MaterializeTest, ModelChargesResultStream) {
   config.r_location = hw::kCpu0;
   config.s_location = hw::kCpu0;
   config.hash_table = HashTablePlacement::Single(hw::kGpu0);
-  const double aggregate_s =
+  const Seconds aggregate_s =
       model.Estimate(config, w).value().probe_s;
   config.materialize_result = true;
-  const double materialize_s =
+  const Seconds materialize_s =
       model.Estimate(config, w).value().probe_s;
-  EXPECT_GT(materialize_s, aggregate_s);
+  EXPECT_GT(materialize_s.seconds(), aggregate_s.seconds());
   // Full-duplex links overlap the write-back, so the penalty is bounded.
-  EXPECT_LT(materialize_s, 2.0 * aggregate_s);
+  EXPECT_LT(materialize_s.seconds(), 2.0 * aggregate_s.seconds());
 }
 
 }  // namespace

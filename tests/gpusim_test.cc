@@ -66,10 +66,10 @@ TEST(OccupancyTest, FullOccupancySaturatesNvlink) {
   KernelConfig kernel;
   kernel.threads_per_block = 256;
   kernel.registers_per_thread = 32;
-  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(434)),
-            GiBPerSecond(63.0));
-  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(282)),
-            GiBPerSecond(729.0));
+  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(434)).value(),
+            GiBPerSecond(63.0).value());
+  EXPECT_GT(model.AchievableBandwidth(kernel, Nanoseconds(282)).value(),
+            GiBPerSecond(729.0).value());
 }
 
 TEST(OccupancyTest, FewWarpsSufficeForNvlink) {
@@ -91,7 +91,8 @@ TEST(OccupancyTest, DerivedMlpCoversDeviceSpec) {
   kernel.threads_per_block = 256;
   kernel.registers_per_thread = 32;
   const hw::DeviceSpec v100 = hw::TeslaV100();
-  EXPECT_GE(model.OutstandingBytes(kernel), v100.max_outstanding_bytes);
+  EXPECT_GE(model.OutstandingBytes(kernel).bytes(),
+            v100.max_outstanding.bytes());
   EXPECT_GE(model.OutstandingRequests(kernel),
             v100.max_outstanding_requests);
 }
@@ -102,21 +103,25 @@ TEST(OccupancyTest, CpuCannotHideThatLatency) {
   // architectural reason the paper keeps hash tables away from GPU
   // memory for CPU probes (Sec. 6.2).
   const hw::DeviceSpec p9 = hw::Power9();
-  const double latency = Nanoseconds(282 + 366);
-  EXPECT_LT(p9.max_outstanding_bytes / latency, GiBPerSecond(63.0));
+  const Seconds latency = Nanoseconds(282 + 366);
+  EXPECT_LT((p9.max_outstanding / latency).value(),
+            GiBPerSecond(63.0).value());
 }
 
 TEST(OccupancyTest, LaunchOverheadLinear) {
   GpuArch arch;
-  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 0), 0.0);
-  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 100), 100 * arch.launch_latency_s);
+  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 0).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(LaunchOverhead(arch, 100).seconds(),
+                   100 * arch.launch_latency.seconds());
 }
 
 TEST(OccupancyTest, ZeroLatencyGuards) {
   OccupancyModel model;
   KernelConfig kernel;
-  EXPECT_DOUBLE_EQ(model.AchievableBandwidth(kernel, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(model.AchievableAccessRate(kernel, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.AchievableBandwidth(kernel, Seconds(0.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.AchievableAccessRate(kernel, Seconds(0.0)).value(), 0.0);
 }
 
 }  // namespace

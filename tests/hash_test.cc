@@ -207,7 +207,7 @@ TEST_F(HybridTableTest, SmallTableAllGpu) {
 TEST_F(HybridTableTest, ReserveForcesSpill) {
   // Reserve all but 1 MiB of GPU memory: a 2 MiB table must spill half.
   const std::uint64_t gpu_capacity =
-      topo_.memory(hw::kGpu0).capacity_bytes;
+      topo_.memory(hw::kGpu0).capacity.u64();
   auto table = HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager_, hw::kGpu0, (2 << 20) / 16,
       /*gpu_reserve_bytes=*/gpu_capacity - (1 << 20));
@@ -219,7 +219,7 @@ TEST_F(HybridTableTest, ReserveForcesSpill) {
 
 TEST_F(HybridTableTest, FunctionalAcrossTheSplit) {
   const std::uint64_t gpu_capacity =
-      topo_.memory(hw::kGpu0).capacity_bytes;
+      topo_.memory(hw::kGpu0).capacity.u64();
   auto table = HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager_, hw::kGpu0, 4096,
       /*gpu_reserve_bytes=*/gpu_capacity - 16 * 1024);

@@ -20,8 +20,8 @@ TEST(DeviceSpecTest, KindsAndNames) {
 TEST(DeviceSpecTest, GpuHidesLatencyBetterThanCpu) {
   // Core modelling assumption (Sec. 3): GPUs keep far more memory traffic
   // in flight than CPUs.
-  EXPECT_GT(TeslaV100().max_outstanding_bytes,
-            10 * Power9().max_outstanding_bytes);
+  EXPECT_GT(TeslaV100().max_outstanding.bytes(),
+            10 * Power9().max_outstanding.bytes());
   EXPECT_GT(TeslaV100().max_outstanding_requests,
             10 * Power9().max_outstanding_requests);
   EXPECT_EQ(TeslaV100().random_dependency_factor, 1.0);
@@ -59,7 +59,8 @@ TEST(LinkSpecTest, PacketOverheads) {
   // 20-26 B header, so NVLink is more efficient for small payloads.
   EXPECT_GT(Nvlink2x3().BulkEfficiency(), 0.9);
   EXPECT_GT(Pcie3x16().BulkEfficiency(), 0.9);
-  EXPECT_LT(Nvlink2x3().header_bytes, Pcie3x16().header_bytes);
+  EXPECT_LT(Nvlink2x3().header_bytes.bytes(),
+            Pcie3x16().header_bytes.bytes());
 }
 
 TEST(MemorySpecTest, PaperAnchors) {
@@ -67,10 +68,10 @@ TEST(MemorySpecTest, PaperAnchors) {
   EXPECT_DOUBLE_EQ(ToGiBPerSecond(Power9Memory().seq_bw), 117.0);
   EXPECT_DOUBLE_EQ(ToGiBPerSecond(XeonMemory().seq_bw), 81.0);
   EXPECT_DOUBLE_EQ(ToGiBPerSecond(V100Hbm2().seq_bw), 729.0);
-  EXPECT_DOUBLE_EQ(V100Hbm2().capacity_bytes, 16.0 * kGiB);
-  EXPECT_NEAR(ToNanoseconds(Power9Memory().latency_s), 68.0, 0.1);
-  EXPECT_NEAR(ToNanoseconds(XeonMemory().latency_s), 70.0, 0.1);
-  EXPECT_NEAR(ToNanoseconds(V100Hbm2().latency_s), 282.0, 0.1);
+  EXPECT_DOUBLE_EQ(V100Hbm2().capacity.bytes(), 16.0 * kGiB);
+  EXPECT_NEAR(ToNanoseconds(Power9Memory().latency), 68.0, 0.1);
+  EXPECT_NEAR(ToNanoseconds(XeonMemory().latency), 70.0, 0.1);
+  EXPECT_NEAR(ToNanoseconds(V100Hbm2().latency), 282.0, 0.1);
 }
 
 TEST(CacheSpecTest, GpuL2IsMemorySide) {
@@ -186,8 +187,8 @@ TEST_F(TopologyTest, ToStringMentionsDevices) {
 
 TEST(SystemProfileTest, PageSizesMatchOs) {
   // Sec. 4.2 [69]: 4 KiB pages on Intel, 64 KiB on IBM.
-  EXPECT_EQ(Ac922Profile().os_page_bytes, 64u * kKiB);
-  EXPECT_EQ(XeonProfile().os_page_bytes, 4u * kKiB);
+  EXPECT_EQ(Ac922Profile().os_page.u64(), 64u * kKiB);
+  EXPECT_EQ(XeonProfile().os_page.u64(), 4u * kKiB);
 }
 
 TEST(SystemProfileTest, StagingThreadsMatchPaper) {

@@ -224,7 +224,7 @@ TEST(IntegrationTest, HybridTableUnderRadixAndNopa) {
   const auto outer =
       GenerateOuterUniform<std::int64_t, std::int64_t>(1 << 16, n, 14);
 
-  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity_bytes;
+  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity.u64();
   auto hybrid = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager, hw::kGpu0, n, gpu_capacity - n * 4);
   ASSERT_TRUE(hybrid.ok());

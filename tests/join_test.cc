@@ -132,7 +132,7 @@ TEST(NopaJoinTest, RunsOnHybridTable) {
       GenerateOuterUniform<std::int64_t, std::int64_t>(30000, n, 12);
 
   // Force a GPU/CPU split to exercise the spilled table end to end.
-  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity_bytes;
+  const std::uint64_t gpu_capacity = topo.memory(hw::kGpu0).capacity.u64();
   auto hybrid = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager, hw::kGpu0, n, gpu_capacity - n * 8);
   ASSERT_TRUE(hybrid.ok());

@@ -39,21 +39,24 @@ TEST_P(PathInvariantTest, BoundsAndConsistency) {
   const sim::AccessPath path = sim::MustResolve(topo, device, memory);
 
   // Bandwidth and rates are positive and bounded by the local memory's.
-  EXPECT_GT(path.seq_bw, 0.0);
-  EXPECT_GT(path.random_access_rate, 0.0);
-  EXPECT_LE(path.seq_bw, topo.memory(memory).seq_bw * 1.0001);
-  EXPECT_LE(path.random_access_rate,
-            topo.memory(memory).random_access_rate * 1.0001);
+  EXPECT_GT(path.seq_bw.bytes_per_second(), 0.0);
+  EXPECT_GT(path.random_access_rate.per_second(), 0.0);
+  EXPECT_LE(path.seq_bw.bytes_per_second(),
+            topo.memory(memory).seq_bw.bytes_per_second() * 1.0001);
+  EXPECT_LE(path.random_access_rate.per_second(),
+            topo.memory(memory).random_access_rate.per_second() * 1.0001);
 
   // Latency at least the memory's own latency; grows with hops.
-  EXPECT_GE(path.latency_s, topo.memory(memory).latency_s);
+  EXPECT_GE(path.latency.seconds(), topo.memory(memory).latency.seconds());
   if (path.hops == 0) {
-    EXPECT_DOUBLE_EQ(path.latency_s, topo.memory(memory).latency_s);
+    EXPECT_DOUBLE_EQ(path.latency.seconds(),
+                     topo.memory(memory).latency.seconds());
     EXPECT_TRUE(path.cache_coherent);
   }
 
   // Dependent rate never exceeds the independent rate.
-  EXPECT_LE(path.dependent_access_rate, path.random_access_rate * 1.0001);
+  EXPECT_LE(path.dependent_access_rate.per_second(),
+            path.random_access_rate.per_second() * 1.0001);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPairs, PathInvariantTest,
@@ -70,7 +73,9 @@ class JoinMonotonicityTest : public ::testing::Test {
                     const data::WorkloadSpec& w) const {
     Result<join::JoinTiming> timing = model_.Estimate(config, w);
     EXPECT_TRUE(timing.ok()) << timing.status();
-    return timing.value().Throughput(static_cast<double>(w.total_tuples()));
+    return timing.value()
+        .Throughput(static_cast<double>(w.total_tuples()))
+        .per_second();
   }
 
   NopaConfig GpuConfig(hw::MemoryNodeId ht) const {
@@ -162,8 +167,8 @@ TEST_F(JoinMonotonicityTest, BuildAndProbePositive) {
     Result<join::JoinTiming> timing =
         model_.Estimate(GpuConfig(hw::kGpu0), w);
     ASSERT_TRUE(timing.ok());
-    EXPECT_GT(timing.value().build_s, 0.0);
-    EXPECT_GT(timing.value().probe_s, 0.0);
+    EXPECT_GT(timing.value().build_s.seconds(), 0.0);
+    EXPECT_GT(timing.value().probe_s.seconds(), 0.0);
   }
 }
 
@@ -176,12 +181,12 @@ class TransferSweepTest
 TEST_P(TransferSweepTest, MakespanMonotonicInBytes) {
   const hw::SystemProfile profile = hw::Ac922Profile();
   const transfer::TransferModel model(&profile);
-  double previous = 0.0;
+  Seconds previous;
   for (double gib = 1.0; gib <= 64.0; gib *= 2.0) {
-    Result<double> time = model.TransferTime(GetParam(), hw::kGpu0,
-                                             hw::kCpu0, gib * kGiB);
+    Result<Seconds> time = model.TransferTime(GetParam(), hw::kGpu0,
+                                              hw::kCpu0, Bytes::GiB(gib));
     ASSERT_TRUE(time.ok());
-    EXPECT_GT(time.value(), previous);
+    EXPECT_GT(time.value().seconds(), previous.seconds());
     previous = time.value();
   }
 }
@@ -193,13 +198,13 @@ TEST_P(TransferSweepTest, IngestWithinLinkEnvelope) {
         ibm ? hw::Ac922Profile() : hw::XeonProfile();
     const transfer::TransferModel model(&profile);
     if (GetParam() == TransferMethod::kCoherence && !ibm) continue;
-    Result<double> bw =
+    Result<BytesPerSecond> bw =
         model.IngestBandwidth(GetParam(), hw::kGpu0, hw::kCpu0);
     ASSERT_TRUE(bw.ok());
-    const double electrical =
+    const BytesPerSecond electrical =
         ibm ? GBPerSecond(75.0) : GBPerSecond(16.0);
-    EXPECT_LE(bw.value(), electrical);
-    EXPECT_GT(bw.value(), 0.0);
+    EXPECT_LE(bw.value().bytes_per_second(), electrical.bytes_per_second());
+    EXPECT_GT(bw.value().bytes_per_second(), 0.0);
   }
 }
 

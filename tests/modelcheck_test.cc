@@ -1,0 +1,98 @@
+// Tests of the model linter: both testbed profiles must come back clean,
+// and the deliberately broken fixture must fail with the expected,
+// named violations.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/model_check.h"
+#include "gtest/gtest.h"
+#include "hw/system_profile.h"
+
+namespace pump::check {
+namespace {
+
+std::vector<std::string> ViolatedChecks(const ProfileReport& report) {
+  std::vector<std::string> checks;
+  for (const Violation& violation : report.violations) {
+    checks.push_back(violation.check);
+  }
+  return checks;
+}
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+TEST(ModelCheckTest, Ac922ProfileIsClean) {
+  const ProfileReport report = CheckProfile(hw::Ac922Profile());
+  EXPECT_TRUE(report.ok()) << ReportsToJson({report});
+  EXPECT_GE(report.checks_run.size(), 10u);
+}
+
+TEST(ModelCheckTest, XeonProfileIsClean) {
+  const ProfileReport report = CheckProfile(hw::XeonProfile());
+  EXPECT_TRUE(report.ok()) << ReportsToJson({report});
+  EXPECT_GE(report.checks_run.size(), 10u);
+}
+
+TEST(ModelCheckTest, BrokenFixtureFailsWithExpectedViolations) {
+  const ProfileReport report = CheckProfile(BrokenFixtureProfile());
+  ASSERT_FALSE(report.ok());
+  const std::vector<std::string> violated = ViolatedChecks(report);
+  // GPU1 is disconnected.
+  EXPECT_TRUE(Contains(violated, "topology.connectivity")) << ReportsToJson({report});
+  // The CPU-GPU link claims 100 GiB/s measured over a 75 GB/s wire.
+  EXPECT_TRUE(Contains(violated, "link.bandwidth-ordering"));
+  // ... which is also off the paper's 63 GiB/s NVLink figure.
+  EXPECT_TRUE(Contains(violated, "link.calibration"));
+  // CPU0's memory latency (500 ns) is far off Fig. 3b's 68 ns.
+  EXPECT_TRUE(Contains(violated, "memory.calibration"));
+  // At 500 ns, the POWER9 outstanding-bytes budget cannot sustain the
+  // advertised 117 GiB/s; and GPU0's 16 outstanding requests cannot
+  // sustain the HBM2 random-access rate.
+  EXPECT_TRUE(Contains(violated, "littles-law.spec"));
+}
+
+TEST(ModelCheckTest, BrokenFixtureConnectivityNamesTheOrphanDevice) {
+  ProfileReport report;
+  report.profile = "broken-fixture";
+  CheckConnectivity(BrokenFixtureProfile(), &report);
+  ASSERT_FALSE(report.violations.empty());
+  // Every connectivity violation involves the unlinked GPU1 (id 3).
+  for (const Violation& violation : report.violations) {
+    EXPECT_EQ(violation.check, "topology.connectivity");
+    EXPECT_NE(violation.subject.find("3"), std::string::npos)
+        << violation.subject;
+  }
+}
+
+TEST(ModelCheckTest, CleanChecksReportWhatRan) {
+  ProfileReport report;
+  report.profile = "ac922";
+  const hw::SystemProfile profile = hw::Ac922Profile();
+  CheckRouteSymmetry(profile, &report);
+  CheckLinkSanity(profile, &report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(Contains(report.checks_run, "topology.route-symmetry"));
+  EXPECT_TRUE(Contains(report.checks_run, "link.bandwidth-ordering"));
+}
+
+TEST(ModelCheckTest, JsonReportIsMachineReadable) {
+  const ProfileReport clean = CheckProfile(hw::Ac922Profile());
+  const ProfileReport broken = CheckProfile(BrokenFixtureProfile());
+  const std::string json = ReportsToJson({clean, broken});
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\": \"broken-fixture\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"topology.connectivity\""),
+            std::string::npos);
+  // Top-level ok reflects the AND over profiles.
+  EXPECT_EQ(json.rfind("{\"ok\": false", 0), 0u);
+}
+
+}  // namespace
+}  // namespace pump::check

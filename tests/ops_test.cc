@@ -77,7 +77,7 @@ class Q6ModelTest : public ::testing::Test {
     Result<Q6Timing> timing =
         model.Estimate(device, kCpu0, method, variant, kRows);
     EXPECT_TRUE(timing.ok()) << timing.status();
-    return timing.value().RowsPerSecond() / 1e9;
+    return timing.value().RowsPerSecond().giga_per_second();
   }
 
   static constexpr double kRows = 6e9;  // ~ SF 1000.
@@ -140,12 +140,14 @@ TEST_F(Q6ModelTest, ThroughputRoughlyFlatAcrossScaleFactors) {
                            .Estimate(kGpu0, kCpu0, TransferMethod::kCoherence,
                                      Q6Variant::kBranching, 0.6e9)
                            .value()
-                           .RowsPerSecond();
+                           .RowsPerSecond()
+                           .per_second();
   const double sf1000 = model
                             .Estimate(kGpu0, kCpu0, TransferMethod::kCoherence,
                                       Q6Variant::kBranching, 6e9)
                             .value()
-                            .RowsPerSecond();
+                            .RowsPerSecond()
+                            .per_second();
   EXPECT_NEAR(sf1000 / sf100, 1.0, 0.05);
   EXPECT_GE(sf1000, sf100);
 }

@@ -158,14 +158,15 @@ TEST(PartitionedGpuModelTest, PcieOutOfCorePrefersPartitioning) {
   config.method = transfer::TransferMethod::kZeroCopy;
   config.relation_memory = memory::MemoryKind::kPinned;
   const double nopa_tput =
-      nopa.Estimate(config, big).value().Throughput(total);
+      nopa.Estimate(config, big).value().Throughput(total).per_second();
 
   const double part_tput =
       partitioned
           .Estimate(hw::kCpu0, hw::kGpu0,
                     transfer::TransferMethod::kPinnedCopy, big)
           .value()
-          .Throughput(total);
+          .Throughput(total)
+          .per_second();
   EXPECT_GT(part_tput, 5.0 * nopa_tput);
 }
 
@@ -186,13 +187,14 @@ TEST(PartitionedGpuModelTest, NvlinkPrefersNopa) {
   config.hash_table = HashTablePlacement::Hybrid(hw::kGpu0, hw::kCpu0,
                                                  15.0 / 24.0);
   const double nopa_tput =
-      nopa.Estimate(config, big).value().Throughput(total);
+      nopa.Estimate(config, big).value().Throughput(total).per_second();
   const double part_tput =
       partitioned
           .Estimate(hw::kCpu0, hw::kGpu0,
                     transfer::TransferMethod::kPinnedCopy, big)
           .value()
-          .Throughput(total);
+          .Throughput(total)
+          .per_second();
   EXPECT_GT(nopa_tput, part_tput);
 }
 
@@ -217,13 +219,14 @@ TEST(PartitionedGpuModelTest, InCoreNopaWinsOnBothSystems) {
     config.relation_memory = ibm_system ? memory::MemoryKind::kPageable
                                         : memory::MemoryKind::kPinned;
     const double nopa_tput =
-        nopa.Estimate(config, small).value().Throughput(total);
+        nopa.Estimate(config, small).value().Throughput(total).per_second();
     const double part_tput =
         partitioned
             .Estimate(hw::kCpu0, hw::kGpu0,
                       transfer::TransferMethod::kPinnedCopy, small)
             .value()
-            .Throughput(total);
+            .Throughput(total)
+            .per_second();
     EXPECT_GT(nopa_tput, part_tput) << (ibm_system ? "IBM" : "Intel");
   }
 }

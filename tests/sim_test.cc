@@ -35,8 +35,8 @@ TEST_P(IbmPathTest, MatchesPaperAnchor) {
       GetParam();
   const AccessPath path = MustResolve(topo_, device, memory);
   EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), seq_gib, seq_gib * 0.05) << name;
-  EXPECT_NEAR(path.random_access_rate / 1e9, rand_g, rand_g * 0.05) << name;
-  EXPECT_NEAR(ToNanoseconds(path.latency_s), latency_ns, latency_ns * 0.05)
+  EXPECT_NEAR(path.random_access_rate.giga_per_second(), rand_g, rand_g * 0.05) << name;
+  EXPECT_NEAR(ToNanoseconds(path.latency), latency_ns, latency_ns * 0.05)
       << name;
 }
 
@@ -56,8 +56,8 @@ TEST(IntelPathTest, PcieMatchesFig3) {
   hw::Topology topo = hw::IntelXeonV100();
   const AccessPath path = MustResolve(topo, kGpu0, kCpu0);
   EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 12.0, 0.6);
-  EXPECT_NEAR(path.random_access_rate / 1e9, 0.05, 0.005);
-  EXPECT_NEAR(ToNanoseconds(path.latency_s), 790.0, 20.0);
+  EXPECT_NEAR(path.random_access_rate.giga_per_second(), 0.05, 0.005);
+  EXPECT_NEAR(ToNanoseconds(path.latency), 790.0, 20.0);
   EXPECT_FALSE(path.cache_coherent);
 }
 
@@ -65,8 +65,8 @@ TEST(IntelPathTest, UpiMatchesFig3) {
   hw::Topology topo = hw::IntelXeonV100();
   const AccessPath path = MustResolve(topo, kCpu0, kCpu1);
   EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 31.0, 1.6);
-  EXPECT_NEAR(path.random_access_rate / 1e9, 0.537, 0.03);
-  EXPECT_NEAR(ToNanoseconds(path.latency_s), 121.0, 6.0);
+  EXPECT_NEAR(path.random_access_rate.giga_per_second(), 0.537, 0.03);
+  EXPECT_NEAR(ToNanoseconds(path.latency), 121.0, 6.0);
   EXPECT_TRUE(path.cache_coherent);
 }
 
@@ -74,7 +74,7 @@ TEST(IntelPathTest, XeonLocalMatchesFig3) {
   hw::Topology topo = hw::IntelXeonV100();
   const AccessPath path = MustResolve(topo, kCpu0, kCpu0);
   EXPECT_NEAR(ToGiBPerSecond(path.seq_bw), 81.0, 4.0);
-  EXPECT_NEAR(ToNanoseconds(path.latency_s), 70.0, 1.0);
+  EXPECT_NEAR(ToNanoseconds(path.latency), 70.0, 1.0);
 }
 
 TEST(AccessPathTest, MultiHopBindsToSlowestLink) {
@@ -86,21 +86,21 @@ TEST(AccessPathTest, MultiHopBindsToSlowestLink) {
   const AccessPath two_hop = MustResolve(topo, kGpu0, kCpu1);
   EXPECT_EQ(two_hop.hops, 2u);
   EXPECT_NEAR(ToGiBPerSecond(two_hop.seq_bw), 28.4, 1.5);
-  EXPECT_NEAR(two_hop.random_access_rate / 1e9, 0.262, 0.02);
+  EXPECT_NEAR(two_hop.random_access_rate.giga_per_second(), 0.262, 0.02);
 
   const AccessPath three_hop = MustResolve(topo, kGpu0, kGpu1);
   EXPECT_EQ(three_hop.hops, 3u);
   EXPECT_LT(three_hop.seq_bw, two_hop.seq_bw);
   EXPECT_LT(three_hop.random_access_rate, two_hop.random_access_rate);
-  EXPECT_GT(three_hop.latency_s, two_hop.latency_s);
+  EXPECT_GT(three_hop.latency.seconds(), two_hop.latency.seconds());
 }
 
 TEST(AccessPathTest, LatencyAccumulatesPerHop) {
   hw::Topology topo = hw::IbmAc922();
-  const double local = MustResolve(topo, kCpu0, kCpu0).latency_s;
-  const double one = MustResolve(topo, kGpu0, kCpu0).latency_s;
-  const double two = MustResolve(topo, kGpu0, kCpu1).latency_s;
-  const double three = MustResolve(topo, kGpu0, kGpu1).latency_s;
+  const double local = MustResolve(topo, kCpu0, kCpu0).latency.seconds();
+  const double one = MustResolve(topo, kGpu0, kCpu0).latency.seconds();
+  const double two = MustResolve(topo, kGpu0, kCpu1).latency.seconds();
+  const double three = MustResolve(topo, kGpu0, kGpu1).latency.seconds();
   EXPECT_LT(local, one);
   EXPECT_LT(one, two);
   EXPECT_LT(two, three);
@@ -112,15 +112,18 @@ TEST(AccessPathTest, CpuIsLatencyBoundOverInterconnect) {
   // the GPU has to CPU memory, because it cannot hide the latency.
   const AccessPath cpu_to_gpu = MustResolve(topo, kCpu0, kGpu0);
   const AccessPath gpu_to_cpu = MustResolve(topo, kGpu0, kCpu0);
-  EXPECT_LT(cpu_to_gpu.seq_bw, 0.35 * gpu_to_cpu.seq_bw);
+  EXPECT_LT(cpu_to_gpu.seq_bw.bytes_per_second(),
+            0.35 * gpu_to_cpu.seq_bw.bytes_per_second());
 }
 
 TEST(AccessPathTest, DependentRateReflectsDeviceFactor) {
   hw::Topology topo = hw::IbmAc922();
   const AccessPath gpu = MustResolve(topo, kGpu0, kGpu0);
-  EXPECT_DOUBLE_EQ(gpu.dependent_access_rate, gpu.random_access_rate);
+  EXPECT_DOUBLE_EQ(gpu.dependent_access_rate.per_second(),
+                   gpu.random_access_rate.per_second());
   const AccessPath cpu = MustResolve(topo, kCpu0, kCpu0);
-  EXPECT_LT(cpu.dependent_access_rate, cpu.random_access_rate);
+  EXPECT_LT(cpu.dependent_access_rate.per_second(),
+            cpu.random_access_rate.per_second());
 }
 
 TEST(AccessPathTest, ErrorOnDisconnected) {
@@ -198,8 +201,8 @@ TEST(CacheModelTest, BlendedRateBounds) {
 
 TEST(CacheModelTest, CacheResidentEntries) {
   hw::CacheSpec cache;
-  cache.capacity_bytes = 1024;
-  cache.line_bytes = 128.0;
+  cache.capacity = Bytes(1024.0);
+  cache.line_bytes = Bytes(128.0);
   EXPECT_EQ(CacheResidentEntries(cache, 16), 64u);
   EXPECT_EQ(CacheResidentEntries(cache, 0), 0u);
 }

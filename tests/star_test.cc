@@ -118,8 +118,9 @@ TEST_F(StarModelTest, ParallelBuildBeatsSerialForManyDimensions) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   // The parallel build is ~4x shorter but pays the broadcast.
-  EXPECT_LT(parallel.value().build_s, serial.value().build_s / 3.0);
-  EXPECT_GT(parallel.value().broadcast_s, 0.0);
+  EXPECT_LT(parallel.value().build_s.seconds(),
+            serial.value().build_s.seconds() / 3.0);
+  EXPECT_GT(parallel.value().broadcast_s.seconds(), 0.0);
 }
 
 TEST_F(StarModelTest, SelectiveDimensionsShortCircuit) {
@@ -136,11 +137,11 @@ TEST_F(StarModelTest, SelectiveDimensionsShortCircuit) {
       model_.Estimate(hw::kGpu0, hw::kCpu0, 4e9, permissive, false);
   ASSERT_TRUE(fast.ok());
   ASSERT_TRUE(slow.ok());
-  EXPECT_LT(fast.value().probe_s, slow.value().probe_s);
+  EXPECT_LT(fast.value().probe_s.seconds(), slow.value().probe_s.seconds());
 }
 
 TEST_F(StarModelTest, MoreDimensionsCostMore) {
-  double previous = 0.0;
+  Seconds previous;
   for (std::size_t k : {1u, 2u, 4u}) {
     std::vector<StarDimension> dims(k, StarDimension{32ull << 20, 1.0});
     Result<StarTiming> timing =

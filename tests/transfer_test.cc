@@ -73,35 +73,50 @@ TEST(MethodTraitsTest, OnlyPullMethodsSupportDataDependence) {
 }
 
 TEST(PipelineTest, MakespanSingleStage) {
-  std::vector<PipelineStage> stages = {{"copy", 100.0, 0.0}};
+  std::vector<PipelineStage> stages = {
+      {"copy", BytesPerSecond(100.0), Seconds(0.0)}};
   // 10 chunks of 10 bytes at 100 B/s: 0.1 s fill + 9 * 0.1 s.
-  EXPECT_NEAR(PipelineMakespan(stages, 100.0, 10.0), 1.0, 1e-9);
+  EXPECT_NEAR(PipelineMakespan(stages, Bytes(100.0), Bytes(10.0)).seconds(),
+              1.0, 1e-9);
 }
 
 TEST(PipelineTest, MakespanTwoStagesOverlaps) {
-  std::vector<PipelineStage> stages = {{"a", 100.0, 0.0}, {"b", 100.0, 0.0}};
+  std::vector<PipelineStage> stages = {
+      {"a", BytesPerSecond(100.0), Seconds(0.0)},
+      {"b", BytesPerSecond(100.0), Seconds(0.0)}};
   // Perfect two-stage pipeline: fill 0.2 s + 9 * 0.1 s = 1.1 s, well under
   // the 2.0 s serial time.
-  EXPECT_NEAR(PipelineMakespan(stages, 100.0, 10.0), 1.1, 1e-9);
+  EXPECT_NEAR(PipelineMakespan(stages, Bytes(100.0), Bytes(10.0)).seconds(),
+              1.1, 1e-9);
 }
 
 TEST(PipelineTest, BottleneckStagePaces) {
-  std::vector<PipelineStage> stages = {{"fast", 1000.0, 0.0},
-                                       {"slow", 10.0, 0.0}};
-  EXPECT_NEAR(PipelineSteadyStateRate(stages, 10.0), 10.0, 1e-9);
+  std::vector<PipelineStage> stages = {
+      {"fast", BytesPerSecond(1000.0), Seconds(0.0)},
+      {"slow", BytesPerSecond(10.0), Seconds(0.0)}};
+  EXPECT_NEAR(
+      PipelineSteadyStateRate(stages, Bytes(10.0)).bytes_per_second(),
+      10.0, 1e-9);
 }
 
 TEST(PipelineTest, PerChunkLatencyFavorsLargerChunks) {
-  std::vector<PipelineStage> stages = {{"dma", 1e9, 10e-6}};
-  const double small = PipelineSteadyStateRate(stages, 64.0 * kKiB);
-  const double large = PipelineSteadyStateRate(stages, 8.0 * kMiB);
-  EXPECT_GT(large, small);
+  std::vector<PipelineStage> stages = {
+      {"dma", BytesPerSecond(1e9), Seconds::Micros(10.0)}};
+  const BytesPerSecond small = PipelineSteadyStateRate(stages, Bytes::KiB(64));
+  const BytesPerSecond large = PipelineSteadyStateRate(stages, Bytes::MiB(8));
+  EXPECT_GT(large.bytes_per_second(), small.bytes_per_second());
 }
 
 TEST(PipelineTest, EmptyInputs) {
-  EXPECT_DOUBLE_EQ(PipelineMakespan({}, 100.0, 10.0), 0.0);
-  EXPECT_DOUBLE_EQ(PipelineMakespan({{"a", 1.0, 0.0}}, 0.0, 10.0), 0.0);
-  EXPECT_DOUBLE_EQ(PipelineSteadyStateRate({}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      PipelineMakespan({}, Bytes(100.0), Bytes(10.0)).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      PipelineMakespan({{"a", BytesPerSecond(1.0), Seconds(0.0)}},
+                       Bytes(0.0), Bytes(10.0))
+          .seconds(),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      PipelineSteadyStateRate({}, Bytes(10.0)).bytes_per_second(), 0.0);
 }
 
 class TransferModelIbmTest : public ::testing::Test {
@@ -157,22 +172,22 @@ TEST_F(TransferModelIbmTest, NvlinkIngestOrdering) {
   auto bw = [&](TransferMethod m) {
     return model_.IngestBandwidth(m, kGpu0, kCpu0).value();
   };
-  const double coherence = bw(TransferMethod::kCoherence);
-  const double zero_copy = bw(TransferMethod::kZeroCopy);
-  const double pinned = bw(TransferMethod::kPinnedCopy);
-  const double dynamic = bw(TransferMethod::kDynamicPinning);
-  const double staged = bw(TransferMethod::kStagedCopy);
-  const double pageable = bw(TransferMethod::kPageableCopy);
-  const double um_prefetch = bw(TransferMethod::kUmPrefetch);
-  const double um_migration = bw(TransferMethod::kUmMigration);
+  const BytesPerSecond coherence = bw(TransferMethod::kCoherence);
+  const BytesPerSecond zero_copy = bw(TransferMethod::kZeroCopy);
+  const BytesPerSecond pinned = bw(TransferMethod::kPinnedCopy);
+  const BytesPerSecond dynamic = bw(TransferMethod::kDynamicPinning);
+  const BytesPerSecond staged = bw(TransferMethod::kStagedCopy);
+  const BytesPerSecond pageable = bw(TransferMethod::kPageableCopy);
+  const BytesPerSecond um_prefetch = bw(TransferMethod::kUmPrefetch);
+  const BytesPerSecond um_migration = bw(TransferMethod::kUmMigration);
 
   EXPECT_NEAR(coherence / zero_copy, 1.0, 0.02);
-  EXPECT_GT(zero_copy, pinned);
-  EXPECT_GT(pinned, dynamic);
-  EXPECT_GT(dynamic, staged);
-  EXPECT_GT(staged, pageable);
-  EXPECT_GT(pageable, um_prefetch);
-  EXPECT_GT(um_prefetch, um_migration);
+  EXPECT_GT(zero_copy.bytes_per_second(), pinned.bytes_per_second());
+  EXPECT_GT(pinned.bytes_per_second(), dynamic.bytes_per_second());
+  EXPECT_GT(dynamic.bytes_per_second(), staged.bytes_per_second());
+  EXPECT_GT(staged.bytes_per_second(), pageable.bytes_per_second());
+  EXPECT_GT(pageable.bytes_per_second(), um_prefetch.bytes_per_second());
+  EXPECT_GT(um_prefetch.bytes_per_second(), um_migration.bytes_per_second());
   // Coherence saturates the link: 63 GiB/s measured (Fig. 3a).
   EXPECT_NEAR(ToGiBPerSecond(coherence), 63.0, 2.0);
 }
@@ -183,22 +198,24 @@ TEST_F(TransferModelIntelTest, PcieIngestOrdering) {
   auto bw = [&](TransferMethod m) {
     return model_.IngestBandwidth(m, kGpu0, kCpu0).value();
   };
-  const double zero_copy = bw(TransferMethod::kZeroCopy);
-  const double pinned = bw(TransferMethod::kPinnedCopy);
-  const double staged = bw(TransferMethod::kStagedCopy);
-  const double um_prefetch = bw(TransferMethod::kUmPrefetch);
-  const double pageable = bw(TransferMethod::kPageableCopy);
-  const double dynamic = bw(TransferMethod::kDynamicPinning);
-  const double um_migration = bw(TransferMethod::kUmMigration);
+  const BytesPerSecond zero_copy = bw(TransferMethod::kZeroCopy);
+  const BytesPerSecond pinned = bw(TransferMethod::kPinnedCopy);
+  const BytesPerSecond staged = bw(TransferMethod::kStagedCopy);
+  const BytesPerSecond um_prefetch = bw(TransferMethod::kUmPrefetch);
+  const BytesPerSecond pageable = bw(TransferMethod::kPageableCopy);
+  const BytesPerSecond dynamic = bw(TransferMethod::kDynamicPinning);
+  const BytesPerSecond um_migration = bw(TransferMethod::kUmMigration);
 
   EXPECT_NEAR(ToGiBPerSecond(zero_copy), 12.0, 0.5);
   EXPECT_NEAR(pinned / zero_copy, 1.0, 0.05);
   // Sec. 7.2.1: Staged Copy is within 5% of Zero Copy on PCI-e.
   EXPECT_GT(staged / zero_copy, 0.93);
-  EXPECT_LT(um_prefetch, 0.8 * zero_copy);
-  EXPECT_LT(pageable, 0.5 * zero_copy);
-  EXPECT_LT(dynamic, 0.5 * zero_copy);
-  EXPECT_LT(um_migration, 0.5 * zero_copy);
+  EXPECT_LT(um_prefetch.bytes_per_second(),
+            0.8 * zero_copy.bytes_per_second());
+  EXPECT_LT(pageable.bytes_per_second(), 0.5 * zero_copy.bytes_per_second());
+  EXPECT_LT(dynamic.bytes_per_second(), 0.5 * zero_copy.bytes_per_second());
+  EXPECT_LT(um_migration.bytes_per_second(),
+            0.5 * zero_copy.bytes_per_second());
 }
 
 TEST_F(TransferModelIbmTest, NvlinkBeatsPcieForEveryCommonMethod) {
@@ -212,23 +229,24 @@ TEST_F(TransferModelIbmTest, NvlinkBeatsPcieForEveryCommonMethod) {
       // these are the only two methods where NVLink loses.
       continue;
     }
-    const double nvlink =
+    const BytesPerSecond nvlink =
         model_.IngestBandwidth(method, kGpu0, kCpu0).value();
-    const double pcie =
+    const BytesPerSecond pcie =
         pcie_model.IngestBandwidth(method, kGpu0, kCpu0).value();
-    EXPECT_GT(nvlink, pcie) << TransferMethodToString(method);
+    EXPECT_GT(nvlink.bytes_per_second(), pcie.bytes_per_second())
+        << TransferMethodToString(method);
   }
 }
 
 TEST_F(TransferModelIbmTest, TransferTimeScalesWithBytes) {
-  const double t1 = model_
-                        .TransferTime(TransferMethod::kCoherence, kGpu0,
-                                      kCpu0, 1.0 * kGiB)
-                        .value();
-  const double t2 = model_
-                        .TransferTime(TransferMethod::kCoherence, kGpu0,
-                                      kCpu0, 2.0 * kGiB)
-                        .value();
+  const Seconds t1 = model_
+                         .TransferTime(TransferMethod::kCoherence, kGpu0,
+                                       kCpu0, Bytes::GiB(1))
+                         .value();
+  const Seconds t2 = model_
+                         .TransferTime(TransferMethod::kCoherence, kGpu0,
+                                       kCpu0, Bytes::GiB(2))
+                         .value();
   EXPECT_NEAR(t2 / t1, 2.0, 0.05);
 }
 

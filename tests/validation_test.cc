@@ -26,21 +26,27 @@ namespace {
 
 TEST(EventSimTest, MatchesClosedFormSingleStage) {
   sim::PipelineEventSimulator des;
-  std::vector<transfer::PipelineStage> stages = {{"copy", 100.0, 0.0}};
+  std::vector<transfer::PipelineStage> stages = {
+      {"copy", BytesPerSecond(100.0), Seconds(0.0)}};
   const auto timeline = des.Simulate(stages, 100.0, 10.0);
-  EXPECT_NEAR(timeline.makespan_s,
-              transfer::PipelineMakespan(stages, 100.0, 10.0), 1e-9);
+  EXPECT_NEAR(
+      timeline.makespan_s,
+      transfer::PipelineMakespan(stages, Bytes(100.0), Bytes(10.0)).seconds(),
+      1e-9);
 }
 
 TEST(EventSimTest, MatchesClosedFormMultiStage) {
   sim::PipelineEventSimulator des;
   std::vector<transfer::PipelineStage> stages = {
-      {"stage", 200.0, 0.001}, {"dma", 100.0, 0.0}, {"kernel", 400.0, 0.002}};
+      {"stage", BytesPerSecond(200.0), Seconds(0.001)},
+      {"dma", BytesPerSecond(100.0), Seconds(0.0)},
+      {"kernel", BytesPerSecond(400.0), Seconds(0.002)}};
   for (double total : {50.0, 100.0, 1000.0}) {
     for (double chunk : {10.0, 25.0, 100.0}) {
       const auto timeline = des.Simulate(stages, total, chunk);
       const double closed =
-          transfer::PipelineMakespan(stages, total, chunk);
+          transfer::PipelineMakespan(stages, Bytes(total), Bytes(chunk))
+              .seconds();
       // The closed form assumes equal chunks; the DES models the short
       // tail chunk, so allow one chunk of slack.
       EXPECT_NEAR(timeline.makespan_s, closed, closed * 0.05)
@@ -51,8 +57,9 @@ TEST(EventSimTest, MatchesClosedFormMultiStage) {
 
 TEST(EventSimTest, ChunkCompletionsAreMonotone) {
   sim::PipelineEventSimulator des;
-  std::vector<transfer::PipelineStage> stages = {{"a", 50.0, 0.0},
-                                                 {"b", 75.0, 0.0}};
+  std::vector<transfer::PipelineStage> stages = {
+      {"a", BytesPerSecond(50.0), Seconds(0.0)},
+      {"b", BytesPerSecond(75.0), Seconds(0.0)}};
   const auto timeline = des.Simulate(stages, 100.0, 10.0);
   ASSERT_EQ(timeline.chunk_completion_s.size(), 10u);
   for (std::size_t i = 1; i < timeline.chunk_completion_s.size(); ++i) {
@@ -71,12 +78,13 @@ TEST(EventSimTest, RealTransferPipelinesAgree) {
   for (transfer::TransferMethod method : transfer::kAllTransferMethods) {
     auto stages = model.BuildPipeline(method, hw::kGpu0, hw::kCpu0);
     ASSERT_TRUE(stages.ok());
-    const double total = 2.0 * kGiB;
-    const double chunk = transfer::kDefaultChunkBytes;
+    const Bytes total = Bytes::GiB(2);
+    const Bytes chunk = transfer::kDefaultChunkBytes;
     const double closed =
-        transfer::PipelineMakespan(stages.value(), total, chunk);
+        transfer::PipelineMakespan(stages.value(), total, chunk).seconds();
     const double simulated =
-        des.Simulate(stages.value(), total, chunk).makespan_s;
+        des.Simulate(stages.value(), total.bytes(), chunk.bytes())
+            .makespan_s;
     EXPECT_NEAR(simulated, closed, closed * 0.05)
         << transfer::TransferMethodToString(method);
   }
@@ -175,7 +183,7 @@ TEST_F(InstrumentedProbeTest, AccessShareMatchesGpuFraction) {
   // accesses served by GPU memory equals the table fraction stored there
   // (A_GPU). Measure it functionally.
   const std::size_t n = 1 << 16;
-  const std::uint64_t gpu_capacity = topo_.memory(hw::kGpu0).capacity_bytes;
+  const std::uint64_t gpu_capacity = topo_.memory(hw::kGpu0).capacity.u64();
   // Force ~60% of the table onto the GPU.
   auto table = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager_, hw::kGpu0, n,
@@ -203,7 +211,7 @@ TEST_F(InstrumentedProbeTest, SkewConcentratesOnHotNode) {
   // which the hybrid allocator places on the GPU extent first. The GPU
   // share must therefore exceed the byte fraction under skew.
   const std::size_t n = 1 << 16;
-  const std::uint64_t gpu_capacity = topo_.memory(hw::kGpu0).capacity_bytes;
+  const std::uint64_t gpu_capacity = topo_.memory(hw::kGpu0).capacity.u64();
   auto table = hash::HybridHashTable<std::int64_t, std::int64_t>::Create(
       &manager_, hw::kGpu0, n,
       gpu_capacity - static_cast<std::uint64_t>(0.5 * n * 16));

@@ -1,0 +1,104 @@
+// modelcheck: static linter for the hardware/cost model.
+//
+// Loads system profiles (by default both of the paper's testbeds), runs
+// every model invariant check — topology connectivity and route symmetry,
+// link/memory sanity, calibration against the paper's Figs. 1-3,
+// Little's-law consistency, cost-model sanity — and emits a JSON report.
+// Exits nonzero iff any check found a violation.
+//
+// Usage:
+//   modelcheck [--profile ac922|xeon|broken-fixture]... [--json <path>]
+//
+// Without --profile, both testbed profiles are checked. --broken-fixture is
+// a deliberately corrupted profile used to demonstrate failure output.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/model_check.h"
+#include "hw/system_profile.h"
+
+namespace {
+
+bool LoadProfile(const std::string& name, pump::hw::SystemProfile* out) {
+  if (name == "ac922") {
+    *out = pump::hw::Ac922Profile();
+    return true;
+  }
+  if (name == "xeon") {
+    *out = pump::hw::XeonProfile();
+    return true;
+  }
+  if (name == "broken-fixture") {
+    *out = pump::check::BrokenFixtureProfile();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> profile_names;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile" && i + 1 < argc) {
+      profile_names.emplace_back(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: modelcheck [--profile ac922|xeon|broken-fixture]... "
+          "[--json <path>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "modelcheck: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (profile_names.empty()) profile_names = {"ac922", "xeon"};
+
+  std::vector<pump::check::ProfileReport> reports;
+  for (const std::string& name : profile_names) {
+    pump::hw::SystemProfile profile;
+    if (!LoadProfile(name, &profile)) {
+      std::fprintf(stderr,
+                   "modelcheck: unknown profile '%s' (want ac922, xeon or "
+                   "broken-fixture)\n",
+                   name.c_str());
+      return 2;
+    }
+    reports.push_back(pump::check::CheckProfile(profile));
+  }
+
+  const std::string json = pump::check::ReportsToJson(reports);
+  if (json_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "modelcheck: cannot write '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  for (const pump::check::ProfileReport& report : reports) {
+    std::fprintf(stderr, "%s: %zu checks, %zu violations\n",
+                 report.profile.c_str(), report.checks_run.size(),
+                 report.violations.size());
+    for (const pump::check::Violation& v : report.violations) {
+      std::fprintf(stderr, "  [%s] %s: %s\n", v.check.c_str(),
+                   v.subject.c_str(), v.message.c_str());
+    }
+    ok = ok && report.ok();
+  }
+  return ok ? 0 : 1;
+}
