@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Runs the execution-runtime micro benches and merges their JSON records
+# into BENCH_micro.json at the repo root, so perf trajectories are
+# diffable commit over commit.
+#
+#   micro_parallel  — hand-rolled harness, emits records via --json
+#   micro_morsel    — google-benchmark, emits benchmark_out JSON that is
+#                     converted to the same {experiment, config, mean,
+#                     stderr, runs} record shape
+#
+# Usage: scripts/bench_trajectory.sh [-j N] [-q]
+#   -j N  build parallelism (default: nproc)
+#   -q    quick mode: shrunken sizes, for smoke-testing the pipeline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=""
+while getopts "j:q" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    q) QUICK="--quick" ;;
+    *) echo "usage: $0 [-j N] [-q]" >&2; exit 2 ;;
+  esac
+done
+
+say() { printf '\n==> %s\n' "$*"; }
+
+say "build (Release)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPUMP_SANITIZE="" >/dev/null
+cmake --build build-release -j "$JOBS" \
+      --target micro_parallel micro_morsel
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+say "run micro_parallel ${QUICK:-"(full sizes)"}"
+./build-release/bench/micro_parallel ${QUICK} \
+    --json="$OUT_DIR/micro_parallel.json"
+
+say "run micro_morsel"
+./build-release/bench/micro_morsel \
+    --benchmark_out="$OUT_DIR/micro_morsel_gbench.json" \
+    --benchmark_out_format=json \
+    ${QUICK:+--benchmark_min_time=0.05s} >/dev/null
+
+say "merge into BENCH_micro.json"
+python3 - "$OUT_DIR/micro_parallel.json" \
+           "$OUT_DIR/micro_morsel_gbench.json" <<'PY'
+import json
+import sys
+
+records = []
+
+# micro_parallel already emits the target record shape.
+with open(sys.argv[1]) as f:
+    records.extend(json.load(f))
+
+# Convert google-benchmark output: one record per benchmark entry, the
+# benchmark name split into experiment (binary/family) and config (args).
+with open(sys.argv[2]) as f:
+    gbench = json.load(f)
+for entry in gbench.get("benchmarks", []):
+    if entry.get("run_type") == "aggregate":
+        continue
+    name, _, config = entry["name"].partition("/")
+    records.append({
+        "experiment": "micro_morsel/" + name,
+        "config": config,
+        "mean": entry.get("real_time", 0.0),
+        "stderr": 0.0,
+        "runs": int(entry.get("repetitions", 1) or 1),
+    })
+
+with open("BENCH_micro.json", "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+print(f"wrote {len(records)} records to BENCH_micro.json")
+PY
+
+say "done"

@@ -3,9 +3,10 @@
 #   1. Release build, all tests          (build-release)
 #   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
 #   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
-#   4. modelcheck: both testbed profiles must pass, the broken fixture
+#   4. micro_parallel --quick smoke run  (probe pipeline self-check)
+#   5. modelcheck: both testbed profiles must pass, the broken fixture
 #      must fail with named violations
-#   5. clang-tidy over src/tests/bench/tools (skipped when not installed)
+#   6. clang-tidy over src/tests/bench/tools (skipped when not installed)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -40,11 +41,18 @@ configure_and_test build-release "" ""
 # 2. ASan+UBSan: everything, happens-before assertions forced on.
 configure_and_test build-asan "address" ""
 
-# 3. TSan: the concurrent scheduler / failover / integration paths.
+# 3. TSan: the concurrent scheduler / executor / failover / integration
+#    paths.
 configure_and_test build-tsan "thread" \
-  "exec_test|engine_test|fault_test|failure_test|integration_test"
+  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test"
 
-# 4. Model linter: the testbeds must be clean, the broken fixture must not.
+# 4. Executor/dispatcher/probe micro bench smoke run (Release, shrunken
+#    sizes): the bench self-checks that the probe variants agree and
+#    exercises the persistent executor end to end.
+say "micro_parallel smoke run (--quick)"
+./build-release/bench/micro_parallel --quick >/dev/null
+
+# 5. Model linter: the testbeds must be clean, the broken fixture must not.
 say "modelcheck: testbed profiles"
 ./build-release/tools/modelcheck >/dev/null
 
@@ -55,7 +63,7 @@ if ./build-release/tools/modelcheck --profile broken-fixture >/dev/null; then
 fi
 echo "broken fixture rejected, as expected"
 
-# 5. clang-tidy, when available. The container image may not ship it; the
+# 6. clang-tidy, when available. The container image may not ship it; the
 #    .clang-tidy profile is still enforced wherever the tool exists.
 if command -v clang-tidy >/dev/null 2>&1; then
   say "clang-tidy"

@@ -1,0 +1,113 @@
+#include "bench_support/json_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace pump::bench {
+
+namespace {
+
+constexpr std::string_view kJsonFlag = "--json=";
+
+/// Formats a double for JSON: plain decimal, enough digits to round-trip,
+/// and never NaN/Inf (which JSON cannot represent) — those collapse to 0.
+std::string JsonNumber(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter JsonWriter::FromArgs(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kJsonFlag.size()) == kJsonFlag) {
+      path = std::string(arg.substr(kJsonFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return JsonWriter(path);
+}
+
+void JsonWriter::Record(const std::string& experiment,
+                        const std::string& config,
+                        const RunningStats& stats) {
+  Record(experiment, config, stats.mean(), stats.standard_error(),
+         static_cast<int>(stats.count()));
+}
+
+void JsonWriter::Record(const std::string& experiment,
+                        const std::string& config, double mean,
+                        double stderr_value, int runs) {
+  records_.push_back(
+      JsonRecord{experiment, config, mean, stderr_value, runs});
+}
+
+std::string JsonWriter::ToJson() const {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const JsonRecord& r = records_[i];
+    out << "  {\"experiment\": \"" << JsonEscape(r.experiment)
+        << "\", \"config\": \"" << JsonEscape(r.config)
+        << "\", \"mean\": " << JsonNumber(r.mean)
+        << ", \"stderr\": " << JsonNumber(r.stderr_)
+        << ", \"runs\": " << r.runs << "}";
+    if (i + 1 < records_.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+bool JsonWriter::Write() const {
+  if (!active()) return true;
+  std::ofstream file(path_);
+  if (!file) return false;
+  file << ToJson();
+  return file.good();
+}
+
+}  // namespace pump::bench

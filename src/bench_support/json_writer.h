@@ -1,0 +1,66 @@
+#ifndef PUMP_BENCH_SUPPORT_JSON_WRITER_H_
+#define PUMP_BENCH_SUPPORT_JSON_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace pump::bench {
+
+/// One measurement record of the machine-readable bench output: the
+/// experiment name, a free-form configuration string (worker count, table
+/// size, variant, ...), and the repeat statistics.
+struct JsonRecord {
+  std::string experiment;
+  std::string config;
+  double mean = 0.0;
+  double stderr_ = 0.0;
+  int runs = 0;
+};
+
+/// Collects bench measurements and writes them as a JSON array of
+/// `{"experiment", "config", "mean", "stderr", "runs"}` objects — the
+/// format scripts/bench_trajectory.sh merges into BENCH_micro.json so
+/// perf trajectories stay diffable across commits.
+///
+/// A writer constructed without a path is inactive: Record() still
+/// accumulates (for tests), but Write() is a no-op returning true.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Extracts a `--json=<path>` argument from the command line (compacting
+  /// argv so downstream flag parsing never sees it) and returns the
+  /// corresponding writer.
+  static JsonWriter FromArgs(int* argc, char** argv);
+
+  /// Appends one record.
+  void Record(const std::string& experiment, const std::string& config,
+              const RunningStats& stats);
+  void Record(const std::string& experiment, const std::string& config,
+              double mean, double stderr_value, int runs);
+
+  /// Serializes all records to the configured path. Returns false when a
+  /// path is set but cannot be written. No-op (true) when inactive.
+  bool Write() const;
+
+  /// Serializes the records as a JSON array (exposed for tests).
+  std::string ToJson() const;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  const std::vector<JsonRecord>& records() const { return records_; }
+
+ private:
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace pump::bench
+
+#endif  // PUMP_BENCH_SUPPORT_JSON_WRITER_H_

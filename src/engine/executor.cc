@@ -10,6 +10,7 @@
 #include "exec/het_scheduler.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
+#include "exec/work_stealing.h"
 #include "hash/hash_table.h"
 #include "hw/topology.h"
 #include "memory/allocator.h"
@@ -270,15 +271,18 @@ Result<QueryResult> Executor::Run(const Query& query, std::size_t workers) {
     dim_tables.push_back(std::move(table));
   }
 
-  // Morsel-parallel scan -> semi-join probes -> aggregate.
-  exec::MorselDispatcher dispatcher(fact.rows(),
-                                    exec::kDefaultMorselTuples);
+  // Morsel-parallel scan -> semi-join probes -> aggregate, with
+  // hierarchical claiming: workers sub-slice privately claimed chunks and
+  // steal unfinished chunks at the tail.
+  workers = std::max<std::size_t>(1, workers);
+  exec::WorkStealingDispatcher dispatcher(
+      fact.rows(), exec::kDefaultMorselTuples, workers);
   std::atomic<std::uint64_t> total_rows{0};
   std::atomic<std::int64_t> total_sum{0};
-  exec::ParallelFor(std::max<std::size_t>(1, workers), [&](std::size_t) {
+  exec::ParallelFor(workers, [&](std::size_t w) {
     std::uint64_t rows = 0;
     std::int64_t sum = 0;
-    while (auto morsel = dispatcher.Next()) {
+    while (auto morsel = dispatcher.Next(w)) {
       ProcessRange(query, bound, dim_tables, morsel->begin, morsel->end,
                    &rows, &sum);
     }

@@ -5,8 +5,10 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/happens_before.h"
+#include "exec/executor.h"
 
 namespace pump::exec {
 
@@ -70,70 +72,76 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
   // flight — an in-flight batch can still be orphaned by a dying group.
   std::atomic<std::size_t> in_flight{0};
 
-  std::vector<std::thread> threads;
+  // Flatten the groups' workers into executor slots: slot -> group. The
+  // persistent pool replaces the former per-call std::thread spawning; the
+  // fork-join barrier of Run is the same join-all the threads provided.
+  std::vector<std::size_t> slot_group;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     stats[g].name = groups[g].name;
     for (std::size_t w = 0; w < groups[g].workers; ++w) {
-      threads.emplace_back([&, g] {
-        const ProcessorGroup& group = groups[g];
-        while (!failed[g].load(std::memory_order_acquire)) {
-          in_flight.fetch_add(1, std::memory_order_acq_rel);
-          bool from_orphan = false;
-          std::optional<Morsel> batch =
-              dispatcher.NextBatch(group.batch_morsels);
-          if (!batch) {
-            batch = orphans.Pop();
-            from_orphan = batch.has_value();
-          }
-          if (!batch) {
-            // Nothing claimable right now. Safe to exit only once no other
-            // worker holds a batch (it could die and orphan it) and the
-            // orphan queue stayed empty after that observation.
-            const std::size_t others =
-                in_flight.fetch_sub(1, std::memory_order_acq_rel) - 1;
-            if (others == 0 && orphans.Empty()) {
-              // Happens-before: every orphan Push precedes its worker's
-              // in_flight release, so with no batch in flight and the
-              // queue empty, every orphaned batch has been adopted.
-              PUMP_HB_ASSERT(orphans.hb_pushes() == orphans.hb_pops(),
-                             "worker exiting while an orphaned batch is "
-                             "still unadopted; Push must happen before "
-                             "the dying worker releases in_flight");
-              break;
-            }
-            std::this_thread::yield();
-            continue;
-          }
-          if (injector != nullptr &&
-              !injector->Check(fault::kSchedWorkerStall, group.name).ok()) {
-            // The group stalls/dies: orphan the claimed batch for the
-            // survivors, then stop the whole group. Push before releasing
-            // in_flight so waiting workers re-observe the queue.
-            failed[g].store(true, std::memory_order_release);
-            // Happens-before: this worker's claim still holds its
-            // in_flight slot; orphaning after the release would let every
-            // peer exit and strand the batch.
-            PUMP_HB_ASSERT(in_flight.load(std::memory_order_acquire) >= 1,
-                           "dying worker orphaned its batch after "
-                           "releasing its in-flight slot");
-            orphans.Push(*batch);
-            in_flight.fetch_sub(1, std::memory_order_acq_rel);
-            break;
-          }
-          group.process(batch->begin, batch->end);
-          tuples[g].fetch_add(batch->size(), std::memory_order_relaxed);
-          dispatches[g].fetch_add(1, std::memory_order_relaxed);
-          if (from_orphan) {
-            failover_tuples[g].fetch_add(batch->size(),
-                                         std::memory_order_relaxed);
-            failover_dispatches[g].fetch_add(1, std::memory_order_relaxed);
-          }
-          in_flight.fetch_sub(1, std::memory_order_acq_rel);
-        }
-      });
+      slot_group.push_back(g);
     }
   }
-  for (std::thread& thread : threads) thread.join();
+  if (!slot_group.empty()) {
+    Executor::Default().Run(slot_group.size(), [&](std::size_t slot) {
+      const std::size_t g = slot_group[slot];
+      const ProcessorGroup& group = groups[g];
+      while (!failed[g].load(std::memory_order_acquire)) {
+        in_flight.fetch_add(1, std::memory_order_acq_rel);
+        bool from_orphan = false;
+        std::optional<Morsel> batch =
+            dispatcher.NextBatch(group.batch_morsels);
+        if (!batch) {
+          batch = orphans.Pop();
+          from_orphan = batch.has_value();
+        }
+        if (!batch) {
+          // Nothing claimable right now. Safe to exit only once no other
+          // worker holds a batch (it could die and orphan it) and the
+          // orphan queue stayed empty after that observation.
+          const std::size_t others =
+              in_flight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+          if (others == 0 && orphans.Empty()) {
+            // Happens-before: every orphan Push precedes its worker's
+            // in_flight release, so with no batch in flight and the
+            // queue empty, every orphaned batch has been adopted.
+            PUMP_HB_ASSERT(orphans.hb_pushes() == orphans.hb_pops(),
+                           "worker exiting while an orphaned batch is "
+                           "still unadopted; Push must happen before "
+                           "the dying worker releases in_flight");
+            break;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        if (injector != nullptr &&
+            !injector->Check(fault::kSchedWorkerStall, group.name).ok()) {
+          // The group stalls/dies: orphan the claimed batch for the
+          // survivors, then stop the whole group. Push before releasing
+          // in_flight so waiting workers re-observe the queue.
+          failed[g].store(true, std::memory_order_release);
+          // Happens-before: this worker's claim still holds its
+          // in_flight slot; orphaning after the release would let every
+          // peer exit and strand the batch.
+          PUMP_HB_ASSERT(in_flight.load(std::memory_order_acquire) >= 1,
+                         "dying worker orphaned its batch after "
+                         "releasing its in-flight slot");
+          orphans.Push(*batch);
+          in_flight.fetch_sub(1, std::memory_order_acq_rel);
+          break;
+        }
+        group.process(batch->begin, batch->end);
+        tuples[g].fetch_add(batch->size(), std::memory_order_relaxed);
+        dispatches[g].fetch_add(1, std::memory_order_relaxed);
+        if (from_orphan) {
+          failover_tuples[g].fetch_add(batch->size(),
+                                       std::memory_order_relaxed);
+          failover_dispatches[g].fetch_add(1, std::memory_order_relaxed);
+        }
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
 
   // Exactly-once ledger (debug builds): every batch claimed from the
   // dispatcher or adopted from the orphan queue was either processed or

@@ -49,10 +49,11 @@ class MorselDispatcher {
     return Claim(morsel_tuples_ * (batch_morsels == 0 ? 1 : batch_morsels));
   }
 
-  /// Total tuples dispatched so far (monotonic; may exceed `total` by at
-  /// most one morsel's worth of rounding).
+  /// Total tuples dispatched so far (monotonic, never exceeds `total`:
+  /// the claim cursor saturates at drain, so a long-lived dispatcher
+  /// polled by spinning workers cannot creep toward overflow).
   std::size_t dispatched() const {
-    return std::min(cursor_.load(std::memory_order_relaxed), total_);
+    return cursor_.load(std::memory_order_relaxed);
   }
 
   /// Total input size.
@@ -65,21 +66,28 @@ class MorselDispatcher {
  private:
   std::optional<Morsel> Claim(std::size_t tuples) {
     // Happens-before probe: if any thread observed the dispatcher dry
-    // before our fetch_add, its cursor increment preceded ours, so ours
-    // must also land past `total_` — a successful claim after a drain
-    // observation means the cursor was rewound or replaced.
+    // before our claim, the cursor had already saturated at `total_` —
+    // a successful claim after a drain observation means the cursor was
+    // rewound or replaced.
     [[maybe_unused]] const std::uint64_t drains_before = hb_drains_.Load();
-    const std::size_t begin =
-        cursor_.fetch_add(tuples, std::memory_order_relaxed);
-    if (begin >= total_) {
-      hb_drains_.Bump();
-      return std::nullopt;
+    // Saturating CAS claim: a drained dispatcher never modifies the
+    // cursor, so spinning workers polling a dry dispatcher cannot creep
+    // it toward overflow, and the cursor is exactly the dispatched count.
+    std::size_t begin = cursor_.load(std::memory_order_relaxed);
+    while (begin < total_) {
+      const std::size_t end = std::min(begin + tuples, total_);
+      if (cursor_.compare_exchange_weak(begin, end,
+                                        std::memory_order_relaxed)) {
+        PUMP_HB_ASSERT(drains_before == 0,
+                       "morsel claim succeeded after another worker "
+                       "observed the dispatcher dry; the claim cursor "
+                       "must be monotone");
+        hb_claims_.Bump();
+        return Morsel{begin, end};
+      }
     }
-    PUMP_HB_ASSERT(drains_before == 0,
-                   "morsel claim succeeded after another worker observed "
-                   "the dispatcher dry; the claim cursor must be monotone");
-    hb_claims_.Bump();
-    return Morsel{begin, std::min(begin + tuples, total_)};
+    hb_drains_.Bump();
+    return std::nullopt;
   }
 
   std::size_t total_;

@@ -2,23 +2,14 @@
 
 #include <algorithm>
 #include <thread>
-#include <vector>
+
+#include "exec/executor.h"
 
 namespace pump::exec {
 
 void ParallelFor(std::size_t workers,
                  const std::function<void(std::size_t)>& fn) {
-  if (workers <= 1) {
-    fn(0);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t id = 1; id < workers; ++id) {
-    threads.emplace_back([&fn, id] { fn(id); });
-  }
-  fn(0);
-  for (std::thread& thread : threads) thread.join();
+  Executor::Default().Run(workers, fn);
 }
 
 std::size_t DefaultWorkerCount() {

@@ -6,10 +6,13 @@
 
 namespace pump::exec {
 
-/// Runs `fn(worker_id)` on `workers` threads and joins them all; the
+/// Runs `fn(worker_id)` for every id in [0, workers) and joins; the
 /// worker with id 0 runs on the calling thread. This is the fork-join
 /// primitive beneath the functional joins' build and probe phases — the
 /// join-all acts as the build/probe barrier the hash tables require.
+/// Dispatches onto the process-wide persistent `Executor` (exec/executor.h)
+/// rather than spawning threads per call, so a phase costs a worker
+/// wake-up, not a thread creation.
 void ParallelFor(std::size_t workers,
                  const std::function<void(std::size_t)>& fn);
 

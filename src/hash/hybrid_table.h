@@ -82,6 +82,17 @@ class HybridHashTable {
   PerfectHashTable<K, V>& table() { return *table_; }
   const PerfectHashTable<K, V>& table() const { return *table_; }
 
+  /// Scalar lookup over the hybrid placement (delegates to the
+  /// materialized table view).
+  bool Lookup(K key, V* value) const { return table_->Lookup(key, value); }
+
+  /// Interleaved group probe over the hybrid placement (delegates to the
+  /// materialized table view; see PerfectHashTable::ProbeBatch).
+  std::size_t ProbeBatch(const K* keys, std::size_t count, V* values,
+                         bool* found) const {
+    return table_->ProbeBatch(keys, count, values, found);
+  }
+
   /// True when backed by host storage (functional mode).
   bool materialized() const { return table_.has_value(); }
 

@@ -10,6 +10,7 @@
 #include "data/relation.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
+#include "exec/work_stealing.h"
 #include "hash/hash_table.h"
 
 namespace pump::join {
@@ -34,13 +35,14 @@ template <typename Table, typename K, typename V>
 Status BuildPhase(Table* table, const data::Relation<K, V>& inner,
                   std::size_t workers,
                   std::size_t morsel_tuples = exec::kDefaultMorselTuples) {
-  exec::MorselDispatcher dispatcher(inner.size(), morsel_tuples);
+  exec::WorkStealingDispatcher dispatcher(inner.size(), morsel_tuples,
+                                          workers);
   std::atomic<bool> failed{false};
   Status first_error;  // Written by at most one worker (guarded by CAS).
   std::atomic<bool> error_claimed{false};
 
-  exec::ParallelFor(workers, [&](std::size_t) {
-    while (auto morsel = dispatcher.Next()) {
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    while (auto morsel = dispatcher.Next(w)) {
       if (failed.load(std::memory_order_relaxed)) return;
       for (std::size_t i = morsel->begin; i < morsel->end; ++i) {
         Status status = table->Insert(inner.keys[i], inner.payloads[i]);
@@ -59,6 +61,40 @@ Status BuildPhase(Table* table, const data::Relation<K, V>& inner,
   return Status::OK();
 }
 
+/// Probes `keys[begin, end)` against `table`, adding matches and payload
+/// sums to the accumulators. Tables exposing the interleaved ProbeBatch
+/// interface (hash_table.h) are probed in groups of kProbeBatchWidth with
+/// all bucket addresses prefetched before any is dereferenced; other
+/// tables (e.g. instrumented wrappers) fall back to scalar Lookup.
+template <typename Table, typename K, typename V>
+void ProbeRange(const Table& table, const K* keys, std::size_t begin,
+                std::size_t end, std::uint64_t* matches,
+                std::uint64_t* sum) {
+  if constexpr (requires(V* values, bool* found) {
+                  table.ProbeBatch(keys, end - begin, values, found);
+                }) {
+    V values[hash::kProbeBatchWidth];
+    bool found[hash::kProbeBatchWidth];
+    for (std::size_t base = begin; base < end;
+         base += hash::kProbeBatchWidth) {
+      const std::size_t count =
+          std::min(hash::kProbeBatchWidth, end - base);
+      *matches += table.ProbeBatch(keys + base, count, values, found);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (found[i]) *sum += static_cast<std::uint64_t>(values[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      V payload;
+      if (table.Lookup(keys[i], &payload)) {
+        ++*matches;
+        *sum += static_cast<std::uint64_t>(payload);
+      }
+    }
+  }
+}
+
 /// Morsel-parallel probe phase: workers claim S morsels and probe the
 /// shared (read-only) table, accumulating matches and payload sums
 /// locally, then merging atomically.
@@ -68,21 +104,17 @@ JoinAggregate ProbePhase(const Table& table,
                          std::size_t workers,
                          std::size_t morsel_tuples =
                              exec::kDefaultMorselTuples) {
-  exec::MorselDispatcher dispatcher(outer.size(), morsel_tuples);
+  exec::WorkStealingDispatcher dispatcher(outer.size(), morsel_tuples,
+                                          workers);
   std::atomic<std::uint64_t> total_matches{0};
   std::atomic<std::uint64_t> total_sum{0};
 
-  exec::ParallelFor(workers, [&](std::size_t) {
+  exec::ParallelFor(workers, [&](std::size_t w) {
     std::uint64_t matches = 0;
     std::uint64_t sum = 0;
-    while (auto morsel = dispatcher.Next()) {
-      for (std::size_t i = morsel->begin; i < morsel->end; ++i) {
-        V payload;
-        if (table.Lookup(outer.keys[i], &payload)) {
-          ++matches;
-          sum += static_cast<std::uint64_t>(payload);
-        }
-      }
+    while (auto morsel = dispatcher.Next(w)) {
+      ProbeRange<Table, K, V>(table, outer.keys.data(), morsel->begin,
+                              morsel->end, &matches, &sum);
     }
     total_matches.fetch_add(matches, std::memory_order_relaxed);
     total_sum.fetch_add(sum, std::memory_order_relaxed);
@@ -102,19 +134,20 @@ struct JoinedTuple {
 
 /// Morsel-parallel probe that materializes the joined tuples instead of
 /// aggregating (the other emit strategy of Sec. 5.1). Workers append to
-/// private buffers that are concatenated afterwards, so output order is
-/// deterministic per worker count but not globally sorted.
+/// private buffers that are concatenated afterwards; the output multiset
+/// is exact but its order depends on the work-stealing schedule.
 template <typename Table, typename K, typename V>
 std::vector<JoinedTuple<K, V>> ProbeMaterialize(
     const Table& table, const data::Relation<K, V>& outer,
     std::size_t workers,
     std::size_t morsel_tuples = exec::kDefaultMorselTuples) {
   workers = std::max<std::size_t>(1, workers);
-  exec::MorselDispatcher dispatcher(outer.size(), morsel_tuples);
+  exec::WorkStealingDispatcher dispatcher(outer.size(), morsel_tuples,
+                                          workers);
   std::vector<std::vector<JoinedTuple<K, V>>> partial(workers);
   exec::ParallelFor(workers, [&](std::size_t w) {
     auto& out = partial[w];
-    while (auto morsel = dispatcher.Next()) {
+    while (auto morsel = dispatcher.Next(w)) {
       for (std::size_t i = morsel->begin; i < morsel->end; ++i) {
         V payload;
         if (table.Lookup(outer.keys[i], &payload)) {

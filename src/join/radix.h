@@ -126,13 +126,12 @@ Result<JoinAggregate> RunRadixJoin(const data::Relation<K, V>& inner,
           return;
         }
       }
-      for (std::size_t i = s_begin; i < s_end; ++i) {
-        V payload;
-        if (table.Lookup(s.keys[i], &payload)) {
-          ++local_matches;
-          local_sum += static_cast<std::uint64_t>(payload);
-        }
-      }
+      // Interleaved-prefetch probe over the partition's S range (the
+      // per-partition table may still exceed L1/L2, so group prefetching
+      // pays off inside partitions too).
+      ProbeRange<hash::LinearProbingHashTable<K, V>, K, V>(
+          table, s.keys.data(), s_begin, s_end, &local_matches,
+          &local_sum);
     }
     matches.fetch_add(local_matches, std::memory_order_relaxed);
     sum.fetch_add(local_sum, std::memory_order_relaxed);

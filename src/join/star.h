@@ -1,6 +1,7 @@
 #ifndef PUMP_JOIN_STAR_H_
 #define PUMP_JOIN_STAR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "data/star.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
+#include "exec/work_stealing.h"
 #include "hash/hash_table.h"
 #include "join/nopa.h"
 
@@ -68,31 +70,15 @@ class StarJoin {
   /// dimensions match (inner join semantics).
   StarAggregate Probe(const data::StarSchema& schema,
                       std::size_t workers = 1) const {
-    exec::MorselDispatcher dispatcher(schema.fact_rows(),
-                                      exec::kDefaultMorselTuples);
+    exec::WorkStealingDispatcher dispatcher(
+        schema.fact_rows(), exec::kDefaultMorselTuples, workers);
     std::atomic<std::uint64_t> matches{0};
     std::atomic<std::uint64_t> checksum{0};
-    exec::ParallelFor(workers, [&](std::size_t) {
+    exec::ParallelFor(workers, [&](std::size_t w) {
       std::uint64_t local_matches = 0, local_checksum = 0;
-      while (auto morsel = dispatcher.Next()) {
-        for (std::size_t i = morsel->begin; i < morsel->end; ++i) {
-          std::uint64_t payload_sum = 0;
-          bool all_match = true;
-          for (std::size_t d = 0; d < tables_.size(); ++d) {
-            std::int64_t payload;
-            if (!tables_[d]->Lookup(schema.fact_keys[d][i], &payload)) {
-              all_match = false;
-              break;  // Short-circuit: later dimensions are skipped.
-            }
-            payload_sum += static_cast<std::uint64_t>(payload);
-          }
-          if (all_match) {
-            ++local_matches;
-            local_checksum +=
-                static_cast<std::uint64_t>(schema.measures[i]) +
-                payload_sum;
-          }
-        }
+      while (auto morsel = dispatcher.Next(w)) {
+        ProbeMorsel(schema, morsel->begin, morsel->end, &local_matches,
+                    &local_checksum);
       }
       matches.fetch_add(local_matches, std::memory_order_relaxed);
       checksum.fetch_add(local_checksum, std::memory_order_relaxed);
@@ -105,6 +91,54 @@ class StarJoin {
 
  private:
   StarJoin() = default;
+
+  /// Batched multi-dimension probe of fact rows [begin, end): per block of
+  /// kProbeBatchWidth rows, each dimension is probed with the interleaved
+  /// ProbeBatch over the rows still alive, so every bucket address in a
+  /// group is prefetched before any is dereferenced. Rows killed by an
+  /// earlier dimension are not gathered for later ones — the same
+  /// short-circuit semantics as the scalar loop, evaluated blockwise.
+  void ProbeMorsel(const data::StarSchema& schema, std::size_t begin,
+                   std::size_t end, std::uint64_t* matches,
+                   std::uint64_t* checksum) const {
+    std::int64_t keys[hash::kProbeBatchWidth];
+    std::int64_t values[hash::kProbeBatchWidth];
+    bool found[hash::kProbeBatchWidth];
+    std::size_t rows[hash::kProbeBatchWidth];
+    std::uint64_t sums[hash::kProbeBatchWidth];
+    for (std::size_t base = begin; base < end;
+         base += hash::kProbeBatchWidth) {
+      const std::size_t block = std::min(hash::kProbeBatchWidth,
+                                         end - base);
+      std::size_t alive = 0;
+      for (std::size_t i = 0; i < block; ++i) {
+        rows[alive] = base + i;
+        sums[alive] = 0;
+        ++alive;
+      }
+      for (std::size_t d = 0; d < tables_.size() && alive > 0; ++d) {
+        const std::int64_t* fact_keys = schema.fact_keys[d].data();
+        for (std::size_t i = 0; i < alive; ++i) {
+          keys[i] = fact_keys[rows[i]];
+        }
+        tables_[d]->ProbeBatch(keys, alive, values, found);
+        std::size_t survivors = 0;
+        for (std::size_t i = 0; i < alive; ++i) {
+          if (!found[i]) continue;
+          rows[survivors] = rows[i];
+          sums[survivors] = sums[i] + static_cast<std::uint64_t>(values[i]);
+          ++survivors;
+        }
+        alive = survivors;
+      }
+      *matches += alive;
+      for (std::size_t i = 0; i < alive; ++i) {
+        *checksum += static_cast<std::uint64_t>(schema.measures[rows[i]]) +
+                     sums[i];
+      }
+    }
+  }
+
   std::vector<
       std::unique_ptr<hash::PerfectHashTable<std::int64_t, std::int64_t>>>
       tables_;

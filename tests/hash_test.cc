@@ -3,6 +3,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "data/zipf.h"
 #include "exec/parallel.h"
 #include "gtest/gtest.h"
 #include "hash/hash_function.h"
@@ -105,6 +107,114 @@ TYPED_TEST(TableTypedTest, ConcurrentDuplicateInsertHasOneWinner) {
   EXPECT_EQ(winners.load(), 1);
   std::int64_t value = -1;
   EXPECT_TRUE(table.Lookup(7, &value));
+}
+
+/// Checks ProbeBatch against per-key Lookup on the same probe stream: the
+/// interleaved pipeline must be a pure reordering of memory accesses,
+/// bit-identical in results.
+template <typename Table>
+void ExpectBatchMatchesScalar(const Table& table,
+                              const std::vector<std::int64_t>& probes) {
+  std::vector<std::int64_t> values(probes.size(), -1);
+  std::vector<char> found_bytes(probes.size(), 2);
+  bool* found = reinterpret_cast<bool*>(found_bytes.data());
+  const std::size_t matches =
+      table.ProbeBatch(probes.data(), probes.size(), values.data(), found);
+
+  std::size_t scalar_matches = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    std::int64_t value = -1;
+    const bool hit = table.Lookup(probes[i], &value);
+    ASSERT_EQ(found[i], hit) << "probe " << i << " key " << probes[i];
+    if (hit) {
+      ASSERT_EQ(values[i], value) << "probe " << i;
+      ++scalar_matches;
+    }
+  }
+  EXPECT_EQ(matches, scalar_matches);
+}
+
+/// Probe mixes covering the batch pipeline's edge cases: hits, ~90%
+/// misses, out-of-domain and negative keys, duplicates, a Zipf-skewed
+/// stream, and a tail shorter than the batch width.
+std::vector<std::vector<std::int64_t>> ProbeMixes(std::size_t domain) {
+  Rng rng(7);
+  std::vector<std::vector<std::int64_t>> mixes;
+
+  std::vector<std::int64_t> hits;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    hits.push_back(static_cast<std::int64_t>(rng.NextBounded(domain)));
+  }
+  mixes.push_back(std::move(hits));
+
+  std::vector<std::int64_t> miss_heavy;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    // ~90% of keys land outside the inserted domain.
+    miss_heavy.push_back(
+        static_cast<std::int64_t>(rng.NextBounded(domain * 10)));
+  }
+  miss_heavy.push_back(-1);
+  miss_heavy.push_back(-1000000);
+  mixes.push_back(std::move(miss_heavy));
+
+  data::ZipfGenerator zipf(domain, 1.25);
+  std::vector<std::int64_t> skewed;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    // Ranks are 1-based; rank 1 (the hottest key) maps to key 0.
+    skewed.push_back(static_cast<std::int64_t>(zipf.Next(rng) - 1));
+  }
+  mixes.push_back(std::move(skewed));
+
+  // Duplicates back to back, and a short tail (not a multiple of the
+  // batch width).
+  mixes.push_back({5, 5, 5, 2, 2, static_cast<std::int64_t>(domain), -3});
+  return mixes;
+}
+
+TYPED_TEST(TableTypedTest, ProbeBatchMatchesScalarLookup) {
+  constexpr std::size_t kDomain = 1024;
+  TypeParam table(kDomain);
+  // Leave holes: only even keys are inserted, so in-domain misses occur.
+  for (std::size_t key = 0; key < kDomain; key += 2) {
+    ASSERT_TRUE(table
+                    .Insert(static_cast<std::int64_t>(key),
+                            static_cast<std::int64_t>(key * 3))
+                    .ok());
+  }
+  for (const auto& probes : ProbeMixes(kDomain)) {
+    ExpectBatchMatchesScalar(table, probes);
+  }
+}
+
+TEST(ProbeBatchTest, EmptyAndSubWidthCounts) {
+  PerfectHashTable<std::int64_t, std::int64_t> table(64);
+  ASSERT_TRUE(table.Insert(3, 30).ok());
+  std::int64_t values[4];
+  bool found[4];
+  EXPECT_EQ(table.ProbeBatch(nullptr, 0, values, found), 0u);
+  const std::int64_t keys[3] = {3, 4, 63};
+  EXPECT_EQ(table.ProbeBatch(keys, 3, values, found), 1u);
+  EXPECT_TRUE(found[0]);
+  EXPECT_FALSE(found[1]);
+  EXPECT_FALSE(found[2]);
+  EXPECT_EQ(values[0], 30);
+}
+
+TEST(ProbeBatchTest, LinearProbingCollisionChains) {
+  // A nearly full table maximizes chain lengths past the prefetched
+  // first bucket.
+  LinearProbingHashTable<std::int64_t, std::int64_t> table(48, 0.75);
+  ASSERT_EQ(table.capacity(), 64u);
+  std::vector<std::int64_t> keys;
+  for (std::int64_t key = 0; key < 48; ++key) {
+    keys.push_back(key * 977 + 13);
+    ASSERT_TRUE(table.Insert(keys.back(), key).ok());
+  }
+  std::vector<std::int64_t> probes = keys;
+  for (std::int64_t key = 0; key < 48; ++key) {
+    probes.push_back(key * 977 + 14);  // Interleave misses.
+  }
+  ExpectBatchMatchesScalar(table, probes);
 }
 
 TEST(PerfectHashTableTest, RejectsOutOfDomainKeys) {
@@ -234,6 +344,22 @@ TEST_F(HybridTableTest, FunctionalAcrossTheSplit) {
     std::int64_t value = -1;
     ASSERT_TRUE(table.value().table().Lookup(key, &value));
     ASSERT_EQ(value, key * 3);
+  }
+}
+
+TEST_F(HybridTableTest, ProbeBatchMatchesScalarAcrossSplit) {
+  const std::uint64_t gpu_capacity =
+      topo_.memory(hw::kGpu0).capacity.u64();
+  auto table = HybridHashTable<std::int64_t, std::int64_t>::Create(
+      &manager_, hw::kGpu0, 1024,
+      /*gpu_reserve_bytes=*/gpu_capacity - 8 * 1024);
+  ASSERT_TRUE(table.ok());
+  ASSERT_LT(table.value().gpu_fraction(), 1.0);
+  for (std::int64_t key = 0; key < 1024; key += 2) {
+    ASSERT_TRUE(table.value().table().Insert(key, key * 7).ok());
+  }
+  for (const auto& probes : ProbeMixes(1024)) {
+    ExpectBatchMatchesScalar(table.value(), probes);
   }
 }
 
