@@ -1,0 +1,159 @@
+// Engine-path microbench: the preserved pre-IR fused executor
+// (engine::legacy::RunFused) vs compiling to the physical-plan IR and
+// executing it (plan::Compile + plan::ExecutePlan), per SSB query and
+// TPC-H Q6. The plan IR's acceptance bar is <= 5% overhead over the
+// fused path; the emitted `engine_plan_overhead_pct` records are the
+// evidence, merged into BENCH_micro.json by scripts/bench_trajectory.sh.
+//
+// Hand-rolled harness (no google-benchmark): compile time is measured
+// separately from execution so the overhead number isolates the morsel
+// loop, and records are emitted via --json=<path>. --quick shrinks the
+// fact table to smoke-test proportions.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.h"
+#include "bench_support/json_writer.h"
+#include "common/statistics.h"
+#include "data/tpch.h"
+#include "engine/legacy_fused.h"
+#include "engine/ssb.h"
+#include "exec/parallel.h"
+#include "plan/compiler.h"
+#include "plan/executor.h"
+#include "plan/q6_bridge.h"
+
+namespace pump {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchCase {
+  std::string name;
+  engine::Query query;
+};
+
+void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
+                std::size_t workers, int runs) {
+  const std::string config =
+      bench_case.name + " workers=" + std::to_string(workers);
+
+  // Reference result from the fused path; every timed variant must match.
+  Result<engine::QueryResult> expected =
+      engine::legacy::RunFused(bench_case.query, workers);
+  if (!expected.ok()) {
+    std::cerr << "FATAL: " << config
+              << ": fused path failed: " << expected.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+
+  const RunningStats fused = bench::Repeat(runs, [&] {
+    const auto start = Clock::now();
+    Result<engine::QueryResult> got =
+        engine::legacy::RunFused(bench_case.query, workers);
+    const double us = SecondsSince(start) * 1e6;
+    if (!got.ok() || !(got.value() == expected.value())) std::exit(1);
+    return us;
+  });
+
+  // Compile once outside the timed region (plans are reusable), then time
+  // execution; compile cost is reported as its own metric.
+  const auto compile_start = Clock::now();
+  Result<plan::PhysicalPlan> physical = plan::Compile(bench_case.query);
+  const double compile_us = SecondsSince(compile_start) * 1e6;
+  if (!physical.ok()) {
+    std::cerr << "FATAL: " << config
+              << ": compile failed: " << physical.status().ToString() << "\n";
+    std::exit(1);
+  }
+  engine::ExecOptions options;
+  options.workers = workers;
+  options.gpu_plan = false;
+  const RunningStats plan_ir = bench::Repeat(runs, [&] {
+    const auto start = Clock::now();
+    Result<engine::ExecReport> got =
+        plan::ExecutePlan(physical.value(), options);
+    const double us = SecondsSince(start) * 1e6;
+    if (!got.ok() || !(got.value().result == expected.value())) {
+      std::exit(1);
+    }
+    return us;
+  });
+
+  const double overhead_pct =
+      fused.mean() > 0.0
+          ? (plan_ir.mean() - fused.mean()) / fused.mean() * 100.0
+          : 0.0;
+  std::cout << "  " << config << "\n"
+            << "    fused:   " << bench::FormatMeanError(fused)
+            << " us/query\n"
+            << "    plan IR: " << bench::FormatMeanError(plan_ir)
+            << " us/query (compile " << compile_us << " us, once)\n";
+  std::printf("    overhead: %+.2f%% (acceptance ceiling: +5%%)\n",
+              overhead_pct);
+
+  json->Record("engine_query_us", "fused " + config, fused);
+  json->Record("engine_query_us", "plan_ir " + config, plan_ir);
+  json->Record("engine_plan_compile_us", config, compile_us, 0.0, 1);
+  json->Record("engine_plan_overhead_pct", config, overhead_pct, 0.0, runs);
+}
+
+}  // namespace
+}  // namespace pump
+
+int main(int argc, char** argv) {
+  pump::bench::JsonWriter json =
+      pump::bench::JsonWriter::FromArgs(&argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  const std::size_t rows = quick ? 50'000 : 2'000'000;
+  const int runs = quick ? 3 : pump::bench::kPaperRuns;
+  // Single-core hosts report DefaultWorkerCount() == 1; always use at
+  // least 2 workers so the morsel dispatch path is genuinely concurrent.
+  const std::size_t workers =
+      std::max<std::size_t>(2, pump::exec::DefaultWorkerCount());
+
+  pump::bench::PrintBanner(
+      std::cout, "micro_engine/fused_vs_plan_ir",
+      "Per-query latency (us) over " + std::to_string(rows) +
+          " fact rows: the pre-IR fused executor vs the compiled "
+          "physical-plan IR (CPU placement, " +
+          std::to_string(workers) + " workers)");
+
+  const pump::engine::SsbDatabase db =
+      pump::engine::SsbDatabase::Generate(rows, /*seed=*/42);
+  std::vector<pump::BenchCase> cases;
+  for (const pump::engine::NamedQuery& named : pump::engine::SsbSuite(db)) {
+    cases.push_back({named.name, named.query});
+  }
+  const pump::plan::Q6PlanInput q6 =
+      pump::plan::Q6PlanInput::From(pump::data::GenerateLineitemQ6(rows, 7));
+  cases.push_back({"q6", q6.MakeQuery()});
+
+  for (const pump::BenchCase& bench_case : cases) {
+    pump::BenchQuery(&json, bench_case, workers, runs);
+  }
+
+  if (!json.Write()) {
+    std::cerr << "failed to write " << json.path() << "\n";
+    return 1;
+  }
+  if (json.active()) {
+    std::cout << "\nwrote " << json.records().size() << " records to "
+              << json.path() << "\n";
+  }
+  return 0;
+}

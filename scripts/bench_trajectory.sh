@@ -4,6 +4,8 @@
 # diffable commit over commit.
 #
 #   micro_parallel  — hand-rolled harness, emits records via --json
+#   micro_engine    — hand-rolled harness: fused executor vs plan IR per
+#                     SSB query and Q6, incl. the plan-IR overhead records
 #   micro_morsel    — google-benchmark, emits benchmark_out JSON that is
 #                     converted to the same {experiment, config, mean,
 #                     stderr, runs} record shape
@@ -31,7 +33,7 @@ say "build (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DPUMP_SANITIZE="" >/dev/null
 cmake --build build-release -j "$JOBS" \
-      --target micro_parallel micro_morsel
+      --target micro_parallel micro_engine micro_morsel
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -39,6 +41,10 @@ trap 'rm -rf "$OUT_DIR"' EXIT
 say "run micro_parallel ${QUICK:-"(full sizes)"}"
 ./build-release/bench/micro_parallel ${QUICK} \
     --json="$OUT_DIR/micro_parallel.json"
+
+say "run micro_engine ${QUICK:-"(full sizes)"}"
+./build-release/bench/micro_engine ${QUICK} \
+    --json="$OUT_DIR/micro_engine.json"
 
 say "run micro_morsel"
 ./build-release/bench/micro_morsel \
@@ -48,19 +54,22 @@ say "run micro_morsel"
 
 say "merge into BENCH_micro.json"
 python3 - "$OUT_DIR/micro_parallel.json" \
+           "$OUT_DIR/micro_engine.json" \
            "$OUT_DIR/micro_morsel_gbench.json" <<'PY'
 import json
 import sys
 
 records = []
 
-# micro_parallel already emits the target record shape.
+# micro_parallel and micro_engine already emit the target record shape.
 with open(sys.argv[1]) as f:
+    records.extend(json.load(f))
+with open(sys.argv[2]) as f:
     records.extend(json.load(f))
 
 # Convert google-benchmark output: one record per benchmark entry, the
 # benchmark name split into experiment (binary/family) and config (args).
-with open(sys.argv[2]) as f:
+with open(sys.argv[3]) as f:
     gbench = json.load(f)
 for entry in gbench.get("benchmarks", []):
     if entry.get("run_type") == "aggregate":

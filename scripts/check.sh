@@ -3,10 +3,14 @@
 #   1. Release build, all tests          (build-release)
 #   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
 #   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
-#   4. micro_parallel --quick smoke run  (probe pipeline self-check)
+#   4. micro_parallel + micro_engine --quick smoke runs (probe pipeline
+#      and fused-vs-plan-IR self-checks)
 #   5. modelcheck: both testbed profiles must pass, the broken fixture
 #      must fail with named violations
-#   6. clang-tidy over src/tests/bench/tools (skipped when not installed)
+#   6. plandump over the SSB suite + Q6: every compiled plan must be
+#      well-formed JSON that passes structural checks (dense dimensions
+#      must select the perfect hash table)
+#   7. clang-tidy over src/tests/bench/tools (skipped when not installed)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -42,15 +46,20 @@ configure_and_test build-release "" ""
 configure_and_test build-asan "address" ""
 
 # 3. TSan: the concurrent scheduler / executor / failover / integration
-#    paths.
+#    paths, plus the plan-IR golden equivalence suite (its probe
+#    pipelines run multi-worker).
 configure_and_test build-tsan "thread" \
-  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test"
+  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|plan_test"
 
 # 4. Executor/dispatcher/probe micro bench smoke run (Release, shrunken
 #    sizes): the bench self-checks that the probe variants agree and
-#    exercises the persistent executor end to end.
+#    exercises the persistent executor end to end. micro_engine likewise
+#    self-checks that the fused path and the plan IR agree bit for bit.
 say "micro_parallel smoke run (--quick)"
 ./build-release/bench/micro_parallel --quick >/dev/null
+
+say "micro_engine smoke run (--quick)"
+./build-release/bench/micro_engine --quick >/dev/null
 
 # 5. Model linter: the testbeds must be clean, the broken fixture must not.
 say "modelcheck: testbed profiles"
@@ -63,7 +72,49 @@ if ./build-release/tools/modelcheck --profile broken-fixture >/dev/null; then
 fi
 echo "broken fixture rejected, as expected"
 
-# 6. clang-tidy, when available. The container image may not ship it; the
+# 6. Plan gate: compile the SSB suite + Q6 to physical plans (plandump
+#    already re-checks each plan with plan::ValidatePlan; a malformed
+#    plan exits non-zero) and structurally validate the emitted JSON.
+say "plandump: SSB suite + Q6 plans must be well-formed"
+PLANS_JSON="$(mktemp)"
+trap 'rm -f "$PLANS_JSON"' EXIT
+./build-release/tools/plandump --query all --rows 50000 --policy gpu \
+    --json "$PLANS_JSON"
+python3 - "$PLANS_JSON" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    plans = json.load(f)
+
+assert len(plans) == 4, f"expected 4 plans, got {len(plans)}"
+names = [p["query"] for p in plans]
+assert names == ["ssb-q1", "ssb-q2", "ssb-q3", "q6"], names
+for p in plans:
+    pipes = p["pipelines"]
+    assert pipes, f"{p['query']}: no pipelines"
+    probe = pipes[-1]
+    assert probe["type"] == "probe", f"{p['query']}: no probe pipeline"
+    ops = probe["operators"]
+    assert ops and ops[-1]["op"] == "aggregate", (
+        f"{p['query']}: probe pipeline must end in an aggregate")
+    builds = [q for q in pipes if q["type"] == "build"]
+    assert len(builds) == p["shape"]["joins"], (
+        f"{p['query']}: build pipelines != joins")
+    for b in builds:
+        # Acceptance: dense key domains must select the perfect table
+        # (or hybrid past the GPU budget — not exercised at this size).
+        if b["key_density"] >= 0.5:
+            assert b["hash_table"] == "perfect", (
+                f"{p['query']}: dense dimension picked {b['hash_table']}")
+        else:
+            assert b["hash_table"] == "linear_probing", (
+                f"{p['query']}: sparse dimension picked {b['hash_table']}")
+print(f"{len(plans)} plans well-formed "
+      f"({sum(len(p['pipelines']) for p in plans)} pipelines)")
+PY
+
+# 7. clang-tidy, when available. The container image may not ship it; the
 #    .clang-tidy profile is still enforced wherever the tool exists.
 if command -v clang-tidy >/dev/null 2>&1; then
   say "clang-tidy"

@@ -31,6 +31,11 @@ struct ExecOptions {
   std::uint64_t os_page_bytes = 4 * 1024;
   /// Morsel granularity of the heterogeneous probe.
   std::size_t morsel_tuples = exec::kDefaultMorselTuples;
+  /// Test-only escape hatch: route RunResilient through the preserved
+  /// pre-plan-IR fused path (engine::legacy) instead of compiling to the
+  /// plan IR. Exists solely for the golden equivalence suite and will be
+  /// removed with the legacy path.
+  bool legacy_fused_for_test = false;
 };
 
 /// Outcome of a fault-aware execution: the query result plus how the
@@ -56,12 +61,20 @@ struct ExecReport {
   double modelled_backoff_s = 0.0;
   /// Tuples re-processed by surviving scheduler groups after a group died.
   std::size_t failover_tuples = 0;
+  /// Build pipelines executed (dimension hash tables actually built).
+  /// With the plan IR each build runs exactly once per query, whatever
+  /// the degradation ladder does afterwards.
+  std::size_t dim_tables_built = 0;
+  /// Cached build results reused by a later ladder rung (e.g. a CPU
+  /// re-placement of the probe pipeline) instead of being rebuilt.
+  std::size_t dim_tables_reused = 0;
 };
 
-/// Functional query executor: validates the query against the tables,
-/// then runs scan -> join -> aggregate on the host using the library's
-/// operators (selection vectors, linear-probing hash tables). The
-/// reference semantics every plan the Advisor produces must match.
+/// Functional query executor, now a facade over the plan IR: queries
+/// compile to a physical plan (build pipelines + probe pipeline with
+/// placements and hash-table choices, see src/plan/) and execute morsel-
+/// wise through plan::ExecutePlan. The reference semantics every plan
+/// the Advisor produces must match.
 class Executor {
  public:
   /// Runs `query` with `workers` threads for the probe pipeline.

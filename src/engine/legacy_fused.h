@@ -1,0 +1,30 @@
+#ifndef PUMP_ENGINE_LEGACY_FUSED_H_
+#define PUMP_ENGINE_LEGACY_FUSED_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+
+namespace pump::engine::legacy {
+
+/// The pre-plan-IR fused execution path, preserved verbatim as the
+/// reference the golden equivalence suite compares the plan IR against
+/// (reachable via ExecOptions::legacy_fused_for_test). Scheduled for
+/// removal once the equivalence suite has soaked; new code must go
+/// through plan::Compile / plan::ExecutePlan.
+
+/// The old Executor::Run: validate, bind columns, build linear-probing
+/// tables, fused morsel-parallel scan-probe-aggregate on the host.
+Result<QueryResult> RunFused(const Query& query, std::size_t workers = 1);
+
+/// The old Executor::RunResilient: monolithic GPU plan first, whole-
+/// query CPU fallback on any unrecoverable fault (rebuilding every
+/// dimension table — the behaviour the per-pipeline ladder fixes).
+Result<ExecReport> RunResilientFused(const Query& query,
+                                     const ExecOptions& options);
+
+}  // namespace pump::engine::legacy
+
+#endif  // PUMP_ENGINE_LEGACY_FUSED_H_

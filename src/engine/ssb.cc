@@ -124,4 +124,43 @@ Query SsbQ2(const SsbDatabase& db) {
   return query;
 }
 
+Query SsbQ3(const SsbDatabase& db) {
+  Query query;
+  query.fact = &db.lineorder;
+  query.filters = {{"lo_quantity", ops::CompareOp::kLt, 30}};
+
+  JoinClause date_join;
+  date_join.fact_key_column = "lo_orderdate";
+  date_join.dimension = &db.date;
+  date_join.dim_key_column = "d_datekey";
+  date_join.dim_filter = {"d_year", ops::CompareOp::kEq, 1993};
+  date_join.has_dim_filter = true;
+  query.joins.push_back(date_join);
+
+  JoinClause customer_join;
+  customer_join.fact_key_column = "lo_custkey";
+  customer_join.dimension = &db.customer;
+  customer_join.dim_key_column = "c_custkey";
+  customer_join.dim_filter = {"c_region", ops::CompareOp::kEq, kRegionAsia};
+  customer_join.has_dim_filter = true;
+  query.joins.push_back(customer_join);
+
+  JoinClause supplier_join;
+  supplier_join.fact_key_column = "lo_suppkey";
+  supplier_join.dimension = &db.supplier;
+  supplier_join.dim_key_column = "s_suppkey";
+  supplier_join.dim_filter = {"s_region", ops::CompareOp::kEq, kRegionAsia};
+  supplier_join.has_dim_filter = true;
+  query.joins.push_back(supplier_join);
+
+  query.measure_column = "lo_revenue";
+  return query;
+}
+
+std::vector<NamedQuery> SsbSuite(const SsbDatabase& db) {
+  return {{"ssb-q1", SsbQ1(db)},
+          {"ssb-q2", SsbQ2(db)},
+          {"ssb-q3", SsbQ3(db)}};
+}
+
 }  // namespace pump::engine

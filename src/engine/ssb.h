@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "engine/query.h"
 #include "engine/table.h"
@@ -41,6 +42,25 @@ Query SsbQ1(const SsbDatabase& db);
 ///   WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
 ///     AND c_region = kAsia AND s_region = kAsia;
 Query SsbQ2(const SsbDatabase& db);
+
+/// SSB Q3/Q4-style query: a three-dimension star join (date, customer,
+/// supplier) with a fact filter —
+///   SELECT SUM(lo_revenue) FROM lineorder, date, customer, supplier
+///   WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+///     AND lo_suppkey = s_suppkey AND d_year = 1993
+///     AND c_region = kAsia AND s_region = kAsia AND lo_quantity < 30;
+Query SsbQ3(const SsbDatabase& db);
+
+/// One query of the SSB suite, labelled for tooling (plandump, benches,
+/// the golden equivalence tests).
+struct NamedQuery {
+  const char* name;
+  Query query;
+};
+
+/// The SSB workloads in canonical order: ssb-q1, ssb-q2, ssb-q3. The
+/// returned queries reference `db`, which must outlive them.
+std::vector<NamedQuery> SsbSuite(const SsbDatabase& db);
 
 /// Region dictionary codes used by the generator.
 inline constexpr std::int64_t kRegionAsia = 2;

@@ -20,6 +20,11 @@ inline constexpr const char kAllocDevice[] = "alloc.device";
 inline constexpr const char kUmMigrate[] = "um.migrate";
 inline constexpr const char kSchedWorkerStall[] = "sched.worker_stall";
 inline constexpr const char kLinkDegrade[] = "link.degrade";
+/// Fired per plan pipeline before its GPU-side stage launches. Scopes:
+/// "build" for the build pipelines, "probe" for the probe pipeline. Lets
+/// tests fail one pipeline of a plan and assert the others' results are
+/// reused instead of recomputed.
+inline constexpr const char kPlanPipeline[] = "plan.pipeline";
 
 /// Configuration of one armed failpoint. The fault schedule is a pure
 /// function of (injector seed, site, scope, hit index): replaying a run

@@ -1,0 +1,322 @@
+#include "plan/compiler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/advisor.h"
+#include "hash/hash_table.h"
+#include "hw/topology.h"
+#include "join/cost_model.h"
+
+namespace pump::plan {
+
+namespace {
+
+using Storage = hash::TableStorage<std::int64_t, std::int64_t>;
+using LinearTable = hash::LinearProbingHashTable<std::int64_t, std::int64_t>;
+
+/// Key domains at least this dense qualify for the perfect hash table
+/// (slot = key). Below it the wasted slots outweigh the probe savings and
+/// the linear-probing table wins.
+constexpr double kDenseKeyDensity = 0.5;
+
+/// GPU working-space reserve subtracted from the hash-table budget
+/// (mirrors the Advisor's Fig. 11 placement math).
+constexpr std::uint64_t kGpuReserveBytes = 1ull << 30;
+
+Status Annotate(Status status, const QueryShape& shape) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                status.message() + " (query shape: " + shape.ToString() +
+                    ")");
+}
+
+/// The single validation pass of the whole engine: runs once per
+/// Compile, never again per execution attempt. Every error names the
+/// offending query shape.
+Status Validate(const engine::Query& query, const QueryShape& shape) {
+  if (query.fact == nullptr) {
+    return Annotate(Status::InvalidArgument("query has no fact table"),
+                    shape);
+  }
+  if (!query.fact->HasColumn(query.measure_column)) {
+    return Annotate(
+        Status::NotFound("measure column '" + query.measure_column +
+                         "' missing from fact table"),
+        shape);
+  }
+  for (const engine::Filter& filter : query.filters) {
+    if (!query.fact->HasColumn(filter.column)) {
+      return Annotate(Status::NotFound("filter column '" + filter.column +
+                                       "' missing from fact table"),
+                      shape);
+    }
+  }
+  for (const engine::JoinClause& join : query.joins) {
+    if (join.dimension == nullptr) {
+      return Annotate(
+          Status::InvalidArgument("join without dimension table"), shape);
+    }
+    if (!query.fact->HasColumn(join.fact_key_column)) {
+      return Annotate(Status::NotFound("join key '" + join.fact_key_column +
+                                       "' missing from fact table"),
+                      shape);
+    }
+    if (!join.dimension->HasColumn(join.dim_key_column)) {
+      return Annotate(
+          Status::NotFound("dimension key '" + join.dim_key_column +
+                           "' missing from dimension"),
+          shape);
+    }
+    if (join.has_dim_filter &&
+        !join.dimension->HasColumn(join.dim_filter.column)) {
+      return Annotate(Status::NotFound("dimension filter column '" +
+                                       join.dim_filter.column + "' missing"),
+                      shape);
+    }
+  }
+  return Status::OK();
+}
+
+KeyStats GatherKeyStats(const std::vector<std::int64_t>& keys) {
+  KeyStats stats;
+  stats.rows = keys.size();
+  if (keys.empty()) return stats;
+  stats.min_key = *std::min_element(keys.begin(), keys.end());
+  stats.max_key = *std::max_element(keys.begin(), keys.end());
+  if (stats.min_key >= 0) {
+    stats.density = static_cast<double>(stats.rows) /
+                    static_cast<double>(stats.max_key + 1);
+  }
+  return stats;
+}
+
+bool DenseKeys(const KeyStats& keys) {
+  return keys.rows > 0 && keys.min_key >= 0 &&
+         keys.density >= kDenseKeyDensity;
+}
+
+/// Storage footprint of the chosen table kind.
+std::uint64_t TableBytes(const KeyStats& keys, HashTableKind kind) {
+  if (kind == HashTableKind::kPerfect || kind == HashTableKind::kHybrid) {
+    return Storage::BytesFor(static_cast<std::size_t>(keys.max_key + 1));
+  }
+  return Storage::BytesFor(
+      LinearTable::CapacityFor(std::max<std::size_t>(1, keys.rows), 0.5));
+}
+
+/// Hash-table selection matrix (DESIGN.md Sec. 10): perfect for dense
+/// key domains, hybrid when a dense table exceeds the GPU budget of a
+/// GPU-side placement, linear probing otherwise.
+HashTableKind ChooseTableKind(const KeyStats& keys, bool gpu_placed,
+                              std::uint64_t budget_bytes,
+                              std::uint64_t* gpu_used) {
+  if (!DenseKeys(keys)) return HashTableKind::kLinearProbing;
+  const std::uint64_t bytes = TableBytes(keys, HashTableKind::kPerfect);
+  if (gpu_placed) {
+    if (*gpu_used + bytes > budget_bytes) return HashTableKind::kHybrid;
+    *gpu_used += bytes;
+  }
+  return HashTableKind::kPerfect;
+}
+
+std::uint64_t DefaultGpuBudget(const hw::SystemProfile* profile) {
+  static const hw::SystemProfile kDefault = hw::Ac922Profile();
+  const hw::Topology& topo =
+      profile != nullptr ? profile->topology : kDefault.topology;
+  const std::uint64_t capacity = topo.memory(hw::kGpu0).capacity.u64();
+  return capacity > kGpuReserveBytes ? capacity - kGpuReserveBytes : 0;
+}
+
+/// Cost-model placement: evaluates the whole pipeline DAG on every
+/// device via engine::Advisor (which wraps join::NopaJoinModel /
+/// transfer::TransferModel) and adopts the winner's per-join hash-table
+/// placements — placement per step, not per query.
+Status PlaceByCostModel(const engine::Query& query,
+                        const CompileOptions& options, PhysicalPlan* plan) {
+  static const hw::SystemProfile kDefault = hw::Ac922Profile();
+  const hw::SystemProfile* profile =
+      options.profile != nullptr ? options.profile : &kDefault;
+  const engine::Advisor advisor(profile);
+  const engine::QueryStats stats =
+      engine::StatsFromQuery(query, options.scale);
+  PUMP_ASSIGN_OR_RETURN(engine::PlanChoice choice,
+                        advisor.Recommend(stats, hw::kCpu0));
+  const bool gpu_wins =
+      profile->topology.device(choice.device).kind == hw::DeviceKind::kGpu;
+  plan->rationale = choice.rationale;
+  plan->probe.placement = gpu_wins ? PipelinePlacement::kHeterogeneous
+                                   : PipelinePlacement::kCpu;
+  plan->probe.modelled_cost_s = choice.predicted_seconds.seconds();
+
+  const join::NopaJoinModel nopa(profile);
+  for (std::size_t i = 0; i < plan->builds.size(); ++i) {
+    BuildPipeline& build = plan->builds[i];
+    const join::HashTablePlacement& placement = choice.join_placements[i];
+    const bool gpu_placed =
+        gpu_wins && !placement.parts.empty() &&
+        placement.parts[0].node == choice.device;
+    build.placement =
+        gpu_placed ? PipelinePlacement::kGpu : PipelinePlacement::kCpu;
+    if (gpu_placed && placement.parts.size() > 1 && DenseKeys(build.keys)) {
+      build.table_kind = HashTableKind::kHybrid;
+      build.table_bytes = TableBytes(build.keys, build.table_kind);
+    }
+    data::WorkloadSpec w;
+    w.key_bytes = 8;
+    w.payload_bytes = 8;
+    w.r_tuples = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(build.keys.rows) * options.scale));
+    w.s_tuples = 1;
+    const Seconds build_s =
+        static_cast<double>(w.r_tuples) /
+        nopa.InsertRate(choice.device, placement, w);
+    build.modelled_cost_s = build_s.seconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PhysicalPlan> Compile(const engine::Query& query,
+                             const CompileOptions& options) {
+  PhysicalPlan plan;
+  plan.query = &query;
+  plan.shape.fact_rows = query.fact != nullptr ? query.fact->rows() : 0;
+  plan.shape.filters = query.filters.size();
+  plan.shape.joins = query.joins.size();
+  PUMP_RETURN_NOT_OK(Validate(query, plan.shape));
+
+  const bool gpu_policy = options.policy != PlacementPolicy::kCpuOnly;
+  const std::uint64_t budget = options.gpu_budget_bytes != 0
+                                   ? options.gpu_budget_bytes
+                                   : DefaultGpuBudget(options.profile);
+  std::uint64_t gpu_used = 0;
+
+  // One build pipeline per join clause.
+  for (std::size_t j = 0; j < query.joins.size(); ++j) {
+    const engine::JoinClause& join = query.joins[j];
+    BuildPipeline build;
+    build.join_index = j;
+    build.dimension = join.dimension;
+    build.key_column = join.dim_key_column;
+    build.dim_filter = join.dim_filter;
+    build.has_dim_filter = join.has_dim_filter;
+    PUMP_ASSIGN_OR_RETURN(const auto* keys,
+                          join.dimension->Column(join.dim_key_column));
+    build.keys = GatherKeyStats(*keys);
+    build.placement =
+        gpu_policy ? PipelinePlacement::kGpu : PipelinePlacement::kCpu;
+    build.table_kind = ChooseTableKind(build.keys, gpu_policy, budget,
+                                       &gpu_used);
+    build.table_bytes = TableBytes(build.keys, build.table_kind);
+    plan.builds.push_back(std::move(build));
+  }
+
+  // The probe pipeline: filters in query order, probes in join order,
+  // one trailing aggregate — the operator order fixes the evaluation
+  // order, which is what makes plans bit-identical to the reference.
+  for (const engine::Filter& filter : query.filters) {
+    Operator op;
+    op.kind = OpKind::kScanFilter;
+    op.column = filter.column;
+    op.op = filter.op;
+    op.literal = filter.literal;
+    plan.probe.ops.push_back(std::move(op));
+  }
+  for (std::size_t j = 0; j < query.joins.size(); ++j) {
+    Operator op;
+    op.kind = OpKind::kProbe;
+    op.column = query.joins[j].fact_key_column;
+    op.build_index = j;
+    plan.probe.ops.push_back(std::move(op));
+  }
+  {
+    Operator op;
+    op.kind = OpKind::kAggregate;
+    op.column = query.measure_column;
+    plan.probe.ops.push_back(std::move(op));
+  }
+  plan.probe.placement = gpu_policy ? PipelinePlacement::kHeterogeneous
+                                    : PipelinePlacement::kCpu;
+
+  if (options.policy == PlacementPolicy::kCostModel) {
+    PUMP_RETURN_NOT_OK(PlaceByCostModel(query, options, &plan));
+  }
+  return plan;
+}
+
+Status ValidatePlan(const PhysicalPlan& plan) {
+  if (plan.query == nullptr) {
+    return Status::InvalidArgument("plan has no query");
+  }
+  if (plan.builds.size() != plan.query->joins.size()) {
+    return Status::Internal("plan has " +
+                            std::to_string(plan.builds.size()) +
+                            " build pipelines for " +
+                            std::to_string(plan.query->joins.size()) +
+                            " joins");
+  }
+  for (const BuildPipeline& build : plan.builds) {
+    if (build.join_index >= plan.query->joins.size()) {
+      return Status::Internal("build pipeline references join " +
+                              std::to_string(build.join_index) +
+                              " of " +
+                              std::to_string(plan.query->joins.size()));
+    }
+    if (build.dimension == nullptr) {
+      return Status::Internal("build pipeline without dimension table");
+    }
+    const bool dense = DenseKeys(build.keys);
+    if ((build.table_kind == HashTableKind::kPerfect ||
+         build.table_kind == HashTableKind::kHybrid) &&
+        !dense) {
+      return Status::Internal(
+          "perfect/hybrid hash table chosen for a sparse key domain "
+          "(density " +
+          std::to_string(build.keys.density) + ")");
+    }
+    if (build.table_bytes == 0) {
+      return Status::Internal("build pipeline with zero table bytes");
+    }
+  }
+  const std::vector<Operator>& ops = plan.probe.ops;
+  if (ops.empty()) {
+    return Status::Internal("probe pipeline has no operators");
+  }
+  if (ops.back().kind != OpKind::kAggregate) {
+    return Status::Internal("probe pipeline does not end in an aggregate");
+  }
+  int stage = 0;  // 0 = filters, 1 = probes, 2 = aggregate.
+  std::size_t aggregates = 0;
+  for (const Operator& op : ops) {
+    switch (op.kind) {
+      case OpKind::kScanFilter:
+        if (stage > 0) {
+          return Status::Internal("scan_filter after a probe/aggregate");
+        }
+        break;
+      case OpKind::kProbe:
+        if (stage > 1) return Status::Internal("probe after the aggregate");
+        stage = 1;
+        if (op.build_index >= plan.builds.size()) {
+          return Status::Internal(
+              "probe references missing build pipeline " +
+              std::to_string(op.build_index));
+        }
+        break;
+      case OpKind::kAggregate:
+        stage = 2;
+        ++aggregates;
+        break;
+    }
+  }
+  if (aggregates != 1) {
+    return Status::Internal("probe pipeline has " +
+                            std::to_string(aggregates) + " aggregates");
+  }
+  return Status::OK();
+}
+
+}  // namespace pump::plan

@@ -1,0 +1,75 @@
+#ifndef PUMP_PLAN_COMPILER_H_
+#define PUMP_PLAN_COMPILER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "hw/system_profile.h"
+#include "plan/plan.h"
+
+namespace pump::plan {
+
+/// How the compiler assigns pipeline placements.
+enum class PlacementPolicy : std::uint8_t {
+  /// Every pipeline on the CPU — the reference plan.
+  kCpuOnly,
+  /// GPU-side placements wherever the budget allows: hash tables GPU-
+  /// placed, probe heterogeneous. The degradation ladder (retry -> spill
+  /// -> per-pipeline CPU re-placement) recovers from faults at runtime.
+  kGpuPreferred,
+  /// Per-pipeline placement chosen by engine::Advisor / join::CostModel:
+  /// the probe pipeline runs where the modelled time is lowest and each
+  /// hash table follows the Fig. 11 placement rules of the winning
+  /// device. Decides per *step*, not per query.
+  kCostModel
+};
+
+const char* ToString(PlacementPolicy policy);
+
+/// Compile-time knobs.
+struct CompileOptions {
+  PlacementPolicy policy = PlacementPolicy::kCpuOnly;
+  /// GPU memory available for hash tables. 0 derives it from the
+  /// profile's (or the default AC922's) GPU capacity minus a 1 GiB
+  /// working-space reserve. The hybrid hash-table kind is selected when a
+  /// dense dimension exceeds this budget.
+  std::uint64_t gpu_budget_bytes = 0;
+  /// System profile for the cost-model policy; null uses hw::Ac922Profile.
+  const hw::SystemProfile* profile = nullptr;
+  /// Cardinality scale factor fed to the cost model (model the same query
+  /// shape at paper scale without materializing the data).
+  double scale = 1.0;
+};
+
+/// Compiles `query` into a physical plan: validates the query exactly
+/// once (errors carry the offending query shape), derives key statistics
+/// per dimension, selects a hash-table kind per build pipeline, and
+/// assigns placements per the policy. The query and its tables must
+/// outlive the returned plan.
+Result<PhysicalPlan> Compile(const engine::Query& query,
+                             const CompileOptions& options = {});
+
+/// Structural self-check of a compiled plan (used by tools/plandump and
+/// the test suite): probe operators non-empty and well-ordered (filters,
+/// then probes, then exactly one trailing aggregate), every probe
+/// operator references an existing build pipeline, every build pipeline
+/// references an existing join clause, and hash-table kinds are
+/// consistent with the key statistics. Returns the first violation.
+Status ValidatePlan(const PhysicalPlan& plan);
+
+inline const char* ToString(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kCpuOnly:
+      return "cpu";
+    case PlacementPolicy::kGpuPreferred:
+      return "gpu";
+    case PlacementPolicy::kCostModel:
+      return "cost";
+  }
+  return "?";
+}
+
+}  // namespace pump::plan
+
+#endif  // PUMP_PLAN_COMPILER_H_

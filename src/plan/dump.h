@@ -1,0 +1,20 @@
+#ifndef PUMP_PLAN_DUMP_H_
+#define PUMP_PLAN_DUMP_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace pump::plan {
+
+/// Renders a compiled plan as a JSON object: the query shape, the
+/// placement rationale, and one entry per pipeline (builds first, then
+/// the probe) with placement, hash-table choice, key statistics, table
+/// bytes, modelled cost, and the probe's operator list. `query_name`
+/// labels the plan (e.g. "ssb-q1"); pass "" for unnamed queries.
+/// Consumed by tools/plandump and the check.sh plan gate.
+std::string ToJson(const PhysicalPlan& plan, const std::string& query_name);
+
+}  // namespace pump::plan
+
+#endif  // PUMP_PLAN_DUMP_H_

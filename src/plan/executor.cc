@@ -1,0 +1,253 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/het_scheduler.h"
+#include "exec/morsel.h"
+#include "exec/parallel.h"
+#include "exec/work_stealing.h"
+#include "fault/fault_injector.h"
+#include "hw/topology.h"
+#include "memory/allocator.h"
+#include "plan/operators.h"
+#include "transfer/executor.h"
+
+namespace pump::plan {
+
+namespace {
+
+/// Joins accumulated degradation reasons into the report.
+void FinishReasons(const std::vector<std::string>& reasons,
+                   engine::ExecReport* report) {
+  if (reasons.empty()) return;
+  report->degraded = true;
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    if (!report->degradation_reason.empty()) {
+      report->degradation_reason += "; ";
+    }
+    report->degradation_reason += reasons[i];
+  }
+}
+
+/// Build stage: every build pipeline runs exactly once and its table is
+/// cached for all later rungs of the ladder. GPU-placed builds model
+/// their device allocation (spilling on injected OOM); a build that
+/// cannot obtain any device placement is re-placed on the CPU without
+/// discarding the functional table.
+Result<std::vector<DimensionTable>> RunBuildPipelines(
+    const PhysicalPlan& plan, const engine::ExecOptions& options,
+    engine::ExecReport* report, std::vector<std::string>* reasons) {
+  std::vector<DimensionTable> tables;
+  tables.reserve(plan.builds.size());
+  for (const BuildPipeline& build : plan.builds) {
+    PUMP_ASSIGN_OR_RETURN(DimensionTable table, DimensionTable::Build(build));
+    tables.push_back(std::move(table));
+    ++report->dim_tables_built;
+  }
+
+  bool any_gpu_build = false;
+  for (const BuildPipeline& build : plan.builds) {
+    if (build.placement != PipelinePlacement::kCpu) any_gpu_build = true;
+  }
+  if (!any_gpu_build) return tables;
+
+  // Modelled placement on the AC922 topology: device allocation probes
+  // the alloc.device failpoint and spills the remainder to CPU memory
+  // (rung 2). The functional build stays on the host, mirroring the
+  // repo-wide functional/model split.
+  hw::Topology topology = hw::IbmAc922();
+  memory::MemoryManager manager(&topology, /*materialize=*/false);
+  std::vector<memory::Buffer> placements;
+  for (const BuildPipeline& build : plan.builds) {
+    if (build.placement == PipelinePlacement::kCpu) continue;
+    Status admitted = Status::OK();
+    if (options.injector != nullptr) {
+      admitted = options.injector->Check(fault::kPlanPipeline, "build");
+    }
+    Result<memory::Buffer> placement =
+        admitted.ok()
+            ? manager.AllocateHybrid(
+                  std::max<std::uint64_t>(16, build.table_bytes), hw::kGpu0,
+                  0, options.injector)
+            : Result<memory::Buffer>(admitted);
+    if (!placement.ok()) {
+      // Per-pipeline rung 3: this build loses its GPU placement but its
+      // cached table survives for the CPU-side probe.
+      reasons->push_back("build pipeline '" + build.key_column +
+                         "' lost its GPU placement (" +
+                         placement.status().ToString() +
+                         "); re-placed on CPU");
+      continue;
+    }
+    report->hybrid_gpu_fraction =
+        std::min(report->hybrid_gpu_fraction,
+                 placement.value().FractionOnNode(hw::kGpu0));
+    placements.push_back(std::move(placement).value());
+  }
+  if (!plan.builds.empty() && report->hybrid_gpu_fraction < 1.0) {
+    reasons->push_back(
+        "hybrid hash table spilled to CPU memory (GPU fraction " +
+        std::to_string(report->hybrid_gpu_fraction) + ")");
+  }
+  return tables;
+}
+
+/// CPU probe pipeline: morsel-parallel with hierarchical work stealing,
+/// identical to the reference executor's host plan.
+Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
+                                        const engine::ExecOptions& options,
+                                        const std::vector<DimensionTable>&
+                                            tables) {
+  const engine::Table& fact = *plan.query->fact;
+  auto source = [&fact](const std::string& name)
+      -> Result<const std::int64_t*> {
+    PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(name));
+    return column->data();
+  };
+  PUMP_ASSIGN_OR_RETURN(BoundProbe bound, BindProbe(plan, tables, source));
+
+  const std::size_t workers = std::max<std::size_t>(1, options.workers);
+  exec::WorkStealingDispatcher dispatcher(fact.rows(),
+                                          options.morsel_tuples, workers);
+  std::atomic<std::uint64_t> total_rows{0};
+  std::atomic<std::int64_t> total_sum{0};
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    std::uint64_t rows = 0;
+    std::int64_t sum = 0;
+    while (auto morsel = dispatcher.Next(w)) {
+      ProcessRange(bound, morsel->begin, morsel->end, &rows, &sum);
+    }
+    total_rows.fetch_add(rows, std::memory_order_relaxed);
+    total_sum.fetch_add(sum, std::memory_order_relaxed);
+  });
+  return engine::QueryResult{total_rows.load(), total_sum.load()};
+}
+
+/// GPU / heterogeneous probe pipeline: fact columns staged chunk-wise
+/// with per-chunk retry (rung 1), then the morsel scheduler drives a GPU
+/// proxy group — plus the CPU worker group for heterogeneous placements
+/// — with group failover. Any error is an unrecoverable pipeline fault
+/// the caller re-places on the CPU.
+Status RunProbeGpu(const PhysicalPlan& plan,
+                   const engine::ExecOptions& options,
+                   const std::vector<DimensionTable>& tables,
+                   engine::ExecReport* report,
+                   std::vector<std::string>* reasons) {
+  const engine::Table& fact = *plan.query->fact;
+  const std::size_t rows = fact.rows();
+  if (options.injector != nullptr) {
+    PUMP_RETURN_NOT_OK(options.injector->Check(fault::kPlanPipeline,
+                                               "probe"));
+  }
+
+  const transfer::TransferFaultOptions fault_options{options.injector,
+                                                     options.retry};
+  std::vector<memory::Buffer> device_columns;
+  auto source = [&](const std::string& name)
+      -> Result<const std::int64_t*> {
+    PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(name));
+    const std::uint64_t bytes = column->size() * sizeof(std::int64_t);
+    if (bytes == 0) return static_cast<const std::int64_t*>(nullptr);
+    transfer::TransferStats stats;
+    PUMP_ASSIGN_OR_RETURN(
+        memory::Buffer device,
+        transfer::StageToDevice(column->data(), bytes, hw::kGpu0,
+                                options.chunk_bytes, options.os_page_bytes,
+                                fault_options, &stats));
+    report->transfer_retries += stats.retries;
+    report->faults_injected += stats.faults_injected;
+    report->modelled_backoff_s += stats.modelled_backoff_s;
+    device_columns.push_back(std::move(device));
+    return device_columns.back().as<const std::int64_t>();
+  };
+  PUMP_ASSIGN_OR_RETURN(BoundProbe bound, BindProbe(plan, tables, source));
+
+  std::atomic<std::uint64_t> total_rows{0};
+  std::atomic<std::int64_t> total_sum{0};
+  auto work = [&](std::size_t begin, std::size_t end) {
+    std::uint64_t range_rows = 0;
+    std::int64_t range_sum = 0;
+    ProcessRange(bound, begin, end, &range_rows, &range_sum);
+    total_rows.fetch_add(range_rows, std::memory_order_relaxed);
+    total_sum.fetch_add(range_sum, std::memory_order_relaxed);
+  };
+  std::vector<exec::ProcessorGroup> groups;
+  if (plan.probe.placement == PipelinePlacement::kHeterogeneous) {
+    groups.push_back(
+        {"CPU", std::max<std::size_t>(1, options.workers), 1, work});
+  }
+  groups.push_back({"GPU", 1, exec::kDefaultGpuBatchMorsels, work});
+  const std::vector<exec::GroupStats> group_stats = exec::RunHeterogeneous(
+      rows, options.morsel_tuples, std::move(groups), options.injector);
+
+  std::size_t processed = 0;
+  for (const exec::GroupStats& group : group_stats) {
+    processed += group.tuples;
+    report->failover_tuples += group.failover_tuples;
+    if (group.failed) {
+      reasons->push_back("processor group '" + group.name +
+                         "' stalled; its morsels failed over");
+    }
+  }
+  if (processed != rows) {
+    return Status::Unavailable(
+        "all processor groups failed; " + std::to_string(rows - processed) +
+        " tuples unprocessed");
+  }
+  report->result = engine::QueryResult{total_rows.load(), total_sum.load()};
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
+                                       const engine::ExecOptions& options) {
+  if (plan.query == nullptr || plan.query->fact == nullptr) {
+    return Status::InvalidArgument("plan has no compiled query");
+  }
+  engine::ExecReport report;
+  std::vector<std::string> reasons;
+
+  // Build stage (cached across the whole ladder).
+  PUMP_ASSIGN_OR_RETURN(
+      const std::vector<DimensionTable> tables,
+      RunBuildPipelines(plan, options, &report, &reasons));
+
+  // Probe stage, per-pipeline ladder.
+  if (plan.probe.placement != PipelinePlacement::kCpu) {
+    const Status gpu_status =
+        RunProbeGpu(plan, options, tables, &report, &reasons);
+    if (gpu_status.ok()) {
+      report.used_gpu = true;
+      FinishReasons(reasons, &report);
+      return report;
+    }
+    // Rung 3, scoped to this pipeline: re-place the probe on the CPU,
+    // reusing every cached build instead of rebuilding (the old fused
+    // path rebuilt all dimension tables here).
+    const std::size_t built = report.dim_tables_built;
+    report = engine::ExecReport{};
+    report.dim_tables_built = built;
+    report.dim_tables_reused = tables.size();
+    report.degraded = true;
+    report.degradation_reason =
+        "probe pipeline failed on GPU (" + gpu_status.ToString() +
+        "); fell back to CPU plan, reusing " +
+        std::to_string(tables.size()) + " cached build pipelines";
+    PUMP_ASSIGN_OR_RETURN(report.result,
+                          RunProbeCpu(plan, options, tables));
+    report.used_gpu = false;
+    return report;
+  }
+
+  PUMP_ASSIGN_OR_RETURN(report.result, RunProbeCpu(plan, options, tables));
+  report.used_gpu = false;
+  FinishReasons(reasons, &report);
+  return report;
+}
+
+}  // namespace pump::plan

@@ -1,0 +1,39 @@
+#ifndef PUMP_PLAN_Q6_BRIDGE_H_
+#define PUMP_PLAN_Q6_BRIDGE_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "data/tpch.h"
+#include "engine/query.h"
+#include "ops/q6.h"
+
+namespace pump::plan {
+
+/// TPC-H Q6 lifted into the engine's Query representation so it compiles
+/// through the plan IR like every other workload: the int32 lineitem
+/// columns widen to the engine's int64 columns once at load time, and
+/// the measure is the precomputed per-row revenue term
+/// (extendedprice * discount), so the zero-join aggregate matches the
+/// ops::RunQ6* kernels bit for bit.
+struct Q6PlanInput {
+  engine::Table table;
+
+  /// Converts a generated lineitem sample. Conversion cost is paid here,
+  /// outside any timed execution path.
+  static Q6PlanInput From(const data::LineitemQ6& source);
+
+  /// The Q6 query over `table`: five filters, zero joins, revenue
+  /// measure. The returned query references this input, which must
+  /// outlive it.
+  engine::Query MakeQuery() const;
+};
+
+/// Compiles and executes Q6 through the plan IR on the CPU placement
+/// with `workers` threads.
+Result<ops::Q6Result> RunQ6Plan(const Q6PlanInput& input,
+                                std::size_t workers);
+
+}  // namespace pump::plan
+
+#endif  // PUMP_PLAN_Q6_BRIDGE_H_

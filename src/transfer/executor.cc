@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "hw/topology.h"
+
 namespace pump::transfer {
 
 namespace {
@@ -168,6 +170,36 @@ Result<TransferStats> ExecuteTransfer(
     if (on_chunk) on_chunk(offset, len);
   }
   return stats;
+}
+
+Result<memory::Buffer> StageToDevice(const void* host, std::uint64_t bytes,
+                                     hw::MemoryNodeId gpu_node,
+                                     std::uint64_t chunk_bytes,
+                                     std::uint64_t os_page_bytes,
+                                     const TransferFaultOptions& faults,
+                                     TransferStats* stats) {
+  if (host == nullptr || bytes == 0) {
+    return Status::InvalidArgument("nothing to stage");
+  }
+  memory::Buffer src(bytes, memory::MemoryKind::kPinned,
+                     {memory::Extent{hw::kCpu0, bytes}});
+  std::memcpy(src.data(), host, bytes);
+  memory::Buffer dst(bytes, memory::MemoryKind::kDevice,
+                     {memory::Extent{gpu_node, bytes}});
+  PUMP_ASSIGN_OR_RETURN(
+      TransferStats transfer_stats,
+      ExecuteTransfer(TransferMethod::kPinnedCopy, src, &dst, gpu_node,
+                      chunk_bytes, os_page_bytes, nullptr, {}, faults));
+  if (stats != nullptr) {
+    stats->bytes_copied += transfer_stats.bytes_copied;
+    stats->chunks += transfer_stats.chunks;
+    stats->staged_bytes += transfer_stats.staged_bytes;
+    stats->retries += transfer_stats.retries;
+    stats->faults_injected += transfer_stats.faults_injected;
+    stats->degraded_chunks += transfer_stats.degraded_chunks;
+    stats->modelled_backoff_s += transfer_stats.modelled_backoff_s;
+  }
+  return dst;
 }
 
 }  // namespace pump::transfer

@@ -72,6 +72,18 @@ Result<TransferStats> ExecuteTransfer(
     const std::function<void(std::uint64_t, std::uint64_t)>& on_chunk = {},
     const TransferFaultOptions& faults = {});
 
+/// Stages `bytes` of host data into a device buffer on `gpu_node`: pinned
+/// bounce buffer, then a chunk-wise kPinnedCopy with per-chunk retry —
+/// the shared column-staging path of the engine's GPU-placed pipelines.
+/// Accumulates the transfer counters into `*stats` when non-null. Fails
+/// with InvalidArgument on an empty input (callers skip empty columns).
+Result<memory::Buffer> StageToDevice(const void* host, std::uint64_t bytes,
+                                     hw::MemoryNodeId gpu_node,
+                                     std::uint64_t chunk_bytes,
+                                     std::uint64_t os_page_bytes,
+                                     const TransferFaultOptions& faults = {},
+                                     TransferStats* stats = nullptr);
+
 }  // namespace pump::transfer
 
 #endif  // PUMP_TRANSFER_EXECUTOR_H_

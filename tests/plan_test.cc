@@ -1,0 +1,451 @@
+// Tests of the physical-plan IR: the golden equivalence suite (every SSB
+// query and TPC-H Q6 must be bit-identical through the preserved fused
+// path and through the plan IR, across worker counts and under injected
+// faults), the compiler's hash-table/placement choices, compile-time
+// validation with query-shape diagnostics, the structural plan
+// self-check, build-pipeline caching across the degradation ladder, and
+// the JSON dump.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/tpch.h"
+#include "engine/executor.h"
+#include "engine/legacy_fused.h"
+#include "engine/ssb.h"
+#include "engine/table.h"
+#include "fault/fault_injector.h"
+#include "gtest/gtest.h"
+#include "ops/q6.h"
+#include "plan/compiler.h"
+#include "plan/dump.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "plan/q6_bridge.h"
+
+namespace pump::plan {
+namespace {
+
+// ---------------------------------------------------------------------
+// Golden equivalence: legacy fused path vs plan IR.
+
+/// One fault scenario of the golden suite. `Arm` configures a fresh
+/// injector; both paths get their own injector with the same seed, so
+/// they observe the identical deterministic fault schedule.
+struct FaultScenario {
+  const char* name;
+  std::uint64_t seed;  // 0 = no injector.
+  void (*arm)(fault::FaultInjector*);
+  void (*tune)(engine::ExecOptions*);
+};
+
+void ArmTransientTransfer(fault::FaultInjector* injector) {
+  fault::FaultSpec spec;
+  spec.probability = 0.2;
+  injector->Arm(fault::kTransferChunk, spec);
+}
+
+void TuneTransientTransfer(engine::ExecOptions* options) {
+  options->chunk_bytes = 8 * 1024;
+  options->retry.max_attempts = 30;
+}
+
+void ArmDeviceOom(fault::FaultInjector* injector) {
+  fault::FaultSpec spec;
+  spec.probability = 1.0;
+  spec.code = StatusCode::kResourceExhausted;
+  injector->Arm(fault::kAllocDevice, spec);
+}
+
+void ArmGroupStall(fault::FaultInjector* injector) {
+  fault::FaultSpec spec;
+  spec.probability = 1.0;
+  spec.after_hits = 2;
+  spec.max_fires = 1;
+  injector->Arm(fault::kSchedWorkerStall, spec);
+}
+
+void TuneGroupStall(engine::ExecOptions* options) {
+  options->morsel_tuples = 500;
+}
+
+const FaultScenario kScenarios[] = {
+    {"fault_free", 0, nullptr, nullptr},
+    {"transient_transfer", 51, ArmTransientTransfer, TuneTransientTransfer},
+    {"device_oom", 52, ArmDeviceOom, nullptr},
+    {"group_stall", 53, ArmGroupStall, TuneGroupStall},
+};
+
+class GoldenEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new engine::SsbDatabase(engine::SsbDatabase::Generate(20'000, 17));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static const engine::SsbDatabase* db_;
+};
+
+const engine::SsbDatabase* GoldenEquivalenceTest::db_ = nullptr;
+
+TEST_F(GoldenEquivalenceTest, SsbSuiteMatchesAcrossPathsWorkersAndFaults) {
+  for (const engine::NamedQuery& named : engine::SsbSuite(*db_)) {
+    const engine::QueryResult reference =
+        engine::Executor::Run(named.query, 2).value();
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      for (const FaultScenario& scenario : kScenarios) {
+        SCOPED_TRACE(std::string(named.name) +
+                     " workers=" + std::to_string(workers) + " " +
+                     scenario.name);
+        engine::ExecOptions options;
+        options.workers = workers;
+        options.morsel_tuples = 1'000;
+        if (scenario.tune != nullptr) scenario.tune(&options);
+
+        fault::FaultInjector legacy_injector(scenario.seed);
+        engine::ExecOptions legacy_options = options;
+        legacy_options.legacy_fused_for_test = true;
+        if (scenario.arm != nullptr) {
+          scenario.arm(&legacy_injector);
+          legacy_options.injector = &legacy_injector;
+        }
+        auto legacy =
+            engine::Executor::RunResilient(named.query, legacy_options);
+        ASSERT_TRUE(legacy.ok()) << legacy.status();
+
+        fault::FaultInjector plan_injector(scenario.seed);
+        engine::ExecOptions plan_options = options;
+        if (scenario.arm != nullptr) {
+          scenario.arm(&plan_injector);
+          plan_options.injector = &plan_injector;
+        }
+        auto via_plan =
+            engine::Executor::RunResilient(named.query, plan_options);
+        ASSERT_TRUE(via_plan.ok()) << via_plan.status();
+
+        // Bit-identical results, and the same ladder outcome.
+        EXPECT_EQ(via_plan.value().result, legacy.value().result);
+        EXPECT_EQ(via_plan.value().result, reference);
+        EXPECT_EQ(via_plan.value().used_gpu, legacy.value().used_gpu);
+        EXPECT_EQ(via_plan.value().degraded, legacy.value().degraded);
+      }
+    }
+  }
+}
+
+TEST_F(GoldenEquivalenceTest, PlainRunMatchesLegacyFused) {
+  for (const engine::NamedQuery& named : engine::SsbSuite(*db_)) {
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      SCOPED_TRACE(std::string(named.name) +
+                   " workers=" + std::to_string(workers));
+      const auto fused = engine::legacy::RunFused(named.query, workers);
+      ASSERT_TRUE(fused.ok()) << fused.status();
+      const auto via_plan = engine::Executor::Run(named.query, workers);
+      ASSERT_TRUE(via_plan.ok()) << via_plan.status();
+      EXPECT_EQ(via_plan.value(), fused.value());
+    }
+  }
+}
+
+TEST(Q6EquivalenceTest, PlanPathMatchesEveryQ6Kernel) {
+  const data::LineitemQ6 lineitem = data::GenerateLineitemQ6(50'000, 7);
+  const ops::Q6Result branching = ops::RunQ6Branching(lineitem);
+  const ops::Q6Result predicated = ops::RunQ6Predicated(lineitem);
+  ASSERT_EQ(branching, predicated);
+
+  const Q6PlanInput input = Q6PlanInput::From(lineitem);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const auto via_plan = RunQ6Plan(input, workers);
+    ASSERT_TRUE(via_plan.ok()) << via_plan.status();
+    EXPECT_EQ(via_plan.value(), branching);
+    EXPECT_EQ(via_plan.value(),
+              ops::RunQ6BranchingParallel(lineitem, workers));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Compiler: hash-table selection and placements.
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  // The compiled plan holds a pointer to its query, so the queries must
+  // outlive every plan a test compiles — they live in the fixture.
+  void SetUp() override {
+    db_ = engine::SsbDatabase::Generate(5'000, 3);
+    q1_ = engine::SsbQ1(db_);
+    q2_ = engine::SsbQ2(db_);
+    q3_ = engine::SsbQ3(db_);
+  }
+
+  engine::SsbDatabase db_;
+  engine::Query q1_;
+  engine::Query q2_;
+  engine::Query q3_;
+};
+
+TEST_F(CompilerTest, DenseKeyDimensionSelectsPerfectHashTable) {
+  CompileOptions options;
+  options.policy = PlacementPolicy::kGpuPreferred;
+  const auto plan = Compile(q1_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan.value().builds.size(), 1u);
+  const BuildPipeline& build = plan.value().builds[0];
+  // d_datekey is a dense [0, 2555) domain.
+  EXPECT_EQ(build.table_kind, HashTableKind::kPerfect);
+  EXPECT_GE(build.keys.density, 0.5);
+  EXPECT_EQ(build.placement, PipelinePlacement::kGpu);
+  EXPECT_EQ(plan.value().probe.placement,
+            PipelinePlacement::kHeterogeneous);
+  EXPECT_GT(build.table_bytes, 0u);
+}
+
+TEST_F(CompilerTest, DenseKeysBeyondGpuBudgetSelectHybrid) {
+  CompileOptions options;
+  options.policy = PlacementPolicy::kGpuPreferred;
+  options.gpu_budget_bytes = 1024;  // Far below any date table.
+  const auto plan = Compile(q1_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan.value().builds.size(), 1u);
+  EXPECT_EQ(plan.value().builds[0].table_kind, HashTableKind::kHybrid);
+}
+
+TEST_F(CompilerTest, SparseKeyDimensionSelectsLinearProbing) {
+  engine::Table fact;
+  ASSERT_TRUE(fact.AddColumn("f_key", {10, 900'000, 10, 7}).ok());
+  ASSERT_TRUE(fact.AddColumn("f_measure", {1, 2, 3, 4}).ok());
+  engine::Table dim;
+  ASSERT_TRUE(dim.AddColumn("d_key", {10, 900'000}).ok());
+
+  engine::Query query;
+  query.fact = &fact;
+  query.measure_column = "f_measure";
+  engine::JoinClause join;
+  join.fact_key_column = "f_key";
+  join.dimension = &dim;
+  join.dim_key_column = "d_key";
+  query.joins.push_back(join);
+
+  CompileOptions options;
+  options.policy = PlacementPolicy::kGpuPreferred;
+  const auto plan = Compile(query, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan.value().builds.size(), 1u);
+  EXPECT_EQ(plan.value().builds[0].table_kind,
+            HashTableKind::kLinearProbing);
+  EXPECT_LT(plan.value().builds[0].keys.density, 0.5);
+
+  // The sparse plan still executes correctly (rows 10, 10, and the
+  // 900'000 match; 7 does not).
+  const auto result = engine::Executor::Run(query, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().rows, 3u);
+  EXPECT_EQ(result.value().sum, 1 + 2 + 3);
+}
+
+TEST_F(CompilerTest, CpuOnlyPolicyPlacesEveryPipelineOnCpu) {
+  const auto plan = Compile(q3_);  // Default: kCpuOnly.
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan.value().UsesGpu());
+  EXPECT_EQ(plan.value().probe.placement, PipelinePlacement::kCpu);
+  for (const BuildPipeline& build : plan.value().builds) {
+    EXPECT_EQ(build.placement, PipelinePlacement::kCpu);
+  }
+}
+
+TEST_F(CompilerTest, CostModelPolicyRecordsRationaleAndCosts) {
+  CompileOptions options;
+  options.policy = PlacementPolicy::kCostModel;
+  options.scale = 100.0;  // Paper-scale cardinalities for the model.
+  const auto plan = Compile(q2_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan.value().rationale.empty());
+  EXPECT_GT(plan.value().probe.modelled_cost_s, 0.0);
+  for (const BuildPipeline& build : plan.value().builds) {
+    EXPECT_GT(build.modelled_cost_s, 0.0);
+  }
+  // Whatever the model picked must execute to the reference result.
+  const auto report = ExecutePlan(plan.value(), {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().result,
+            engine::Executor::Run(engine::SsbQ2(db_), 2).value());
+}
+
+TEST_F(CompilerTest, ProbeOperatorsAreFiltersThenProbesThenAggregate) {
+  const auto plan = Compile(q3_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const std::vector<Operator>& ops = plan.value().probe.ops;
+  // Q3: one fact filter, three joins, one aggregate.
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].kind, OpKind::kScanFilter);
+  EXPECT_EQ(ops[1].kind, OpKind::kProbe);
+  EXPECT_EQ(ops[2].kind, OpKind::kProbe);
+  EXPECT_EQ(ops[3].kind, OpKind::kProbe);
+  EXPECT_EQ(ops[4].kind, OpKind::kAggregate);
+  EXPECT_EQ(ops[1].build_index, 0u);
+  EXPECT_EQ(ops[2].build_index, 1u);
+  EXPECT_EQ(ops[3].build_index, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Validation: exactly once, at compile time, with the query shape.
+
+TEST_F(CompilerTest, ValidationErrorCarriesQueryShape) {
+  engine::Query query = engine::SsbQ1(db_);
+  query.measure_column = "no_such_column";
+  const auto plan = Compile(query);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(plan.status().ToString().find("query shape:"),
+            std::string::npos);
+  EXPECT_NE(plan.status().ToString().find("filters=3"), std::string::npos)
+      << plan.status().ToString();
+
+  // The facade surfaces the same compile-time error (not masked by any
+  // fallback), shape included.
+  engine::ExecOptions options;
+  options.workers = 2;
+  const auto report = engine::Executor::RunResilient(query, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(report.status().ToString().find("query shape:"),
+            std::string::npos);
+}
+
+TEST_F(CompilerTest, NullFactTableFailsCompilation) {
+  engine::Query query;
+  query.measure_column = "m";
+  const auto plan = Compile(query);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// ValidatePlan: structural self-check.
+
+TEST_F(CompilerTest, ValidatePlanAcceptsCompiledPlans) {
+  for (const engine::NamedQuery& named : engine::SsbSuite(db_)) {
+    CompileOptions options;
+    options.policy = PlacementPolicy::kGpuPreferred;
+    const auto plan = Compile(named.query, options);
+    ASSERT_TRUE(plan.ok()) << named.name << ": " << plan.status();
+    EXPECT_TRUE(ValidatePlan(plan.value()).ok()) << named.name;
+  }
+}
+
+TEST_F(CompilerTest, ValidatePlanRejectsStructuralCorruption) {
+  const auto compiled = Compile(q1_);
+  ASSERT_TRUE(compiled.ok());
+
+  {  // Missing aggregate.
+    PhysicalPlan plan = compiled.value();
+    plan.probe.ops.pop_back();
+    EXPECT_FALSE(ValidatePlan(plan).ok());
+  }
+  {  // Probe referencing a nonexistent build pipeline.
+    PhysicalPlan plan = compiled.value();
+    for (Operator& op : plan.probe.ops) {
+      if (op.kind == OpKind::kProbe) op.build_index = 99;
+    }
+    EXPECT_FALSE(ValidatePlan(plan).ok());
+  }
+  {  // Perfect hash table over sparse keys.
+    PhysicalPlan plan = compiled.value();
+    plan.builds[0].keys.density = 0.1;
+    plan.builds[0].table_kind = HashTableKind::kPerfect;
+    EXPECT_FALSE(ValidatePlan(plan).ok());
+  }
+  {  // Operator stage ordering violated (aggregate before a probe).
+    PhysicalPlan plan = compiled.value();
+    std::swap(plan.probe.ops.front(), plan.probe.ops.back());
+    EXPECT_FALSE(ValidatePlan(plan).ok());
+  }
+  {  // Build pipeline count out of sync with the query's joins.
+    PhysicalPlan plan = compiled.value();
+    plan.builds.clear();
+    EXPECT_FALSE(ValidatePlan(plan).ok());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Build caching across the degradation ladder.
+
+TEST_F(CompilerTest, ProbeFailureReusesCachedBuildsInsteadOfRebuilding) {
+  const engine::Query query = engine::SsbQ3(db_);  // Three joins.
+  const engine::QueryResult reference =
+      engine::Executor::Run(query, 2).value();
+
+  fault::FaultInjector injector(61);
+  fault::FaultSpec spec;
+  spec.probability = 1.0;  // Every pipeline's GPU stage fails.
+  injector.Arm(fault::kPlanPipeline, spec);
+
+  engine::ExecOptions options;
+  options.workers = 2;
+  options.morsel_tuples = 1'000;
+  options.injector = &injector;
+  const auto report = engine::Executor::RunResilient(query, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // The probe pipeline lost its GPU placement, but the three dimension
+  // hash tables were built exactly once and reused by the CPU
+  // re-placement — the seed rebuilt them from scratch.
+  EXPECT_FALSE(report.value().used_gpu);
+  EXPECT_TRUE(report.value().degraded);
+  EXPECT_EQ(report.value().dim_tables_built, 3u);
+  EXPECT_EQ(report.value().dim_tables_reused, 3u);
+  EXPECT_NE(report.value().degradation_reason.find("fell back to CPU"),
+            std::string::npos);
+  EXPECT_EQ(report.value().result, reference);
+}
+
+TEST_F(CompilerTest, GpuOomSpillDoesNotDiscardBuilds) {
+  const engine::Query query = engine::SsbQ2(db_);  // Two joins.
+  fault::FaultInjector injector(62);
+  fault::FaultSpec spec;
+  spec.probability = 1.0;
+  spec.code = StatusCode::kResourceExhausted;
+  injector.Arm(fault::kAllocDevice, spec);
+
+  engine::ExecOptions options;
+  options.workers = 2;
+  options.injector = &injector;
+  const auto report = engine::Executor::RunResilient(query, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().used_gpu);  // Spill, not fallback.
+  EXPECT_EQ(report.value().dim_tables_built, 2u);
+  EXPECT_EQ(report.value().dim_tables_reused, 0u);
+  EXPECT_EQ(report.value().result,
+            engine::Executor::Run(query, 2).value());
+}
+
+// ---------------------------------------------------------------------
+// JSON dump.
+
+TEST_F(CompilerTest, ToJsonDescribesPipelinesAndChoices) {
+  CompileOptions options;
+  options.policy = PlacementPolicy::kGpuPreferred;
+  const auto plan = Compile(q1_, options);
+  ASSERT_TRUE(plan.ok());
+  const std::string json = ToJson(plan.value(), "ssb-q1");
+  EXPECT_NE(json.find("\"query\":\"ssb-q1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hash_table\":\"perfect\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"placement\":\"heterogeneous\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"op\":\"aggregate\""), std::string::npos) << json;
+
+  options.gpu_budget_bytes = 1024;
+  const auto hybrid_plan = Compile(q1_, options);
+  ASSERT_TRUE(hybrid_plan.ok());
+  EXPECT_NE(ToJson(hybrid_plan.value(), "ssb-q1")
+                .find("\"hash_table\":\"hybrid\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pump::plan

@@ -1,0 +1,170 @@
+// plandump: compiles queries to the physical-plan IR and prints the
+// plans as JSON — pipelines, operators, placements, hash-table choices,
+// and modelled costs. Used by scripts/check.sh as a plan-validity gate
+// (every emitted plan is re-checked with plan::ValidatePlan) and by
+// humans to answer "where would this query run?".
+//
+// Usage:
+//   plandump [--query ssb-q1|ssb-q2|ssb-q3|q6|all] [--rows N] [--seed S]
+//            [--policy cpu|gpu|cost] [--gpu-budget BYTES] [--scale X]
+//            [--json <path>]
+//
+// Exit codes: 0 = all plans compiled and validated, 1 = a plan failed
+// compilation or validation, 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/tpch.h"
+#include "engine/ssb.h"
+#include "plan/compiler.h"
+#include "plan/dump.h"
+#include "plan/q6_bridge.h"
+
+namespace {
+
+struct DumpedPlan {
+  std::string name;
+  std::string json;
+};
+
+bool CompileAndDump(const std::string& name, const pump::engine::Query& query,
+                    const pump::plan::CompileOptions& options,
+                    std::vector<DumpedPlan>* out) {
+  pump::Result<pump::plan::PhysicalPlan> plan =
+      pump::plan::Compile(query, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plandump: %s: compile failed: %s\n", name.c_str(),
+                 plan.status().ToString().c_str());
+    return false;
+  }
+  const pump::Status valid = pump::plan::ValidatePlan(plan.value());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "plandump: %s: malformed plan: %s\n", name.c_str(),
+                 valid.ToString().c_str());
+    return false;
+  }
+  out->push_back({name, pump::plan::ToJson(plan.value(), name)});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string query_name = "all";
+  std::size_t rows = 100'000;
+  std::uint64_t seed = 42;
+  std::string policy_name = "gpu";
+  std::uint64_t gpu_budget = 0;
+  double scale = 1.0;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plandump: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--query") {
+      query_name = next("--query");
+    } else if (arg == "--rows") {
+      rows = static_cast<std::size_t>(std::strtoull(next("--rows"), nullptr,
+                                                    10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--policy") {
+      policy_name = next("--policy");
+    } else if (arg == "--gpu-budget") {
+      gpu_budget = std::strtoull(next("--gpu-budget"), nullptr, 10);
+    } else if (arg == "--scale") {
+      scale = std::strtod(next("--scale"), nullptr);
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: plandump [--query ssb-q1|ssb-q2|ssb-q3|q6|all] [--rows N] "
+          "[--seed S] [--policy cpu|gpu|cost] [--gpu-budget BYTES] "
+          "[--scale X] [--json <path>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "plandump: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  pump::plan::CompileOptions options;
+  if (policy_name == "cpu") {
+    options.policy = pump::plan::PlacementPolicy::kCpuOnly;
+  } else if (policy_name == "gpu") {
+    options.policy = pump::plan::PlacementPolicy::kGpuPreferred;
+  } else if (policy_name == "cost") {
+    options.policy = pump::plan::PlacementPolicy::kCostModel;
+  } else {
+    std::fprintf(stderr, "plandump: unknown policy '%s' (want cpu|gpu|cost)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  options.gpu_budget_bytes = gpu_budget;
+  options.scale = scale;
+
+  const bool all = query_name == "all";
+  std::vector<DumpedPlan> plans;
+  bool ok = true;
+
+  // The query sources must outlive compilation and dumping.
+  const pump::engine::SsbDatabase db =
+      pump::engine::SsbDatabase::Generate(rows, seed);
+  pump::plan::Q6PlanInput q6_input;
+  if (all || query_name == "q6") {
+    q6_input =
+        pump::plan::Q6PlanInput::From(pump::data::GenerateLineitemQ6(rows,
+                                                                     seed));
+  }
+
+  bool matched = false;
+  for (const pump::engine::NamedQuery& named :
+       pump::engine::SsbSuite(db)) {
+    if (!all && query_name != named.name) continue;
+    matched = true;
+    ok = CompileAndDump(named.name, named.query, options, &plans) && ok;
+  }
+  if (all || query_name == "q6") {
+    matched = true;
+    const pump::engine::Query q6 = q6_input.MakeQuery();
+    ok = CompileAndDump("q6", q6, options, &plans) && ok;
+  }
+  if (!matched) {
+    std::fprintf(stderr,
+                 "plandump: unknown query '%s' (want ssb-q1|ssb-q2|ssb-q3|"
+                 "q6|all)\n",
+                 query_name.c_str());
+    return 2;
+  }
+
+  std::string json = "[";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) json += ",\n ";
+    json += plans[i].json;
+  }
+  json += "]";
+
+  if (json_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "plandump: cannot write '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}
