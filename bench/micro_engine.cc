@@ -24,6 +24,7 @@
 #include "engine/legacy_fused.h"
 #include "engine/ssb.h"
 #include "exec/parallel.h"
+#include "obs/trace.h"
 #include "plan/compiler.h"
 #include "plan/executor.h"
 #include "plan/q6_bridge.h"
@@ -90,22 +91,52 @@ void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
     return us;
   });
 
+  // Same plan with the trace recorder runtime-enabled: the full span
+  // recording cost, reported alongside the disabled-state overhead. The
+  // rings wrap silently, so long runs stay bounded.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.Enable();
+  const RunningStats traced = bench::Repeat(runs, [&] {
+    const auto start = Clock::now();
+    Result<engine::ExecReport> got =
+        plan::ExecutePlan(physical.value(), options);
+    const double us = SecondsSince(start) * 1e6;
+    if (!got.ok() || !(got.value().result == expected.value())) {
+      std::exit(1);
+    }
+    return us;
+  });
+  recorder.Disable();
+  recorder.Clear();
+
   const double overhead_pct =
       fused.mean() > 0.0
           ? (plan_ir.mean() - fused.mean()) / fused.mean() * 100.0
+          : 0.0;
+  const double trace_overhead_pct =
+      plan_ir.mean() > 0.0
+          ? (traced.mean() - plan_ir.mean()) / plan_ir.mean() * 100.0
           : 0.0;
   std::cout << "  " << config << "\n"
             << "    fused:   " << bench::FormatMeanError(fused)
             << " us/query\n"
             << "    plan IR: " << bench::FormatMeanError(plan_ir)
-            << " us/query (compile " << compile_us << " us, once)\n";
+            << " us/query (compile " << compile_us << " us, once)\n"
+            << "    traced:  " << bench::FormatMeanError(traced)
+            << " us/query (recorder enabled)\n";
   std::printf("    overhead: %+.2f%% (acceptance ceiling: +5%%)\n",
               overhead_pct);
+  std::printf("    tracing enabled: %+.2f%% over disabled\n",
+              trace_overhead_pct);
 
   json->Record("engine_query_us", "fused " + config, fused);
   json->Record("engine_query_us", "plan_ir " + config, plan_ir);
+  json->Record("engine_query_us", "traced " + config, traced);
   json->Record("engine_plan_compile_us", config, compile_us, 0.0, 1);
   json->Record("engine_plan_overhead_pct", config, overhead_pct, 0.0, runs);
+  json->Record("engine_trace_overhead_pct", config, trace_overhead_pct, 0.0,
+               runs);
 }
 
 }  // namespace

@@ -53,10 +53,16 @@ say "run micro_morsel"
     ${QUICK:+--benchmark_min_time=0.05s} >/dev/null
 
 say "merge into BENCH_micro.json"
+# Merge, never overwrite wholesale: records from this run replace prior
+# records with the same (experiment, config) key; every other prior
+# record is preserved. An aborted or partial run therefore cannot erase
+# trajectory data it did not itself regenerate. The write is atomic
+# (temp + rename) so a crash mid-write keeps the old file intact.
 python3 - "$OUT_DIR/micro_parallel.json" \
            "$OUT_DIR/micro_engine.json" \
            "$OUT_DIR/micro_morsel_gbench.json" <<'PY'
 import json
+import os
 import sys
 
 records = []
@@ -83,10 +89,31 @@ for entry in gbench.get("benchmarks", []):
         "runs": int(entry.get("repetitions", 1) or 1),
     })
 
-with open("BENCH_micro.json", "w") as f:
-    json.dump(records, f, indent=2)
+merged = {}
+kept = 0
+if os.path.exists("BENCH_micro.json"):
+    try:
+        with open("BENCH_micro.json") as f:
+            for record in json.load(f):
+                merged[(record["experiment"], record["config"])] = record
+        kept = len(merged)
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        print(f"warning: ignoring unreadable BENCH_micro.json ({error})",
+              file=sys.stderr)
+for record in records:
+    merged[(record["experiment"], record["config"])] = record
+
+out = sorted(merged.values(),
+             key=lambda r: (r["experiment"], r["config"]))
+tmp_path = "BENCH_micro.json.tmp"
+with open(tmp_path, "w") as f:
+    json.dump(out, f, indent=2)
     f.write("\n")
-print(f"wrote {len(records)} records to BENCH_micro.json")
+os.replace(tmp_path, "BENCH_micro.json")
+preserved = len(out) - len({(r["experiment"], r["config"])
+                            for r in records})
+print(f"wrote {len(out)} records to BENCH_micro.json "
+      f"({len(records)} fresh, {preserved} preserved of {kept} prior)")
 PY
 
 say "done"

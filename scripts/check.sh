@@ -10,7 +10,15 @@
 #   6. plandump over the SSB suite + Q6: every compiled plan must be
 #      well-formed JSON that passes structural checks (dense dimensions
 #      must select the perfect hash table)
-#   7. clang-tidy over src/tests/bench/tools (skipped when not installed)
+#   7. tracedump over SSB Q3 with tracing on: the Chrome trace JSON must
+#      parse with every B matched by an E, the metrics snapshot must
+#      carry the core counter families, the residual report must have a
+#      row per pipeline, and span coverage must be >= 95% of wall time;
+#      modelcheck --residuals must accept the report
+#   8. disabled-tracing overhead guard: micro_engine's instrumented plan
+#      IR (spans compiled in, recorder off) must average <= 5% over the
+#      uninstrumented fused baseline
+#   9. clang-tidy over src/tests/bench/tools (skipped when not installed)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -47,19 +55,24 @@ configure_and_test build-asan "address" ""
 
 # 3. TSan: the concurrent scheduler / executor / failover / integration
 #    paths, plus the plan-IR golden equivalence suite (its probe
-#    pipelines run multi-worker).
+#    pipelines run multi-worker) and the observability layer (per-thread
+#    trace rings + counters hammered from all executor workers).
 configure_and_test build-tsan "thread" \
-  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|plan_test"
+  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test"
 
 # 4. Executor/dispatcher/probe micro bench smoke run (Release, shrunken
 #    sizes): the bench self-checks that the probe variants agree and
 #    exercises the persistent executor end to end. micro_engine likewise
 #    self-checks that the fused path and the plan IR agree bit for bit.
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
 say "micro_parallel smoke run (--quick)"
 ./build-release/bench/micro_parallel --quick >/dev/null
 
 say "micro_engine smoke run (--quick)"
-./build-release/bench/micro_engine --quick >/dev/null
+./build-release/bench/micro_engine --quick \
+    --json="$TMP_DIR/micro_engine.json" >/dev/null
 
 # 5. Model linter: the testbeds must be clean, the broken fixture must not.
 say "modelcheck: testbed profiles"
@@ -76,8 +89,7 @@ echo "broken fixture rejected, as expected"
 #    already re-checks each plan with plan::ValidatePlan; a malformed
 #    plan exits non-zero) and structurally validate the emitted JSON.
 say "plandump: SSB suite + Q6 plans must be well-formed"
-PLANS_JSON="$(mktemp)"
-trap 'rm -f "$PLANS_JSON"' EXIT
+PLANS_JSON="$TMP_DIR/plans.json"
 ./build-release/tools/plandump --query all --rows 50000 --policy gpu \
     --json "$PLANS_JSON"
 python3 - "$PLANS_JSON" <<'PY'
@@ -114,7 +126,114 @@ print(f"{len(plans)} plans well-formed "
       f"({sum(len(p['pipelines']) for p in plans)} pipelines)")
 PY
 
-# 7. clang-tidy, when available. The container image may not ship it; the
+# 7. Trace gate: run SSB Q3 through the plan IR with the recorder on and
+#    validate all three artifacts. Malformed events (unbalanced B/E),
+#    missing counter families, an empty residual report, or span coverage
+#    below 95% of wall time all fail the gate.
+say "tracedump: SSB Q3 trace/metrics/residuals must be well-formed"
+./build-release/tools/tracedump --query ssb-q3 --rows 50000 --policy cost \
+    --trace-out "$TMP_DIR/trace.json" \
+    --metrics-out "$TMP_DIR/metrics.json" \
+    --residuals "$TMP_DIR/residuals.json" > "$TMP_DIR/summary.json"
+python3 - "$TMP_DIR/summary.json" "$TMP_DIR/trace.json" \
+          "$TMP_DIR/metrics.json" "$TMP_DIR/residuals.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+assert summary["workers"] >= 2, summary
+assert summary["trace_events"] > 0, summary
+assert summary["span_coverage"] >= 0.95, (
+    f"trace spans cover {summary['span_coverage']:.3f} of wall time, "
+    "want >= 0.95")
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+depth = {}
+for e in events:
+    key = (e["pid"], e["tid"])
+    assert e["ph"] in ("B", "E", "i", "M"), f"malformed phase: {e}"
+    if e["ph"] in ("B", "E", "i"):
+        assert isinstance(e["ts"], (int, float)) and "name" in e, e
+    if e["ph"] == "B":
+        depth[key] = depth.get(key, 0) + 1
+    elif e["ph"] == "E":
+        depth[key] = depth.get(key, 0) - 1
+        assert depth[key] >= 0, f"E without B on thread {key}"
+unbalanced = {k: d for k, d in depth.items() if d != 0}
+assert not unbalanced, f"unbalanced B/E per thread: {unbalanced}"
+
+with open(sys.argv[3]) as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+for family in ("exec.tasks_run", "exec.ws.chunk_claims", "fault.checks",
+               "transfer.chunks", "plan.queries", "plan.morsels"):
+    assert family in counters, f"metrics snapshot missing {family}"
+assert counters["plan.queries"] >= 1, counters["plan.queries"]
+assert counters["exec.tasks_run"] > 0, counters["exec.tasks_run"]
+assert "plan.pipeline_us" in metrics["histograms"], "missing histogram"
+
+with open(sys.argv[4]) as f:
+    report = json.load(f)
+rows = report["model_residuals"]
+assert rows, "residual report has no pipeline rows"
+for row in rows:
+    for key in ("pipeline", "class", "predicted_s", "measured_s", "ratio"):
+        assert key in row, f"residual row missing {key}: {row}"
+    assert row["measured_s"] > 0.0, row
+print(f"trace OK: {len(events)} events balanced across "
+      f"{len(depth)} threads, {len(counters)} counters, "
+      f"{len(rows)} residual rows")
+PY
+
+say "tracedump: CPU placement must trace spans from >= 2 worker threads"
+./build-release/tools/tracedump --query ssb-q3 --rows 50000 --policy cpu \
+    > "$TMP_DIR/summary_cpu.json"
+python3 - "$TMP_DIR/summary_cpu.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+assert summary["trace_threads"] >= 2, (
+    f"CPU probe traced {summary['trace_threads']} thread(s); the "
+    "work-stealing workers should record into their own rings")
+assert summary["span_coverage"] >= 0.95, summary
+print(f"{summary['trace_threads']} threads traced, "
+      f"coverage {summary['span_coverage']:.4f}")
+PY
+
+say "modelcheck: residual report must lint clean (permissive band)"
+./build-release/tools/modelcheck --residuals "$TMP_DIR/residuals.json" \
+    --residual-band 0:1e9 >/dev/null
+
+# 8. Overhead guard: with the recorder off, the compiled-in span
+#    instrumentation must cost <= 5% on average over the uninstrumented
+#    fused baseline (per-query numbers are noisy on small hosts, so the
+#    gate is on the mean across queries).
+say "disabled-tracing overhead guard (mean <= 5%)"
+python3 - "$TMP_DIR/micro_engine.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+overheads = [r["mean"] for r in records
+             if r["experiment"] == "engine_plan_overhead_pct"]
+assert overheads, "micro_engine emitted no engine_plan_overhead_pct records"
+mean = sum(overheads) / len(overheads)
+assert mean <= 5.0, (
+    f"instrumented-but-disabled plan IR is {mean:+.2f}% over the fused "
+    f"baseline on average (per-query: "
+    f"{', '.join(f'{o:+.1f}%' for o in overheads)}); ceiling is +5%")
+print(f"disabled-tracing overhead: {mean:+.2f}% mean over "
+      f"{len(overheads)} queries (ceiling +5%)")
+PY
+
+# 9. clang-tidy, when available. The container image may not ship it; the
 #    .clang-tidy profile is still enforced wherever the tool exists.
 if command -v clang-tidy >/dev/null 2>&1; then
   say "clang-tidy"

@@ -537,6 +537,67 @@ std::string ReportsToJson(const std::vector<ProfileReport>& reports) {
   return os.str();
 }
 
+ProfileReport CheckResiduals(const obs::ResidualReport& report,
+                             const ResidualBands& bands) {
+  ProfileReport out;
+  out.profile = "residuals:" + report.query;
+  out.checks_run = {"residual.rows", "residual.consistency",
+                    "residual.band"};
+
+  if (report.rows.empty()) {
+    out.violations.push_back({"residual.rows", report.query,
+                              "residual report has no pipeline rows"});
+    return out;
+  }
+
+  auto band_for = [&bands](const std::string& cls) -> ResidualBand {
+    auto it = bands.find(cls);
+    if (it != bands.end()) return it->second;
+    it = bands.find("");
+    if (it != bands.end()) return it->second;
+    return ResidualBand{};
+  };
+
+  for (const obs::ResidualRow& row : report.rows) {
+    if (row.pipeline_class != "build" && row.pipeline_class != "probe") {
+      out.violations.push_back(
+          {"residual.rows", row.pipeline,
+           "unknown pipeline class '" + row.pipeline_class +
+               "' (want build|probe)"});
+      continue;
+    }
+    if (!std::isfinite(row.measured_s) || row.measured_s < 0.0 ||
+        !std::isfinite(row.predicted_s) || row.predicted_s < 0.0) {
+      out.violations.push_back(
+          {"residual.consistency", row.pipeline,
+           "measured/predicted times must be finite and non-negative"});
+      continue;
+    }
+    const double expected =
+        obs::ResidualRatio(row.predicted_s, row.measured_s);
+    const double tolerance = 1e-6 + 1e-3 * expected;
+    if (std::abs(row.ratio - expected) > tolerance) {
+      out.violations.push_back(
+          {"residual.consistency", row.pipeline,
+           "ratio " + std::to_string(row.ratio) +
+               " does not equal measured/predicted (" +
+               std::to_string(expected) + ")"});
+      continue;
+    }
+    if (row.predicted_s <= 0.0) continue;  // No prediction to band.
+    const ResidualBand band = band_for(row.pipeline_class);
+    if (row.ratio < band.min_ratio || row.ratio > band.max_ratio) {
+      out.violations.push_back(
+          {"residual.band", row.pipeline,
+           "class '" + row.pipeline_class + "' ratio " +
+               std::to_string(row.ratio) + " outside band [" +
+               std::to_string(band.min_ratio) + ", " +
+               std::to_string(band.max_ratio) + "]"});
+    }
+  }
+  return out;
+}
+
 hw::SystemProfile BrokenFixtureProfile() {
   hw::SystemProfile profile = hw::Ac922Profile();
   profile.name = "broken-fixture";

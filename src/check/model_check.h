@@ -1,10 +1,12 @@
 #ifndef PUMP_CHECK_MODEL_CHECK_H_
 #define PUMP_CHECK_MODEL_CHECK_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "hw/system_profile.h"
+#include "obs/residuals.h"
 
 namespace pump::check {
 
@@ -76,6 +78,28 @@ void CheckCostModel(const hw::SystemProfile& profile, ProfileReport* report);
 
 /// Runs every check above on one profile.
 ProfileReport CheckProfile(const hw::SystemProfile& profile);
+
+/// Acceptable measured/predicted ratio band for one pipeline class of a
+/// residual report (see obs/residuals.h). A ratio outside the band means
+/// the cost model mis-predicts that pipeline class by more than the
+/// operator is willing to tolerate.
+struct ResidualBand {
+  double min_ratio = 0.0;
+  double max_ratio = 1e6;
+};
+
+/// Per-class ratio bands keyed by pipeline class ("build", "probe"); the
+/// "" key is the default applied to classes without their own band.
+using ResidualBands = std::map<std::string, ResidualBand>;
+
+/// Lints a model-vs-measured residual report (tools/tracedump --residuals)
+/// against the given ratio bands: every row needs a known pipeline class,
+/// non-negative finite times, a ratio consistent with measured/predicted,
+/// and — when the cost model produced a prediction — a ratio inside its
+/// class band. Reuses the ProfileReport/JSON/nonzero-exit conventions of
+/// the hardware-model checks ("profile" = "residuals:<query>").
+ProfileReport CheckResiduals(const obs::ResidualReport& report,
+                             const ResidualBands& bands);
 
 /// Serializes reports as a machine-readable JSON document:
 /// {"ok": bool, "profiles": [{"profile", "ok", "checks_run", "violations":

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/query.h"
@@ -38,6 +39,36 @@ struct ExecOptions {
   bool legacy_fused_for_test = false;
 };
 
+/// Per-pipeline outcome row of an executed plan. The degradation ladder
+/// operates per pipeline, so a query-level summary cannot say *which*
+/// pipeline was re-placed or retried — these rows can. They survive a
+/// mid-query CPU re-placement intact (the summed totals below are reset
+/// by the ladder, the rows are not), so traces and reports agree.
+struct PipelineOutcome {
+  /// "build[i]" for build pipelines, "probe" for the probe pipeline.
+  std::string name;
+  /// "build" | "probe" — the pipeline class the residual linter bands by.
+  std::string kind;
+  /// Placement the compiler assigned.
+  std::string placement_planned;
+  /// Placement that finally produced the pipeline's result (differs from
+  /// planned when the ladder re-placed the pipeline on the CPU).
+  std::string placement_used;
+  /// Execution attempts (1 clean; 2 when a GPU-side attempt failed and
+  /// the pipeline re-ran on the CPU).
+  std::size_t attempts = 1;
+  /// Transfer chunk retries charged to this pipeline (all attempts).
+  std::uint64_t retries = 0;
+  /// Faults injected into this pipeline (all attempts).
+  std::uint64_t faults_injected = 0;
+  /// Measured wall time of the pipeline, seconds (every attempt,
+  /// including a failed GPU attempt before a CPU re-placement).
+  double measured_s = 0.0;
+  /// The cost model's predicted time, seconds; 0 when the plan was
+  /// compiled without the cost-model policy.
+  double predicted_s = 0.0;
+};
+
 /// Outcome of a fault-aware execution: the query result plus how the
 /// degradation ladder (retry -> spill -> CPU fallback) was exercised.
 struct ExecReport {
@@ -68,6 +99,11 @@ struct ExecReport {
   /// Cached build results reused by a later ladder rung (e.g. a CPU
   /// re-placement of the probe pipeline) instead of being rebuilt.
   std::size_t dim_tables_reused = 0;
+  /// Per-pipeline outcome rows (builds in plan order, then the probe).
+  /// Unlike the summed totals above they are preserved across the
+  /// ladder's CPU re-placement, recording placement tried vs. used,
+  /// attempts and retries per pipeline. Empty on the legacy fused path.
+  std::vector<PipelineOutcome> pipelines;
 };
 
 /// Functional query executor, now a facade over the plan IR: queries

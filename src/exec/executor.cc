@@ -4,10 +4,32 @@
 #include <utility>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace pump::exec {
 
 namespace {
+
+/// Process-wide mirrors of the per-executor counters: the registry view
+/// aggregates every Executor instance (tests construct private pools),
+/// while Executor::Stats() stays per-instance.
+struct ExecMetrics {
+  obs::Counter& dispatches;
+  obs::Counter& tasks_run;
+  obs::Counter& steals;
+  obs::Counter& parks;
+  obs::Counter& unparks;
+};
+
+ExecMetrics& Metrics() {
+  static ExecMetrics metrics{
+      obs::MetricsRegistry::Instance().GetCounter("exec.dispatches"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.tasks_run"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.steals"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.parks"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.unparks")};
+  return metrics;
+}
 
 /// True on any thread currently inside a Run slot (pool thread or the
 /// calling thread of an active dispatch). Nested Run calls observe it and
@@ -48,11 +70,13 @@ void Executor::WorkerLoop(std::size_t thread_index) {
   while (true) {
     while (!shutdown_ && generation_ == seen_generation) {
       counters.parks.fetch_add(1, std::memory_order_relaxed);
+      Metrics().parks.Add();
       work_cv_.wait(lock);
     }
     if (shutdown_) return;
     seen_generation = generation_;
     counters.unparks.fetch_add(1, std::memory_order_relaxed);
+    Metrics().unparks.Add();
     bool first_slot = true;
     while (next_worker_ < task_workers_) {
       const std::size_t id = next_worker_++;
@@ -67,7 +91,11 @@ void Executor::WorkerLoop(std::size_t thread_index) {
       }
       lock.lock();
       counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
-      if (!first_slot) counters.steals.fetch_add(1, std::memory_order_relaxed);
+      Metrics().tasks_run.Add();
+      if (!first_slot) {
+        counters.steals.fetch_add(1, std::memory_order_relaxed);
+        Metrics().steals.Add();
+      }
       first_slot = false;
       if (++completed_ == pool_slots_) done_cv_.notify_all();
     }
@@ -95,6 +123,7 @@ void Executor::Run(std::size_t workers,
   ScopedInRun in_run;
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   dispatches_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().dispatches.Add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &fn;

@@ -9,10 +9,30 @@
 
 #include "common/happens_before.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pump::exec {
 
 namespace {
+
+struct HetMetrics {
+  obs::Counter& batches;
+  obs::Counter& orphaned_batches;
+  obs::Counter& failover_batches;
+  obs::Counter& group_stalls;
+};
+
+HetMetrics& Metrics() {
+  static HetMetrics metrics{
+      obs::MetricsRegistry::Instance().GetCounter("exec.het.batches"),
+      obs::MetricsRegistry::Instance().GetCounter(
+          "exec.het.orphaned_batches"),
+      obs::MetricsRegistry::Instance().GetCounter(
+          "exec.het.failover_batches"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.het.group_stalls")};
+  return metrics;
+}
 
 /// Morsel batches whose claiming group died before processing them. The
 /// surviving groups drain this queue after (and interleaved with) the main
@@ -120,6 +140,11 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
           // survivors, then stop the whole group. Push before releasing
           // in_flight so waiting workers re-observe the queue.
           failed[g].store(true, std::memory_order_release);
+          Metrics().group_stalls.Add();
+          Metrics().orphaned_batches.Add();
+          PUMP_TRACE_INSTANT(obs::TraceCategory::kExec, "het.group_stall",
+                             static_cast<double>(g),
+                             static_cast<double>(batch->size()));
           // Happens-before: this worker's claim still holds its
           // in_flight slot; orphaning after the release would let every
           // peer exit and strand the batch.
@@ -130,10 +155,17 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
           in_flight.fetch_sub(1, std::memory_order_acq_rel);
           break;
         }
-        group.process(batch->begin, batch->end);
+        {
+          PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "het.batch",
+                          static_cast<double>(g),
+                          static_cast<double>(batch->size()));
+          group.process(batch->begin, batch->end);
+        }
+        Metrics().batches.Add();
         tuples[g].fetch_add(batch->size(), std::memory_order_relaxed);
         dispatches[g].fetch_add(1, std::memory_order_relaxed);
         if (from_orphan) {
+          Metrics().failover_batches.Add();
           failover_tuples[g].fetch_add(batch->size(),
                                        std::memory_order_relaxed);
           failover_dispatches[g].fetch_add(1, std::memory_order_relaxed);

@@ -11,8 +11,30 @@
 
 #include "common/happens_before.h"
 #include "exec/morsel.h"
+#include "obs/metrics.h"
 
 namespace pump::exec {
+
+namespace ws_internal {
+
+/// Registry mirrors of the dispatcher's ledger counters, aggregated over
+/// every dispatcher instance (dispatchers are per-query and short-lived,
+/// so the process-wide registry is the only durable view).
+struct WsMetrics {
+  obs::Counter& chunk_claims;
+  obs::Counter& steals;
+  obs::Counter& drains;
+};
+
+inline WsMetrics& Metrics() {
+  static WsMetrics metrics{
+      obs::MetricsRegistry::Instance().GetCounter("exec.ws.chunk_claims"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.ws.steals"),
+      obs::MetricsRegistry::Instance().GetCounter("exec.ws.drains")};
+  return metrics;
+}
+
+}  // namespace ws_internal
 
 /// Chunk factor of the hierarchical dispatcher: each worker claims
 /// `kDefaultChunkMorsels` morsels' worth of tuples from the global cursor
@@ -78,6 +100,7 @@ class WorkStealingDispatcher {
         continue;
       }
       if (auto id = chunk_ids_.Next()) {
+        ws_internal::Metrics().chunk_claims.Add();
         me.chunk.store(id->begin, std::memory_order_release);
         continue;
       }
@@ -91,10 +114,12 @@ class WorkStealingDispatcher {
       if (chunk == kNoChunk) continue;
       if (auto morsel = ClaimFrom(chunk)) {
         me.steals.fetch_add(1, std::memory_order_relaxed);
+        ws_internal::Metrics().steals.Add();
         return morsel;
       }
     }
     hb_drains_.Bump();
+    ws_internal::Metrics().drains.Add();
     return std::nullopt;
   }
 

@@ -1,8 +1,23 @@
 #include "fault/fault_injector.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pump::fault {
 
 namespace {
+
+struct FaultMetrics {
+  obs::Counter& checks;
+  obs::Counter& injections;
+};
+
+FaultMetrics& Metrics() {
+  static FaultMetrics metrics{
+      obs::MetricsRegistry::Instance().GetCounter("fault.checks"),
+      obs::MetricsRegistry::Instance().GetCounter("fault.injections")};
+  return metrics;
+}
 
 /// FNV-1a over a string, folded through SplitMix64: stable across
 /// platforms so a (site, scope) stream replays identically everywhere.
@@ -39,6 +54,7 @@ Status FaultInjector::Check(const std::string& site,
   if (it == sites_.end()) return Status::OK();
   Site& armed = it->second;
   ++armed.hits;
+  Metrics().checks.Add();
 
   auto stream_it = armed.streams.find(scope);
   if (stream_it == armed.streams.end()) {
@@ -56,6 +72,10 @@ Status FaultInjector::Check(const std::string& site,
   const double draw = stream.rng.NextDouble();
   if (draw >= armed.spec.probability) return Status::OK();
   ++armed.fires;
+  Metrics().injections.Add();
+  PUMP_TRACE_INSTANT(obs::TraceCategory::kFault, "fault.inject",
+                     static_cast<double>(hit),
+                     static_cast<double>(armed.fires));
   std::string message = "injected fault at " + site;
   if (!scope.empty()) message += " [" + scope + "]";
   message += " (hit " + std::to_string(hit) + ")";

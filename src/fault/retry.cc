@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pump::fault {
 
 double RetryPolicy::BackoffSeconds(int retry, Rng* rng) const {
@@ -23,6 +26,11 @@ Status RunWithRetry(const RetryPolicy& policy,
     last = op();
     if (last.ok() || !IsRetryable(last.code())) return last;
     if (attempt == attempts) break;
+    static obs::Counter& retry_counter =
+        obs::MetricsRegistry::Instance().GetCounter("fault.retries");
+    retry_counter.Add();
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kFault, "fault.retry",
+                       static_cast<double>(attempt));
     if (stats != nullptr) {
       ++stats->retries;
       stats->backoff_s += policy.BackoffSeconds(attempt, &rng);

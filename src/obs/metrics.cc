@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "bench_support/json_writer.h"
+
+namespace pump::obs {
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Intentionally leaked: counters are bumped from pool threads that can
+  // outlive ordinary static-destruction order (exec::Executor::Default()),
+  // so the registry must never destruct.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << bench::JsonEscape(name)
+        << "\": " << counter->value();
+  }
+  out << "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << bench::JsonEscape(name)
+        << "\": {\"count\": " << histogram->count()
+        << ", \"sum\": " << histogram->sum() << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (int b = 0; b <= Histogram::kBuckets; ++b) {
+      const std::uint64_t count = histogram->bucket(b);
+      if (count == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "\"" << b << "\": " << count;
+    }
+    out << "}}";
+  }
+  out << "\n}}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << SnapshotJson();
+  return file.good();
+}
+
+void EnsureCoreMetrics() {
+  static const char* const kCoreCounters[] = {
+      // exec::Executor (persistent fork-join pool).
+      "exec.dispatches", "exec.tasks_run", "exec.steals", "exec.parks",
+      "exec.unparks",
+      // exec::WorkStealingDispatcher (hierarchical morsel claiming).
+      "exec.ws.chunk_claims", "exec.ws.steals", "exec.ws.drains",
+      // exec::RunHeterogeneous (CPU+GPU group scheduler).
+      "exec.het.batches", "exec.het.orphaned_batches",
+      "exec.het.failover_batches", "exec.het.group_stalls",
+      // fault::FaultInjector / fault::RunWithRetry.
+      "fault.checks", "fault.injections", "fault.retries",
+      // transfer::ExecuteTransfer.
+      "transfer.chunks", "transfer.bytes", "transfer.retries",
+      "transfer.faults_injected", "transfer.degraded_chunks",
+      // plan::ExecutePlan.
+      "plan.queries", "plan.pipelines.build", "plan.pipelines.probe",
+      "plan.dim_tables_built", "plan.dim_tables_reused",
+      "plan.replacements", "plan.morsels",
+  };
+  static const char* const kCoreHistograms[] = {
+      "transfer.chunk_bytes",
+      "plan.pipeline_us",
+      "plan.morsel_tuples",
+  };
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  for (const char* name : kCoreCounters) (void)registry.GetCounter(name);
+  for (const char* name : kCoreHistograms) (void)registry.GetHistogram(name);
+}
+
+}  // namespace pump::obs

@@ -1,0 +1,116 @@
+#ifndef PUMP_OBS_METRICS_H_
+#define PUMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pump::obs {
+
+/// A process-wide monotonic counter. Additions are relaxed atomic adds —
+/// instrumentation sites cache a reference once (function-local static)
+/// and never pay a registry lookup on the hot path.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A fixed-bucket log2 histogram over non-negative integer samples
+/// (bytes, microseconds, tuples): bucket b counts samples whose bit
+/// width is b, i.e. values in [2^(b-1), 2^b). Bucket 0 counts zeros.
+/// Thread-safe via relaxed per-bucket atomics; sum/count snapshots are
+/// not mutually consistent under concurrent writers (observability, not
+/// accounting).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(std::uint64_t value) {
+    int bucket = 0;
+    for (std::uint64_t v = value; v != 0; v >>= 1) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& bucket : buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets + 1] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide named metrics: counters and histograms registered on
+/// first use, with stable addresses for the lifetime of the process. One
+/// snapshot call serializes everything (JSON, bench_support conventions)
+/// — this is where the formerly scattered ad-hoc stats of the executor,
+/// dispatchers, fault injector and transfer engine now live.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Returns the counter/histogram registered under `name`, creating it
+  /// on first use. References stay valid forever.
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Resets every metric to zero (tests; metrics stay registered).
+  void ResetAll();
+
+  /// All counters as (name, value), sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> Counters() const;
+
+  /// Serializes every metric:
+  /// {"counters":{name:value,...},
+  ///  "histograms":{name:{"count":..,"sum":..,
+  ///                      "buckets":{"<bit-width>":count,...}},...}}
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`; false when it cannot be written.
+  bool WriteSnapshot(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Registers the canonical counters of every instrumented layer, so a
+/// metrics snapshot always contains the executor/dispatcher/fault/
+/// transfer/plan families even for code paths the current query did not
+/// take (a counter that never fired reads 0 instead of being absent).
+void EnsureCoreMetrics();
+
+}  // namespace pump::obs
+
+#endif  // PUMP_OBS_METRICS_H_

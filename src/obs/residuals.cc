@@ -1,0 +1,121 @@
+#include "obs/residuals.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_support/json_writer.h"
+
+namespace pump::obs {
+
+namespace {
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Extracts the value following `"key":` on `line`; false when absent.
+/// Handles exactly the shapes ToJson emits: quoted strings without
+/// escaped quotes, and plain numbers.
+bool ExtractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool ExtractNumber(const std::string& line, const std::string& key,
+                   double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+double ResidualRatio(double predicted_s, double measured_s) {
+  if (!(predicted_s > 0.0) || !(measured_s >= 0.0) ||
+      !std::isfinite(predicted_s) || !std::isfinite(measured_s)) {
+    return 0.0;
+  }
+  return measured_s / predicted_s;
+}
+
+std::string ToJson(const ResidualReport& report) {
+  std::ostringstream out;
+  out << "{\"query\":\"" << bench::JsonEscape(report.query)
+      << "\",\"policy\":\"" << bench::JsonEscape(report.policy)
+      << "\",\"wall_s\":" << JsonNumber(report.wall_s)
+      << ",\"model_residuals\":[";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const ResidualRow& row = report.rows[i];
+    if (i > 0) out << ",";
+    out << "\n {\"pipeline\":\"" << bench::JsonEscape(row.pipeline)
+        << "\",\"class\":\"" << bench::JsonEscape(row.pipeline_class)
+        << "\",\"placement_planned\":\""
+        << bench::JsonEscape(row.placement_planned)
+        << "\",\"placement_used\":\""
+        << bench::JsonEscape(row.placement_used)
+        << "\",\"predicted_s\":" << JsonNumber(row.predicted_s)
+        << ",\"measured_s\":" << JsonNumber(row.measured_s)
+        << ",\"ratio\":" << JsonNumber(row.ratio) << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Result<ResidualReport> ParseResidualReport(const std::string& json_text) {
+  if (json_text.find("\"model_residuals\"") == std::string::npos) {
+    return Status::InvalidArgument(
+        "not a residual report: no model_residuals section");
+  }
+  ResidualReport report;
+  std::istringstream in(json_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string value;
+    if (ExtractString(line, "query", &value)) report.query = value;
+    if (ExtractString(line, "policy", &value)) report.policy = value;
+    double number = 0.0;
+    if (ExtractNumber(line, "wall_s", &number)) report.wall_s = number;
+    if (line.find("\"pipeline\"") == std::string::npos) continue;
+    ResidualRow row;
+    if (!ExtractString(line, "pipeline", &row.pipeline)) continue;
+    (void)ExtractString(line, "class", &row.pipeline_class);
+    (void)ExtractString(line, "placement_planned", &row.placement_planned);
+    (void)ExtractString(line, "placement_used", &row.placement_used);
+    (void)ExtractNumber(line, "predicted_s", &row.predicted_s);
+    (void)ExtractNumber(line, "measured_s", &row.measured_s);
+    (void)ExtractNumber(line, "ratio", &row.ratio);
+    report.rows.push_back(std::move(row));
+  }
+  if (report.rows.empty()) {
+    return Status::InvalidArgument(
+        "residual report has no parsable pipeline rows");
+  }
+  return report;
+}
+
+Result<ResidualReport> ReadResidualReport(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot read residual report '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseResidualReport(contents.str());
+}
+
+}  // namespace pump::obs

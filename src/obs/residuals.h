@@ -1,0 +1,58 @@
+#ifndef PUMP_OBS_RESIDUALS_H_
+#define PUMP_OBS_RESIDUALS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pump::obs {
+
+/// One pipeline's model-vs-measured comparison: the Advisor/cost-model
+/// prediction attached to the physical plan at compile time against the
+/// span-measured execution time. `ratio` is measured/predicted (0 when no
+/// prediction was recorded, i.e. the plan was compiled without the
+/// cost-model policy).
+struct ResidualRow {
+  std::string pipeline;           // "ssb-q3/build[0]", "ssb-q3/probe", ...
+  std::string pipeline_class;     // "build" | "probe"
+  std::string placement_planned;  // "cpu" | "gpu" | "heterogeneous"
+  std::string placement_used;
+  double predicted_s = 0.0;
+  double measured_s = 0.0;
+  double ratio = 0.0;
+};
+
+/// A recorded residual report: cost-model drift as a first-class,
+/// regression-testable artifact (emitted by tools/tracedump, linted by
+/// tools/modelcheck --residuals).
+struct ResidualReport {
+  std::string query;   // Query name, or "all" for a suite run.
+  std::string policy;  // Placement policy the plans were compiled under.
+  double wall_s = 0.0;
+  std::vector<ResidualRow> rows;
+};
+
+/// measured/predicted with the degenerate cases pinned: 0 when the model
+/// made no prediction (predicted <= 0) or the measurement is unusable.
+double ResidualRatio(double predicted_s, double measured_s);
+
+/// Serializes the report. Rows are emitted one per line so the linter's
+/// minimal parser (and grep) can consume them without a JSON library:
+/// {"query":..,"policy":..,"wall_s":..,"model_residuals":[
+///  {"pipeline":..,"class":..,"placement_planned":..,"placement_used":..,
+///   "predicted_s":..,"measured_s":..,"ratio":..},...]}
+std::string ToJson(const ResidualReport& report);
+
+/// Parses a report previously produced by ToJson. Tolerant key-value
+/// extraction (not a general JSON parser): unknown keys are ignored,
+/// missing keys default. Fails when no model_residuals section or no
+/// parsable rows are found.
+Result<ResidualReport> ParseResidualReport(const std::string& json_text);
+
+/// Reads and parses `path`.
+Result<ResidualReport> ReadResidualReport(const std::string& path);
+
+}  // namespace pump::obs
+
+#endif  // PUMP_OBS_RESIDUALS_H_

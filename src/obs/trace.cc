@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench_support/json_writer.h"
+
+namespace pump::obs {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Formats a double arg for JSON (finite, round-trippable).
+std::string JsonNumber(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendEvent(const TraceEvent& event, std::uint32_t tid, bool first,
+                 std::ostringstream* out) {
+  if (!first) *out << ",\n";
+  // Chrome trace timestamps are microseconds; keep sub-us resolution.
+  *out << "{\"name\":\"" << bench::JsonEscape(event.name)
+       << "\",\"cat\":\"" << ToString(event.category) << "\",\"ph\":\""
+       << event.phase << "\",\"ts\":"
+       << JsonNumber(static_cast<double>(event.ts_ns) / 1000.0)
+       << ",\"pid\":1,\"tid\":" << tid;
+  if (event.phase == 'i') *out << ",\"s\":\"t\"";
+  if (event.has_args) {
+    *out << ",\"args\":{\"a0\":" << JsonNumber(event.arg0)
+         << ",\"a1\":" << JsonNumber(event.arg1) << "}";
+  }
+  *out << "}";
+}
+
+}  // namespace
+
+const char* ToString(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kEngine:
+      return "engine";
+    case TraceCategory::kPlan:
+      return "plan";
+    case TraceCategory::kExec:
+      return "exec";
+    case TraceCategory::kTransfer:
+      return "transfer";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kHash:
+      return "hash";
+    case TraceCategory::kTool:
+      return "tool";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : ring_capacity_(std::max<std::size_t>(16, ring_capacity)) {}
+
+TraceRecorder& TraceRecorder::Instance() {
+  // Intentionally leaked: spans can fire from pool threads during static
+  // destruction (e.g. exec::Executor::Default() tearing down), so the
+  // recorder must outlive every other static.
+  static TraceRecorder* recorder = new TraceRecorder(kDefaultRingCapacity);
+  return *recorder;
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  // One ring per (thread, recorder-lifetime): registered once, never
+  // deallocated (Clear only rewinds cursors), so the cached pointer stays
+  // valid for detached pool threads that outlive individual queries.
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::make_unique<Ring>());
+    ring = rings_.back().get();
+    ring->tid = static_cast<std::uint32_t>(rings_.size());
+    ring->slots.resize(ring_capacity_);
+  }
+  return ring;
+}
+
+void TraceRecorder::Record(TraceCategory category, const char* name,
+                           char phase, double arg0, double arg1,
+                           bool has_args) {
+  Ring* ring = ThreadRing();
+  const std::uint64_t count = ring->count.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->slots[count % ring_capacity_];
+  slot.ts_ns = NowNs();
+  slot.name = name;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  slot.category = category;
+  slot.phase = phase;
+  slot.has_args = has_args;
+  // Publish: a quiescent reader that acquires `count` sees the slot write.
+  ring->count.store(count + 1, std::memory_order_release);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+std::size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+std::vector<ThreadTrace> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ThreadTrace> traces;
+  traces.reserve(rings_.size());
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const std::uint64_t count = ring->count.load(std::memory_order_acquire);
+    if (count == 0) continue;
+    ThreadTrace trace;
+    trace.tid = ring->tid;
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(count, ring_capacity_);
+    trace.dropped = count - retained;
+    trace.events.reserve(static_cast<std::size_t>(retained));
+    // Oldest retained event first: the ring slot the next write would
+    // overwrite is exactly the oldest one.
+    for (std::uint64_t i = count - retained; i < count; ++i) {
+      trace.events.push_back(ring->slots[i % ring_capacity_]);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<ThreadTrace> traces = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const ThreadTrace& trace : traces) {
+    // Repair the retained window so every 'B' has a matching 'E': drop
+    // 'E's whose 'B' the wrap discarded, close spans still open at the
+    // end. Ring order is program order per thread, so a simple depth
+    // counter suffices.
+    std::uint64_t depth = 0;
+    std::vector<const TraceEvent*> kept;
+    kept.reserve(trace.events.size());
+    for (const TraceEvent& event : trace.events) {
+      if (event.phase == 'B') {
+        ++depth;
+      } else if (event.phase == 'E') {
+        if (depth == 0) continue;  // Opener lost to the wrap.
+        --depth;
+      }
+      kept.push_back(&event);
+    }
+    for (const TraceEvent* event : kept) {
+      AppendEvent(*event, trace.tid, first, &out);
+      first = false;
+    }
+    if (depth > 0 && !trace.events.empty()) {
+      // Synthetic closers for spans open at snapshot time, innermost
+      // first (reverse nesting order keeps the B/E stack balanced).
+      std::vector<const TraceEvent*> open;
+      for (const TraceEvent* event : kept) {
+        if (event->phase == 'B') {
+          open.push_back(event);
+        } else if (event->phase == 'E' && !open.empty()) {
+          open.pop_back();
+        }
+      }
+      const std::uint64_t last_ts = trace.events.back().ts_ns;
+      for (auto it = open.rbegin(); it != open.rend(); ++it) {
+        TraceEvent closer = **it;
+        closer.phase = 'E';
+        closer.ts_ns = last_ts;
+        closer.has_args = false;
+        AppendEvent(closer, trace.tid, first, &out);
+        first = false;
+      }
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToChromeJson();
+  return file.good();
+}
+
+}  // namespace pump::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,12 +14,76 @@
 #include "fault/fault_injector.h"
 #include "hw/topology.h"
 #include "memory/allocator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/operators.h"
 #include "transfer/executor.h"
 
 namespace pump::plan {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PlanCounters {
+  obs::Counter& queries;
+  obs::Counter& build_pipelines;
+  obs::Counter& probe_pipelines;
+  obs::Counter& dim_tables_built;
+  obs::Counter& dim_tables_reused;
+  obs::Counter& replacements;
+  obs::Counter& morsels;
+  obs::Histogram& pipeline_us;
+  obs::Histogram& morsel_tuples;
+};
+
+PlanCounters& Counters() {
+  static PlanCounters counters{
+      obs::MetricsRegistry::Instance().GetCounter("plan.queries"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.pipelines.build"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.pipelines.probe"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.dim_tables_built"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.dim_tables_reused"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.replacements"),
+      obs::MetricsRegistry::Instance().GetCounter("plan.morsels"),
+      obs::MetricsRegistry::Instance().GetHistogram("plan.pipeline_us"),
+      obs::MetricsRegistry::Instance().GetHistogram("plan.morsel_tuples")};
+  return counters;
+}
+
+void ChargePipelineTime(engine::PipelineOutcome* row, double seconds) {
+  row->measured_s += seconds;
+  Counters().pipeline_us.Record(
+      static_cast<std::uint64_t>(std::max(0.0, seconds) * 1e6));
+}
+
+/// Initializes the per-pipeline outcome rows from the compiled plan:
+/// builds in plan order, then the probe. Placements start as planned;
+/// the ladder updates `placement_used` when it re-places a pipeline.
+void InitPipelineRows(const PhysicalPlan& plan,
+                      engine::ExecReport* report) {
+  report->pipelines.reserve(plan.builds.size() + 1);
+  for (std::size_t i = 0; i < plan.builds.size(); ++i) {
+    engine::PipelineOutcome row;
+    row.name = "build[" + std::to_string(i) + "]";
+    row.kind = "build";
+    row.placement_planned = ToString(plan.builds[i].placement);
+    row.placement_used = row.placement_planned;
+    row.predicted_s = plan.builds[i].modelled_cost_s;
+    report->pipelines.push_back(std::move(row));
+  }
+  engine::PipelineOutcome probe;
+  probe.name = "probe";
+  probe.kind = "probe";
+  probe.placement_planned = ToString(plan.probe.placement);
+  probe.placement_used = probe.placement_planned;
+  probe.predicted_s = plan.probe.modelled_cost_s;
+  report->pipelines.push_back(std::move(probe));
+}
 
 /// Joins accumulated degradation reasons into the report.
 void FinishReasons(const std::vector<std::string>& reasons,
@@ -43,10 +108,19 @@ Result<std::vector<DimensionTable>> RunBuildPipelines(
     engine::ExecReport* report, std::vector<std::string>* reasons) {
   std::vector<DimensionTable> tables;
   tables.reserve(plan.builds.size());
-  for (const BuildPipeline& build : plan.builds) {
-    PUMP_ASSIGN_OR_RETURN(DimensionTable table, DimensionTable::Build(build));
-    tables.push_back(std::move(table));
+  for (std::size_t i = 0; i < plan.builds.size(); ++i) {
+    const BuildPipeline& build = plan.builds[i];
+    PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.build",
+                    static_cast<double>(build.join_index),
+                    static_cast<double>(build.keys.rows));
+    const auto start = Clock::now();
+    Result<DimensionTable> table = DimensionTable::Build(build);
+    PUMP_RETURN_NOT_OK(table.status());
+    tables.push_back(std::move(table).value());
     ++report->dim_tables_built;
+    Counters().dim_tables_built.Add();
+    Counters().build_pipelines.Add();
+    ChargePipelineTime(&report->pipelines[i], SecondsSince(start));
   }
 
   bool any_gpu_build = false;
@@ -62,8 +136,13 @@ Result<std::vector<DimensionTable>> RunBuildPipelines(
   hw::Topology topology = hw::IbmAc922();
   memory::MemoryManager manager(&topology, /*materialize=*/false);
   std::vector<memory::Buffer> placements;
-  for (const BuildPipeline& build : plan.builds) {
+  for (std::size_t i = 0; i < plan.builds.size(); ++i) {
+    const BuildPipeline& build = plan.builds[i];
     if (build.placement == PipelinePlacement::kCpu) continue;
+    PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.build.place",
+                    static_cast<double>(build.join_index),
+                    static_cast<double>(build.table_bytes));
+    const auto start = Clock::now();
     Status admitted = Status::OK();
     if (options.injector != nullptr) {
       admitted = options.injector->Check(fault::kPlanPipeline, "build");
@@ -74,9 +153,16 @@ Result<std::vector<DimensionTable>> RunBuildPipelines(
                   std::max<std::uint64_t>(16, build.table_bytes), hw::kGpu0,
                   0, options.injector)
             : Result<memory::Buffer>(admitted);
+    report->pipelines[i].measured_s += SecondsSince(start);
     if (!placement.ok()) {
       // Per-pipeline rung 3: this build loses its GPU placement but its
       // cached table survives for the CPU-side probe.
+      report->pipelines[i].placement_used =
+          ToString(PipelinePlacement::kCpu);
+      ++report->pipelines[i].attempts;
+      Counters().replacements.Add();
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "plan.replace",
+                         static_cast<double>(build.join_index));
       reasons->push_back("build pipeline '" + build.key_column +
                          "' lost its GPU placement (" +
                          placement.status().ToString() +
@@ -116,11 +202,21 @@ Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
   std::atomic<std::uint64_t> total_rows{0};
   std::atomic<std::int64_t> total_sum{0};
   exec::ParallelFor(workers, [&](std::size_t w) {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kHash, "hash.probe",
+                    static_cast<double>(w),
+                    static_cast<double>(bound.probes.size()));
     std::uint64_t rows = 0;
     std::int64_t sum = 0;
+    std::uint64_t claimed = 0;
     while (auto morsel = dispatcher.Next(w)) {
+      PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "morsel",
+                      static_cast<double>(morsel->begin),
+                      static_cast<double>(morsel->size()));
+      ++claimed;
+      Counters().morsel_tuples.Record(morsel->size());
       ProcessRange(bound, morsel->begin, morsel->end, &rows, &sum);
     }
+    Counters().morsels.Add(claimed);
     total_rows.fetch_add(rows, std::memory_order_relaxed);
     total_sum.fetch_add(sum, std::memory_order_relaxed);
   });
@@ -139,6 +235,7 @@ Status RunProbeGpu(const PhysicalPlan& plan,
                    std::vector<std::string>* reasons) {
   const engine::Table& fact = *plan.query->fact;
   const std::size_t rows = fact.rows();
+  engine::PipelineOutcome& probe_row = report->pipelines.back();
   if (options.injector != nullptr) {
     PUMP_RETURN_NOT_OK(options.injector->Check(fault::kPlanPipeline,
                                                "probe"));
@@ -152,6 +249,9 @@ Status RunProbeGpu(const PhysicalPlan& plan,
     PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(name));
     const std::uint64_t bytes = column->size() * sizeof(std::int64_t);
     if (bytes == 0) return static_cast<const std::int64_t*>(nullptr);
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTransfer, "stage.column",
+                    static_cast<double>(bytes),
+                    static_cast<double>(hw::kGpu0));
     transfer::TransferStats stats;
     PUMP_ASSIGN_OR_RETURN(
         memory::Buffer device,
@@ -161,6 +261,8 @@ Status RunProbeGpu(const PhysicalPlan& plan,
     report->transfer_retries += stats.retries;
     report->faults_injected += stats.faults_injected;
     report->modelled_backoff_s += stats.modelled_backoff_s;
+    probe_row.retries += stats.retries;
+    probe_row.faults_injected += stats.faults_injected;
     device_columns.push_back(std::move(device));
     return device_columns.back().as<const std::int64_t>();
   };
@@ -169,6 +271,9 @@ Status RunProbeGpu(const PhysicalPlan& plan,
   std::atomic<std::uint64_t> total_rows{0};
   std::atomic<std::int64_t> total_sum{0};
   auto work = [&](std::size_t begin, std::size_t end) {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "morsel",
+                    static_cast<double>(begin),
+                    static_cast<double>(end - begin));
     std::uint64_t range_rows = 0;
     std::int64_t range_sum = 0;
     ProcessRange(bound, begin, end, &range_rows, &range_sum);
@@ -209,7 +314,12 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
   if (plan.query == nullptr || plan.query->fact == nullptr) {
     return Status::InvalidArgument("plan has no compiled query");
   }
+  PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "plan.execute",
+                  static_cast<double>(plan.builds.size()),
+                  static_cast<double>(plan.shape.fact_rows));
+  Counters().queries.Add();
   engine::ExecReport report;
+  InitPipelineRows(plan, &report);
   std::vector<std::string> reasons;
 
   // Build stage (cached across the whole ladder).
@@ -218,9 +328,17 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
       RunBuildPipelines(plan, options, &report, &reasons));
 
   // Probe stage, per-pipeline ladder.
+  Counters().probe_pipelines.Add();
   if (plan.probe.placement != PipelinePlacement::kCpu) {
-    const Status gpu_status =
-        RunProbeGpu(plan, options, tables, &report, &reasons);
+    const auto gpu_start = Clock::now();
+    Status gpu_status;
+    {
+      PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.probe",
+                      /*arg0=*/1.0,
+                      static_cast<double>(plan.shape.fact_rows));
+      gpu_status = RunProbeGpu(plan, options, tables, &report, &reasons);
+    }
+    ChargePipelineTime(&report.pipelines.back(), SecondsSince(gpu_start));
     if (gpu_status.ok()) {
       report.used_gpu = true;
       FinishReasons(reasons, &report);
@@ -228,23 +346,50 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
     }
     // Rung 3, scoped to this pipeline: re-place the probe on the CPU,
     // reusing every cached build instead of rebuilding (the old fused
-    // path rebuilt all dimension tables here).
+    // path rebuilt all dimension tables here). The summed fault totals
+    // reset with the fresh report — they describe the attempt that
+    // produced the result — but the per-pipeline rows carry the failed
+    // attempt's history so the report still explains what was tried.
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "plan.replace",
+                       /*arg0=*/-1.0);
+    Counters().replacements.Add();
     const std::size_t built = report.dim_tables_built;
+    std::vector<engine::PipelineOutcome> rows =
+        std::move(report.pipelines);
+    rows.back().placement_used = ToString(PipelinePlacement::kCpu);
+    ++rows.back().attempts;
     report = engine::ExecReport{};
+    report.pipelines = std::move(rows);
     report.dim_tables_built = built;
     report.dim_tables_reused = tables.size();
+    Counters().dim_tables_reused.Add(tables.size());
     report.degraded = true;
     report.degradation_reason =
         "probe pipeline failed on GPU (" + gpu_status.ToString() +
         "); fell back to CPU plan, reusing " +
         std::to_string(tables.size()) + " cached build pipelines";
-    PUMP_ASSIGN_OR_RETURN(report.result,
-                          RunProbeCpu(plan, options, tables));
+    const auto cpu_start = Clock::now();
+    {
+      PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.probe",
+                      /*arg0=*/0.0,
+                      static_cast<double>(plan.shape.fact_rows));
+      PUMP_ASSIGN_OR_RETURN(report.result,
+                            RunProbeCpu(plan, options, tables));
+    }
+    ChargePipelineTime(&report.pipelines.back(), SecondsSince(cpu_start));
     report.used_gpu = false;
     return report;
   }
 
-  PUMP_ASSIGN_OR_RETURN(report.result, RunProbeCpu(plan, options, tables));
+  const auto cpu_start = Clock::now();
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.probe",
+                    /*arg0=*/0.0,
+                    static_cast<double>(plan.shape.fact_rows));
+    PUMP_ASSIGN_OR_RETURN(report.result,
+                          RunProbeCpu(plan, options, tables));
+  }
+  ChargePipelineTime(&report.pipelines.back(), SecondsSince(cpu_start));
   report.used_gpu = false;
   FinishReasons(reasons, &report);
   return report;

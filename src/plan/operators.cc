@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pump::plan {
 
 Result<DimensionTable> DimensionTable::Build(const BuildPipeline& build) {
   PUMP_ASSIGN_OR_RETURN(const auto* keys,
                         build.dimension->Column(build.key_column));
+  PUMP_TRACE_SPAN(obs::TraceCategory::kHash, "hash.build",
+                  static_cast<double>(keys->size()),
+                  static_cast<double>(static_cast<int>(build.table_kind)));
   const std::vector<std::int64_t>* filter_column = nullptr;
   if (build.has_dim_filter) {
     PUMP_ASSIGN_OR_RETURN(filter_column,

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "hw/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pump::transfer {
 
@@ -15,17 +17,49 @@ bool IsPush(TransferMethod method) {
   return TraitsOf(method).semantics == Semantics::kPush;
 }
 
+struct TransferMetrics {
+  obs::Counter& chunks;
+  obs::Counter& bytes;
+  obs::Counter& retries;
+  obs::Counter& faults_injected;
+  obs::Counter& degraded_chunks;
+  obs::Histogram& chunk_bytes;
+};
+
+TransferMetrics& Metrics() {
+  static TransferMetrics metrics{
+      obs::MetricsRegistry::Instance().GetCounter("transfer.chunks"),
+      obs::MetricsRegistry::Instance().GetCounter("transfer.bytes"),
+      obs::MetricsRegistry::Instance().GetCounter("transfer.retries"),
+      obs::MetricsRegistry::Instance().GetCounter(
+          "transfer.faults_injected"),
+      obs::MetricsRegistry::Instance().GetCounter(
+          "transfer.degraded_chunks"),
+      obs::MetricsRegistry::Instance().GetHistogram(
+          "transfer.chunk_bytes")};
+  return metrics;
+}
+
 /// Runs one chunk's `work` under the fault options: checks the
 /// `link.degrade` failpoint (observability only), then retries the
 /// `transfer.chunk` (and, for UM methods, `um.migrate`) failpoints plus
 /// `work` per the policy. `work` only runs on attempts whose injected
 /// checks pass, so a retried chunk is re-executed from scratch.
+/// `len`/`node` only feed the chunk's trace span and registry metrics
+/// (bytes moved, modelled destination node).
 Status RunChunk(const TransferFaultOptions& faults, bool um_site,
-                std::uint64_t offset, TransferStats* stats,
+                std::uint64_t offset, std::uint64_t len,
+                hw::MemoryNodeId node, TransferStats* stats,
                 const std::function<Status()>& work) {
+  PUMP_TRACE_SPAN(obs::TraceCategory::kTransfer, "transfer.chunk",
+                  static_cast<double>(len), static_cast<double>(node));
+  Metrics().chunks.Add();
+  Metrics().bytes.Add(len);
+  Metrics().chunk_bytes.Record(len);
   if (faults.injector == nullptr) return work();
   if (!faults.injector->Check(fault::kLinkDegrade).ok()) {
     ++stats->degraded_chunks;
+    Metrics().degraded_chunks.Add();
   }
   fault::RetryStats retry_stats;
   const Status status = fault::RunWithRetry(
@@ -37,12 +71,14 @@ Status RunChunk(const TransferFaultOptions& faults, bool um_site,
         }
         if (!injected.ok()) {
           ++stats->faults_injected;
+          Metrics().faults_injected.Add();
           return injected;
         }
         return work();
       },
       &retry_stats);
   stats->retries += retry_stats.retries;
+  Metrics().retries.Add(retry_stats.retries);
   stats->modelled_backoff_s += retry_stats.backoff_s;
   if (status.ok()) return status;
   if (status.code() == StatusCode::kUnavailable) {
@@ -92,7 +128,8 @@ Result<TransferStats> ExecuteTransfer(
     for (std::uint64_t offset = 0; offset < src.size();
          offset += chunk_bytes) {
       const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
-      PUMP_RETURN_NOT_OK(RunChunk(faults, /*um_site=*/false, offset, &stats,
+      PUMP_RETURN_NOT_OK(RunChunk(faults, /*um_site=*/false, offset, len,
+                                  gpu_node, &stats,
                                   [] { return Status::OK(); }));
       ++stats.chunks;
       if (on_chunk) on_chunk(offset, len);
@@ -106,7 +143,8 @@ Result<TransferStats> ExecuteTransfer(
          offset += chunk_bytes) {
       const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
       PUMP_RETURN_NOT_OK(RunChunk(
-          faults, /*um_site=*/true, offset, &stats, [&]() -> Status {
+          faults, /*um_site=*/true, offset, len, gpu_node, &stats,
+          [&]() -> Status {
             for (std::uint64_t page_off = offset; page_off < offset + len;
                  page_off += os_page_bytes) {
               PUMP_ASSIGN_OR_RETURN(bool faulted,
@@ -136,7 +174,7 @@ Result<TransferStats> ExecuteTransfer(
     const std::uint64_t len = std::min(chunk_bytes, src.size() - offset);
     PUMP_RETURN_NOT_OK(RunChunk(
         faults, /*um_site=*/method == TransferMethod::kUmPrefetch, offset,
-        &stats, [&]() -> Status {
+        len, gpu_node, &stats, [&]() -> Status {
           switch (method) {
             case TransferMethod::kStagedCopy:
               // Extra pass through the pinned staging buffer (Sec. 4.1).

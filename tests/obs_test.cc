@@ -1,0 +1,447 @@
+// Tests for the observability layer (src/obs/): trace-recorder ring
+// semantics (nesting order, wrap without tearing, quiescent snapshots),
+// Chrome trace_event export with B/E repair, metrics registry behavior
+// under the persistent executor from all workers (the TSan lane runs this
+// file), and the residual report round-trip plus its linter.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/model_check.h"
+#include "engine/executor.h"
+#include "engine/ssb.h"
+#include "exec/parallel.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/residuals.h"
+#include "obs/trace.h"
+#include "plan/compiler.h"
+#include "plan/executor.h"
+
+namespace pump {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+
+/// RAII guard: clears the recorder, enables it for the test body, and
+/// leaves it disabled and clear afterwards so tests cannot leak events
+/// into each other through the process-wide rings.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    TraceRecorder::Instance().Clear();
+    TraceRecorder::Instance().Enable();
+  }
+  ~ScopedTracing() {
+    TraceRecorder::Instance().Disable();
+    TraceRecorder::Instance().Clear();
+  }
+};
+
+/// The calling thread's retained events (tests record from the main
+/// thread unless stated otherwise; worker threads get their own rings).
+std::vector<obs::TraceEvent> EventsNamed(
+    const std::vector<obs::ThreadTrace>& traces, const char* name) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::ThreadTrace& thread : traces) {
+    for (const obs::TraceEvent& event : thread.events) {
+      if (std::strcmp(event.name, name) == 0) out.push_back(event);
+    }
+  }
+  return out;
+}
+
+TEST(TraceRecorderTest, SpanNestingOrderIsRingOrder) {
+  ScopedTracing tracing;
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "outer", 1.0, 2.0);
+    {
+      PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "inner");
+    }
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kTool, "tick", 3.0);
+  }
+  const std::vector<obs::ThreadTrace> traces =
+      TraceRecorder::Instance().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const std::vector<obs::TraceEvent>& events = traces[0].events;
+  ASSERT_EQ(events.size(), 5u);
+
+  // Ring order is exactly the nesting order: B(outer) B(inner) E i E.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_TRUE(events[0].has_args);
+  EXPECT_DOUBLE_EQ(events[0].arg0, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].arg1, 2.0);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_STREQ(events[3].name, "tick");
+  EXPECT_EQ(events[3].phase, 'i');
+  EXPECT_STREQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].phase, 'E');
+
+  // Timestamps are monotone within a thread's ring.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder::Instance().Clear();
+  ASSERT_FALSE(TraceRecorder::Enabled());
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "invisible");
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kTool, "also-invisible");
+  }
+  EXPECT_TRUE(TraceRecorder::Instance().Snapshot().empty());
+}
+
+TEST(TraceRecorderTest, SpanActiveAtConstructionRecordsBothEnds) {
+  // A span constructed while enabled must emit its 'E' even if the
+  // recorder is disabled mid-span (active_ is latched at construction),
+  // keeping per-thread rings balanced.
+  TraceRecorder::Instance().Clear();
+  TraceRecorder::Instance().Enable();
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "latched");
+    TraceRecorder::Instance().Disable();
+  }
+  const std::vector<obs::ThreadTrace> traces =
+      TraceRecorder::Instance().Snapshot();
+  const std::vector<obs::TraceEvent> events = EventsNamed(traces, "latched");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  TraceRecorder::Instance().Clear();
+}
+
+TEST(TraceRecorderTest, RingWrapKeepsNewestWindowWithoutTearing) {
+  ScopedTracing tracing;
+  const std::size_t capacity = TraceRecorder::Instance().ring_capacity();
+  const std::size_t extra = 1000;
+  const std::size_t total = capacity + extra;
+  for (std::size_t i = 0; i < total; ++i) {
+    obs::TraceInstant(obs::TraceCategory::kTool, "seq",
+                      static_cast<double>(i), static_cast<double>(i) * 2.0);
+  }
+  const std::vector<obs::ThreadTrace> traces =
+      TraceRecorder::Instance().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].dropped, extra);
+  ASSERT_EQ(traces[0].events.size(), capacity);
+  // The retained window is the newest `capacity` events, oldest first,
+  // and every slot is intact (arg1 consistent with arg0 — no tearing).
+  for (std::size_t i = 0; i < capacity; ++i) {
+    const obs::TraceEvent& event = traces[0].events[i];
+    EXPECT_DOUBLE_EQ(event.arg0, static_cast<double>(extra + i));
+    EXPECT_DOUBLE_EQ(event.arg1, event.arg0 * 2.0);
+  }
+}
+
+TEST(TraceRecorderTest, ClearRewindsWithoutInvalidatingThreadRings) {
+  ScopedTracing tracing;
+  PUMP_TRACE_INSTANT(obs::TraceCategory::kTool, "before");
+  TraceRecorder::Instance().Clear();
+  EXPECT_TRUE(TraceRecorder::Instance().Snapshot().empty());
+  // The thread's ring pointer survives Clear; recording keeps working.
+  PUMP_TRACE_INSTANT(obs::TraceCategory::kTool, "after");
+  const std::vector<obs::ThreadTrace> traces =
+      TraceRecorder::Instance().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].events.size(), 1u);
+  EXPECT_STREQ(traces[0].events[0].name, "after");
+}
+
+TEST(TraceRecorderTest, SpansFromAllExecutorWorkersLandInPerThreadRings) {
+  ScopedTracing tracing;
+  // Force >= 2 workers: single-core containers report one hardware
+  // thread, and this test exists to exercise concurrent recording from
+  // the persistent executor's pool threads (TSan lane).
+  const std::size_t workers =
+      std::max<std::size_t>(2, exec::DefaultWorkerCount());
+  const int spans_per_worker = 200;
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    for (int i = 0; i < spans_per_worker; ++i) {
+      PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "worker.span",
+                      static_cast<double>(w), static_cast<double>(i));
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kExec, "worker.tick",
+                         static_cast<double>(w));
+    }
+  });
+  // ParallelFor's barrier guarantees writer quiescence here.
+  const std::vector<obs::ThreadTrace> traces =
+      TraceRecorder::Instance().Snapshot();
+  std::size_t spans = 0;
+  for (const obs::ThreadTrace& thread : traces) {
+    // Per-thread ring order must be balanced nesting: depth never dips
+    // below zero and every B is eventually closed.
+    std::int64_t depth = 0;
+    for (const obs::TraceEvent& event : thread.events) {
+      if (event.phase == 'B') {
+        ++depth;
+        ++spans;
+      } else if (event.phase == 'E') {
+        --depth;
+        ASSERT_GE(depth, 0) << "unmatched E in a thread ring";
+      }
+    }
+    EXPECT_EQ(depth, 0) << "span left open in a quiescent ring";
+  }
+  EXPECT_EQ(spans, workers * static_cast<std::size_t>(spans_per_worker));
+}
+
+TEST(TraceRecorderTest, ChromeExportBalancesEveryThread) {
+  ScopedTracing tracing;
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "parent", 1.0, 0.0);
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "child");
+  }
+  // An orphan 'E' (its 'B' lost to a wrap) and a dangling open 'B' (span
+  // still open at snapshot): the exporter must drop the former and
+  // synthesize a closer for the latter.
+  TraceRecorder::Instance().Record(obs::TraceCategory::kTool, "orphan", 'E');
+  TraceRecorder::Instance().Record(obs::TraceCategory::kTool, "open", 'B');
+
+  const std::string json = TraceRecorder::Instance().ToChromeJson();
+  ASSERT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"orphan\""), std::string::npos)
+      << "orphan 'E' must be dropped from the export";
+
+  // Golden structural check: scan the exported objects in order and
+  // verify the B/E sequence is balanced (the Python JSON validation of
+  // the same export runs in scripts/check.sh).
+  std::vector<char> phases;
+  for (std::size_t at = json.find("\"ph\":\""); at != std::string::npos;
+       at = json.find("\"ph\":\"", at + 1)) {
+    phases.push_back(json[at + 6]);
+  }
+  ASSERT_EQ(phases.size(), 6u);  // parent B/E, child B/E, open B + closer.
+  std::int64_t depth = 0;
+  for (char phase : phases) {
+    if (phase == 'B') ++depth;
+    if (phase == 'E') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << "export left a span unbalanced";
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  obs::Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(2);
+  histogram.Record(3);
+  histogram.Record(1024);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 1030u);
+  EXPECT_EQ(histogram.bucket(0), 1u);  // zero
+  EXPECT_EQ(histogram.bucket(1), 1u);  // [1, 2)
+  EXPECT_EQ(histogram.bucket(2), 2u);  // [2, 4)
+  EXPECT_EQ(histogram.bucket(11), 1u);  // [1024, 2048)
+}
+
+TEST(MetricsTest, CountersAggregateFromAllExecutorWorkers) {
+  obs::Counter& counter =
+      MetricsRegistry::Instance().GetCounter("test.obs.worker_adds");
+  obs::Histogram& histogram =
+      MetricsRegistry::Instance().GetHistogram("test.obs.worker_values");
+  counter.Reset();
+  histogram.Reset();
+  const std::size_t workers =
+      std::max<std::size_t>(2, exec::DefaultWorkerCount());
+  const std::uint64_t adds_per_worker = 10'000;
+  exec::ParallelFor(workers, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < adds_per_worker; ++i) {
+      counter.Add();
+      histogram.Record(i & 0xff);
+    }
+  });
+  EXPECT_EQ(counter.value(), workers * adds_per_worker);
+  EXPECT_EQ(histogram.count(), workers * adds_per_worker);
+}
+
+TEST(MetricsTest, SnapshotContainsCoreFamiliesEvenWhenUntouched) {
+  obs::EnsureCoreMetrics();
+  const std::string json = MetricsRegistry::Instance().SnapshotJson();
+  for (const char* name :
+       {"exec.dispatches", "exec.tasks_run", "exec.ws.chunk_claims",
+        "exec.het.batches", "fault.checks", "fault.injections",
+        "fault.retries", "transfer.chunks", "transfer.bytes",
+        "plan.queries", "plan.morsels"}) {
+    const std::string needle = std::string("\"") + name + "\"";
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "metrics snapshot lost counter family " << name;
+  }
+  for (const char* name : {"transfer.chunk_bytes", "plan.pipeline_us"}) {
+    const std::string needle = std::string("\"") + name + "\"";
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "metrics snapshot lost histogram " << name;
+  }
+}
+
+TEST(MetricsTest, RegistryReferencesAreStableAcrossLookups) {
+  obs::Counter& first =
+      MetricsRegistry::Instance().GetCounter("test.obs.stable");
+  obs::Counter& second =
+      MetricsRegistry::Instance().GetCounter("test.obs.stable");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(ResidualsTest, RatioEdgeCases) {
+  EXPECT_DOUBLE_EQ(obs::ResidualRatio(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(obs::ResidualRatio(0.0, 1.0), 0.0);   // no prediction
+  EXPECT_DOUBLE_EQ(obs::ResidualRatio(-1.0, 1.0), 0.0);  // nonsense input
+  EXPECT_DOUBLE_EQ(obs::ResidualRatio(1.0, -1.0), 0.0);
+}
+
+TEST(ResidualsTest, ReportRoundTripsThroughJson) {
+  obs::ResidualReport report;
+  report.query = "ssb-q3";
+  report.policy = "cost";
+  report.wall_s = 0.125;
+  report.rows.push_back({"build[0]", "build", "gpu", "gpu", 0.5, 1.0, 2.0});
+  report.rows.push_back({"probe", "probe", "gpu", "cpu", 1.0, 3.0, 3.0});
+
+  const std::string json = obs::ToJson(report);
+  Result<obs::ResidualReport> parsed = obs::ParseResidualReport(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().query, "ssb-q3");
+  EXPECT_EQ(parsed.value().policy, "cost");
+  EXPECT_DOUBLE_EQ(parsed.value().wall_s, 0.125);
+  ASSERT_EQ(parsed.value().rows.size(), 2u);
+  EXPECT_EQ(parsed.value().rows[0].pipeline, "build[0]");
+  EXPECT_EQ(parsed.value().rows[0].pipeline_class, "build");
+  EXPECT_DOUBLE_EQ(parsed.value().rows[0].predicted_s, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.value().rows[0].ratio, 2.0);
+  EXPECT_EQ(parsed.value().rows[1].placement_planned, "gpu");
+  EXPECT_EQ(parsed.value().rows[1].placement_used, "cpu");
+}
+
+TEST(ResidualsTest, ParserRejectsNonResidualInput) {
+  EXPECT_FALSE(obs::ParseResidualReport("{\"counters\":{}}").ok());
+  EXPECT_FALSE(
+      obs::ParseResidualReport("{\"model_residuals\":[]}").ok());
+}
+
+TEST(ResidualsTest, CheckResidualsBandsPerClass) {
+  obs::ResidualReport report;
+  report.query = "ssb-q1";
+  report.rows.push_back({"build[0]", "build", "gpu", "gpu", 1.0, 1.5, 1.5});
+  report.rows.push_back({"probe", "probe", "gpu", "gpu", 1.0, 4.0, 4.0});
+
+  check::ResidualBands bands;
+  bands["build"] = {0.5, 2.0};
+  bands["probe"] = {0.5, 5.0};
+  EXPECT_TRUE(check::CheckResiduals(report, bands).ok());
+
+  // Tighten the probe band: only the probe row must violate.
+  bands["probe"] = {0.5, 2.0};
+  const check::ProfileReport flagged = check::CheckResiduals(report, bands);
+  ASSERT_EQ(flagged.violations.size(), 1u);
+  EXPECT_EQ(flagged.violations[0].check, "residual.band");
+  EXPECT_EQ(flagged.violations[0].subject, "probe");
+
+  // The "" key is the default band for classes without their own.
+  check::ResidualBands default_band;
+  default_band[""] = {0.5, 2.0};
+  EXPECT_EQ(check::CheckResiduals(report, default_band).violations.size(),
+            1u);
+
+  // Rows without a prediction are never banded.
+  obs::ResidualReport unpredicted;
+  unpredicted.query = "q";
+  unpredicted.rows.push_back({"probe", "probe", "cpu", "cpu", 0.0, 9.0,
+                              0.0});
+  EXPECT_TRUE(check::CheckResiduals(unpredicted, default_band).ok());
+}
+
+TEST(ResidualsTest, CheckResidualsFlagsInconsistentRows) {
+  obs::ResidualReport report;
+  report.query = "q";
+  // Ratio does not equal measured/predicted.
+  report.rows.push_back({"probe", "probe", "cpu", "cpu", 1.0, 2.0, 7.0});
+  const check::ProfileReport flagged =
+      check::CheckResiduals(report, check::ResidualBands{});
+  ASSERT_EQ(flagged.violations.size(), 1u);
+  EXPECT_EQ(flagged.violations[0].check, "residual.consistency");
+
+  obs::ResidualReport unknown_class;
+  unknown_class.query = "q";
+  unknown_class.rows.push_back({"x", "scan", "cpu", "cpu", 0.0, 0.0, 0.0});
+  EXPECT_FALSE(
+      check::CheckResiduals(unknown_class, check::ResidualBands{}).ok());
+
+  obs::ResidualReport empty;
+  empty.query = "q";
+  EXPECT_FALSE(check::CheckResiduals(empty, check::ResidualBands{}).ok());
+}
+
+// Satellite regression: a mid-query ladder re-placement must not erase
+// the per-pipeline outcome rows — the report still says which placement
+// was tried and which produced the result.
+TEST(PipelineOutcomeTest, RowsSurviveProbeReplacementOnCpu) {
+  const engine::SsbDatabase db = engine::SsbDatabase::Generate(4000, 7);
+  const std::vector<engine::NamedQuery> suite = engine::SsbSuite(db);
+  ASSERT_FALSE(suite.empty());
+  const engine::Query& query = suite.back().query;  // ssb-q3: three joins.
+
+  plan::CompileOptions compile_options;
+  compile_options.policy = plan::PlacementPolicy::kGpuPreferred;
+  Result<plan::PhysicalPlan> physical =
+      plan::Compile(query, compile_options);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  const std::size_t builds = physical.value().builds.size();
+  ASSERT_GT(builds, 0u);
+
+  // Hard-fail the probe pipeline's GPU stage: a non-retryable fault on
+  // the fact-column staging (only the probe stages transfer chunks) makes
+  // rung 3 re-place the probe on the CPU, reusing the cached builds.
+  fault::FaultInjector injector(/*seed=*/11);
+  fault::FaultSpec hard_fault;
+  hard_fault.probability = 1.0;
+  hard_fault.code = StatusCode::kInternal;
+  injector.Arm(fault::kTransferChunk, hard_fault);
+
+  engine::ExecOptions options;
+  options.workers = std::max<std::size_t>(2, exec::DefaultWorkerCount());
+  options.injector = &injector;
+  Result<engine::ExecReport> result =
+      plan::ExecutePlan(physical.value(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const engine::ExecReport& report = result.value();
+
+  EXPECT_TRUE(report.degraded);
+  EXPECT_FALSE(report.used_gpu);
+  ASSERT_EQ(report.pipelines.size(), builds + 1);
+  for (std::size_t i = 0; i < builds; ++i) {
+    EXPECT_EQ(report.pipelines[i].kind, "build");
+    EXPECT_EQ(report.pipelines[i].attempts, 1u);
+    EXPECT_GT(report.pipelines[i].measured_s, 0.0);
+  }
+  const engine::PipelineOutcome& probe = report.pipelines.back();
+  EXPECT_EQ(probe.kind, "probe");
+  EXPECT_NE(probe.placement_planned, "cpu");
+  EXPECT_EQ(probe.placement_used, "cpu");
+  EXPECT_EQ(probe.attempts, 2u);
+  EXPECT_GT(probe.measured_s, 0.0);
+
+  // The clean run reports one attempt on the planned placement.
+  engine::ExecOptions clean_options;
+  clean_options.workers = options.workers;
+  Result<engine::ExecReport> clean =
+      plan::ExecutePlan(physical.value(), clean_options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean.value().pipelines.size(), builds + 1);
+  EXPECT_EQ(clean.value().pipelines.back().attempts, 1u);
+  EXPECT_EQ(clean.value().pipelines.back().placement_used,
+            clean.value().pipelines.back().placement_planned);
+  EXPECT_EQ(clean.value().result, report.result);
+}
+
+}  // namespace
+}  // namespace pump

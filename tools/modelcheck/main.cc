@@ -8,11 +8,23 @@
 //
 // Usage:
 //   modelcheck [--profile ac922|xeon|broken-fixture]... [--json <path>]
+//   modelcheck --residuals <file> [--residual-band [class=]min:max]...
+//              [--json <path>]
 //
 // Without --profile, both testbed profiles are checked. --broken-fixture is
 // a deliberately corrupted profile used to demonstrate failure output.
+//
+// With --residuals, the tool instead lints a model-vs-measured residual
+// report written by `tracedump --residuals`: every pipeline's
+// measured/predicted ratio must sit inside its class band.
+// --residual-band takes `min:max` (default band for all classes) or
+// `class=min:max` (band for one pipeline class, repeatable); without any
+// band flag the check only validates report shape and ratio consistency.
+// The JSON report and nonzero-exit conventions are shared with the
+// profile mode.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -20,8 +32,32 @@
 
 #include "check/model_check.h"
 #include "hw/system_profile.h"
+#include "obs/residuals.h"
 
 namespace {
+
+/// Parses `[class=]min:max` into `bands`; false on malformed input.
+bool ParseBand(const std::string& spec, pump::check::ResidualBands* bands) {
+  std::string cls;
+  std::string range = spec;
+  const std::size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    cls = spec.substr(0, eq);
+    range = spec.substr(eq + 1);
+  }
+  const std::size_t colon = range.find(':');
+  if (colon == std::string::npos || cls == "=") return false;
+  char* end = nullptr;
+  pump::check::ResidualBand band;
+  band.min_ratio = std::strtod(range.c_str(), &end);
+  if (end != range.c_str() + colon) return false;
+  const char* max_begin = range.c_str() + colon + 1;
+  band.max_ratio = std::strtod(max_begin, &end);
+  if (end == max_begin || *end != '\0') return false;
+  if (band.min_ratio < 0.0 || band.max_ratio < band.min_ratio) return false;
+  (*bands)[cls] = band;
+  return true;
+}
 
 bool LoadProfile(const std::string& name, pump::hw::SystemProfile* out) {
   if (name == "ac922") {
@@ -44,16 +80,30 @@ bool LoadProfile(const std::string& name, pump::hw::SystemProfile* out) {
 int main(int argc, char** argv) {
   std::vector<std::string> profile_names;
   std::string json_path;
+  std::string residuals_path;
+  pump::check::ResidualBands bands;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile" && i + 1 < argc) {
       profile_names.emplace_back(argv[++i]);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--residuals" && i + 1 < argc) {
+      residuals_path = argv[++i];
+    } else if (arg == "--residual-band" && i + 1 < argc) {
+      if (!ParseBand(argv[++i], &bands)) {
+        std::fprintf(stderr,
+                     "modelcheck: malformed --residual-band '%s' (want "
+                     "[class=]min:max)\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: modelcheck [--profile ac922|xeon|broken-fixture]... "
-          "[--json <path>]\n");
+          "[--json <path>]\n"
+          "       modelcheck --residuals <file> "
+          "[--residual-band [class=]min:max]... [--json <path>]\n");
       return 0;
     } else {
       std::fprintf(stderr, "modelcheck: unknown argument '%s'\n",
@@ -61,19 +111,41 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (profile_names.empty()) profile_names = {"ac922", "xeon"};
 
   std::vector<pump::check::ProfileReport> reports;
-  for (const std::string& name : profile_names) {
-    pump::hw::SystemProfile profile;
-    if (!LoadProfile(name, &profile)) {
+  if (!residuals_path.empty()) {
+    if (!profile_names.empty()) {
       std::fprintf(stderr,
-                   "modelcheck: unknown profile '%s' (want ac922, xeon or "
-                   "broken-fixture)\n",
-                   name.c_str());
+                   "modelcheck: --residuals and --profile are exclusive\n");
       return 2;
     }
-    reports.push_back(pump::check::CheckProfile(profile));
+    pump::Result<pump::obs::ResidualReport> residuals =
+        pump::obs::ReadResidualReport(residuals_path);
+    if (!residuals.ok()) {
+      std::fprintf(stderr, "modelcheck: %s\n",
+                   residuals.status().ToString().c_str());
+      return 2;
+    }
+    reports.push_back(
+        pump::check::CheckResiduals(residuals.value(), bands));
+  } else {
+    if (!bands.empty()) {
+      std::fprintf(stderr,
+                   "modelcheck: --residual-band requires --residuals\n");
+      return 2;
+    }
+    if (profile_names.empty()) profile_names = {"ac922", "xeon"};
+    for (const std::string& name : profile_names) {
+      pump::hw::SystemProfile profile;
+      if (!LoadProfile(name, &profile)) {
+        std::fprintf(stderr,
+                     "modelcheck: unknown profile '%s' (want ac922, xeon or "
+                     "broken-fixture)\n",
+                     name.c_str());
+        return 2;
+      }
+      reports.push_back(pump::check::CheckProfile(profile));
+    }
   }
 
   const std::string json = pump::check::ReportsToJson(reports);

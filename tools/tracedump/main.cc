@@ -1,0 +1,257 @@
+// tracedump: runs one query through the plan IR with tracing enabled and
+// dumps the three observability artifacts — the Chrome trace_event JSON
+// (chrome://tracing / Perfetto), the process metrics snapshot, and the
+// model-vs-measured residual report joining per-pipeline measured span
+// times against the Advisor's cost-model predictions.
+//
+// Usage:
+//   tracedump [--query ssb-q1|ssb-q2|ssb-q3|q6] [--rows N] [--seed S]
+//             [--policy cpu|gpu|cost] [--workers W]
+//             [--trace-out <path>] [--metrics-out <path>]
+//             [--residuals <path>]
+//
+// Prints a summary JSON to stdout: query, policy, workers, wall time,
+// trace span coverage (duration of the root plan.execute span over wall
+// time), event/thread counts, and the query result. Residual predictions
+// come from the cost model, so --policy defaults to `cost` (other
+// policies leave predicted_s = 0 and ratio = 0).
+//
+// Exit codes: 0 = success, 1 = execution failed, 2 = usage error.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/tpch.h"
+#include "engine/ssb.h"
+#include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/residuals.h"
+#include "obs/trace.h"
+#include "plan/compiler.h"
+#include "plan/executor.h"
+#include "plan/q6_bridge.h"
+
+namespace {
+
+/// Longest paired `name` span (B..E) across all threads, in seconds. The
+/// root plan.execute span is recorded once, on the driving thread.
+double SpanSeconds(const std::vector<pump::obs::ThreadTrace>& traces,
+                   const char* name) {
+  double best = 0.0;
+  for (const pump::obs::ThreadTrace& thread : traces) {
+    std::vector<std::uint64_t> begins;
+    for (const pump::obs::TraceEvent& event : thread.events) {
+      if (std::strcmp(event.name, name) != 0) continue;
+      if (event.phase == 'B') {
+        begins.push_back(event.ts_ns);
+      } else if (event.phase == 'E' && !begins.empty()) {
+        const double dur = static_cast<double>(event.ts_ns -
+                                               begins.back()) *
+                           1e-9;
+        begins.pop_back();
+        if (dur > best) best = dur;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string query_name = "ssb-q3";
+  std::size_t rows = 100'000;
+  std::uint64_t seed = 42;
+  std::string policy_name = "cost";
+  // Single-core hosts report DefaultWorkerCount() == 1; keep the probe
+  // pipeline parallel so the trace exercises the multi-worker rings.
+  std::size_t workers =
+      std::max<std::size_t>(2, pump::exec::DefaultWorkerCount());
+  std::string trace_path;
+  std::string metrics_path;
+  std::string residuals_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tracedump: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--query") {
+      query_name = next("--query");
+    } else if (arg == "--rows") {
+      rows = static_cast<std::size_t>(
+          std::strtoull(next("--rows"), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--policy") {
+      policy_name = next("--policy");
+    } else if (arg == "--workers") {
+      workers = static_cast<std::size_t>(
+          std::strtoull(next("--workers"), nullptr, 10));
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (arg == "--metrics-out") {
+      metrics_path = next("--metrics-out");
+    } else if (arg == "--residuals") {
+      residuals_path = next("--residuals");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tracedump [--query ssb-q1|ssb-q2|ssb-q3|q6] [--rows N] "
+          "[--seed S] [--policy cpu|gpu|cost] [--workers W] "
+          "[--trace-out <path>] [--metrics-out <path>] "
+          "[--residuals <path>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "tracedump: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  pump::plan::CompileOptions options;
+  if (policy_name == "cpu") {
+    options.policy = pump::plan::PlacementPolicy::kCpuOnly;
+  } else if (policy_name == "gpu") {
+    options.policy = pump::plan::PlacementPolicy::kGpuPreferred;
+  } else if (policy_name == "cost") {
+    options.policy = pump::plan::PlacementPolicy::kCostModel;
+  } else {
+    std::fprintf(stderr,
+                 "tracedump: unknown policy '%s' (want cpu|gpu|cost)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  // The query sources must outlive compilation and execution.
+  const pump::engine::SsbDatabase db =
+      pump::engine::SsbDatabase::Generate(rows, seed);
+  pump::plan::Q6PlanInput q6_input;
+  pump::engine::Query query;
+  bool matched = false;
+  for (const pump::engine::NamedQuery& named : pump::engine::SsbSuite(db)) {
+    if (query_name == named.name) {
+      query = named.query;
+      matched = true;
+    }
+  }
+  if (query_name == "q6") {
+    q6_input = pump::plan::Q6PlanInput::From(
+        pump::data::GenerateLineitemQ6(rows, seed));
+    query = q6_input.MakeQuery();
+    matched = true;
+  }
+  if (!matched) {
+    std::fprintf(stderr,
+                 "tracedump: unknown query '%s' (want ssb-q1|ssb-q2|"
+                 "ssb-q3|q6)\n",
+                 query_name.c_str());
+    return 2;
+  }
+
+  pump::Result<pump::plan::PhysicalPlan> plan =
+      pump::plan::Compile(query, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "tracedump: compile failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  pump::obs::EnsureCoreMetrics();
+  pump::obs::TraceRecorder& recorder = pump::obs::TraceRecorder::Instance();
+  recorder.Enable();
+  // Warm the driving thread's ring (first Record allocates the slot
+  // vector) so the root span's 'B' timestamp isn't charged for it.
+  pump::obs::TraceInstant(pump::obs::TraceCategory::kTool, "warmup");
+  recorder.Clear();
+
+  pump::engine::ExecOptions exec_options;
+  exec_options.workers = workers;
+  const auto start = std::chrono::steady_clock::now();
+  pump::Result<pump::engine::ExecReport> report =
+      pump::plan::ExecutePlan(plan.value(), exec_options);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  recorder.Disable();
+
+  if (!report.ok()) {
+    std::fprintf(stderr, "tracedump: execution failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!trace_path.empty() && !recorder.WriteChromeJson(trace_path)) {
+    std::fprintf(stderr, "tracedump: cannot write '%s'\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !pump::obs::MetricsRegistry::Instance().WriteSnapshot(metrics_path)) {
+    std::fprintf(stderr, "tracedump: cannot write '%s'\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+
+  pump::obs::ResidualReport residuals;
+  residuals.query = query_name;
+  residuals.policy = policy_name;
+  residuals.wall_s = wall_s;
+  for (const pump::engine::PipelineOutcome& pipeline :
+       report.value().pipelines) {
+    pump::obs::ResidualRow row;
+    row.pipeline = pipeline.name;
+    row.pipeline_class = pipeline.kind;
+    row.placement_planned = pipeline.placement_planned;
+    row.placement_used = pipeline.placement_used;
+    row.predicted_s = pipeline.predicted_s;
+    row.measured_s = pipeline.measured_s;
+    row.ratio = pump::obs::ResidualRatio(pipeline.predicted_s,
+                                         pipeline.measured_s);
+    residuals.rows.push_back(std::move(row));
+  }
+  if (!residuals_path.empty()) {
+    std::FILE* file = std::fopen(residuals_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "tracedump: cannot write '%s'\n",
+                   residuals_path.c_str());
+      return 1;
+    }
+    const std::string json = pump::obs::ToJson(residuals);
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  }
+
+  const std::vector<pump::obs::ThreadTrace> traces = recorder.Snapshot();
+  std::size_t events = 0;
+  std::uint64_t dropped = 0;
+  for (const pump::obs::ThreadTrace& thread : traces) {
+    events += thread.events.size();
+    dropped += thread.dropped;
+  }
+  const double covered_s = SpanSeconds(traces, "plan.execute");
+  const double coverage = wall_s > 0.0 ? covered_s / wall_s : 0.0;
+
+  std::printf(
+      "{\"query\":\"%s\",\"policy\":\"%s\",\"workers\":%zu,"
+      "\"wall_s\":%.9f,\"root_span_s\":%.9f,\"span_coverage\":%.6f,"
+      "\"trace_events\":%zu,\"trace_threads\":%zu,\"dropped_events\":%llu,"
+      "\"used_gpu\":%s,\"degraded\":%s,\"pipelines\":%zu,"
+      "\"result_rows\":%llu,\"result_sum\":%lld}\n",
+      query_name.c_str(), policy_name.c_str(), workers, wall_s, covered_s,
+      coverage, events, traces.size(),
+      static_cast<unsigned long long>(dropped),
+      report.value().used_gpu ? "true" : "false",
+      report.value().degraded ? "true" : "false",
+      report.value().pipelines.size(),
+      static_cast<unsigned long long>(report.value().result.rows),
+      static_cast<long long>(report.value().result.sum));
+  return 0;
+}
