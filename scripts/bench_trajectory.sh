@@ -9,6 +9,13 @@
 #   micro_morsel    — google-benchmark, emits benchmark_out JSON that is
 #                     converted to the same {experiment, config, mean,
 #                     stderr, runs} record shape
+#   servebench      — serving-layer closed-loop driver: qps, p50/p99
+#                     latency, cache hit rate, shed/cancel/deadline
+#                     counters
+#
+# A bench binary that crashes mid-run (or writes empty/unparseable JSON)
+# fails the whole script with a named, non-zero error — partial records
+# are never merged into the trajectory.
 #
 # Usage: scripts/bench_trajectory.sh [-j N] [-q]
 #   -j N  build parallelism (default: nproc)
@@ -29,28 +36,68 @@ done
 
 say() { printf '\n==> %s\n' "$*"; }
 
+# Runs one bench binary and fails LOUDLY if it dies mid-run. `set -e`
+# alone reports the bare exit status of whatever happened to run last; a
+# segfaulting bench would leave no hint of which binary crashed or that
+# the trajectory merge was skipped. Name the casualty, keep the partial
+# JSON out of BENCH_micro.json, exit non-zero.
+run_bench() {
+  local label="$1"
+  shift
+  say "run $label"
+  local status=0
+  "$@" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: $label exited with status $status mid-run;" \
+         "no records merged into BENCH_micro.json" >&2
+    exit "$status"
+  fi
+}
+
+# A bench that exits zero but leaves an empty or unparseable JSON file
+# also crashed, just politely. Refuse to merge its output.
+check_json() {
+  local label="$1" path="$2"
+  python3 - "$path" <<'PY' || { echo "FAIL: $label wrote bad JSON" >&2; exit 1; }
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+assert isinstance(records, (list, dict)) and records, "no records"
+PY
+}
+
 say "build (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DPUMP_SANITIZE="" >/dev/null
 cmake --build build-release -j "$JOBS" \
-      --target micro_parallel micro_engine micro_morsel
+      --target micro_parallel micro_engine micro_morsel servebench
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
-say "run micro_parallel ${QUICK:-"(full sizes)"}"
-./build-release/bench/micro_parallel ${QUICK} \
+run_bench "micro_parallel ${QUICK:-"(full sizes)"}" \
+    ./build-release/bench/micro_parallel ${QUICK} \
     --json="$OUT_DIR/micro_parallel.json"
+check_json micro_parallel "$OUT_DIR/micro_parallel.json"
 
-say "run micro_engine ${QUICK:-"(full sizes)"}"
-./build-release/bench/micro_engine ${QUICK} \
+run_bench "micro_engine ${QUICK:-"(full sizes)"}" \
+    ./build-release/bench/micro_engine ${QUICK} \
     --json="$OUT_DIR/micro_engine.json"
+check_json micro_engine "$OUT_DIR/micro_engine.json"
 
-say "run micro_morsel"
-./build-release/bench/micro_morsel \
+run_bench "micro_morsel" \
+    ./build-release/bench/micro_morsel \
     --benchmark_out="$OUT_DIR/micro_morsel_gbench.json" \
     --benchmark_out_format=json \
-    ${QUICK:+--benchmark_min_time=0.05s} >/dev/null
+    ${QUICK:+--benchmark_min_time=0.05}
+check_json micro_morsel "$OUT_DIR/micro_morsel_gbench.json"
+
+run_bench "servebench ${QUICK:-"(full sizes)"}" \
+    ./build-release/tools/servebench ${QUICK} \
+    --json="$OUT_DIR/servebench.json"
+check_json servebench "$OUT_DIR/servebench.json"
 
 say "merge into BENCH_micro.json"
 # Merge, never overwrite wholesale: records from this run replace prior
@@ -60,17 +107,21 @@ say "merge into BENCH_micro.json"
 # (temp + rename) so a crash mid-write keeps the old file intact.
 python3 - "$OUT_DIR/micro_parallel.json" \
            "$OUT_DIR/micro_engine.json" \
-           "$OUT_DIR/micro_morsel_gbench.json" <<'PY'
+           "$OUT_DIR/micro_morsel_gbench.json" \
+           "$OUT_DIR/servebench.json" <<'PY'
 import json
 import os
 import sys
 
 records = []
 
-# micro_parallel and micro_engine already emit the target record shape.
+# micro_parallel, micro_engine and servebench already emit the target
+# record shape.
 with open(sys.argv[1]) as f:
     records.extend(json.load(f))
 with open(sys.argv[2]) as f:
+    records.extend(json.load(f))
+with open(sys.argv[4]) as f:
     records.extend(json.load(f))
 
 # Convert google-benchmark output: one record per benchmark entry, the

@@ -3,6 +3,8 @@
 #   1. Release build, all tests          (build-release)
 #   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
 #   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
+#      plus the servebench --quick --soak fault sweep (concurrent
+#      queries, poison, deadlines, cancels; zero hung/lost queries)
 #   4. micro_parallel + micro_engine --quick smoke runs (probe pipeline
 #      and fused-vs-plan-IR self-checks)
 #   5. modelcheck: both testbed profiles must pass, the broken fixture
@@ -58,7 +60,16 @@ configure_and_test build-asan "address" ""
 #    pipelines run multi-worker) and the observability layer (per-thread
 #    trace rings + counters hammered from all executor workers).
 configure_and_test build-tsan "thread" \
-  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test"
+  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test|server_test"
+
+# 3b. Server soak under TSan: >= 8 concurrent queries against the serving
+#     engine across workers x fault-probability cells, with poisoned
+#     queries, deadlines, client cancels and admission faults in the mix.
+#     servebench exits non-zero on any hung/lost query, any completed
+#     result that differs from solo execution, or any accounting
+#     invariant violation (submitted == admitted + shed + rejected).
+say "servebench soak smoke (TSan, --quick): zero hung/lost queries"
+./build-tsan/tools/servebench --quick --soak
 
 # 4. Executor/dispatcher/probe micro bench smoke run (Release, shrunken
 #    sizes): the bench self-checks that the probe variants agree and

@@ -1,0 +1,95 @@
+#ifndef PUMP_COMMON_CANCEL_H_
+#define PUMP_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace pump {
+
+/// Cooperative cancellation handle shared between a query's owner (the
+/// serving layer, a client thread) and its workers (the plan executor's
+/// morsel loops). Workers poll `Cancelled()` at morsel-claim granularity
+/// — cheap enough for the hot loop (one relaxed load; a steady_clock read
+/// only while a deadline is armed) and frequent enough that a cancelled
+/// query releases its workers within one morsel.
+///
+/// The token latches the *first* cancellation cause: a user Cancel() and
+/// a deadline expiry race benignly, and every later observer reports the
+/// same terminal status. Thread-safe; tokens are shared by raw pointer
+/// and must outlive every worker that polls them.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms a wall-clock deadline. Workers observe the expiry on their next
+  /// poll; `Cancelled()` latches it into the terminal state so the cause
+  /// is stable even after the clock moves on.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  /// Arms a deadline `seconds` from now. Non-positive values expire
+  /// immediately (useful for tests and queue-expiry sweeps).
+  void SetDeadlineAfter(double seconds) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(seconds * 1e9)));
+  }
+
+  /// Requests cancellation. First cause wins; later calls are no-ops.
+  void Cancel() { Latch(kUserCancelled); }
+
+  /// True once the token is cancelled — by an explicit Cancel() or an
+  /// expired deadline (latched on first observation). Poll this at claim
+  /// granularity; it is the release valve of the serving layer.
+  bool Cancelled() const {
+    State state = state_.load(std::memory_order_acquire);
+    if (state != kLive) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_acquire);
+    if (deadline == kNoDeadline) return false;
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now < deadline) return false;
+    const_cast<CancelToken*>(this)->Latch(kDeadlineExpired);
+    return true;
+  }
+
+  /// OK while live; the latched terminal status once cancelled.
+  Status ToStatus() const {
+    if (!Cancelled()) return Status::OK();
+    return state_.load(std::memory_order_acquire) == kDeadlineExpired
+               ? Status::DeadlineExceeded("query deadline expired")
+               : Status::Cancelled("query cancelled by caller");
+  }
+
+ private:
+  enum State : int { kLive = 0, kUserCancelled = 1, kDeadlineExpired = 2 };
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  void Latch(State cause) {
+    State expected = kLive;
+    state_.compare_exchange_strong(expected, cause,
+                                   std::memory_order_acq_rel);
+  }
+
+  std::atomic<State> state_{kLive};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace pump
+
+#endif  // PUMP_COMMON_CANCEL_H_

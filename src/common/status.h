@@ -25,8 +25,16 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,
   /// A hard resource exhaustion on a modelled device (e.g. GPU memory),
   /// distinct from host kOutOfMemory: callers degrade (spill, fall back)
-  /// rather than retry.
+  /// rather than retry. Also the admission-control shed code: a full
+  /// serving queue rejects with kResourceExhausted instead of growing.
   kResourceExhausted,
+  /// The caller cancelled the operation (cooperative cancellation via
+  /// CancelToken). Not retryable: the work is unwanted, not broken.
+  kCancelled,
+  /// The operation's deadline expired before it completed. Like
+  /// kCancelled but distinguishes "user gave up" from "time ran out" —
+  /// serving-layer SLO accounting needs the split.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -91,6 +99,14 @@ class Status {
   /// Factory for a hard device-resource exhaustion.
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Factory for a cooperatively cancelled operation.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  /// Factory for an expired deadline.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff this status represents success.

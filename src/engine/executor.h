@@ -5,11 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "engine/query.h"
 #include "exec/morsel.h"
 #include "fault/fault_injector.h"
 #include "fault/retry.h"
+
+namespace pump::plan {
+class BuildCache;
+}  // namespace pump::plan
 
 namespace pump::engine {
 
@@ -32,6 +37,15 @@ struct ExecOptions {
   std::uint64_t os_page_bytes = 4 * 1024;
   /// Morsel granularity of the heterogeneous probe.
   std::size_t morsel_tuples = exec::kDefaultMorselTuples;
+  /// Cooperative cancellation/deadline token, polled at morsel-claim
+  /// granularity by every pipeline loop: a cancelled or deadline-expired
+  /// query stops claiming work and releases its workers within one
+  /// morsel. Null = not cancellable.
+  const CancelToken* cancel = nullptr;
+  /// Process-wide dimension-table build cache (plan/build_cache.h).
+  /// Null = per-query builds only (tables are still reused across the
+  /// ladder rungs of the one query, as before).
+  plan::BuildCache* build_cache = nullptr;
   /// Test-only escape hatch: route RunResilient through the preserved
   /// pre-plan-IR fused path (engine::legacy) instead of compiling to the
   /// plan IR. Exists solely for the golden equivalence suite and will be

@@ -75,7 +75,8 @@ class OrphanQueue {
 std::vector<GroupStats> RunHeterogeneous(std::size_t total,
                                          std::size_t morsel_tuples,
                                          std::vector<ProcessorGroup> groups,
-                                         fault::FaultInjector* injector) {
+                                         fault::FaultInjector* injector,
+                                         const CancelToken* cancel) {
   MorselDispatcher dispatcher(total, morsel_tuples);
 
   std::vector<GroupStats> stats(groups.size());
@@ -106,7 +107,11 @@ std::vector<GroupStats> RunHeterogeneous(std::size_t total,
     Executor::Default().Run(slot_group.size(), [&](std::size_t slot) {
       const std::size_t g = slot_group[slot];
       const ProcessorGroup& group = groups[g];
-      while (!failed[g].load(std::memory_order_acquire)) {
+      // The cancel poll sits before the claim, so a cancelled query's
+      // worker exits holding nothing: at most the one batch it was
+      // already processing finishes after the token fires.
+      while (!failed[g].load(std::memory_order_acquire) &&
+             !(cancel != nullptr && cancel->Cancelled())) {
         in_flight.fetch_add(1, std::memory_order_acq_rel);
         bool from_orphan = false;
         std::optional<Morsel> batch =

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
 #include "fault/fault_injector.h"
@@ -54,10 +55,17 @@ struct GroupStats {
 /// surviving groups, preserving exactly-once coverage. Only if *every*
 /// group dies do tuples go unprocessed — detectable by the caller as
 /// sum(tuples) < total.
+///
+/// When `cancel` is non-null, every worker polls it before claiming its
+/// next batch: a cancelled run stops claiming within one batch per
+/// worker and returns with sum(tuples) < total (the caller distinguishes
+/// cancellation from group death by checking the token). Exactly-once
+/// accounting still holds for every batch that *was* claimed.
 std::vector<GroupStats> RunHeterogeneous(
     std::size_t total, std::size_t morsel_tuples,
     std::vector<ProcessorGroup> groups,
-    fault::FaultInjector* injector = nullptr);
+    fault::FaultInjector* injector = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace pump::exec
 

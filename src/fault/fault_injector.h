@@ -25,6 +25,15 @@ inline constexpr const char kLinkDegrade[] = "link.degrade";
 /// tests fail one pipeline of a plan and assert the others' results are
 /// reused instead of recomputed.
 inline constexpr const char kPlanPipeline[] = "plan.pipeline";
+/// Fired by the server when a query is admitted into the session queue
+/// (scope: the query's SQL-ish tag, empty by default). Lets soak tests
+/// shed a deterministic subset of admissions without filling the queue.
+inline constexpr const char kServerAdmission[] = "server.admission";
+/// Fired by the server's scheduler right before a query starts
+/// executing. A fired check cancels the query as if the client had
+/// called QueryHandle::Cancel — deterministic cancellation pressure for
+/// the soak suite.
+inline constexpr const char kServerCancel[] = "server.cancel";
 
 /// Configuration of one armed failpoint. The fault schedule is a pure
 /// function of (injector seed, site, scope, hit index): replaying a run

@@ -16,6 +16,12 @@ double RetryPolicy::BackoffSeconds(int retry, Rng* rng) const {
   return base * factor;
 }
 
+RetryPolicy RetryPolicy::Salted(std::uint64_t salt) const {
+  RetryPolicy salted = *this;
+  salted.seed = SplitMix64(seed ^ SplitMix64(salt));
+  return salted;
+}
+
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& op, RetryStats* stats) {
   Rng rng(policy.seed);

@@ -32,6 +32,16 @@ struct RetryPolicy {
   /// Modelled backoff before retry number `retry` (1-based), drawing
   /// jitter from `rng`. Deterministic given the rng state.
   double BackoffSeconds(int retry, Rng* rng) const;
+
+  /// Returns a copy of this policy whose jitter seed is decorrelated by
+  /// `salt` (SplitMix64-mixed, so nearby salts give independent
+  /// streams). RunWithRetry seeds its jitter stream fresh from
+  /// policy.seed on every invocation, so N concurrent queries sharing
+  /// one policy would otherwise draw *identical* backoff sequences and
+  /// retry in lockstep — a thundering herd against the faulted
+  /// resource. The server salts with the query id: deterministic under
+  /// a fixed engine seed, decorrelated across queries.
+  RetryPolicy Salted(std::uint64_t salt) const;
 };
 
 /// Counters from one RunWithRetry invocation.

@@ -105,11 +105,21 @@ void EnsureCoreMetrics() {
       "plan.queries", "plan.pipelines.build", "plan.pipelines.probe",
       "plan.dim_tables_built", "plan.dim_tables_reused",
       "plan.replacements", "plan.morsels",
+      // plan::BuildCache (process-wide dimension-table cache).
+      "plan.cache.hits", "plan.cache.misses", "plan.cache.evictions",
+      "plan.cache.single_flight_waits",
+      // server::QueryEngine (admission / scheduling / cancellation).
+      "server.submitted", "server.admitted", "server.shed",
+      "server.cancelled", "server.deadline_exceeded",
+      "server.degraded_to_cpu", "server.completed", "server.failed",
   };
   static const char* const kCoreHistograms[] = {
       "transfer.chunk_bytes",
       "plan.pipeline_us",
       "plan.morsel_tuples",
+      "server.queue_depth",
+      "server.queue_wait_us",
+      "server.query_latency_us",
   };
   MetricsRegistry& registry = MetricsRegistry::Instance();
   for (const char* name : kCoreCounters) (void)registry.GetCounter(name);

@@ -188,10 +188,27 @@ Result<PhysicalPlan> Compile(const engine::Query& query,
   plan.shape.joins = query.joins.size();
   PUMP_RETURN_NOT_OK(Validate(query, plan.shape));
 
-  const bool gpu_policy = options.policy != PlacementPolicy::kCpuOnly;
+  const bool gpu_requested = options.policy != PlacementPolicy::kCpuOnly;
   const std::uint64_t budget = options.gpu_budget_bytes != 0
                                    ? options.gpu_budget_bytes
                                    : DefaultGpuBudget(options.profile);
+  // Concurrency pressure: bytes already committed to in-flight queries
+  // shrink this compilation's budget. A fully saturated budget forces
+  // the whole plan onto the CPU — degrading placement is bounded work,
+  // waiting for device memory is not.
+  const std::uint64_t effective_budget =
+      budget > options.gpu_budget_in_use_bytes
+          ? budget - options.gpu_budget_in_use_bytes
+          : 0;
+  const bool saturated = gpu_requested && effective_budget == 0;
+  const bool gpu_policy = gpu_requested && !saturated;
+  if (saturated) {
+    plan.forced_cpu_by_pressure = true;
+    plan.rationale =
+        "gpu budget saturated (" +
+        std::to_string(options.gpu_budget_in_use_bytes) + "/" +
+        std::to_string(budget) + " bytes in use); forced CPU placement";
+  }
   std::uint64_t gpu_used = 0;
 
   // One build pipeline per join clause.
@@ -208,8 +225,8 @@ Result<PhysicalPlan> Compile(const engine::Query& query,
     build.keys = GatherKeyStats(*keys);
     build.placement =
         gpu_policy ? PipelinePlacement::kGpu : PipelinePlacement::kCpu;
-    build.table_kind = ChooseTableKind(build.keys, gpu_policy, budget,
-                                       &gpu_used);
+    build.table_kind = ChooseTableKind(build.keys, gpu_policy,
+                                       effective_budget, &gpu_used);
     build.table_bytes = TableBytes(build.keys, build.table_kind);
     plan.builds.push_back(std::move(build));
   }
@@ -241,10 +258,27 @@ Result<PhysicalPlan> Compile(const engine::Query& query,
   plan.probe.placement = gpu_policy ? PipelinePlacement::kHeterogeneous
                                     : PipelinePlacement::kCpu;
 
-  if (options.policy == PlacementPolicy::kCostModel) {
+  if (options.policy == PlacementPolicy::kCostModel && !saturated) {
     PUMP_RETURN_NOT_OK(PlaceByCostModel(query, options, &plan));
   }
   return plan;
+}
+
+std::uint64_t EstimatedGpuFootprintBytes(const PhysicalPlan& plan) {
+  std::uint64_t bytes = 0;
+  for (const BuildPipeline& build : plan.builds) {
+    if (build.placement != PipelinePlacement::kCpu) {
+      bytes += build.table_bytes;
+    }
+  }
+  if (plan.probe.placement != PipelinePlacement::kCpu) {
+    // GPU/heterogeneous probes stage one device buffer per probe
+    // operator column (measure, filters, probe keys), each fact_rows
+    // 64-bit values — the same staging the plan executor performs.
+    bytes += static_cast<std::uint64_t>(plan.probe.ops.size()) *
+             plan.shape.fact_rows * sizeof(std::int64_t);
+  }
+  return bytes;
 }
 
 Status ValidatePlan(const PhysicalPlan& plan) {

@@ -35,6 +35,12 @@ struct CompileOptions {
   /// working-space reserve. The hybrid hash-table kind is selected when a
   /// dense dimension exceeds this budget.
   std::uint64_t gpu_budget_bytes = 0;
+  /// Modelled GPU bytes already committed to concurrently running
+  /// queries (the server's in-flight footprint). Shrinks the effective
+  /// GPU budget for this compilation; when no headroom remains, GPU
+  /// placements degrade to CPU instead of queueing behind device memory
+  /// — graceful degradation under pressure rather than unbounded wait.
+  std::uint64_t gpu_budget_in_use_bytes = 0;
   /// System profile for the cost-model policy; null uses hw::Ac922Profile.
   const hw::SystemProfile* profile = nullptr;
   /// Cardinality scale factor fed to the cost model (model the same query
@@ -57,6 +63,14 @@ Result<PhysicalPlan> Compile(const engine::Query& query,
 /// references an existing join clause, and hash-table kinds are
 /// consistent with the key statistics. Returns the first violation.
 Status ValidatePlan(const PhysicalPlan& plan);
+
+/// Modelled GPU bytes `plan` occupies while executing as placed:
+/// GPU-resident hash tables plus the staged fact columns of a GPU or
+/// heterogeneous probe. A CPU-only plan is 0. The server's admission
+/// controller uses this as the query's resource token and feeds the
+/// concurrent total back through
+/// CompileOptions::gpu_budget_in_use_bytes.
+std::uint64_t EstimatedGpuFootprintBytes(const PhysicalPlan& plan);
 
 inline const char* ToString(PlacementPolicy policy) {
   switch (policy) {

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
+#include "common/cancel.h"
 #include "exec/het_scheduler.h"
 #include "exec/morsel.h"
 #include "exec/parallel.h"
@@ -16,6 +19,7 @@
 #include "memory/allocator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/build_cache.h"
 #include "plan/operators.h"
 #include "transfer/executor.h"
 
@@ -98,27 +102,49 @@ void FinishReasons(const std::vector<std::string>& reasons,
   }
 }
 
-/// Build stage: every build pipeline runs exactly once and its table is
-/// cached for all later rungs of the ladder. GPU-placed builds model
-/// their device allocation (spilling on injected OOM); a build that
-/// cannot obtain any device placement is re-placed on the CPU without
-/// discarding the functional table.
-Result<std::vector<DimensionTable>> RunBuildPipelines(
+using TableHandles = std::vector<std::shared_ptr<const DimensionTable>>;
+
+/// Build stage: every build pipeline runs exactly once per query and its
+/// table is cached for all later rungs of the ladder. With a process-wide
+/// BuildCache in the options, builds are further deduplicated *across*
+/// queries: a cache hit reuses a sibling query's table (reported as
+/// dim_tables_reused), a miss builds through the cache's single-flight
+/// slot. GPU-placed builds model their device allocation (spilling on
+/// injected OOM); a build that cannot obtain any device placement is
+/// re-placed on the CPU without discarding the functional table.
+Result<TableHandles> RunBuildPipelines(
     const PhysicalPlan& plan, const engine::ExecOptions& options,
     engine::ExecReport* report, std::vector<std::string>* reasons) {
-  std::vector<DimensionTable> tables;
+  TableHandles tables;
   tables.reserve(plan.builds.size());
   for (std::size_t i = 0; i < plan.builds.size(); ++i) {
     const BuildPipeline& build = plan.builds[i];
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      return options.cancel->ToStatus();
+    }
     PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.build",
                     static_cast<double>(build.join_index),
                     static_cast<double>(build.keys.rows));
     const auto start = Clock::now();
-    Result<DimensionTable> table = DimensionTable::Build(build);
-    PUMP_RETURN_NOT_OK(table.status());
-    tables.push_back(std::move(table).value());
-    ++report->dim_tables_built;
-    Counters().dim_tables_built.Add();
+    bool cache_hit = false;
+    std::shared_ptr<const DimensionTable> table;
+    if (options.build_cache != nullptr) {
+      PUMP_ASSIGN_OR_RETURN(
+          table, options.build_cache->GetOrBuild(build, &cache_hit));
+    } else {
+      Result<DimensionTable> built = DimensionTable::Build(build);
+      PUMP_RETURN_NOT_OK(built.status());
+      table =
+          std::make_shared<const DimensionTable>(std::move(built).value());
+    }
+    tables.push_back(std::move(table));
+    if (cache_hit) {
+      ++report->dim_tables_reused;
+      Counters().dim_tables_reused.Add();
+    } else {
+      ++report->dim_tables_built;
+      Counters().dim_tables_built.Add();
+    }
     Counters().build_pipelines.Add();
     ChargePipelineTime(&report->pipelines[i], SecondsSince(start));
   }
@@ -183,11 +209,12 @@ Result<std::vector<DimensionTable>> RunBuildPipelines(
 }
 
 /// CPU probe pipeline: morsel-parallel with hierarchical work stealing,
-/// identical to the reference executor's host plan.
+/// identical to the reference executor's host plan. Workers poll the
+/// cancel token before every morsel claim, so a cancelled query stops
+/// within one morsel per worker and the call returns the token's status.
 Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
                                         const engine::ExecOptions& options,
-                                        const std::vector<DimensionTable>&
-                                            tables) {
+                                        const TableHandles& tables) {
   const engine::Table& fact = *plan.query->fact;
   auto source = [&fact](const std::string& name)
       -> Result<const std::int64_t*> {
@@ -197,6 +224,7 @@ Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
   PUMP_ASSIGN_OR_RETURN(BoundProbe bound, BindProbe(plan, tables, source));
 
   const std::size_t workers = std::max<std::size_t>(1, options.workers);
+  const CancelToken* cancel = options.cancel;
   exec::WorkStealingDispatcher dispatcher(fact.rows(),
                                           options.morsel_tuples, workers);
   std::atomic<std::uint64_t> total_rows{0};
@@ -208,7 +236,12 @@ Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
     std::uint64_t rows = 0;
     std::int64_t sum = 0;
     std::uint64_t claimed = 0;
-    while (auto morsel = dispatcher.Next(w)) {
+    // Cancel poll precedes the claim: a worker observing the token fired
+    // exits without touching the dispatcher, so an already-expired query
+    // claims zero morsels and a mid-flight one at most one per worker.
+    while (!(cancel != nullptr && cancel->Cancelled())) {
+      auto morsel = dispatcher.Next(w);
+      if (!morsel) break;
       PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "morsel",
                       static_cast<double>(morsel->begin),
                       static_cast<double>(morsel->size()));
@@ -220,6 +253,7 @@ Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
     total_rows.fetch_add(rows, std::memory_order_relaxed);
     total_sum.fetch_add(sum, std::memory_order_relaxed);
   });
+  if (cancel != nullptr) PUMP_RETURN_NOT_OK(cancel->ToStatus());
   return engine::QueryResult{total_rows.load(), total_sum.load()};
 }
 
@@ -230,7 +264,7 @@ Result<engine::QueryResult> RunProbeCpu(const PhysicalPlan& plan,
 /// the caller re-places on the CPU.
 Status RunProbeGpu(const PhysicalPlan& plan,
                    const engine::ExecOptions& options,
-                   const std::vector<DimensionTable>& tables,
+                   const TableHandles& tables,
                    engine::ExecReport* report,
                    std::vector<std::string>* reasons) {
   const engine::Table& fact = *plan.query->fact;
@@ -246,6 +280,9 @@ Status RunProbeGpu(const PhysicalPlan& plan,
   std::vector<memory::Buffer> device_columns;
   auto source = [&](const std::string& name)
       -> Result<const std::int64_t*> {
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      return options.cancel->ToStatus();
+    }
     PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(name));
     const std::uint64_t bytes = column->size() * sizeof(std::int64_t);
     if (bytes == 0) return static_cast<const std::int64_t*>(nullptr);
@@ -270,13 +307,22 @@ Status RunProbeGpu(const PhysicalPlan& plan,
 
   std::atomic<std::uint64_t> total_rows{0};
   std::atomic<std::int64_t> total_sum{0};
+  const std::size_t slice_tuples =
+      std::max<std::size_t>(1, options.morsel_tuples);
   auto work = [&](std::size_t begin, std::size_t end) {
     PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "morsel",
                     static_cast<double>(begin),
                     static_cast<double>(end - begin));
     std::uint64_t range_rows = 0;
     std::int64_t range_sum = 0;
-    ProcessRange(bound, begin, end, &range_rows, &range_sum);
+    // A GPU batch spans many morsels; slice it so cancellation is still
+    // observed at morsel granularity inside a claimed batch.
+    for (std::size_t slice = begin; slice < end;) {
+      if (options.cancel != nullptr && options.cancel->Cancelled()) break;
+      const std::size_t slice_end = std::min(slice + slice_tuples, end);
+      ProcessRange(bound, slice, slice_end, &range_rows, &range_sum);
+      slice = slice_end;
+    }
     total_rows.fetch_add(range_rows, std::memory_order_relaxed);
     total_sum.fetch_add(range_sum, std::memory_order_relaxed);
   };
@@ -287,7 +333,8 @@ Status RunProbeGpu(const PhysicalPlan& plan,
   }
   groups.push_back({"GPU", 1, exec::kDefaultGpuBatchMorsels, work});
   const std::vector<exec::GroupStats> group_stats = exec::RunHeterogeneous(
-      rows, options.morsel_tuples, std::move(groups), options.injector);
+      rows, options.morsel_tuples, std::move(groups), options.injector,
+      options.cancel);
 
   std::size_t processed = 0;
   for (const exec::GroupStats& group : group_stats) {
@@ -297,6 +344,9 @@ Status RunProbeGpu(const PhysicalPlan& plan,
       reasons->push_back("processor group '" + group.name +
                          "' stalled; its morsels failed over");
     }
+  }
+  if (options.cancel != nullptr && options.cancel->Cancelled()) {
+    return options.cancel->ToStatus();
   }
   if (processed != rows) {
     return Status::Unavailable(
@@ -314,6 +364,9 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
   if (plan.query == nullptr || plan.query->fact == nullptr) {
     return Status::InvalidArgument("plan has no compiled query");
   }
+  if (options.cancel != nullptr) {
+    PUMP_RETURN_NOT_OK(options.cancel->ToStatus());
+  }
   PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "plan.execute",
                   static_cast<double>(plan.builds.size()),
                   static_cast<double>(plan.shape.fact_rows));
@@ -323,9 +376,8 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
   std::vector<std::string> reasons;
 
   // Build stage (cached across the whole ladder).
-  PUMP_ASSIGN_OR_RETURN(
-      const std::vector<DimensionTable> tables,
-      RunBuildPipelines(plan, options, &report, &reasons));
+  PUMP_ASSIGN_OR_RETURN(const TableHandles tables,
+                        RunBuildPipelines(plan, options, &report, &reasons));
 
   // Probe stage, per-pipeline ladder.
   Counters().probe_pipelines.Add();
@@ -343,6 +395,12 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
       report.used_gpu = true;
       FinishReasons(reasons, &report);
       return report;
+    }
+    // A cancelled/deadline-expired query is not a fault: it must NOT
+    // descend the ladder (the CPU re-placement would burn the very
+    // workers cancellation is supposed to release).
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      return options.cancel->ToStatus();
     }
     // Rung 3, scoped to this pipeline: re-place the probe on the CPU,
     // reusing every cached build instead of rebuilding (the old fused

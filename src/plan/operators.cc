@@ -44,9 +44,10 @@ Result<DimensionTable> DimensionTable::Build(const BuildPipeline& build) {
   return table;
 }
 
-Result<BoundProbe> BindProbe(const PhysicalPlan& plan,
-                             const std::vector<DimensionTable>& tables,
-                             const ColumnSource& source) {
+Result<BoundProbe> BindProbe(
+    const PhysicalPlan& plan,
+    const std::vector<std::shared_ptr<const DimensionTable>>& tables,
+    const ColumnSource& source) {
   BoundProbe bound;
   // Fixed binding order (measure, filters, probe keys): for GPU
   // placements the source stages columns, and this order keeps the
@@ -71,7 +72,7 @@ Result<BoundProbe> BindProbe(const PhysicalPlan& plan,
     }
     BoundProbeStep step;
     PUMP_ASSIGN_OR_RETURN(step.keys, source(op.column));
-    step.table = &tables[op.build_index];
+    step.table = tables[op.build_index].get();
     bound.probes.push_back(step);
   }
   return bound;

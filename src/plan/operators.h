@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,10 +85,13 @@ using ColumnSource =
 /// Resolves `plan`'s probe pipeline against `tables` (one per build
 /// pipeline, in order) and `source`. Columns are resolved in the fixed
 /// order measure, filters, probe keys, so GPU staging traffic matches
-/// the reference executor chunk for chunk.
-Result<BoundProbe> BindProbe(const PhysicalPlan& plan,
-                             const std::vector<DimensionTable>& tables,
-                             const ColumnSource& source);
+/// the reference executor chunk for chunk. Tables are shared handles so
+/// a probe can reference cache-resident builds owned jointly with other
+/// queries (plan/build_cache.h); the bound pipeline keeps them alive.
+Result<BoundProbe> BindProbe(
+    const PhysicalPlan& plan,
+    const std::vector<std::shared_ptr<const DimensionTable>>& tables,
+    const ColumnSource& source);
 
 /// Executes the bound pipeline over fact tuples [begin, end): filter
 /// operators in order with early exit, semi-join probes in order, then

@@ -116,8 +116,14 @@ struct PhysicalPlan {
   QueryShape shape;
   std::vector<BuildPipeline> builds;
   ProbePipeline probe;
-  /// Human-readable placement rationale (cost-model policy only).
+  /// Human-readable placement rationale (cost-model policy, or the
+  /// saturation note below).
   std::string rationale;
+  /// True when a GPU-requesting policy was forced onto the CPU because
+  /// concurrent queries saturated the effective GPU budget
+  /// (CompileOptions::gpu_budget_in_use_bytes) — the serving layer's
+  /// graceful-degradation signal.
+  bool forced_cpu_by_pressure = false;
 
   /// True when any pipeline carries a GPU-side placement.
   bool UsesGpu() const {

@@ -1,0 +1,295 @@
+#include "server/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/executor.h"
+
+namespace pump::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+struct ServerMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& shed;
+  obs::Counter& cancelled;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& degraded_to_cpu;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Histogram& queue_depth;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& query_latency_us;
+};
+
+ServerMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Instance();
+  static ServerMetrics metrics{
+      registry.GetCounter("server.submitted"),
+      registry.GetCounter("server.admitted"),
+      registry.GetCounter("server.shed"),
+      registry.GetCounter("server.cancelled"),
+      registry.GetCounter("server.deadline_exceeded"),
+      registry.GetCounter("server.degraded_to_cpu"),
+      registry.GetCounter("server.completed"),
+      registry.GetCounter("server.failed"),
+      registry.GetHistogram("server.queue_depth"),
+      registry.GetHistogram("server.queue_wait_us"),
+      registry.GetHistogram("server.query_latency_us")};
+  return metrics;
+}
+
+}  // namespace
+
+QueryState QueryHandle::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const Result<engine::ExecReport>& QueryHandle::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return state_ == QueryState::kDone; });
+  return result_;
+}
+
+void QueryHandle::MarkRunning() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = QueryState::kRunning;
+}
+
+void QueryHandle::Resolve(Result<engine::ExecReport> result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    state_ = QueryState::kDone;
+  }
+  cv_.notify_all();
+}
+
+/// One admitted query: the engine owns a copy of the query struct (so
+/// the plan's internal pointer stays valid whatever the caller does with
+/// its copy) plus the plan compiled against it under admission-time
+/// GPU pressure.
+struct QueryEngine::Task {
+  std::shared_ptr<QueryHandle> handle;
+  engine::Query query;
+  plan::PhysicalPlan plan;
+  SubmitOptions options;
+  std::uint64_t footprint_bytes = 0;
+  Clock::time_point submitted_at;
+};
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity_bytes) {
+  const std::size_t threads =
+      std::max<std::size_t>(1, options_.session_threads);
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { SchedulerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
+    const engine::Query& query, const SubmitOptions& options) {
+  Metrics().submitted.Add();
+  auto task = std::make_unique<Task>();
+  task->query = query;
+  task->options = options;
+  task->submitted_at = Clock::now();
+
+  std::shared_ptr<QueryHandle> handle;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (shutdown_) {
+      return Status::Unavailable("query engine is shutting down");
+    }
+    if (options_.injector != nullptr) {
+      Status admission =
+          options_.injector->Check(fault::kServerAdmission, options.tag);
+      if (!admission.ok()) {
+        ++stats_.shed;
+        Metrics().shed.Add();
+        return admission;
+      }
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.shed;
+      Metrics().shed.Add();
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "server.shed",
+                         static_cast<double>(queue_.size()));
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.queue_capacity) + " queued); query shed");
+    }
+
+    // Compile under the admission lock so the in-flight GPU pressure the
+    // plan sees is exactly the pressure its own footprint will join.
+    plan::CompileOptions compile_options;
+    compile_options.policy = options_.policy;
+    compile_options.gpu_budget_bytes = options_.gpu_budget_bytes;
+    compile_options.gpu_budget_in_use_bytes = gpu_inflight_bytes_;
+    Result<plan::PhysicalPlan> compiled =
+        plan::Compile(task->query, compile_options);
+    if (!compiled.ok()) {
+      ++stats_.compile_rejected;
+      return compiled.status();
+    }
+    task->plan = std::move(compiled).value();
+    if (task->plan.forced_cpu_by_pressure) {
+      ++stats_.degraded_to_cpu;
+      Metrics().degraded_to_cpu.Add();
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "server.degrade",
+                         static_cast<double>(gpu_inflight_bytes_));
+    }
+    task->footprint_bytes = plan::EstimatedGpuFootprintBytes(task->plan);
+    gpu_inflight_bytes_ += task->footprint_bytes;
+
+    handle = std::shared_ptr<QueryHandle>(new QueryHandle(next_id_++));
+    if (options.deadline_s > 0.0) {
+      handle->token_.SetDeadlineAfter(options.deadline_s);
+    }
+    task->handle = handle;
+    ++stats_.admitted;
+    Metrics().admitted.Add();
+    queue_.push_back(std::move(task));
+    Metrics().queue_depth.Record(queue_.size());
+  }
+  queue_cv_.notify_one();
+  return handle;
+}
+
+void QueryEngine::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void QueryEngine::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    // Draining beats pausing: a paused engine that shuts down must still
+    // resolve every queued handle.
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.gpu_inflight_bytes = gpu_inflight_bytes_;
+  return snapshot;
+}
+
+void QueryEngine::SchedulerLoop() {
+  for (;;) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.running;
+    }
+    RunTask(std::move(task));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --stats_.running;
+    }
+  }
+}
+
+void QueryEngine::RunTask(std::unique_ptr<Task> task) {
+  QueryHandle& handle = *task->handle;
+  handle.MarkRunning();
+  Metrics().queue_wait_us.Record(MicrosSince(task->submitted_at));
+
+  // Deterministic cancellation pressure: the engine injector may cancel
+  // the query here exactly as a client calling handle.Cancel() would.
+  if (options_.injector != nullptr &&
+      !options_.injector->Check(fault::kServerCancel, task->options.tag)
+           .ok()) {
+    handle.token_.Cancel();
+  }
+
+  engine::ExecOptions exec;
+  exec.workers = task->options.workers;
+  exec.gpu_plan = task->plan.UsesGpu();
+  exec.injector = task->options.injector != nullptr
+                      ? task->options.injector
+                      : options_.injector;
+  // Decorrelate concurrent retry streams: identical base policies would
+  // otherwise back off in lockstep (see RetryPolicy::Salted).
+  exec.retry = options_.retry.Salted(handle.id());
+  exec.morsel_tuples = task->options.morsel_tuples;
+  exec.cancel = &handle.token_;
+  exec.build_cache = &cache_;
+
+  Result<engine::ExecReport> result = plan::ExecutePlan(task->plan, exec);
+  Metrics().query_latency_us.Record(MicrosSince(task->submitted_at));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gpu_inflight_bytes_ -= task->footprint_bytes;
+    if (result.ok()) {
+      ++stats_.completed;
+      Metrics().completed.Add();
+    } else {
+      switch (result.status().code()) {
+        case StatusCode::kCancelled:
+          ++stats_.cancelled;
+          Metrics().cancelled.Add();
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++stats_.deadline_exceeded;
+          Metrics().deadline_exceeded.Add();
+          break;
+        default:
+          // Contained failure: the fault ladder exhausted inside this
+          // query; its handle carries the error, shared state does not.
+          ++stats_.failed;
+          Metrics().failed.Add();
+          break;
+      }
+    }
+  }
+  // Resolve outside the engine lock: a waiter woken by Resolve must
+  // never contend with the scheduler's bookkeeping.
+  handle.Resolve(std::move(result));
+}
+
+}  // namespace pump::server

@@ -1,0 +1,238 @@
+#ifndef PUMP_SERVER_QUERY_ENGINE_H_
+#define PUMP_SERVER_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "exec/morsel.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
+#include "plan/build_cache.h"
+#include "plan/compiler.h"
+#include "plan/plan.h"
+
+namespace pump::server {
+
+/// Lifecycle of a submitted query: admitted into the bounded queue,
+/// picked up by a scheduler thread, resolved. (A shed query never gets a
+/// handle — Submit returns kResourceExhausted instead.)
+enum class QueryState : std::uint8_t { kQueued, kRunning, kDone };
+
+const char* ToString(QueryState state);
+
+/// The client's view of one admitted query. Handles are shared between
+/// the caller and the engine's scheduler; they outlive either side.
+/// Every admitted handle resolves — to a result, kCancelled,
+/// kDeadlineExceeded, or a contained failure — even across engine
+/// shutdown, so a waiting client can never hang forever.
+class QueryHandle {
+ public:
+  QueryHandle(const QueryHandle&) = delete;
+  QueryHandle& operator=(const QueryHandle&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+  /// Requests cooperative cancellation. Idempotent; a query that already
+  /// finished (or whose deadline fired first) is unaffected. A running
+  /// query stops claiming work within one morsel per worker.
+  void Cancel() { token_.Cancel(); }
+
+  QueryState state() const;
+  bool Done() const { return state() == QueryState::kDone; }
+
+  /// Blocks until the query resolves and returns the terminal result.
+  /// The reference stays valid for the handle's lifetime (the result is
+  /// immutable once resolved).
+  const Result<engine::ExecReport>& Wait();
+
+ private:
+  friend class QueryEngine;
+
+  explicit QueryHandle(std::uint64_t id) : id_(id) {}
+
+  void MarkRunning();
+  void Resolve(Result<engine::ExecReport> result);
+
+  const std::uint64_t id_;
+  CancelToken token_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  QueryState state_ = QueryState::kQueued;
+  Result<engine::ExecReport> result_{
+      Status::Internal("query not resolved")};
+};
+
+/// Engine-wide configuration, fixed at construction.
+struct EngineOptions {
+  /// Scheduler threads executing admitted queries. Each runs one query
+  /// at a time through plan::ExecutePlan; the queries share the
+  /// process-wide persistent exec::Executor pool, which serializes their
+  /// fork-join phases — concurrent plans interleave at phase granularity
+  /// rather than oversubscribing the machine.
+  std::size_t session_threads = 2;
+  /// Bound on admitted-but-not-started queries. A Submit that finds the
+  /// queue full is shed with kResourceExhausted — load is rejected at
+  /// the edge, the queue never grows without bound.
+  std::size_t queue_capacity = 8;
+  /// GPU hash-table budget handed to the plan compiler; 0 derives the
+  /// default from the AC922 profile. The modelled footprints of all
+  /// in-flight queries are charged against it: a saturated budget forces
+  /// new plans onto the CPU (graceful degradation) instead of queueing
+  /// behind device memory.
+  std::uint64_t gpu_budget_bytes = 0;
+  /// Capacity of the process-wide dimension-table build cache shared by
+  /// every query (plan/build_cache.h). 0 disables residency.
+  std::uint64_t cache_capacity_bytes = 512ull << 20;
+  /// Placement policy requested for submitted queries.
+  plan::PlacementPolicy policy = plan::PlacementPolicy::kGpuPreferred;
+  /// Engine-level injector probing the `server.admission` failpoint on
+  /// Submit and `server.cancel` before each query starts (scoped by the
+  /// submit tag). Distinct from SubmitOptions::injector, which is
+  /// threaded into the query's own execution.
+  fault::FaultInjector* injector = nullptr;
+  /// Base retry policy. Each query executes under
+  /// `retry.Salted(query id)` so concurrent retry streams are
+  /// decorrelated yet deterministic for a fixed engine history.
+  fault::RetryPolicy retry;
+};
+
+/// Per-query knobs.
+struct SubmitOptions {
+  /// CPU probe workers for this query.
+  std::size_t workers = 2;
+  /// Wall-clock deadline measured from Submit (queue wait counts against
+  /// it, like any SLO). 0 = none. An expired deadline cancels the query
+  /// cooperatively and resolves the handle with kDeadlineExceeded.
+  double deadline_s = 0.0;
+  /// Fault injector for this query's execution (transfer chunks, device
+  /// allocation, scheduler groups, plan pipelines). Null uses the
+  /// engine's injector. Per-query injectors keep one query's fault
+  /// schedule independent of its siblings'.
+  fault::FaultInjector* injector = nullptr;
+  /// Scope string for the engine's server.admission / server.cancel
+  /// failpoint streams (deterministic per-tag schedules).
+  std::string tag;
+  /// Morsel granularity of the probe pipelines.
+  std::size_t morsel_tuples = exec::kDefaultMorselTuples;
+};
+
+/// Point-in-time engine statistics (single-engine scope; the obs
+/// registry carries the process-wide `server.*` mirrors).
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  /// Rejected at admission: queue full or server.admission fired.
+  std::uint64_t shed = 0;
+  /// Rejected synchronously because the query failed to compile
+  /// (invalid shape). Not a shed — the queue had room.
+  std::uint64_t compile_rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  /// Plans forced onto the CPU because in-flight footprints saturated
+  /// the GPU budget.
+  std::uint64_t degraded_to_cpu = 0;
+  std::uint64_t completed = 0;
+  /// Contained failures: the query's fault ladder exhausted, its handle
+  /// resolved with the error, nothing shared was poisoned.
+  std::uint64_t failed = 0;
+  /// Modelled GPU bytes charged by queued + running queries.
+  std::uint64_t gpu_inflight_bytes = 0;
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+};
+
+/// A long-running serving front end over the plan IR: Submit admits a
+/// query into a bounded queue (or sheds it), scheduler threads compile-
+/// time-placed plans through plan::ExecutePlan on the shared persistent
+/// executor, and every admitted query resolves exactly once.
+///
+/// Robustness contract (DESIGN.md Sec. 12):
+///  * Bounded admission — a full queue sheds with kResourceExhausted.
+///  * Graceful degradation — in-flight GPU footprints feed back into
+///    compilation; saturation forces CPU placement, never an unbounded
+///    wait for device memory.
+///  * Cooperative cancellation — Cancel / deadlines stop a running
+///    query within one morsel per worker and release its threads.
+///  * Crash containment — a query whose fault ladder exhausts resolves
+///    its own handle with the error; the executor pool, the shared
+///    build cache and sibling queries are untouched, and completed
+///    siblings return results bit-identical to solo execution.
+///
+/// The fact and dimension tables referenced by a submitted query must
+/// outlive its handle's resolution (the query struct itself is copied).
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits `query` or rejects it: kResourceExhausted when the queue is
+  /// full (shed), the injected status when `server.admission` fires, a
+  /// compile error for an invalid query, kUnavailable after Shutdown.
+  /// On success the returned handle resolves asynchronously.
+  Result<std::shared_ptr<QueryHandle>> Submit(
+      const engine::Query& query, const SubmitOptions& options = {});
+
+  /// Stops the schedulers from starting new queries (running ones
+  /// finish). Tests use Pause/Resume to fill the admission queue
+  /// deterministically. Shutdown overrides a pause so draining cannot
+  /// hang.
+  void Pause();
+  void Resume();
+
+  /// Rejects further submissions, drains every queued query (each still
+  /// resolves — possibly with its deadline or cancellation status) and
+  /// joins the scheduler threads. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  EngineStats stats() const;
+  plan::BuildCache& build_cache() { return cache_; }
+
+ private:
+  struct Task;
+
+  void SchedulerLoop();
+  void RunTask(std::unique_ptr<Task> task);
+
+  const EngineOptions options_;
+  plan::BuildCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Task>> queue_;
+  EngineStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t gpu_inflight_bytes_ = 0;
+  bool paused_ = false;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+inline const char* ToString(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+}  // namespace pump::server
+
+#endif  // PUMP_SERVER_QUERY_ENGINE_H_

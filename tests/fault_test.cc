@@ -186,6 +186,62 @@ TEST(RetryPolicyTest, JitterStaysWithinBandAndReplays) {
   }
 }
 
+TEST(RetryPolicyTest, SaltedIsDeterministicAndDecorrelated) {
+  fault::RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  const auto backoffs = [](const fault::RetryPolicy& p) {
+    Rng rng(p.seed);
+    std::vector<double> out;
+    for (int retry = 1; retry <= 6; ++retry) {
+      out.push_back(p.BackoffSeconds(retry, &rng));
+    }
+    return out;
+  };
+  // Same salt, same stream: a fixed engine seed replays exactly.
+  EXPECT_EQ(backoffs(policy.Salted(7)), backoffs(policy.Salted(7)));
+  // Nearby salts (consecutive query ids) draw independent streams — the
+  // lockstep-retry herd is broken even for ids 1, 2, 3...
+  EXPECT_NE(backoffs(policy.Salted(1)), backoffs(policy.Salted(2)));
+  EXPECT_NE(backoffs(policy.Salted(2)), backoffs(policy.Salted(3)));
+  EXPECT_NE(backoffs(policy), backoffs(policy.Salted(1)));
+}
+
+TEST(RetryPolicyTest, SaltedChangesOnlyTheSeed) {
+  fault::RetryPolicy policy;
+  policy.max_attempts = 7;
+  policy.initial_backoff_s = 3e-6;
+  policy.backoff_multiplier = 1.5;
+  policy.max_backoff_s = 9e-6;
+  policy.jitter = 0.1;
+  policy.seed = 99;
+  const fault::RetryPolicy salted = policy.Salted(5);
+  EXPECT_EQ(salted.max_attempts, policy.max_attempts);
+  EXPECT_DOUBLE_EQ(salted.initial_backoff_s, policy.initial_backoff_s);
+  EXPECT_DOUBLE_EQ(salted.backoff_multiplier, policy.backoff_multiplier);
+  EXPECT_DOUBLE_EQ(salted.max_backoff_s, policy.max_backoff_s);
+  EXPECT_DOUBLE_EQ(salted.jitter, policy.jitter);
+  EXPECT_NE(salted.seed, policy.seed);
+}
+
+TEST(RunWithRetryTest, SharedPolicyRetriesInLockstepUnlessSalted) {
+  // RunWithRetry seeds its jitter stream fresh from policy.seed each
+  // invocation: two queries sharing one policy charge *identical*
+  // backoff (the herd). Salting by query id decorrelates them.
+  fault::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  const auto total_backoff = [](const fault::RetryPolicy& p) {
+    fault::RetryStats stats;
+    (void)fault::RunWithRetry(
+        p, [] { return Status::Unavailable("always"); }, &stats);
+    return stats.backoff_s;
+  };
+  EXPECT_DOUBLE_EQ(total_backoff(policy), total_backoff(policy));
+  EXPECT_NE(total_backoff(policy.Salted(1)), total_backoff(policy.Salted(2)));
+}
+
 TEST(RunWithRetryTest, SucceedsAfterTransientFaults) {
   fault::RetryPolicy policy;
   policy.max_attempts = 5;
