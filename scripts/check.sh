@@ -4,7 +4,11 @@
 #   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
 #   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
 #      plus the servebench --quick --soak fault sweep (concurrent
-#      queries, poison, deadlines, cancels; zero hung/lost queries)
+#      queries, poison, deadlines, cancels; zero hung/lost queries),
+#      the deterministic concurrency verifier (build-verify,
+#      PUMP_VERIFY=ON: verify_test + verifydump --quick with a >= 1000
+#      schedule floor, 100% mutant kills, acyclic lock order), and the
+#      shim lint (no raw std:: primitives in verifier-migrated files)
 #   4. micro_parallel + micro_engine --quick smoke runs (probe pipeline
 #      and fused-vs-plan-IR self-checks)
 #   5. modelcheck: both testbed profiles must pass, the broken fixture
@@ -71,12 +75,74 @@ configure_and_test build-tsan "thread" \
 say "servebench soak smoke (TSan, --quick): zero hung/lost queries"
 ./build-tsan/tools/servebench --quick --soak
 
+# 3c. Deterministic concurrency verifier (PUMP_VERIFY=ON): the explorer
+#     tests, then verifydump --quick. verifydump exits non-zero when any
+#     model fails, any seeded mutant survives, or the lock-order graph
+#     has a cycle; the python gate additionally enforces the schedule
+#     floor so a silently shrunken suite cannot pass.
+say "configure build-verify (PUMP_VERIFY=ON)"
+cmake -B build-verify -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPUMP_VERIFY=ON >/dev/null
+say "build build-verify"
+cmake --build build-verify -j "$JOBS"
+say "test build-verify (verify_test: explorer, replay, lock order)"
+ctest --test-dir build-verify --output-on-failure -R "verify_test"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+say "verifydump --quick: models clean, 100% mutant kills, acyclic locks"
+./build-verify/tools/verifydump --quick > "$TMP_DIR/verify.json"
+python3 - "$TMP_DIR/verify.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["verify"], "verifydump was built without PUMP_VERIFY"
+assert report["clean_pass"], "a clean model run failed"
+assert report["schedules_explored"] >= 1000, (
+    f"explored only {report['schedules_explored']} distinct schedules; "
+    "the quick lane must cover >= 1000")
+assert report["mutants_total"] >= 7, report["mutants_total"]
+assert report["mutants_killed"] == report["mutants_total"], (
+    "surviving mutants: " + ", ".join(
+        m["mutation"] for m in report["mutants"] if not m["killed"]))
+assert report["lock_order"]["acyclic"], report["lock_order"]
+print(f"{report['schedules_explored']} schedules explored, "
+      f"{report['mutants_killed']}/{report['mutants_total']} mutants "
+      f"killed, lock order acyclic over "
+      f"{len(report['lock_order']['nodes'])} classes")
+PY
+
+# 3d. Shim lint: the migrated structures must declare their concurrency
+#     primitives through the verify:: shims; a raw std:: primitive there
+#     is invisible to the model checker. Deliberate exceptions carry a
+#     `verify-exempt` comment on the same line.
+say "verify shim lint (raw std:: primitives in migrated files)"
+MIGRATED_FILES=(
+  src/plan/build_cache.h src/plan/build_cache.cc
+  src/common/cancel.h
+  src/server/query_engine.h src/server/query_engine.cc
+  src/exec/morsel.h
+  src/exec/work_stealing.h
+  src/obs/trace.h src/obs/trace.cc
+)
+if grep -nE 'std::(mutex|condition_variable|atomic|thread)\b' \
+     "${MIGRATED_FILES[@]}" |
+   grep -vE 'verify-exempt' |
+   grep -vE '^[^:]+:[0-9]+:\s*(//|/?\*)' ; then
+  echo "FAIL: raw std:: concurrency primitive in a verifier-migrated" \
+       "file (use verify::Mutex/CondVar/Atomic/Thread, or annotate" \
+       "the line with 'verify-exempt' and a reason)" >&2
+  exit 1
+fi
+echo "migrated files use verify:: shims only"
+
 # 4. Executor/dispatcher/probe micro bench smoke run (Release, shrunken
 #    sizes): the bench self-checks that the probe variants agree and
 #    exercises the persistent executor end to end. micro_engine likewise
 #    self-checks that the fused path and the plan IR agree bit for bit.
-TMP_DIR="$(mktemp -d)"
-trap 'rm -rf "$TMP_DIR"' EXIT
 
 say "micro_parallel smoke run (--quick)"
 ./build-release/bench/micro_parallel --quick >/dev/null

@@ -6,7 +6,10 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/happens_before.h"
 #include "common/status.h"
+#include "verify/mutation.h"
+#include "verify/sync.h"
 
 namespace pump {
 
@@ -70,6 +73,11 @@ class CancelToken {
   /// OK while live; the latched terminal status once cancelled.
   Status ToStatus() const {
     if (!Cancelled()) return Status::OK();
+    // Cancel-latch -> observe edge: a terminal status can only be
+    // reported after some thread's latch event (debug builds only).
+    PUMP_HB_ASSERT(hb_latched_.Load() >= 1,
+                   "terminal cancellation status observed before any "
+                   "latch event");
     return state_.load(std::memory_order_acquire) == kDeadlineExpired
                ? Status::DeadlineExceeded("query deadline expired")
                : Status::Cancelled("query cancelled by caller");
@@ -81,13 +89,27 @@ class CancelToken {
       std::numeric_limits<std::int64_t>::max();
 
   void Latch(State cause) {
+    if (PUMP_VERIFY_MUTATE("common.cancel.latch_blind_store")) {
+      // Seeded bug: a blind store instead of the latch CAS lets a
+      // deadline expiry overwrite an earlier user cancel — the terminal
+      // cause changes after it was observed.
+      state_.store(cause, std::memory_order_release);
+      hb_latched_.Bump();
+      return;
+    }
     State expected = kLive;
-    state_.compare_exchange_strong(expected, cause,
-                                   std::memory_order_acq_rel);
+    if (state_.compare_exchange_strong(expected, cause,
+                                       std::memory_order_acq_rel)) {
+      hb_latched_.Bump();
+    }
   }
 
-  std::atomic<State> state_{kLive};
-  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  // verify::Atomic = std::atomic in normal builds; under PUMP_VERIFY the
+  // model checker owns the interleaving of latch and observation.
+  verify::Atomic<State> state_{kLive};
+  verify::Atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  /// Happens-before ledger of the latch edge (debug builds only).
+  hb::EpochCounter hb_latched_;
 };
 
 }  // namespace pump

@@ -8,6 +8,8 @@
 #include <optional>
 
 #include "common/happens_before.h"
+#include "verify/mutation.h"
+#include "verify/sync.h"
 
 namespace pump::exec {
 
@@ -75,7 +77,12 @@ class MorselDispatcher {
     // it toward overflow, and the cursor is exactly the dispatched count.
     std::size_t begin = cursor_.load(std::memory_order_relaxed);
     while (begin < total_) {
-      const std::size_t end = std::min(begin + tuples, total_);
+      // Seeded bug (verify builds, armed only): an unsaturated claim
+      // hands out tuples past `total_` — the coverage invariant of the
+      // dispatcher models catches the overrun.
+      const std::size_t end = PUMP_VERIFY_MUTATE("exec.morsel.unsaturated_claim")
+                                  ? begin + tuples
+                                  : std::min(begin + tuples, total_);
       if (cursor_.compare_exchange_weak(begin, end,
                                         std::memory_order_relaxed)) {
         PUMP_HB_ASSERT(drains_before == 0,
@@ -92,7 +99,9 @@ class MorselDispatcher {
 
   std::size_t total_;
   std::size_t morsel_tuples_;
-  std::atomic<std::size_t> cursor_{0};
+  // verify::Atomic = std::atomic in normal builds; under PUMP_VERIFY the
+  // model checker explores every interleaving of the claim CAS loop.
+  verify::Atomic<std::size_t> cursor_{0};
   hb::EpochCounter hb_claims_;
   hb::EpochCounter hb_drains_;
 };

@@ -12,6 +12,8 @@
 #include "common/happens_before.h"
 #include "exec/morsel.h"
 #include "obs/metrics.h"
+#include "verify/mutation.h"
+#include "verify/sync.h"
 
 namespace pump::exec {
 
@@ -152,11 +154,11 @@ class WorkStealingDispatcher {
 
  private:
   struct alignas(64) ChunkCursor {
-    std::atomic<std::size_t> cursor{0};
+    verify::Atomic<std::size_t> cursor{0};
   };
   struct alignas(64) LocalState {
-    std::atomic<std::size_t> chunk{kNoChunk};
-    std::atomic<std::uint64_t> steals{0};
+    verify::Atomic<std::size_t> chunk{kNoChunk};
+    verify::Atomic<std::uint64_t> steals{0};
   };
 
   std::size_t ChunkBegin(std::size_t chunk) const {
@@ -168,10 +170,26 @@ class WorkStealingDispatcher {
 
   /// Saturating CAS claim of one morsel from `chunk`'s private cursor;
   /// identical discipline to MorselDispatcher::Claim.
+  ///
+  /// Memory-order audit (model-checked by the exec.ws verifier model):
+  /// the initial read is `acquire` so a thief that found this chunk via
+  /// the victim's `chunk` slot starts from a cursor value no older than
+  /// the slot publication — a plain relaxed read could otherwise start
+  /// the CAS loop from a stale pre-publication 0 on weakly-ordered
+  /// hardware. The CAS itself may stay `relaxed`: claim correctness
+  /// needs only RMW atomicity (each cursor value is won by exactly one
+  /// thread), and the morsel *bounds* derive from the chunk index alone
+  /// (immutable arithmetic on `chunk_tuples_`/`total_`), so no claimed
+  /// range ever depends on data ordered by the cursor write.
   std::optional<Morsel> ClaimFrom(std::size_t chunk) {
-    std::atomic<std::size_t>& cursor = cursors_[chunk].cursor;
-    const std::size_t end = ChunkEnd(chunk);
-    std::size_t begin = cursor.load(std::memory_order_relaxed);
+    verify::Atomic<std::size_t>& cursor = cursors_[chunk].cursor;
+    // Seeded bug (verify builds, armed only): the tail chunk's end is
+    // not clamped to `total_`, so its claims overrun the input — the
+    // dispatcher models' coverage invariant catches it.
+    const std::size_t end = PUMP_VERIFY_MUTATE("exec.ws.tail_overrun")
+                                ? ChunkBegin(chunk) + chunk_tuples_
+                                : ChunkEnd(chunk);
+    std::size_t begin = cursor.load(std::memory_order_acquire);
     while (begin < end) {
       const std::size_t next = std::min(begin + morsel_tuples_, end);
       if (cursor.compare_exchange_weak(begin, next,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "bench_support/json_writer.h"
+#include "verify/mutation.h"
 
 namespace pump::obs {
 
@@ -66,8 +67,21 @@ const char* ToString(TraceCategory category) {
   return "?";
 }
 
+namespace {
+std::uint64_t NextRecorderId() {
+  // verify-exempt: process-wide id generator, shared across model and
+  // non-model threads; deliberately not model state (ids never branch
+  // model behaviour, so determinism and replay are unaffected).
+  static std::atomic<std::uint64_t> next{1};  // verify-exempt
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 TraceRecorder::TraceRecorder(std::size_t ring_capacity)
-    : ring_capacity_(std::max<std::size_t>(16, ring_capacity)) {}
+    : ring_capacity_(std::max<std::size_t>(16, ring_capacity)),
+      recorder_id_(NextRecorderId()) {
+  verify::NamedMutex(&mutex_, "obs.trace.registry");
+}
 
 TraceRecorder& TraceRecorder::Instance() {
   // Intentionally leaked: spans can fire from pool threads during static
@@ -78,18 +92,26 @@ TraceRecorder& TraceRecorder::Instance() {
 }
 
 TraceRecorder::Ring* TraceRecorder::ThreadRing() {
-  // One ring per (thread, recorder-lifetime): registered once, never
-  // deallocated (Clear only rewinds cursors), so the cached pointer stays
-  // valid for detached pool threads that outlive individual queries.
-  thread_local Ring* ring = nullptr;
-  if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  // One ring per (thread, recorder): registered once, never deallocated
+  // (Clear only rewinds cursors), so the cached pointer stays valid for
+  // detached pool threads that outlive individual queries. The cache is
+  // validated against the recorder id, not the pointer — a short-lived
+  // recorder (model runs, tests) could otherwise recycle the address of
+  // a destroyed one and hand this thread a dangling ring.
+  struct Cache {
+    std::uint64_t recorder_id = 0;
+    Ring* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.ring == nullptr || cache.recorder_id != recorder_id_) {
+    std::lock_guard<verify::Mutex> lock(mutex_);
     rings_.push_back(std::make_unique<Ring>());
-    ring = rings_.back().get();
-    ring->tid = static_cast<std::uint32_t>(rings_.size());
-    ring->slots.resize(ring_capacity_);
+    cache.ring = rings_.back().get();
+    cache.recorder_id = recorder_id_;
+    cache.ring->tid = static_cast<std::uint32_t>(rings_.size());
+    cache.ring->slots.resize(ring_capacity_);
   }
-  return ring;
+  return cache.ring;
 }
 
 void TraceRecorder::Record(TraceCategory category, const char* name,
@@ -98,6 +120,12 @@ void TraceRecorder::Record(TraceCategory category, const char* name,
   Ring* ring = ThreadRing();
   const std::uint64_t count = ring->count.load(std::memory_order_relaxed);
   TraceEvent& slot = ring->slots[count % ring_capacity_];
+  if (PUMP_VERIFY_MUTATE("obs.trace.count_before_slot")) {
+    // Seeded bug: the count is published before the slot is written, so
+    // a reader that trusts the count can observe an uninitialized slot —
+    // the trace model's snapshot invariant catches the torn window.
+    ring->count.store(count + 1, std::memory_order_release);
+  }
   slot.ts_ns = NowNs();
   slot.name = name;
   slot.arg0 = arg0;
@@ -105,24 +133,25 @@ void TraceRecorder::Record(TraceCategory category, const char* name,
   slot.category = category;
   slot.phase = phase;
   slot.has_args = has_args;
+  if (PUMP_VERIFY_MUTATE("obs.trace.count_before_slot")) return;
   // Publish: a quiescent reader that acquires `count` sees the slot write.
   ring->count.store(count + 1, std::memory_order_release);
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   for (const std::unique_ptr<Ring>& ring : rings_) {
     ring->count.store(0, std::memory_order_release);
   }
 }
 
 std::size_t TraceRecorder::thread_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   return rings_.size();
 }
 
 std::vector<ThreadTrace> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   std::vector<ThreadTrace> traces;
   traces.reserve(rings_.size());
   for (const std::unique_ptr<Ring>& ring : rings_) {

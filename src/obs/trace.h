@@ -5,9 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "verify/sync.h"
 
 /// Compile-time gate of the trace recorder. The build defines
 /// PUMP_TRACE_ENABLED=1 by default (CMake option PUMP_TRACE); with the
@@ -75,6 +76,12 @@ class TraceRecorder {
   /// Events retained per thread before the ring wraps.
   static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 15;
 
+  /// A private recorder with its own (small) rings — model-checker runs
+  /// and tests use this instead of the process-wide instance so
+  /// thousands of explored schedules do not accumulate global rings.
+  /// Capacities below 16 are clamped to 16.
+  explicit TraceRecorder(std::size_t ring_capacity);
+
   /// The process-wide recorder used by the macros.
   static TraceRecorder& Instance();
 
@@ -113,19 +120,24 @@ class TraceRecorder {
  private:
   struct Ring {
     std::uint32_t tid = 0;
-    std::atomic<std::uint64_t> count{0};
+    /// verify::Atomic = std::atomic in normal builds; under PUMP_VERIFY
+    /// the model checker explores the slot-write/count-publish window.
+    verify::Atomic<std::uint64_t> count{0};
     std::vector<TraceEvent> slots;
   };
-
-  explicit TraceRecorder(std::size_t ring_capacity);
 
   Ring* ThreadRing();
 
   const std::size_t ring_capacity_;
-  mutable std::mutex mutex_;
+  /// Distinguishes recorder instances in the per-thread ring cache (a
+  /// new recorder at a recycled address must not inherit stale rings).
+  const std::uint64_t recorder_id_;
+  mutable verify::Mutex mutex_;
   std::vector<std::unique_ptr<Ring>> rings_;
 
-  static inline std::atomic<bool> enabled_{false};
+  // Process-wide toggle shared by model and non-model threads; model
+  // runs never flip it, so it stays a raw atomic on purpose.
+  static inline std::atomic<bool> enabled_{false};  // verify-exempt
 };
 
 /// RAII span: records 'B' at construction and 'E' at destruction on the

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "verify/mutation.h"
 
 namespace pump::plan {
 
@@ -30,7 +31,9 @@ CacheMetrics& Metrics() {
 }  // namespace
 
 BuildCache::BuildCache(std::uint64_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+    : capacity_bytes_(capacity_bytes) {
+  verify::NamedMutex(&mutex_, "plan.cache.mutex");
+}
 
 std::string BuildCache::KeyFor(const BuildPipeline& build) {
   // The dimension pointer plus its row count identifies the source data
@@ -63,7 +66,7 @@ Result<std::shared_ptr<const DimensionTable>> BuildCache::GetOrBuild(
   std::shared_ptr<Flight> flight;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     auto entry_it = entries_.find(key);
     if (entry_it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, entry_it->second.lru_it);
@@ -81,6 +84,7 @@ Result<std::shared_ptr<const DimensionTable>> BuildCache::GetOrBuild(
       Metrics().single_flight_waits.Add();
     } else {
       flight = std::make_shared<Flight>();
+      verify::NamedMutex(&flight->mutex, "plan.cache.flight");
       in_flight_.emplace(key, flight);
       builder = true;
     }
@@ -89,7 +93,7 @@ Result<std::shared_ptr<const DimensionTable>> BuildCache::GetOrBuild(
   if (!builder) {
     // Another query is building this exact table; wait for its result
     // instead of duplicating the work (and the memory).
-    std::unique_lock<std::mutex> lock(flight->mutex);
+    std::unique_lock<verify::Mutex> lock(flight->mutex);
     flight->cv.wait(lock, [&] { return flight->done; });
     return flight->result;
   }
@@ -106,7 +110,7 @@ Result<std::shared_ptr<const DimensionTable>> BuildCache::GetOrBuild(
           : Result<std::shared_ptr<const DimensionTable>>(built.status());
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     if (result.ok()) {
       InsertLocked(key, result.value(), std::max<std::uint64_t>(
                                             1, build.table_bytes));
@@ -115,9 +119,24 @@ Result<std::shared_ptr<const DimensionTable>> BuildCache::GetOrBuild(
     // the error, the next request retries fresh.
     in_flight_.erase(key);
   }
-  {
-    std::lock_guard<std::mutex> lock(flight->mutex);
+  if (PUMP_VERIFY_MUTATE("plan.cache.notify_before_done")) {
+    // Seeded bug: broadcast before publishing the result. A waiter that
+    // decided to block but has not blocked yet misses the only notify —
+    // lost wakeup, reported by the checker as a deadlock.
+    flight->cv.notify_all();
+    std::lock_guard<verify::Mutex> lock(flight->mutex);
     flight->result = result;
+    flight->done = true;
+    return result;
+  }
+  {
+    std::lock_guard<verify::Mutex> lock(flight->mutex);
+    if (!PUMP_VERIFY_MUTATE("plan.cache.drop_failed_result") || result.ok()) {
+      flight->result = result;
+    }
+    // Seeded bug (when the mutation above is armed): `done` broadcasts
+    // without the error, so waiters observe the placeholder status
+    // instead of the builder's failure.
     flight->done = true;
   }
   flight->cv.notify_all();
@@ -151,14 +170,14 @@ void BuildCache::InsertLocked(const std::string& key,
 }
 
 void BuildCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
   resident_bytes_ = 0;
 }
 
 BuildCache::Stats BuildCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   Stats stats = stats_;
   stats.resident_bytes = resident_bytes_;
   stats.entries = entries_.size();

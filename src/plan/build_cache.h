@@ -1,17 +1,16 @@
 #ifndef PUMP_PLAN_BUILD_CACHE_H_
 #define PUMP_PLAN_BUILD_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
 #include "plan/operators.h"
 #include "plan/plan.h"
+#include "verify/sync.h"
 
 namespace pump::plan {
 
@@ -81,9 +80,11 @@ class BuildCache {
   };
   /// One in-flight build: the first requester populates `result` and
   /// broadcasts `done`; waiters block on the condition variable.
+  /// verify:: primitives = plain std:: in normal builds; under
+  /// PUMP_VERIFY the model checker explores the single-flight handoff.
   struct Flight {
-    std::mutex mutex;
-    std::condition_variable cv;
+    verify::Mutex mutex;
+    verify::CondVar cv;
     bool done = false;
     Result<std::shared_ptr<const DimensionTable>> result{
         Status::Internal("build not started")};
@@ -95,7 +96,7 @@ class BuildCache {
                     std::uint64_t bytes);
 
   const std::uint64_t capacity_bytes_;
-  mutable std::mutex mutex_;
+  mutable verify::Mutex mutex_;
   std::map<std::string, Entry> entries_;
   /// LRU order, most recent at the front.
   std::list<std::string> lru_;

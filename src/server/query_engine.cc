@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
+#include "verify/mutation.h"
 
 namespace pump::server {
 
@@ -55,24 +56,34 @@ ServerMetrics& Metrics() {
 }  // namespace
 
 QueryState QueryHandle::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   return state_;
 }
 
 const Result<engine::ExecReport>& QueryHandle::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<verify::Mutex> lock(mutex_);
   cv_.wait(lock, [this] { return state_ == QueryState::kDone; });
   return result_;
 }
 
 void QueryHandle::MarkRunning() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   state_ = QueryState::kRunning;
 }
 
 void QueryHandle::Resolve(Result<engine::ExecReport> result) {
+  if (PUMP_VERIFY_MUTATE("server.handle.notify_before_done")) {
+    // Seeded bug: broadcast before the terminal state is visible. A
+    // client that decided to wait but has not blocked yet misses the
+    // only notify — lost wakeup, reported by the checker as a deadlock.
+    cv_.notify_all();
+    std::lock_guard<verify::Mutex> lock(mutex_);
+    result_ = std::move(result);
+    state_ = QueryState::kDone;
+    return;
+  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     result_ = std::move(result);
     state_ = QueryState::kDone;
   }
@@ -94,6 +105,7 @@ struct QueryEngine::Task {
 
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(std::move(options)), cache_(options_.cache_capacity_bytes) {
+  verify::NamedMutex(&mutex_, "server.engine.mutex");
   const std::size_t threads =
       std::max<std::size_t>(1, options_.session_threads);
   threads_.reserve(threads);
@@ -102,7 +114,17 @@ QueryEngine::QueryEngine(EngineOptions options)
   }
 }
 
-QueryEngine::~QueryEngine() { Shutdown(); }
+QueryEngine::~QueryEngine() {
+  // Under PUMP_VERIFY an aborted model run may deliver RunAborted at any
+  // of Shutdown's sequence points (lock, notify, join); a destructor
+  // must not leak it (noexcept → std::terminate). After the swallow the
+  // raw-mode shims make the remaining member teardown safe, and in
+  // normal builds Shutdown does not throw at all.
+  try {
+    Shutdown();
+  } catch (...) {
+  }
+}
 
 Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
     const engine::Query& query, const SubmitOptions& options) {
@@ -114,7 +136,7 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
 
   std::shared_ptr<QueryHandle> handle;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<verify::Mutex> lock(mutex_);
     ++stats_.submitted;
     if (shutdown_) {
       return Status::Unavailable("query engine is shutting down");
@@ -168,6 +190,7 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
     ++stats_.admitted;
     Metrics().admitted.Add();
     queue_.push_back(std::move(task));
+    hb_admitted_.Bump();
     Metrics().queue_depth.Record(queue_.size());
   }
   queue_cv_.notify_one();
@@ -175,13 +198,13 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
 }
 
 void QueryEngine::Pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   paused_ = true;
 }
 
 void QueryEngine::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     paused_ = false;
   }
   queue_cv_.notify_all();
@@ -189,20 +212,20 @@ void QueryEngine::Resume() {
 
 void QueryEngine::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     shutdown_ = true;
     // Draining beats pausing: a paused engine that shuts down must still
     // resolve every queued handle.
     paused_ = false;
   }
   queue_cv_.notify_all();
-  for (std::thread& thread : threads_) {
+  for (verify::Thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
 }
 
 EngineStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<verify::Mutex> lock(mutex_);
   EngineStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
   snapshot.gpu_inflight_bytes = gpu_inflight_bytes_;
@@ -213,7 +236,7 @@ void QueryEngine::SchedulerLoop() {
   for (;;) {
     std::unique_ptr<Task> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<verify::Mutex> lock(mutex_);
       queue_cv_.wait(lock, [this] {
         return shutdown_ || (!paused_ && !queue_.empty());
       });
@@ -223,11 +246,17 @@ void QueryEngine::SchedulerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      hb_dequeued_.Bump();
+      // Admission enqueue -> scheduler dequeue edge: a dequeue without a
+      // preceding admission means the queue was corrupted (both epochs
+      // bump under mutex_, so the ledger comparison is exact).
+      PUMP_HB_ASSERT(hb_dequeued_.Load() <= hb_admitted_.Load(),
+                     "scheduler dequeued a task that was never admitted");
       ++stats_.running;
     }
     RunTask(std::move(task));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<verify::Mutex> lock(mutex_);
       --stats_.running;
     }
   }
@@ -259,11 +288,14 @@ void QueryEngine::RunTask(std::unique_ptr<Task> task) {
   exec.cancel = &handle.token_;
   exec.build_cache = &cache_;
 
-  Result<engine::ExecReport> result = plan::ExecutePlan(task->plan, exec);
+  Result<engine::ExecReport> result =
+      options_.runner_for_test
+          ? options_.runner_for_test(task->plan, exec)
+          : plan::ExecutePlan(task->plan, exec);
   Metrics().query_latency_us.Record(MicrosSince(task->submitted_at));
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<verify::Mutex> lock(mutex_);
     gpu_inflight_bytes_ -= task->footprint_bytes;
     if (result.ok()) {
       ++stats_.completed;
@@ -289,6 +321,9 @@ void QueryEngine::RunTask(std::unique_ptr<Task> task) {
   }
   // Resolve outside the engine lock: a waiter woken by Resolve must
   // never contend with the scheduler's bookkeeping.
+  hb_resolved_.Bump();
+  PUMP_HB_ASSERT(hb_resolved_.Load() <= hb_dequeued_.Load(),
+                 "scheduler resolved a query it never dequeued");
   handle.Resolve(std::move(result));
 }
 

@@ -1,16 +1,15 @@
 #ifndef PUMP_SERVER_QUERY_ENGINE_H_
 #define PUMP_SERVER_QUERY_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/happens_before.h"
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/query.h"
@@ -20,6 +19,7 @@
 #include "plan/build_cache.h"
 #include "plan/compiler.h"
 #include "plan/plan.h"
+#include "verify/sync.h"
 
 namespace pump::server {
 
@@ -58,15 +58,19 @@ class QueryHandle {
  private:
   friend class QueryEngine;
 
-  explicit QueryHandle(std::uint64_t id) : id_(id) {}
+  explicit QueryHandle(std::uint64_t id) : id_(id) {
+    verify::NamedMutex(&mutex_, "server.handle");
+  }
 
   void MarkRunning();
   void Resolve(Result<engine::ExecReport> result);
 
   const std::uint64_t id_;
   CancelToken token_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  // verify:: primitives = plain std:: in normal builds; under
+  // PUMP_VERIFY the model checker explores the resolve/wait handoff.
+  mutable verify::Mutex mutex_;
+  verify::CondVar cv_;
   QueryState state_ = QueryState::kQueued;
   Result<engine::ExecReport> result_{
       Status::Internal("query not resolved")};
@@ -104,6 +108,14 @@ struct EngineOptions {
   /// `retry.Salted(query id)` so concurrent retry streams are
   /// decorrelated yet deterministic for a fixed engine history.
   fault::RetryPolicy retry;
+  /// Test/model seam: when set, the scheduler calls this instead of
+  /// plan::ExecutePlan. The concurrency-verifier models drive the
+  /// admission queue, budget accounting and handle resolution through a
+  /// stub runner so explored schedules never entangle the process-wide
+  /// persistent executor pool.
+  std::function<Result<engine::ExecReport>(const plan::PhysicalPlan&,
+                                           const engine::ExecOptions&)>
+      runner_for_test;
 };
 
 /// Per-query knobs.
@@ -209,8 +221,8 @@ class QueryEngine {
   const EngineOptions options_;
   plan::BuildCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
+  mutable verify::Mutex mutex_;
+  verify::CondVar queue_cv_;
   std::deque<std::unique_ptr<Task>> queue_;
   EngineStats stats_;
   std::uint64_t next_id_ = 1;
@@ -218,7 +230,15 @@ class QueryEngine {
   bool paused_ = false;
   bool shutdown_ = false;
 
-  std::vector<std::thread> threads_;
+  /// Happens-before ledger of the admission path (debug builds only):
+  /// every dequeue must follow an admission, every resolution a
+  /// dequeue — a scheduler running a task that was never admitted (or
+  /// resolving one it never dequeued) trips the epoch asserts.
+  hb::EpochCounter hb_admitted_;
+  hb::EpochCounter hb_dequeued_;
+  hb::EpochCounter hb_resolved_;
+
+  std::vector<verify::Thread> threads_;
 };
 
 inline const char* ToString(QueryState state) {

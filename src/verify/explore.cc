@@ -1,0 +1,349 @@
+#include "verify/explore.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pump::verify {
+
+std::string ScheduleToString(const std::vector<int>& choices) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out << ".";
+    out << choices[i];
+  }
+  return out.str();
+}
+
+bool ParseSchedule(const std::string& text, std::vector<int>* choices) {
+  choices->clear();
+  if (text.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t dot = text.find('.', pos);
+    const std::string token =
+        text.substr(pos, dot == std::string::npos ? std::string::npos : dot - pos);
+    if (token.empty()) return false;
+    int value = 0;
+    for (const char c : token) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      value = value * 10 + (c - '0');
+    }
+    choices->push_back(value);
+    if (dot == std::string::npos) break;
+    pos = dot + 1;
+  }
+  return true;
+}
+
+}  // namespace pump::verify
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+#include <map>
+#include <random>
+#include <set>
+#include <utility>
+
+namespace pump::verify {
+
+void InvariantFailed(const char* condition, const char* message,
+                     const char* file, int line) {
+  std::ostringstream out;
+  out << "invariant violated: " << message << " [" << condition << " at "
+      << file << ":" << line << "]";
+  Scheduler::ReportInvariantFailure(out.str());
+}
+
+namespace {
+
+bool SameCandidates(const std::vector<SchedulePolicy::Candidate>& a,
+                    const std::vector<SchedulePolicy::Candidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tid != b[i].tid || a[i].op.kind != b[i].op.kind ||
+        a[i].op.object != b[i].op.object ||
+        a[i].op.target_tid != b[i].op.target_tid) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Systematic DFS over the schedule tree via stateless re-execution:
+/// the stack of decision nodes persists across runs; each run replays
+/// the current prefix and extends the deepest node's next untried
+/// branch. Sleep sets (Godefroid-style) prune sibling branches that
+/// only commute independent operations: after exploring candidate c at
+/// a node, c's operation "sleeps" for the node's remaining branches and
+/// for descendants until some dependent operation wakes it.
+class DfsPolicy : public SchedulePolicy {
+ public:
+  int Choose(std::size_t decision_index,
+             const std::vector<Candidate>& candidates) override {
+    if (nondeterminism_) return kPrune;
+    if (decision_index < stack_.size()) {
+      Node& node = stack_[decision_index];
+      if (!SameCandidates(node.candidates, candidates)) {
+        nondeterminism_ = true;
+        nondet_detail_ = "candidate set diverged at decision " +
+                         std::to_string(decision_index) +
+                         " (model has untracked nondeterminism)";
+        return kPrune;
+      }
+      return node.chosen;
+    }
+    Node node;
+    node.candidates = candidates;
+    node.tried.assign(candidates.size(), false);
+    if (!stack_.empty()) {
+      const Node& parent = stack_.back();
+      const Op& parent_op = parent.candidates[static_cast<std::size_t>(parent.chosen)].op;
+      auto inherit = [&](const std::vector<std::pair<int, Op>>& sleepers) {
+        for (const auto& [tid, op] : sleepers) {
+          if (!Dependent(op, parent_op)) node.sleep_in.emplace_back(tid, op);
+        }
+      };
+      inherit(parent.sleep_in);
+      inherit(parent.extra_sleep);
+    }
+    const int pick = node.NextRunnable();
+    if (pick < 0) return kPrune;  // Every enabled op sleeps: redundant state.
+    node.chosen = pick;
+    node.tried[static_cast<std::size_t>(pick)] = true;
+    stack_.push_back(std::move(node));
+    return pick;
+  }
+
+  /// Moves to the next unexplored leaf; false when the tree is done.
+  bool Advance() {
+    if (nondeterminism_) return false;
+    while (!stack_.empty()) {
+      Node& node = stack_.back();
+      const Candidate& done = node.candidates[static_cast<std::size_t>(node.chosen)];
+      node.extra_sleep.emplace_back(done.tid, done.op);
+      const int next = node.NextRunnable();
+      if (next >= 0) {
+        node.chosen = next;
+        node.tried[static_cast<std::size_t>(next)] = true;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  bool nondeterminism() const { return nondeterminism_; }
+  const std::string& nondet_detail() const { return nondet_detail_; }
+
+ private:
+  struct Node {
+    std::vector<Candidate> candidates;
+    std::vector<bool> tried;
+    /// Sleep set inherited from the ancestors at node entry.
+    std::vector<std::pair<int, Op>> sleep_in;
+    /// Operations of already-explored sibling branches at this node.
+    std::vector<std::pair<int, Op>> extra_sleep;
+    int chosen = -1;
+
+    bool Asleep(const Candidate& candidate) const {
+      for (const auto& [tid, op] : sleep_in) {
+        if (tid == candidate.tid) return true;
+      }
+      return false;
+    }
+
+    int NextRunnable() const {
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!tried[i] && !Asleep(candidates[i])) return static_cast<int>(i);
+      }
+      return -1;
+    }
+  };
+
+  std::vector<Node> stack_;
+  bool nondeterminism_ = false;
+  std::string nondet_detail_;
+};
+
+/// PCT-style sampler: threads get random priorities (highest runs);
+/// at d-1 pre-drawn change points the current leader is demoted below
+/// everyone. Fully deterministic per seed.
+class PctPolicy : public SchedulePolicy {
+ public:
+  PctPolicy(std::uint64_t seed, int depth, int horizon) : rng_(seed) {
+    if (horizon < 2) horizon = 2;
+    for (int i = 0; i + 1 < depth; ++i) {
+      change_points_.insert(rng_() % static_cast<std::uint64_t>(horizon));
+    }
+  }
+
+  int Choose(std::size_t decision_index,
+             const std::vector<Candidate>& candidates) override {
+    for (const Candidate& c : candidates) {
+      if (priority_.find(c.tid) == priority_.end()) {
+        // Initial priorities sit above every demotion slot.
+        priority_[c.tid] = (rng_() >> 16) | (std::uint64_t{1} << 48);
+      }
+    }
+    if (change_points_.count(decision_index) != 0) {
+      priority_[Leader(candidates)] = next_demotion_++;
+    }
+    const int leader = Leader(candidates);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].tid == leader) return static_cast<int>(i);
+    }
+    return 0;
+  }
+
+ private:
+  int Leader(const std::vector<Candidate>& candidates) {
+    int best = candidates[0].tid;
+    for (const Candidate& c : candidates) {
+      if (priority_[c.tid] > priority_[best]) best = c.tid;
+    }
+    return best;
+  }
+
+  std::mt19937_64 rng_;
+  std::map<int, std::uint64_t> priority_;
+  std::set<std::uint64_t> change_points_;
+  std::uint64_t next_demotion_ = 0;
+};
+
+/// Follows a fixed choice list; diverging (thread not enabled, run
+/// longer than the schedule) marks an error and prunes.
+class ReplayPolicy : public SchedulePolicy {
+ public:
+  explicit ReplayPolicy(std::vector<int> choices) : choices_(std::move(choices)) {}
+
+  int Choose(std::size_t decision_index,
+             const std::vector<Candidate>& candidates) override {
+    if (decision_index >= choices_.size()) {
+      error_ = "schedule ended before the run did (decision " +
+               std::to_string(decision_index) + ")";
+      return kPrune;
+    }
+    const int want = choices_[decision_index];
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].tid == want) return static_cast<int>(i);
+    }
+    error_ = "thread " + std::to_string(want) +
+             " not enabled at decision " + std::to_string(decision_index);
+    return kPrune;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<int> choices_;
+  std::string error_;
+};
+
+struct Accumulator {
+  ExploreResult* result;
+  std::set<std::string>* distinct;
+
+  void Add(const RunOutcome& run) {
+    result->total_steps += run.steps;
+    if (run.max_lock_depth > result->max_lock_depth) {
+      result->max_lock_depth = run.max_lock_depth;
+    }
+    if (run.threads > result->max_threads) result->max_threads = run.threads;
+    if (run.pruned) {
+      ++result->schedules_pruned;
+    } else {
+      distinct->insert(ScheduleToString(run.choices));
+    }
+  }
+
+  /// Records the first failure (kept even if later runs also fail).
+  void Fail(const RunOutcome& run) {
+    if (result->failed) return;
+    result->failed = true;
+    result->failure = run.failure;
+    result->deadlocked = run.deadlocked;
+    result->failing_schedule = ScheduleToString(run.choices);
+  }
+};
+
+}  // namespace
+
+ExploreResult Explore(const std::function<void()>& body,
+                      const ExploreOptions& options,
+                      LockOrderGraph* lock_order) {
+  ExploreResult result;
+  std::set<std::string> distinct;
+  Accumulator acc{&result, &distinct};
+  RunLimits limits;
+  limits.max_steps = options.max_steps_per_run;
+
+  DfsPolicy dfs;
+  std::uint64_t runs = 0;
+  bool stopped = false;
+  while (runs < options.max_schedules) {
+    const RunOutcome run = Scheduler::Run(dfs, body, limits, lock_order);
+    ++runs;
+    acc.Add(run);
+    if (dfs.nondeterminism()) {
+      result.failed = true;
+      result.failure = dfs.nondet_detail();
+      result.failing_schedule = ScheduleToString(run.choices);
+      stopped = true;
+      break;
+    }
+    if (run.failed) {
+      acc.Fail(run);
+      if (options.stop_on_failure) {
+        stopped = true;
+        break;
+      }
+    }
+    if (!dfs.Advance()) {
+      result.exhausted = true;
+      break;
+    }
+  }
+
+  if (!result.exhausted && !stopped) {
+    for (std::uint64_t s = 0; s < options.sample_schedules; ++s) {
+      PctPolicy pct(options.seed + s, options.pct_depth, options.pct_horizon);
+      const RunOutcome run = Scheduler::Run(pct, body, limits, lock_order);
+      ++result.sampled_runs;
+      acc.Add(run);
+      if (run.failed) {
+        acc.Fail(run);
+        if (options.stop_on_failure) break;
+      }
+    }
+  }
+
+  result.schedules_explored = distinct.size();
+  return result;
+}
+
+RunOutcome Replay(const std::function<void()>& body, const std::string& schedule,
+                  std::uint64_t max_steps, LockOrderGraph* lock_order) {
+  std::vector<int> choices;
+  if (!ParseSchedule(schedule, &choices)) {
+    RunOutcome outcome;
+    outcome.failed = true;
+    outcome.failure = "unparseable schedule string: " + schedule;
+    return outcome;
+  }
+  ReplayPolicy policy(std::move(choices));
+  RunLimits limits;
+  limits.max_steps = max_steps;
+  RunOutcome outcome = Scheduler::Run(policy, body, limits, lock_order);
+  if (outcome.pruned) {
+    outcome.pruned = false;
+    outcome.failed = true;
+    outcome.failure = "replay diverged: " + policy.error();
+  }
+  return outcome;
+}
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY

@@ -1,0 +1,124 @@
+#ifndef PUMP_VERIFY_EXPLORE_H_
+#define PUMP_VERIFY_EXPLORE_H_
+
+// Schedule exploration driver for the concurrency verifier.
+//
+// `Explore` runs a model body repeatedly under the cooperative
+// scheduler (verify/scheduler.h), enumerating interleavings:
+//  1. Systematic DFS over schedule choices, with a sleep-set filter
+//     (partial-order-reduction-lite): a sibling schedule that only
+//     reorders two independent operations is pruned as redundant.
+//  2. If the DFS budget runs out before the tree is exhausted, seeded
+//     PCT-style priority sampling covers additional schedules
+//     probabilistically, still fully deterministic per seed.
+//
+// Every run is reproducible: the schedule IS the list of chosen thread
+// ids, printed as "0.1.1.0.2"; `Replay` re-executes exactly that
+// interleaving. Model bodies must therefore be deterministic apart from
+// scheduling (no wall-clock branching, no rng without a fixed seed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+#include <functional>
+#include <utility>
+
+#include "verify/lock_order.h"
+#include "verify/scheduler.h"
+#endif
+
+// Checks an invariant inside model code or an invariant hook. In a
+// model run a violation fails the current schedule (which makes it
+// replayable); outside any run it aborts the process. Compiles to
+// nothing when PUMP_VERIFY is off.
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+#define VERIFY_INVARIANT(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::pump::verify::InvariantFailed(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                   \
+  } while (0)
+#else
+#define VERIFY_INVARIANT(cond, msg) \
+  do {                              \
+    (void)sizeof((cond));           \
+  } while (0)
+#endif
+
+namespace pump::verify {
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+[[noreturn]] void InvariantFailed(const char* condition, const char* message,
+                                  const char* file, int line);
+
+/// Registers `hook` with the calling thread's active model run; the
+/// scheduler calls it at every sequence point. No-op outside a run.
+inline void RegisterRunInvariant(std::function<void()> hook) {
+  if (Scheduler* s = ActiveSchedulerForThisThread()) {
+    s->RegisterInvariant(std::move(hook));
+  }
+}
+
+struct ExploreOptions {
+  /// Total run budget for the systematic DFS phase (executed + pruned).
+  std::uint64_t max_schedules = 10'000;
+  /// Per-run step bound (livelock guard).
+  std::uint64_t max_steps_per_run = 50'000;
+  /// Additional PCT-sampled runs when DFS did not exhaust the tree.
+  std::uint64_t sample_schedules = 0;
+  /// Seed for the PCT sampler (run s uses seed + s).
+  std::uint64_t seed = 1;
+  /// PCT priority change points per sampled run.
+  int pct_depth = 3;
+  /// Horizon (in decisions) over which change points are drawn.
+  int pct_horizon = 256;
+  bool stop_on_failure = true;
+};
+
+struct ExploreResult {
+  /// Distinct complete (non-pruned) schedules executed.
+  std::uint64_t schedules_explored = 0;
+  /// Runs abandoned by the sleep-set filter as provably redundant.
+  std::uint64_t schedules_pruned = 0;
+  /// PCT-sampled runs executed (subset of runs, may repeat schedules —
+  /// only distinct ones count toward schedules_explored).
+  std::uint64_t sampled_runs = 0;
+  /// DFS enumerated the entire (sleep-set-reduced) schedule tree.
+  bool exhausted = false;
+  bool failed = false;
+  std::string failure;
+  bool deadlocked = false;
+  /// Replay string of the first failing schedule ("" when none).
+  std::string failing_schedule;
+  int max_lock_depth = 0;
+  int max_threads = 0;
+  std::uint64_t total_steps = 0;
+};
+
+/// Explores schedules of `body` (invoked fresh once per run; it must
+/// create, exercise and destroy its own state). Lock acquisitions feed
+/// `lock_order` when non-null.
+ExploreResult Explore(const std::function<void()>& body,
+                      const ExploreOptions& options,
+                      LockOrderGraph* lock_order);
+
+/// Re-executes `body` under the exact schedule `schedule` (a string
+/// produced by ScheduleToString / ExploreResult::failing_schedule).
+RunOutcome Replay(const std::function<void()>& body,
+                  const std::string& schedule,
+                  std::uint64_t max_steps = 50'000,
+                  LockOrderGraph* lock_order = nullptr);
+
+#endif  // PUMP_VERIFY
+
+/// "0.1.1.2" — chosen thread id per decision. Available in all builds
+/// (report plumbing).
+std::string ScheduleToString(const std::vector<int>& choices);
+bool ParseSchedule(const std::string& text, std::vector<int>* choices);
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY_EXPLORE_H_

@@ -1,0 +1,101 @@
+#include "verify/lock_order.h"
+
+#include <sstream>
+
+namespace pump::verify {
+
+void LockOrderGraph::AddClass(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.try_emplace(name);
+}
+
+void LockOrderGraph::AddEdge(const std::string& held,
+                             const std::string& acquired) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_[held].insert(acquired);
+  edges_.try_emplace(acquired);
+}
+
+std::size_t LockOrderGraph::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return edges_.size();
+}
+
+std::size_t LockOrderGraph::edge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [node, outgoing] : edges_) count += outgoing.size();
+  return count;
+}
+
+bool LockOrderGraph::CycleFrom(const std::string& node,
+                               std::map<std::string, int>* color,
+                               std::vector<std::string>* stack,
+                               std::vector<std::string>* cycle) const {
+  (*color)[node] = 1;  // On the current DFS path.
+  stack->push_back(node);
+  auto it = edges_.find(node);
+  if (it != edges_.end()) {
+    for (const std::string& next : it->second) {
+      const int next_color = (*color)[next];
+      if (next_color == 1) {
+        if (cycle != nullptr) {
+          // Report the path from the first occurrence of `next`,
+          // closed back on itself.
+          cycle->clear();
+          bool in_cycle = false;
+          for (const std::string& name : *stack) {
+            if (name == next) in_cycle = true;
+            if (in_cycle) cycle->push_back(name);
+          }
+          cycle->push_back(next);
+        }
+        return true;
+      }
+      if (next_color == 0 && CycleFrom(next, color, stack, cycle)) {
+        return true;
+      }
+    }
+  }
+  stack->pop_back();
+  (*color)[node] = 2;  // Fully explored.
+  return false;
+}
+
+bool LockOrderGraph::HasCycle(std::vector<std::string>* cycle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  for (const auto& [node, outgoing] : edges_) {
+    if (color[node] == 0 && CycleFrom(node, &color, &stack, cycle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string LockOrderGraph::ToJson() const {
+  const bool cyclic = HasCycle();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"nodes\":[";
+  bool first = true;
+  for (const auto& [node, outgoing] : edges_) {
+    if (!first) out << ",";
+    out << "\"" << node << "\"";
+    first = false;
+  }
+  out << "],\"edges\":[";
+  first = true;
+  for (const auto& [node, outgoing] : edges_) {
+    for (const std::string& next : outgoing) {
+      if (!first) out << ",";
+      out << "{\"from\":\"" << node << "\",\"to\":\"" << next << "\"}";
+      first = false;
+    }
+  }
+  out << "],\"acyclic\":" << (cyclic ? "false" : "true") << "}";
+  return out.str();
+}
+
+}  // namespace pump::verify

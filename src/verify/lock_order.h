@@ -1,0 +1,55 @@
+#ifndef PUMP_VERIFY_LOCK_ORDER_H_
+#define PUMP_VERIFY_LOCK_ORDER_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pump::verify {
+
+/// Lock-order graph over lock *classes* (lockdep-style: every
+/// verify::Mutex names a class; instances share a node). The scheduler
+/// records an edge A -> B whenever a thread acquires a class-B mutex
+/// while holding a class-A mutex, accumulated across every explored
+/// schedule of every model. A cycle means two schedules exist whose
+/// acquisition orders oppose each other — deadlock *potential* — and is
+/// reported as a failure even if no explored schedule actually
+/// deadlocked (the explorer's budget may simply not have reached the
+/// losing interleaving).
+///
+/// Thread-safe; compiled in every build (the verifydump report and the
+/// unit tests use it directly).
+class LockOrderGraph {
+ public:
+  /// Ensures `name` appears as a node even if it never nests.
+  void AddClass(const std::string& name);
+
+  /// Records `held` -> `acquired` (deduplicated).
+  void AddEdge(const std::string& held, const std::string& acquired);
+
+  /// True when the directed graph has a cycle; `cycle` (optional)
+  /// receives one offending class sequence, closing back on its first
+  /// element.
+  bool HasCycle(std::vector<std::string>* cycle = nullptr) const;
+
+  std::size_t node_count() const;
+  std::size_t edge_count() const;
+
+  /// {"nodes":[...],"edges":[{"from":..,"to":..}],"acyclic":bool}
+  std::string ToJson() const;
+
+ private:
+  bool CycleFrom(const std::string& node, std::map<std::string, int>* color,
+                 std::vector<std::string>* stack,
+                 std::vector<std::string>* cycle) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY_LOCK_ORDER_H_

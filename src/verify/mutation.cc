@@ -1,0 +1,29 @@
+#include "verify/mutation.h"
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+#include <atomic>
+#include <cstring>
+
+namespace pump::verify {
+
+namespace {
+// One armed mutation at a time: the verifier runs mutant-kill passes
+// serially, and a single slot keeps the check a pointer load on the
+// (model-run-only) fast path.
+std::atomic<const char*> armed{nullptr};
+}  // namespace
+
+void ArmMutation(const char* name) {
+  armed.store(name, std::memory_order_release);
+}
+
+bool MutationArmed(const char* name) {
+  const char* current = armed.load(std::memory_order_acquire);
+  if (current == nullptr || name == nullptr) return false;
+  return current == name || std::strcmp(current, name) == 0;
+}
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY

@@ -1,0 +1,56 @@
+#ifndef PUMP_VERIFY_MUTATION_H_
+#define PUMP_VERIFY_MUTATION_H_
+
+// Seeded-mutant instrumentation for the concurrency verifier.
+//
+// A mutation point marks a line of real synchronization code where a
+// known protocol bug can be re-introduced on demand:
+//
+//   if (PUMP_VERIFY_MUTATE("plan.cache.clear_before_notify")) {
+//     /* the historical/buggy ordering */
+//   } else {
+//     /* the correct protocol */
+//   }
+//
+// The verifier (tools/verifydump, src/verify/models.cc) arms one
+// mutation at a time and requires the schedule explorer to kill it — a
+// checker is only trusted because it demonstrably catches known bugs
+// (the BrokenFixtureProfile discipline of PR 2, applied to schedules).
+//
+// In normal builds the macro is the literal constant `false`, so the
+// mutant branch is dead code the optimizer deletes; the shipped binaries
+// contain only the correct protocol. Under PUMP_VERIFY it consults the
+// process-wide armed-mutation slot (one relaxed pointer load plus a
+// string compare — model-checker speed, not hot-path speed).
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+namespace pump::verify {
+
+/// Arms exactly one mutation (nullptr disarms). The pointer must be a
+/// string literal or otherwise outlive the armed window.
+void ArmMutation(const char* name);
+
+/// True when `name` is the armed mutation.
+bool MutationArmed(const char* name);
+
+/// RAII arm/disarm for one mutant-kill run.
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(const char* name) { ArmMutation(name); }
+  ~ScopedMutation() { ArmMutation(nullptr); }
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+};
+
+}  // namespace pump::verify
+
+#define PUMP_VERIFY_MUTATE(name) (::pump::verify::MutationArmed(name))
+
+#else  // !PUMP_VERIFY
+
+#define PUMP_VERIFY_MUTATE(name) (false)
+
+#endif  // PUMP_VERIFY
+
+#endif  // PUMP_VERIFY_MUTATION_H_

@@ -1,0 +1,571 @@
+#include "verify/scheduler.h"
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "verify/sync.h"
+
+namespace pump::verify {
+
+thread_local Scheduler::ThreadRec* Scheduler::tls_rec_ = nullptr;
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kThreadStart: return "start";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kMutexTryLock: return "try_lock";
+    case OpKind::kMutexUnlock: return "unlock";
+    case OpKind::kCvWait: return "cv_wait";
+    case OpKind::kCvNotify: return "cv_notify";
+    case OpKind::kAtomicLoad: return "load";
+    case OpKind::kAtomicStore: return "store";
+    case OpKind::kAtomicRmw: return "rmw";
+    case OpKind::kYieldAfter: return "after";
+    case OpKind::kSpawn: return "spawn";
+    case OpKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+bool Dependent(const Op& a, const Op& b) {
+  // Thread-lifecycle operations (object -1) are conservatively
+  // dependent with everything.
+  if (a.object < 0 || b.object < 0) return true;
+  if (a.object != b.object) return false;
+  // Same object: two loads commute; anything else conflicts.
+  // kYieldAfter is treated as a writer on its object — conservative,
+  // and it keeps the publish window visible to the explorer.
+  return !(a.kind == OpKind::kAtomicLoad && b.kind == OpKind::kAtomicLoad);
+}
+
+Scheduler::Scheduler(SchedulePolicy& policy, const RunLimits& limits,
+                     LockOrderGraph* lock_order)
+    : policy_(policy), limits_(limits), lock_order_(lock_order) {}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::ActiveForThisThread() {
+  ThreadRec* rec = tls_rec_;
+  return rec == nullptr ? nullptr : rec->sched;
+}
+
+RunOutcome Scheduler::Run(SchedulePolicy& policy,
+                          const std::function<void()>& body,
+                          const RunLimits& limits,
+                          LockOrderGraph* lock_order) {
+  if (tls_rec_ != nullptr) {
+    RunOutcome outcome;
+    outcome.failed = true;
+    outcome.failure = "nested model runs are not supported";
+    return outcome;
+  }
+  Scheduler scheduler(policy, limits, lock_order);
+  return scheduler.Execute(body);
+}
+
+RunOutcome Scheduler::Execute(const std::function<void()>& body) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    auto rec = std::make_unique<ThreadRec>();
+    rec->sched = this;
+    rec->tid = 0;
+    rec->state = WaitState::kRunning;
+    rec->active = true;
+    tls_rec_ = rec.get();
+    threads_.push_back(std::move(rec));
+    live_ = 1;
+  }
+  try {
+    body();
+  } catch (const RunAborted&) {
+  } catch (const InvariantViolation& violation) {
+    FailNoThrow(violation.message);
+  } catch (const std::exception& e) {
+    FailNoThrow(std::string("model body threw: ") + e.what());
+  } catch (...) {
+    FailNoThrow("model body threw a non-exception");
+  }
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (!abort_.load(std::memory_order_relaxed)) {
+      for (const auto& t : threads_) {
+        if (t->tid != 0 && t->state != WaitState::kFinished) {
+          AbortLocked("model body returned with unjoined model threads",
+                      /*deadlock=*/false, /*prune=*/false);
+          break;
+        }
+      }
+    }
+    threads_[0]->state = WaitState::kFinished;
+    --live_;
+  }
+  for (const auto& t : threads_) {
+    if (t->os_thread.joinable()) t->os_thread.join();
+  }
+  tls_rec_ = nullptr;
+  RunOutcome outcome;
+  outcome.choices = choices_;
+  outcome.failed = failed_;
+  outcome.failure = failure_;
+  outcome.deadlocked = deadlocked_;
+  outcome.pruned = pruned_;
+  outcome.steps = steps_;
+  outcome.max_lock_depth = max_lock_depth_;
+  outcome.threads = static_cast<int>(threads_.size());
+  return outcome;
+}
+
+void Scheduler::ThreadMain(ThreadRec* rec, std::function<void()> fn) {
+  tls_rec_ = rec;
+  bool run_body = false;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    rec->parked.wait(lock, [&] {
+      return rec->active || abort_.load(std::memory_order_relaxed);
+    });
+    if (rec->active && !abort_.load(std::memory_order_relaxed)) {
+      rec->state = WaitState::kRunning;
+      run_body = true;
+    }
+  }
+  if (run_body) {
+    try {
+      fn();
+    } catch (const RunAborted&) {
+    } catch (const InvariantViolation& violation) {
+      FailNoThrow(violation.message);
+    } catch (const std::exception& e) {
+      FailNoThrow(std::string("model thread threw: ") + e.what());
+    } catch (...) {
+      FailNoThrow("model thread threw a non-exception");
+    }
+  }
+  ExitThread();
+  tls_rec_ = nullptr;
+}
+
+bool Scheduler::EnterRaw() {
+  if (!abort_.load(std::memory_order_acquire)) return false;
+  // The run is unwinding. A thread already inside stack unwinding
+  // (destructors) must not throw again — its shim operations degrade to
+  // raw no-ops. Everyone else joins the unwind now.
+  if (std::uncaught_exceptions() == 0) throw RunAborted{};
+  return true;
+}
+
+void Scheduler::SyncPoint(const Op& op) {
+  ThreadRec* me = tls_rec_;
+  RunHooks(me);
+  std::unique_lock<std::mutex> lock(m_);
+  if (abort_.load(std::memory_order_relaxed)) throw RunAborted{};
+  if (++steps_ > limits_.max_steps) {
+    AbortLocked("step budget exhausted (livelock or runaway model)",
+                /*deadlock=*/false, /*prune=*/false);
+    throw RunAborted{};
+  }
+  me->pending = op;
+  me->state = WaitState::kReady;
+  me->active = false;
+  ScheduleNextLocked();
+  me->parked.wait(lock, [&] {
+    return me->active || abort_.load(std::memory_order_relaxed);
+  });
+  if (abort_.load(std::memory_order_relaxed)) throw RunAborted{};
+  me->state = WaitState::kRunning;
+}
+
+void Scheduler::RunHooks(ThreadRec* me) {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (hooks_.empty()) return;
+    hooks = hooks_;
+  }
+  me->in_hook = true;
+  try {
+    for (const auto& hook : hooks) hook();
+  } catch (const InvariantViolation& violation) {
+    me->in_hook = false;
+    Fail(violation.message);
+  } catch (...) {
+    me->in_hook = false;
+    Fail("invariant hook threw an unexpected exception");
+  }
+  me->in_hook = false;
+}
+
+void Scheduler::ScheduleNextLocked() {
+  std::vector<SchedulePolicy::Candidate> candidates;
+  for (const auto& t : threads_) {
+    if (t->state == WaitState::kReady && EnabledLocked(*t)) {
+      candidates.push_back({t->tid, t->pending});
+    }
+  }
+  if (candidates.empty()) {
+    if (live_ <= 0) return;
+    AbortLocked("deadlock: " + DescribeBlockedLocked(), /*deadlock=*/true,
+                /*prune=*/false);
+    return;
+  }
+  const int index = policy_.Choose(choices_.size(), candidates);
+  if (index == SchedulePolicy::kPrune) {
+    AbortLocked("", /*deadlock=*/false, /*prune=*/true);
+    return;
+  }
+  if (index < 0 || index >= static_cast<int>(candidates.size())) {
+    AbortLocked("schedule policy returned an invalid candidate index",
+                /*deadlock=*/false, /*prune=*/false);
+    return;
+  }
+  ThreadRec* chosen =
+      threads_[static_cast<std::size_t>(candidates[static_cast<std::size_t>(index)].tid)]
+          .get();
+  choices_.push_back(chosen->tid);
+  chosen->active = true;
+  chosen->parked.notify_one();
+}
+
+bool Scheduler::EnabledLocked(const ThreadRec& rec) const {
+  switch (rec.pending.kind) {
+    case OpKind::kMutexLock:
+      return static_cast<const Mutex*>(rec.pending.raw)->model_owner_ < 0;
+    case OpKind::kJoin:
+      return threads_[static_cast<std::size_t>(rec.pending.target_tid)]
+                 ->state == WaitState::kFinished;
+    default:
+      return true;
+  }
+}
+
+void Scheduler::AbortLocked(const std::string& failure, bool deadlock,
+                            bool prune) {
+  if (abort_.load(std::memory_order_relaxed)) return;  // First cause wins.
+  if (prune) {
+    pruned_ = true;
+  } else {
+    failed_ = true;
+    failure_ = failure;
+    deadlocked_ = deadlock;
+  }
+  abort_.store(true, std::memory_order_release);
+  for (const auto& t : threads_) t->parked.notify_all();
+}
+
+void Scheduler::Fail(const std::string& message) {
+  FailNoThrow(message);
+  throw RunAborted{};
+}
+
+void Scheduler::FailNoThrow(const std::string& message) {
+  std::lock_guard<std::mutex> lock(m_);
+  AbortLocked(message, /*deadlock=*/false, /*prune=*/false);
+}
+
+void Scheduler::ReportInvariantFailure(const std::string& message) {
+  ThreadRec* rec = tls_rec_;
+  if (rec != nullptr && rec->in_hook) throw InvariantViolation{message};
+  if (rec != nullptr) rec->sched->Fail(message);
+  std::fprintf(stderr, "VERIFY_INVARIANT failed outside a model run: %s\n",
+               message.c_str());
+  std::abort();
+}
+
+void Scheduler::ExitThread() {
+  ThreadRec* me = tls_rec_;
+  std::lock_guard<std::mutex> lock(m_);
+  me->state = WaitState::kFinished;
+  me->active = false;
+  --live_;
+  if (!abort_.load(std::memory_order_relaxed) && live_ > 0) {
+    ScheduleNextLocked();
+  }
+}
+
+int Scheduler::ObjectIdLocked(const void* object) {
+  auto [it, inserted] =
+      object_ids_.try_emplace(object, static_cast<int>(object_ids_.size()));
+  return it->second;
+}
+
+std::string Scheduler::DescribeBlockedLocked() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& t : threads_) {
+    if (t->state == WaitState::kFinished) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "t" << t->tid << ":";
+    if (t->state == WaitState::kBlockedCv) {
+      out << "cv-wait";
+    } else {
+      out << ToString(t->pending.kind);
+      if (t->pending.kind == OpKind::kMutexLock) {
+        out << "(" << static_cast<const Mutex*>(t->pending.raw)->name() << ")";
+      } else if (t->pending.kind == OpKind::kJoin) {
+        out << "(t" << t->pending.target_tid << ")";
+      } else if (t->pending.object >= 0) {
+        out << "(obj" << t->pending.object << ")";
+      }
+    }
+  }
+  return out.str();
+}
+
+// --- Shim entry points --------------------------------------------------
+
+void Scheduler::MutexLock(Mutex* mutex) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) {
+    throw InvariantViolation{std::string("invariant hook acquired model mutex ") +
+                             mutex->name()};
+  }
+  if (EnterRaw()) return;
+  AcquireAfterSync(mutex);
+}
+
+void Scheduler::AcquireAfterSync(Mutex* mutex) {
+  Op op;
+  op.kind = OpKind::kMutexLock;
+  op.raw = mutex;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(mutex);
+  }
+  SyncPoint(op);
+  CompleteAcquire(mutex);
+}
+
+void Scheduler::CompleteAcquire(Mutex* mutex) {
+  ThreadRec* me = tls_rec_;
+  std::lock_guard<std::mutex> lock(m_);
+  mutex->model_owner_ = me->tid;
+  if (lock_order_ != nullptr) {
+    lock_order_->AddClass(mutex->name());
+    for (Mutex* held : me->held) {
+      lock_order_->AddEdge(held->name(), mutex->name());
+    }
+  }
+  me->held.push_back(mutex);
+  if (static_cast<int>(me->held.size()) > max_lock_depth_) {
+    max_lock_depth_ = static_cast<int>(me->held.size());
+  }
+}
+
+void Scheduler::MutexUnlock(Mutex* mutex) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) {
+    throw InvariantViolation{std::string("invariant hook released model mutex ") +
+                             mutex->name()};
+  }
+  // Unlock is reached from noexcept contexts — ~std::lock_guard and
+  // ~std::unique_lock on normal scope exit — so it must NEVER let
+  // RunAborted escape: an exception crossing a noexcept destructor is
+  // std::terminate. On abort (set before entry, or delivered while this
+  // thread is parked at the unlock sequence point) the unlock degrades
+  // to a no-op; the run is dead, its model state is discarded, and the
+  // thread will unwind at its next throwing sequence point (lock, wait,
+  // atomic, spawn, join — none of which appear in destructors here).
+  if (abort_.load(std::memory_order_acquire)) return;
+  Op op;
+  op.kind = OpKind::kMutexUnlock;
+  op.raw = mutex;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(mutex);
+  }
+  try {
+    SyncPoint(op);
+  } catch (const RunAborted&) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(m_);
+  if (mutex->model_owner_ != me->tid) {
+    AbortLocked(std::string("unlock of model mutex not held by this thread: ") +
+                    mutex->name(),
+                /*deadlock=*/false, /*prune=*/false);
+    return;
+  }
+  mutex->model_owner_ = -1;
+  for (auto it = me->held.rbegin(); it != me->held.rend(); ++it) {
+    if (*it == mutex) {
+      me->held.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+bool Scheduler::MutexTryLock(Mutex* mutex) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) {
+    throw InvariantViolation{std::string("invariant hook acquired model mutex ") +
+                             mutex->name()};
+  }
+  if (EnterRaw()) return true;
+  Op op;
+  op.kind = OpKind::kMutexTryLock;
+  op.raw = mutex;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(mutex);
+  }
+  SyncPoint(op);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (mutex->model_owner_ >= 0) return false;
+  }
+  // Token semantics: no other thread ran since the check, the mutex is
+  // still free.
+  CompleteAcquire(mutex);
+  return true;
+}
+
+void Scheduler::CvWait(CondVar* cv, Mutex* mutex) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) {
+    throw InvariantViolation{"invariant hook blocked on a condition variable"};
+  }
+  if (EnterRaw()) return;
+  Op op;
+  op.kind = OpKind::kCvWait;
+  op.raw = cv;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(cv);
+  }
+  SyncPoint(op);
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    if (mutex->model_owner_ != me->tid) {
+      AbortLocked("cv wait without holding its mutex", /*deadlock=*/false,
+                  /*prune=*/false);
+      throw RunAborted{};
+    }
+    // Atomically release the mutex and block (the model cv has no
+    // spurious wakeups: a lost notify is a hard deadlock, which is the
+    // bug class this checker reports).
+    mutex->model_owner_ = -1;
+    for (auto it = me->held.rbegin(); it != me->held.rend(); ++it) {
+      if (*it == mutex) {
+        me->held.erase(std::next(it).base());
+        break;
+      }
+    }
+    me->state = WaitState::kBlockedCv;
+    me->wait_cv = cv;
+    me->reacquire = mutex;
+    me->active = false;
+    ScheduleNextLocked();
+    me->parked.wait(lock, [&] {
+      return me->active || abort_.load(std::memory_order_relaxed);
+    });
+    if (abort_.load(std::memory_order_relaxed)) throw RunAborted{};
+    // Notified and then granted the mutex (the pending reacquisition op
+    // installed by CvNotify was chosen while the mutex was free).
+    me->state = WaitState::kRunning;
+    me->wait_cv = nullptr;
+    me->reacquire = nullptr;
+  }
+  CompleteAcquire(mutex);
+}
+
+void Scheduler::CvNotify(CondVar* cv, bool all) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) {
+    throw InvariantViolation{"invariant hook notified a condition variable"};
+  }
+  if (EnterRaw()) return;
+  Op op;
+  op.kind = OpKind::kCvNotify;
+  op.raw = cv;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(cv);
+  }
+  SyncPoint(op);
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& t : threads_) {
+    if (t->state != WaitState::kBlockedCv || t->wait_cv != cv) continue;
+    t->state = WaitState::kReady;
+    Op reacquire;
+    reacquire.kind = OpKind::kMutexLock;
+    reacquire.object = ObjectIdLocked(t->reacquire);
+    reacquire.raw = t->reacquire;
+    t->pending = reacquire;
+    if (!all) break;
+  }
+}
+
+void Scheduler::AtomicPoint(OpKind kind, const void* object) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) return;  // Hooks read atomics raw.
+  if (EnterRaw()) return;
+  Op op;
+  op.kind = kind;
+  op.raw = object;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    op.object = ObjectIdLocked(object);
+  }
+  SyncPoint(op);
+}
+
+int Scheduler::Spawn(std::function<void()> fn) {
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) throw InvariantViolation{"invariant hook spawned a thread"};
+  if (EnterRaw()) return -1;
+  Op op;
+  op.kind = OpKind::kSpawn;
+  SyncPoint(op);
+  ThreadRec* rec = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    auto owned = std::make_unique<ThreadRec>();
+    rec = owned.get();
+    rec->sched = this;
+    rec->tid = static_cast<int>(threads_.size());
+    rec->state = WaitState::kReady;
+    rec->pending = Op{};  // kThreadStart
+    ++live_;
+    threads_.push_back(std::move(owned));
+  }
+  rec->os_thread = std::thread(
+      [this, rec, fn = std::move(fn)]() mutable { ThreadMain(rec, std::move(fn)); });
+  return rec->tid;
+}
+
+void Scheduler::Join(int tid) {
+  if (tid < 0) return;
+  ThreadRec* me = tls_rec_;
+  if (me->in_hook) throw InvariantViolation{"invariant hook joined a thread"};
+  ThreadRec* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    target = threads_[static_cast<std::size_t>(tid)].get();
+  }
+  if (EnterRaw()) {
+    if (target->os_thread.joinable()) target->os_thread.join();
+    return;
+  }
+  Op op;
+  op.kind = OpKind::kJoin;
+  op.target_tid = tid;
+  SyncPoint(op);
+  // Enabled implies the target's model state is kFinished; the OS join
+  // only waits out its ThreadMain epilogue.
+  if (target->os_thread.joinable()) target->os_thread.join();
+}
+
+void Scheduler::RegisterInvariant(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(m_);
+  hooks_.push_back(std::move(hook));
+}
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY

@@ -1,0 +1,272 @@
+#ifndef PUMP_VERIFY_SCHEDULER_H_
+#define PUMP_VERIFY_SCHEDULER_H_
+
+// Cooperative model scheduler of the concurrency verifier.
+//
+// A model run executes real repository code (the migrated structures:
+// plan::BuildCache, server::QueryEngine, exec dispatchers, the
+// obs::trace ring, common::CancelToken) on real OS threads, but with
+// exactly ONE thread running at a time. Every verify:: shim operation
+// (verify/sync.h) is a *sequence point*: the running thread parks,
+// declares the operation it is about to perform, and a SchedulePolicy
+// picks which thread runs next among the enabled ones. The policy is
+// either the DFS explorer with sleep sets, the seeded PCT sampler, or a
+// replayer for a printed schedule string (verify/explore.h).
+//
+// Because the policy sees every declared-but-not-yet-executed operation,
+// it can
+//  * enumerate interleavings systematically (and prune provably
+//    redundant ones via sleep sets — two enabled operations on
+//    different objects commute),
+//  * detect deadlock the moment no live thread is enabled,
+//  * record the lock-order graph (acquisition edges between lock
+//    classes) across all explored schedules, and
+//  * reproduce any failure: the choice list IS the schedule, and the
+//    model has no other source of nondeterminism.
+//
+// The machinery only exists under PUMP_VERIFY; normal builds never
+// include this header's internals (verify/sync.h aliases the shims to
+// std:: primitives instead).
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "verify/lock_order.h"
+
+namespace pump::verify {
+
+class Mutex;
+class CondVar;
+
+/// Kinds of scheduler sequence points. kYieldAfter is the schedulable
+/// instant just after a store/RMW published — where inverted-publish
+/// bugs become observable.
+enum class OpKind : std::uint8_t {
+  kThreadStart,
+  kMutexLock,
+  kMutexTryLock,
+  kMutexUnlock,
+  kCvWait,
+  kCvNotify,
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kYieldAfter,
+  kSpawn,
+  kJoin,
+};
+
+const char* ToString(OpKind kind);
+
+/// One declared operation: what a parked thread will do when scheduled.
+struct Op {
+  OpKind kind = OpKind::kThreadStart;
+  /// Model object id (stable per run: assigned in first-use order, which
+  /// replay makes deterministic). -1 = thread-lifecycle operation.
+  int object = -1;
+  /// Target thread id for kJoin.
+  int target_tid = -1;
+  /// The object itself (scheduler-internal: enabledness + acquisition;
+  /// policies must key on `object`, ids are replay-stable, pointers not).
+  const void* raw = nullptr;
+};
+
+/// True when the two operations do NOT commute: same object with at
+/// least one writer, or thread-lifecycle operations (conservatively
+/// dependent with everything). Sleep sets may only prune independent
+/// reorderings, so this predicate errs dependent.
+bool Dependent(const Op& a, const Op& b);
+
+/// Thrown inside model threads to unwind a run (deadlock found,
+/// invariant failed, schedule pruned, budget exhausted).
+struct RunAborted {};
+
+/// Thrown by VERIFY_INVARIANT inside an invariant hook; the scheduler
+/// converts it into a run failure attributed to the current schedule.
+struct InvariantViolation {
+  std::string message;
+};
+
+/// Schedule decision procedure. `Choose` returns an index into
+/// `candidates`, or kPrune to abandon the run as covered-elsewhere
+/// (sleep sets).
+class SchedulePolicy {
+ public:
+  struct Candidate {
+    int tid = -1;
+    Op op;
+  };
+  static constexpr int kPrune = -1;
+
+  virtual ~SchedulePolicy() = default;
+  virtual int Choose(std::size_t decision_index,
+                     const std::vector<Candidate>& candidates) = 0;
+};
+
+/// Per-run resource bounds.
+struct RunLimits {
+  /// Sequence points before the run is failed as a livelock.
+  std::uint64_t max_steps = 50'000;
+};
+
+/// Outcome of one schedule.
+struct RunOutcome {
+  /// Chosen thread id at every decision — the replayable schedule.
+  std::vector<int> choices;
+  bool failed = false;
+  std::string failure;
+  bool deadlocked = false;
+  /// Sleep-set-pruned: the run was abandoned as provably redundant.
+  bool pruned = false;
+  std::uint64_t steps = 0;
+  int max_lock_depth = 0;
+  int threads = 0;
+};
+
+class Scheduler {
+ public:
+  /// Runs `body` as model thread 0 under `policy`. Spawned
+  /// verify::Threads join the run; the call returns when every model
+  /// thread finished (or the run aborted). One run at a time per
+  /// process.
+  static RunOutcome Run(SchedulePolicy& policy,
+                        const std::function<void()>& body,
+                        const RunLimits& limits,
+                        LockOrderGraph* lock_order);
+
+  // --- Shim entry points (model threads only) ---------------------------
+  void MutexLock(Mutex* mutex);
+  void MutexUnlock(Mutex* mutex);
+  bool MutexTryLock(Mutex* mutex);
+  void CvWait(CondVar* cv, Mutex* mutex);
+  void CvNotify(CondVar* cv, bool all);
+  void AtomicPoint(OpKind kind, const void* object);
+  int Spawn(std::function<void()> fn);
+  void Join(int tid);
+
+  /// Registers a hook run at every sequence point of every model
+  /// thread. Hooks must be non-blocking (plain/atomic reads only; no
+  /// mutexes) and report violations via VERIFY_INVARIANT.
+  void RegisterInvariant(std::function<void()> hook);
+
+  /// Fails the current run with `message`; unwinds all model threads.
+  [[noreturn]] void Fail(const std::string& message);
+
+  /// True once the run is unwinding; shim operations become raw.
+  bool aborting() const {
+    return abort_.load(std::memory_order_acquire);
+  }
+
+  /// Scheduler owning the calling thread's active model run, or null
+  /// for non-model threads. Returned even while a hook or unwind is in
+  /// progress — each entry point downgrades to raw behaviour itself.
+  static Scheduler* ActiveForThisThread();
+
+  /// Routes a VERIFY_INVARIANT failure: throws InvariantViolation when
+  /// called from inside a hook, fails the run when called from a model
+  /// thread, aborts the process otherwise.
+  [[noreturn]] static void ReportInvariantFailure(const std::string& message);
+
+ private:
+  enum class WaitState : std::uint8_t {
+    kRunning,
+    kReady,     // Parked at a sequence point, op declared.
+    kBlockedCv, // Waiting for a notify.
+    kFinished,
+  };
+
+  struct ThreadRec {
+    Scheduler* sched = nullptr;
+    int tid = 0;
+    WaitState state = WaitState::kRunning;
+    Op pending;
+    bool active = false;
+    /// Hooks run with this set skip scheduling (raw shim access).
+    bool in_hook = false;
+    /// Condition variable / mutex this thread waits on (kBlockedCv).
+    const CondVar* wait_cv = nullptr;
+    Mutex* reacquire = nullptr;
+    std::vector<Mutex*> held;
+    std::condition_variable parked;
+    std::thread os_thread;
+  };
+
+  Scheduler(SchedulePolicy& policy, const RunLimits& limits,
+            LockOrderGraph* lock_order);
+  ~Scheduler();
+
+  RunOutcome Execute(const std::function<void()>& body);
+  void ThreadMain(ThreadRec* rec, std::function<void()> fn);
+
+  /// Parks at a sequence point: declares `op`, runs invariant hooks,
+  /// lets the policy pick a successor, resumes when chosen. Throws
+  /// RunAborted when the run is unwinding (unless the caller itself is
+  /// already unwinding, in which case it returns raw).
+  void SyncPoint(const Op& op);
+  void RunHooks(ThreadRec* me);
+
+  /// Declares + parks, then acquires `mutex`.
+  void AcquireAfterSync(Mutex* mutex);
+  /// Acquisition bookkeeping once the policy granted the mutex: owner,
+  /// held stack, lock-order edges, depth high-water mark.
+  void CompleteAcquire(Mutex* mutex);
+
+  /// Entry-point abort gate: false = proceed with the model operation;
+  /// true = the run is unwinding in this thread's destructors, perform
+  /// the operation raw (or not at all). Throws RunAborted when the run
+  /// aborted but this thread has not started unwinding yet.
+  bool EnterRaw();
+
+  int ObjectIdLocked(const void* object);
+  bool EnabledLocked(const ThreadRec& rec) const;
+  /// Picks and wakes the next thread; detects deadlock and prune.
+  void ScheduleNextLocked();
+  void AbortLocked(const std::string& failure, bool deadlock, bool prune);
+  void FailNoThrow(const std::string& message);
+  void ExitThread();
+  std::string DescribeBlockedLocked() const;
+
+  SchedulePolicy& policy_;
+  const RunLimits limits_;
+  LockOrderGraph* lock_order_;
+
+  std::mutex m_;
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  std::map<const void*, int> object_ids_;
+  std::vector<std::function<void()>> hooks_;
+  std::vector<int> choices_;
+  std::uint64_t steps_ = 0;
+  int live_ = 0;
+  int max_lock_depth_ = 0;
+  std::atomic<bool> abort_{false};
+  bool deadlocked_ = false;
+  bool pruned_ = false;
+  bool failed_ = false;
+  std::string failure_;
+
+  static thread_local ThreadRec* tls_rec_;
+};
+
+/// The scheduler owning the calling thread's active model run, or null
+/// for threads outside any run (those use the raw std:: primitives).
+/// Model threads always get their scheduler back — the entry points
+/// themselves downgrade to raw behaviour during hooks and unwinds.
+inline Scheduler* ActiveSchedulerForThisThread() {
+  return Scheduler::ActiveForThisThread();
+}
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY
+
+#endif  // PUMP_VERIFY_SCHEDULER_H_

@@ -1,0 +1,319 @@
+#ifndef PUMP_VERIFY_SYNC_H_
+#define PUMP_VERIFY_SYNC_H_
+
+// Synchronization shims for the deterministic concurrency verifier.
+//
+// Production code declares its concurrency-critical primitives as
+// `verify::Mutex`, `verify::CondVar`, `verify::Atomic<T>` and
+// `verify::Thread`. In normal builds (PUMP_VERIFY off, the default)
+// these are plain type aliases for the `std::` primitives — zero
+// overhead, bit-identical codegen, nothing to link.
+//
+// Under PUMP_VERIFY every primitive becomes a sequence point of the
+// cooperative model scheduler (verify/scheduler.h): a thread registered
+// with an active schedule run yields to the explorer at every
+// acquire/release/load/store/RMW, so the explorer controls the exact
+// interleaving and can enumerate or sample schedules, replay a failing
+// one deterministically, and record the lock-order graph. Threads NOT
+// registered with a run (the persistent executor pool, ordinary tests)
+// fall through to the real `std::` primitive, so a PUMP_VERIFY build
+// still behaves normally outside model runs.
+//
+// Model limitations (documented, deliberate):
+//  * The model executes sequentially consistently; memory_order
+//    arguments are accepted and forwarded but weak-memory reorderings
+//    are not explored. The checker finds *schedule* bugs (lost wakeups,
+//    latch races, double claims, deadlocks), not fence-strength bugs —
+//    TSan and the happens-before epochs stay responsible for those.
+//  * Model condition variables have no spurious wakeups; a lost-wakeup
+//    bug therefore shows up as a hard deadlock, which is exactly how
+//    the checker reports it.
+//  * An object must not be touched by model and non-model threads
+//    concurrently during a run (model runs own their objects).
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "verify/scheduler.h"
+#endif
+
+namespace pump::verify {
+
+#if !defined(PUMP_VERIFY) || !PUMP_VERIFY
+
+// ---------------------------------------------------------------------
+// Normal builds: transparent aliases. The migrated structures compile to
+// exactly the code they had before the migration (the ≤1% overhead
+// acceptance bound on micro_parallel holds by construction).
+
+using Mutex = std::mutex;
+using CondVar = std::condition_variable;
+template <typename T>
+using Atomic = std::atomic<T>;
+using Thread = std::thread;
+
+/// Accepts and ignores a lock-class name in normal builds.
+inline Mutex* NamedMutex(Mutex* mutex, const char*) { return mutex; }
+
+#else  // PUMP_VERIFY
+
+// ---------------------------------------------------------------------
+// Verify builds: every primitive is a scheduler sequence point when the
+// calling thread belongs to an active model run.
+
+/// Model-aware mutex. Under a run the lock state lives in the model
+/// (owner thread id); blocked acquirers are descheduled, acquisition
+/// order feeds the lock-order graph. Outside runs it is the wrapped
+/// std::mutex.
+class Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->MutexLock(this);
+    } else {
+      real_.lock();
+    }
+  }
+
+  void unlock() {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->MutexUnlock(this);
+    } else {
+      real_.unlock();
+    }
+  }
+
+  bool try_lock() {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      return s->MutexTryLock(this);
+    }
+    return real_.try_lock();
+  }
+
+  /// Lock-class name for the lock-order graph (instances of one class
+  /// share a node, lockdep-style).
+  const char* name() const { return name_; }
+  void set_name(const char* name) { name_ = name; }
+
+ private:
+  friend class Scheduler;
+  std::mutex real_;
+  const char* name_ = "mutex";
+  /// Model state: owning model-thread id, -1 when free. Only mutated by
+  /// the single running model thread (runs serialize all model threads).
+  int model_owner_ = -1;
+};
+
+/// Names a mutex's lock class after construction (for members that
+/// cannot use the naming constructor in an initializer list).
+inline Mutex* NamedMutex(Mutex* mutex, const char* name);
+
+/// Model-aware condition variable. Waiters are descheduled (the model
+/// has no spurious wakeups); notify transfers waiters back to the ready
+/// set pending reacquisition of their mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(std::unique_lock<Mutex>& lock) {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->CvWait(this, lock.mutex());
+    } else {
+      real_.wait(lock);
+    }
+  }
+
+  template <typename Predicate>
+  void wait(std::unique_lock<Mutex>& lock, Predicate pred) {
+    while (!pred()) wait(lock);
+  }
+
+  void notify_one() {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->CvNotify(this, /*all=*/false);
+    } else {
+      real_.notify_one();
+    }
+  }
+
+  void notify_all() {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->CvNotify(this, /*all=*/true);
+    } else {
+      real_.notify_all();
+    }
+  }
+
+ private:
+  // condition_variable_any: outside model runs it must wait on
+  // unique_lock<verify::Mutex>, which is BasicLockable but not
+  // std::mutex.
+  std::condition_variable_any real_;
+};
+
+/// Model-aware atomic. Loads yield before the access; stores and RMWs
+/// yield before *and after*, so the window between a publish and the
+/// publisher's next operation is schedulable — that window is where
+/// inverted-publish bugs (count bumped before the slot write) live.
+template <typename T>
+class Atomic {
+ public:
+  Atomic() = default;
+  constexpr Atomic(T value) : value_(value) {}  // NOLINT(google-explicit-constructor)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      s->AtomicPoint(OpKind::kAtomicLoad, this);
+    }
+    return value_.load(order);
+  }
+
+  void store(T desired,
+             std::memory_order order = std::memory_order_seq_cst) {
+    Scheduler* s = ActiveSchedulerForThisThread();
+    if (s != nullptr) s->AtomicPoint(OpKind::kAtomicStore, this);
+    value_.store(desired, order);
+    if (s != nullptr) s->AtomicPoint(OpKind::kYieldAfter, this);
+  }
+
+  T exchange(T desired,
+             std::memory_order order = std::memory_order_seq_cst) {
+    Scheduler* s = ActiveSchedulerForThisThread();
+    if (s != nullptr) s->AtomicPoint(OpKind::kAtomicRmw, this);
+    T previous = value_.exchange(desired, order);
+    if (s != nullptr) s->AtomicPoint(OpKind::kYieldAfter, this);
+    return previous;
+  }
+
+  T fetch_add(T arg, std::memory_order order = std::memory_order_seq_cst) {
+    Scheduler* s = ActiveSchedulerForThisThread();
+    if (s != nullptr) s->AtomicPoint(OpKind::kAtomicRmw, this);
+    T previous = value_.fetch_add(arg, order);
+    if (s != nullptr) s->AtomicPoint(OpKind::kYieldAfter, this);
+    return previous;
+  }
+
+  T fetch_sub(T arg, std::memory_order order = std::memory_order_seq_cst) {
+    Scheduler* s = ActiveSchedulerForThisThread();
+    if (s != nullptr) s->AtomicPoint(OpKind::kAtomicRmw, this);
+    T previous = value_.fetch_sub(arg, order);
+    if (s != nullptr) s->AtomicPoint(OpKind::kYieldAfter, this);
+    return previous;
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order order = std::memory_order_seq_cst) {
+    return CompareExchange(expected, desired, order);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order success,
+                             std::memory_order failure) {
+    (void)failure;
+    return CompareExchange(expected, desired, success);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order order = std::memory_order_seq_cst) {
+    return CompareExchange(expected, desired, order);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    (void)failure;
+    return CompareExchange(expected, desired, success);
+  }
+
+ private:
+  bool CompareExchange(T& expected, T desired, std::memory_order order) {
+    Scheduler* s = ActiveSchedulerForThisThread();
+    if (s != nullptr) s->AtomicPoint(OpKind::kAtomicRmw, this);
+    // Strong semantics in the model: the explorer owns all
+    // nondeterminism, so a spurious CAS failure would be untracked
+    // nondeterminism and break replay.
+    bool ok = value_.compare_exchange_strong(expected, desired, order);
+    if (s != nullptr) s->AtomicPoint(OpKind::kYieldAfter, this);
+    return ok;
+  }
+
+  std::atomic<T> value_{};
+};
+
+/// Model-aware thread. Spawned from a model thread it joins the run
+/// (the scheduler owns its lifecycle); spawned anywhere else it is a
+/// plain std::thread.
+class Thread {
+ public:
+  Thread() = default;
+
+  template <typename Fn>
+  explicit Thread(Fn fn) {
+    if (Scheduler* s = ActiveSchedulerForThisThread()) {
+      scheduler_ = s;
+      model_tid_ = s->Spawn(std::function<void()>(std::move(fn)));
+    } else {
+      real_ = std::thread(std::move(fn));
+    }
+  }
+
+  Thread(Thread&& other) noexcept { *this = std::move(other); }
+  Thread& operator=(Thread&& other) noexcept {
+    real_ = std::move(other.real_);
+    scheduler_ = other.scheduler_;
+    model_tid_ = other.model_tid_;
+    other.scheduler_ = nullptr;
+    other.model_tid_ = -1;
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const {
+    if (scheduler_ != nullptr) return model_tid_ >= 0;
+    return real_.joinable();
+  }
+
+  void join() {
+    if (scheduler_ != nullptr) {
+      scheduler_->Join(model_tid_);
+      model_tid_ = -1;
+      return;
+    }
+    real_.join();
+  }
+
+ private:
+  std::thread real_;
+  Scheduler* scheduler_ = nullptr;
+  int model_tid_ = -1;
+};
+
+inline Mutex* NamedMutex(Mutex* mutex, const char* name) {
+  mutex->set_name(name);
+  return mutex;
+}
+
+#endif  // PUMP_VERIFY
+
+}  // namespace pump::verify
+
+#endif  // PUMP_VERIFY_SYNC_H_

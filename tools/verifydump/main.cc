@@ -1,0 +1,225 @@
+// verifydump: runs the deterministic concurrency verifier's model suite
+// (src/verify/models.cc) — schedule exploration over the real migrated
+// structures, the seeded mutant-kill harness, and the lock-order graph —
+// and prints one JSON report to stdout.
+//
+// Usage:
+//   verifydump [--quick] [--scale X] [--seed S] [--no-mutants]
+//              [--replay MODEL SCHEDULE] [--list]
+//
+//   --quick       The check.sh lane budget (scale 1.0, the default).
+//   --scale X     Multiplies every model's schedule budgets by X.
+//   --seed S      Base seed of the PCT sampler (default 1).
+//   --no-mutants  Skip the mutant-kill harness.
+//   --replay M S [--mutate NAME]
+//                 Re-executes model M under the exact schedule string S
+//                 (as printed in failing_schedule) and reports the
+//                 outcome instead of running the suite. Schedules
+//                 printed by the mutant harness need the same mutation
+//                 armed via --mutate to replay faithfully.
+//   --list        Prints the registered models and mutants.
+//
+// Exit codes: 0 = clean pass (all models pass, all mutants killed, lock
+// order acyclic), 1 = verification failure, 2 = this binary was built
+// without -DPUMP_VERIFY=ON (the verifier is compiled out).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_support/json_writer.h"
+#include "verify/explore.h"
+#include "verify/lock_order.h"
+#include "verify/models.h"
+#include "verify/mutation.h"
+
+#if defined(PUMP_VERIFY) && PUMP_VERIFY
+
+namespace {
+
+using pump::bench::JsonEscape;
+
+void PrintModel(const pump::verify::ModelRunReport& run, bool first) {
+  std::printf("%s\n    {\"name\":\"%s\",\"schedules\":%llu,\"pruned\":%llu,"
+              "\"sampled_runs\":%llu,\"exhausted\":%s,\"failed\":%s,"
+              "\"deadlocked\":%s,\"failure\":\"%s\","
+              "\"failing_schedule\":\"%s\",\"max_lock_depth\":%d,"
+              "\"max_threads\":%d,\"steps\":%llu}",
+              first ? "" : ",",
+              JsonEscape(run.model).c_str(),
+              static_cast<unsigned long long>(run.result.schedules_explored),
+              static_cast<unsigned long long>(run.result.schedules_pruned),
+              static_cast<unsigned long long>(run.result.sampled_runs),
+              run.result.exhausted ? "true" : "false",
+              run.result.failed ? "true" : "false",
+              run.result.deadlocked ? "true" : "false",
+              JsonEscape(run.result.failure).c_str(),
+              JsonEscape(run.result.failing_schedule).c_str(),
+              run.result.max_lock_depth, run.result.max_threads,
+              static_cast<unsigned long long>(run.result.total_steps));
+}
+
+void PrintMutant(const pump::verify::MutantRunReport& run, bool first) {
+  std::printf("%s\n    {\"mutation\":\"%s\",\"model\":\"%s\","
+              "\"killed\":%s,\"failure\":\"%s\",\"failing_schedule\":\"%s\"}",
+              first ? "" : ",",
+              JsonEscape(run.mutation).c_str(),
+              JsonEscape(run.model).c_str(),
+              run.killed ? "true" : "false",
+              JsonEscape(run.failure).c_str(),
+              JsonEscape(run.failing_schedule).c_str());
+}
+
+int RunReplay(const std::string& model_name, const std::string& schedule,
+              const std::string& mutation) {
+  const pump::verify::Model* model = nullptr;
+  for (const pump::verify::Model& candidate : pump::verify::Models()) {
+    if (candidate.name == model_name) model = &candidate;
+  }
+  if (model == nullptr) {
+    std::fprintf(stderr, "verifydump: unknown model '%s'\n",
+                 model_name.c_str());
+    return 2;
+  }
+  // A failing schedule printed by the mutant harness was recorded with
+  // that mutation armed; it only replays faithfully under the same arm.
+  std::unique_ptr<pump::verify::ScopedMutation> armed;
+  if (!mutation.empty()) {
+    armed = std::make_unique<pump::verify::ScopedMutation>(mutation.c_str());
+  }
+  pump::verify::LockOrderGraph lock_order;
+  pump::verify::RunOutcome outcome =
+      pump::verify::Replay(model->body, schedule, 50'000, &lock_order);
+  armed.reset();
+  std::printf("{\"model\":\"%s\",\"schedule\":\"%s\",\"failed\":%s,"
+              "\"deadlocked\":%s,\"failure\":\"%s\",\"steps\":%llu}\n",
+              JsonEscape(model_name).c_str(),
+              JsonEscape(pump::verify::ScheduleToString(outcome.choices))
+                  .c_str(),
+              outcome.failed ? "true" : "false",
+              outcome.deadlocked ? "true" : "false",
+              JsonEscape(outcome.failure).c_str(),
+              static_cast<unsigned long long>(outcome.steps));
+  return outcome.failed ? 1 : 0;
+}
+
+int RunSuiteMain(double scale, std::uint64_t seed, bool run_mutants) {
+  pump::verify::SuiteOptions options;
+  options.budget_scale = scale;
+  options.seed = seed;
+  options.run_mutants = run_mutants;
+  pump::verify::LockOrderGraph lock_order;
+  const pump::verify::SuiteReport report =
+      pump::verify::RunSuite(options, &lock_order);
+
+  std::vector<std::string> cycle;
+  const bool acyclic = !lock_order.HasCycle(&cycle);
+
+  std::size_t killed = 0;
+  for (const pump::verify::MutantRunReport& run : report.mutants) {
+    if (run.killed) ++killed;
+  }
+
+  std::printf("{\n  \"verify\": true,\n");
+  std::printf("  \"schedules_explored\": %llu,\n",
+              static_cast<unsigned long long>(report.schedules_explored));
+  std::printf("  \"schedules_pruned\": %llu,\n",
+              static_cast<unsigned long long>(report.schedules_pruned));
+  std::printf("  \"total_steps\": %llu,\n",
+              static_cast<unsigned long long>(report.total_steps));
+  std::printf("  \"max_lock_depth\": %d,\n", report.max_lock_depth);
+  std::printf("  \"clean_pass\": %s,\n",
+              report.clean_pass ? "true" : "false");
+  std::printf("  \"models\": [");
+  for (std::size_t i = 0; i < report.models.size(); ++i) {
+    PrintModel(report.models[i], i == 0);
+  }
+  std::printf("\n  ],\n");
+  std::printf("  \"mutants_total\": %zu,\n", report.mutants.size());
+  std::printf("  \"mutants_killed\": %zu,\n", killed);
+  std::printf("  \"mutant_kill_rate\": %s,\n",
+              report.mutants.empty()
+                  ? "null"
+                  : (killed == report.mutants.size() ? "1.0" : "0.0"));
+  std::printf("  \"mutants\": [");
+  for (std::size_t i = 0; i < report.mutants.size(); ++i) {
+    PrintMutant(report.mutants[i], i == 0);
+  }
+  std::printf("\n  ],\n");
+  std::printf("  \"lock_order\": %s\n}\n", lock_order.ToJson().c_str());
+
+  if (!report.clean_pass) return 1;
+  if (run_mutants && !report.mutants_all_killed) return 1;
+  if (!acyclic) {
+    std::fprintf(stderr, "verifydump: lock-order cycle:");
+    for (const std::string& node : cycle) {
+      std::fprintf(stderr, " %s", node.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool run_mutants = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      scale = 1.0;
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-mutants") {
+      run_mutants = false;
+    } else if (arg == "--list") {
+      for (const pump::verify::Model& model : pump::verify::Models()) {
+        std::printf("model  %s\n", model.name.c_str());
+      }
+      for (const pump::verify::Mutant& mutant : pump::verify::Mutants()) {
+        std::printf("mutant %s -> %s\n", mutant.mutation.c_str(),
+                    mutant.model.c_str());
+      }
+      return 0;
+    } else if (arg == "--replay" && i + 2 < argc) {
+      const std::string model = argv[i + 1];
+      const std::string schedule = argv[i + 2];
+      std::string mutation;
+      if (i + 4 < argc && std::string(argv[i + 3]) == "--mutate") {
+        mutation = argv[i + 4];
+      }
+      return RunReplay(model, schedule, mutation);
+    } else {
+      std::fprintf(stderr,
+                   "usage: verifydump [--quick] [--scale X] [--seed S] "
+                   "[--no-mutants] [--replay MODEL SCHEDULE "
+                   "[--mutate NAME]] [--list]\n");
+      return 2;
+    }
+  }
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "verifydump: --scale must be positive\n");
+    return 2;
+  }
+  return RunSuiteMain(scale, seed, run_mutants);
+}
+
+#else  // !PUMP_VERIFY
+
+int main() {
+  std::printf("{\"verify\": false, "
+              "\"note\": \"built without -DPUMP_VERIFY=ON; the "
+              "concurrency verifier is compiled out\"}\n");
+  return 2;
+}
+
+#endif  // PUMP_VERIFY
