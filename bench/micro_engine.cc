@@ -43,6 +43,12 @@ struct BenchCase {
   engine::Query query;
 };
 
+double Mean(const std::vector<double>& samples) {
+  RunningStats stats;
+  for (double sample : samples) stats.Add(sample);
+  return stats.mean();
+}
+
 void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
                 std::size_t workers, int runs) {
   const std::string config =
@@ -58,14 +64,15 @@ void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
     std::exit(1);
   }
 
-  const RunningStats fused = bench::Repeat(runs, [&] {
-    const auto start = Clock::now();
-    Result<engine::QueryResult> got =
-        engine::legacy::RunFused(bench_case.query, workers);
-    const double us = SecondsSince(start) * 1e6;
-    if (!got.ok() || !(got.value() == expected.value())) std::exit(1);
-    return us;
-  });
+  const std::vector<double> fused =
+      bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+        const auto start = Clock::now();
+        Result<engine::QueryResult> got =
+            engine::legacy::RunFused(bench_case.query, workers);
+        const double us = SecondsSince(start) * 1e6;
+        if (!got.ok() || !(got.value() == expected.value())) std::exit(1);
+        return us;
+      });
 
   // Compile once outside the timed region (plans are reusable), then time
   // execution; compile cost is reported as its own metric.
@@ -80,16 +87,17 @@ void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
   engine::ExecOptions options;
   options.workers = workers;
   options.gpu_plan = false;
-  const RunningStats plan_ir = bench::Repeat(runs, [&] {
-    const auto start = Clock::now();
-    Result<engine::ExecReport> got =
-        plan::ExecutePlan(physical.value(), options);
-    const double us = SecondsSince(start) * 1e6;
-    if (!got.ok() || !(got.value().result == expected.value())) {
-      std::exit(1);
-    }
-    return us;
-  });
+  const std::vector<double> plan_ir =
+      bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+        const auto start = Clock::now();
+        Result<engine::ExecReport> got =
+            plan::ExecutePlan(physical.value(), options);
+        const double us = SecondsSince(start) * 1e6;
+        if (!got.ok() || !(got.value().result == expected.value())) {
+          std::exit(1);
+        }
+        return us;
+      });
 
   // Same plan with the trace recorder runtime-enabled: the full span
   // recording cost, reported alongside the disabled-state overhead. The
@@ -97,42 +105,44 @@ void BenchQuery(bench::JsonWriter* json, const BenchCase& bench_case,
   obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
   recorder.Clear();
   recorder.Enable();
-  const RunningStats traced = bench::Repeat(runs, [&] {
-    const auto start = Clock::now();
-    Result<engine::ExecReport> got =
-        plan::ExecutePlan(physical.value(), options);
-    const double us = SecondsSince(start) * 1e6;
-    if (!got.ok() || !(got.value().result == expected.value())) {
-      std::exit(1);
-    }
-    return us;
-  });
+  const std::vector<double> traced =
+      bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+        const auto start = Clock::now();
+        Result<engine::ExecReport> got =
+            plan::ExecutePlan(physical.value(), options);
+        const double us = SecondsSince(start) * 1e6;
+        if (!got.ok() || !(got.value().result == expected.value())) {
+          std::exit(1);
+        }
+        return us;
+      });
   recorder.Disable();
   recorder.Clear();
 
+  const double fused_mean = Mean(fused);
+  const double plan_ir_mean = Mean(plan_ir);
+  const double traced_mean = Mean(traced);
   const double overhead_pct =
-      fused.mean() > 0.0
-          ? (plan_ir.mean() - fused.mean()) / fused.mean() * 100.0
-          : 0.0;
+      fused_mean > 0.0 ? (plan_ir_mean - fused_mean) / fused_mean * 100.0
+                       : 0.0;
   const double trace_overhead_pct =
-      plan_ir.mean() > 0.0
-          ? (traced.mean() - plan_ir.mean()) / plan_ir.mean() * 100.0
+      plan_ir_mean > 0.0
+          ? (traced_mean - plan_ir_mean) / plan_ir_mean * 100.0
           : 0.0;
   std::cout << "  " << config << "\n"
-            << "    fused:   " << bench::FormatMeanError(fused)
-            << " us/query\n"
-            << "    plan IR: " << bench::FormatMeanError(plan_ir)
-            << " us/query (compile " << compile_us << " us, once)\n"
-            << "    traced:  " << bench::FormatMeanError(traced)
+            << "    fused:   " << fused_mean << " us/query\n"
+            << "    plan IR: " << plan_ir_mean << " us/query (compile "
+            << compile_us << " us, once)\n"
+            << "    traced:  " << traced_mean
             << " us/query (recorder enabled)\n";
   std::printf("    overhead: %+.2f%% (acceptance ceiling: +5%%)\n",
               overhead_pct);
   std::printf("    tracing enabled: %+.2f%% over disabled\n",
               trace_overhead_pct);
 
-  json->Record("engine_query_us", "fused " + config, fused);
-  json->Record("engine_query_us", "plan_ir " + config, plan_ir);
-  json->Record("engine_query_us", "traced " + config, traced);
+  json->RecordSamples("engine_query_us", "fused " + config, fused);
+  json->RecordSamples("engine_query_us", "plan_ir " + config, plan_ir);
+  json->RecordSamples("engine_query_us", "traced " + config, traced);
   json->Record("engine_plan_compile_us", config, compile_us, 0.0, 1);
   json->Record("engine_plan_overhead_pct", config, overhead_pct, 0.0, runs);
   json->Record("engine_trace_overhead_pct", config, trace_overhead_pct, 0.0,
@@ -151,7 +161,10 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t rows = quick ? 50'000 : 2'000'000;
-  const int runs = quick ? 3 : pump::bench::kPaperRuns;
+  // Bumped from 3/kPaperRuns: the overhead-pct records gate a <=5%
+  // acceptance ceiling, and without warmup + extra runs the stderr was
+  // comparable to the ceiling itself.
+  const int runs = quick ? 5 : 15;
   // Single-core hosts report DefaultWorkerCount() == 1; always use at
   // least 2 workers so the morsel dispatch path is genuinely concurrent.
   const std::size_t workers =

@@ -1,12 +1,31 @@
 // Functional microbenchmarks of the hash tables (host execution): insert
 // and probe rates for the perfect table vs open addressing — the
-// perfect-vs-general ablation called out in DESIGN.md.
+// perfect-vs-general ablation called out in DESIGN.md — plus the
+// scalar-vs-interleaved-vs-SIMD probe records the dispatch work is
+// judged by.
+//
+// Two harnesses share this binary. The google-benchmark suite keeps the
+// historical insert/probe/miss-rate numbers. A hand-rolled section runs
+// first and emits machine-readable `ht_probe_ns` records (variants:
+// scalar Lookup loop, interleaved ProbeBatch under a forced-scalar
+// dispatch scope, and ProbeBatch under the host's auto dispatch) via
+// --json=<path> for scripts/bench_trajectory.sh. --records-only skips
+// the google-benchmark suite (the trajectory script uses this);
+// --quick shrinks the record sizes to smoke-test proportions.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_support/harness.h"
+#include "bench_support/json_writer.h"
 #include "benchmark/benchmark.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
+#include "common/statistics.h"
 #include "data/generator.h"
 #include "hash/hash_table.h"
 
@@ -113,5 +132,178 @@ void BM_ProbeMissRate(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeMissRate)->Arg(0)->Arg(50)->Arg(100);
 
+// --- Hand-rolled dispatch-variant records ---------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double Mean(const std::vector<double>& samples) {
+  RunningStats stats;
+  for (double sample : samples) stats.Add(sample);
+  return stats.mean();
+}
+
+/// Times the three probe variants of `table` over `probes` and records
+/// `ht_probe_ns` per variant plus the simd-vs-scalar speedup. All three
+/// must agree on the match count and the found/value output streams —
+/// disagreement is a correctness bug, not noise, so it aborts the bench.
+template <typename Table>
+void RecordProbeVariants(bench::JsonWriter* json,
+                         const std::string& table_name, const Table& table,
+                         const std::vector<std::int64_t>& probes, int runs) {
+  const std::size_t count = probes.size();
+  std::vector<std::int64_t> values(count);
+  std::vector<char> found_bytes(count);  // vector<bool> has no data().
+  bool* found = reinterpret_cast<bool*>(found_bytes.data());
+
+  std::uint64_t scalar_matches = 0;
+  const std::vector<double> scalar =
+      bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+        scalar_matches = 0;
+        const auto start = Clock::now();
+        for (std::size_t i = 0; i < count; ++i) {
+          std::int64_t value = 0;
+          found[i] = table.Lookup(probes[i], &value);
+          if (found[i]) {
+            ++scalar_matches;
+            values[i] = value;
+          } else {
+            values[i] = 0;
+          }
+        }
+        return SecondsSince(start) * 1e9 / static_cast<double>(count);
+      });
+  const std::vector<std::int64_t> ref_values = values;
+  const std::vector<char> ref_found = found_bytes;
+
+  std::uint64_t interleaved_matches = 0;
+  std::vector<double> interleaved;
+  {
+    common::ScopedForceScalar scalar_dispatch;
+    interleaved = bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+      std::fill(values.begin(), values.end(), 0);
+      const auto start = Clock::now();
+      interleaved_matches =
+          table.ProbeBatch(probes.data(), count, values.data(), found);
+      return SecondsSince(start) * 1e9 / static_cast<double>(count);
+    });
+  }
+  const bool interleaved_identical =
+      values == ref_values && found_bytes == ref_found;
+
+  std::uint64_t simd_matches = 0;
+  const std::vector<double> simd =
+      bench::RepeatSamples(runs, bench::kDefaultWarmup, [&] {
+        std::fill(values.begin(), values.end(), 0);
+        const auto start = Clock::now();
+        simd_matches =
+            table.ProbeBatch(probes.data(), count, values.data(), found);
+        return SecondsSince(start) * 1e9 / static_cast<double>(count);
+      });
+  const bool simd_identical =
+      values == ref_values && found_bytes == ref_found;
+
+  if (scalar_matches != interleaved_matches ||
+      scalar_matches != simd_matches || !interleaved_identical ||
+      !simd_identical) {
+    std::cerr << "FATAL: " << table_name
+              << " probe variants disagree (scalar=" << scalar_matches
+              << " interleaved=" << interleaved_matches
+              << " simd=" << simd_matches
+              << " outputs_identical=" << interleaved_identical << "/"
+              << simd_identical << ")\n";
+    std::exit(1);
+  }
+
+  const std::string config =
+      "table=" + table_name + " slots=" + std::to_string(table.capacity()) +
+      " probes=" + std::to_string(count);
+  const std::string dispatch =
+      common::SimdDispatchName(common::ActiveSimdDispatch());
+  const double scalar_mean = Mean(scalar);
+  const double simd_mean = Mean(simd);
+  const double simd_speedup = simd_mean > 0.0 ? scalar_mean / simd_mean : 0.0;
+  std::cout << "  " << config << "\n"
+            << "    scalar:      " << scalar_mean << " ns/probe\n"
+            << "    interleaved: " << Mean(interleaved) << " ns/probe\n"
+            << "    simd (" << dispatch << "): " << simd_mean
+            << " ns/probe";
+  std::printf("  (%.2fx over scalar)\n", simd_speedup);
+  json->RecordSamples("ht_probe_ns", "scalar " + config, scalar);
+  json->RecordSamples("ht_probe_ns", "interleaved " + config, interleaved);
+  json->RecordSamples("ht_probe_ns", "simd " + config, simd);
+  json->Record("ht_probe_simd_speedup", "dispatch=" + dispatch + " " + config,
+               simd_speedup, 0.0, runs);
+}
+
+void RunProbeRecords(bench::JsonWriter* json, bool quick) {
+  const std::size_t entries = quick ? (1 << 14) : (1 << 21);
+  const std::size_t count = quick ? (1 << 14) : (1 << 22);
+  // Bumped from kPaperRuns: the ns/probe numbers feed the cost-model
+  // recalibration, and on shared hosts 10 runs left stderr too wide.
+  const int runs = quick ? 3 : 15;
+
+  bench::PrintBanner(
+      std::cout, "micro_hashtable/probe_dispatch",
+      "ns/probe over " + std::to_string(count) + " uniform probes into " +
+          std::to_string(entries) +
+          "-entry tables: scalar Lookup loop vs interleaved-prefetch "
+          "ProbeBatch (forced-scalar dispatch) vs auto dispatch");
+
+  const auto inner =
+      data::GenerateInner<std::int64_t, std::int64_t>(entries, 1);
+  const auto outer = data::GenerateOuterUniform<std::int64_t, std::int64_t>(
+      count, entries, 2);
+
+  hash::PerfectHashTable<std::int64_t, std::int64_t> perfect(entries);
+  hash::LinearProbingHashTable<std::int64_t, std::int64_t> linear(entries,
+                                                                  0.5);
+  for (std::size_t i = 0; i < entries; ++i) {
+    (void)perfect.Insert(inner.keys[i], inner.payloads[i]);
+    (void)linear.Insert(inner.keys[i], inner.payloads[i]);
+  }
+  RecordProbeVariants(json, "perfect", perfect, outer.keys, runs);
+  RecordProbeVariants(json, "linear", linear, outer.keys, runs);
+}
+
 }  // namespace
 }  // namespace pump
+
+int main(int argc, char** argv) {
+  pump::bench::JsonWriter json =
+      pump::bench::JsonWriter::FromArgs(&argc, argv);
+  bool quick = false;
+  bool records_only = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--records-only") {
+      records_only = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  pump::RunProbeRecords(&json, quick);
+  if (!json.Write()) {
+    std::cerr << "failed to write " << json.path() << "\n";
+    return 1;
+  }
+  if (json.active()) {
+    std::cout << "\nwrote " << json.records().size() << " records to "
+              << json.path() << "\n";
+  }
+  if (records_only) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,10 @@
 #   micro_parallel  — hand-rolled harness, emits records via --json
 #   micro_engine    — hand-rolled harness: fused executor vs plan IR per
 #                     SSB query and Q6, incl. the plan-IR overhead records
+#   micro_hashtable — records section only (--records-only): scalar vs
+#                     interleaved vs SIMD ht_probe_ns per table kind
+#   micro_join      — records section only (--records-only): direct
+#                     scatter vs software write-combining partition pass
 #   micro_morsel    — google-benchmark, emits benchmark_out JSON that is
 #                     converted to the same {experiment, config, mean,
 #                     stderr, runs} record shape
@@ -72,7 +76,8 @@ say "build (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DPUMP_SANITIZE="" >/dev/null
 cmake --build build-release -j "$JOBS" \
-      --target micro_parallel micro_engine micro_morsel servebench
+      --target micro_parallel micro_engine micro_hashtable micro_join \
+               micro_morsel servebench
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -86,6 +91,16 @@ run_bench "micro_engine ${QUICK:-"(full sizes)"}" \
     ./build-release/bench/micro_engine ${QUICK} \
     --json="$OUT_DIR/micro_engine.json"
 check_json micro_engine "$OUT_DIR/micro_engine.json"
+
+run_bench "micro_hashtable ${QUICK:-"(full sizes)"}" \
+    ./build-release/bench/micro_hashtable --records-only ${QUICK} \
+    --json="$OUT_DIR/micro_hashtable.json"
+check_json micro_hashtable "$OUT_DIR/micro_hashtable.json"
+
+run_bench "micro_join ${QUICK:-"(full sizes)"}" \
+    ./build-release/bench/micro_join --records-only ${QUICK} \
+    --json="$OUT_DIR/micro_join.json"
+check_json micro_join "$OUT_DIR/micro_join.json"
 
 run_bench "micro_morsel" \
     ./build-release/bench/micro_morsel \
@@ -108,21 +123,20 @@ say "merge into BENCH_micro.json"
 python3 - "$OUT_DIR/micro_parallel.json" \
            "$OUT_DIR/micro_engine.json" \
            "$OUT_DIR/micro_morsel_gbench.json" \
-           "$OUT_DIR/servebench.json" <<'PY'
+           "$OUT_DIR/servebench.json" \
+           "$OUT_DIR/micro_hashtable.json" \
+           "$OUT_DIR/micro_join.json" <<'PY'
 import json
 import os
 import sys
 
 records = []
 
-# micro_parallel, micro_engine and servebench already emit the target
-# record shape.
-with open(sys.argv[1]) as f:
-    records.extend(json.load(f))
-with open(sys.argv[2]) as f:
-    records.extend(json.load(f))
-with open(sys.argv[4]) as f:
-    records.extend(json.load(f))
+# micro_parallel, micro_engine, servebench, micro_hashtable and
+# micro_join already emit the target record shape.
+for arg in (1, 2, 4, 5, 6):
+    with open(sys.argv[arg]) as f:
+        records.extend(json.load(f))
 
 # Convert google-benchmark output: one record per benchmark entry, the
 # benchmark name split into experiment (binary/family) and config (args).

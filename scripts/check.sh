@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full static + dynamic gate for the repository:
-#   1. Release build, all tests          (build-release)
+#   1. Release build, all tests          (build-release), then the
+#      dispatch-sensitive suites again under PUMP_FORCE_SCALAR=1 so the
+#      interleaved fallback paths stay covered on AVX2 hosts
 #   2. ASan+UBSan build, all tests       (build-asan,  PUMP_SANITIZE=address)
 #   3. TSan build, concurrency tests     (build-tsan,  PUMP_SANITIZE=thread)
 #      plus the servebench --quick --soak fault sweep (concurrent
@@ -15,7 +17,9 @@
 #      must fail with named violations
 #   6. plandump over the SSB suite + Q6: every compiled plan must be
 #      well-formed JSON that passes structural checks (dense dimensions
-#      must select the perfect hash table)
+#      must select the perfect hash table), and the emitted plans must
+#      be byte-identical under PUMP_FORCE_SCALAR=1 (plan choice must not
+#      depend on SIMD dispatch)
 #   7. tracedump over SSB Q3 with tracing on: the Chrome trace JSON must
 #      parse with every B matched by an E, the metrics snapshot must
 #      carry the core counter families, the residual report must have a
@@ -56,6 +60,14 @@ configure_and_test() {
 # 1. Release: everything, warnings-as-errors enforced by the build itself.
 configure_and_test build-release "" ""
 
+# 1b. Forced-scalar lane: the same binaries with PUMP_FORCE_SCALAR=1, so
+#     the interleaved fallback paths stay exercised on AVX2 hosts (where
+#     the auto-dispatch run above took the vector kernels). Scoped to the
+#     suites that touch the dispatched probe/partition paths.
+say "test build-release (PUMP_FORCE_SCALAR=1: scalar-dispatch fallback)"
+PUMP_FORCE_SCALAR=1 ctest --test-dir build-release --output-on-failure \
+      -j "$JOBS" -R "hash_test|simd_test|join_test|star_test|plan_test"
+
 # 2. ASan+UBSan: everything, happens-before assertions forced on.
 configure_and_test build-asan "address" ""
 
@@ -64,7 +76,7 @@ configure_and_test build-asan "address" ""
 #    pipelines run multi-worker) and the observability layer (per-thread
 #    trace rings + counters hammered from all executor workers).
 configure_and_test build-tsan "thread" \
-  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test|server_test"
+  "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test|server_test|simd_test"
 
 # 3b. Server soak under TSan: >= 8 concurrent queries against the serving
 #     engine across workers x fault-probability cells, with poisoned
@@ -74,6 +86,9 @@ configure_and_test build-tsan "thread" \
 #     invariant violation (submitted == admitted + shed + rejected).
 say "servebench soak smoke (TSan, --quick): zero hung/lost queries"
 ./build-tsan/tools/servebench --quick --soak
+
+say "servebench soak smoke (TSan, --quick, PUMP_FORCE_SCALAR=1)"
+PUMP_FORCE_SCALAR=1 ./build-tsan/tools/servebench --quick --soak
 
 # 3c. Deterministic concurrency verifier (PUMP_VERIFY=ON): the explorer
 #     tests, then verifydump --quick. verifydump exits non-zero when any
@@ -202,6 +217,21 @@ for p in plans:
 print(f"{len(plans)} plans well-formed "
       f"({sum(len(p['pipelines']) for p in plans)} pipelines)")
 PY
+
+# 6b. Dispatch-independence guard: plan choice must not depend on the
+#     host's SIMD dispatch — the cost model's constants are deliberately
+#     static (the probe_simd residual class tracks the real difference),
+#     so the compiled plans must be byte-identical under forced scalar.
+say "plandump: plans must be bit-identical across dispatch modes"
+PUMP_FORCE_SCALAR=1 ./build-release/tools/plandump --query all \
+    --rows 50000 --policy gpu --json "$TMP_DIR/plans_scalar.json"
+if ! cmp -s "$PLANS_JSON" "$TMP_DIR/plans_scalar.json"; then
+  echo "FAIL: compiled plans differ between auto and forced-scalar" \
+       "dispatch (the cost model must stay dispatch-independent)" >&2
+  diff "$PLANS_JSON" "$TMP_DIR/plans_scalar.json" | head -20 >&2 || true
+  exit 1
+fi
+echo "plans identical under PUMP_FORCE_SCALAR=1"
 
 # 7. Trace gate: run SSB Q3 through the plan IR with the recorder on and
 #    validate all three artifacts. Malformed events (unbalanced B/E),

@@ -12,6 +12,15 @@ RunningStats Repeat(int runs, const std::function<double()>& sample) {
   return stats;
 }
 
+std::vector<double> RepeatSamples(int runs, int warmup,
+                                  const std::function<double()>& sample) {
+  for (int i = 0; i < warmup; ++i) (void)sample();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs > 0 ? runs : 0));
+  for (int i = 0; i < runs; ++i) samples.push_back(sample());
+  return samples;
+}
+
 void PrintBanner(std::ostream& os, const std::string& experiment,
                  const std::string& description) {
   os << "\n=== " << experiment << " ===\n" << description << "\n\n";

@@ -4,6 +4,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/statistics.h"
 
@@ -15,8 +16,20 @@ namespace pump::bench {
 /// error); functional measurements are not.
 RunningStats Repeat(int runs, const std::function<double()>& sample);
 
+/// Runs `sample()` `warmup` times discarding the results (cold caches,
+/// page faults, branch predictors and the first allocator growth all
+/// land in the warmup), then `runs` recorded times. Returns the
+/// recorded samples so callers can report order statistics (median,
+/// MAD) alongside mean/stderr — the functional benches showed stderr
+/// comparable to the mean without this.
+std::vector<double> RepeatSamples(int runs, int warmup,
+                                  const std::function<double()>& sample);
+
 /// Number of repetitions matching the paper.
 inline constexpr int kPaperRuns = 10;
+
+/// Default warmup iterations for functional (timed) benches.
+inline constexpr int kDefaultWarmup = 2;
 
 /// Prints a figure banner: which paper figure/table the following output
 /// regenerates and on which modelled system.

@@ -85,6 +85,20 @@ void JsonWriter::Record(const std::string& experiment,
       JsonRecord{experiment, config, mean, stderr_value, runs});
 }
 
+void JsonWriter::RecordSamples(const std::string& experiment,
+                               const std::string& config,
+                               const std::vector<double>& samples) {
+  RunningStats stats;
+  for (const double sample : samples) stats.Add(sample);
+  JsonRecord record{experiment, config, stats.mean(),
+                    stats.standard_error(),
+                    static_cast<int>(stats.count())};
+  record.median = Median(samples);
+  record.mad = MedianAbsoluteDeviation(samples);
+  record.has_distribution = true;
+  records_.push_back(std::move(record));
+}
+
 std::string JsonWriter::ToJson() const {
   std::ostringstream out;
   out << "[\n";
@@ -94,7 +108,12 @@ std::string JsonWriter::ToJson() const {
         << "\", \"config\": \"" << JsonEscape(r.config)
         << "\", \"mean\": " << JsonNumber(r.mean)
         << ", \"stderr\": " << JsonNumber(r.stderr_)
-        << ", \"runs\": " << r.runs << "}";
+        << ", \"runs\": " << r.runs;
+    if (r.has_distribution) {
+      out << ", \"median\": " << JsonNumber(r.median)
+          << ", \"mad\": " << JsonNumber(r.mad);
+    }
+    out << "}";
     if (i + 1 < records_.size()) out << ",";
     out << "\n";
   }

@@ -17,6 +17,14 @@ struct JsonRecord {
   double mean = 0.0;
   double stderr_ = 0.0;
   int runs = 0;
+  /// Order statistics, present when the record was built from raw
+  /// samples: the median and median absolute deviation are robust to
+  /// the cold-cache outliers that inflate mean/stderr at small run
+  /// counts. Serialized only when `has_distribution` is set, so records
+  /// from aggregate-only sources keep their old shape.
+  double median = 0.0;
+  double mad = 0.0;
+  bool has_distribution = false;
 };
 
 /// Collects bench measurements and writes them as a JSON array of
@@ -41,6 +49,10 @@ class JsonWriter {
               const RunningStats& stats);
   void Record(const std::string& experiment, const std::string& config,
               double mean, double stderr_value, int runs);
+  /// Appends one record from raw samples, additionally reporting
+  /// median + MAD (see JsonRecord::has_distribution).
+  void RecordSamples(const std::string& experiment, const std::string& config,
+                     const std::vector<double>& samples);
 
   /// Serializes all records to the configured path. Returns false when a
   /// path is set but cannot be written. No-op (true) when inactive.

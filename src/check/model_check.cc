@@ -559,11 +559,16 @@ ProfileReport CheckResiduals(const obs::ResidualReport& report,
   };
 
   for (const obs::ResidualRow& row : report.rows) {
-    if (row.pipeline_class != "build" && row.pipeline_class != "probe") {
+    // "probe_simd" is the CPU probe executed by the vectorized kernel
+    // (hash/simd_probe.h): tracedump splits it from "probe" so its
+    // calibration can drift independently of the interleaved path and
+    // still be caught by a per-class band.
+    if (row.pipeline_class != "build" && row.pipeline_class != "probe" &&
+        row.pipeline_class != "probe_simd") {
       out.violations.push_back(
           {"residual.rows", row.pipeline,
            "unknown pipeline class '" + row.pipeline_class +
-               "' (want build|probe)"});
+               "' (want build|probe|probe_simd)"});
       continue;
     }
     if (!std::isfinite(row.measured_s) || row.measured_s < 0.0 ||

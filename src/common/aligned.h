@@ -1,0 +1,48 @@
+#ifndef PUMP_COMMON_ALIGNED_H_
+#define PUMP_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace pump::common {
+
+/// Minimal over-aligned allocator. Partition outputs use it at 64-byte
+/// (cache-line) alignment so the software write-combining scatter
+/// (join/swwc.h) can flush whole lines with aligned non-temporal
+/// stores; operator new's default 16-byte alignment would silently
+/// disqualify every line.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0);
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// A vector whose buffer starts on a cache-line boundary.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace pump::common
+
+#endif  // PUMP_COMMON_ALIGNED_H_

@@ -1,0 +1,108 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define PUMP_X86_64 1
+#endif
+
+namespace pump::common {
+namespace {
+
+#ifdef PUMP_X86_64
+// XCR0 bits: SSE state (bit 1) and AVX/YMM state (bit 2) must both be
+// enabled by the OS before YMM registers may be used.
+constexpr unsigned kXcr0SseAvx = 0x6;
+
+unsigned long long ReadXcr0() {
+  unsigned eax = 0;
+  unsigned edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+#endif
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#ifdef PUMP_X86_64
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.sse42 = (ecx & bit_SSE4_2) != 0;
+    f.avx = (ecx & bit_AVX) != 0;
+    f.osxsave = (ecx & bit_OSXSAVE) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+    f.avx512f = (ebx & bit_AVX512F) != 0;
+  }
+  f.avx2_usable = f.avx2 && f.osxsave &&
+                  (ReadXcr0() & kXcr0SseAvx) == kXcr0SseAvx;
+#endif
+  return f;
+}
+
+// The override is an atomic (not a plain cached bool) so tests and
+// benches can flip dispatch mid-process and concurrent probe workers
+// observe a coherent value.
+std::atomic<bool>& ForceScalarFlag() {
+  static std::atomic<bool> flag{
+      ParseForceScalarEnv(std::getenv("PUMP_FORCE_SCALAR"))};
+  return flag;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+const char* SimdDispatchName(SimdDispatch dispatch) {
+  switch (dispatch) {
+    case SimdDispatch::kScalar:
+      return "scalar";
+    case SimdDispatch::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdDispatch ActiveSimdDispatch() {
+  if (ForceScalarFlag().load(std::memory_order_relaxed)) {
+    return SimdDispatch::kScalar;
+  }
+  if (Avx2KernelsCompiledIn() && DetectCpuFeatures().avx2_usable) {
+    return SimdDispatch::kAvx2;
+  }
+  return SimdDispatch::kScalar;
+}
+
+void SetForceScalar(bool force) {
+  ForceScalarFlag().store(force, std::memory_order_relaxed);
+}
+
+bool ForceScalar() {
+  return ForceScalarFlag().load(std::memory_order_relaxed);
+}
+
+bool ParseForceScalarEnv(const char* value) {
+  if (value == nullptr) return false;
+  if (value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+bool Avx2KernelsCompiledIn() {
+#ifdef PUMP_X86_64
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace pump::common

@@ -1,0 +1,82 @@
+#ifndef PUMP_COMMON_CPU_FEATURES_H_
+#define PUMP_COMMON_CPU_FEATURES_H_
+
+// Runtime CPU-feature detection and the process-wide SIMD dispatch
+// decision for the vectorized hot paths (hash/simd_probe.h,
+// join/swwc.h).
+//
+// The hot-path kernels are compiled into dedicated translation units
+// with -mavx2 (see src/CMakeLists.txt); everything else is built for
+// the baseline ISA and selects a kernel at runtime through
+// ActiveSimdDispatch(). AVX-512 is detected and reported through obs
+// metrics but never dispatched to: the downclocking/licensing behaviour
+// on the CPUs the paper models makes 256-bit the safe ceiling
+// (DESIGN.md section 14).
+
+namespace pump::common {
+
+/// What cpuid says the processor supports. `avx2_usable` additionally
+/// requires OS support for saving the YMM state (OSXSAVE + XCR0), which
+/// is what actually gates dispatch.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool avx512f = false;   // reported only, never dispatched to
+  bool osxsave = false;   // OS saves extended state (XGETBV available)
+  bool avx2_usable = false;
+};
+
+/// Detects once (thread-safe) and returns the cached result. On
+/// non-x86 builds every field is false.
+const CpuFeatures& DetectCpuFeatures();
+
+/// The kernel families a hot path can dispatch to. kScalar covers both
+/// the plain loops and the interleaved-prefetch batch paths — anything
+/// that does not require AVX2 codegen.
+enum class SimdDispatch {
+  kScalar,
+  kAvx2,
+};
+
+const char* SimdDispatchName(SimdDispatch dispatch);
+
+/// The process-wide dispatch decision: kAvx2 iff the CPU+OS support
+/// AVX2, the kernels were compiled in, and no force-scalar override is
+/// active. Cheap enough to call per batch (one relaxed atomic load).
+SimdDispatch ActiveSimdDispatch();
+
+/// Force-scalar override. Initialized at first use from the
+/// PUMP_FORCE_SCALAR environment variable ("" and "0" mean off,
+/// anything else on); tests and benches flip it at runtime to compare
+/// the scalar and vectorized paths in one process.
+void SetForceScalar(bool force);
+bool ForceScalar();
+
+/// Parses a PUMP_FORCE_SCALAR value; exposed for tests (the env var
+/// itself is read once at static init).
+bool ParseForceScalarEnv(const char* value);
+
+/// True when the AVX2 kernels were compiled into this binary (x86-64
+/// build with the dedicated -mavx2 translation units present).
+bool Avx2KernelsCompiledIn();
+
+/// RAII helper for tests/benches: forces scalar dispatch for the
+/// scope's lifetime, then restores the previous override.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force = true)
+      : previous_(ForceScalar()) {
+    SetForceScalar(force);
+  }
+  ~ScopedForceScalar() { SetForceScalar(previous_); }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace pump::common
+
+#endif  // PUMP_COMMON_CPU_FEATURES_H_

@@ -47,4 +47,15 @@ double Median(std::vector<double> samples) {
   return 0.5 * (samples[mid - 1] + upper);
 }
 
+double MedianAbsoluteDeviation(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  const double median = Median(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double sample : samples) {
+    deviations.push_back(std::abs(sample - median));
+  }
+  return Median(std::move(deviations));
+}
+
 }  // namespace pump

@@ -44,6 +44,11 @@ class RunningStats {
 /// Computes the median of a sample vector (copies; input unmodified).
 double Median(std::vector<double> samples);
 
+/// Median absolute deviation: median(|x - median(x)|). A robust spread
+/// estimate for noisy bench samples — one cold-cache outlier moves the
+/// standard error arbitrarily but barely moves the MAD.
+double MedianAbsoluteDeviation(const std::vector<double>& samples);
+
 }  // namespace pump
 
 #endif  // PUMP_COMMON_STATISTICS_H_

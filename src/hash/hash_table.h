@@ -8,9 +8,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 
+#include "common/cpu_features.h"
 #include "common/status.h"
 #include "hash/hash_function.h"
+#include "hash/simd_probe.h"
 
 namespace pump::hash {
 
@@ -89,6 +92,21 @@ class TableStorage {
     return reinterpret_cast<const V*>(base_ + capacity_ * sizeof(K))[slot];
   }
 
+  /// Raw (non-atomic) views of the key and value arrays for the
+  /// vectorized probe kernels (hash/simd_probe.h), whose gathers cannot
+  /// go through std::atomic. Valid only after the build/probe barrier:
+  /// the atomic wrapper is lock-free and layout-identical to K, and the
+  /// happens-before edge that already licenses the relaxed scalar reads
+  /// licenses plain (and gathered) loads just the same.
+  const K* raw_keys() const {
+    static_assert(std::atomic<K>::is_always_lock_free);
+    static_assert(sizeof(std::atomic<K>) == sizeof(K));
+    return reinterpret_cast<const K*>(base_);
+  }
+  const V* raw_values() const {
+    return reinterpret_cast<const V*>(base_ + capacity_ * sizeof(K));
+  }
+
   /// Prefetches the key at `slot` (and nothing else: values are loaded
   /// only on a match, Sec. 7.2.9).
   void PrefetchKey(std::size_t slot) const {
@@ -159,14 +177,34 @@ class PerfectHashTable {
     return true;
   }
 
-  /// Interleaved group probe: resolves `count` keys, setting `found[i]`
-  /// and (on a match) `values[i]`; returns the match count. Keys are
+  /// Batched probe: resolves `count` keys, setting `found[i]` and (on a
+  /// match) `values[i]`; returns the match count. Bit-identical results
+  /// to calling Lookup per key. Dispatches at runtime between the
+  /// 8-wide AVX2 gather kernel and the interleaved-prefetch fallback
+  /// (common/cpu_features.h); every call site — ProbePhase/ProbeRange,
+  /// the star probe, plan::operators, the hybrid table — picks the
+  /// vectorized path up through this entry point unchanged.
+  std::size_t ProbeBatch(const K* keys, std::size_t count, V* values,
+                         bool* found) const {
+    if constexpr (std::is_same_v<K, std::int64_t> &&
+                  std::is_same_v<V, std::int64_t>) {
+      if (common::ActiveSimdDispatch() == common::SimdDispatch::kAvx2) {
+        return simd::ProbePerfectAvx2(storage_.raw_keys(),
+                                      storage_.raw_values(),
+                                      storage_.capacity(), keys, count,
+                                      values, found);
+      }
+    }
+    return ProbeBatchInterleaved(keys, count, values, found);
+  }
+
+  /// Interleaved group probe, the portable ProbeBatch path: keys are
   /// processed in groups of kProbeBatchWidth — all bucket addresses of a
   /// group are computed and prefetched before any is dereferenced, so the
   /// dependent cache misses of a scalar Lookup loop become overlapped
-  /// ones. Bit-identical results to calling Lookup per key.
-  std::size_t ProbeBatch(const K* keys, std::size_t count, V* values,
-                         bool* found) const {
+  /// ones.
+  std::size_t ProbeBatchInterleaved(const K* keys, std::size_t count,
+                                    V* values, bool* found) const {
     std::size_t matches = 0;
     const std::size_t capacity = storage_.capacity();
     std::size_t slots[kProbeBatchWidth];
@@ -284,14 +322,32 @@ class LinearProbingHashTable {
     return false;
   }
 
-  /// Interleaved group probe (see PerfectHashTable::ProbeBatch): hashes
-  /// and prefetches the first bucket of kProbeBatchWidth keys before
+  /// Batched probe (see PerfectHashTable::ProbeBatch): dispatches at
+  /// runtime between the 8-wide AVX2 kernel — vectorized Murmur3 mix,
+  /// gather of each probe's first bucket, compare mask, scalar collision
+  /// fallback — and the interleaved-prefetch path. Bit-identical results
+  /// to calling Lookup per key.
+  std::size_t ProbeBatch(const K* keys, std::size_t count, V* values,
+                         bool* found) const {
+    if constexpr (std::is_same_v<K, std::int64_t> &&
+                  std::is_same_v<V, std::int64_t>) {
+      if (common::ActiveSimdDispatch() == common::SimdDispatch::kAvx2) {
+        return simd::ProbeLinearAvx2(storage_.raw_keys(),
+                                     storage_.raw_values(), mask_, keys,
+                                     count, values, found);
+      }
+    }
+    return ProbeBatchInterleaved(keys, count, values, found);
+  }
+
+  /// Interleaved group probe, the portable ProbeBatch path: hashes and
+  /// prefetches the first bucket of kProbeBatchWidth keys before
   /// resolving any, overlapping the initial — usually only — miss of each
   /// probe chain. Chain steps past the first bucket proceed scalar; at
   /// the 0.5 default load factor chains are short and mostly stay on the
   /// prefetched line (8 keys per 64-byte line for 64-bit keys).
-  std::size_t ProbeBatch(const K* keys, std::size_t count, V* values,
-                         bool* found) const {
+  std::size_t ProbeBatchInterleaved(const K* keys, std::size_t count,
+                                    V* values, bool* found) const {
     std::size_t matches = 0;
     std::size_t slots[kProbeBatchWidth];
     for (std::size_t base = 0; base < count; base += kProbeBatchWidth) {

@@ -1,0 +1,48 @@
+#ifndef PUMP_HASH_SIMD_PROBE_H_
+#define PUMP_HASH_SIMD_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// 8-wide AVX2 probe kernels for the int64 key/value hash tables. The
+// implementations live in simd_probe.cc, the only hash translation unit
+// compiled with -mavx2 (see src/CMakeLists.txt) — keeping intrinsics
+// out of the headers lets every other TU build for the baseline ISA.
+//
+// Callers (hash_table.h's ProbeBatch entry points) are responsible for
+// checking common::ActiveSimdDispatch() == SimdDispatch::kAvx2 before
+// dispatching here; on non-AVX2 hosts these symbols still link (scalar
+// fallback bodies) so the dispatch check is a policy, not a safety,
+// gate.
+//
+// All kernels are bit-identical to the scalar Lookup/ProbeBatch loops:
+// same match set, same values, same found flags — including the
+// empty-sentinel corner (a probe key of -1 must miss even though it
+// compares equal to kEmptySlot, so the empty check wins over the key
+// compare, exactly as in the scalar chain).
+
+namespace pump::hash::simd {
+
+/// Probes a perfect-hash table (slot == key) for `count` keys. Reads
+/// the raw key/value arrays (TableStorage::raw_keys/raw_values) — valid
+/// only after the build/probe barrier. Out-of-domain keys are masked
+/// out of the gather. Returns the match count.
+std::size_t ProbePerfectAvx2(const std::int64_t* slot_keys,
+                             const std::int64_t* slot_values,
+                             std::size_t capacity, const std::int64_t* keys,
+                             std::size_t count, std::int64_t* values,
+                             bool* found);
+
+/// Probes a linear-probing table (capacity = mask + 1, power of two)
+/// for `count` keys: vectorized Murmur3 mix + gather of each probe's
+/// first bucket + compare mask; lanes that neither hit nor see an empty
+/// slot fall back to the scalar chain walk. Returns the match count.
+std::size_t ProbeLinearAvx2(const std::int64_t* slot_keys,
+                            const std::int64_t* slot_values,
+                            std::size_t mask, const std::int64_t* keys,
+                            std::size_t count, std::int64_t* values,
+                            bool* found);
+
+}  // namespace pump::hash::simd
+
+#endif  // PUMP_HASH_SIMD_PROBE_H_

@@ -138,6 +138,13 @@ class NopaJoinModel {
                            const HashTablePlacement::Part& part,
                            const data::WorkloadSpec& workload) const;
 
+  /// The memory side of the access rate (harmonic blend over the table
+  /// parts), before the compute term is folded in — probes and inserts
+  /// blend it with different compute rates.
+  PerSecond MemorySideRate(hw::DeviceId device,
+                           const HashTablePlacement& placement,
+                           const data::WorkloadSpec& workload) const;
+
   const hw::SystemProfile* profile_;
   transfer::TransferModel transfer_model_;
 };

@@ -3,13 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "data/relation.h"
 #include "exec/parallel.h"
 #include "hash/hash_table.h"
 #include "join/nopa.h"
+#include "join/swwc.h"
 
 namespace pump::join {
 
@@ -23,11 +26,13 @@ struct RadixJoinOptions {
 };
 
 /// Result of the parallel partitioning pass: tuples scattered into
-/// partition-contiguous storage plus partition boundaries.
+/// partition-contiguous storage plus partition boundaries. The columns
+/// are cache-line aligned so the write-combining scatter can flush
+/// whole lines with aligned non-temporal stores.
 template <typename K, typename V>
 struct Partitioned {
-  std::vector<K> keys;
-  std::vector<V> payloads;
+  common::CacheAlignedVector<K> keys;
+  common::CacheAlignedVector<V> payloads;
   /// partition p occupies [offsets[p], offsets[p + 1]).
   std::vector<std::size_t> offsets;
 };
@@ -75,11 +80,35 @@ Partitioned<K, V> RadixPartition(const data::Relation<K, V>& input,
   }
   out.offsets[partitions] = running;
 
-  // Pass 2: scatter.
+  // Pass 2: scatter. With AVX2 dispatch active, int64 tuples go through
+  // per-partition software write-combining buffers that flush whole
+  // cache lines with non-temporal stores (join/swwc.h) instead of
+  // scattering straight into `partitions` live output streams; slot
+  // assignment is identical either way. The SWWC path is skipped when
+  // the line buffers themselves would blow the cache (> 2^14
+  // partitions = 2 MiB of scratch per worker).
+  const bool use_swwc = [&] {
+    if constexpr (std::is_same_v<K, std::int64_t> &&
+                  std::is_same_v<V, std::int64_t>) {
+      return swwc::StreamingActive() &&
+             partitions <= (std::size_t{1} << 14);
+    } else {
+      return false;
+    }
+  }();
   exec::ParallelFor(workers, [&](std::size_t w) {
     const std::size_t begin = std::min(n, w * chunk);
     const std::size_t end = std::min(n, begin + chunk);
     auto& cursor = cursors[w];
+    if constexpr (std::is_same_v<K, std::int64_t> &&
+                  std::is_same_v<V, std::int64_t>) {
+      if (use_swwc) {
+        swwc::ScatterSwwcInt64(input.keys.data(), input.payloads.data(),
+                               begin, end, mask, cursor.data(), partitions,
+                               out.keys.data(), out.payloads.data());
+        return;
+      }
+    }
     for (std::size_t i = begin; i < end; ++i) {
       const std::size_t p = static_cast<std::size_t>(input.keys[i]) & mask;
       const std::size_t slot = cursor[p]++;

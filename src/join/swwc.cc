@@ -1,0 +1,111 @@
+#include "join/swwc.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PUMP_SWWC_X86 1
+#endif
+
+namespace pump::join::swwc {
+namespace {
+
+constexpr std::size_t kLineMask = kLineTuples - 1;
+
+// Flushes buf[from, kLineTuples) to dst_line[from, kLineTuples). A full
+// line (from == 0) with a 32-byte-aligned destination streams past the
+// cache; partial lines — the head of a worker's cursor region, whose
+// leading slots belong to the previous worker — use plain stores so a
+// neighbour's bytes on the shared line are never written. Returns true
+// when it streamed (caller fences once at the end).
+inline bool FlushLine(std::int64_t* dst_line, const std::int64_t* buf,
+                      std::size_t from) {
+#ifdef PUMP_SWWC_X86
+  if (from == 0 &&
+      (reinterpret_cast<std::uintptr_t>(dst_line) & 31u) == 0) {
+    _mm256_stream_si256(
+        reinterpret_cast<__m256i*>(dst_line),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf)));
+    _mm256_stream_si256(
+        reinterpret_cast<__m256i*>(dst_line + 4),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf + 4)));
+    return true;
+  }
+#endif
+  for (std::size_t i = from; i < kLineTuples; ++i) {
+    dst_line[i] = buf[i];
+  }
+  return false;
+}
+
+}  // namespace
+
+bool StreamingActive() {
+#ifdef PUMP_SWWC_X86
+  return common::ActiveSimdDispatch() == common::SimdDispatch::kAvx2;
+#else
+  return false;
+#endif
+}
+
+void ScatterSwwcInt64(const std::int64_t* keys, const std::int64_t* payloads,
+                      std::size_t begin, std::size_t end, std::size_t mask,
+                      std::size_t* cursors, std::size_t partitions,
+                      std::int64_t* out_keys, std::int64_t* out_payloads) {
+  // Per-partition line buffers: one 64-byte line of keys and one of
+  // payloads. The buffer slot for output position `slot` is
+  // `slot & kLineMask`, so a cursor region that starts mid-line fills
+  // its line buffer from the matching offset and the head flush knows
+  // which slots are real.
+  std::vector<std::int64_t> key_lines(partitions * kLineTuples);
+  std::vector<std::int64_t> payload_lines(partitions * kLineTuples);
+  // Region starts: slots below these belong to the previous worker.
+  std::vector<std::size_t> start(cursors, cursors + partitions);
+
+  bool streamed = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::int64_t key = keys[i];
+    const std::size_t p = static_cast<std::size_t>(key) & mask;
+    const std::size_t slot = cursors[p]++;
+    const std::size_t pos = slot & kLineMask;
+    key_lines[p * kLineTuples + pos] = key;
+    payload_lines[p * kLineTuples + pos] = payloads[i];
+    if (pos == kLineMask) {
+      const std::size_t line_begin = slot - kLineMask;
+      const std::size_t from =
+          start[p] > line_begin ? start[p] - line_begin : 0;
+      streamed |= FlushLine(out_keys + line_begin,
+                            key_lines.data() + p * kLineTuples, from);
+      streamed |= FlushLine(out_payloads + line_begin,
+                            payload_lines.data() + p * kLineTuples, from);
+    }
+  }
+
+  // Drain the partial tail line of every partition with plain stores:
+  // the slots past the cursor belong to the next worker's region.
+  for (std::size_t p = 0; p < partitions; ++p) {
+    const std::size_t cur = cursors[p];
+    const std::size_t line_begin = cur & ~kLineMask;
+    const std::size_t tail_from = std::max(start[p], line_begin);
+    for (std::size_t slot = tail_from; slot < cur; ++slot) {
+      out_keys[slot] = key_lines[p * kLineTuples + (slot & kLineMask)];
+      out_payloads[slot] =
+          payload_lines[p * kLineTuples + (slot & kLineMask)];
+    }
+  }
+
+#ifdef PUMP_SWWC_X86
+  // Publish the non-temporal stores before the ParallelFor join's
+  // release edge: sfence orders streaming stores with subsequent
+  // ordinary stores.
+  if (streamed) _mm_sfence();
+#else
+  (void)streamed;
+#endif
+}
+
+}  // namespace pump::join::swwc

@@ -1,0 +1,53 @@
+#ifndef PUMP_JOIN_SWWC_H_
+#define PUMP_JOIN_SWWC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Software write-combining scatter for the radix partition pass
+// (join/radix.h). A direct scatter writes each tuple straight to its
+// partition cursor: with P live output streams the store buffer and
+// line-fill buffers thrash, and every partition line is read for
+// ownership before being overwritten. The SWWC scatter instead stages
+// tuples in per-partition cache-line-sized buffers (8 x 64-bit slots =
+// one 64-byte line) and flushes a full line at a time with non-temporal
+// _mm256_stream_si256 stores — one line leaves the core per flush, no
+// read-for-ownership, no cache pollution — followed by one _mm_sfence
+// per worker on finalize. The implementation lives in swwc.cc, compiled
+// with -mavx2 (see src/CMakeLists.txt); a scalar fallback body keeps
+// the symbol linkable everywhere.
+//
+// Slot assignment is bit-identical to the direct scatter: tuples land
+// at exactly the cursor positions the prefix sum assigned, so the
+// partition output (and the hb-claims ledger of any dispatcher driving
+// the pass) is unchanged.
+
+namespace pump::join::swwc {
+
+/// Tuples per write-combining line: 8 x int64 = 64 bytes.
+inline constexpr std::size_t kLineTuples = 8;
+
+/// True when the streaming (non-temporal) flush path is active:
+/// AVX2 dispatch selected and the kernels compiled in.
+bool StreamingActive();
+
+/// Scatters input[begin, end) into out_keys/out_payloads through
+/// per-partition write-combining buffers. `cursors[p]` holds the
+/// worker's next write slot for partition p (from the prefix sum) and
+/// is advanced past the scattered tuples, exactly as the direct
+/// scatter would. Partition of a tuple is `key & mask`.
+///
+/// Line flushes use non-temporal stores only for lines that lie fully
+/// inside this worker's cursor region and start 32-byte aligned;
+/// partial head/tail lines at region boundaries use plain stores, so
+/// neighbouring workers' slots on a shared line are never touched.
+/// Issues an _mm_sfence before returning when any streaming store was
+/// used, so the caller's ParallelFor join publishes ordinary visibility.
+void ScatterSwwcInt64(const std::int64_t* keys, const std::int64_t* payloads,
+                      std::size_t begin, std::size_t end, std::size_t mask,
+                      std::size_t* cursors, std::size_t partitions,
+                      std::int64_t* out_keys, std::int64_t* out_payloads);
+
+}  // namespace pump::join::swwc
+
+#endif  // PUMP_JOIN_SWWC_H_

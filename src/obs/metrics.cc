@@ -1,9 +1,11 @@
 #include "obs/metrics.h"
 
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "bench_support/json_writer.h"
+#include "common/cpu_features.h"
 
 namespace pump::obs {
 
@@ -124,6 +126,26 @@ void EnsureCoreMetrics() {
   MetricsRegistry& registry = MetricsRegistry::Instance();
   for (const char* name : kCoreCounters) (void)registry.GetCounter(name);
   for (const char* name : kCoreHistograms) (void)registry.GetHistogram(name);
+
+  // The process-wide SIMD dispatch decision (common/cpu_features.h),
+  // exposed as 0/1 gauges so any metrics snapshot records which probe
+  // and partition kernels produced it. cpu.simd.avx512f is report-only:
+  // detection exists but nothing dispatches to it (DESIGN.md Sec. 14).
+  // Latched once — a later SetForceScalar (tests, benches) is a local
+  // experiment, not the process decision.
+  static std::once_flag simd_once;
+  std::call_once(simd_once, [&registry] {
+    const common::CpuFeatures& cpu = common::DetectCpuFeatures();
+    const auto set = [&registry](const char* name, bool value) {
+      Counter& gauge = registry.GetCounter(name);
+      if (value) gauge.Add(1);
+    };
+    set("cpu.simd.sse42", cpu.sse42);
+    set("cpu.simd.avx2", cpu.avx2_usable);
+    set("cpu.simd.avx512f", cpu.avx512f);
+    set("cpu.simd.dispatch_avx2",
+        common::ActiveSimdDispatch() == common::SimdDispatch::kAvx2);
+  });
 }
 
 }  // namespace pump::obs

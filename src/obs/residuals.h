@@ -15,7 +15,7 @@ namespace pump::obs {
 /// cost-model policy).
 struct ResidualRow {
   std::string pipeline;           // "ssb-q3/build[0]", "ssb-q3/probe", ...
-  std::string pipeline_class;     // "build" | "probe"
+  std::string pipeline_class;     // "build" | "probe" | "probe_simd"
   std::string placement_planned;  // "cpu" | "gpu" | "heterogeneous"
   std::string placement_used;
   double predicted_s = 0.0;

@@ -20,6 +20,10 @@
 // --residual-band takes `min:max` (default band for all classes) or
 // `class=min:max` (band for one pipeline class, repeatable); without any
 // band flag the check only validates report shape and ratio consistency.
+// Pipeline classes are build, probe, and probe_simd — the latter is a
+// CPU probe that ran the vectorized kernel (hash/simd_probe.h), split
+// out so calibration drift of the SIMD path is caught independently,
+// e.g. --residual-band probe_simd=0.2:5.
 // The JSON report and nonzero-exit conventions are shared with the
 // profile mode.
 

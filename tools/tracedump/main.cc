@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "data/tpch.h"
 #include "engine/ssb.h"
 #include "exec/parallel.h"
@@ -209,6 +210,14 @@ int main(int argc, char** argv) {
     pump::obs::ResidualRow row;
     row.pipeline = pipeline.name;
     row.pipeline_class = pipeline.kind;
+    // A CPU probe executed under AVX2 dispatch ran the vectorized
+    // kernel, not the interleaved one — classify it separately so
+    // modelcheck --residuals bands the two calibrations independently.
+    if (pipeline.kind == "probe" && pipeline.placement_used == "cpu" &&
+        pump::common::ActiveSimdDispatch() ==
+            pump::common::SimdDispatch::kAvx2) {
+      row.pipeline_class = "probe_simd";
+    }
     row.placement_planned = pipeline.placement_planned;
     row.placement_used = pipeline.placement_used;
     row.predicted_s = pipeline.predicted_s;
