@@ -16,6 +16,10 @@
 #   servebench      — serving-layer closed-loop driver: qps, p50/p99
 #                     latency, cache hit rate, shed/cancel/deadline
 #                     counters
+#   ext_multi_gpu_mesh — sharded-join scaling over N-GPU meshes: modelled
+#                     speedup and exchange cost per {ring, crossbar,
+#                     host-bounce} x {1,2,4,8} GPUs, results checked
+#                     bit-identical to the CPU reference
 #
 # A bench binary that crashes mid-run (or writes empty/unparseable JSON)
 # fails the whole script with a named, non-zero error — partial records
@@ -77,7 +81,7 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DPUMP_SANITIZE="" >/dev/null
 cmake --build build-release -j "$JOBS" \
       --target micro_parallel micro_engine micro_hashtable micro_join \
-               micro_morsel servebench
+               micro_morsel servebench ext_multi_gpu_mesh
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -114,6 +118,11 @@ run_bench "servebench ${QUICK:-"(full sizes)"}" \
     --json="$OUT_DIR/servebench.json"
 check_json servebench "$OUT_DIR/servebench.json"
 
+run_bench "ext_multi_gpu_mesh ${QUICK:-"(full sizes)"}" \
+    ./build-release/bench/ext_multi_gpu_mesh ${QUICK} \
+    --json="$OUT_DIR/mesh_scaling.json" >/dev/null
+check_json ext_multi_gpu_mesh "$OUT_DIR/mesh_scaling.json"
+
 say "merge into BENCH_micro.json"
 # Merge, never overwrite wholesale: records from this run replace prior
 # records with the same (experiment, config) key; every other prior
@@ -125,16 +134,17 @@ python3 - "$OUT_DIR/micro_parallel.json" \
            "$OUT_DIR/micro_morsel_gbench.json" \
            "$OUT_DIR/servebench.json" \
            "$OUT_DIR/micro_hashtable.json" \
-           "$OUT_DIR/micro_join.json" <<'PY'
+           "$OUT_DIR/micro_join.json" \
+           "$OUT_DIR/mesh_scaling.json" <<'PY'
 import json
 import os
 import sys
 
 records = []
 
-# micro_parallel, micro_engine, servebench, micro_hashtable and
-# micro_join already emit the target record shape.
-for arg in (1, 2, 4, 5, 6):
+# micro_parallel, micro_engine, servebench, micro_hashtable, micro_join
+# and ext_multi_gpu_mesh already emit the target record shape.
+for arg in (1, 2, 4, 5, 6, 7):
     with open(sys.argv[arg]) as f:
         records.extend(json.load(f))
 

@@ -14,7 +14,9 @@
 #   4. micro_parallel + micro_engine --quick smoke runs (probe pipeline
 #      and fused-vs-plan-IR self-checks)
 #   5. modelcheck: both testbed profiles must pass, the broken fixture
-#      must fail with named violations
+#      must fail with named violations; modelcheck --mesh must accept
+#      every N-GPU mesh topology profile (ring/crossbar/SLI/P2P/
+#      host-bounce) and reject the broken mesh fixture
 #   6. plandump over the SSB suite + Q6: every compiled plan must be
 #      well-formed JSON that passes structural checks (dense dimensions
 #      must select the perfect hash table), and the emitted plans must
@@ -176,6 +178,20 @@ if ./build-release/tools/modelcheck --profile broken-fixture >/dev/null; then
   exit 1
 fi
 echo "broken fixture rejected, as expected"
+
+# 5b. Mesh lint: every N-GPU topology profile the exchange planner can
+#     route over must pass the structural + peering checks; the broken
+#     mesh fixture (orphaned GPU, over-electrical host link) must not.
+say "modelcheck --mesh: all mesh topology profiles"
+./build-release/tools/modelcheck --mesh >/dev/null
+
+say "modelcheck --mesh: broken mesh fixture must fail"
+if ./build-release/tools/modelcheck --mesh \
+    --profile broken-mesh-fixture >/dev/null; then
+  echo "FAIL: modelcheck accepted the deliberately broken mesh fixture" >&2
+  exit 1
+fi
+echo "broken mesh fixture rejected, as expected"
 
 # 6. Plan gate: compile the SSB suite + Q6 to physical plans (plandump
 #    already re-checks each plan with plan::ValidatePlan; a malformed

@@ -72,6 +72,12 @@ bool LinkReferenceFor(hw::LinkFamily family, LinkReference* ref) {
     case hw::LinkFamily::kXbus:
       *ref = {32.0, 64.0, 143.0};
       return true;
+    case hw::LinkFamily::kNvswitch:
+    case hw::LinkFamily::kNvlinkSli:
+    case hw::LinkFamily::kPcie3P2p:
+      // Mesh families come from "Evaluating Modern GPU Interconnect"
+      // (Li et al.), not this paper's Figs. 1-3; calibration is skipped.
+      return false;
   }
   return false;
 }
@@ -509,6 +515,60 @@ ProfileReport CheckProfile(const hw::SystemProfile& profile) {
   return report;
 }
 
+void CheckMeshPeering(const hw::SystemProfile& profile,
+                      ProfileReport* report) {
+  report->checks_run.push_back("mesh.gpu-present");
+  report->checks_run.push_back("mesh.peer-path");
+  const hw::Topology& topo = profile.topology;
+  const std::vector<hw::DeviceId> gpus =
+      topo.DevicesOfKind(hw::DeviceKind::kGpu);
+  if (gpus.empty()) {
+    Violate(report, "mesh.gpu-present", profile.name,
+            "an N-GPU mesh profile must contain at least one GPU");
+    return;
+  }
+  // Every GPU pair must route within the mesh diameter: at worst a bounce
+  // through every CPU socket plus half the GPU ring. The exchange planner
+  // routes each partition over exactly these paths, so an unroutable or
+  // absurdly long pair means the mesh was mis-declared.
+  const std::size_t diameter_bound =
+      topo.DevicesOfKind(hw::DeviceKind::kCpu).size() + gpus.size();
+  for (std::size_t a = 0; a < gpus.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpus.size(); ++b) {
+      Result<hw::Route> route = topo.FindRoute(gpus[a], gpus[b]);
+      const std::string subject = DeviceLabel(topo, gpus[a]) + " <-> " +
+                                  DeviceLabel(topo, gpus[b]);
+      if (!route.ok()) {
+        Violate(report, "mesh.peer-path", subject,
+                "no exchange path between this GPU pair");
+        continue;
+      }
+      if (route.value().hops() > diameter_bound) {
+        Violate(report, "mesh.peer-path", subject,
+                "exchange path of " +
+                    std::to_string(route.value().hops()) +
+                    " hops exceeds the mesh diameter bound " +
+                    std::to_string(diameter_bound));
+      }
+    }
+  }
+}
+
+ProfileReport CheckMeshProfile(const hw::SystemProfile& profile) {
+  ProfileReport report;
+  report.profile = profile.name;
+  // Mesh link constants come from Li et al., not this paper's Figs. 1-3,
+  // and the cost-model crossover sweep is calibrated for the two testbeds;
+  // both are skipped here. Everything structural still applies.
+  CheckConnectivity(profile, &report);
+  CheckRouteSymmetry(profile, &report);
+  CheckLinkSanity(profile, &report);
+  CheckMemorySanity(profile, &report);
+  CheckLittlesLaw(profile, &report);
+  CheckMeshPeering(profile, &report);
+  return report;
+}
+
 std::string ReportsToJson(const std::vector<ProfileReport>& reports) {
   std::ostringstream os;
   bool all_ok = true;
@@ -562,13 +622,17 @@ ProfileReport CheckResiduals(const obs::ResidualReport& report,
     // "probe_simd" is the CPU probe executed by the vectorized kernel
     // (hash/simd_probe.h): tracedump splits it from "probe" so its
     // calibration can drift independently of the interleaved path and
-    // still be caught by a per-class band.
+    // still be caught by a per-class band. "exchange" is the all-to-all
+    // partition shuffle of a sharded plan (plan::ExchangeStage), whose
+    // prediction comes from the interconnect model rather than the join
+    // kernels.
     if (row.pipeline_class != "build" && row.pipeline_class != "probe" &&
-        row.pipeline_class != "probe_simd") {
+        row.pipeline_class != "probe_simd" &&
+        row.pipeline_class != "exchange") {
       out.violations.push_back(
           {"residual.rows", row.pipeline,
            "unknown pipeline class '" + row.pipeline_class +
-               "' (want build|probe|probe_simd)"});
+               "' (want build|probe|probe_simd|exchange)"});
       continue;
     }
     if (!std::isfinite(row.measured_s) || row.measured_s < 0.0 ||
@@ -631,6 +695,28 @@ hw::SystemProfile BrokenFixtureProfile() {
   (void)topo.AddLink(0, 1, hw::Xbus());
   (void)topo.AddLink(0, 2, inflated_nvlink);
 
+  profile.topology = std::move(topo);
+  return profile;
+}
+
+hw::SystemProfile BrokenMeshFixtureProfile() {
+  hw::SystemProfile profile = hw::HostBounceMeshProfile(4);
+  profile.name = "broken-mesh-fixture";
+
+  // Rebuild the mesh but leave the last GPU unlinked: a connectivity and
+  // mesh.peer-path violation. The third GPU's host link also claims more
+  // measured than electrical bandwidth.
+  hw::Topology topo;
+  const hw::DeviceId cpu =
+      topo.AddDevice(hw::Power9(), hw::Power9Memory(), hw::Power9L3());
+  hw::LinkSpec inflated = hw::Nvlink2x3();
+  inflated.seq_bw = inflated.electrical_bw * 2.0;
+  for (int g = 0; g < 4; ++g) {
+    const hw::DeviceId gpu =
+        topo.AddDevice(hw::TeslaV100(), hw::V100Hbm2(), hw::V100L2());
+    if (g == 3) continue;  // Orphaned GPU.
+    (void)topo.AddLink(cpu, gpu, g == 2 ? inflated : hw::Nvlink2x3());
+  }
   profile.topology = std::move(topo);
   return profile;
 }

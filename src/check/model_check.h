@@ -79,6 +79,20 @@ void CheckCostModel(const hw::SystemProfile& profile, ProfileReport* report);
 /// Runs every check above on one profile.
 ProfileReport CheckProfile(const hw::SystemProfile& profile);
 
+/// Mesh-specific lint: an N-GPU profile must contain at least one GPU and
+/// every GPU pair must have an exchange route within the mesh diameter
+/// (host sockets + GPU count). These are the paths the sharded-join
+/// exchange planner routes partitions over.
+void CheckMeshPeering(const hw::SystemProfile& profile,
+                      ProfileReport* report);
+
+/// Runs the structural checks (connectivity, route symmetry, link/memory
+/// sanity, Little's law) plus the mesh peering lint on an N-GPU mesh
+/// profile. Paper-figure calibration and the CPU/GPU crossover sweep are
+/// skipped: the mesh link constants come from "Evaluating Modern GPU
+/// Interconnect" (Li et al.), not this paper's testbeds.
+ProfileReport CheckMeshProfile(const hw::SystemProfile& profile);
+
 /// Acceptable measured/predicted ratio band for one pipeline class of a
 /// residual report (see obs/residuals.h). A ratio outside the band means
 /// the cost model mis-predicts that pipeline class by more than the
@@ -116,6 +130,12 @@ inline constexpr double kCalibrationTolerance = 0.10;
 /// is far off Fig. 3, and the GPU's outstanding-request budget cannot
 /// sustain its advertised HBM2 random-access rate.
 hw::SystemProfile BrokenFixtureProfile();
+
+/// A deliberately broken 4-GPU host-bounce mesh used by tests and the
+/// `--mesh --profile broken-mesh-fixture` mode: one GPU is left unlinked
+/// (connectivity + mesh peering violations) and another's host link claims
+/// more measured than electrical bandwidth.
+hw::SystemProfile BrokenMeshFixtureProfile();
 
 }  // namespace pump::check
 

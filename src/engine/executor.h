@@ -118,6 +118,13 @@ struct ExecReport {
   /// ladder's CPU re-placement, recording placement tried vs. used,
   /// attempts and retries per pipeline. Empty on the legacy fused path.
   std::vector<PipelineOutcome> pipelines;
+  /// Per-shard outcome rows of a sharded (multi-device) plan: the
+  /// exchange stage first (kind "exchange"), then one "shard[i]@dev<d>"
+  /// row per shard device (kind "probe"). Empty for single-device plans.
+  std::vector<PipelineOutcome> shards;
+  /// Shards the fault ladder re-placed on the CPU (a failed device
+  /// degrades only its own shards; the other devices keep theirs).
+  std::size_t shards_replaced = 0;
 };
 
 /// Functional query executor, now a facade over the plan IR: queries

@@ -16,6 +16,12 @@ const char* LinkFamilyToString(LinkFamily family) {
       return "UPI";
     case LinkFamily::kXbus:
       return "X-Bus";
+    case LinkFamily::kNvswitch:
+      return "NVSwitch";
+    case LinkFamily::kNvlinkSli:
+      return "NV-SLI";
+    case LinkFamily::kPcie3P2p:
+      return "PCI-e 3.0 P2P";
   }
   return "Unknown";
 }
@@ -99,6 +105,60 @@ LinkSpec Xbus() {
   link.header_bytes = Bytes(16.0);
   link.max_payload_bytes = Bytes(128.0);
   link.cache_coherent = true;
+  link.access_granularity = Bytes(128.0);
+  return link;
+}
+
+LinkSpec NvSwitchLink() {
+  LinkSpec link;
+  link.name = "NVSwitch (6 links)";
+  link.family = LinkFamily::kNvswitch;
+  link.electrical_bw = GBPerSecond(150.0);  // 6 x 25 GB/s into the fabric.
+  link.seq_bw = GiBPerSecond(125.0);        // Li et al.: ~130 GB/s P2P.
+  link.duplex_bw = GiBPerSecond(240.0);
+  // Peer random reads move 32 B sectors at the port's sequential rate, as
+  // on direct NVLink bundles (no NPU on the GPU-GPU path).
+  link.access_granularity = Bytes(32.0);
+  link.random_access_rate = link.seq_bw / link.access_granularity;
+  // The switch hop adds ~1.3x the direct NVLink latency (Li et al.).
+  link.hop_latency = Nanoseconds(480.0);
+  link.header_bytes = Bytes(16.0);
+  link.max_payload_bytes = Bytes(256.0);
+  link.cache_coherent = true;  // Carries the NVLink coherence protocol.
+  return link;
+}
+
+LinkSpec NvSliBridge() {
+  LinkSpec link;
+  link.name = "NV-SLI bridge (2 links)";
+  link.family = LinkFamily::kNvlinkSli;
+  link.electrical_bw = GBPerSecond(50.0);  // 2 x 25 GB/s.
+  link.seq_bw = GiBPerSecond(41.0);        // Li et al.: ~44 GB/s peak.
+  link.duplex_bw = GiBPerSecond(78.0);
+  link.access_granularity = Bytes(32.0);
+  link.random_access_rate = link.seq_bw / link.access_granularity;
+  link.hop_latency = Nanoseconds(400.0);
+  link.header_bytes = Bytes(16.0);
+  link.max_payload_bytes = Bytes(256.0);
+  // x86 hosts expose no system-wide coherence over the bridge; peers use
+  // explicit DMA, not pageable access.
+  link.cache_coherent = false;
+  return link;
+}
+
+LinkSpec GpuDirectP2p() {
+  LinkSpec link;
+  link.name = "GPUDirect P2P (PCI-e 3.0)";
+  link.family = LinkFamily::kPcie3P2p;
+  link.electrical_bw = GBPerSecond(16.0);
+  link.seq_bw = GiBPerSecond(10.0);  // Li et al.: ~9-10 GB/s peer DMA.
+  link.duplex_bw = GiBPerSecond(17.0);
+  link.random_access_rate = PerSecond(0.15 * kGiB / 4.0);
+  // Peer transactions traverse the root complex both ways.
+  link.hop_latency = Nanoseconds(900.0);
+  link.header_bytes = Bytes(24.0);
+  link.max_payload_bytes = Bytes(512.0);
+  link.cache_coherent = false;
   link.access_granularity = Bytes(128.0);
   return link;
 }

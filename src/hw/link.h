@@ -9,11 +9,18 @@
 namespace pump::hw {
 
 /// Interconnect families modeled after the paper (Sec. 2.2 and Fig. 2).
+/// The last three families extend the model to N-GPU meshes with specs
+/// from "Evaluating Modern GPU Interconnect" (Li et al.); they are not
+/// calibrated against this paper's Figs. 1-3, so modelcheck skips the
+/// paper-calibration lint for them.
 enum class LinkFamily : std::uint8_t {
-  kPcie3,     ///< PCI Express 3.0 x16 (tree topology, non-coherent).
-  kNvlink2,   ///< NVLink 2.0, 3 bundled links (mesh, cache-coherent).
-  kUpi,       ///< Intel Ultra Path Interconnect (CPU-CPU).
-  kXbus,      ///< IBM POWER9 X-Bus (CPU-CPU, coherent).
+  kPcie3,      ///< PCI Express 3.0 x16 (tree topology, non-coherent).
+  kNvlink2,    ///< NVLink 2.0, 3 bundled links (mesh, cache-coherent).
+  kUpi,        ///< Intel Ultra Path Interconnect (CPU-CPU).
+  kXbus,       ///< IBM POWER9 X-Bus (CPU-CPU, coherent).
+  kNvswitch,   ///< NVSwitch fabric port (DGX-2-style non-blocking crossbar).
+  kNvlinkSli,  ///< NV-SLI bridge (two NVLink 2.0 links between a GPU pair).
+  kPcie3P2p,   ///< GPUDirect P2P through the PCI-e 3.0 root complex.
 };
 
 /// Returns the family name used in reports ("NVLink 2.0", "PCI-e 3.0", ...).
@@ -87,6 +94,23 @@ LinkSpec Upi();
 /// IBM X-Bus between POWER9 sockets: 64 GB/s electrical, 32 GiB/s measured
 /// sequential, 0.275 G accesses/s, adds ~143 ns (211 ns minus 68 ns).
 LinkSpec Xbus();
+
+/// NVSwitch crossbar port: every GPU spends all six NVLink 2.0 links on the
+/// switch plane, and the fabric is non-blocking, so each GPU pair talks at
+/// the full 150 GB/s electrical (~125 GiB/s measured sequential) regardless
+/// of how many pairs are active (Li et al., DGX-2).
+LinkSpec NvSwitchLink();
+
+/// NV-SLI bridge: two NVLink 2.0 links joining a GPU pair on an x86
+/// workstation (Li et al., Sec. NV-SLI). 50 GB/s electrical, ~41 GiB/s
+/// measured sequential; no system-wide cache coherence on x86 hosts.
+LinkSpec NvSliBridge();
+
+/// GPUDirect P2P between two PCI-e 3.0 x16 GPUs under one root complex:
+/// peer DMA skips the host-memory staging copy but still crosses the PCI-e
+/// tree, ~10 GiB/s measured with higher latency than a host DMA
+/// (Li et al., GPUDirect).
+LinkSpec GpuDirectP2p();
 
 }  // namespace pump::hw
 

@@ -38,4 +38,45 @@ SystemProfile XeonProfile() {
   return profile;
 }
 
+namespace {
+
+/// OS/driver parameters shared by the x86-hosted mesh profiles (same host
+/// stack as the Xeon testbed).
+SystemProfile X86MeshBase(std::string name, Topology topology) {
+  SystemProfile profile = XeonProfile();
+  profile.name = std::move(name);
+  profile.topology = std::move(topology);
+  return profile;
+}
+
+}  // namespace
+
+SystemProfile NvlinkRingProfile(int gpu_count) {
+  return X86MeshBase(
+      "NVLink ring (" + std::to_string(gpu_count) + "x V100, DGX-1-style)",
+      NvlinkRing(gpu_count));
+}
+
+SystemProfile NvSliPairProfile() {
+  return X86MeshBase("NV-SLI pair (2x V100)", NvSliPair());
+}
+
+SystemProfile NvSwitchCrossbarProfile(int gpu_count) {
+  return X86MeshBase("NVSwitch crossbar (" + std::to_string(gpu_count) +
+                         "x V100, DGX-2-style)",
+                     NvSwitchCrossbar(gpu_count));
+}
+
+SystemProfile GpuDirectPairProfile() {
+  return X86MeshBase("GPUDirect P2P pair (2x V100)", GpuDirectPair());
+}
+
+SystemProfile HostBounceMeshProfile(int gpu_count) {
+  SystemProfile profile = Ac922Profile();
+  profile.name = "Host-bounce mesh (" + std::to_string(gpu_count) +
+                 "x V100, AC922-style)";
+  profile.topology = HostBounceMesh(gpu_count);
+  return profile;
+}
+
 }  // namespace pump::hw

@@ -45,6 +45,26 @@ SystemProfile Ac922Profile();
 /// Intel profile (Fig. 4b): Xeon Gold 6126 + V100-PCIE over PCI-e 3.0.
 SystemProfile XeonProfile();
 
+/// N-GPU mesh profiles for the sharded-join planner. Topologies follow the
+/// systems catalogued in "Evaluating Modern GPU Interconnect" (Li et al.);
+/// the x86-hosted meshes reuse the Xeon testbed's OS/driver parameters and
+/// the host-bounce mesh reuses the AC922's.
+
+/// DGX-1-style NVLink ring of `gpu_count` V100s on a Xeon host.
+SystemProfile NvlinkRingProfile(int gpu_count);
+
+/// NV-SLI workstation: two bridged V100s on a Xeon host.
+SystemProfile NvSliPairProfile();
+
+/// DGX-2-style NVSwitch crossbar of `gpu_count` V100s on a Xeon host.
+SystemProfile NvSwitchCrossbarProfile(int gpu_count);
+
+/// GPUDirect P2P pair: two V100s peered through the PCI-e root complex.
+SystemProfile GpuDirectPairProfile();
+
+/// AC922-style mesh with no GPU peer links; exchanges bounce through host.
+SystemProfile HostBounceMeshProfile(int gpu_count);
+
 }  // namespace pump::hw
 
 #endif  // PUMP_HW_SYSTEM_PROFILE_H_

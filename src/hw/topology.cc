@@ -36,7 +36,8 @@ std::vector<DeviceId> Topology::DevicesOfKind(DeviceKind kind) const {
   return result;
 }
 
-Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
+Result<Route> Topology::RouteSearch(DeviceId from, MemoryNodeId to,
+                                    bool peers_only) const {
   const auto count = static_cast<DeviceId>(devices_.size());
   if (from < 0 || from >= count || to < 0 || to >= count) {
     return Status::InvalidArgument("route endpoint out of range");
@@ -54,6 +55,10 @@ Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
     if (current == to) break;
     for (std::size_t e = 0; e < edges_.size(); ++e) {
       const Edge& edge = edges_[e];
+      if (peers_only && (devices_[edge.a].kind != DeviceKind::kGpu ||
+                         devices_[edge.b].kind != DeviceKind::kGpu)) {
+        continue;
+      }
       DeviceId next = kInvalidDevice;
       if (edge.a == current) next = edge.b;
       if (edge.b == current) next = edge.a;
@@ -64,7 +69,9 @@ Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
     }
   }
   if (!visited[to]) {
-    return Status::NotFound("no interconnect path between devices");
+    return Status::NotFound(peers_only
+                                ? "no GPU peer path between devices"
+                                : "no interconnect path between devices");
   }
 
   Route route;
@@ -76,6 +83,22 @@ Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
   }
   std::reverse(route.edge_indices.begin(), route.edge_indices.end());
   return route;
+}
+
+Result<Route> Topology::FindRoute(DeviceId from, MemoryNodeId to) const {
+  return RouteSearch(from, to, /*peers_only=*/false);
+}
+
+Result<Route> Topology::FindPeerRoute(DeviceId from, DeviceId to) const {
+  const auto count = static_cast<DeviceId>(devices_.size());
+  if (from < 0 || from >= count || to < 0 || to >= count) {
+    return Status::InvalidArgument("route endpoint out of range");
+  }
+  if (devices_[from].kind != DeviceKind::kGpu ||
+      devices_[to].kind != DeviceKind::kGpu) {
+    return Status::InvalidArgument("peer routes join GPU endpoints");
+  }
+  return RouteSearch(from, to, /*peers_only=*/true);
 }
 
 Result<bool> Topology::IsCacheCoherentPath(DeviceId from,
@@ -164,6 +187,76 @@ Topology DirectGpuMesh(int gpu_count) {
     for (std::size_t b = a + 1; b < gpus.size(); ++b) {
       (void)topo.AddLink(gpus[a], gpus[b], Nvlink2Bundle(1));
     }
+  }
+  return topo;
+}
+
+namespace {
+
+/// Xeon host with `gpu_count` PCI-e-attached V100s; the shared skeleton of
+/// the x86-hosted meshes below. GPU peer links are added by the caller.
+Topology X86GpuHost(int gpu_count, std::vector<DeviceId>* gpus) {
+  Topology topo;
+  const DeviceId cpu = topo.AddDevice(XeonGold6126(), XeonMemory(), XeonL3());
+  for (int g = 0; g < gpu_count; ++g) {
+    const DeviceId gpu = topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+    (void)topo.AddLink(cpu, gpu, Pcie3x16());
+    gpus->push_back(gpu);
+  }
+  return topo;
+}
+
+}  // namespace
+
+Topology NvlinkRing(int gpu_count) {
+  std::vector<DeviceId> gpus;
+  Topology topo = X86GpuHost(gpu_count, &gpus);
+  // Ring neighbours get 2-link bundles; with two GPUs the "ring" collapses
+  // to a single bridge, and a lone GPU has no peers at all.
+  if (gpus.size() == 2) {
+    (void)topo.AddLink(gpus[0], gpus[1], Nvlink2Bundle(2));
+  } else if (gpus.size() > 2) {
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      (void)topo.AddLink(gpus[g], gpus[(g + 1) % gpus.size()],
+                         Nvlink2Bundle(2));
+    }
+  }
+  return topo;
+}
+
+Topology NvSliPair() {
+  std::vector<DeviceId> gpus;
+  Topology topo = X86GpuHost(2, &gpus);
+  (void)topo.AddLink(gpus[0], gpus[1], NvSliBridge());
+  return topo;
+}
+
+Topology NvSwitchCrossbar(int gpu_count) {
+  std::vector<DeviceId> gpus;
+  Topology topo = X86GpuHost(gpu_count, &gpus);
+  // The non-blocking fabric gives every pair the full port bandwidth, so
+  // a direct edge per pair is an exact model of the crossbar.
+  for (std::size_t a = 0; a < gpus.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpus.size(); ++b) {
+      (void)topo.AddLink(gpus[a], gpus[b], NvSwitchLink());
+    }
+  }
+  return topo;
+}
+
+Topology GpuDirectPair() {
+  std::vector<DeviceId> gpus;
+  Topology topo = X86GpuHost(2, &gpus);
+  (void)topo.AddLink(gpus[0], gpus[1], GpuDirectP2p());
+  return topo;
+}
+
+Topology HostBounceMesh(int gpu_count) {
+  Topology topo;
+  const DeviceId cpu = topo.AddDevice(Power9(), Power9Memory(), Power9L3());
+  for (int g = 0; g < gpu_count; ++g) {
+    const DeviceId gpu = topo.AddDevice(TeslaV100(), V100Hbm2(), V100L2());
+    (void)topo.AddLink(cpu, gpu, Nvlink2x3());
   }
   return topo;
 }

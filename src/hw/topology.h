@@ -60,6 +60,13 @@ class Topology {
   /// error when no path exists.
   Result<Route> FindRoute(DeviceId from, MemoryNodeId to) const;
 
+  /// Minimum-hop route from GPU `from` to GPU `to` using only GPU-GPU
+  /// peer edges (NVLink/NVSwitch/P2P). The sharded-join exchange stage
+  /// prefers these paths and only bounces through host memory when no
+  /// peer path exists (AC922-style meshes). NotFound when the endpoints
+  /// are not GPUs or not peer-connected.
+  Result<Route> FindPeerRoute(DeviceId from, DeviceId to) const;
+
   /// True iff every link on the route from `from` to `to` is
   /// cache-coherent, i.e. the device can directly access pageable memory at
   /// `to` (required by the Coherence transfer method, Sec. 4.2).
@@ -75,6 +82,9 @@ class Topology {
   std::string ToString() const;
 
  private:
+  Result<Route> RouteSearch(DeviceId from, MemoryNodeId to,
+                            bool peers_only) const;
+
   std::vector<DeviceSpec> devices_;
   std::vector<MemorySpec> memories_;
   std::vector<CacheSpec> caches_;
@@ -96,6 +106,37 @@ Topology IntelXeonV100();
 /// meshed with direct 1-link NVLink bundles and each attached to the host
 /// by a 2-link bundle. Device 0 = CPU, devices 1..gpu_count = GPUs.
 Topology DirectGpuMesh(int gpu_count);
+
+/// Builds a DGX-1-style NVLink ring: one Xeon host socket and `gpu_count`
+/// V100s attached to it by PCI-e 3.0 x16; ring neighbours are joined by
+/// 2-link NVLink bundles, so non-neighbour exchanges route multiple NVLink
+/// hops around the ring (Li et al., DGX-1). Device 0 = CPU,
+/// devices 1..gpu_count = GPUs.
+Topology NvlinkRing(int gpu_count);
+
+/// Builds an NV-SLI workstation: one Xeon host socket and two V100s on
+/// PCI-e 3.0 x16, the GPU pair bridged by NV-SLI (two NVLink 2.0 links,
+/// no system-wide coherence; Li et al., NV-SLI). Device 0 = CPU,
+/// devices 1 and 2 = GPUs.
+Topology NvSliPair();
+
+/// Builds a DGX-2-style NVSwitch crossbar: one Xeon host socket and
+/// `gpu_count` V100s on PCI-e 3.0 x16; the non-blocking switch plane is
+/// modelled as a direct full-bandwidth NVSwitch edge between every GPU
+/// pair (Li et al., DGX-2). Device 0 = CPU, devices 1..gpu_count = GPUs.
+Topology NvSwitchCrossbar(int gpu_count);
+
+/// Builds a GPUDirect pair: one Xeon host socket and two V100s on PCI-e
+/// 3.0 x16 plus a GPUDirect P2P peer link through the root complex
+/// (Li et al., GPUDirect). Device 0 = CPU, devices 1 and 2 = GPUs.
+Topology GpuDirectPair();
+
+/// Builds an AC922-style host-bounce mesh: one POWER9 host socket and
+/// `gpu_count` V100s each attached by 3-link NVLink bundles, with NO
+/// GPU-GPU peer links — every peer exchange bounces through host memory.
+/// This is the baseline the ring and crossbar meshes are scored against.
+/// Device 0 = CPU, devices 1..gpu_count = GPUs.
+Topology HostBounceMesh(int gpu_count);
 
 /// Well-known device ids in the canned systems above.
 inline constexpr DeviceId kCpu0 = 0;

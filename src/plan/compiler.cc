@@ -1,6 +1,7 @@
 #include "plan/compiler.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "engine/advisor.h"
@@ -120,11 +121,23 @@ HashTableKind ChooseTableKind(const KeyStats& keys, bool gpu_placed,
   return HashTableKind::kPerfect;
 }
 
-std::uint64_t DefaultGpuBudget(const hw::SystemProfile* profile) {
+const hw::SystemProfile& ProfileOrDefault(const hw::SystemProfile* profile) {
   static const hw::SystemProfile kDefault = hw::Ac922Profile();
-  const hw::Topology& topo =
-      profile != nullptr ? profile->topology : kDefault.topology;
-  const std::uint64_t capacity = topo.memory(hw::kGpu0).capacity.u64();
+  return profile != nullptr ? *profile : kDefault;
+}
+
+/// First GPU of the topology — the primary device of single-GPU plans.
+hw::DeviceId PrimaryGpu(const hw::Topology& topo) {
+  const std::vector<hw::DeviceId> gpus =
+      topo.DevicesOfKind(hw::DeviceKind::kGpu);
+  return gpus.empty() ? hw::kInvalidDevice : gpus.front();
+}
+
+std::uint64_t DefaultGpuBudget(const hw::SystemProfile* profile) {
+  const hw::Topology& topo = ProfileOrDefault(profile).topology;
+  const hw::DeviceId gpu = PrimaryGpu(topo);
+  if (gpu == hw::kInvalidDevice) return 0;
+  const std::uint64_t capacity = topo.memory(gpu).capacity.u64();
   return capacity > kGpuReserveBytes ? capacity - kGpuReserveBytes : 0;
 }
 
@@ -173,6 +186,123 @@ Status PlaceByCostModel(const engine::Query& query,
         static_cast<double>(w.r_tuples) /
         nopa.InsertRate(choice.device, placement, w);
     build.modelled_cost_s = build_s.seconds();
+  }
+  return Status::OK();
+}
+
+/// Bytes the probe pipeline stages into device memory: one column per
+/// probe operator (measure, filters, probe keys), fact_rows 64-bit values
+/// each. This is also the tuple payload the exchange redistributes.
+std::uint64_t StagedProbeBytes(const PhysicalPlan& plan) {
+  return static_cast<std::uint64_t>(plan.probe.ops.size()) *
+         plan.shape.fact_rows * sizeof(std::int64_t);
+}
+
+/// Device-set placement (the "which devices", not "which side" pass):
+/// validates the shard candidates against the profile topology, drops
+/// candidates whose per-device pool is saturated (admission degrades
+/// shard-by-shard before it degrades to CPU), scores candidate subsets
+/// under the cost-model policy by per-shard probe time plus modelled
+/// exchange cost, and annotates the plan with its shard descriptor,
+/// per-pipeline device sets and exchange stage.
+Status PlaceShards(const CompileOptions& options, std::uint64_t budget,
+                   PhysicalPlan* plan) {
+  const hw::SystemProfile& profile = ProfileOrDefault(options.profile);
+  const hw::Topology& topo = profile.topology;
+
+  DeviceSet candidates = options.shard_devices;
+  if (candidates.empty()) {
+    const hw::DeviceId primary = PrimaryGpu(topo);
+    if (primary == hw::kInvalidDevice) return Status::OK();
+    candidates.push_back(primary);
+  }
+  for (hw::DeviceId d : candidates) {
+    if (d < 0 || static_cast<std::size_t>(d) >= topo.device_count() ||
+        topo.device(d).kind != hw::DeviceKind::kGpu) {
+      return Status::InvalidArgument(
+          "shard device " + std::to_string(d) +
+          " is not a GPU of the profile topology");
+    }
+  }
+
+  // Per-device admission: a candidate whose pool has no headroom left is
+  // dropped; the remaining shards absorb its share.
+  DeviceSet live;
+  for (hw::DeviceId d : candidates) {
+    std::uint64_t in_use = 0;
+    if (options.device_budget_in_use != nullptr) {
+      const auto it = options.device_budget_in_use->find(d);
+      if (it != options.device_budget_in_use->end()) in_use = it->second;
+    }
+    if (in_use >= budget) {
+      if (!plan->rationale.empty()) plan->rationale += "; ";
+      plan->rationale += "device " + std::to_string(d) +
+                         " pool saturated (" + std::to_string(in_use) + "/" +
+                         std::to_string(budget) +
+                         " bytes); dropped from shard set";
+      continue;
+    }
+    live.push_back(d);
+  }
+  if (live.empty()) {
+    plan->forced_cpu_by_pressure = true;
+    if (!plan->rationale.empty()) plan->rationale += "; ";
+    plan->rationale += "all shard device pools saturated; forced CPU placement";
+    plan->probe.placement = PipelinePlacement::kCpu;
+    plan->probe.device_set.clear();
+    for (BuildPipeline& build : plan->builds) {
+      build.placement = PipelinePlacement::kCpu;
+      build.device_set.clear();
+    }
+    return Status::OK();
+  }
+
+  // The cost-model policy scores every prefix of the candidate list:
+  // probe work divides across the shards, exchange cost grows with them.
+  DeviceSet chosen = live;
+  if (options.policy == PlacementPolicy::kCostModel && live.size() > 1 &&
+      plan->probe.placement != PipelinePlacement::kCpu) {
+    const std::uint64_t staged = StagedProbeBytes(*plan);
+    const double probe_s = std::max(plan->probe.modelled_cost_s, 1e-9);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 1; n <= live.size(); ++n) {
+      DeviceSet prefix(live.begin(), live.begin() + n);
+      PUMP_ASSIGN_OR_RETURN(ExchangeStage exchange,
+                            PlanExchange(topo, prefix, staged));
+      const double score =
+          probe_s / static_cast<double>(n) + exchange.modelled_cost_s;
+      if (score < best) {
+        best = score;
+        chosen = std::move(prefix);
+      }
+    }
+    if (!plan->rationale.empty()) plan->rationale += "; ";
+    plan->rationale += "cost model kept " + std::to_string(chosen.size()) +
+                       " of " + std::to_string(live.size()) +
+                       " shard candidates (modelled " +
+                       std::to_string(best) + " s on " + profile.name + ")";
+  }
+
+  plan->shard.devices = chosen;
+  if (plan->probe.placement != PipelinePlacement::kCpu) {
+    plan->probe.device_set = chosen;
+  }
+  for (BuildPipeline& build : plan->builds) {
+    if (build.placement != PipelinePlacement::kCpu) {
+      build.device_set = chosen;
+    }
+  }
+  if (plan->probe.placement != PipelinePlacement::kCpu) {
+    PUMP_ASSIGN_OR_RETURN(
+        plan->exchange, PlanExchange(topo, chosen, StagedProbeBytes(*plan)));
+    if (plan->shard.active()) {
+      if (!plan->rationale.empty()) plan->rationale += "; ";
+      plan->rationale += "sharded across " +
+                         std::to_string(chosen.size()) +
+                         " devices; modelled exchange " +
+                         std::to_string(plan->exchange.modelled_cost_s) +
+                         " s";
+    }
   }
   return Status::OK();
 }
@@ -261,7 +391,87 @@ Result<PhysicalPlan> Compile(const engine::Query& query,
   if (options.policy == PlacementPolicy::kCostModel && !saturated) {
     PUMP_RETURN_NOT_OK(PlaceByCostModel(query, options, &plan));
   }
+  plan.profile = options.profile;
+  if (gpu_policy && plan.UsesGpu()) {
+    PUMP_RETURN_NOT_OK(PlaceShards(options, budget, &plan));
+  }
   return plan;
+}
+
+Result<ExchangeStage> PlanExchange(const hw::Topology& topology,
+                                   const DeviceSet& devices,
+                                   std::uint64_t total_bytes) {
+  ExchangeStage stage;
+  const std::size_t n = devices.size();
+  if (n <= 1) return stage;
+  for (hw::DeviceId d : devices) {
+    if (d < 0 || static_cast<std::size_t>(d) >= topology.device_count() ||
+        topology.device(d).kind != hw::DeviceKind::kGpu) {
+      return Status::InvalidArgument("exchange device " + std::to_string(d) +
+                                     " is not a GPU of the topology");
+    }
+  }
+
+  // Evenly hash-partitioned tuples: each ordered (src, dst) pair moves
+  // total / n^2 bytes. Links are full-duplex (Sec. 2.2), so loads
+  // accumulate per edge *direction*; a bounce through an intermediate
+  // device is store-and-forward, charging that node's memory twice
+  // (write, then read back out).
+  const double pair_bytes =
+      static_cast<double>(total_bytes) / static_cast<double>(n * n);
+  std::map<std::pair<std::size_t, bool>, double> directed_edge_bytes;
+  std::map<hw::DeviceId, double> bounce_bytes;
+  double max_latency_s = 0.0;
+  for (const hw::DeviceId src : devices) {
+    for (const hw::DeviceId dst : devices) {
+      if (src == dst) continue;
+      // Prefer peer paths (NVLink/NVSwitch/P2P); bounce through the host
+      // only when the GPUs are not peer-connected (AC922-style meshes).
+      Result<hw::Route> routed = topology.FindPeerRoute(src, dst);
+      if (!routed.ok()) routed = topology.FindRoute(src, dst);
+      if (!routed.ok()) {
+        return Status(routed.status().code(),
+                      "no exchange route from device " +
+                          std::to_string(src) + " to " + std::to_string(dst) +
+                          ": " + routed.status().message());
+      }
+      const hw::Route& route = routed.value();
+      ExchangeRoute out;
+      out.src = src;
+      out.dst = dst;
+      out.hops = route.hops();
+      out.direct = route.hops() == 1;
+      double bottleneck_gib_s = std::numeric_limits<double>::infinity();
+      double latency_s = 0.0;
+      hw::DeviceId at = src;
+      for (const std::size_t e : route.edge_indices) {
+        const hw::Edge& edge = topology.edges()[e];
+        const bool forward = edge.a == at;
+        directed_edge_bytes[{e, forward}] += pair_bytes;
+        bottleneck_gib_s =
+            std::min(bottleneck_gib_s, edge.link.seq_bw.gib_per_second());
+        latency_s += edge.link.hop_latency.seconds();
+        at = forward ? edge.b : edge.a;
+        if (at != dst) bounce_bytes[at] += 2.0 * pair_bytes;
+      }
+      out.bottleneck_gib_s = bottleneck_gib_s;
+      max_latency_s = std::max(max_latency_s, latency_s);
+      stage.routes.push_back(out);
+    }
+  }
+
+  double busiest_s = 0.0;
+  for (const auto& [key, bytes] : directed_edge_bytes) {
+    const hw::Edge& edge = topology.edges()[key.first];
+    busiest_s =
+        std::max(busiest_s, bytes / edge.link.seq_bw.bytes_per_second());
+  }
+  for (const auto& [dev, bytes] : bounce_bytes) {
+    busiest_s = std::max(
+        busiest_s, bytes / topology.memory(dev).seq_bw.bytes_per_second());
+  }
+  stage.modelled_cost_s = busiest_s + max_latency_s;
+  return stage;
 }
 
 std::uint64_t EstimatedGpuFootprintBytes(const PhysicalPlan& plan) {
@@ -279,6 +489,38 @@ std::uint64_t EstimatedGpuFootprintBytes(const PhysicalPlan& plan) {
              plan.shape.fact_rows * sizeof(std::int64_t);
   }
   return bytes;
+}
+
+std::map<hw::DeviceId, std::uint64_t> EstimatedGpuFootprintPerDevice(
+    const PhysicalPlan& plan) {
+  std::map<hw::DeviceId, std::uint64_t> per_device;
+  // A sharded pipeline divides its bytes evenly across its device set,
+  // remainder to the first device, so the per-device sums always add up
+  // to the aggregate footprint. Legacy plans without device sets charge
+  // the default testbed's GPU.
+  const auto split = [&per_device](const DeviceSet& set,
+                                   std::uint64_t bytes) {
+    if (bytes == 0) return;
+    if (set.empty()) {
+      per_device[hw::kGpu0] += bytes;
+      return;
+    }
+    const std::uint64_t share = bytes / set.size();
+    per_device[set.front()] +=
+        bytes - share * static_cast<std::uint64_t>(set.size() - 1);
+    for (std::size_t i = 1; i < set.size(); ++i) per_device[set[i]] += share;
+  };
+  for (const BuildPipeline& build : plan.builds) {
+    if (build.placement != PipelinePlacement::kCpu) {
+      split(build.device_set, build.table_bytes);
+    }
+  }
+  if (plan.probe.placement != PipelinePlacement::kCpu) {
+    split(plan.probe.device_set,
+          static_cast<std::uint64_t>(plan.probe.ops.size()) *
+              plan.shape.fact_rows * sizeof(std::int64_t));
+  }
+  return per_device;
 }
 
 Status ValidatePlan(const PhysicalPlan& plan) {

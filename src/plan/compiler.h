@@ -2,6 +2,7 @@
 #define PUMP_PLAN_COMPILER_H_
 
 #include <cstdint>
+#include <map>
 
 #include "common/status.h"
 #include "engine/query.h"
@@ -46,6 +47,22 @@ struct CompileOptions {
   /// Cardinality scale factor fed to the cost model (model the same query
   /// shape at paper scale without materializing the data).
   double scale = 1.0;
+  /// Candidate GPU devices to shard the plan across (hash-partitioned
+  /// build side, all-to-all exchange, parallel shard probes). Every id
+  /// must be a GPU of `profile`'s topology. Empty keeps the classic
+  /// single-device layout. Under kCpuOnly this is ignored; under
+  /// kGpuPreferred every unsaturated candidate becomes a shard; under
+  /// kCostModel the compiler scores candidate device sets by modelled
+  /// per-shard probe time plus exchange cost and keeps the cheapest.
+  DeviceSet shard_devices;
+  /// Per-device in-flight bytes of concurrently running queries (the
+  /// serving layer's per-device pools). A candidate shard device whose
+  /// pool is saturated is dropped from the shard set — admission
+  /// degrades shard-by-shard before it degrades to CPU. Null treats
+  /// every candidate as idle except for `gpu_budget_in_use_bytes`,
+  /// which keeps acting on the plan's primary device.
+  const std::map<hw::DeviceId, std::uint64_t>* device_budget_in_use =
+      nullptr;
 };
 
 /// Compiles `query` into a physical plan: validates the query exactly
@@ -71,6 +88,23 @@ Status ValidatePlan(const PhysicalPlan& plan);
 /// concurrent total back through
 /// CompileOptions::gpu_budget_in_use_bytes.
 std::uint64_t EstimatedGpuFootprintBytes(const PhysicalPlan& plan);
+
+/// The same footprint split per device: a sharded plan divides its hash
+/// tables and staged columns evenly across the shard devices; a
+/// single-device plan charges everything to its one device. Empty for a
+/// CPU-only plan. The per-device sums always add up to
+/// EstimatedGpuFootprintBytes.
+std::map<hw::DeviceId, std::uint64_t> EstimatedGpuFootprintPerDevice(
+    const PhysicalPlan& plan);
+
+/// Plans the all-to-all exchange of `devices` over `topology`: one route
+/// per ordered pair, minimum-hop, with the modelled cost (busiest link's
+/// transfer time for an evenly hash-partitioned `total_bytes`, plus the
+/// longest route's hop latency). Exposed for the cost-model policy, the
+/// mesh scaling bench and tests.
+Result<ExchangeStage> PlanExchange(const hw::Topology& topology,
+                                   const DeviceSet& devices,
+                                   std::uint64_t total_bytes);
 
 inline const char* ToString(PlacementPolicy policy) {
   switch (policy) {

@@ -29,6 +29,15 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
+void AppendDeviceSet(const DeviceSet& devices, std::ostringstream* out) {
+  *out << "[";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (i > 0) *out << ",";
+    *out << devices[i];
+  }
+  *out << "]";
+}
+
 void AppendOperator(const Operator& op, std::ostringstream* out) {
   *out << "{\"op\":\"" << ToString(op.kind) << "\",\"column\":\""
        << Escape(op.column) << "\"";
@@ -67,19 +76,37 @@ std::string ToJson(const PhysicalPlan& plan, const std::string& query_name) {
         << ",\"key_density\":" << build.keys.density
         << ",\"hash_table\":\"" << ToString(build.table_kind) << "\""
         << ",\"placement\":\"" << ToString(build.placement) << "\""
-        << ",\"table_bytes\":" << build.table_bytes
+        << ",\"device_set\":";
+    AppendDeviceSet(build.device_set, &out);
+    out << ",\"table_bytes\":" << build.table_bytes
         << ",\"modelled_cost_s\":" << build.modelled_cost_s << "}";
   }
   if (!plan.builds.empty()) out << ",";
   out << "{\"name\":\"probe\",\"type\":\"probe\""
       << ",\"placement\":\"" << ToString(plan.probe.placement) << "\""
-      << ",\"modelled_cost_s\":" << plan.probe.modelled_cost_s
+      << ",\"device_set\":";
+  AppendDeviceSet(plan.probe.device_set, &out);
+  out << ",\"modelled_cost_s\":" << plan.probe.modelled_cost_s
       << ",\"operators\":[";
   for (std::size_t i = 0; i < plan.probe.ops.size(); ++i) {
     if (i > 0) out << ",";
     AppendOperator(plan.probe.ops[i], &out);
   }
-  out << "]}]}";
+  out << "]}],";
+  out << "\"shard\":{\"devices\":";
+  AppendDeviceSet(plan.shard.devices, &out);
+  out << ",\"partitions\":" << plan.shard.shard_count() << "},";
+  out << "\"exchange\":{\"modelled_cost_s\":"
+      << plan.exchange.modelled_cost_s << ",\"routes\":[";
+  for (std::size_t i = 0; i < plan.exchange.routes.size(); ++i) {
+    const ExchangeRoute& route = plan.exchange.routes[i];
+    if (i > 0) out << ",";
+    out << "{\"src\":" << route.src << ",\"dst\":" << route.dst
+        << ",\"hops\":" << route.hops
+        << ",\"direct\":" << (route.direct ? "true" : "false")
+        << ",\"bottleneck_gib_s\":" << route.bottleneck_gib_s << "}";
+  }
+  out << "]}}";
   return out.str();
 }
 

@@ -15,6 +15,7 @@
 #include "exec/parallel.h"
 #include "exec/work_stealing.h"
 #include "fault/fault_injector.h"
+#include "hw/system_profile.h"
 #include "hw/topology.h"
 #include "memory/allocator.h"
 #include "obs/metrics.h"
@@ -155,11 +156,14 @@ Result<TableHandles> RunBuildPipelines(
   }
   if (!any_gpu_build) return tables;
 
-  // Modelled placement on the AC922 topology: device allocation probes
-  // the alloc.device failpoint and spills the remainder to CPU memory
-  // (rung 2). The functional build stays on the host, mirroring the
-  // repo-wide functional/model split.
-  hw::Topology topology = hw::IbmAc922();
+  // Modelled placement on the plan's topology (default AC922): device
+  // allocation probes the alloc.device failpoint and spills the
+  // remainder to CPU memory (rung 2). The functional build stays on the
+  // host, mirroring the repo-wide functional/model split. A sharded
+  // build hash-partitions its table across its device set, so each
+  // device models an even fragment.
+  hw::Topology topology =
+      plan.profile != nullptr ? plan.profile->topology : hw::IbmAc922();
   memory::MemoryManager manager(&topology, /*materialize=*/false);
   std::vector<memory::Buffer> placements;
   for (std::size_t i = 0; i < plan.builds.size(); ++i) {
@@ -169,18 +173,32 @@ Result<TableHandles> RunBuildPipelines(
                     static_cast<double>(build.join_index),
                     static_cast<double>(build.table_bytes));
     const auto start = Clock::now();
-    Status admitted = Status::OK();
-    if (options.injector != nullptr) {
-      admitted = options.injector->Check(fault::kPlanPipeline, "build");
+    const DeviceSet devices = build.device_set.empty()
+                                  ? DeviceSet{hw::kGpu0}
+                                  : build.device_set;
+    const std::uint64_t fragment_bytes = std::max<std::uint64_t>(
+        16, build.table_bytes / devices.size());
+    Status failed = Status::OK();
+    for (const hw::DeviceId device : devices) {
+      Status admitted = Status::OK();
+      if (options.injector != nullptr) {
+        admitted = options.injector->Check(fault::kPlanPipeline, "build");
+      }
+      Result<memory::Buffer> placement =
+          admitted.ok() ? manager.AllocateHybrid(fragment_bytes, device, 0,
+                                                 options.injector)
+                        : Result<memory::Buffer>(admitted);
+      if (!placement.ok()) {
+        failed = placement.status();
+        break;
+      }
+      report->hybrid_gpu_fraction =
+          std::min(report->hybrid_gpu_fraction,
+                   placement.value().FractionOnNode(device));
+      placements.push_back(std::move(placement).value());
     }
-    Result<memory::Buffer> placement =
-        admitted.ok()
-            ? manager.AllocateHybrid(
-                  std::max<std::uint64_t>(16, build.table_bytes), hw::kGpu0,
-                  0, options.injector)
-            : Result<memory::Buffer>(admitted);
     report->pipelines[i].measured_s += SecondsSince(start);
-    if (!placement.ok()) {
+    if (!failed.ok()) {
       // Per-pipeline rung 3: this build loses its GPU placement but its
       // cached table survives for the CPU-side probe.
       report->pipelines[i].placement_used =
@@ -190,15 +208,10 @@ Result<TableHandles> RunBuildPipelines(
       PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "plan.replace",
                          static_cast<double>(build.join_index));
       reasons->push_back("build pipeline '" + build.key_column +
-                         "' lost its GPU placement (" +
-                         placement.status().ToString() +
+                         "' lost its GPU placement (" + failed.ToString() +
                          "); re-placed on CPU");
       continue;
     }
-    report->hybrid_gpu_fraction =
-        std::min(report->hybrid_gpu_fraction,
-                 placement.value().FractionOnNode(hw::kGpu0));
-    placements.push_back(std::move(placement).value());
   }
   if (!plan.builds.empty() && report->hybrid_gpu_fraction < 1.0) {
     reasons->push_back(
@@ -357,6 +370,217 @@ Status RunProbeGpu(const PhysicalPlan& plan,
   return Status::OK();
 }
 
+/// Multiplicative hash assigning a fact tuple to its owning shard — the
+/// same partitioning the compiler assumed when planning the exchange.
+std::size_t ShardOf(std::int64_t key, std::size_t shard_count) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) %
+      shard_count);
+}
+
+/// Sharded probe pipeline of a multi-device plan: fact tuples are
+/// hash-partitioned on the first probe key (row-range partitioned for
+/// join-free plans), partitions are exchanged all-to-all over the
+/// modelled mesh through the transfer layer, and each shard probes its
+/// partition in parallel. Tuple-at-a-time semantics are ProcessRange's
+/// and the aggregate is order-independent, so the result is
+/// bit-identical to the single-device plan. A shard whose device fails
+/// its modelled allocation degrades alone — the other shards keep their
+/// placements (shard-by-shard fault ladder).
+Status RunProbeSharded(const PhysicalPlan& plan,
+                       const engine::ExecOptions& options,
+                       const TableHandles& tables,
+                       engine::ExecReport* report,
+                       std::vector<std::string>* reasons) {
+  const engine::Table& fact = *plan.query->fact;
+  const std::size_t rows = fact.rows();
+  const DeviceSet& devices = plan.shard.devices;
+  const std::size_t shard_count = devices.size();
+  engine::PipelineOutcome& probe_row = report->pipelines.back();
+  if (options.injector != nullptr) {
+    PUMP_RETURN_NOT_OK(options.injector->Check(fault::kPlanPipeline,
+                                               "probe"));
+  }
+
+  // Functional execution stays on host columns; the device side of the
+  // plan (allocations, exchange transfers) is modelled, as everywhere.
+  auto source = [&fact](const std::string& name)
+      -> Result<const std::int64_t*> {
+    PUMP_ASSIGN_OR_RETURN(const auto* column, fact.Column(name));
+    return column->data();
+  };
+  PUMP_ASSIGN_OR_RETURN(BoundProbe bound, BindProbe(plan, tables, source));
+
+  // Partition: shard `dst` owns tuple i when its first probe key hashes
+  // to dst (a join-free plan owns contiguous row ranges instead, and
+  // nothing crosses shards). The *source* shard of tuple i is its row
+  // range — that is where the tuple was scanned before the exchange.
+  const std::int64_t* partition_keys = nullptr;
+  for (const BoundProbeStep& probe : bound.probes) {
+    partition_keys = probe.keys;
+    break;
+  }
+  std::vector<std::vector<std::uint32_t>> shard_indices(shard_count);
+  for (auto& indices : shard_indices) {
+    indices.reserve(rows / shard_count + 1);
+  }
+  // moved_bytes[src][dst]: exchange payload leaving shard src for dst.
+  std::vector<std::vector<std::uint64_t>> moved_tuples(
+      shard_count, std::vector<std::uint64_t>(shard_count, 0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t src = i * shard_count / std::max<std::size_t>(1, rows);
+    const std::size_t dst = partition_keys != nullptr
+                                ? ShardOf(partition_keys[i], shard_count)
+                                : src;
+    shard_indices[dst].push_back(static_cast<std::uint32_t>(i));
+    if (src != dst) ++moved_tuples[src][dst];
+  }
+
+  // Exchange stage: every non-empty (src, dst) partition is staged to
+  // the destination device through the transfer layer, chunk-wise with
+  // retry, payload = every probe-operator column of the moved tuples.
+  const transfer::TransferFaultOptions fault_options{options.injector,
+                                                     options.retry};
+  engine::PipelineOutcome exchange_row;
+  exchange_row.name = "exchange";
+  exchange_row.kind = "exchange";
+  exchange_row.placement_planned = ToString(plan.probe.placement);
+  exchange_row.placement_used = exchange_row.placement_planned;
+  exchange_row.predicted_s = plan.exchange.modelled_cost_s;
+  const auto exchange_start = Clock::now();
+  const std::uint64_t tuple_bytes =
+      static_cast<std::uint64_t>(plan.probe.ops.size()) *
+      sizeof(std::int64_t);
+  std::vector<std::int64_t> scratch;
+  std::vector<memory::Buffer> staged;
+  for (std::size_t src = 0; src < shard_count; ++src) {
+    for (std::size_t dst = 0; dst < shard_count; ++dst) {
+      const std::uint64_t tuples = moved_tuples[src][dst];
+      if (tuples == 0) continue;
+      if (options.cancel != nullptr && options.cancel->Cancelled()) {
+        return options.cancel->ToStatus();
+      }
+      const std::uint64_t bytes = tuples * tuple_bytes;
+      scratch.assign(bytes / sizeof(std::int64_t), 0);
+      PUMP_TRACE_SPAN(obs::TraceCategory::kTransfer, "exchange.partition",
+                      static_cast<double>(bytes),
+                      static_cast<double>(devices[dst]));
+      transfer::TransferStats stats;
+      PUMP_ASSIGN_OR_RETURN(
+          memory::Buffer device,
+          transfer::StageToDevice(scratch.data(), bytes, devices[dst],
+                                  options.chunk_bytes, options.os_page_bytes,
+                                  fault_options, &stats));
+      staged.push_back(std::move(device));
+      report->transfer_retries += stats.retries;
+      report->faults_injected += stats.faults_injected;
+      report->modelled_backoff_s += stats.modelled_backoff_s;
+      exchange_row.retries += stats.retries;
+      exchange_row.faults_injected += stats.faults_injected;
+      obs::MetricsRegistry::Instance()
+          .GetCounter("plan.exchange.partitions")
+          .Add();
+      obs::MetricsRegistry::Instance()
+          .GetCounter("plan.exchange.bytes")
+          .Add(bytes);
+      obs::MetricsRegistry::Instance()
+          .GetCounter("plan.exchange.bytes.dev" +
+                      std::to_string(devices[dst]))
+          .Add(bytes);
+    }
+  }
+  exchange_row.measured_s = SecondsSince(exchange_start);
+  report->shards.push_back(std::move(exchange_row));
+
+  // Per-shard modelled device placement: each shard stages its partition
+  // on its own device. A failed shard degrades to the CPU alone; the
+  // remaining shards keep their devices.
+  hw::Topology topology =
+      plan.profile != nullptr ? plan.profile->topology : hw::IbmAc922();
+  memory::MemoryManager manager(&topology, /*materialize=*/false);
+  std::vector<bool> shard_degraded(shard_count, false);
+  std::vector<memory::Buffer> shard_buffers;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t shard_bytes = std::max<std::uint64_t>(
+        16, shard_indices[s].size() * tuple_bytes);
+    Status admitted = Status::OK();
+    if (options.injector != nullptr) {
+      admitted = options.injector->Check(fault::kPlanPipeline, "shard");
+    }
+    Result<memory::Buffer> placement =
+        admitted.ok() ? manager.AllocateHybrid(shard_bytes, devices[s], 0,
+                                               options.injector)
+                      : Result<memory::Buffer>(admitted);
+    if (!placement.ok()) {
+      shard_degraded[s] = true;
+      ++report->shards_replaced;
+      Counters().replacements.Add();
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kPlan, "plan.replace",
+                         static_cast<double>(devices[s]));
+      reasons->push_back("shard " + std::to_string(s) + " lost device " +
+                         std::to_string(devices[s]) + " (" +
+                         placement.status().ToString() +
+                         "); re-placed on CPU, other shards unaffected");
+      continue;
+    }
+    report->hybrid_gpu_fraction =
+        std::min(report->hybrid_gpu_fraction,
+                 placement.value().FractionOnNode(devices[s]));
+    shard_buffers.push_back(std::move(placement).value());
+  }
+
+  // Probe the shards: each runs morsel-parallel over its own partition
+  // (a degraded shard runs the identical host loop, only its modelled
+  // placement changed). Workers poll the cancel token per morsel claim.
+  std::atomic<std::uint64_t> total_rows{0};
+  std::atomic<std::int64_t> total_sum{0};
+  const std::size_t workers = std::max<std::size_t>(1, options.workers);
+  const CancelToken* cancel = options.cancel;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::vector<std::uint32_t>& indices = shard_indices[s];
+    engine::PipelineOutcome shard_row;
+    shard_row.name =
+        "shard[" + std::to_string(s) + "]@dev" + std::to_string(devices[s]);
+    shard_row.kind = "probe";
+    shard_row.placement_planned = ToString(plan.probe.placement);
+    shard_row.placement_used = shard_degraded[s]
+                                   ? ToString(PipelinePlacement::kCpu)
+                                   : shard_row.placement_planned;
+    if (shard_degraded[s]) ++shard_row.attempts;
+    const auto shard_start = Clock::now();
+    PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "shard.probe",
+                    static_cast<double>(s),
+                    static_cast<double>(indices.size()));
+    exec::WorkStealingDispatcher dispatcher(indices.size(),
+                                            options.morsel_tuples, workers);
+    exec::ParallelFor(workers, [&](std::size_t w) {
+      std::uint64_t shard_rows = 0;
+      std::int64_t shard_sum = 0;
+      std::uint64_t claimed = 0;
+      while (!(cancel != nullptr && cancel->Cancelled())) {
+        auto morsel = dispatcher.Next(w);
+        if (!morsel) break;
+        ++claimed;
+        Counters().morsel_tuples.Record(morsel->size());
+        ProcessIndices(bound, indices.data() + morsel->begin,
+                       morsel->size(), &shard_rows, &shard_sum);
+      }
+      Counters().morsels.Add(claimed);
+      total_rows.fetch_add(shard_rows, std::memory_order_relaxed);
+      total_sum.fetch_add(shard_sum, std::memory_order_relaxed);
+    });
+    shard_row.measured_s = SecondsSince(shard_start);
+    report->shards.push_back(std::move(shard_row));
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return cancel->ToStatus();
+    }
+  }
+  probe_row.retries = report->shards.front().retries;
+  probe_row.faults_injected = report->shards.front().faults_injected;
+  report->result = engine::QueryResult{total_rows.load(), total_sum.load()};
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
@@ -388,11 +612,22 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
       PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "pipeline.probe",
                       /*arg0=*/1.0,
                       static_cast<double>(plan.shape.fact_rows));
-      gpu_status = RunProbeGpu(plan, options, tables, &report, &reasons);
+      gpu_status =
+          plan.shard.active()
+              ? RunProbeSharded(plan, options, tables, &report, &reasons)
+              : RunProbeGpu(plan, options, tables, &report, &reasons);
     }
     ChargePipelineTime(&report.pipelines.back(), SecondsSince(gpu_start));
     if (gpu_status.ok()) {
-      report.used_gpu = true;
+      // A sharded plan only counts as GPU-executed while at least one
+      // shard kept its device; all-shards-degraded is a CPU result.
+      report.used_gpu = !plan.shard.active() ||
+                        report.shards_replaced < plan.shard.shard_count();
+      if (plan.shard.active() &&
+          report.shards_replaced == plan.shard.shard_count()) {
+        report.pipelines.back().placement_used =
+            ToString(PipelinePlacement::kCpu);
+      }
       FinishReasons(reasons, &report);
       return report;
     }

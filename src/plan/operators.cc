@@ -101,4 +101,29 @@ void ProcessRange(const BoundProbe& bound, std::size_t begin,
   }
 }
 
+void ProcessIndices(const BoundProbe& bound, const std::uint32_t* indices,
+                    std::size_t count, std::uint64_t* rows,
+                    std::int64_t* sum) {
+  for (std::size_t n = 0; n < count; ++n) {
+    const std::size_t i = indices[n];
+    bool qualifies = true;
+    for (const BoundFilter& filter : bound.filters) {
+      if (!ops::Compare(filter.op, filter.column[i], filter.literal)) {
+        qualifies = false;
+        break;
+      }
+    }
+    if (!qualifies) continue;
+    for (const BoundProbeStep& probe : bound.probes) {
+      if (!probe.table->Contains(probe.keys[i])) {
+        qualifies = false;
+        break;
+      }
+    }
+    if (!qualifies) continue;
+    ++*rows;
+    *sum += bound.measure[i];
+  }
+}
+
 }  // namespace pump::plan

@@ -100,6 +100,15 @@ Result<BoundProbe> BindProbe(
 void ProcessRange(const BoundProbe& bound, std::size_t begin,
                   std::size_t end, std::uint64_t* rows, std::int64_t* sum);
 
+/// Executes the bound pipeline over an explicit tuple index list — the
+/// shard-local probe of a hash-partitioned plan. Per-tuple semantics are
+/// exactly ProcessRange's, and the aggregate (count + 64-bit sum) is
+/// order-independent, so sharded execution stays bit-identical to the
+/// single-device plan.
+void ProcessIndices(const BoundProbe& bound, const std::uint32_t* indices,
+                    std::size_t count, std::uint64_t* rows,
+                    std::int64_t* sum);
+
 }  // namespace pump::plan
 
 #endif  // PUMP_PLAN_OPERATORS_H_

@@ -7,7 +7,12 @@
 
 #include "engine/query.h"
 #include "engine/table.h"
+#include "hw/device.h"
 #include "ops/scan.h"
+
+namespace pump::hw {
+struct SystemProfile;
+}  // namespace pump::hw
 
 namespace pump::plan {
 
@@ -38,6 +43,50 @@ const char* ToString(PipelinePlacement placement);
 const char* ToString(HashTableKind kind);
 const char* ToString(OpKind kind);
 const char* ToString(ops::CompareOp op);
+
+/// Which devices carry a GPU-side pipeline: placement by device set, not
+/// by side. Empty for CPU placements; one entry for classic single-GPU
+/// plans; several entries when the plan is sharded across a mesh.
+using DeviceSet = std::vector<hw::DeviceId>;
+
+/// How a GPU-side plan is sharded across its device set. Shard `s` owns
+/// every fact tuple whose first probe key hashes to `s` modulo
+/// `devices.size()` (hash partitioning; a join-free plan partitions by
+/// row range instead). The build side is hash-partitioned the same way,
+/// so probes are shard-local after the all-to-all exchange.
+struct ShardDescriptor {
+  DeviceSet devices;
+
+  std::size_t shard_count() const { return devices.size(); }
+  /// Sharding only changes execution when more than one device shares
+  /// the plan; a one-device "shard" is the classic single-GPU layout.
+  bool active() const { return devices.size() > 1; }
+};
+
+/// One routed peer path of the exchange stage: partitions from the shard
+/// on `src` destined for the shard on `dst`, over the minimum-hop route
+/// of the modelled topology.
+struct ExchangeRoute {
+  hw::DeviceId src = hw::kInvalidDevice;
+  hw::DeviceId dst = hw::kInvalidDevice;
+  /// Interconnect hops of the route (1 = direct peer link; more means a
+  /// bounce through host sockets on AC922-style meshes).
+  std::size_t hops = 0;
+  /// True for a single-hop NVLink/NVSwitch/P2P peer route.
+  bool direct = false;
+  /// Sequential bandwidth of the narrowest link on the route, GiB/s.
+  double bottleneck_gib_s = 0.0;
+};
+
+/// The all-to-all partition exchange between shards: every (src, dst)
+/// pair with src != dst, routed over the mesh. `modelled_cost_s` is the
+/// exchange's predicted wall time — the busiest link's transfer time
+/// plus the longest route's hop latency — which is what the cost-model
+/// policy scores candidate device sets by.
+struct ExchangeStage {
+  std::vector<ExchangeRoute> routes;
+  double modelled_cost_s = 0.0;
+};
 
 /// One operator of a probe pipeline. Only the fields of the given kind
 /// are meaningful: kScanFilter uses {column, op, literal}; kProbe uses
@@ -76,7 +125,11 @@ struct BuildPipeline {
   KeyStats keys;
   HashTableKind table_kind = HashTableKind::kLinearProbing;
   PipelinePlacement placement = PipelinePlacement::kCpu;
-  /// Modelled hash-table storage footprint.
+  /// Devices carrying this build's hash table: empty for CPU placements,
+  /// one device for single-GPU plans, the shard set when the table is
+  /// hash-partitioned across a mesh.
+  DeviceSet device_set;
+  /// Modelled hash-table storage footprint (total across the device set).
   std::uint64_t table_bytes = 0;
   /// Modelled build time (seconds) on the chosen placement; 0 when no
   /// cost model was consulted.
@@ -89,6 +142,9 @@ struct BuildPipeline {
 struct ProbePipeline {
   std::vector<Operator> ops;
   PipelinePlacement placement = PipelinePlacement::kCpu;
+  /// Devices running the probe: empty for CPU placements, one device for
+  /// single-GPU plans, the shard set for sharded plans.
+  DeviceSet device_set;
   /// Modelled probe-pipeline time (seconds); 0 when no cost model ran.
   double modelled_cost_s = 0.0;
 };
@@ -116,6 +172,18 @@ struct PhysicalPlan {
   QueryShape shape;
   std::vector<BuildPipeline> builds;
   ProbePipeline probe;
+  /// Shard layout of a multi-device plan; inactive (<= 1 device) for
+  /// CPU-only and single-GPU plans. When active, the executor hash-
+  /// partitions fact rows across the shard devices, runs the exchange
+  /// stage, and probes the shards in parallel — bit-identically to the
+  /// single-device plan.
+  ShardDescriptor shard;
+  /// The exchange stage of a sharded plan (empty routes otherwise).
+  ExchangeStage exchange;
+  /// Profile whose topology the plan's device ids and exchange routes
+  /// refer to; null means the default AC922 testbed. Must outlive the
+  /// plan, like the query.
+  const hw::SystemProfile* profile = nullptr;
   /// Human-readable placement rationale (cost-model policy, or the
   /// saturation note below).
   std::string rationale;

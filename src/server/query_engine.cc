@@ -100,6 +100,9 @@ struct QueryEngine::Task {
   plan::PhysicalPlan plan;
   SubmitOptions options;
   std::uint64_t footprint_bytes = 0;
+  /// The footprint split per device — the exact bytes each per-device
+  /// pool was charged at admission and must release on resolution.
+  std::map<hw::DeviceId, std::uint64_t> footprint_per_device;
   Clock::time_point submitted_at;
 };
 
@@ -166,6 +169,9 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
     compile_options.policy = options_.policy;
     compile_options.gpu_budget_bytes = options_.gpu_budget_bytes;
     compile_options.gpu_budget_in_use_bytes = gpu_inflight_bytes_;
+    compile_options.profile = options_.profile;
+    compile_options.shard_devices = options_.shard_devices;
+    compile_options.device_budget_in_use = &device_inflight_bytes_;
     Result<plan::PhysicalPlan> compiled =
         plan::Compile(task->query, compile_options);
     if (!compiled.ok()) {
@@ -180,7 +186,12 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
                          static_cast<double>(gpu_inflight_bytes_));
     }
     task->footprint_bytes = plan::EstimatedGpuFootprintBytes(task->plan);
+    task->footprint_per_device =
+        plan::EstimatedGpuFootprintPerDevice(task->plan);
     gpu_inflight_bytes_ += task->footprint_bytes;
+    for (const auto& [device, bytes] : task->footprint_per_device) {
+      device_inflight_bytes_[device] += bytes;
+    }
 
     handle = std::shared_ptr<QueryHandle>(new QueryHandle(next_id_++));
     if (options.deadline_s > 0.0) {
@@ -229,6 +240,7 @@ EngineStats QueryEngine::stats() const {
   EngineStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
   snapshot.gpu_inflight_bytes = gpu_inflight_bytes_;
+  snapshot.device_inflight_bytes = device_inflight_bytes_;
   return snapshot;
 }
 
@@ -297,6 +309,19 @@ void QueryEngine::RunTask(std::unique_ptr<Task> task) {
   {
     std::lock_guard<verify::Mutex> lock(mutex_);
     gpu_inflight_bytes_ -= task->footprint_bytes;
+    bool first_device = true;
+    for (const auto& [device, bytes] : task->footprint_per_device) {
+      if (first_device &&
+          PUMP_VERIFY_MUTATE("server.budget.leak_on_release")) {
+        // Seeded bug: the first device's pool is never drained, so its
+        // in-flight bytes leak and eventually saturate admission — the
+        // budget model kills this by checking all pools return to zero.
+        first_device = false;
+        continue;
+      }
+      first_device = false;
+      device_inflight_bytes_[device] -= bytes;
+    }
     if (result.ok()) {
       ++stats_.completed;
       Metrics().completed.Add();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -99,6 +100,16 @@ struct EngineOptions {
   std::uint64_t cache_capacity_bytes = 512ull << 20;
   /// Placement policy requested for submitted queries.
   plan::PlacementPolicy policy = plan::PlacementPolicy::kGpuPreferred;
+  /// System profile submitted queries compile against; null uses the
+  /// default AC922 testbed. Must outlive the engine (mesh profiles come
+  /// from hw::NvlinkRingProfile & friends).
+  const hw::SystemProfile* profile = nullptr;
+  /// Candidate GPU devices to shard submitted plans across (see
+  /// plan::CompileOptions::shard_devices). Empty keeps the classic
+  /// single-device layout. Each candidate draws from its own per-device
+  /// budget pool; a saturated device is dropped from a new plan's shard
+  /// set before the whole plan degrades to CPU.
+  plan::DeviceSet shard_devices;
   /// Engine-level injector probing the `server.admission` failpoint on
   /// Submit and `server.cancel` before each query starts (scoped by the
   /// submit tag). Distinct from SubmitOptions::injector, which is
@@ -157,8 +168,13 @@ struct EngineStats {
   /// Contained failures: the query's fault ladder exhausted, its handle
   /// resolved with the error, nothing shared was poisoned.
   std::uint64_t failed = 0;
-  /// Modelled GPU bytes charged by queued + running queries.
+  /// Modelled GPU bytes charged by queued + running queries (the sum of
+  /// the per-device pools below).
   std::uint64_t gpu_inflight_bytes = 0;
+  /// The same bytes split per device: each shard of a sharded plan
+  /// charges only its own device's pool, so one busy device never blocks
+  /// admission onto its idle peers.
+  std::map<hw::DeviceId, std::uint64_t> device_inflight_bytes;
   std::size_t queue_depth = 0;
   std::size_t running = 0;
 };
@@ -226,7 +242,13 @@ class QueryEngine {
   std::deque<std::unique_ptr<Task>> queue_;
   EngineStats stats_;
   std::uint64_t next_id_ = 1;
+  /// Aggregate in-flight footprint (always the sum of the per-device
+  /// pools; kept separately so the single-pool saturation signal is O(1)).
   std::uint64_t gpu_inflight_bytes_ = 0;
+  /// Per-device in-flight pools, charged at admission and released when
+  /// the task resolves. Fed into compilation so new plans shed saturated
+  /// devices shard-by-shard.
+  std::map<hw::DeviceId, std::uint64_t> device_inflight_bytes_;
   bool paused_ = false;
   bool shutdown_ = false;
 

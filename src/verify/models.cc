@@ -304,6 +304,55 @@ void QueryEngineAdmissionModel() {
   }
 }
 
+// server::QueryEngine — per-device budget pools: every admitted query
+// charges each shard device's pool exactly once at admission and
+// releases it exactly once when its handle resolves (completion and
+// cancellation take the same release path), so the pools always sum to
+// the aggregate in-flight figure and drain to zero — no double-spend,
+// no leak. The server.budget.leak_on_release mutant skips one device's
+// release and must be caught here.
+
+void QueryEngineBudgetModel() {
+  server::EngineOptions options;
+  options.session_threads = 1;
+  options.queue_capacity = 4;
+  options.cache_capacity_bytes = 0;
+  options.runner_for_test = [](const plan::PhysicalPlan&,
+                               const engine::ExecOptions&) {
+    return Result<engine::ExecReport>(engine::ExecReport{});
+  };
+  server::QueryEngine engine(options);
+  Result<std::shared_ptr<server::QueryHandle>> first =
+      engine.Submit(Server().query);
+  Result<std::shared_ptr<server::QueryHandle>> second =
+      engine.Submit(Server().query);
+  VERIFY_INVARIANT(first.ok() && second.ok(),
+                   "valid query rejected at admission");
+  // The cancelled query must release its pools exactly like a completed
+  // one (the release precedes resolution, whatever the outcome).
+  second.value()->Cancel();
+  {
+    const server::EngineStats stats = engine.stats();
+    std::uint64_t pool_sum = 0;
+    for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+      pool_sum += bytes;
+    }
+    VERIFY_INVARIANT(pool_sum == stats.gpu_inflight_bytes,
+                     "per-device pools out of sync with the aggregate "
+                     "in-flight bytes (double-spend or partial charge)");
+  }
+  (void)first.value()->Wait();
+  (void)second.value()->Wait();
+  const server::EngineStats stats = engine.stats();
+  VERIFY_INVARIANT(stats.gpu_inflight_bytes == 0,
+                   "aggregate GPU budget not returned after resolution");
+  for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+    VERIFY_INVARIANT(bytes == 0,
+                     "a device pool leaked in-flight bytes after its "
+                     "queries resolved");
+  }
+}
+
 // server::QueryHandle — the resolve/wait handoff in isolation: one
 // query, one waiter. The smallest tree containing the lost-wakeup
 // window of a notify that fires before the terminal state is published.
@@ -379,6 +428,7 @@ const std::vector<Model>& Models() {
       {"exec.morsel.coverage", MorselCoverageModel, 1'200, 200},
       {"exec.ws.coverage", WorkStealingCoverageModel, 2'000, 300},
       {"server.engine.admission", QueryEngineAdmissionModel, 2'500, 400},
+      {"server.engine.budget", QueryEngineBudgetModel, 2'000, 300},
       {"server.handle.resolve", QueryHandleResolveModel, 1'500, 300},
       {"obs.trace.ring", TraceRingModel, 1'200, 200},
   };
@@ -393,6 +443,7 @@ const std::vector<Mutant>& Mutants() {
       {"exec.morsel.unsaturated_claim", "exec.morsel.coverage"},
       {"exec.ws.tail_overrun", "exec.ws.coverage"},
       {"server.handle.notify_before_done", "server.handle.resolve"},
+      {"server.budget.leak_on_release", "server.engine.budget"},
       {"obs.trace.count_before_slot", "obs.trace.ring"},
   };
   return mutants;

@@ -185,6 +185,93 @@ TEST_F(TopologyTest, ToStringMentionsDevices) {
   EXPECT_NE(dump.find("NVLink"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// N-GPU mesh builders and peer routing (the topologies the sharded-join
+// exchange planner routes partitions over).
+
+TEST(MeshTopologyTest, NvlinkRingShape) {
+  const Topology ring = NvlinkRing(4);
+  // One x86 host + 4 GPUs; 4 PCIe host links + 4 ring links.
+  EXPECT_EQ(ring.device_count(), 5u);
+  EXPECT_EQ(ring.DevicesOfKind(DeviceKind::kGpu).size(), 4u);
+  EXPECT_EQ(ring.DevicesOfKind(DeviceKind::kCpu).size(), 1u);
+  EXPECT_EQ(ring.edges().size(), 8u);
+}
+
+TEST(MeshTopologyTest, TwoGpuRingCollapsesToSingleBridge) {
+  const Topology ring = NvlinkRing(2);
+  EXPECT_EQ(ring.device_count(), 3u);
+  // 2 PCIe host links + one bridge (no duplicate ring edge).
+  EXPECT_EQ(ring.edges().size(), 3u);
+}
+
+TEST(MeshTopologyTest, NvSwitchCrossbarConnectsEveryPairDirectly) {
+  const Topology crossbar = NvSwitchCrossbar(8);
+  EXPECT_EQ(crossbar.DevicesOfKind(DeviceKind::kGpu).size(), 8u);
+  // 8 host links + C(8,2) = 28 peer links.
+  EXPECT_EQ(crossbar.edges().size(), 36u);
+  const std::vector<DeviceId> gpus =
+      crossbar.DevicesOfKind(DeviceKind::kGpu);
+  for (const DeviceId a : gpus) {
+    for (const DeviceId b : gpus) {
+      if (a == b) continue;
+      const Result<Route> route = crossbar.FindPeerRoute(a, b);
+      ASSERT_TRUE(route.ok()) << a << " -> " << b;
+      EXPECT_EQ(route.value().hops(), 1u);
+    }
+  }
+}
+
+TEST(MeshTopologyTest, RingPeerRouteStaysOnTheRing) {
+  const Topology ring = NvlinkRing(4);
+  const std::vector<DeviceId> gpus = ring.DevicesOfKind(DeviceKind::kGpu);
+  // Neighbours are 1 peer hop apart; the opposite corner is 2. The
+  // 2-hop host path (PCIe up + PCIe down) is never chosen.
+  EXPECT_EQ(ring.FindPeerRoute(gpus[0], gpus[1]).value().hops(), 1u);
+  EXPECT_EQ(ring.FindPeerRoute(gpus[0], gpus[2]).value().hops(), 2u);
+  const Result<Route> corner = ring.FindPeerRoute(gpus[0], gpus[2]);
+  for (const std::size_t edge_index : corner.value().edge_indices) {
+    EXPECT_EQ(ring.edges()[edge_index].link.family, LinkFamily::kNvlink2);
+  }
+}
+
+TEST(MeshTopologyTest, HostBounceMeshHasNoPeerRoutes) {
+  const Topology mesh = HostBounceMesh(4);
+  const std::vector<DeviceId> gpus = mesh.DevicesOfKind(DeviceKind::kGpu);
+  ASSERT_EQ(gpus.size(), 4u);
+  // No GPU-GPU edges: peer routing fails, the full search bounces
+  // through the host (2 hops).
+  EXPECT_FALSE(mesh.FindPeerRoute(gpus[0], gpus[1]).ok());
+  const Result<Route> bounced = mesh.FindRoute(gpus[0], gpus[1]);
+  ASSERT_TRUE(bounced.ok());
+  EXPECT_EQ(bounced.value().hops(), 2u);
+}
+
+TEST(MeshTopologyTest, PeerRouteRejectsNonGpuEndpoints) {
+  const Topology ring = NvlinkRing(4);
+  // Device 0 is the host CPU.
+  EXPECT_FALSE(ring.FindPeerRoute(0, 1).ok());
+}
+
+TEST(MeshTopologyTest, PairBuilders) {
+  const Topology sli = NvSliPair();
+  EXPECT_EQ(sli.DevicesOfKind(DeviceKind::kGpu).size(), 2u);
+  const Topology p2p = GpuDirectPair();
+  EXPECT_EQ(p2p.DevicesOfKind(DeviceKind::kGpu).size(), 2u);
+  const std::vector<DeviceId> gpus = sli.DevicesOfKind(DeviceKind::kGpu);
+  EXPECT_TRUE(sli.FindPeerRoute(gpus[0], gpus[1]).ok());
+}
+
+TEST(MeshTopologyTest, MeshProfilesAreNamedAndConsistent) {
+  for (const SystemProfile& profile :
+       {NvlinkRingProfile(4), NvSwitchCrossbarProfile(8), NvSliPairProfile(),
+        GpuDirectPairProfile(), HostBounceMeshProfile(4)}) {
+    EXPECT_FALSE(profile.name.empty());
+    EXPECT_FALSE(profile.topology.DevicesOfKind(DeviceKind::kGpu).empty())
+        << profile.name;
+  }
+}
+
 TEST(SystemProfileTest, PageSizesMatchOs) {
   // Sec. 4.2 [69]: 4 KiB pages on Intel, 64 KiB on IBM.
   EXPECT_EQ(Ac922Profile().os_page.u64(), 64u * kKiB);

@@ -81,6 +81,47 @@ TEST(ModelCheckTest, CleanChecksReportWhatRan) {
   EXPECT_TRUE(Contains(report.checks_run, "link.bandwidth-ordering"));
 }
 
+// ---------------------------------------------------------------------
+// Mesh lint: every N-GPU topology profile must pass the structural +
+// peering checks; the broken mesh fixture must fail with named
+// violations.
+
+TEST(ModelCheckTest, MeshProfilesAreClean) {
+  for (const hw::SystemProfile& profile :
+       {hw::NvlinkRingProfile(4), hw::NvSwitchCrossbarProfile(8),
+        hw::NvSliPairProfile(), hw::GpuDirectPairProfile(),
+        hw::HostBounceMeshProfile(4)}) {
+    const ProfileReport report = CheckMeshProfile(profile);
+    EXPECT_TRUE(report.ok()) << ReportsToJson({report});
+    EXPECT_TRUE(Contains(report.checks_run, "mesh.gpu-present"))
+        << profile.name;
+    EXPECT_TRUE(Contains(report.checks_run, "mesh.peer-path"))
+        << profile.name;
+  }
+}
+
+TEST(ModelCheckTest, BrokenMeshFixtureFailsWithExpectedViolations) {
+  const ProfileReport report = CheckMeshProfile(BrokenMeshFixtureProfile());
+  ASSERT_FALSE(report.ok());
+  const std::vector<std::string> violated = ViolatedChecks(report);
+  // One GPU is left without any link: unreachable and unpeered.
+  EXPECT_TRUE(Contains(violated, "topology.connectivity"))
+      << ReportsToJson({report});
+  EXPECT_TRUE(Contains(violated, "mesh.peer-path"));
+  // Another GPU's host link claims more measured than electrical.
+  EXPECT_TRUE(Contains(violated, "link.bandwidth-ordering"));
+}
+
+TEST(ModelCheckTest, MeshPeeringAcceptsHostBouncedPairs) {
+  // The AC922-style mesh has no GPU-GPU links, but every pair reaches
+  // its peer through the host within the mesh diameter — the lint must
+  // accept routed (non-direct) exchanges.
+  ProfileReport report;
+  report.profile = "host-bounce-4";
+  CheckMeshPeering(hw::HostBounceMeshProfile(4), &report);
+  EXPECT_TRUE(report.ok()) << ReportsToJson({report});
+}
+
 TEST(ModelCheckTest, JsonReportIsMachineReadable) {
   const ProfileReport clean = CheckProfile(hw::Ac922Profile());
   const ProfileReport broken = CheckProfile(BrokenFixtureProfile());

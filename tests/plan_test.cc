@@ -7,7 +7,9 @@
 // the JSON dump.
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/tpch.h"
@@ -17,6 +19,8 @@
 #include "engine/table.h"
 #include "fault/fault_injector.h"
 #include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "hw/topology.h"
 #include "ops/q6.h"
 #include "plan/compiler.h"
 #include "plan/dump.h"
@@ -445,6 +449,240 @@ TEST_F(CompilerTest, ToJsonDescribesPipelinesAndChoices) {
   EXPECT_NE(ToJson(hybrid_plan.value(), "ssb-q1")
                 .find("\"hash_table\":\"hybrid\""),
             std::string::npos);
+}
+
+TEST_F(CompilerTest, SaturatedDevicePoolDroppedFromShardSet) {
+  const hw::SystemProfile ring = hw::NvlinkRingProfile(4);
+  CompileOptions options;
+  options.policy = PlacementPolicy::kGpuPreferred;
+  options.profile = &ring;
+  options.shard_devices = ring.topology.DevicesOfKind(hw::DeviceKind::kGpu);
+  options.gpu_budget_bytes = 1ull << 20;
+
+  // Device 3's pool already holds more than the whole budget: it must be
+  // dropped from the shard set; the other three shards proceed.
+  std::map<hw::DeviceId, std::uint64_t> in_use{{3, 2ull << 20}};
+  options.device_budget_in_use = &in_use;
+  const auto plan = Compile(q2_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().shard.devices, (DeviceSet{1, 2, 4}));
+  EXPECT_NE(plan.value().rationale.find("dropped from shard set"),
+            std::string::npos)
+      << plan.value().rationale;
+
+  // Every pool saturated: the whole plan degrades to CPU.
+  for (const hw::DeviceId device : options.shard_devices) {
+    in_use[device] = 2ull << 20;
+  }
+  const auto cpu_plan = Compile(q2_, options);
+  ASSERT_TRUE(cpu_plan.ok()) << cpu_plan.status();
+  EXPECT_FALSE(cpu_plan.value().UsesGpu());
+  EXPECT_TRUE(cpu_plan.value().shard.devices.empty());
+}
+
+// ---------------------------------------------------------------------
+// Sharded execution over N-GPU meshes: every sharded plan must stay
+// bit-identical to the single-device plan, across mesh shapes, worker
+// counts, and shard-level device loss.
+
+class ShardedMeshTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new engine::SsbDatabase(engine::SsbDatabase::Generate(20'000, 17));
+    ring4_ = new hw::SystemProfile(hw::NvlinkRingProfile(4));
+    crossbar8_ = new hw::SystemProfile(hw::NvSwitchCrossbarProfile(8));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete ring4_;
+    delete crossbar8_;
+    db_ = nullptr;
+    ring4_ = nullptr;
+    crossbar8_ = nullptr;
+  }
+
+  static CompileOptions ShardedOptions(const hw::SystemProfile* profile) {
+    CompileOptions options;
+    options.policy = PlacementPolicy::kGpuPreferred;
+    if (profile != nullptr) {
+      options.profile = profile;
+      options.shard_devices =
+          profile->topology.DevicesOfKind(hw::DeviceKind::kGpu);
+    }
+    return options;
+  }
+
+  static const engine::SsbDatabase* db_;
+  static const hw::SystemProfile* ring4_;
+  static const hw::SystemProfile* crossbar8_;
+};
+
+const engine::SsbDatabase* ShardedMeshTest::db_ = nullptr;
+const hw::SystemProfile* ShardedMeshTest::ring4_ = nullptr;
+const hw::SystemProfile* ShardedMeshTest::crossbar8_ = nullptr;
+
+TEST_F(ShardedMeshTest, ShardedPlansMatchSingleDeviceAcrossMeshesAndWorkers) {
+  const data::LineitemQ6 lineitem = data::GenerateLineitemQ6(20'000, 7);
+  const Q6PlanInput q6_input = Q6PlanInput::From(lineitem);
+  std::vector<std::pair<std::string, engine::Query>> queries;
+  for (const engine::NamedQuery& named : engine::SsbSuite(*db_)) {
+    queries.emplace_back(named.name, named.query);
+  }
+  queries.emplace_back("q6", q6_input.MakeQuery());
+
+  struct Mesh {
+    const char* name;
+    const hw::SystemProfile* profile;
+    std::size_t shards;
+  };
+  const Mesh meshes[] = {{"single", nullptr, 1},
+                         {"ring-4", ring4_, 4},
+                         {"crossbar-8", crossbar8_, 8}};
+
+  for (const auto& [name, query] : queries) {
+    const auto reference_plan = Compile(query, ShardedOptions(nullptr));
+    ASSERT_TRUE(reference_plan.ok()) << name << ": "
+                                     << reference_plan.status();
+    engine::ExecOptions reference_exec;
+    reference_exec.workers = 2;
+    const auto reference = ExecutePlan(reference_plan.value(),
+                                       reference_exec);
+    ASSERT_TRUE(reference.ok()) << name << ": " << reference.status();
+
+    for (const Mesh& mesh : meshes) {
+      const auto plan = Compile(query, ShardedOptions(mesh.profile));
+      ASSERT_TRUE(plan.ok()) << name << ": " << plan.status();
+      if (mesh.profile != nullptr) {
+        ASSERT_EQ(plan.value().shard.shard_count(), mesh.shards);
+        EXPECT_TRUE(plan.value().shard.active());
+      }
+      for (const std::size_t workers : {1u, 2u, 4u}) {
+        SCOPED_TRACE(name + std::string(" mesh=") + mesh.name +
+                     " workers=" + std::to_string(workers));
+        engine::ExecOptions exec;
+        exec.workers = workers;
+        const auto sharded = ExecutePlan(plan.value(), exec);
+        ASSERT_TRUE(sharded.ok()) << sharded.status();
+        EXPECT_EQ(sharded.value().result, reference.value().result);
+        EXPECT_EQ(sharded.value().shards_replaced, 0u);
+        EXPECT_TRUE(sharded.value().used_gpu);
+        if (mesh.profile != nullptr) {
+          // One exchange row plus one probe row per shard.
+          EXPECT_EQ(sharded.value().shards.size(), mesh.shards + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedMeshTest, DeviceOomOnOneShardDegradesOnlyThatShard) {
+  const data::LineitemQ6 lineitem = data::GenerateLineitemQ6(20'000, 7);
+  const Q6PlanInput q6_input = Q6PlanInput::From(lineitem);
+  const engine::Query query = q6_input.MakeQuery();
+
+  const auto reference_plan = Compile(query, ShardedOptions(nullptr));
+  ASSERT_TRUE(reference_plan.ok()) << reference_plan.status();
+  engine::ExecOptions reference_exec;
+  reference_exec.workers = 2;
+  const auto reference = ExecutePlan(reference_plan.value(),
+                                     reference_exec);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (const hw::SystemProfile* profile : {ring4_, crossbar8_}) {
+    SCOPED_TRACE(profile->name);
+    const auto plan = Compile(query, ShardedOptions(profile));
+    ASSERT_TRUE(plan.ok()) << plan.status();
+
+    // Q6 has no build pipelines, so the plan.pipeline site sees one
+    // "probe" hit then one "shard" hit per shard; after_hits=1 with one
+    // allowed fire OOMs exactly the second shard's device admission.
+    fault::FaultInjector injector(11);
+    fault::FaultSpec spec;
+    spec.probability = 1.0;
+    spec.after_hits = 1;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kResourceExhausted;
+    injector.Arm(fault::kPlanPipeline, spec);
+
+    engine::ExecOptions exec;
+    exec.workers = 2;
+    exec.injector = &injector;
+    const auto sharded = ExecutePlan(plan.value(), exec);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    EXPECT_EQ(sharded.value().result, reference.value().result);
+    EXPECT_EQ(sharded.value().shards_replaced, 1u);
+    EXPECT_TRUE(sharded.value().used_gpu);
+    EXPECT_TRUE(sharded.value().degraded);
+
+    std::size_t cpu_shards = 0;
+    for (const engine::PipelineOutcome& row : sharded.value().shards) {
+      if (row.kind == "probe" && row.placement_used == "cpu") ++cpu_shards;
+    }
+    EXPECT_EQ(cpu_shards, 1u);
+  }
+}
+
+TEST_F(ShardedMeshTest, ProbeFaultOnShardedPlanDescendsToCpu) {
+  const data::LineitemQ6 lineitem = data::GenerateLineitemQ6(20'000, 7);
+  const Q6PlanInput q6_input = Q6PlanInput::From(lineitem);
+  const engine::Query query = q6_input.MakeQuery();
+
+  const auto plan = Compile(query, ShardedOptions(ring4_));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  fault::FaultInjector injector(13);
+  fault::FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 1;
+  spec.code = StatusCode::kResourceExhausted;
+  injector.Arm(fault::kPlanPipeline, spec);
+
+  engine::ExecOptions exec;
+  exec.workers = 2;
+  exec.injector = &injector;
+  const auto sharded = ExecutePlan(plan.value(), exec);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_FALSE(sharded.value().used_gpu);
+
+  engine::ExecOptions clean_exec;
+  clean_exec.workers = 2;
+  const auto reference = ExecutePlan(plan.value(), clean_exec);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(sharded.value().result, reference.value().result);
+}
+
+TEST_F(ShardedMeshTest, ShardedDumpCarriesDeviceSetsAndExchange) {
+  const engine::Query q2 = engine::SsbQ2(*db_);
+  const auto plan = Compile(q2, ShardedOptions(ring4_));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const std::string json = ToJson(plan.value(), "ssb-q2");
+  EXPECT_NE(json.find("\"device_set\":[1,2,3,4]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shard\":{\"devices\":[1,2,3,4],\"partitions\":4}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"exchange\":{\"modelled_cost_s\":"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bottleneck_gib_s\":"), std::string::npos) << json;
+  // 4 devices exchange over all 12 ordered pairs.
+  std::size_t routes = 0;
+  for (std::size_t pos = json.find("\"src\":"); pos != std::string::npos;
+       pos = json.find("\"src\":", pos + 1)) {
+    ++routes;
+  }
+  EXPECT_EQ(routes, 12u);
+
+  // A single-device plan still records its one device; the shard
+  // descriptor stays inactive (one partition, no exchange routes).
+  const auto single = Compile(q2, ShardedOptions(nullptr));
+  ASSERT_TRUE(single.ok());
+  const std::string single_json = ToJson(single.value(), "ssb-q2");
+  EXPECT_NE(single_json.find("\"shard\":{\"devices\":[2],\"partitions\":1}"),
+            std::string::npos)
+      << single_json;
+  EXPECT_NE(single_json.find("\"routes\":[]"), std::string::npos)
+      << single_json;
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "engine/ssb.h"
 #include "engine/table.h"
 #include "gtest/gtest.h"
+#include "hw/system_profile.h"
+#include "hw/topology.h"
 #include "obs/metrics.h"
 #include "plan/build_cache.h"
 #include "plan/compiler.h"
@@ -436,6 +438,78 @@ TEST(QueryEngineTest, ShutdownDrainsQueuedQueries) {
 // TSan regression: concurrent submitters against one engine. Any data
 // race in Submit/scheduler/cache/metrics surfaces here under
 // -DPUMP_SANITIZE=thread (check.sh runs this binary in that build).
+
+TEST(QueryEngineTest, PerDevicePoolsTrackInflightAndDrain) {
+  const engine::Query query = engine::SsbQ1(Db());
+  server::EngineOptions options;
+  options.session_threads = 1;
+  options.queue_capacity = 4;
+  server::QueryEngine engine(options);
+  engine.Pause();
+
+  Result<std::shared_ptr<server::QueryHandle>> first = engine.Submit(query);
+  Result<std::shared_ptr<server::QueryHandle>> second =
+      engine.Submit(query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Single-device plans charge one per-device pool; the pools always sum
+  // to the aggregate in-flight figure.
+  server::EngineStats stats = engine.stats();
+  EXPECT_GT(stats.gpu_inflight_bytes, 0u);
+  ASSERT_EQ(stats.device_inflight_bytes.size(), 1u);
+  std::uint64_t pool_sum = 0;
+  for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+    pool_sum += bytes;
+  }
+  EXPECT_EQ(pool_sum, stats.gpu_inflight_bytes);
+
+  engine.Resume();
+  ASSERT_TRUE(first.value()->Wait().ok());
+  ASSERT_TRUE(second.value()->Wait().ok());
+  stats = engine.stats();
+  EXPECT_EQ(stats.gpu_inflight_bytes, 0u);
+  for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+    EXPECT_EQ(bytes, 0u) << "device " << device;
+  }
+}
+
+TEST(QueryEngineTest, ShardedSubmissionChargesEveryDevicePool) {
+  const engine::Query query = engine::SsbQ1(Db());
+  const engine::QueryResult expected = Solo(query);
+  const hw::SystemProfile ring = hw::NvlinkRingProfile(4);
+  server::EngineOptions options;
+  options.session_threads = 1;
+  options.queue_capacity = 4;
+  options.profile = &ring;
+  options.shard_devices =
+      ring.topology.DevicesOfKind(hw::DeviceKind::kGpu);
+  server::QueryEngine engine(options);
+  engine.Pause();
+
+  Result<std::shared_ptr<server::QueryHandle>> handle =
+      engine.Submit(query);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  server::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.device_inflight_bytes.size(), 4u);
+  std::uint64_t pool_sum = 0;
+  for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+    EXPECT_GT(bytes, 0u) << "device " << device;
+    pool_sum += bytes;
+  }
+  EXPECT_EQ(pool_sum, stats.gpu_inflight_bytes);
+
+  engine.Resume();
+  const Result<engine::ExecReport>& report = handle.value()->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().result, expected);
+  stats = engine.stats();
+  EXPECT_EQ(stats.gpu_inflight_bytes, 0u);
+  for (const auto& [device, bytes] : stats.device_inflight_bytes) {
+    EXPECT_EQ(bytes, 0u) << "device " << device;
+  }
+}
 
 TEST(QueryEngineTest, ConcurrentSubmittersAllResolve) {
   const engine::Query q1 = engine::SsbQ1(Db());

@@ -8,11 +8,20 @@
 //
 // Usage:
 //   modelcheck [--profile ac922|xeon|broken-fixture]... [--json <path>]
+//   modelcheck --mesh [--profile ring-4|crossbar-8|sli-2|p2p-2|
+//              host-bounce-4|broken-mesh-fixture]... [--json <path>]
 //   modelcheck --residuals <file> [--residual-band [class=]min:max]...
 //              [--json <path>]
 //
 // Without --profile, both testbed profiles are checked. --broken-fixture is
 // a deliberately corrupted profile used to demonstrate failure output.
+//
+// With --mesh, the tool lints N-GPU mesh profiles instead (the topologies
+// the sharded-join exchange planner routes over): structural checks plus
+// the mesh peering lint, with paper-figure calibration skipped — the mesh
+// link constants come from "Evaluating Modern GPU Interconnect" (Li et
+// al.), not this paper's testbeds. Without --profile, all five good mesh
+// topologies are checked; broken-mesh-fixture must fail.
 //
 // With --residuals, the tool instead lints a model-vs-measured residual
 // report written by `tracedump --residuals`: every pipeline's
@@ -79,17 +88,48 @@ bool LoadProfile(const std::string& name, pump::hw::SystemProfile* out) {
   return false;
 }
 
+bool LoadMeshProfile(const std::string& name, pump::hw::SystemProfile* out) {
+  if (name == "ring-4") {
+    *out = pump::hw::NvlinkRingProfile(4);
+    return true;
+  }
+  if (name == "crossbar-8") {
+    *out = pump::hw::NvSwitchCrossbarProfile(8);
+    return true;
+  }
+  if (name == "sli-2") {
+    *out = pump::hw::NvSliPairProfile();
+    return true;
+  }
+  if (name == "p2p-2") {
+    *out = pump::hw::GpuDirectPairProfile();
+    return true;
+  }
+  if (name == "host-bounce-4") {
+    *out = pump::hw::HostBounceMeshProfile(4);
+    return true;
+  }
+  if (name == "broken-mesh-fixture") {
+    *out = pump::check::BrokenMeshFixtureProfile();
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> profile_names;
   std::string json_path;
   std::string residuals_path;
+  bool mesh_mode = false;
   pump::check::ResidualBands bands;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile" && i + 1 < argc) {
       profile_names.emplace_back(argv[++i]);
+    } else if (arg == "--mesh") {
+      mesh_mode = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--residuals" && i + 1 < argc) {
@@ -106,6 +146,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: modelcheck [--profile ac922|xeon|broken-fixture]... "
           "[--json <path>]\n"
+          "       modelcheck --mesh [--profile ring-4|crossbar-8|sli-2|"
+          "p2p-2|host-bounce-4|broken-mesh-fixture]... [--json <path>]\n"
           "       modelcheck --residuals <file> "
           "[--residual-band [class=]min:max]... [--json <path>]\n");
       return 0;
@@ -118,9 +160,10 @@ int main(int argc, char** argv) {
 
   std::vector<pump::check::ProfileReport> reports;
   if (!residuals_path.empty()) {
-    if (!profile_names.empty()) {
+    if (!profile_names.empty() || mesh_mode) {
       std::fprintf(stderr,
-                   "modelcheck: --residuals and --profile are exclusive\n");
+                   "modelcheck: --residuals is exclusive with --profile "
+                   "and --mesh\n");
       return 2;
     }
     pump::Result<pump::obs::ResidualReport> residuals =
@@ -138,17 +181,36 @@ int main(int argc, char** argv) {
                    "modelcheck: --residual-band requires --residuals\n");
       return 2;
     }
-    if (profile_names.empty()) profile_names = {"ac922", "xeon"};
-    for (const std::string& name : profile_names) {
-      pump::hw::SystemProfile profile;
-      if (!LoadProfile(name, &profile)) {
-        std::fprintf(stderr,
-                     "modelcheck: unknown profile '%s' (want ac922, xeon or "
-                     "broken-fixture)\n",
-                     name.c_str());
-        return 2;
+    if (mesh_mode) {
+      if (profile_names.empty()) {
+        profile_names = {"ring-4", "crossbar-8", "sli-2", "p2p-2",
+                         "host-bounce-4"};
       }
-      reports.push_back(pump::check::CheckProfile(profile));
+      for (const std::string& name : profile_names) {
+        pump::hw::SystemProfile profile;
+        if (!LoadMeshProfile(name, &profile)) {
+          std::fprintf(stderr,
+                       "modelcheck: unknown mesh profile '%s' (want ring-4, "
+                       "crossbar-8, sli-2, p2p-2, host-bounce-4 or "
+                       "broken-mesh-fixture)\n",
+                       name.c_str());
+          return 2;
+        }
+        reports.push_back(pump::check::CheckMeshProfile(profile));
+      }
+    } else {
+      if (profile_names.empty()) profile_names = {"ac922", "xeon"};
+      for (const std::string& name : profile_names) {
+        pump::hw::SystemProfile profile;
+        if (!LoadProfile(name, &profile)) {
+          std::fprintf(stderr,
+                       "modelcheck: unknown profile '%s' (want ac922, xeon "
+                       "or broken-fixture)\n",
+                       name.c_str());
+          return 2;
+        }
+        reports.push_back(pump::check::CheckProfile(profile));
+      }
     }
   }
 

@@ -7,7 +7,12 @@
 // Usage:
 //   plandump [--query ssb-q1|ssb-q2|ssb-q3|q6|all] [--rows N] [--seed S]
 //            [--policy cpu|gpu|cost] [--gpu-budget BYTES] [--scale X]
+//            [--mesh ring-4|crossbar-8|sli-2|p2p-2|host-bounce-4]
 //            [--json <path>]
+//
+// --mesh compiles against the named N-GPU mesh profile with the plan
+// sharded across all of its GPUs: the dump then carries device-set
+// placements, the shard descriptor and the exchange routes.
 //
 // Exit codes: 0 = all plans compiled and validated, 1 = a plan failed
 // compilation or validation, 2 = usage error.
@@ -21,6 +26,8 @@
 
 #include "data/tpch.h"
 #include "engine/ssb.h"
+#include "hw/system_profile.h"
+#include "hw/topology.h"
 #include "plan/compiler.h"
 #include "plan/dump.h"
 #include "plan/q6_bridge.h"
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
   std::string policy_name = "gpu";
   std::uint64_t gpu_budget = 0;
   double scale = 1.0;
+  std::string mesh_name;
   std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,13 +93,16 @@ int main(int argc, char** argv) {
       gpu_budget = std::strtoull(next("--gpu-budget"), nullptr, 10);
     } else if (arg == "--scale") {
       scale = std::strtod(next("--scale"), nullptr);
+    } else if (arg == "--mesh") {
+      mesh_name = next("--mesh");
     } else if (arg == "--json") {
       json_path = next("--json");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: plandump [--query ssb-q1|ssb-q2|ssb-q3|q6|all] [--rows N] "
           "[--seed S] [--policy cpu|gpu|cost] [--gpu-budget BYTES] "
-          "[--scale X] [--json <path>]\n");
+          "[--scale X] [--mesh ring-4|crossbar-8|sli-2|p2p-2|host-bounce-4] "
+          "[--json <path>]\n");
       return 0;
     } else {
       std::fprintf(stderr, "plandump: unknown argument '%s'\n", arg.c_str());
@@ -113,6 +124,31 @@ int main(int argc, char** argv) {
   }
   options.gpu_budget_bytes = gpu_budget;
   options.scale = scale;
+
+  // The mesh profile must outlive every compiled plan.
+  pump::hw::SystemProfile mesh_profile;
+  if (!mesh_name.empty()) {
+    if (mesh_name == "ring-4") {
+      mesh_profile = pump::hw::NvlinkRingProfile(4);
+    } else if (mesh_name == "crossbar-8") {
+      mesh_profile = pump::hw::NvSwitchCrossbarProfile(8);
+    } else if (mesh_name == "sli-2") {
+      mesh_profile = pump::hw::NvSliPairProfile();
+    } else if (mesh_name == "p2p-2") {
+      mesh_profile = pump::hw::GpuDirectPairProfile();
+    } else if (mesh_name == "host-bounce-4") {
+      mesh_profile = pump::hw::HostBounceMeshProfile(4);
+    } else {
+      std::fprintf(stderr,
+                   "plandump: unknown mesh '%s' (want ring-4|crossbar-8|"
+                   "sli-2|p2p-2|host-bounce-4)\n",
+                   mesh_name.c_str());
+      return 2;
+    }
+    options.profile = &mesh_profile;
+    options.shard_devices =
+        mesh_profile.topology.DevicesOfKind(pump::hw::DeviceKind::kGpu);
+  }
 
   const bool all = query_name == "all";
   std::vector<DumpedPlan> plans;
