@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Regression watchdog over BENCH_micro.json.
+
+Compares fresh bench records (one or more JSON files in the repo's
+{experiment, config, mean, stderr, runs} record shape) against the
+committed baseline, and fails loudly when a metric moved beyond the
+allowed band in its bad direction.
+
+Robust statistics: when several fresh samples share an (experiment,
+config) key — repeated runs, or a baseline record carrying `median`/
+`mad` from prior merges — the comparison uses medians, and the band
+widens to `mad_k` times the baseline's median absolute deviation. A
+single noisy run therefore cannot fail the gate by itself unless it
+clears both the percentage band and the historical noise band.
+
+Direction-aware: experiments whose name contains `qps`, `hit_pct` or
+`speedup` are higher-is-better; everything else (latencies, ns/op,
+overhead percentages) is lower-is-better. Counter-like records
+(`_shed`, `_cancelled`, `_deadline_exceeded`) are informational and
+skipped.
+
+Exit codes: 0 = all compared metrics within band, 1 = regression(s) or
+nothing compared, 2 = usage error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+HIGHER_BETTER = ("qps", "hit_pct", "speedup")
+SKIP = ("_shed", "_cancelled", "_deadline_exceeded")
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    for record in data:
+        if "experiment" not in record or "config" not in record:
+            raise ValueError(f"{path}: record missing experiment/config")
+    return data
+
+
+def key_of(record):
+    return (record["experiment"], record["config"])
+
+
+def median_mad(values):
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    return med, mad
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="+",
+                        help="fresh record files (repeats may repeat keys)")
+    parser.add_argument("--baseline", default="BENCH_micro.json",
+                        help="baseline record file (default: %(default)s)")
+    parser.add_argument("--band-pct", type=float, default=25.0,
+                        help="allowed move as %% of the baseline value "
+                             "(default: %(default)s)")
+    parser.add_argument("--mad-k", type=float, default=5.0,
+                        help="allowed move as a multiple of the baseline "
+                             "MAD (default: %(default)s); the band is the "
+                             "max of both")
+    args = parser.parse_args()
+
+    try:
+        baseline = {key_of(r): r for r in load_records(args.baseline)}
+    except FileNotFoundError:
+        print(f"bench_check: no baseline at {args.baseline}; "
+              f"nothing to compare", file=sys.stderr)
+        return 1
+    fresh = {}
+    for path in args.fresh:
+        for record in load_records(path):
+            fresh.setdefault(key_of(record), []).append(record["mean"])
+
+    compared = 0
+    regressions = []
+    for key, samples in sorted(fresh.items()):
+        experiment, config = key
+        if any(s in experiment for s in SKIP):
+            continue
+        base = baseline.get(key)
+        if base is None:
+            continue
+        base_value = base.get("median", base["mean"]) \
+            if base.get("has_distribution") else base["mean"]
+        base_mad = base.get("mad", 0.0) if base.get("has_distribution") \
+            else 0.0
+        fresh_value, _ = median_mad(samples)
+        band = max(args.band_pct / 100.0 * abs(base_value),
+                   args.mad_k * base_mad)
+        higher_better = any(s in experiment for s in HIGHER_BETTER)
+        delta = fresh_value - base_value
+        bad = -delta if higher_better else delta
+        compared += 1
+        status = "ok"
+        if bad > band:
+            status = "REGRESSION"
+            regressions.append(
+                f"{experiment} [{config}]: {base_value:g} -> "
+                f"{fresh_value:g} ({'-' if higher_better else '+'}"
+                f"{abs(delta):g}, band {band:g}, "
+                f"{'higher' if higher_better else 'lower'}-is-better)")
+        print(f"  {status:>10}  {experiment} [{config}]: "
+              f"base {base_value:g}, fresh {fresh_value:g} "
+              f"(n={len(samples)}, band {band:g})")
+
+    if compared == 0:
+        print("bench_check: no fresh record matched a baseline key; "
+              "refusing to pass vacuously", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\nbench_check: {len(regressions)} regression(s) beyond "
+              f"the band:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_check: {compared} metrics within band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,20 +25,36 @@
 # fails the whole script with a named, non-zero error — partial records
 # are never merged into the trajectory.
 #
-# Usage: scripts/bench_trajectory.sh [-j N] [-q]
-#   -j N  build parallelism (default: nproc)
-#   -q    quick mode: shrunken sizes, for smoke-testing the pipeline
+# Usage: scripts/bench_trajectory.sh [-j N] [-q] [--check]
+#   -j N     build parallelism (default: nproc)
+#   -q       quick mode: shrunken sizes, for smoke-testing the pipeline
+#   --check  regression watchdog: compare this run's fresh records
+#            against the committed BENCH_micro.json (median/MAD band via
+#            scripts/bench_check.py, band knobs BENCH_BAND_PCT /
+#            BENCH_MAD_K) and exit nonzero on regression. Read-only —
+#            the baseline is not rewritten.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+CHECK=""
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+set -- ${ARGS[@]+"${ARGS[@]}"}
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
 QUICK=""
-while getopts "j:q" opt; do
+while getopts "j:qc" opt; do
   case "$opt" in
     j) JOBS="$OPTARG" ;;
     q) QUICK="--quick" ;;
-    *) echo "usage: $0 [-j N] [-q]" >&2; exit 2 ;;
+    c) CHECK=1 ;;
+    *) echo "usage: $0 [-j N] [-q] [--check]" >&2; exit 2 ;;
   esac
 done
 
@@ -123,6 +139,22 @@ run_bench "ext_multi_gpu_mesh ${QUICK:-"(full sizes)"}" \
     --json="$OUT_DIR/mesh_scaling.json" >/dev/null
 check_json ext_multi_gpu_mesh "$OUT_DIR/mesh_scaling.json"
 
+if [ -n "$CHECK" ]; then
+  say "check fresh records against BENCH_micro.json"
+  python3 scripts/bench_check.py \
+      --baseline BENCH_micro.json \
+      --band-pct "${BENCH_BAND_PCT:-25}" \
+      --mad-k "${BENCH_MAD_K:-5}" \
+      "$OUT_DIR/micro_parallel.json" \
+      "$OUT_DIR/micro_engine.json" \
+      "$OUT_DIR/servebench.json" \
+      "$OUT_DIR/micro_hashtable.json" \
+      "$OUT_DIR/micro_join.json" \
+      "$OUT_DIR/mesh_scaling.json"
+  say "check passed"
+  exit 0
+fi
+
 say "merge into BENCH_micro.json"
 # Merge, never overwrite wholesale: records from this run replace prior
 # records with the same (experiment, config) key; every other prior
@@ -136,8 +168,11 @@ python3 - "$OUT_DIR/micro_parallel.json" \
            "$OUT_DIR/micro_hashtable.json" \
            "$OUT_DIR/micro_join.json" \
            "$OUT_DIR/mesh_scaling.json" <<'PY'
+import datetime
 import json
 import os
+import socket
+import subprocess
 import sys
 
 records = []
@@ -163,6 +198,23 @@ for entry in gbench.get("benchmarks", []):
         "stderr": 0.0,
         "runs": int(entry.get("repetitions", 1) or 1),
     })
+
+# Provenance: every fresh record carries where and when it was measured,
+# so a trajectory mixing machines or stale checkouts is visible in the
+# data rather than a mystery.
+try:
+    sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         check=True).stdout.strip()
+except (OSError, subprocess.CalledProcessError):
+    sha = "unknown"
+stamp = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ")
+host = socket.gethostname()
+for record in records:
+    record["git_sha"] = sha
+    record["recorded_at"] = stamp
+    record["hostname"] = host
 
 merged = {}
 kept = 0

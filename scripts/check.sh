@@ -27,6 +27,15 @@
 #      carry the core counter families, the residual report must have a
 #      row per pipeline, and span coverage must be >= 95% of wall time;
 #      modelcheck --residuals must accept the report
+#   7b. tracedump --concurrent: queries racing through the serving engine
+#      must each reassemble to >= 95% coverage from their query-id stamps
+#      alone, and the --query-id filtered export must carry exactly that
+#      query's balanced timeline
+#   7c. pumpstat: the introspection snapshot must carry every family
+#      (stats, queries, cache+contents, window, routes, incidents, slo)
+#      in both JSON and Prometheus text exposition
+#   7d. bench_check.py synthetic smoke: a fabricated regression must exit
+#      nonzero, the clean case zero (the --check watchdog's own test)
 #   8. disabled-tracing overhead guard: micro_engine's instrumented plan
 #      IR (spans compiled in, recorder off) must average <= 5% over the
 #      uninstrumented fused baseline
@@ -80,14 +89,46 @@ configure_and_test build-asan "address" ""
 configure_and_test build-tsan "thread" \
   "exec_test|executor_test|engine_test|fault_test|failure_test|integration_test|obs_test|plan_test|server_test|simd_test"
 
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
 # 3b. Server soak under TSan: >= 8 concurrent queries against the serving
 #     engine across workers x fault-probability cells, with poisoned
 #     queries, deadlines, client cancels and admission faults in the mix.
 #     servebench exits non-zero on any hung/lost query, any completed
-#     result that differs from solo execution, or any accounting
-#     invariant violation (submitted == admitted + shed + rejected).
+#     result that differs from solo execution, any accounting invariant
+#     violation (submitted == admitted + shed + rejected), or any
+#     abnormal resolution without a matching flight-recorder artifact.
 say "servebench soak smoke (TSan, --quick): zero hung/lost queries"
-./build-tsan/tools/servebench --quick --soak
+./build-tsan/tools/servebench --quick --soak \
+    --incidents-out="$TMP_DIR/soak_incidents.json"
+
+say "soak incident artifacts: parseable and self-contained"
+python3 - "$TMP_DIR/soak_incidents.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    incidents = json.load(f)
+assert incidents, "soak produced no incident artifacts (it injects " \
+    "poison, deadlines and cancels every cell — that cannot be clean)"
+kinds = {}
+for incident in incidents:
+    for key in ("query_id", "kind", "status", "plan", "report",
+                "metrics_delta", "trace_tail"):
+        assert key in incident, f"incident missing {key}: {incident}"
+    assert incident["query_id"] > 0, incident
+    assert incident["kind"] in ("fault_ladder_exhausted", "cancelled",
+                                "deadline_expired"), incident["kind"]
+    assert incident["plan"] is not None, "incident without its plan dump"
+    assert incident["report"] is not None, "incident without report rows"
+    assert incident["trace_tail"], (
+        "incident without a trace tail (soak runs with tracing on)")
+    kinds[incident["kind"]] = kinds.get(incident["kind"], 0) + 1
+assert "fault_ladder_exhausted" in kinds, kinds
+print(f"{len(incidents)} incident artifacts, all self-contained: "
+      + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())))
+PY
 
 say "servebench soak smoke (TSan, --quick, PUMP_FORCE_SCALAR=1)"
 PUMP_FORCE_SCALAR=1 ./build-tsan/tools/servebench --quick --soak
@@ -104,9 +145,6 @@ say "build build-verify"
 cmake --build build-verify -j "$JOBS"
 say "test build-verify (verify_test: explorer, replay, lock order)"
 ctest --test-dir build-verify --output-on-failure -R "verify_test"
-
-TMP_DIR="$(mktemp -d)"
-trap 'rm -rf "$TMP_DIR"' EXIT
 
 say "verifydump --quick: models clean, 100% mutant kills, acyclic locks"
 ./build-verify/tools/verifydump --quick > "$TMP_DIR/verify.json"
@@ -332,6 +370,158 @@ PY
 say "modelcheck: residual report must lint clean (permissive band)"
 ./build-release/tools/modelcheck --residuals "$TMP_DIR/residuals.json" \
     --residual-band 0:1e9 >/dev/null
+
+# 7b. Trace correlation gate: concurrent queries through the serving
+#     engine, per-query timelines reassembled from the query-id stamps
+#     across all worker rings. Coverage below 95% means spans lost their
+#     attribution somewhere between Submit and the morsel loops.
+say "tracedump --concurrent: per-query coverage >= 0.95 from id stamps"
+./build-release/tools/tracedump --concurrent 8 --workers 2 --rows 50000 \
+    --trace-out "$TMP_DIR/trace_concurrent.json" \
+    > "$TMP_DIR/summary_concurrent.json"
+./build-release/tools/tracedump --concurrent 8 --workers 2 --rows 50000 \
+    --query-id 3 --trace-out "$TMP_DIR/trace_q3only.json" >/dev/null
+python3 - "$TMP_DIR/summary_concurrent.json" \
+          "$TMP_DIR/trace_concurrent.json" \
+          "$TMP_DIR/trace_q3only.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+assert summary["workers"] >= 2, summary
+assert len(summary["queries"]) == 8, summary
+assert not summary["coverage_unreliable"], (
+    f"ring wrapped ({summary['dropped_events']} dropped); coverage "
+    "cannot be trusted at this size — the gate itself is misconfigured")
+for q in summary["queries"]:
+    assert q["coverage"] >= 0.95, (
+        f"query {q['id']}: plan.execute covers {q['coverage']:.3f} of its "
+        "server.query span; want >= 0.95")
+
+with open(sys.argv[2]) as f:
+    full = json.load(f)["traceEvents"]
+tagged = [e for e in full if "qid" in e]
+assert tagged, "concurrent trace has no query-id stamps"
+assert {e["qid"] for e in tagged} == set(range(1, 9)), (
+    sorted({e["qid"] for e in tagged}))
+
+with open(sys.argv[3]) as f:
+    filtered = json.load(f)["traceEvents"]
+assert filtered, "filtered trace is empty"
+assert all(e.get("qid") == 3 for e in filtered), (
+    "--query-id 3 export contains foreign events")
+depth = {}
+for e in filtered:
+    key = (e["pid"], e["tid"])
+    if e["ph"] == "B":
+        depth[key] = depth.get(key, 0) + 1
+    elif e["ph"] == "E":
+        depth[key] = depth.get(key, 0) - 1
+        assert depth[key] >= 0, f"E without B on thread {key}"
+assert not any(depth.values()), f"unbalanced filtered B/E: {depth}"
+print(f"8 queries reassembled, min coverage "
+      f"{summary['min_coverage']:.4f}; filtered export: "
+      f"{len(filtered)} events, all qid=3, balanced")
+PY
+
+# 7c. Introspection gate: pumpstat's snapshot must carry every family in
+#     both exposition formats, and the --incidents run must leave one
+#     artifact per induced abnormal resolution.
+say "pumpstat: snapshot families in JSON and Prometheus expositions"
+./build-release/tools/pumpstat --queries 8 --rows 20000 --incidents \
+    --out "$TMP_DIR/pumpstat.json" \
+    --incidents-out "$TMP_DIR/pumpstat_incidents.json"
+./build-release/tools/pumpstat --queries 4 --rows 20000 --prom \
+    --out "$TMP_DIR/pumpstat.prom"
+python3 - "$TMP_DIR/pumpstat.json" "$TMP_DIR/pumpstat_incidents.json" \
+          "$TMP_DIR/pumpstat.prom" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+for family in ("stats", "queries", "cache", "window", "exchange_routes",
+               "incidents", "slo"):
+    assert family in snap, f"snapshot missing {family}"
+assert snap["stats"]["completed"] >= 8, snap["stats"]
+assert snap["cache"]["contents"], "cache contents empty after SSB mix"
+assert 0.0 < snap["cache"]["hit_ratio"] <= 1.0, snap["cache"]
+assert snap["window"]["count"] > 0, snap["window"]
+assert snap["window"]["p99_us"] >= snap["window"]["p50_us"], snap["window"]
+# The poisoned build and the microsecond deadline are deterministic;
+# the client-side cancel can lose its race to a fast query, so it is
+# allowed (not required) here. Soak's invariants pin the exact
+# stats<->incidents correspondence.
+by_kind = snap["incidents"]["by_kind"]
+assert by_kind.get("fault_ladder_exhausted") == 1, snap["incidents"]
+assert by_kind.get("deadline_expired") == 1, snap["incidents"]
+assert snap["incidents"]["captured"] == sum(by_kind.values()), (
+    snap["incidents"])
+assert snap["slo"]["ok"] and not snap["slo"]["configured"], snap["slo"]
+
+with open(sys.argv[2]) as f:
+    ring = json.load(f)
+assert len(ring["incidents"]) == snap["incidents"]["captured"], ring
+
+with open(sys.argv[3]) as f:
+    prom = f.read()
+for family in ("pump_server_submitted", "pump_server_queue_depth",
+               "pump_cache_hit_ratio", "pump_window_latency_p99_us",
+               "pump_window_qps", "pump_incidents_captured",
+               "pump_slo_ok"):
+    assert f"\n{family} " in prom or prom.startswith(f"{family} "), (
+        f"prometheus exposition missing {family}")
+assert "# TYPE pump_server_submitted counter" in prom, "missing # TYPE"
+print(f"snapshot families present; {len(ring['incidents'])} induced "
+      f"incidents captured; prometheus exposition complete")
+PY
+
+# 7d. Watchdog self-test: bench_check.py must fail a fabricated
+#     regression and pass the clean case — deterministic synthetic
+#     records, no bench noise involved.
+say "bench_check.py: synthetic regression must fail, clean must pass"
+python3 - "$TMP_DIR" <<'PY'
+import json
+import os
+import subprocess
+import sys
+
+tmp = sys.argv[1]
+base = [
+    {"experiment": "servebench_qps", "config": "c", "mean": 100.0,
+     "stderr": 0.0, "runs": 3},
+    {"experiment": "servebench_p99_us", "config": "c", "mean": 500.0,
+     "stderr": 0.0, "runs": 3, "median": 500.0, "mad": 10.0,
+     "has_distribution": True},
+]
+clean = [
+    {"experiment": "servebench_qps", "config": "c", "mean": 96.0,
+     "stderr": 0.0, "runs": 1},
+    {"experiment": "servebench_p99_us", "config": "c", "mean": 540.0,
+     "stderr": 0.0, "runs": 1},
+]
+bad = [
+    {"experiment": "servebench_qps", "config": "c", "mean": 50.0,
+     "stderr": 0.0, "runs": 1},
+    {"experiment": "servebench_p99_us", "config": "c", "mean": 900.0,
+     "stderr": 0.0, "runs": 1},
+]
+for name, records in (("base", base), ("clean", clean), ("bad", bad)):
+    with open(os.path.join(tmp, f"bc_{name}.json"), "w") as f:
+        json.dump(records, f)
+
+def run(fresh):
+    return subprocess.run(
+        [sys.executable, "scripts/bench_check.py",
+         "--baseline", os.path.join(tmp, "bc_base.json"),
+         os.path.join(tmp, f"bc_{fresh}.json")],
+        capture_output=True, text=True).returncode
+
+assert run("clean") == 0, "bench_check failed the in-band case"
+assert run("bad") != 0, "bench_check passed a 2x regression"
+print("watchdog self-test OK: clean -> 0, regression -> nonzero")
+PY
 
 # 8. Overhead guard: with the recorder off, the compiled-in span
 #    instrumentation must cost <= 5% on average over the uninstrumented

@@ -18,6 +18,8 @@ class BuildCache;
 
 namespace pump::engine {
 
+struct ExecReport;
+
 /// Options for a fault-aware execution (Executor::RunResilient).
 struct ExecOptions {
   /// Worker threads of the CPU probe pipeline (and the CPU fallback plan).
@@ -46,6 +48,16 @@ struct ExecOptions {
   /// Null = per-query builds only (tables are still reused across the
   /// ladder rungs of the one query, as before).
   plan::BuildCache* build_cache = nullptr;
+  /// Query id for trace attribution: plan::ExecutePlan installs it as
+  /// the thread's obs::QueryContext so every span/instant the execution
+  /// records — across all pool workers — is stamped with it. 0 = untagged
+  /// (solo runs, tests).
+  std::uint64_t query_id = 0;
+  /// When non-null, receives a copy of the in-progress ExecReport on
+  /// *every* exit from plan::ExecutePlan, including error returns — the
+  /// flight recorder's source for the failed attempt's pipeline rows,
+  /// which the Result-based return drops on the floor.
+  ExecReport* partial_report = nullptr;
   /// Test-only escape hatch: route RunResilient through the preserved
   /// pre-plan-IR fused path (engine::legacy) instead of compiling to the
   /// plan IR. Exists solely for the golden equivalence suite and will be

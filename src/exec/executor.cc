@@ -5,6 +5,7 @@
 
 #include "exec/parallel.h"
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 
 namespace pump::exec {
 
@@ -121,12 +122,26 @@ void Executor::Run(std::size_t workers,
     return;
   }
   ScopedInRun in_run;
+  // Forward the dispatching thread's query context to every pool slot:
+  // a slot records trace events under the query that forked the phase
+  // (morsel workers, GPU batch slices, shard probes all dispatch here).
+  // Only wrap when a context is installed, so untagged dispatches keep
+  // the exact pre-context hot path.
+  const obs::QueryContext context = obs::CurrentQueryContext();
+  const bool tagged = context.query_id != 0 || context.shard >= 0;
+  const std::function<void(std::size_t)> wrapped =
+      tagged ? std::function<void(std::size_t)>(
+                   [&fn, context](std::size_t id) {
+                     obs::ScopedQueryContext scope(context);
+                     fn(id);
+                   })
+             : nullptr;
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   Metrics().dispatches.Add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    task_ = &fn;
+    task_ = tagged ? &wrapped : &fn;
     task_workers_ = workers;
     next_worker_ = 1;  // Slot 0 belongs to the calling thread.
     completed_ = 0;

@@ -1,0 +1,166 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_support/json_writer.h"
+#include "obs/metrics.h"
+
+namespace pump::obs {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RecorderMetrics {
+  Counter& captured;
+  Counter& evicted;
+};
+
+RecorderMetrics& Metrics() {
+  static RecorderMetrics metrics{
+      MetricsRegistry::Instance().GetCounter("obs.incidents.captured"),
+      MetricsRegistry::Instance().GetCounter("obs.incidents.evicted")};
+  return metrics;
+}
+
+std::string JsonNumber(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::size_t trace_tail_events)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      trace_tail_events_(trace_tail_events) {}
+
+void FlightRecorder::Capture(Incident incident) {
+  if (incident.captured_ts_ns == 0) incident.captured_ts_ns = NowNs();
+  if (incident.trace_tail.empty() && incident.query_id != 0 &&
+      trace_tail_events_ > 0) {
+    // Gather the query's stamped events across every thread ring, merge
+    // by timestamp, keep the newest `trace_tail_events_`. The snapshot
+    // is quiescent with respect to this query — its handle has resolved,
+    // so its workers recorded their last event before we got here.
+    struct Tailed {
+      TraceEvent event;
+      std::uint32_t tid = 0;
+    };
+    std::vector<Tailed> tail;
+    for (const ThreadTrace& thread : TraceRecorder::Instance().Snapshot()) {
+      for (const TraceEvent& event : thread.events) {
+        if (event.query_id == incident.query_id) {
+          tail.push_back({event, thread.tid});
+        }
+      }
+    }
+    std::stable_sort(tail.begin(), tail.end(),
+                     [](const Tailed& a, const Tailed& b) {
+                       return a.event.ts_ns < b.event.ts_ns;
+                     });
+    const std::size_t keep = std::min(trace_tail_events_, tail.size());
+    incident.trace_tail.reserve(keep);
+    incident.trace_tail_tids.reserve(keep);
+    for (std::size_t i = tail.size() - keep; i < tail.size(); ++i) {
+      incident.trace_tail.push_back(tail[i].event);
+      incident.trace_tail_tids.push_back(tail[i].tid);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.captured;
+  ++stats_.captured_by_kind[incident.kind];
+  Metrics().captured.Add();
+  while (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++stats_.evicted;
+    Metrics().evicted.Add();
+  }
+  ring_.push_back(std::move(incident));
+}
+
+std::vector<Incident> FlightRecorder::Incidents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string FlightRecorder::IncidentJson(const Incident& incident) {
+  std::ostringstream out;
+  out << "{\"query_id\":" << incident.query_id << ",\"kind\":\""
+      << bench::JsonEscape(incident.kind) << "\",\"status\":\""
+      << bench::JsonEscape(incident.status) << "\",\"tag\":\""
+      << bench::JsonEscape(incident.tag)
+      << "\",\"captured_ts_ns\":" << incident.captured_ts_ns
+      << ",\"latency_us\":" << incident.latency_us
+      << ",\"queue_wait_us\":" << incident.queue_wait_us;
+  out << ",\"metrics_delta\":{";
+  bool first = true;
+  for (const auto& [name, delta] : incident.metrics_delta) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << bench::JsonEscape(name) << "\":" << delta;
+  }
+  out << "},\"trace_tail\":[";
+  first = true;
+  for (std::size_t i = 0; i < incident.trace_tail.size(); ++i) {
+    const TraceEvent& event = incident.trace_tail[i];
+    const std::uint32_t tid = i < incident.trace_tail_tids.size()
+                                  ? incident.trace_tail_tids[i]
+                                  : 0;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << bench::JsonEscape(event.name) << "\",\"ph\":\""
+        << event.phase << "\",\"cat\":\"" << ToString(event.category)
+        << "\",\"ts_ns\":" << event.ts_ns << ",\"tid\":" << tid
+        << ",\"qid\":" << event.query_id;
+    if (event.shard >= 0) out << ",\"shard\":" << event.shard;
+    if (event.has_args) {
+      out << ",\"a0\":" << JsonNumber(event.arg0)
+          << ",\"a1\":" << JsonNumber(event.arg1);
+    }
+    out << "}";
+  }
+  out << "]";
+  // The plan dump and report rows are pre-serialized JSON; embed them as
+  // values (empty string -> null, so the artifact always parses).
+  out << ",\"plan\":" << (incident.plan_json.empty() ? "null"
+                                                     : incident.plan_json);
+  out << ",\"report\":"
+      << (incident.report_json.empty() ? "null" : incident.report_json);
+  out << "}";
+  return out.str();
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<Incident> incidents = Incidents();
+  const Stats snapshot = stats();
+  std::ostringstream out;
+  out << "{\"captured\":" << snapshot.captured
+      << ",\"evicted\":" << snapshot.evicted << ",\"incidents\":[\n";
+  bool first = true;
+  for (const Incident& incident : incidents) {
+    if (!first) out << ",\n";
+    first = false;
+    out << IncidentJson(incident);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace pump::obs

@@ -1,0 +1,98 @@
+#ifndef PUMP_OBS_FLIGHT_RECORDER_H_
+#define PUMP_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pump::obs {
+
+/// One captured incident: a self-contained post-mortem artifact for a
+/// query that resolved abnormally (fault-ladder exhaustion, deadline
+/// expiry, cancellation, poison containment). Everything a later reader
+/// needs is copied in at capture time — the plan dump, the failed
+/// attempt's pipeline rows, the query's trace tail, and the counter
+/// deltas its execution charged — so the artifact stays meaningful after
+/// the engine, the plan and the rings have moved on.
+struct Incident {
+  std::uint64_t query_id = 0;
+  /// "fault_ladder_exhausted" | "cancelled" | "deadline_expired".
+  std::string kind;
+  /// The terminal status the handle resolved with.
+  std::string status;
+  /// The submit tag (workload label) of the query, when provided.
+  std::string tag;
+  /// plan::ToJson of the compiled plan.
+  std::string plan_json;
+  /// JSON array of the failed attempt's PipelineOutcome rows (composed
+  /// by the serving layer — obs sits below the engine types).
+  std::string report_json;
+  /// Counters that moved while the query ran: (name, delta), nonzero
+  /// entries only. Process-wide counters, so concurrent siblings bleed
+  /// in — a bounded attribution, exact when the query ran alone.
+  std::vector<std::pair<std::string, std::int64_t>> metrics_delta;
+  /// The query's last trace events (its stamped events across all
+  /// thread rings, merged by timestamp), newest last; empty when the
+  /// recorder was disabled. tids parallel to events.
+  std::vector<TraceEvent> trace_tail;
+  std::vector<std::uint32_t> trace_tail_tids;
+  std::uint64_t captured_ts_ns = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t queue_wait_us = 0;
+};
+
+/// Bounded in-process incident ring: keeps the most recent `capacity`
+/// incidents, evicting the oldest (LRU == FIFO here — incidents are
+/// never re-referenced). Capture fills the trace tail itself from the
+/// process trace recorder, filtered to the incident's query id, so
+/// callers only supply what the obs layer cannot see (plan dump, report
+/// rows, metrics delta).
+///
+/// Thread-safe; capture runs outside any engine lock.
+class FlightRecorder {
+ public:
+  struct Stats {
+    /// Total incidents ever captured (retained + evicted).
+    std::uint64_t captured = 0;
+    /// Incidents evicted by the ring bound.
+    std::uint64_t evicted = 0;
+    std::map<std::string, std::uint64_t> captured_by_kind;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 32,
+                          std::size_t trace_tail_events = 256);
+
+  /// Captures `incident` into the ring. When `incident.trace_tail` is
+  /// empty, fills it with the query's last `trace_tail_events` stamped
+  /// events from the process trace recorder (no-op when tracing is off
+  /// or the query recorded nothing).
+  void Capture(Incident incident);
+
+  /// Retained incidents, oldest first.
+  std::vector<Incident> Incidents() const;
+
+  Stats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// {"incidents":[...]} over the retained ring.
+  std::string ToJson() const;
+  /// One incident as a JSON object.
+  static std::string IncidentJson(const Incident& incident);
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t trace_tail_events_;
+  mutable std::mutex mutex_;
+  std::deque<Incident> ring_;
+  Stats stats_;
+};
+
+}  // namespace pump::obs
+
+#endif  // PUMP_OBS_FLIGHT_RECORDER_H_

@@ -110,10 +110,17 @@ void EnsureCoreMetrics() {
       // plan::BuildCache (process-wide dimension-table cache).
       "plan.cache.hits", "plan.cache.misses", "plan.cache.evictions",
       "plan.cache.single_flight_waits",
+      // plan exchange stage (sharded probes); the per-device and
+      // per-route byte gauges (plan.exchange.bytes.dev<d>,
+      // plan.exchange.route.d<s>_d<d>.bytes) register dynamically, one
+      // per active mesh edge.
+      "plan.exchange.partitions", "plan.exchange.bytes",
       // server::QueryEngine (admission / scheduling / cancellation).
       "server.submitted", "server.admitted", "server.shed",
       "server.cancelled", "server.deadline_exceeded",
       "server.degraded_to_cpu", "server.completed", "server.failed",
+      // obs::FlightRecorder (incident ring).
+      "obs.incidents.captured", "obs.incidents.evicted",
   };
   static const char* const kCoreHistograms[] = {
       "transfer.chunk_bytes",

@@ -1,0 +1,66 @@
+#ifndef PUMP_OBS_QUERY_CONTEXT_H_
+#define PUMP_OBS_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+namespace pump::obs {
+
+/// Thread-local query attribution: which query (and, inside a sharded
+/// probe, which shard) the current thread is working for. The serving
+/// layer installs it at the top of a query's execution, the persistent
+/// executor forwards it to every pool thread it dispatches a slot to,
+/// and the trace recorder stamps it onto every event — that stamp is
+/// what lets `tracedump --query-id N` reassemble one query's causal
+/// timeline out of per-thread rings shared by many concurrent queries.
+///
+/// query_id 0 means "no query" (solo tools, tests, idle pool threads);
+/// shard -1 means "not inside a sharded probe".
+struct QueryContext {
+  std::uint64_t query_id = 0;
+  std::int32_t shard = -1;
+};
+
+/// The calling thread's current context (mutable reference; prefer the
+/// RAII scopes below over writing it directly).
+inline QueryContext& CurrentQueryContext() {
+  thread_local QueryContext context;
+  return context;
+}
+
+/// Installs `context` for the enclosing scope and restores the previous
+/// context on exit. Used by the serving layer (whole-query scope), the
+/// executor (per-slot scope on pool threads) and the sharded probe
+/// (per-shard scope).
+class ScopedQueryContext {
+ public:
+  explicit ScopedQueryContext(QueryContext context)
+      : saved_(CurrentQueryContext()) {
+    CurrentQueryContext() = context;
+  }
+  ~ScopedQueryContext() { CurrentQueryContext() = saved_; }
+  ScopedQueryContext(const ScopedQueryContext&) = delete;
+  ScopedQueryContext& operator=(const ScopedQueryContext&) = delete;
+
+ private:
+  QueryContext saved_;
+};
+
+/// Sets only the shard field, keeping the query id (the sharded probe
+/// runs shard s of the already-installed query).
+class ScopedShard {
+ public:
+  explicit ScopedShard(std::int32_t shard)
+      : saved_(CurrentQueryContext().shard) {
+    CurrentQueryContext().shard = shard;
+  }
+  ~ScopedShard() { CurrentQueryContext().shard = saved_; }
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+ private:
+  std::int32_t saved_;
+};
+
+}  // namespace pump::obs
+
+#endif  // PUMP_OBS_QUERY_CONTEXT_H_

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "bench_support/json_writer.h"
+#include "obs/query_context.h"
 #include "verify/mutation.h"
 
 namespace pump::obs {
@@ -37,6 +38,10 @@ void AppendEvent(const TraceEvent& event, std::uint32_t tid, bool first,
        << event.phase << "\",\"ts\":"
        << JsonNumber(static_cast<double>(event.ts_ns) / 1000.0)
        << ",\"pid\":1,\"tid\":" << tid;
+  // Query attribution, only when present — untagged traces (solo tools,
+  // tests) serialize byte-identically to the pre-context format.
+  if (event.query_id != 0) *out << ",\"qid\":" << event.query_id;
+  if (event.shard >= 0) *out << ",\"shard\":" << event.shard;
   if (event.phase == 'i') *out << ",\"s\":\"t\"";
   if (event.has_args) {
     *out << ",\"args\":{\"a0\":" << JsonNumber(event.arg0)
@@ -126,10 +131,13 @@ void TraceRecorder::Record(TraceCategory category, const char* name,
     // the trace model's snapshot invariant catches the torn window.
     ring->count.store(count + 1, std::memory_order_release);
   }
+  const QueryContext& context = CurrentQueryContext();
   slot.ts_ns = NowNs();
   slot.name = name;
   slot.arg0 = arg0;
   slot.arg1 = arg1;
+  slot.query_id = context.query_id;
+  slot.shard = context.shard;
   slot.category = category;
   slot.phase = phase;
   slot.has_args = has_args;
@@ -173,33 +181,45 @@ std::vector<ThreadTrace> TraceRecorder::Snapshot() const {
   return traces;
 }
 
-std::string TraceRecorder::ToChromeJson() const {
+std::string TraceRecorder::ToChromeJson(std::uint64_t query_filter) const {
   const std::vector<ThreadTrace> traces = Snapshot();
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
   bool first = true;
   for (const ThreadTrace& trace : traces) {
+    // Select the thread's events for the requested query (filter 0 keeps
+    // everything, byte-identical to the pre-filter export). One query's
+    // events on one thread are contiguous in program order — the context
+    // scope brackets the spans it stamps — so the repair below sees the
+    // same well-nested structure a dedicated ring would have held.
+    std::vector<const TraceEvent*> selected;
+    selected.reserve(trace.events.size());
+    for (const TraceEvent& event : trace.events) {
+      if (query_filter == 0 || event.query_id == query_filter) {
+        selected.push_back(&event);
+      }
+    }
     // Repair the retained window so every 'B' has a matching 'E': drop
     // 'E's whose 'B' the wrap discarded, close spans still open at the
     // end. Ring order is program order per thread, so a simple depth
     // counter suffices.
     std::uint64_t depth = 0;
     std::vector<const TraceEvent*> kept;
-    kept.reserve(trace.events.size());
-    for (const TraceEvent& event : trace.events) {
-      if (event.phase == 'B') {
+    kept.reserve(selected.size());
+    for (const TraceEvent* event : selected) {
+      if (event->phase == 'B') {
         ++depth;
-      } else if (event.phase == 'E') {
+      } else if (event->phase == 'E') {
         if (depth == 0) continue;  // Opener lost to the wrap.
         --depth;
       }
-      kept.push_back(&event);
+      kept.push_back(event);
     }
     for (const TraceEvent* event : kept) {
       AppendEvent(*event, trace.tid, first, &out);
       first = false;
     }
-    if (depth > 0 && !trace.events.empty()) {
+    if (depth > 0 && !selected.empty()) {
       // Synthetic closers for spans open at snapshot time, innermost
       // first (reverse nesting order keeps the B/E stack balanced).
       std::vector<const TraceEvent*> open;
@@ -210,7 +230,7 @@ std::string TraceRecorder::ToChromeJson() const {
           open.pop_back();
         }
       }
-      const std::uint64_t last_ts = trace.events.back().ts_ns;
+      const std::uint64_t last_ts = selected.back()->ts_ns;
       for (auto it = open.rbegin(); it != open.rend(); ++it) {
         TraceEvent closer = **it;
         closer.phase = 'E';
@@ -225,10 +245,11 @@ std::string TraceRecorder::ToChromeJson() const {
   return out.str();
 }
 
-bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+bool TraceRecorder::WriteChromeJson(const std::string& path,
+                                    std::uint64_t query_filter) const {
   std::ofstream file(path);
   if (!file) return false;
-  file << ToChromeJson();
+  file << ToChromeJson(query_filter);
   return file.good();
 }
 

@@ -47,6 +47,12 @@ struct TraceEvent {
   const char* name = nullptr;
   double arg0 = 0.0;
   double arg1 = 0.0;
+  /// Query attribution, stamped by Record from the thread's
+  /// obs::QueryContext: which query (0 = none) and which shard (-1 =
+  /// none) this event belongs to. The stamp is what correlates one
+  /// query's events across the per-thread rings of a concurrent engine.
+  std::uint64_t query_id = 0;
+  std::int32_t shard = -1;
   TraceCategory category = TraceCategory::kEngine;
   char phase = 'i';
   bool has_args = false;
@@ -107,11 +113,19 @@ class TraceRecorder {
   /// events whose 'B' was overwritten by the wrap are dropped, spans still
   /// open at snapshot time get a synthetic 'E' at their thread's last
   /// timestamp — every exported 'B' has a matching 'E' by construction.
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const { return ToChromeJson(0); }
 
-  /// Writes ToChromeJson() to `path`; false when the file cannot be
-  /// written.
-  bool WriteChromeJson(const std::string& path) const;
+  /// Filtered export: keeps only events stamped with `query_filter`
+  /// (0 = no filter, byte-identical to the unfiltered export). The B/E
+  /// repair runs on the filtered per-thread sequence — a thread's events
+  /// for one query form a balanced contiguous-in-program-order
+  /// subsequence, because the context scope brackets the spans it covers.
+  std::string ToChromeJson(std::uint64_t query_filter) const;
+
+  /// Writes ToChromeJson(query_filter) to `path`; false when the file
+  /// cannot be written.
+  bool WriteChromeJson(const std::string& path,
+                       std::uint64_t query_filter = 0) const;
 
   std::size_t ring_capacity() const { return ring_capacity_; }
   /// Threads that have recorded at least one event since process start.

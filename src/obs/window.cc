@@ -1,0 +1,93 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pump::obs {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Upper bound of log2 bucket b: the largest value whose bit width is b
+/// (bucket 0 holds only zeros).
+std::uint64_t BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~0ull;
+  return (1ull << b) - 1;
+}
+
+}  // namespace
+
+SlidingWindow::SlidingWindow(std::uint64_t window_ns, std::size_t slots)
+    : slot_ns_(std::max<std::uint64_t>(
+          1, window_ns / std::max<std::size_t>(1, slots))),
+      slots_(std::max<std::size_t>(1, slots)) {}
+
+void SlidingWindow::Record(std::uint64_t value) { Record(value, NowNs()); }
+
+void SlidingWindow::Record(std::uint64_t value, std::uint64_t now_ns) {
+  const std::uint64_t epoch = now_ns / slot_ns_;
+  int bucket = 0;
+  for (std::uint64_t v = value; v != 0; v >>= 1) ++bucket;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[epoch % slots_.size()];
+  if (slot.epoch != epoch) {
+    // The slot's previous epoch rolled out of the window; reclaim it for
+    // the current one (lazy expiry).
+    slot = Slot{};
+    slot.epoch = epoch;
+  }
+  ++slot.count;
+  slot.sum += value;
+  ++slot.buckets[bucket];
+}
+
+SlidingWindow::Aggregate SlidingWindow::Aggregated() const {
+  return Aggregated(NowNs());
+}
+
+SlidingWindow::Aggregate SlidingWindow::Aggregated(
+    std::uint64_t now_ns) const {
+  const std::uint64_t epoch = now_ns / slot_ns_;
+  Aggregate out;
+  out.window_ns = window_ns();
+  std::uint64_t buckets[kBuckets + 1] = {};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Slot& slot : slots_) {
+      // A slot is live when its epoch lies inside the window ending at
+      // `now` (the current epoch and the slots_.size()-1 before it).
+      if (slot.epoch + slots_.size() <= epoch || slot.epoch > epoch) {
+        continue;
+      }
+      out.count += slot.count;
+      out.sum += slot.sum;
+      for (int b = 0; b <= kBuckets; ++b) buckets[b] += slot.buckets[b];
+    }
+  }
+  if (out.count > 0) {
+    const auto quantile = [&](double q) -> std::uint64_t {
+      const std::uint64_t rank = static_cast<std::uint64_t>(
+          q * static_cast<double>(out.count - 1)) + 1;
+      std::uint64_t seen = 0;
+      for (int b = 0; b <= kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) return BucketUpperBound(b);
+      }
+      return BucketUpperBound(kBuckets);
+    };
+    out.p50 = quantile(0.50);
+    out.p99 = quantile(0.99);
+  }
+  out.rate_per_s = static_cast<double>(out.count) /
+                   (static_cast<double>(out.window_ns) * 1e-9);
+  return out;
+}
+
+}  // namespace pump::obs

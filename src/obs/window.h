@@ -1,0 +1,71 @@
+#ifndef PUMP_OBS_WINDOW_H_
+#define PUMP_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pump::obs {
+
+/// A sliding-window log2 histogram: the windowed view behind the
+/// engine's live p50/p99 latency and qps gauges. The window is divided
+/// into fixed slots; each slot holds a log2-bucket histogram (same
+/// bucketing as obs::Histogram — bucket b counts samples of bit width b,
+/// bucket 0 counts zeros) tagged with the epoch it covers. Recording
+/// lazily resets a slot whose epoch has rolled past, so expiry costs
+/// nothing between samples and the aggregate never reads data older
+/// than the window.
+///
+/// Mutex-protected: the recording rate is once per query resolution,
+/// orders of magnitude below any contention-relevant rate. Quantiles
+/// are bucket upper bounds (2^b - 1) — exact enough for SLO gating on a
+/// log scale, and stable under merge.
+///
+/// The `now_ns` overloads exist for deterministic tests; production
+/// callers use the clock-reading forms.
+class SlidingWindow {
+ public:
+  /// `window_ns` of history split across `slots` (window_ns / slots per
+  /// slot). Defaults: 60 s across 12 slots of 5 s.
+  explicit SlidingWindow(std::uint64_t window_ns = 60ull * 1'000'000'000,
+                         std::size_t slots = 12);
+
+  void Record(std::uint64_t value);
+  void Record(std::uint64_t value, std::uint64_t now_ns);
+
+  struct Aggregate {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// Bucket-upper-bound quantiles over the retained window; 0 when
+    /// the window is empty.
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    /// count / window seconds — the windowed event rate (qps when the
+    /// samples are query latencies, one per resolution).
+    double rate_per_s = 0.0;
+    std::uint64_t window_ns = 0;
+  };
+
+  Aggregate Aggregated() const;
+  Aggregate Aggregated(std::uint64_t now_ns) const;
+
+  std::uint64_t window_ns() const { return slot_ns_ * slots_.size(); }
+
+ private:
+  static constexpr int kBuckets = 64;
+
+  struct Slot {
+    std::uint64_t epoch = 0;  // now_ns / slot_ns of the data it holds.
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t buckets[kBuckets + 1] = {};
+  };
+
+  const std::uint64_t slot_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace pump::obs
+
+#endif  // PUMP_OBS_WINDOW_H_

@@ -176,6 +176,18 @@ void BuildCache::Clear() {
   resident_bytes_ = 0;
 }
 
+std::vector<BuildCache::ContentsEntry> BuildCache::Contents() const {
+  std::lock_guard<verify::Mutex> lock(mutex_);
+  std::vector<ContentsEntry> contents;
+  contents.reserve(lru_.size());
+  for (const std::string& key : lru_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    contents.push_back({key, it->second.bytes});
+  }
+  return contents;
+}
+
 BuildCache::Stats BuildCache::stats() const {
   std::lock_guard<verify::Mutex> lock(mutex_);
   Stats stats = stats_;

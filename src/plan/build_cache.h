@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "plan/operators.h"
@@ -68,6 +69,17 @@ class BuildCache {
 
   /// Drops every resident entry (in-flight builds are unaffected).
   void Clear();
+
+  /// One resident entry, as exposed by the introspection snapshot.
+  struct ContentsEntry {
+    /// The semantic cache key (dimension identity / key column / filter
+    /// / table kind — see KeyFor).
+    std::string key;
+    std::uint64_t bytes = 0;
+  };
+
+  /// The resident entries in LRU order, most recently used first.
+  std::vector<ContentsEntry> Contents() const;
 
   Stats stats() const;
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }

@@ -19,6 +19,7 @@
 #include "hw/topology.h"
 #include "memory/allocator.h"
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "obs/trace.h"
 #include "plan/build_cache.h"
 #include "plan/operators.h"
@@ -462,6 +463,10 @@ Status RunProbeSharded(const PhysicalPlan& plan,
       }
       const std::uint64_t bytes = tuples * tuple_bytes;
       scratch.assign(bytes / sizeof(std::int64_t), 0);
+      // The exchange works on behalf of the destination shard: stamp its
+      // staging spans with it so a per-query timeline shows which shard
+      // each partition transfer fed.
+      obs::ScopedShard shard_scope(static_cast<std::int32_t>(dst));
       PUMP_TRACE_SPAN(obs::TraceCategory::kTransfer, "exchange.partition",
                       static_cast<double>(bytes),
                       static_cast<double>(devices[dst]));
@@ -486,6 +491,14 @@ Status RunProbeSharded(const PhysicalPlan& plan,
       obs::MetricsRegistry::Instance()
           .GetCounter("plan.exchange.bytes.dev" +
                       std::to_string(devices[dst]))
+          .Add(bytes);
+      // Per-route byte gauge (src device -> dst device): the live
+      // per-link utilization view of the mesh, prefix-scanned by
+      // QueryEngine::Snapshot into the introspection exposition.
+      obs::MetricsRegistry::Instance()
+          .GetCounter("plan.exchange.route.d" +
+                      std::to_string(devices[src]) + "_d" +
+                      std::to_string(devices[dst]) + ".bytes")
           .Add(bytes);
     }
   }
@@ -548,6 +561,10 @@ Status RunProbeSharded(const PhysicalPlan& plan,
                                    : shard_row.placement_planned;
     if (shard_degraded[s]) ++shard_row.attempts;
     const auto shard_start = Clock::now();
+    // Shard attribution for the probe phase: the executor forwards the
+    // dispatching thread's context, so every worker's hash.probe/morsel
+    // spans carry (query_id, shard s).
+    obs::ScopedShard shard_scope(static_cast<std::int32_t>(s));
     PUMP_TRACE_SPAN(obs::TraceCategory::kExec, "shard.probe",
                     static_cast<double>(s),
                     static_cast<double>(indices.size()));
@@ -591,6 +608,13 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
   if (options.cancel != nullptr) {
     PUMP_RETURN_NOT_OK(options.cancel->ToStatus());
   }
+  // Install the query's trace context for the whole execution: every
+  // span/instant recorded below — on this thread and, via the executor's
+  // context forwarding, on every pool worker — is stamped with the id.
+  obs::ScopedQueryContext query_scope(
+      options.query_id != 0
+          ? obs::QueryContext{options.query_id, -1}
+          : obs::CurrentQueryContext());
   PUMP_TRACE_SPAN(obs::TraceCategory::kPlan, "plan.execute",
                   static_cast<double>(plan.builds.size()),
                   static_cast<double>(plan.shape.fact_rows));
@@ -598,6 +622,17 @@ Result<engine::ExecReport> ExecutePlan(const PhysicalPlan& plan,
   engine::ExecReport report;
   InitPipelineRows(plan, &report);
   std::vector<std::string> reasons;
+  // Mirror the in-progress report on every exit path (the PUMP_*_RETURN
+  // macros included): a fault-ladder exhaustion returns a bare Status,
+  // and this copy is how the flight recorder still gets the failed
+  // attempt's pipeline rows.
+  struct ReportMirror {
+    engine::ExecReport* dst;
+    const engine::ExecReport* src;
+    ~ReportMirror() {
+      if (dst != nullptr) *dst = *src;
+    }
+  } report_mirror{options.partial_report, &report};
 
   // Build stage (cached across the whole ladder).
   PUMP_ASSIGN_OR_RETURN(const TableHandles tables,

@@ -1,0 +1,28 @@
+#ifndef PUMP_SERVER_INTROSPECT_H_
+#define PUMP_SERVER_INTROSPECT_H_
+
+#include <string>
+
+#include "engine/executor.h"
+#include "server/query_engine.h"
+
+namespace pump::server {
+
+/// Renders an EngineSnapshot as a single JSON object — the machine-
+/// readable face of `pumpstat` and the soak harness's assertion surface.
+std::string ToJson(const EngineSnapshot& snapshot);
+
+/// Renders an EngineSnapshot in the Prometheus text exposition format
+/// (one `pump_*` family per gauge/counter, labels for per-device and
+/// per-route breakdowns) — `pumpstat --prom`.
+std::string ToPrometheus(const EngineSnapshot& snapshot);
+
+/// Serializes an ExecReport (summary + per-pipeline + per-shard outcome
+/// rows) as a JSON object. The serving layer composes this into flight-
+/// recorder incidents: obs sits below the engine types, so the artifact
+/// carries the report pre-serialized.
+std::string ReportJson(const engine::ExecReport& report);
+
+}  // namespace pump::server
+
+#endif  // PUMP_SERVER_INTROSPECT_H_

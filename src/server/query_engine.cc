@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "obs/trace.h"
+#include "plan/dump.h"
 #include "plan/executor.h"
+#include "server/introspect.h"
 #include "verify/mutation.h"
 
 namespace pump::server {
@@ -107,7 +110,12 @@ struct QueryEngine::Task {
 };
 
 QueryEngine::QueryEngine(EngineOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity_bytes) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity_bytes),
+      flight_recorder_(options_.incident_capacity,
+                       options_.incident_trace_tail),
+      latency_window_(static_cast<std::uint64_t>(
+          std::max(1e-3, options_.window_s) * 1e9)) {
   verify::NamedMutex(&mutex_, "server.engine.mutex");
   const std::size_t threads =
       std::max<std::size_t>(1, options_.session_threads);
@@ -198,6 +206,9 @@ Result<std::shared_ptr<QueryHandle>> QueryEngine::Submit(
       handle->token_.SetDeadlineAfter(options.deadline_s);
     }
     task->handle = handle;
+    active_.emplace(handle->id(),
+                    ActiveQuery{QueryState::kQueued, options.tag,
+                                task->submitted_at});
     ++stats_.admitted;
     Metrics().admitted.Add();
     queue_.push_back(std::move(task));
@@ -244,6 +255,76 @@ EngineStats QueryEngine::stats() const {
   return snapshot;
 }
 
+EngineSnapshot QueryEngine::Snapshot() const {
+  EngineSnapshot snapshot;
+  {
+    std::lock_guard<verify::Mutex> lock(mutex_);
+    snapshot.stats = stats_;
+    snapshot.stats.queue_depth = queue_.size();
+    snapshot.stats.gpu_inflight_bytes = gpu_inflight_bytes_;
+    snapshot.stats.device_inflight_bytes = device_inflight_bytes_;
+    const Clock::time_point now = Clock::now();
+    snapshot.queries.reserve(active_.size());
+    for (const auto& [id, active] : active_) {
+      QueryRow row;
+      row.id = id;
+      row.state = active.state;
+      row.tag = active.tag;
+      row.age_s =
+          std::chrono::duration<double>(now - active.submitted_at).count();
+      snapshot.queries.push_back(std::move(row));
+    }
+  }
+  snapshot.cache = cache_.stats();
+  snapshot.cache_contents = cache_.Contents();
+  const double lookups = static_cast<double>(snapshot.cache.hits) +
+                         static_cast<double>(snapshot.cache.misses);
+  snapshot.cache_hit_ratio =
+      lookups > 0.0 ? static_cast<double>(snapshot.cache.hits) / lookups
+                    : 0.0;
+  snapshot.latency_us = latency_window_.Aggregated();
+  // The per-route exchange gauges live in the process-wide registry as
+  // dynamically named counters; scan them out by prefix.
+  static constexpr char kRoutePrefix[] = "plan.exchange.route.";
+  static constexpr char kBytesSuffix[] = ".bytes";
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Instance().Counters()) {
+    if (name.rfind(kRoutePrefix, 0) != 0) continue;
+    std::string route = name.substr(sizeof(kRoutePrefix) - 1);
+    const std::size_t suffix_len = sizeof(kBytesSuffix) - 1;
+    if (route.size() > suffix_len &&
+        route.compare(route.size() - suffix_len, suffix_len,
+                      kBytesSuffix) == 0) {
+      route.resize(route.size() - suffix_len);
+    }
+    snapshot.exchange_route_bytes.emplace_back(std::move(route), value);
+  }
+  snapshot.incidents = flight_recorder_.stats();
+  snapshot.slo_p99_us = options_.slo_p99_us;
+  snapshot.slo_min_qps = options_.slo_min_qps;
+  snapshot.slo_configured =
+      options_.slo_p99_us > 0.0 || options_.slo_min_qps > 0.0;
+  // SLO verdict over the window. An empty window is vacuously healthy —
+  // a watchdog scraping an idle engine must not page anyone.
+  if (snapshot.slo_configured && snapshot.latency_us.count > 0) {
+    if (options_.slo_p99_us > 0.0 &&
+        static_cast<double>(snapshot.latency_us.p99) >
+            options_.slo_p99_us) {
+      snapshot.slo_ok = false;
+      snapshot.slo_violation =
+          "windowed p99 " + std::to_string(snapshot.latency_us.p99) +
+          "us exceeds slo_p99_us " + std::to_string(options_.slo_p99_us);
+    } else if (options_.slo_min_qps > 0.0 &&
+               snapshot.latency_us.rate_per_s < options_.slo_min_qps) {
+      snapshot.slo_ok = false;
+      snapshot.slo_violation =
+          "windowed qps " + std::to_string(snapshot.latency_us.rate_per_s) +
+          " below slo_min_qps " + std::to_string(options_.slo_min_qps);
+    }
+  }
+  return snapshot;
+}
+
 void QueryEngine::SchedulerLoop() {
   for (;;) {
     std::unique_ptr<Task> task;
@@ -264,6 +345,10 @@ void QueryEngine::SchedulerLoop() {
       // bump under mutex_, so the ledger comparison is exact).
       PUMP_HB_ASSERT(hb_dequeued_.Load() <= hb_admitted_.Load(),
                      "scheduler dequeued a task that was never admitted");
+      auto active = active_.find(task->handle->id());
+      if (active != active_.end()) {
+        active->second.state = QueryState::kRunning;
+      }
       ++stats_.running;
     }
     RunTask(std::move(task));
@@ -276,8 +361,14 @@ void QueryEngine::SchedulerLoop() {
 
 void QueryEngine::RunTask(std::unique_ptr<Task> task) {
   QueryHandle& handle = *task->handle;
+  // Tag this scheduler thread (and, transitively, every pool worker the
+  // execution forks — exec::Executor::Run forwards the context) with the
+  // query id, so all spans/instants below carry it.
+  obs::ScopedQueryContext query_scope(
+      obs::QueryContext{handle.id(), -1});
   handle.MarkRunning();
-  Metrics().queue_wait_us.Record(MicrosSince(task->submitted_at));
+  const std::uint64_t queue_wait_us = MicrosSince(task->submitted_at);
+  Metrics().queue_wait_us.Record(queue_wait_us);
 
   // Deterministic cancellation pressure: the engine injector may cancel
   // the query here exactly as a client calling handle.Cancel() would.
@@ -299,15 +390,32 @@ void QueryEngine::RunTask(std::unique_ptr<Task> task) {
   exec.morsel_tuples = task->options.morsel_tuples;
   exec.cancel = &handle.token_;
   exec.build_cache = &cache_;
+  exec.query_id = handle.id();
+  // The mirror keeps the failed attempt's pipeline rows for the flight
+  // recorder — the Result return path drops the report on errors.
+  engine::ExecReport partial;
+  exec.partial_report = &partial;
 
-  Result<engine::ExecReport> result =
-      options_.runner_for_test
-          ? options_.runner_for_test(task->plan, exec)
-          : plan::ExecutePlan(task->plan, exec);
-  Metrics().query_latency_us.Record(MicrosSince(task->submitted_at));
+  // Counter baseline for the incident's metrics delta. Cheap (one sorted
+  // copy of a few dozen counters) relative to running a query.
+  const auto counters_before = obs::MetricsRegistry::Instance().Counters();
+
+  Result<engine::ExecReport> result = [&] {
+    // The per-query umbrella span: tracedump's per-query coverage is the
+    // fraction of this span covered by the query's plan.execute span.
+    PUMP_TRACE_SPAN(obs::TraceCategory::kEngine, "server.query",
+                    static_cast<double>(handle.id()), 0.0);
+    return options_.runner_for_test
+               ? options_.runner_for_test(task->plan, exec)
+               : plan::ExecutePlan(task->plan, exec);
+  }();
+  const std::uint64_t latency_us = MicrosSince(task->submitted_at);
+  Metrics().query_latency_us.Record(latency_us);
+  latency_window_.Record(latency_us);
 
   {
     std::lock_guard<verify::Mutex> lock(mutex_);
+    active_.erase(handle.id());
     gpu_inflight_bytes_ -= task->footprint_bytes;
     bool first_device = true;
     for (const auto& [device, bytes] : task->footprint_per_device) {
@@ -343,6 +451,52 @@ void QueryEngine::RunTask(std::unique_ptr<Task> task) {
           break;
       }
     }
+  }
+  if (!result.ok()) {
+    // Flight-recorder capture, outside the engine lock (serializing the
+    // plan and diffing counters must not stall admission). Every abnormal
+    // resolution leaves exactly one bounded, self-contained artifact.
+    obs::Incident incident;
+    incident.query_id = handle.id();
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        incident.kind = "cancelled";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        incident.kind = "deadline_expired";
+        break;
+      default:
+        incident.kind = "fault_ladder_exhausted";
+        break;
+    }
+    incident.status = result.status().ToString();
+    incident.tag = task->options.tag;
+    incident.plan_json = plan::ToJson(
+        task->plan,
+        task->options.tag.empty() ? "query" : task->options.tag);
+    incident.report_json = ReportJson(partial);
+    const auto counters_after = obs::MetricsRegistry::Instance().Counters();
+    // Counters() is sorted by name and counters are never removed, so
+    // the baseline is a (not necessarily contiguous) subsequence.
+    std::size_t before_index = 0;
+    for (const auto& [name, value] : counters_after) {
+      std::uint64_t base = 0;
+      while (before_index < counters_before.size() &&
+             counters_before[before_index].first < name) {
+        ++before_index;
+      }
+      if (before_index < counters_before.size() &&
+          counters_before[before_index].first == name) {
+        base = counters_before[before_index].second;
+      }
+      if (value != base) {
+        incident.metrics_delta.emplace_back(
+            name, static_cast<std::int64_t>(value - base));
+      }
+    }
+    incident.latency_us = latency_us;
+    incident.queue_wait_us = queue_wait_us;
+    flight_recorder_.Capture(std::move(incident));
   }
   // Resolve outside the engine lock: a waiter woken by Resolve must
   // never contend with the scheduler's bookkeeping.

@@ -17,6 +17,8 @@
 #include "exec/morsel.h"
 #include "fault/fault_injector.h"
 #include "fault/retry.h"
+#include "obs/flight_recorder.h"
+#include "obs/window.h"
 #include "plan/build_cache.h"
 #include "plan/compiler.h"
 #include "plan/plan.h"
@@ -127,6 +129,19 @@ struct EngineOptions {
   std::function<Result<engine::ExecReport>(const plan::PhysicalPlan&,
                                            const engine::ExecOptions&)>
       runner_for_test;
+  /// Incidents retained by the flight recorder (oldest evicted beyond
+  /// this bound) and the trace-tail length captured per incident.
+  std::size_t incident_capacity = 32;
+  std::size_t incident_trace_tail = 256;
+  /// Width of the sliding latency/qps window behind Snapshot()'s p50/
+  /// p99/qps gauges and the SLO evaluation.
+  double window_s = 60.0;
+  /// SLO targets evaluated over the window (0 = not configured): the
+  /// windowed p99 latency ceiling and the windowed throughput floor.
+  /// Snapshot() reports the verdict; servebench's --slo-* flags turn a
+  /// violation into a nonzero exit.
+  double slo_p99_us = 0.0;
+  double slo_min_qps = 0.0;
 };
 
 /// Per-query knobs.
@@ -179,6 +194,44 @@ struct EngineStats {
   std::size_t running = 0;
 };
 
+/// One live (queued or running) query in an engine snapshot.
+struct QueryRow {
+  std::uint64_t id = 0;
+  QueryState state = QueryState::kQueued;
+  std::string tag;
+  /// Seconds since Submit.
+  double age_s = 0.0;
+};
+
+/// Point-in-time introspection of a live engine: everything `pumpstat`
+/// exposes (see server/introspect.h for the JSON / Prometheus
+/// renderings). Cheap to take — a handful of mutex-held copies, no
+/// query-path stalls.
+struct EngineSnapshot {
+  EngineStats stats;
+  /// Queued + running queries (resolved queries leave the table).
+  std::vector<QueryRow> queries;
+  plan::BuildCache::Stats cache;
+  /// Resident cache entries, most recently used first.
+  std::vector<plan::BuildCache::ContentsEntry> cache_contents;
+  /// hits / (hits + misses); 0 when no lookups yet.
+  double cache_hit_ratio = 0.0;
+  /// Windowed latency distribution (us) and qps over the engine's
+  /// sliding window.
+  obs::SlidingWindow::Aggregate latency_us;
+  /// Per-exchange-route byte gauges ("d<src>_d<dst>" -> bytes moved),
+  /// from the process-wide plan.exchange.route.* counters.
+  std::vector<std::pair<std::string, std::uint64_t>> exchange_route_bytes;
+  obs::FlightRecorder::Stats incidents;
+  /// SLO verdict over the window; slo_ok stays true when no target is
+  /// configured.
+  bool slo_configured = false;
+  bool slo_ok = true;
+  std::string slo_violation;
+  double slo_p99_us = 0.0;
+  double slo_min_qps = 0.0;
+};
+
 /// A long-running serving front end over the plan IR: Submit admits a
 /// query into a bounded queue (or sheds it), scheduler threads compile-
 /// time-placed plans through plan::ExecutePlan on the shared persistent
@@ -226,7 +279,16 @@ class QueryEngine {
   void Shutdown();
 
   EngineStats stats() const;
+  /// Full introspection snapshot (queue, per-query states, pools, cache
+  /// contents, windowed latency/qps, exchange routes, incidents, SLO
+  /// verdict) — the data behind tools/pumpstat.
+  EngineSnapshot Snapshot() const;
   plan::BuildCache& build_cache() { return cache_; }
+  /// The engine's incident ring: one bounded artifact per abnormal
+  /// resolution (fault-ladder exhaustion, deadline, cancellation).
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
 
  private:
   struct Task;
@@ -236,11 +298,22 @@ class QueryEngine {
 
   const EngineOptions options_;
   plan::BuildCache cache_;
+  obs::FlightRecorder flight_recorder_;
+  obs::SlidingWindow latency_window_;
 
   mutable verify::Mutex mutex_;
   verify::CondVar queue_cv_;
   std::deque<std::unique_ptr<Task>> queue_;
   EngineStats stats_;
+  /// Live queries by id (inserted at admission, state flipped when the
+  /// scheduler picks the task up, erased at resolution) — the per-query
+  /// rows of Snapshot().
+  struct ActiveQuery {
+    QueryState state = QueryState::kQueued;
+    std::string tag;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+  std::map<std::uint64_t, ActiveQuery> active_;
   std::uint64_t next_id_ = 1;
   /// Aggregate in-flight footprint (always the sum of the per-device
   /// pools; kept separately so the single-pool saturation signal is O(1)).

@@ -15,9 +15,12 @@
 #include "engine/ssb.h"
 #include "exec/parallel.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "obs/residuals.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "plan/compiler.h"
 #include "plan/executor.h"
 
@@ -379,6 +382,259 @@ TEST(ResidualsTest, CheckResidualsFlagsInconsistentRows) {
   obs::ResidualReport empty;
   empty.query = "q";
   EXPECT_FALSE(check::CheckResiduals(empty, check::ResidualBands{}).ok());
+}
+
+TEST(QueryContextTest, ScopesNestAndRestore) {
+  EXPECT_EQ(obs::CurrentQueryContext().query_id, 0u);
+  EXPECT_EQ(obs::CurrentQueryContext().shard, -1);
+  {
+    obs::ScopedQueryContext outer(obs::QueryContext{7, -1});
+    EXPECT_EQ(obs::CurrentQueryContext().query_id, 7u);
+    {
+      obs::ScopedShard shard(3);
+      EXPECT_EQ(obs::CurrentQueryContext().query_id, 7u);
+      EXPECT_EQ(obs::CurrentQueryContext().shard, 3);
+    }
+    EXPECT_EQ(obs::CurrentQueryContext().shard, -1);
+  }
+  EXPECT_EQ(obs::CurrentQueryContext().query_id, 0u);
+}
+
+TEST(QueryContextTest, ContextPropagatesToExecutorPoolThreads) {
+  ScopedTracing tracing;
+  const std::size_t workers =
+      std::max<std::size_t>(2, exec::DefaultWorkerCount());
+  {
+    obs::ScopedQueryContext scope(obs::QueryContext{42, -1});
+    exec::ParallelFor(workers, [&](std::size_t w) {
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kExec, "ctx.tick",
+                         static_cast<double>(w));
+    });
+  }
+  // Every worker's event — pool threads included — carries the query id
+  // installed on the dispatching thread; that stamp is the correlation
+  // mechanism behind tracedump --query-id.
+  const std::vector<obs::TraceEvent> events =
+      EventsNamed(TraceRecorder::Instance().Snapshot(), "ctx.tick");
+  ASSERT_EQ(events.size(), workers);
+  for (const obs::TraceEvent& event : events) {
+    EXPECT_EQ(event.query_id, 42u);
+    EXPECT_EQ(event.shard, -1);
+  }
+  // Pool threads restore their idle context after the barrier: a second
+  // untagged dispatch records unstamped events.
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kExec, "idle.tick",
+                       static_cast<double>(w));
+  });
+  for (const obs::TraceEvent& event :
+       EventsNamed(TraceRecorder::Instance().Snapshot(), "idle.tick")) {
+    EXPECT_EQ(event.query_id, 0u);
+  }
+}
+
+TEST(TraceExportTest, QueryFilterSelectsOneTimelineAndZeroIsIdentity) {
+  ScopedTracing tracing;
+  {
+    obs::ScopedQueryContext scope(obs::QueryContext{1, -1});
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "query.one");
+  }
+  {
+    obs::ScopedQueryContext scope(obs::QueryContext{2, 0});
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "query.two");
+  }
+  PUMP_TRACE_INSTANT(obs::TraceCategory::kTool, "untagged");
+
+  const std::string all = TraceRecorder::Instance().ToChromeJson();
+  // filter == 0 is the no-filter path and must stay byte-identical to
+  // the legacy export.
+  EXPECT_EQ(all, TraceRecorder::Instance().ToChromeJson(0));
+  EXPECT_NE(all.find("\"query.one\""), std::string::npos);
+  EXPECT_NE(all.find("\"query.two\""), std::string::npos);
+  EXPECT_NE(all.find("\"untagged\""), std::string::npos);
+  EXPECT_NE(all.find("\"qid\":1"), std::string::npos);
+  EXPECT_NE(all.find("\"qid\":2"), std::string::npos);
+  EXPECT_NE(all.find("\"shard\":0"), std::string::npos);
+
+  const std::string only_one = TraceRecorder::Instance().ToChromeJson(1);
+  EXPECT_NE(only_one.find("\"query.one\""), std::string::npos);
+  EXPECT_EQ(only_one.find("\"query.two\""), std::string::npos);
+  EXPECT_EQ(only_one.find("\"untagged\""), std::string::npos);
+  EXPECT_EQ(only_one.find("\"qid\":2"), std::string::npos);
+}
+
+TEST(TraceExportTest, UntaggedExportCarriesNoAttributionFields) {
+  ScopedTracing tracing;
+  {
+    PUMP_TRACE_SPAN(obs::TraceCategory::kTool, "legacy");
+  }
+  // Solo tools and tests record with no context installed; their export
+  // must not grow qid/shard fields (bit-identical legacy format).
+  const std::string json = TraceRecorder::Instance().ToChromeJson();
+  EXPECT_EQ(json.find("\"qid\""), std::string::npos);
+  EXPECT_EQ(json.find("\"shard\""), std::string::npos);
+}
+
+TEST(SlidingWindowTest, QuantilesAreBucketUpperBounds) {
+  // 10 s window, 5 slots of 2 s; all samples land in epoch 0.
+  obs::SlidingWindow window(10ull * 1'000'000'000, 5);
+  const std::uint64_t t0 = 1'000'000'000;
+  for (int i = 0; i < 90; ++i) window.Record(3, t0);     // bucket 2: [2,4)
+  for (int i = 0; i < 10; ++i) window.Record(1000, t0);  // bucket 10
+  const obs::SlidingWindow::Aggregate agg = window.Aggregated(t0);
+  EXPECT_EQ(agg.count, 100u);
+  EXPECT_EQ(agg.sum, 90u * 3 + 10u * 1000);
+  // Quantiles report the log2 bucket's upper bound: 2^2-1 for the small
+  // mass, 2^10-1 for the tail.
+  EXPECT_EQ(agg.p50, 3u);
+  EXPECT_EQ(agg.p99, 1023u);
+  // Rate is count over the full window span.
+  EXPECT_DOUBLE_EQ(agg.rate_per_s, 10.0);
+}
+
+TEST(SlidingWindowTest, ZeroValuesLandInBucketZero) {
+  obs::SlidingWindow window(10ull * 1'000'000'000, 5);
+  const std::uint64_t t0 = 1'000'000'000;
+  for (int i = 0; i < 8; ++i) window.Record(0, t0);
+  const obs::SlidingWindow::Aggregate agg = window.Aggregated(t0);
+  EXPECT_EQ(agg.count, 8u);
+  EXPECT_EQ(agg.sum, 0u);
+  EXPECT_EQ(agg.p50, 0u);
+  EXPECT_EQ(agg.p99, 0u);
+}
+
+TEST(SlidingWindowTest, SamplesExpireOnceTheWindowRollsPast) {
+  obs::SlidingWindow window(10ull * 1'000'000'000, 5);
+  const std::uint64_t second = 1'000'000'000;
+  window.Record(100, 1 * second);
+  window.Record(100, 3 * second);
+  EXPECT_EQ(window.Aggregated(3 * second).count, 2u);
+  // 9 s later both samples are still inside the 10 s window...
+  EXPECT_EQ(window.Aggregated(9 * second).count, 2u);
+  // ...but at t0+11 s the first slot's epoch has rolled out, and by 13 s
+  // the second is gone too (lazy expiry, no Record needed in between).
+  EXPECT_EQ(window.Aggregated(11 * second).count, 1u);
+  EXPECT_EQ(window.Aggregated(13 * second).count, 0u);
+  EXPECT_EQ(window.Aggregated(13 * second).p99, 0u);
+}
+
+TEST(SlidingWindowTest, SlotReclaimDropsOnlyTheRolledEpoch) {
+  // Slot reuse: epoch 0 and epoch 5 share slots_[0]; recording in epoch
+  // 5 reclaims the slot and must not disturb epochs 1..4.
+  obs::SlidingWindow window(10ull * 1'000'000'000, 5);
+  const std::uint64_t slot = 2'000'000'000;  // slot_ns
+  for (std::uint64_t e = 0; e < 5; ++e) window.Record(7, e * slot);
+  EXPECT_EQ(window.Aggregated(4 * slot).count, 5u);
+  window.Record(7, 5 * slot);
+  const obs::SlidingWindow::Aggregate agg = window.Aggregated(5 * slot);
+  EXPECT_EQ(agg.count, 5u) << "epoch 0 evicted, epochs 1..5 retained";
+}
+
+TEST(SlidingWindowTest, ConcurrentRecordingFromExecutorWorkers) {
+  // The TSan lane runs this file: hammer one window from every pool
+  // thread of the persistent executor, exactly like concurrent query
+  // resolutions hammer the engine's latency window.
+  obs::SlidingWindow window;
+  const std::size_t workers =
+      std::max<std::size_t>(2, exec::DefaultWorkerCount());
+  const std::uint64_t per_worker = 5'000;
+  exec::ParallelFor(workers, [&](std::size_t w) {
+    for (std::uint64_t i = 0; i < per_worker; ++i) {
+      window.Record((w + 1) * 10);
+    }
+  });
+  const obs::SlidingWindow::Aggregate agg = window.Aggregated();
+  EXPECT_EQ(agg.count, workers * per_worker);
+  EXPECT_GT(agg.p99, 0u);
+}
+
+obs::Incident MakeIncident(std::uint64_t id, const char* kind) {
+  obs::Incident incident;
+  incident.query_id = id;
+  incident.kind = kind;
+  incident.status = "INTERNAL: rung 4 exhausted";
+  incident.tag = "ssb-q1";
+  incident.plan_json = "{\"pipelines\":[]}";
+  incident.report_json = "{\"pipelines\":[]}";
+  incident.metrics_delta.emplace_back("fault.injections", 3);
+  incident.captured_ts_ns = id * 100;
+  return incident;
+}
+
+TEST(FlightRecorderTest, RingBoundEvictsOldestAndStatsKeepTotals) {
+  obs::FlightRecorder recorder(/*capacity=*/2, /*trace_tail_events=*/8);
+  recorder.Capture(MakeIncident(1, "fault_ladder_exhausted"));
+  recorder.Capture(MakeIncident(2, "cancelled"));
+  recorder.Capture(MakeIncident(3, "fault_ladder_exhausted"));
+
+  const std::vector<obs::Incident> retained = recorder.Incidents();
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0].query_id, 2u) << "oldest first, 1 evicted";
+  EXPECT_EQ(retained[1].query_id, 3u);
+
+  const obs::FlightRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.captured, 3u);
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_EQ(stats.captured_by_kind.at("fault_ladder_exhausted"), 2u);
+  EXPECT_EQ(stats.captured_by_kind.at("cancelled"), 1u);
+}
+
+TEST(FlightRecorderTest, CaptureFillsTraceTailForItsQueryOnly) {
+  ScopedTracing tracing;
+  {
+    obs::ScopedQueryContext scope(obs::QueryContext{5, -1});
+    for (int i = 0; i < 10; ++i) {
+      PUMP_TRACE_INSTANT(obs::TraceCategory::kEngine, "mine",
+                         static_cast<double>(i));
+    }
+  }
+  {
+    obs::ScopedQueryContext scope(obs::QueryContext{6, -1});
+    PUMP_TRACE_INSTANT(obs::TraceCategory::kEngine, "sibling");
+  }
+
+  obs::FlightRecorder recorder(/*capacity=*/4, /*trace_tail_events=*/4);
+  recorder.Capture(MakeIncident(5, "deadline_expired"));
+  const std::vector<obs::Incident> retained = recorder.Incidents();
+  ASSERT_EQ(retained.size(), 1u);
+  const obs::Incident& incident = retained[0];
+  // The tail is self-gathered from the process rings, filtered to the
+  // incident's query, bounded to the newest trace_tail_events.
+  ASSERT_EQ(incident.trace_tail.size(), 4u);
+  ASSERT_EQ(incident.trace_tail_tids.size(), 4u);
+  for (const obs::TraceEvent& event : incident.trace_tail) {
+    EXPECT_EQ(event.query_id, 5u);
+    EXPECT_STREQ(event.name, "mine");
+  }
+  // Newest window: arg0 carries the loop index, so 6..9 survive.
+  EXPECT_DOUBLE_EQ(incident.trace_tail.front().arg0, 6.0);
+  EXPECT_DOUBLE_EQ(incident.trace_tail.back().arg0, 9.0);
+
+  // JSON artifact: parseable shape with every section present (the
+  // Python-side parse of the same dump runs in scripts/check.sh).
+  const std::string json = obs::FlightRecorder::IncidentJson(incident);
+  for (const char* key :
+       {"\"query_id\":5", "\"kind\":\"deadline_expired\"", "\"status\":",
+        "\"tag\":", "\"plan\":", "\"report\":", "\"metrics_delta\":",
+        "\"trace_tail\":", "\"latency_us\":", "\"queue_wait_us\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos)
+        << "incident artifact lost " << key;
+  }
+  EXPECT_NE(recorder.ToJson().find("\"incidents\":["), std::string::npos);
+}
+
+TEST(FlightRecorderTest, CaptureWithTracingOffLeavesTailEmpty) {
+  TraceRecorder::Instance().Clear();
+  ASSERT_FALSE(TraceRecorder::Enabled());
+  obs::FlightRecorder recorder(/*capacity=*/2, /*trace_tail_events=*/8);
+  recorder.Capture(MakeIncident(9, "cancelled"));
+  const std::vector<obs::Incident> retained = recorder.Incidents();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_TRUE(retained[0].trace_tail.empty());
+  // The artifact is still self-contained: plan, report and deltas are
+  // caller-supplied and survive without a trace.
+  EXPECT_FALSE(retained[0].plan_json.empty());
+  EXPECT_FALSE(retained[0].report_json.empty());
 }
 
 // Satellite regression: a mid-query ladder re-placement must not erase

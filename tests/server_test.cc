@@ -435,6 +435,196 @@ TEST(QueryEngineTest, ShutdownDrainsQueuedQueries) {
 }
 
 // ---------------------------------------------------------------------
+// Introspection: QueryEngine::Snapshot() and the flight recorder.
+
+TEST(QueryEngineTest, SnapshotReportsQueueCacheWindowAndSlo) {
+  server::EngineOptions options;
+  options.session_threads = 1;
+  options.queue_capacity = 8;
+  server::QueryEngine engine(options);
+  engine.Pause();
+
+  server::SubmitOptions submit;
+  submit.tag = "snap-test";
+  Result<std::shared_ptr<server::QueryHandle>> first =
+      engine.Submit(engine::SsbQ1(Db()), submit);
+  Result<std::shared_ptr<server::QueryHandle>> second =
+      engine.Submit(engine::SsbQ1(Db()), submit);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Queued queries appear as rows with their submit tag and age.
+  server::EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.stats.queue_depth, 2u);
+  ASSERT_EQ(snapshot.queries.size(), 2u);
+  for (const server::QueryRow& row : snapshot.queries) {
+    EXPECT_EQ(row.state, server::QueryState::kQueued);
+    EXPECT_EQ(row.tag, "snap-test");
+    EXPECT_GE(row.age_s, 0.0);
+  }
+
+  engine.Resume();
+  ASSERT_TRUE(first.value()->Wait().ok());
+  ASSERT_TRUE(second.value()->Wait().ok());
+
+  snapshot = engine.Snapshot();
+  // Resolved queries leave the table; their latencies feed the window.
+  EXPECT_TRUE(snapshot.queries.empty());
+  EXPECT_EQ(snapshot.latency_us.count, 2u);
+  EXPECT_GE(snapshot.latency_us.p99, snapshot.latency_us.p50);
+  EXPECT_GT(snapshot.latency_us.rate_per_s, 0.0);
+  // The second query hit the shared build cache, and the snapshot lists
+  // what is resident.
+  EXPECT_GT(snapshot.cache_hit_ratio, 0.0);
+  EXPECT_LE(snapshot.cache_hit_ratio, 1.0);
+  EXPECT_FALSE(snapshot.cache_contents.empty());
+  std::uint64_t contents_bytes = 0;
+  for (const plan::BuildCache::ContentsEntry& entry :
+       snapshot.cache_contents) {
+    EXPECT_FALSE(entry.key.empty());
+    contents_bytes += entry.bytes;
+  }
+  EXPECT_EQ(contents_bytes, snapshot.cache.resident_bytes);
+  // Clean run: no incidents, and with no SLO configured the verdict is
+  // vacuously healthy.
+  EXPECT_EQ(snapshot.incidents.captured, 0u);
+  EXPECT_FALSE(snapshot.slo_configured);
+  EXPECT_TRUE(snapshot.slo_ok);
+  EXPECT_TRUE(snapshot.slo_violation.empty());
+}
+
+TEST(QueryEngineTest, SloViolationSurfacesInSnapshot) {
+  server::EngineOptions options;
+  options.session_threads = 1;
+  // A sub-microsecond p99 ceiling: any real query violates it.
+  options.slo_p99_us = 0.5;
+  server::QueryEngine engine(options);
+  Result<std::shared_ptr<server::QueryHandle>> handle =
+      engine.Submit(engine::SsbQ1(Db()));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle.value()->Wait().ok());
+
+  const server::EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_TRUE(snapshot.slo_configured);
+  EXPECT_FALSE(snapshot.slo_ok);
+  EXPECT_FALSE(snapshot.slo_violation.empty());
+  EXPECT_DOUBLE_EQ(snapshot.slo_p99_us, 0.5);
+}
+
+TEST(QueryEngineTest, SloWithEmptyWindowIsVacuouslyHealthy) {
+  server::EngineOptions options;
+  options.slo_p99_us = 0.5;
+  options.slo_min_qps = 1e9;
+  server::QueryEngine engine(options);
+  // No resolutions yet: targets are configured but nothing violates.
+  const server::EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_TRUE(snapshot.slo_configured);
+  EXPECT_TRUE(snapshot.slo_ok);
+}
+
+TEST(QueryEngineTest, FlightRecorderCapturesLadderExhaustion) {
+  // The acceptance scenario: one query exhausts its fault ladder while
+  // siblings run under injected device-OOM (which the ladder absorbs by
+  // re-placing on the CPU). Exactly the terminal failure leaves an
+  // incident artifact; the absorbed-fault siblings complete
+  // bit-identical to solo execution and leave none.
+  const engine::Query q1 = engine::SsbQ1(Db());
+  const engine::QueryResult expected = Solo(q1);
+
+  server::EngineOptions options;
+  options.session_threads = 2;
+  options.queue_capacity = 16;
+  server::QueryEngine engine(options);
+
+  // Device-OOM on every allocation: rung 2 of the ladder spills the
+  // build/probe to the CPU, so the query still succeeds.
+  fault::FaultInjector oom(/*seed=*/13);
+  fault::FaultSpec device_oom;
+  device_oom.probability = 1.0;
+  device_oom.code = StatusCode::kResourceExhausted;
+  oom.Arm(fault::kAllocDevice, device_oom);
+
+  server::SubmitOptions oom_submit;
+  oom_submit.injector = &oom;
+  oom_submit.tag = "oom-sibling";
+  std::vector<std::shared_ptr<server::QueryHandle>> siblings;
+  for (int i = 0; i < 2; ++i) {
+    Result<std::shared_ptr<server::QueryHandle>> handle =
+        engine.Submit(q1, oom_submit);
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    siblings.push_back(handle.value());
+  }
+  server::SubmitOptions poison_submit;
+  poison_submit.tag = "poison";
+  Result<std::shared_ptr<server::QueryHandle>> poisoned =
+      engine.Submit(Poison().query, poison_submit);
+  ASSERT_TRUE(poisoned.ok()) << poisoned.status();
+
+  const Result<engine::ExecReport>& poison_report = poisoned.value()->Wait();
+  ASSERT_FALSE(poison_report.ok());
+  for (const auto& handle : siblings) {
+    const Result<engine::ExecReport>& report = handle->Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report.value().result, expected);
+  }
+
+  // Exactly one incident: the ladder-exhausted query, self-contained.
+  const obs::FlightRecorder::Stats stats = engine.flight_recorder().stats();
+  EXPECT_EQ(stats.captured, 1u) << "successes must not leave artifacts";
+  EXPECT_EQ(stats.captured_by_kind.at("fault_ladder_exhausted"), 1u);
+  const std::vector<obs::Incident> incidents =
+      engine.flight_recorder().Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  const obs::Incident& incident = incidents[0];
+  EXPECT_EQ(incident.query_id, poisoned.value()->id());
+  EXPECT_EQ(incident.kind, "fault_ladder_exhausted");
+  EXPECT_EQ(incident.tag, "poison");
+  EXPECT_EQ(incident.status, poison_report.status().ToString());
+  EXPECT_FALSE(incident.plan_json.empty());
+  EXPECT_FALSE(incident.report_json.empty());
+  EXPECT_GT(incident.captured_ts_ns, 0u);
+}
+
+TEST(QueryEngineTest, DeadlineAndCancelLeaveTypedIncidents) {
+  server::EngineOptions options;
+  options.session_threads = 1;
+  server::QueryEngine engine(options);
+  engine.Pause();
+
+  server::SubmitOptions late;
+  late.deadline_s = 1e-9;
+  late.tag = "late";
+  Result<std::shared_ptr<server::QueryHandle>> expired =
+      engine.Submit(engine::SsbQ1(Db()), late);
+  ASSERT_TRUE(expired.ok());
+  server::SubmitOptions killed;
+  killed.tag = "killed";
+  Result<std::shared_ptr<server::QueryHandle>> cancelled =
+      engine.Submit(engine::SsbQ1(Db()), killed);
+  ASSERT_TRUE(cancelled.ok());
+  cancelled.value()->Cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  engine.Resume();
+
+  EXPECT_EQ(expired.value()->Wait().status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cancelled.value()->Wait().status().code(),
+            StatusCode::kCancelled);
+
+  const obs::FlightRecorder::Stats stats = engine.flight_recorder().stats();
+  EXPECT_EQ(stats.captured, 2u);
+  EXPECT_EQ(stats.captured_by_kind.at("deadline_expired"), 1u);
+  EXPECT_EQ(stats.captured_by_kind.at("cancelled"), 1u);
+  for (const obs::Incident& incident :
+       engine.flight_recorder().Incidents()) {
+    EXPECT_GT(incident.query_id, 0u);
+    EXPECT_FALSE(incident.plan_json.empty());
+  }
+  // The snapshot mirrors the recorder totals.
+  EXPECT_EQ(engine.Snapshot().incidents.captured, 2u);
+}
+
+// ---------------------------------------------------------------------
 // TSan regression: concurrent submitters against one engine. Any data
 // race in Submit/scheduler/cache/metrics surfaces here under
 // -DPUMP_SANITIZE=thread (check.sh runs this binary in that build).

@@ -1,0 +1,198 @@
+// pumpstat: live engine introspection. Spins up a server::QueryEngine,
+// drives an SSB workload through it, and emits QueryEngine::Snapshot()
+// — queue depth, per-query states, per-device in-flight pool bytes,
+// build-cache contents and hit ratio, windowed p50/p99 latency and qps,
+// per-exchange-route byte gauges, flight-recorder totals, and the SLO
+// verdict — as a JSON object (default) or in the Prometheus text
+// exposition format (--prom).
+//
+// Usage:
+//   pumpstat [--queries N] [--clients C] [--workers W] [--rows N]
+//            [--seed S] [--prom] [--out <path>]
+//            [--slo-p99-us X] [--slo-min-qps Y] [--fail-on-slo]
+//            [--incidents] [--incidents-out <path>]
+//
+// --incidents adds deterministic abnormal queries (a poisoned build, a
+// microsecond deadline, a client cancel) so the flight recorder has
+// artifacts to show; --incidents-out dumps the recorder ring as JSON.
+//
+// Exit codes: 0 = success, 1 = setup/IO failure, 2 = usage error,
+// 3 = SLO violated (only with --fail-on-slo).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/ssb.h"
+#include "obs/trace.h"
+#include "server/introspect.h"
+#include "server/query_engine.h"
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t queries = 24;
+  std::size_t clients = 2;
+  std::size_t workers = 2;
+  std::size_t rows = 20'000;
+  std::uint64_t seed = 42;
+  bool prom = false;
+  bool fail_on_slo = false;
+  bool induce_incidents = false;
+  double slo_p99_us = 0.0;
+  double slo_min_qps = 0.0;
+  std::string out_path;
+  std::string incidents_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pumpstat: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--queries") {
+      queries = std::strtoull(next("--queries"), nullptr, 10);
+    } else if (arg == "--clients") {
+      clients = std::strtoull(next("--clients"), nullptr, 10);
+    } else if (arg == "--workers") {
+      workers = std::strtoull(next("--workers"), nullptr, 10);
+    } else if (arg == "--rows") {
+      rows = std::strtoull(next("--rows"), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--prom") {
+      prom = true;
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--slo-p99-us") {
+      slo_p99_us = std::strtod(next("--slo-p99-us"), nullptr);
+    } else if (arg == "--slo-min-qps") {
+      slo_min_qps = std::strtod(next("--slo-min-qps"), nullptr);
+    } else if (arg == "--fail-on-slo") {
+      fail_on_slo = true;
+    } else if (arg == "--incidents") {
+      induce_incidents = true;
+    } else if (arg == "--incidents-out") {
+      incidents_path = next("--incidents-out");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: pumpstat [--queries N] [--clients C] [--workers W] "
+          "[--rows N] [--seed S] [--prom] [--out <path>] "
+          "[--slo-p99-us X] [--slo-min-qps Y] [--fail-on-slo] "
+          "[--incidents] [--incidents-out <path>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "pumpstat: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (clients == 0) clients = 1;
+
+  // Tracing on: incident artifacts (--incidents) carry trace tails, and
+  // the exchange-route counters of any sharded plan still flow either
+  // way (counters are independent of the trace ring).
+  pump::obs::TraceRecorder::Instance().Enable();
+
+  const pump::engine::SsbDatabase db =
+      pump::engine::SsbDatabase::Generate(rows, seed);
+  std::vector<pump::engine::NamedQuery> mix = pump::engine::SsbSuite(db);
+
+  pump::server::EngineOptions engine_options;
+  engine_options.session_threads = 4;
+  engine_options.queue_capacity = 2 * clients + 2;
+  engine_options.slo_p99_us = slo_p99_us;
+  engine_options.slo_min_qps = slo_min_qps;
+  pump::server::QueryEngine engine(engine_options);
+
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (std::size_t q = c; q < queries; q += clients) {
+        const pump::engine::NamedQuery& named = mix[q % mix.size()];
+        pump::server::SubmitOptions submit;
+        submit.workers = workers;
+        submit.tag = named.name;
+        auto handle = engine.Submit(named.query, submit);
+        if (handle.ok()) handle.value()->Wait();
+      }
+    });
+  }
+  for (std::thread& client : client_threads) client.join();
+
+  if (induce_incidents) {
+    // One of each abnormal resolution, deterministically. The poisoned
+    // build (duplicate dimension keys) exhausts the fault ladder; the
+    // microsecond deadline expires; the third is cancelled client-side.
+    pump::engine::Table poison_dim;
+    if (!poison_dim.AddColumn("pk", {0, 1, 2, 2}).ok()) return 1;
+    pump::engine::Query poison;
+    poison.fact = &db.lineorder;
+    poison.measure_column = "lo_revenue";
+    pump::engine::JoinClause join;
+    join.fact_key_column = "lo_custkey";
+    join.dimension = &poison_dim;
+    join.dim_key_column = "pk";
+    poison.joins.push_back(join);
+
+    pump::server::SubmitOptions submit;
+    submit.workers = workers;
+    submit.tag = "poison";
+    auto poisoned = engine.Submit(poison, submit);
+    if (poisoned.ok()) poisoned.value()->Wait();
+
+    submit.tag = "deadline";
+    submit.deadline_s = 1e-6;
+    auto late = engine.Submit(mix.front().query, submit);
+    if (late.ok()) late.value()->Wait();
+
+    submit.tag = "cancelled";
+    submit.deadline_s = 0.0;
+    auto cancelled = engine.Submit(mix.front().query, submit);
+    if (cancelled.ok()) {
+      cancelled.value()->Cancel();
+      cancelled.value()->Wait();
+    }
+  }
+
+  const pump::server::EngineSnapshot snapshot = engine.Snapshot();
+  const std::string text = prom ? pump::server::ToPrometheus(snapshot)
+                                : pump::server::ToJson(snapshot) + "\n";
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else if (!WriteFile(out_path, text)) {
+    std::fprintf(stderr, "pumpstat: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  if (!incidents_path.empty() &&
+      !WriteFile(incidents_path, engine.flight_recorder().ToJson() + "\n")) {
+    std::fprintf(stderr, "pumpstat: cannot write '%s'\n",
+                 incidents_path.c_str());
+    return 1;
+  }
+
+  if (fail_on_slo && snapshot.slo_configured && !snapshot.slo_ok) {
+    std::fprintf(stderr, "pumpstat: SLO violated: %s\n",
+                 snapshot.slo_violation.c_str());
+    return 3;
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -34,6 +35,9 @@
 #include "engine/executor.h"
 #include "engine/ssb.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "server/introspect.h"
 #include "server/query_engine.h"
 
 namespace pump {
@@ -52,6 +56,14 @@ struct Config {
   std::size_t queries_per_client = 8;
   std::size_t workers = 2;
   std::uint64_t seed = 42;
+  /// Windowed SLO targets for the throughput mode (0 = not configured):
+  /// a violated target exits 3 — the watchdog half of the regression
+  /// gate (scripts/bench_check.py is the trend half).
+  double slo_p99_us = 0.0;
+  double slo_min_qps = 0.0;
+  /// --soak: collect every cell's flight-recorder artifacts into one
+  /// JSON array at this path.
+  std::string incidents_out;
 };
 
 struct MixCase {
@@ -111,6 +123,8 @@ int RunThroughput(bench::JsonWriter* json, const engine::SsbDatabase& db,
   server::EngineOptions engine_options;
   engine_options.session_threads = 4;
   engine_options.queue_capacity = 2 * config.clients;
+  engine_options.slo_p99_us = config.slo_p99_us;
+  engine_options.slo_min_qps = config.slo_min_qps;
   server::QueryEngine engine(engine_options);
 
   std::vector<std::vector<double>> latencies(config.clients);
@@ -192,6 +206,20 @@ int RunThroughput(bench::JsonWriter* json, const engine::SsbDatabase& db,
                static_cast<double>(stats.cancelled), 0.0, 1);
   json->Record("servebench_deadline_exceeded", config_str,
                static_cast<double>(stats.deadline_exceeded), 0.0, 1);
+
+  // SLO watchdog: the engine's own windowed verdict over the run. Exit 3
+  // keeps the failure distinguishable from correctness failures (1).
+  const server::EngineSnapshot snapshot = engine.Snapshot();
+  if (snapshot.slo_configured) {
+    std::cout << "    slo: windowed p99 " << snapshot.latency_us.p99
+              << " us, qps " << snapshot.latency_us.rate_per_s << " -> "
+              << (snapshot.slo_ok ? "ok" : snapshot.slo_violation) << "\n";
+    if (!snapshot.slo_ok) {
+      std::cerr << "FATAL: SLO violated: " << snapshot.slo_violation
+                << "\n";
+      return 3;
+    }
+  }
   return 0;
 }
 
@@ -222,7 +250,14 @@ std::unique_ptr<PoisonFixture> MakePoison(const engine::SsbDatabase& db) {
 /// invariant (the caller exits nonzero).
 bool SoakCell(const std::vector<MixCase>& mix,
               const PoisonFixture& poison, std::size_t workers,
-              double fault_p, std::uint64_t seed, double timeout_s) {
+              double fault_p, std::uint64_t seed, double timeout_s,
+              std::string* incidents_json) {
+  // Fresh rings per cell: incident trace tails stay cell-local, and the
+  // rings never get close to wrapping mid-capture (a mid-run Snapshot
+  // only races a writer when the ring wraps). Quiescent here — the
+  // previous cell's engine is destroyed, pool threads are idle.
+  obs::TraceRecorder::Instance().Clear();
+
   fault::FaultInjector exec_faults(seed);
   fault::FaultInjector server_faults(seed ^ 0x5eed);
   if (fault_p > 0.0) {
@@ -357,10 +392,53 @@ bool SoakCell(const std::vector<MixCase>& mix,
     }
   }
 
+  // Invariant 3: the flight recorder holds exactly one artifact per
+  // abnormal resolution — zero failed/cancelled/expired queries without
+  // an artifact, zero artifacts for successful ones. (Cell totals stay
+  // below the ring capacity, so captured == retained.)
+  const obs::FlightRecorder::Stats incidents =
+      engine.flight_recorder().stats();
+  auto kind_count = [&incidents](const char* kind) -> std::uint64_t {
+    auto it = incidents.captured_by_kind.find(kind);
+    return it == incidents.captured_by_kind.end() ? 0 : it->second;
+  };
+  const std::uint64_t abnormal =
+      stats.cancelled + stats.deadline_exceeded + stats.failed;
+  if (incidents.captured != abnormal ||
+      kind_count("fault_ladder_exhausted") != stats.failed ||
+      kind_count("cancelled") != stats.cancelled ||
+      kind_count("deadline_expired") != stats.deadline_exceeded) {
+    std::cerr << "FATAL: " << context << ": flight recorder captured "
+              << incidents.captured << " incidents ("
+              << kind_count("fault_ladder_exhausted") << " exhausted, "
+              << kind_count("cancelled") << " cancelled, "
+              << kind_count("deadline_expired")
+              << " deadline) but the engine resolved " << stats.failed
+              << " failed, " << stats.cancelled << " cancelled, "
+              << stats.deadline_exceeded << " deadline\n";
+    return false;
+  }
+  // Invariant 4: every artifact is self-contained — query id, kind, the
+  // compiled plan, and the failed attempt's report rows are all present.
+  for (const obs::Incident& incident : engine.flight_recorder().Incidents()) {
+    if (incident.query_id == 0 || incident.kind.empty() ||
+        incident.plan_json.empty() || incident.report_json.empty()) {
+      std::cerr << "FATAL: " << context << ": incident for query "
+                << incident.query_id << " (" << incident.kind
+                << ") is missing its plan or report payload\n";
+      return false;
+    }
+    if (incidents_json != nullptr) {
+      if (!incidents_json->empty()) *incidents_json += ",\n";
+      *incidents_json += obs::FlightRecorder::IncidentJson(incident);
+    }
+  }
+
   std::cout << "  " << context << ": " << stats.completed << " completed, "
             << stats.shed << " shed, " << stats.cancelled << " cancelled, "
             << stats.deadline_exceeded << " deadline, " << stats.failed
-            << " failed, " << stats.degraded_to_cpu << " degraded to cpu\n";
+            << " failed, " << stats.degraded_to_cpu << " degraded to cpu, "
+            << incidents.captured << " incidents\n";
   return true;
 }
 
@@ -369,16 +447,31 @@ int RunSoak(const engine::SsbDatabase& db, const Config& config) {
   const std::unique_ptr<PoisonFixture> poison = MakePoison(db);
   const double timeout_s = config.quick ? 60.0 : 180.0;
   const double probabilities[] = {0.0, 0.01, 0.05};
+  // Tracing on for the whole sweep so every incident artifact carries
+  // its query's trace tail.
+  obs::TraceRecorder::Instance().Enable();
+  std::string incidents_json;
   bool ok = true;
   for (std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
     for (double p : probabilities) {
       ok = SoakCell(mix, *poison, workers, p, config.seed + workers,
-                    timeout_s) &&
+                    timeout_s, &incidents_json) &&
            ok;
     }
   }
+  obs::TraceRecorder::Instance().Disable();
+  if (!config.incidents_out.empty()) {
+    std::ofstream file(config.incidents_out);
+    if (!file) {
+      std::cerr << "FATAL: cannot write " << config.incidents_out << "\n";
+      return 1;
+    }
+    file << "[" << incidents_json << "]\n";
+  }
   if (!ok) return 1;
-  std::cout << "  soak passed: zero hung/lost queries across the sweep\n";
+  std::cout << "  soak passed: zero hung/lost queries across the sweep, "
+               "every abnormal resolution left a flight-recorder "
+               "artifact\n";
   return 0;
 }
 
@@ -403,10 +496,18 @@ int main(int argc, char** argv) {
       config.workers = std::stoul(arg.substr(10));
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--slo-p99-us=", 0) == 0) {
+      config.slo_p99_us = std::stod(arg.substr(13));
+    } else if (arg.rfind("--slo-min-qps=", 0) == 0) {
+      config.slo_min_qps = std::stod(arg.substr(14));
+    } else if (arg.rfind("--incidents-out=", 0) == 0) {
+      config.incidents_out = arg.substr(16);
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: servebench [--quick] [--soak] [--clients=N] "
-                   "[--queries=N] [--workers=N] [--seed=N] [--json=path]\n";
+                   "[--queries=N] [--workers=N] [--seed=N] [--json=path] "
+                   "[--slo-p99-us=X] [--slo-min-qps=Y] "
+                   "[--incidents-out=path]\n";
       return 1;
     }
   }

@@ -8,7 +8,7 @@
 //   tracedump [--query ssb-q1|ssb-q2|ssb-q3|q6] [--rows N] [--seed S]
 //             [--policy cpu|gpu|cost] [--workers W]
 //             [--trace-out <path>] [--metrics-out <path>]
-//             [--residuals <path>]
+//             [--residuals <path>] [--query-id N] [--concurrent N]
 //
 // Prints a summary JSON to stdout: query, policy, workers, wall time,
 // trace span coverage (duration of the root plan.execute span over wall
@@ -16,12 +16,24 @@
 // come from the cost model, so --policy defaults to `cost` (other
 // policies leave predicted_s = 0 and ratio = 0).
 //
+// --concurrent N runs N queries concurrently through a
+// server::QueryEngine instead: every trace event is stamped with its
+// query id, and the summary reports per-query coverage — the fraction of
+// each query's server.query umbrella span covered by its plan.execute
+// span, assembled purely from the id stamps across all worker rings.
+//
+// --query-id N filters the --trace-out export to one query's causal
+// timeline (the no-filter export is byte-identical to the pre-filter
+// format). A wrapped ring (dropped events) is surfaced as a stderr
+// warning and `coverage_unreliable` in the summary.
+//
 // Exit codes: 0 = success, 1 = execution failed, 2 = usage error.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,18 +47,22 @@
 #include "plan/compiler.h"
 #include "plan/executor.h"
 #include "plan/q6_bridge.h"
+#include "server/query_engine.h"
 
 namespace {
 
-/// Longest paired `name` span (B..E) across all threads, in seconds. The
-/// root plan.execute span is recorded once, on the driving thread.
+/// Longest paired `name` span (B..E) across all threads, in seconds,
+/// optionally restricted to events stamped with `query_id` (0 = any).
+/// The root plan.execute span is recorded once per query, on the
+/// executing scheduler thread.
 double SpanSeconds(const std::vector<pump::obs::ThreadTrace>& traces,
-                   const char* name) {
+                   const char* name, std::uint64_t query_id = 0) {
   double best = 0.0;
   for (const pump::obs::ThreadTrace& thread : traces) {
     std::vector<std::uint64_t> begins;
     for (const pump::obs::TraceEvent& event : thread.events) {
       if (std::strcmp(event.name, name) != 0) continue;
+      if (query_id != 0 && event.query_id != query_id) continue;
       if (event.phase == 'B') {
         begins.push_back(event.ts_ns);
       } else if (event.phase == 'E' && !begins.empty()) {
@@ -59,6 +75,118 @@ double SpanSeconds(const std::vector<pump::obs::ThreadTrace>& traces,
     }
   }
   return best;
+}
+
+/// Total dropped events across all rings; nonzero means a ring wrapped
+/// and span pairing may have lost a 'B' — coverage is then unreliable.
+std::uint64_t WarnIfWrapped(
+    const std::vector<pump::obs::ThreadTrace>& traces) {
+  std::uint64_t dropped = 0;
+  for (const pump::obs::ThreadTrace& thread : traces) {
+    dropped += thread.dropped;
+  }
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "tracedump: warning: ring wrapped, %llu events dropped; "
+                 "span coverage may be unreliable (raise the ring "
+                 "capacity or shrink --rows)\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+  return dropped;
+}
+
+/// --concurrent N: N queries of the SSB mix race through a
+/// server::QueryEngine; per-query coverage is assembled from the query-id
+/// stamps alone. Exercises exactly the correlation machinery a production
+/// trace of a busy engine depends on.
+int RunConcurrent(const pump::engine::SsbDatabase& db,
+                  std::size_t concurrent, std::size_t workers,
+                  const std::string& trace_path, std::uint64_t query_filter,
+                  const std::string& metrics_path) {
+  const std::vector<pump::engine::NamedQuery> mix =
+      pump::engine::SsbSuite(db);
+
+  pump::obs::EnsureCoreMetrics();
+  pump::obs::TraceRecorder& recorder = pump::obs::TraceRecorder::Instance();
+  recorder.Enable();
+  pump::obs::TraceInstant(pump::obs::TraceCategory::kTool, "warmup");
+  recorder.Clear();
+
+  std::vector<std::uint64_t> ids;
+  {
+    pump::server::EngineOptions engine_options;
+    engine_options.session_threads = 4;
+    engine_options.queue_capacity = concurrent + 2;
+    pump::server::QueryEngine engine(engine_options);
+
+    std::vector<std::shared_ptr<pump::server::QueryHandle>> handles;
+    for (std::size_t n = 0; n < concurrent; ++n) {
+      const pump::engine::NamedQuery& named = mix[n % mix.size()];
+      pump::server::SubmitOptions submit;
+      submit.workers = workers;
+      submit.tag = named.name;
+      auto handle = engine.Submit(named.query, submit);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "tracedump: submit failed: %s\n",
+                     handle.status().ToString().c_str());
+        return 1;
+      }
+      handles.push_back(handle.value());
+    }
+    for (const auto& handle : handles) {
+      if (!handle->Wait().ok()) {
+        std::fprintf(stderr, "tracedump: query %llu failed: %s\n",
+                     static_cast<unsigned long long>(handle->id()),
+                     handle->Wait().status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(handle->id());
+    }
+  }
+  recorder.Disable();
+
+  if (!trace_path.empty() &&
+      !recorder.WriteChromeJson(trace_path, query_filter)) {
+    std::fprintf(stderr, "tracedump: cannot write '%s'\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !pump::obs::MetricsRegistry::Instance().WriteSnapshot(metrics_path)) {
+    std::fprintf(stderr, "tracedump: cannot write '%s'\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+
+  const std::vector<pump::obs::ThreadTrace> traces = recorder.Snapshot();
+  const std::uint64_t dropped = WarnIfWrapped(traces);
+  std::size_t events = 0;
+  for (const pump::obs::ThreadTrace& thread : traces) {
+    events += thread.events.size();
+  }
+
+  std::printf("{\"concurrent\":%zu,\"workers\":%zu,\"queries\":[",
+              concurrent, workers);
+  double min_coverage = 1.0;
+  bool first = true;
+  for (const std::uint64_t id : ids) {
+    const double umbrella_s = SpanSeconds(traces, "server.query", id);
+    const double exec_s = SpanSeconds(traces, "plan.execute", id);
+    const double coverage = umbrella_s > 0.0 ? exec_s / umbrella_s : 0.0;
+    if (coverage < min_coverage) min_coverage = coverage;
+    std::printf("%s{\"id\":%llu,\"umbrella_s\":%.9f,\"exec_s\":%.9f,"
+                "\"coverage\":%.6f}",
+                first ? "" : ",", static_cast<unsigned long long>(id),
+                umbrella_s, exec_s, coverage);
+    first = false;
+  }
+  std::printf(
+      "],\"min_coverage\":%.6f,\"trace_events\":%zu,\"trace_threads\":%zu,"
+      "\"dropped_events\":%llu,\"coverage_unreliable\":%s}\n",
+      min_coverage, events, traces.size(),
+      static_cast<unsigned long long>(dropped),
+      dropped > 0 ? "true" : "false");
+  return 0;
 }
 
 }  // namespace
@@ -75,6 +203,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string residuals_path;
+  std::uint64_t query_filter = 0;
+  std::size_t concurrent = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,12 +233,17 @@ int main(int argc, char** argv) {
       metrics_path = next("--metrics-out");
     } else if (arg == "--residuals") {
       residuals_path = next("--residuals");
+    } else if (arg == "--query-id") {
+      query_filter = std::strtoull(next("--query-id"), nullptr, 10);
+    } else if (arg == "--concurrent") {
+      concurrent = static_cast<std::size_t>(
+          std::strtoull(next("--concurrent"), nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: tracedump [--query ssb-q1|ssb-q2|ssb-q3|q6] [--rows N] "
           "[--seed S] [--policy cpu|gpu|cost] [--workers W] "
           "[--trace-out <path>] [--metrics-out <path>] "
-          "[--residuals <path>]\n");
+          "[--residuals <path>] [--query-id N] [--concurrent N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "tracedump: unknown argument '%s'\n",
@@ -134,6 +269,10 @@ int main(int argc, char** argv) {
   // The query sources must outlive compilation and execution.
   const pump::engine::SsbDatabase db =
       pump::engine::SsbDatabase::Generate(rows, seed);
+  if (concurrent > 0) {
+    return RunConcurrent(db, concurrent, workers, trace_path, query_filter,
+                         metrics_path);
+  }
   pump::plan::Q6PlanInput q6_input;
   pump::engine::Query query;
   bool matched = false;
@@ -189,7 +328,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!trace_path.empty() && !recorder.WriteChromeJson(trace_path)) {
+  if (!trace_path.empty() &&
+      !recorder.WriteChromeJson(trace_path, query_filter)) {
     std::fprintf(stderr, "tracedump: cannot write '%s'\n",
                  trace_path.c_str());
     return 1;
@@ -239,11 +379,10 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<pump::obs::ThreadTrace> traces = recorder.Snapshot();
+  const std::uint64_t dropped = WarnIfWrapped(traces);
   std::size_t events = 0;
-  std::uint64_t dropped = 0;
   for (const pump::obs::ThreadTrace& thread : traces) {
     events += thread.events.size();
-    dropped += thread.dropped;
   }
   const double covered_s = SpanSeconds(traces, "plan.execute");
   const double coverage = wall_s > 0.0 ? covered_s / wall_s : 0.0;
@@ -252,11 +391,13 @@ int main(int argc, char** argv) {
       "{\"query\":\"%s\",\"policy\":\"%s\",\"workers\":%zu,"
       "\"wall_s\":%.9f,\"root_span_s\":%.9f,\"span_coverage\":%.6f,"
       "\"trace_events\":%zu,\"trace_threads\":%zu,\"dropped_events\":%llu,"
+      "\"coverage_unreliable\":%s,"
       "\"used_gpu\":%s,\"degraded\":%s,\"pipelines\":%zu,"
       "\"result_rows\":%llu,\"result_sum\":%lld}\n",
       query_name.c_str(), policy_name.c_str(), workers, wall_s, covered_s,
       coverage, events, traces.size(),
       static_cast<unsigned long long>(dropped),
+      dropped > 0 ? "true" : "false",
       report.value().used_gpu ? "true" : "false",
       report.value().degraded ? "true" : "false",
       report.value().pipelines.size(),
